@@ -1,0 +1,108 @@
+//! Criterion benches for the paper's timing figures:
+//!
+//! * `fig08_overhead` — per-input inference cost of each voting technique
+//!   relative to the best individual model (paper Fig. 8);
+//! * `fig09e_xai_runtime` — absolute per-input runtime of each XAI technique
+//!   (paper Fig. 9e);
+//! * `rq4_metric_runtime` — diversity-metric cost, the paper's "cosine is
+//!   ~10× faster than R²" claim (RQ4).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+use remix_core::Remix;
+use remix_data::SyntheticSpec;
+use remix_diversity::DiversityMetric;
+use remix_ensemble::{
+    train_zoo, StackedDynamic, StaticWeighted, TrainedEnsemble, UniformAverage, UniformMajority,
+    Voter,
+};
+use remix_nn::Arch;
+use remix_tensor::Tensor;
+use remix_xai::{Explainer, XaiTechnique};
+
+struct Fixture {
+    ensemble: TrainedEnsemble,
+    test: remix_data::Dataset,
+    validation: remix_data::Dataset,
+}
+
+fn fixture() -> Fixture {
+    let (train, test) = SyntheticSpec::gtsrb_like()
+        .train_size(430)
+        .test_size(64)
+        .generate();
+    let mut rng = StdRng::seed_from_u64(3);
+    let (_, validation) = train.split(0.15, &mut rng);
+    let models = train_zoo(&[Arch::ConvNet, Arch::ResNet50, Arch::Vgg11], &train, 4, 9);
+    Fixture {
+        ensemble: TrainedEnsemble::new(models),
+        test,
+        validation,
+    }
+}
+
+/// Fig. 8: per-input inference time of each voting technique.
+fn fig08_overhead(c: &mut Criterion) {
+    let mut fx = fixture();
+    let mut group = c.benchmark_group("fig08_overhead");
+    group.sample_size(10);
+    let img = fx.test.images[0].clone();
+    group.bench_function("best_individual", |b| {
+        b.iter(|| fx.ensemble.models[0].predict(&img))
+    });
+    group.bench_function("umaj", |b| {
+        b.iter(|| UniformMajority.vote(&mut fx.ensemble, &img))
+    });
+    group.bench_function("uavg", |b| {
+        b.iter(|| UniformAverage.vote(&mut fx.ensemble, &img))
+    });
+    let mut swmaj = StaticWeighted::fit(&mut fx.ensemble, &fx.validation);
+    group.bench_function("s_wmaj", |b| b.iter(|| swmaj.vote(&mut fx.ensemble, &img)));
+    let mut dwmaj = StackedDynamic::fit(&mut fx.ensemble, &fx.validation);
+    group.bench_function("d_wmaj", |b| b.iter(|| dwmaj.vote(&mut fx.ensemble, &img)));
+    // force the XAI path so the bench reflects the disagreement cost
+    let remix = Remix::builder().fast_path(false).build();
+    group.bench_function("remix_disagreement", |b| {
+        b.iter(|| remix.predict(&mut fx.ensemble, &img))
+    });
+    let remix_fast = Remix::builder().build();
+    group.bench_function("remix_with_fast_path", |b| {
+        b.iter(|| remix_fast.predict(&mut fx.ensemble, &img))
+    });
+    group.finish();
+}
+
+/// Fig. 9e: absolute per-input runtime of each XAI technique.
+fn fig09e_xai_runtime(c: &mut Criterion) {
+    let mut fx = fixture();
+    let mut group = c.benchmark_group("fig09e_xai_runtime");
+    group.sample_size(10);
+    let img = fx.test.images[0].clone();
+    let mut rng = StdRng::seed_from_u64(5);
+    for technique in XaiTechnique::ALL {
+        let explainer = Explainer::new(technique);
+        group.bench_function(technique.abbrev(), |b| {
+            b.iter(|| explainer.explain(&mut fx.ensemble.models[0], &img, 0, &mut rng))
+        });
+    }
+    group.finish();
+}
+
+/// RQ4: diversity-metric runtime on feature matrices (cosine vs R² speedup).
+fn rq4_metric_runtime(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    // the paper computes metrics on full-resolution feature matrices; use a
+    // larger matrix so per-call costs are measurable
+    let a = Tensor::rand_uniform(&[128, 128], 0.0, 1.0, &mut rng);
+    let b = Tensor::rand_uniform(&[128, 128], 0.0, 1.0, &mut rng);
+    let mut group = c.benchmark_group("rq4_metric_runtime");
+    for metric in DiversityMetric::ALL {
+        group.bench_function(format!("{metric}"), |bch| {
+            bch.iter(|| metric.distance(&a, &b))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig08_overhead, fig09e_xai_runtime, rq4_metric_runtime);
+criterion_main!(benches);

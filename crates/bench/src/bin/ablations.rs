@@ -1,0 +1,200 @@
+//! Ablation studies over ReMIX's design choices (DESIGN.md §8):
+//!
+//! * `--study alpha` — sweep the sparseness steepness α in Eq. 5;
+//! * `--study weights` — drop individual terms of `ω = c·δ·tanh(α·σ)`;
+//! * `--study threshold` — sweep the majority threshold (0.5 = the paper's
+//!   disengagement rule, lower = plurality voting);
+//! * `--study xai-cost` — SmoothGrad sample count vs resilience and runtime;
+//! * `--study fast-path` — the unanimity fast path's effect on runtime.
+//!
+//! Default: run all studies.
+
+use remix_bench::{print_table, write_csv, FaultSetting, Row, Scale, TrainedStack};
+use remix_core::{Remix, RemixBuilder, RemixVoter};
+use remix_data::SyntheticSpec;
+use remix_ensemble::Voter;
+use remix_faults::{pattern, FaultConfig, FaultType};
+use remix_xai::ExplainerConfig;
+use std::time::Instant;
+
+fn main() {
+    let scale = Scale::from_env();
+    let args: Vec<String> = std::env::args().collect();
+    let study = args
+        .iter()
+        .position(|a| a == "--study")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("all")
+        .to_string();
+    let (train, test) = SyntheticSpec::gtsrb_like()
+        .train_size(scale.train_size)
+        .test_size(scale.test_size)
+        .generate();
+    let pat = pattern::extract(&train, 3, 5);
+    let setting = FaultSetting::Single(FaultConfig::new(FaultType::Mislabelling, 0.3));
+    let mut stack = TrainedStack::train(&train, &pat, &setting, 3, &scale, 100);
+    let mut rows: Vec<Row> = Vec::new();
+    fn run(
+        rows: &mut Vec<Row>,
+        test: &remix_data::Dataset,
+        panel: &str,
+        label: String,
+        builder: RemixBuilder,
+        stack: &mut TrainedStack,
+    ) {
+        let mut voter = RemixVoter::new(builder.build());
+        let t = Instant::now();
+        let (ba, f1) = stack.evaluate_voter(&mut voter, test);
+        let secs = t.elapsed().as_secs_f32();
+        rows.push(Row {
+            panel: panel.into(),
+            setting: label,
+            technique: "ReMIX".into(),
+            ba,
+            f1,
+            std: secs, // the std column doubles as wall-clock seconds here
+        });
+    }
+
+    if study == "all" || study == "alpha" {
+        for alpha in [5.0f32, 10.0, 20.0, 40.0] {
+            run(
+                &mut rows,
+                &test,
+                "abl-alpha",
+                format!("alpha={alpha}"),
+                Remix::builder().alpha(alpha),
+                &mut stack,
+            );
+        }
+    }
+    if study == "all" || study == "weights" {
+        // full Eq. 5
+        run(&mut rows, &test, "abl-weights", "full ω=c·δ·tanh(ασ)".into(), Remix::builder(), &mut stack);
+        // no sparseness term: α huge so tanh saturates to 1 for any σ > 0
+        run(
+            &mut rows,
+            &test,
+            "abl-weights",
+            "no sparseness term".into(),
+            Remix::builder().alpha(1e6),
+            &mut stack,
+        );
+        // sparseness-only penalty off AND diversity neutralized is covered by
+        // the custom voters below
+        rows.extend(weight_term_ablation(&mut stack, &test));
+    }
+    if study == "all" || study == "threshold" {
+        for threshold in [0.5f32, 0.4, 0.34, 0.01] {
+            run(
+                &mut rows,
+                &test,
+                "abl-threshold",
+                format!("majority>{threshold}"),
+                Remix::builder().majority_threshold(threshold),
+                &mut stack,
+            );
+        }
+    }
+    if study == "all" || study == "xai-cost" {
+        for samples in [2usize, 4, 8, 16] {
+            let config = ExplainerConfig {
+                sg_samples: samples,
+                ..ExplainerConfig::default()
+            };
+            run(
+                &mut rows,
+                &test,
+                "abl-xai-cost",
+                format!("SG samples={samples}"),
+                Remix::builder().explainer_config(config),
+                &mut stack,
+            );
+        }
+    }
+    if study == "all" || study == "fast-path" {
+        run(&mut rows, &test, "abl-fastpath", "fast path on".into(), Remix::builder(), &mut stack);
+        run(
+            &mut rows,
+            &test,
+            "abl-fastpath",
+            "fast path off".into(),
+            Remix::builder().fast_path(false),
+            &mut stack,
+        );
+    }
+    println!("(the `std` column reports wall-clock seconds for the full test sweep)\n");
+    print_table(&rows);
+    write_csv("results/ablations.csv", &rows).expect("write results");
+}
+
+/// Custom weight-term ablations that need voters outside the builder's
+/// parameter space: confidence-only and diversity-only voting.
+fn weight_term_ablation(stack: &mut TrainedStack, test: &remix_data::Dataset) -> Vec<Row> {
+    struct TermVoter {
+        remix: Remix,
+        use_conf: bool,
+        use_div: bool,
+    }
+    impl Voter for TermVoter {
+        fn vote(
+            &mut self,
+            ensemble: &mut remix_ensemble::TrainedEnsemble,
+            image: &remix_tensor::Tensor,
+        ) -> remix_ensemble::Prediction {
+            let verdict = self.remix.predict(ensemble, image);
+            if verdict.unanimous {
+                return verdict.prediction;
+            }
+            let weights: Vec<f32> = verdict
+                .details
+                .iter()
+                .map(|d| {
+                    let c = if self.use_conf { d.confidence } else { 1.0 };
+                    let delta = if self.use_div { d.diversity } else { 1.0 };
+                    c * delta * (20.0 * d.sparseness).tanh()
+                })
+                .collect();
+            let total: f32 = weights.iter().sum();
+            let mut tally: std::collections::HashMap<usize, f32> = Default::default();
+            for (d, w) in verdict.details.iter().zip(&weights) {
+                *tally.entry(d.pred).or_insert(0.0) += w;
+            }
+            tally
+                .into_iter()
+                .max_by(|a, b| a.1.total_cmp(&b.1))
+                .map_or(remix_ensemble::Prediction::NoMajority, |(c, w)| {
+                    if total > 0.0 && w > total / 2.0 {
+                        remix_ensemble::Prediction::Decided(c)
+                    } else {
+                        remix_ensemble::Prediction::NoMajority
+                    }
+                })
+        }
+        fn name(&self) -> String {
+            "ReMIX-term".into()
+        }
+    }
+    let mut rows = Vec::new();
+    for (label, use_conf, use_div) in [
+        ("no confidence term", false, true),
+        ("no diversity term", true, false),
+    ] {
+        let mut voter = TermVoter {
+            remix: Remix::builder().keep_feature_matrices(false).build(),
+            use_conf,
+            use_div,
+        };
+        let (ba, f1) = stack.evaluate_voter(&mut voter, test);
+        rows.push(Row {
+            panel: "abl-weights".into(),
+            setting: label.into(),
+            technique: "ReMIX".into(),
+            ba,
+            f1,
+            std: 0.0,
+        });
+    }
+    rows
+}

@@ -1,0 +1,127 @@
+//! Extension experiment (paper Discussion, "Applicability to Other ML Tasks
+//! and Data Modality"): ReMIX on tabular data.
+//!
+//! Three MLPs of different depths are trained on the 16-feature tabular
+//! analogue with 30 % mislabelling. The XAI techniques produce per-feature
+//! influence vectors (the paper's "1-D vectors of influence scores"), and
+//! the same diversity metrics drive ReMIX's weights.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use remix_bench::{print_table, write_csv, Row, Scale};
+use remix_core::{Remix, RemixVoter};
+use remix_data::SyntheticSpec;
+use remix_ensemble::{evaluate, TrainedEnsemble, UniformMajority, Voter};
+use remix_faults::{inject, ConfusionPattern, FaultConfig, FaultType};
+use remix_nn::layers::{Dense, Dropout, Flatten, Relu};
+use remix_nn::{InputSpec, Model, Sequential, Trainer, TrainerConfig};
+use remix_xai::XaiTechnique;
+
+/// An MLP over the 16 tabular features with the given hidden widths.
+fn mlp(hidden: &[usize], classes: usize, dropout: bool, rng: &mut StdRng) -> Sequential {
+    let mut net = Sequential::new();
+    net.push(Flatten::new());
+    let mut dim = 16;
+    for &h in hidden {
+        net.push(Dense::new(dim, h, rng));
+        net.push(Relu::new());
+        if dropout {
+            net.push(Dropout::new(0.3, rng.gen::<u64>()));
+        }
+        dim = h;
+    }
+    net.push(Dense::new(dim, classes, rng));
+    net
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let (train, test) = SyntheticSpec::tabular_like()
+        .train_size(scale.train_size.min(400))
+        .test_size(scale.test_size.min(200))
+        .generate();
+    println!(
+        "tabular analogue: {} training rows, 16 features, {} classes\n",
+        train.len(),
+        train.num_classes
+    );
+    let pattern = ConfusionPattern::uniform(train.num_classes);
+    let mut rng = StdRng::seed_from_u64(5);
+    let faulty = inject(
+        &train,
+        FaultConfig::new(FaultType::Mislabelling, 0.3),
+        &pattern,
+        &mut rng,
+    );
+    let spec = InputSpec {
+        channels: 1,
+        size: 4,
+        num_classes: train.num_classes,
+    };
+    // three MLPs of different shapes = the architecturally-diverse ensemble
+    let configs: [(&str, Vec<usize>, bool); 3] = [
+        ("MLP-wide", vec![32], false),
+        ("MLP-deep", vec![24, 16], false),
+        ("MLP-drop", vec![24], true),
+    ];
+    let models: Vec<Model> = configs
+        .iter()
+        .enumerate()
+        .map(|(i, (name, hidden, dropout))| {
+            let mut model_rng = StdRng::seed_from_u64(i as u64 + 1);
+            let mut model = Model::named(
+                mlp(hidden, train.num_classes, *dropout, &mut model_rng),
+                spec,
+                *name,
+            );
+            Trainer::new(TrainerConfig {
+                epochs: scale.epochs + 6,
+                lr: 0.03,
+                seed: i as u64,
+                ..TrainerConfig::default()
+            })
+            .fit(&mut model, &faulty.dataset.images, &faulty.dataset.labels);
+            model
+        })
+        .collect();
+    let mut ensemble = TrainedEnsemble::new(models);
+    let mut rows = Vec::new();
+    let mut voters: Vec<Box<dyn Voter>> = vec![
+        Box::new(UniformMajority),
+        Box::new(RemixVoter::new(Remix::builder().build())),
+        Box::new(RemixVoter::new(
+            Remix::builder().technique(XaiTechnique::Shap).build(),
+        )),
+    ];
+    for (i, voter) in voters.iter_mut().enumerate() {
+        let eval = evaluate(voter.as_mut(), &mut ensemble, &test);
+        let technique = match i {
+            0 => "UMaj".to_string(),
+            1 => "ReMIX (SG)".to_string(),
+            _ => "ReMIX (SHAP)".to_string(),
+        };
+        rows.push(Row {
+            panel: "ext-tabular".into(),
+            setting: "30% mislabelling".into(),
+            technique,
+            ba: eval.balanced_accuracy,
+            f1: 0.0,
+            std: 0.0,
+        });
+    }
+    print_table(&rows);
+    write_csv("results/ext_tabular.csv", &rows).expect("write results");
+    // show one per-feature influence vector (the 1-D explanation)
+    let remix = Remix::builder().keep_feature_matrices(true).fast_path(false).build();
+    let verdict = remix.predict(&mut ensemble, &test.images[0]);
+    if let Some(d) = verdict.details.first() {
+        let fm = d.feature_matrix.as_ref().expect("kept");
+        let values: Vec<String> = fm.data().iter().map(|v| format!("{v:.2}")).collect();
+        println!(
+            "\nper-feature influence vector of {} (16 features): [{}]",
+            d.name,
+            values.join(", ")
+        );
+    }
+    println!("\nPaper (Discussion): the XAI techniques generalize to tabular data with");
+    println!("1-D influence vectors; the diversity metrics apply unchanged.");
+}

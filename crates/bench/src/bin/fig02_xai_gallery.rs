@@ -1,0 +1,53 @@
+//! Fig. 2: the XAI-technique gallery — all five techniques applied to a
+//! ConvNet trained on the MNIST analogue, rendered as ASCII saliency maps.
+
+use rand::{rngs::StdRng, SeedableRng};
+use remix_bench::{viz, Scale};
+use remix_data::SyntheticSpec;
+use remix_ensemble::train_zoo;
+use remix_nn::Arch;
+use remix_xai::{Explainer, XaiTechnique};
+
+fn main() {
+    let scale = Scale::from_env();
+    let (train, test) = SyntheticSpec::mnist_like()
+        .train_size(scale.train_size.min(500))
+        .test_size(50)
+        .generate();
+    let mut models = train_zoo(&[Arch::ConvNet], &train, scale.epochs, 3);
+    let model = &mut models[0];
+    // find a correctly-classified "4" like the paper (fall back to any hit)
+    let target = test
+        .iter()
+        .find(|(img, l)| *l == 4 && model.predict(img).0 == 4)
+        .or_else(|| {
+            // fall back: first correctly predicted image
+            test.iter().find(|(img, l)| model.predict(img).0 == *l)
+        });
+    let Some((image, label)) = target else {
+        eprintln!("model failed to classify anything; increase REMIX_SCALE");
+        return;
+    };
+    println!(
+        "Fig. 2 — XAI techniques on ConvNet / mnist-like (test digit {label})\n"
+    );
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut panels: Vec<(String, remix_tensor::Tensor)> =
+        vec![("input".into(), image.clone())];
+    for technique in [
+        XaiTechnique::Shap,
+        XaiTechnique::Counterfactual,
+        XaiTechnique::Lime,
+        XaiTechnique::IntegratedGradients,
+        XaiTechnique::SmoothGrad,
+    ] {
+        let m = Explainer::new(technique).explain(model, image, label, &mut rng);
+        panels.push((technique.abbrev().to_string(), m));
+    }
+    let refs: Vec<(&str, &remix_tensor::Tensor)> = panels
+        .iter()
+        .map(|(n, t)| (n.as_str(), t))
+        .collect();
+    println!("{}", viz::ascii_row(&refs));
+    println!("Brighter characters = higher attribution (paper Fig. 2's saliency maps).");
+}

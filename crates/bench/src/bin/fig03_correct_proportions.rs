@@ -1,0 +1,52 @@
+//! Fig. 3: proportion of test inputs correctly classified by 0/1/2/3 of the
+//! best ensemble's constituent models, golden vs 30 % mislabelling.
+//!
+//! The paper's motivating observation: mislabelling inflates the 1-correct
+//! fraction (from ~3 % to ~12 % on GTSRB), which simple majority voting can
+//! never recover.
+
+use rand::{rngs::StdRng, SeedableRng};
+use remix_bench::{FaultSetting, Scale, TrainedStack};
+use remix_data::SyntheticSpec;
+use remix_faults::{pattern, FaultConfig, FaultType};
+
+fn main() {
+    let scale = Scale::from_env();
+    let (train, test) = SyntheticSpec::gtsrb_like()
+        .train_size(scale.train_size)
+        .test_size(scale.test_size)
+        .generate();
+    let pat = pattern::extract(&train, 3, 5);
+    let settings = [
+        ("golden", FaultSetting::Single(FaultConfig::golden())),
+        (
+            "30% mislabelling",
+            FaultSetting::Single(FaultConfig::new(FaultType::Mislabelling, 0.3)),
+        ),
+    ];
+    println!("Fig. 3 — k-correct proportions of the best 3-model ensemble (gtsrb-like)\n");
+    let mut rng = StdRng::seed_from_u64(1);
+    let _ = &mut rng;
+    for (label, setting) in settings {
+        let mut stack = TrainedStack::train(&train, &pat, &setting, 3, &scale, 100);
+        let mut hist = [0usize; 4];
+        for (img, l) in test.iter() {
+            hist[stack.ensemble.count_correct(img, l)] += 1;
+        }
+        let n = test.len() as f32;
+        println!(
+            "{label:<18} ensemble {:?}",
+            stack.ensemble.names()
+        );
+        for (k, count) in hist.iter().enumerate() {
+            let pct = *count as f32 / n * 100.0;
+            println!(
+                "  {k}-correct: {:>5.1}%  {}",
+                pct,
+                "#".repeat((pct / 2.0).round() as usize)
+            );
+        }
+        println!();
+    }
+    println!("Paper: golden 1-correct ≈ 3%, 30% mislabelling 1-correct ≈ 12%.");
+}

@@ -1,0 +1,222 @@
+//! Fig. 7 — the main resilience comparison: BA/F1 of ReMIX vs the seven
+//! baselines across fault amounts, fault types, datasets, combined faults,
+//! and image sizes.
+//!
+//! Usage: `fig07 [--panel a|b|c|d|e|f|g|h|i|j|all]` (default `all`).
+
+use remix_bench::{
+    print_table, run_technique_sweep, write_csv, FaultSetting, Row, Scale, Technique, TrainedStack,
+};
+use remix_data::{Dataset, SyntheticSpec};
+use remix_faults::{pattern, ConfusionPattern, FaultConfig, FaultType};
+
+fn sweep(amounts: &[f32], ty: FaultType) -> Vec<FaultSetting> {
+    amounts
+        .iter()
+        .map(|&a| FaultSetting::Single(FaultConfig::new(ty, a)))
+        .collect()
+}
+
+fn data_and_pattern(spec: SyntheticSpec, scale: &Scale) -> (Dataset, Dataset, ConfusionPattern) {
+    let (train, test) = spec
+        .train_size(scale.train_size)
+        .test_size(scale.test_size)
+        .generate();
+    let pat = pattern::extract(&train, 3, 5);
+    (train, test, pat)
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let args: Vec<String> = std::env::args().collect();
+    let panel = args
+        .iter()
+        .position(|a| a == "--panel")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("all")
+        .to_string();
+    let mut rows: Vec<Row> = Vec::new();
+    let run = |p: &str| panel == "all" || panel == p;
+
+    if run("a") || run("b") {
+        let (train, test, pat) = data_and_pattern(SyntheticSpec::gtsrb_like(), &scale);
+        if run("a") {
+            // Fig 7a: GTSRB-like, mislabelling sweep, all techniques
+            rows.extend(run_technique_sweep(
+                "fig07a",
+                &train,
+                &test,
+                &pat,
+                &sweep(&scale.amounts, FaultType::Mislabelling),
+                &Technique::ALL,
+                3,
+                &scale,
+            ));
+        }
+        if run("b") {
+            // Fig 7b: 1-correct fixed / 2-correct broken proportions at 30%
+            rows.extend(panel_b(&train, &test, &pat, &scale));
+        }
+    }
+    if run("c") {
+        let (train, test, pat) = data_and_pattern(SyntheticSpec::gtsrb_like(), &scale);
+        rows.extend(run_technique_sweep(
+            "fig07c",
+            &train,
+            &test,
+            &pat,
+            &sweep(&scale.amounts, FaultType::Removal),
+            &Technique::ALL,
+            3,
+            &scale,
+        ));
+    }
+    if run("d") {
+        let (train, test, pat) = data_and_pattern(SyntheticSpec::gtsrb_like(), &scale);
+        rows.extend(run_technique_sweep(
+            "fig07d",
+            &train,
+            &test,
+            &pat,
+            &sweep(&scale.amounts, FaultType::Repetition),
+            &Technique::ALL,
+            3,
+            &scale,
+        ));
+    }
+    if run("e") {
+        let (train, test, pat) = data_and_pattern(SyntheticSpec::cifar_like(), &scale);
+        rows.extend(run_technique_sweep(
+            "fig07e",
+            &train,
+            &test,
+            &pat,
+            &sweep(&[0.0, 0.3], FaultType::Mislabelling),
+            &Technique::ALL,
+            3,
+            &scale,
+        ));
+    }
+    if run("f") {
+        let (train, test, pat) = data_and_pattern(SyntheticSpec::pneumonia_like(), &scale);
+        rows.extend(run_technique_sweep(
+            "fig07f",
+            &train,
+            &test,
+            &pat,
+            &sweep(&[0.0, 0.3], FaultType::Mislabelling),
+            &Technique::ALL,
+            3,
+            &scale,
+        ));
+    }
+    if run("g") {
+        let (train, test, pat) = data_and_pattern(SyntheticSpec::gtsrb_like(), &scale);
+        let settings: Vec<FaultSetting> = scale
+            .amounts
+            .iter()
+            .map(|&a| FaultSetting::Combined(a))
+            .collect();
+        rows.extend(run_technique_sweep(
+            "fig07g", &train, &test, &pat, &settings, &Technique::ALL, 3, &scale,
+        ));
+    }
+    if run("h") {
+        let (train, test, pat) = data_and_pattern(SyntheticSpec::pneumonia_like(), &scale);
+        let settings: Vec<FaultSetting> = scale
+            .amounts
+            .iter()
+            .map(|&a| FaultSetting::Combined(a))
+            .collect();
+        rows.extend(run_technique_sweep(
+            "fig07h", &train, &test, &pat, &settings, &Technique::ALL, 3, &scale,
+        ));
+    }
+    if run("i") || run("j") {
+        // image-size effect: 16 px vs 32 px CIFAR-like, ReMIX vs D-WMaj
+        for (p, ty) in [("fig07i", FaultType::Mislabelling), ("fig07j", FaultType::Removal)] {
+            if !run(&p[5..]) {
+                continue;
+            }
+            for size in [16usize, 32] {
+                let (train, test, pat) = data_and_pattern(
+                    SyntheticSpec::cifar_like().image_size(size),
+                    &Scale {
+                        train_size: scale.train_size.min(600),
+                        test_size: scale.test_size.min(120),
+                        ..scale.clone()
+                    },
+                );
+                let mut sub = run_technique_sweep(
+                    &format!("{p}-{size}px"),
+                    &train,
+                    &test,
+                    &pat,
+                    &sweep(&[0.0, 0.3], ty),
+                    &[Technique::DWMaj, Technique::Remix],
+                    3,
+                    &scale,
+                );
+                rows.append(&mut sub);
+            }
+        }
+    }
+    print_table(&rows);
+    write_csv(format!("results/fig07_{panel}.csv"), &rows).expect("write results");
+}
+
+/// Fig. 7b: of the 1-correct cases, how many does each weighted technique
+/// fix; of the 2-correct cases, how many does it break (vs UMaj).
+fn panel_b(
+    train: &Dataset,
+    test: &Dataset,
+    pat: &ConfusionPattern,
+    scale: &Scale,
+) -> Vec<Row> {
+    use remix_core::{Remix, RemixVoter};
+    use remix_ensemble::{StackedDynamic, StaticWeighted, UniformAverage, Voter};
+    let setting = FaultSetting::Single(FaultConfig::new(FaultType::Mislabelling, 0.3));
+    let mut stack = TrainedStack::train(train, pat, &setting, 3, scale, 100);
+    let mut voters: Vec<Box<dyn Voter>> = vec![
+        Box::new(UniformAverage),
+        Box::new(StaticWeighted::fit(&mut stack.ensemble, &stack.validation)),
+        Box::new(StackedDynamic::fit(&mut stack.ensemble, &stack.validation)),
+        Box::new(RemixVoter::new(Remix::builder().build())),
+    ];
+    let mut rows = Vec::new();
+    for voter in &mut voters {
+        let (mut fixed1, mut total1, mut broke2, mut total2) = (0, 0, 0, 0);
+        for (img, l) in test.iter() {
+            let k = stack.ensemble.count_correct(img, l);
+            if k == 1 {
+                total1 += 1;
+                if voter.vote(&mut stack.ensemble, img).is_correct(l) {
+                    fixed1 += 1;
+                }
+            } else if k == 2 {
+                total2 += 1;
+                if !voter.vote(&mut stack.ensemble, img).is_correct(l) {
+                    broke2 += 1;
+                }
+            }
+        }
+        rows.push(Row {
+            panel: "fig07b".into(),
+            setting: "1-correct fixed".into(),
+            technique: voter.name(),
+            ba: fixed1 as f32 / total1.max(1) as f32,
+            f1: 0.0,
+            std: 0.0,
+        });
+        rows.push(Row {
+            panel: "fig07b".into(),
+            setting: "2-correct broken".into(),
+            technique: voter.name(),
+            ba: broke2 as f32 / total2.max(1) as f32,
+            f1: 0.0,
+            std: 0.0,
+        });
+    }
+    rows
+}

@@ -1,0 +1,109 @@
+//! Fig. 11 (RQ5): resilience vs ensemble size (3, 5, 7) under golden and
+//! 30 % mislabelled training, for ReMIX and the voting baselines.
+//!
+//! The 9-model zoo is trained once per fault setting and the size-3/5/7
+//! ensembles are selected from it (as in the paper); only the constructive
+//! baselines (bagging, boosting) retrain per size.
+
+use rand::{rngs::StdRng, SeedableRng};
+use remix_bench::{print_table, write_csv, Row, Scale};
+use remix_core::{Remix, RemixVoter};
+use remix_data::SyntheticSpec;
+use remix_ensemble::{
+    adaboost, bagging, evaluate, select_best_ensemble, train_zoo, StackedDynamic, StaticWeighted,
+    UniformAverage, UniformMajority, Voter,
+};
+use remix_faults::{inject, pattern, FaultConfig, FaultType};
+use remix_nn::state::{load_state, save_state};
+use remix_nn::{zoo, Arch, InputSpec, Model};
+
+fn main() {
+    let scale = Scale::from_env();
+    let (train, test) = SyntheticSpec::gtsrb_like()
+        .train_size(scale.train_size)
+        .test_size(scale.test_size)
+        .generate();
+    let pat = pattern::extract(&train, 3, 5);
+    let spec = InputSpec {
+        channels: train.channels,
+        size: train.size,
+        num_classes: train.num_classes,
+    };
+    let mut rows: Vec<Row> = Vec::new();
+    for (label, amount) in [("golden", 0.0f32), ("30% mislabelling", 0.3)] {
+        let mut rng = StdRng::seed_from_u64(100);
+        let faulty = inject(
+            &train,
+            FaultConfig::new(FaultType::Mislabelling, amount),
+            &pat,
+            &mut rng,
+        );
+        let (_, validation) = faulty.dataset.split(0.15, &mut rng);
+        let mut pool = train_zoo(&Arch::ALL, &faulty.dataset, scale.epochs, 100);
+        let states: Vec<_> = pool.iter_mut().map(save_state).collect();
+        for size in [3usize, 5, 7] {
+            // rebuild the pool from saved states (selection consumes models)
+            let mut models: Vec<Model> = Arch::ALL
+                .iter()
+                .zip(&states)
+                .map(|(&arch, state)| {
+                    let mut m =
+                        Model::named(zoo::build(arch, spec, &mut rng), spec, arch.name());
+                    load_state(&mut m, state).expect("matching architecture");
+                    m
+                })
+                .collect();
+            let chosen_arch0;
+            let mut ensemble = {
+                let (ens, chosen, _) = select_best_ensemble(std::mem::take(&mut models), size, &validation);
+                chosen_arch0 = Arch::ALL[chosen[0]];
+                ens
+            };
+            let mut voters: Vec<Box<dyn Voter>> = vec![
+                Box::new(UniformMajority),
+                Box::new(UniformAverage),
+                Box::new(StaticWeighted::fit(&mut ensemble, &validation)),
+                Box::new(StackedDynamic::fit(&mut ensemble, &validation)),
+                Box::new(RemixVoter::new(Remix::builder().build())),
+            ];
+            for voter in &mut voters {
+                let eval = evaluate(voter.as_mut(), &mut ensemble, &test);
+                rows.push(Row {
+                    panel: format!("fig11-{size}models"),
+                    setting: label.into(),
+                    technique: eval.voter.clone(),
+                    ba: eval.balanced_accuracy,
+                    f1: eval.f1,
+                    std: 0.0,
+                });
+            }
+            // constructive baselines at the same size
+            let mut bag = bagging(chosen_arch0, &faulty.dataset, size, scale.epochs, &mut rng);
+            let eval = evaluate(&mut UniformMajority, &mut bag, &test);
+            rows.push(Row {
+                panel: format!("fig11-{size}models"),
+                setting: label.into(),
+                technique: "Bagging".into(),
+                ba: eval.balanced_accuracy,
+                f1: eval.f1,
+                std: 0.0,
+            });
+            let (mut boosted, mut alpha) =
+                adaboost(chosen_arch0, &faulty.dataset, size, scale.epochs, &mut rng);
+            let eval = evaluate(&mut alpha, &mut boosted, &test);
+            rows.push(Row {
+                panel: format!("fig11-{size}models"),
+                setting: label.into(),
+                technique: "Boosting".into(),
+                ba: eval.balanced_accuracy,
+                f1: eval.f1,
+                std: 0.0,
+            });
+            eprintln!("[fig11] finished size {size} ({label})");
+        }
+    }
+    print_table(&rows);
+    write_csv("results/fig11.csv", &rows).expect("write results");
+    println!("\nPaper: resilience saturates at 5 models; S-WMaj degrades with size;");
+    println!("ReMIX stays the most resilient across sizes.");
+}

@@ -1,0 +1,48 @@
+//! Table II: the dataset inventory — our synthetic analogues with their
+//! sizes, class counts and evaluation metrics.
+
+use remix_bench::Scale;
+use remix_data::SyntheticSpec;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Table II — datasets (synthetic analogues; REMIX_SCALE sizes)\n");
+    println!(
+        "{:<16} {:>8} {:>7} {:>8} {:>8} {:>10} {:<7}",
+        "Name", "Train", "Test", "Classes", "Channels", "Image", "Metric"
+    );
+    let spec_rows = [
+        ("cifar-like", SyntheticSpec::cifar_like(), "BA"),
+        ("gtsrb-like", SyntheticSpec::gtsrb_like(), "BA"),
+        ("pneumonia-like", SyntheticSpec::pneumonia_like(), "F1"),
+        ("mnist-like", SyntheticSpec::mnist_like(), "BA"),
+    ];
+    for (name, spec, metric) in spec_rows {
+        let (train, test) = spec
+            .train_size(scale.train_size.min(600))
+            .test_size(scale.test_size.min(200))
+            .generate();
+        println!(
+            "{:<16} {:>8} {:>7} {:>8} {:>8} {:>7}x{:<3} {:<7}",
+            name,
+            train.len(),
+            test.len(),
+            train.num_classes,
+            train.channels,
+            train.size,
+            train.size,
+            metric
+        );
+    }
+    println!("\nClass balance check (pneumonia-like is imbalanced like the original):");
+    let (p, _) = SyntheticSpec::pneumonia_like().train_size(400).generate();
+    println!("  pneumonia-like class counts: {:?}", p.class_counts());
+    let (g, _) = SyntheticSpec::gtsrb_like().train_size(430).generate();
+    let counts = g.class_counts();
+    println!(
+        "  gtsrb-like classes covered: {}/43 (min {} max {} per class)",
+        counts.iter().filter(|&&c| c > 0).count(),
+        counts.iter().min().unwrap(),
+        counts.iter().max().unwrap()
+    );
+}

@@ -1,0 +1,30 @@
+//! Table III: the nine neural-network architectures, with the scaled
+//! parameter counts of this reproduction.
+
+use rand::{rngs::StdRng, SeedableRng};
+use remix_nn::{zoo, Arch, InputSpec, Layer};
+
+fn main() {
+    println!("Table III — neural network architectures (scaled reproduction)\n");
+    println!(
+        "{:<18} {:>9} {:>8} {:<45}",
+        "Name", "Params", "Layers", "Architecture Summary"
+    );
+    let spec = InputSpec {
+        channels: 3,
+        size: 16,
+        num_classes: 43,
+    };
+    let mut rng = StdRng::seed_from_u64(0);
+    for arch in Arch::ALL {
+        let net = zoo::build(arch, spec, &mut rng);
+        println!(
+            "{:<18} {:>9} {:>8} {:<45}",
+            arch.name(),
+            net.param_count(),
+            net.layer_names().len(),
+            arch.summary()
+        );
+    }
+    println!("\n(Parameter counts are for 3x16x16 inputs, 43 classes — the GTSRB-like spec.)");
+}

@@ -1,0 +1,91 @@
+//! Result rows, console tables and CSV emission.
+
+use serde::{Deserialize, Serialize};
+use std::io::Write;
+use std::path::Path;
+
+/// One measured cell of a figure/table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Row {
+    /// Figure/panel id (e.g. `"fig07a"`).
+    pub panel: String,
+    /// Fault setting label (e.g. `"30% mislabelling"`).
+    pub setting: String,
+    /// Technique label (e.g. `"ReMIX"`).
+    pub technique: String,
+    /// Mean balanced accuracy.
+    pub ba: f32,
+    /// Mean F1 (0 for non-binary datasets).
+    pub f1: f32,
+    /// Standard deviation of BA across seeds.
+    pub std: f32,
+}
+
+/// Prints rows as an aligned console table, grouped by setting.
+pub fn print_table(rows: &[Row]) {
+    if rows.is_empty() {
+        println!("(no rows)");
+        return;
+    }
+    println!(
+        "{:<8} {:<22} {:<10} {:>7} {:>7} {:>7}",
+        "panel", "setting", "technique", "BA", "F1", "std"
+    );
+    let mut last_setting = String::new();
+    for r in rows {
+        if r.setting != last_setting && !last_setting.is_empty() {
+            println!("{}", "-".repeat(66));
+        }
+        last_setting = r.setting.clone();
+        println!(
+            "{:<8} {:<22} {:<10} {:>7.3} {:>7.3} {:>7.3}",
+            r.panel, r.setting, r.technique, r.ba, r.f1, r.std
+        );
+    }
+}
+
+/// Writes rows as CSV under `results/`, creating the directory if needed.
+///
+/// # Errors
+///
+/// Returns any I/O error from creating or writing the file.
+pub fn write_csv(path: impl AsRef<Path>, rows: &[Row]) -> std::io::Result<()> {
+    let path = path.as_ref();
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "panel,setting,technique,ba,f1,std")?;
+    for r in rows {
+        writeln!(
+            f,
+            "{},{},{},{:.4},{:.4},{:.4}",
+            r.panel, r.setting, r.technique, r.ba, r.f1, r.std
+        )?;
+    }
+    eprintln!("wrote {}", path.display());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let rows = vec![Row {
+            panel: "t".into(),
+            setting: "golden".into(),
+            technique: "UMaj".into(),
+            ba: 0.9,
+            f1: 0.0,
+            std: 0.01,
+        }];
+        let path = std::env::temp_dir().join("remix_report_test.csv");
+        write_csv(&path, &rows).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("panel,setting"));
+        assert!(text.contains("UMaj"));
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,217 @@
+//! The experiment pipeline: inject → train zoo → select ensemble → fit
+//! baselines → evaluate all techniques.
+
+use crate::report::Row;
+use crate::Scale;
+use rand::{rngs::StdRng, SeedableRng};
+use remix_core::{Remix, RemixVoter};
+use remix_data::Dataset;
+use remix_ensemble::{
+    adaboost, bagging, evaluate, select_best_ensemble, train_zoo, BestIndividual, StackedDynamic,
+    StaticWeighted, TrainedEnsemble, UniformAverage, UniformMajority, Voter,
+};
+use remix_faults::{inject_multi, ConfusionPattern, FaultConfig, MultiFault};
+use remix_nn::Arch;
+
+/// The eight techniques compared throughout the evaluation (paper §V-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Technique {
+    /// Best individual model.
+    Best,
+    /// Unweighted simple majority.
+    UMaj,
+    /// Uniform average (soft voting).
+    UAvg,
+    /// Static weighted majority.
+    SWMaj,
+    /// Dynamic weighted majority via stacking.
+    DWMaj,
+    /// Bagging (63 % bootstrap, same architecture).
+    Bagging,
+    /// AdaBoost (SAMME).
+    Boosting,
+    /// ReMIX.
+    Remix,
+}
+
+impl Technique {
+    /// All techniques in the paper's legend order.
+    pub const ALL: [Technique; 8] = [
+        Technique::Best,
+        Technique::UMaj,
+        Technique::UAvg,
+        Technique::SWMaj,
+        Technique::DWMaj,
+        Technique::Bagging,
+        Technique::Boosting,
+        Technique::Remix,
+    ];
+
+    /// Legend label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Technique::Best => "Best",
+            Technique::UMaj => "UMaj",
+            Technique::UAvg => "UAvg",
+            Technique::SWMaj => "S-WMaj",
+            Technique::DWMaj => "D-WMaj",
+            Technique::Bagging => "Bagging",
+            Technique::Boosting => "Boosting",
+            Technique::Remix => "ReMIX",
+        }
+    }
+}
+
+/// A fault setting for one experiment cell: either a single configuration or
+/// the combined mislabelling+removal setting of Fig. 7g/h.
+#[derive(Debug, Clone)]
+pub enum FaultSetting {
+    /// One fault type at one amount.
+    Single(FaultConfig),
+    /// Combined mislabelling + removal at equal halves.
+    Combined(f32),
+}
+
+impl FaultSetting {
+    fn to_multi(&self) -> MultiFault {
+        match self {
+            FaultSetting::Single(c) => MultiFault { parts: vec![*c] },
+            FaultSetting::Combined(total) => MultiFault::mislabel_and_removal(*total),
+        }
+    }
+
+    /// Display label for result rows.
+    pub fn label(&self) -> String {
+        match self {
+            FaultSetting::Single(c) => c.to_string(),
+            FaultSetting::Combined(t) => format!("{:.0}% mis+rem", t * 100.0),
+        }
+    }
+}
+
+/// Everything trained for one (dataset, fault setting, seed) cell: the
+/// selected zoo ensemble, its fitted voters, and the constructive baselines.
+pub struct TrainedStack {
+    /// The most resilient size-`k` ensemble from the zoo.
+    pub ensemble: TrainedEnsemble,
+    /// Indices of the chosen zoo architectures.
+    pub chosen: Vec<usize>,
+    /// The validation split used to fit the weighted baselines.
+    pub validation: Dataset,
+    /// Bagging ensemble (same best architecture, bootstrap samples).
+    pub bagged: TrainedEnsemble,
+    /// Boosting ensemble and its SAMME voter.
+    pub boosted: (TrainedEnsemble, remix_ensemble::AlphaWeighted),
+}
+
+impl TrainedStack {
+    /// Trains the full stack for one cell. `ensemble_size` is the paper's
+    /// `k` (3 by default, 5 and 7 for the RQ5 experiment).
+    pub fn train(
+        train: &Dataset,
+        pattern: &ConfusionPattern,
+        setting: &FaultSetting,
+        ensemble_size: usize,
+        scale: &Scale,
+        seed: u64,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let faulty = inject_multi(train, &setting.to_multi(), pattern, &mut rng);
+        let (_, validation) = faulty.dataset.split(0.15, &mut rng);
+        let models = train_zoo(&Arch::ALL, &faulty.dataset, scale.epochs, seed);
+        let (mut ensemble, chosen, _) = select_best_ensemble(models, ensemble_size, &validation);
+        // constructive baselines (bagging/boosting) replicate the single
+        // architecture that is most resilient under this fault configuration
+        let best_in_ensemble = BestIndividual::fit(&mut ensemble, &validation).index();
+        let best_arch = Arch::ALL[chosen[best_in_ensemble]];
+        let bagged = bagging(best_arch, &faulty.dataset, ensemble_size, scale.epochs, &mut rng);
+        let boosted = adaboost(best_arch, &faulty.dataset, ensemble_size, scale.epochs, &mut rng);
+        Self {
+            ensemble,
+            chosen,
+            validation,
+            bagged,
+            boosted,
+        }
+    }
+
+    /// Evaluates one technique on `test`, returning `(BA, F1)`.
+    pub fn evaluate(&mut self, technique: Technique, test: &Dataset) -> (f32, f32) {
+        let eval = match technique {
+            Technique::Best => {
+                let mut v = BestIndividual::fit(&mut self.ensemble, &self.validation);
+                evaluate(&mut v, &mut self.ensemble, test)
+            }
+            Technique::UMaj => evaluate(&mut UniformMajority, &mut self.ensemble, test),
+            Technique::UAvg => evaluate(&mut UniformAverage, &mut self.ensemble, test),
+            Technique::SWMaj => {
+                let mut v = StaticWeighted::fit(&mut self.ensemble, &self.validation);
+                evaluate(&mut v, &mut self.ensemble, test)
+            }
+            Technique::DWMaj => {
+                let mut v = StackedDynamic::fit(&mut self.ensemble, &self.validation);
+                evaluate(&mut v, &mut self.ensemble, test)
+            }
+            Technique::Bagging => evaluate(&mut UniformMajority, &mut self.bagged, test),
+            Technique::Boosting => {
+                let mut v = self.boosted.1.clone();
+                evaluate(&mut v, &mut self.boosted.0, test)
+            }
+            Technique::Remix => {
+                let mut v = RemixVoter::new(Remix::builder().build());
+                evaluate(&mut v, &mut self.ensemble, test)
+            }
+        };
+        (eval.balanced_accuracy, eval.f1)
+    }
+
+    /// Evaluates a custom voter against the selected ensemble.
+    pub fn evaluate_voter(&mut self, voter: &mut dyn Voter, test: &Dataset) -> (f32, f32) {
+        let eval = evaluate(voter, &mut self.ensemble, test);
+        (eval.balanced_accuracy, eval.f1)
+    }
+}
+
+/// Runs the standard 8-technique comparison over `settings`, averaging over
+/// `scale.seeds` repetitions. The workhorse of the Fig. 7 panels.
+pub fn run_technique_sweep(
+    panel: &str,
+    train: &Dataset,
+    test: &Dataset,
+    pattern: &ConfusionPattern,
+    settings: &[FaultSetting],
+    techniques: &[Technique],
+    ensemble_size: usize,
+    scale: &Scale,
+) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for setting in settings {
+        let mut sums: Vec<(f32, f32, Vec<f32>)> =
+            techniques.iter().map(|_| (0.0, 0.0, Vec::new())).collect();
+        for seed in 0..scale.seeds as u64 {
+            let mut stack =
+                TrainedStack::train(train, pattern, setting, ensemble_size, scale, 100 + seed);
+            for (t, acc) in techniques.iter().zip(&mut sums) {
+                let (ba, f1) = stack.evaluate(*t, test);
+                acc.0 += ba;
+                acc.1 += f1;
+                acc.2.push(ba);
+            }
+        }
+        let n = scale.seeds as f32;
+        for (t, (ba_sum, f1_sum, bas)) in techniques.iter().zip(sums) {
+            let mean = ba_sum / n;
+            let std = (bas.iter().map(|b| (b - mean) * (b - mean)).sum::<f32>() / n).sqrt();
+            rows.push(Row {
+                panel: panel.to_string(),
+                setting: setting.label(),
+                technique: t.label().to_string(),
+                ba: mean,
+                f1: f1_sum / n,
+                std,
+            });
+        }
+        eprintln!("[{panel}] finished {}", setting.label());
+    }
+    rows
+}

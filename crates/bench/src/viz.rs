@@ -1,0 +1,107 @@
+//! Terminal rendering of images and feature matrices (the reproduction's
+//! stand-in for the paper's saliency-map figures).
+
+use remix_tensor::Tensor;
+
+const RAMP: &[u8] = b" .:-=+*#%@";
+
+/// Renders a `[H, W]` matrix (or the channel-mean of a `[C, H, W]` image) as
+/// ASCII art, one character per pixel, dark-to-bright.
+pub fn ascii(matrix: &Tensor) -> String {
+    let (h, w, data) = match matrix.rank() {
+        2 => (
+            matrix.shape()[0],
+            matrix.shape()[1],
+            matrix.data().to_vec(),
+        ),
+        3 => {
+            let (c, h, w) = (
+                matrix.shape()[0],
+                matrix.shape()[1],
+                matrix.shape()[2],
+            );
+            let mut mean = vec![0.0f32; h * w];
+            for ci in 0..c {
+                for i in 0..h * w {
+                    mean[i] += matrix.data()[ci * h * w + i] / c as f32;
+                }
+            }
+            (h, w, mean)
+        }
+        _ => return format!("{matrix:?}"),
+    };
+    let lo = data.iter().copied().fold(f32::INFINITY, f32::min);
+    let hi = data.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let range = (hi - lo).max(1e-9);
+    let mut out = String::with_capacity((w + 1) * h);
+    for y in 0..h {
+        for x in 0..w {
+            let v = (data[y * w + x] - lo) / range;
+            let idx = ((v * (RAMP.len() - 1) as f32).round() as usize).min(RAMP.len() - 1);
+            out.push(RAMP[idx] as char);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders several matrices side by side with captions.
+pub fn ascii_row(items: &[(&str, &Tensor)]) -> String {
+    let blocks: Vec<(String, Vec<String>)> = items
+        .iter()
+        .map(|(name, m)| {
+            (
+                name.to_string(),
+                ascii(m).lines().map(String::from).collect(),
+            )
+        })
+        .collect();
+    let height = blocks.iter().map(|(_, b)| b.len()).max().unwrap_or(0);
+    let widths: Vec<usize> = blocks
+        .iter()
+        .map(|(n, b)| b.iter().map(String::len).max().unwrap_or(0).max(n.len()))
+        .collect();
+    let mut out = String::new();
+    for ((name, _), w) in blocks.iter().zip(&widths) {
+        out.push_str(&format!("{name:<w$}  "));
+    }
+    out.push('\n');
+    for row in 0..height {
+        for ((_, block), w) in blocks.iter().zip(&widths) {
+            let line = block.get(row).map(String::as_str).unwrap_or("");
+            out.push_str(&format!("{line:<w$}  "));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascii_renders_gradient() {
+        let m = Tensor::from_vec(vec![0.0, 0.5, 1.0, 0.0], &[2, 2]).unwrap();
+        let art = ascii(&m);
+        assert_eq!(art.lines().count(), 2);
+        assert!(art.contains('@')); // the bright pixel
+        assert!(art.contains(' ')); // the dark pixel
+    }
+
+    #[test]
+    fn ascii_handles_3d_images() {
+        let m = Tensor::ones(&[3, 2, 2]);
+        let art = ascii(&m);
+        assert_eq!(art.lines().count(), 2);
+    }
+
+    #[test]
+    fn ascii_row_aligns_blocks() {
+        let a = Tensor::zeros(&[2, 2]);
+        let b = Tensor::ones(&[2, 2]);
+        let row = ascii_row(&[("a", &a), ("b", &b)]);
+        assert!(row.starts_with("a"));
+        assert_eq!(row.lines().count(), 3);
+    }
+}

@@ -1,0 +1,127 @@
+//! Minimal `--key value` argument parsing (no external dependencies).
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand plus `--key value` options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Args {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    options: HashMap<String, String>,
+}
+
+/// Error produced by [`Args::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// No subcommand given.
+    MissingCommand,
+    /// A `--key` had no value.
+    MissingValue(String),
+    /// A positional argument appeared where an option was expected.
+    UnexpectedPositional(String),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::MissingCommand => write!(f, "missing subcommand"),
+            ParseError::MissingValue(k) => write!(f, "option --{k} is missing its value"),
+            ParseError::UnexpectedPositional(a) => write!(f, "unexpected argument `{a}`"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl Args {
+    /// Parses `args` (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseError`] on malformed input.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, ParseError> {
+        let mut iter = args.into_iter();
+        let command = iter.next().ok_or(ParseError::MissingCommand)?;
+        if command.starts_with("--") {
+            return Err(ParseError::MissingCommand);
+        }
+        let mut options = HashMap::new();
+        while let Some(arg) = iter.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| ParseError::MissingValue(key.to_string()))?;
+                options.insert(key.to_string(), value);
+            } else {
+                return Err(ParseError::UnexpectedPositional(arg));
+            }
+        }
+        Ok(Self { command, options })
+    }
+
+    /// Looks up a string option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// Looks up a string option with a default.
+    pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.get(key).unwrap_or(default)
+    }
+
+    /// Looks up and parses a numeric option with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the option on parse failure.
+    pub fn get_num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("option --{key} has invalid value `{v}`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Result<Args, ParseError> {
+        Args::parse(words.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_command_and_options() {
+        let args = parse(&["train", "--dataset", "gtsrb", "--epochs", "8"]).unwrap();
+        assert_eq!(args.command, "train");
+        assert_eq!(args.get("dataset"), Some("gtsrb"));
+        assert_eq!(args.get_num::<usize>("epochs", 0).unwrap(), 8);
+        assert_eq!(args.get_or("arch", "ConvNet"), "ConvNet");
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert_eq!(parse(&[]).unwrap_err(), ParseError::MissingCommand);
+        assert_eq!(
+            parse(&["--dataset", "x"]).unwrap_err(),
+            ParseError::MissingCommand
+        );
+        assert_eq!(
+            parse(&["train", "--epochs"]).unwrap_err(),
+            ParseError::MissingValue("epochs".into())
+        );
+        assert_eq!(
+            parse(&["train", "stray"]).unwrap_err(),
+            ParseError::UnexpectedPositional("stray".into())
+        );
+    }
+
+    #[test]
+    fn numeric_parse_errors_name_the_option() {
+        let args = parse(&["train", "--epochs", "eight"]).unwrap();
+        let err = args.get_num::<usize>("epochs", 1).unwrap_err();
+        assert!(err.contains("--epochs"));
+    }
+}

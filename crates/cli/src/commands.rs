@@ -1,0 +1,297 @@
+//! The CLI subcommand implementations.
+
+use crate::args::Args;
+use rand::{rngs::StdRng, SeedableRng};
+use remix_core::{Remix, RemixVoter};
+use remix_data::{Dataset, SyntheticSpec};
+use remix_ensemble::{
+    evaluate as run_evaluation, train_zoo, TrainedEnsemble, UniformAverage, UniformMajority,
+    Voter,
+};
+use remix_faults::{inject, pattern, FaultConfig, FaultType};
+use remix_nn::state::{load_state, save_state, ModelState};
+use remix_nn::{zoo, Arch, InputSpec, Model};
+use remix_xai::XaiTechnique;
+use serde::{Deserialize, Serialize};
+
+/// On-disk format: per-model architecture + state dictionary.
+#[derive(Serialize, Deserialize)]
+struct SavedEnsemble {
+    dataset: String,
+    archs: Vec<Arch>,
+    spec: InputSpec,
+    states: Vec<ModelState>,
+}
+
+fn spec_for(name: &str) -> Result<SyntheticSpec, String> {
+    match name {
+        "gtsrb" => Ok(SyntheticSpec::gtsrb_like()),
+        "cifar" => Ok(SyntheticSpec::cifar_like()),
+        "pneumonia" => Ok(SyntheticSpec::pneumonia_like()),
+        "mnist" => Ok(SyntheticSpec::mnist_like()),
+        "tabular" => Ok(SyntheticSpec::tabular_like()),
+        other => Err(format!("unknown dataset `{other}` (try `remix datasets`)")),
+    }
+}
+
+fn arch_by_name(name: &str) -> Result<Arch, String> {
+    Arch::ALL
+        .into_iter()
+        .find(|a| a.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| {
+            let known: Vec<&str> = Arch::ALL.iter().map(|a| a.name()).collect();
+            format!("unknown architecture `{name}` (known: {})", known.join(", "))
+        })
+}
+
+/// `remix datasets`
+pub fn datasets() -> Result<(), String> {
+    println!(
+        "{:<12} {:>8} {:>9} {:>8} {:<30}",
+        "name", "classes", "channels", "size", "analogue of"
+    );
+    let rows = [
+        ("gtsrb", SyntheticSpec::gtsrb_like(), "GTSRB traffic signs"),
+        ("cifar", SyntheticSpec::cifar_like(), "CIFAR-10 objects"),
+        ("pneumonia", SyntheticSpec::pneumonia_like(), "Pneumonia chest X-rays"),
+        ("mnist", SyntheticSpec::mnist_like(), "MNIST digits"),
+        ("tabular", SyntheticSpec::tabular_like(), "tabular features (Discussion)"),
+    ];
+    for (name, s, analogue) in rows {
+        let (train, _) = s.train_size(8).test_size(4).generate();
+        println!(
+            "{:<12} {:>8} {:>9} {:>5}x{:<3} {:<30}",
+            name, train.num_classes, train.channels, train.size, train.size, analogue
+        );
+    }
+    Ok(())
+}
+
+fn load_dataset(args: &Args) -> Result<(Dataset, Dataset), String> {
+    let name = args
+        .get("dataset")
+        .ok_or("missing --dataset (try `remix datasets`)")?;
+    let mut spec = spec_for(name)?;
+    if let Some(n) = args.get("train") {
+        spec = spec.train_size(n.parse().map_err(|_| "--train must be a number")?);
+    }
+    if let Some(n) = args.get("test") {
+        spec = spec.test_size(n.parse().map_err(|_| "--test must be a number")?);
+    }
+    Ok(spec.seed(args.get_num("seed", 0u64)?).generate())
+}
+
+/// `remix train`
+pub fn train(args: &Args) -> Result<(), String> {
+    let (train_set, _) = load_dataset(args)?;
+    let archs: Vec<Arch> = args
+        .get_or("archs", "ConvNet,ResNet18,MobileNet")
+        .split(',')
+        .map(arch_by_name)
+        .collect::<Result<_, _>>()?;
+    let epochs = args.get_num("epochs", 8usize)?;
+    let seed = args.get_num("seed", 0u64)?;
+    let mislabel: f32 = args.get_num("mislabel", 0.0f32)?;
+    let removal: f32 = args.get_num("removal", 0.0f32)?;
+    let mut dataset = train_set;
+    let mut rng = StdRng::seed_from_u64(seed);
+    if mislabel > 0.0 {
+        let pat = pattern::extract(&dataset, 3, seed);
+        dataset = inject(
+            &dataset,
+            FaultConfig::new(FaultType::Mislabelling, mislabel),
+            &pat,
+            &mut rng,
+        )
+        .dataset;
+        println!("injected {:.0}% asymmetric mislabelling", mislabel * 100.0);
+    }
+    if removal > 0.0 {
+        let pat = remix_faults::ConfusionPattern::uniform(dataset.num_classes);
+        dataset = inject(
+            &dataset,
+            FaultConfig::new(FaultType::Removal, removal),
+            &pat,
+            &mut rng,
+        )
+        .dataset;
+        println!("removed {:.0}% of training samples", removal * 100.0);
+    }
+    println!(
+        "training {:?} on {} samples for {epochs} epochs…",
+        archs.iter().map(|a| a.name()).collect::<Vec<_>>(),
+        dataset.len()
+    );
+    let mut models = train_zoo(&archs, &dataset, epochs, seed);
+    let spec = InputSpec {
+        channels: dataset.channels,
+        size: dataset.size,
+        num_classes: dataset.num_classes,
+    };
+    let saved = SavedEnsemble {
+        dataset: args.get("dataset").unwrap_or_default().to_string(),
+        archs,
+        spec,
+        states: models.iter_mut().map(save_state).collect(),
+    };
+    let out = args.get_or("out", "ensemble.json");
+    let json = serde_json::to_string(&saved).map_err(|e| e.to_string())?;
+    std::fs::write(out, json).map_err(|e| format!("writing {out}: {e}"))?;
+    println!("saved ensemble to {out}");
+    Ok(())
+}
+
+fn load_ensemble(args: &Args) -> Result<(TrainedEnsemble, SavedEnsemble), String> {
+    let path = args.get("ensemble").ok_or("missing --ensemble <path>")?;
+    let json = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let saved: SavedEnsemble = serde_json::from_str(&json).map_err(|e| e.to_string())?;
+    let mut rng = StdRng::seed_from_u64(0);
+    let models: Result<Vec<Model>, String> = saved
+        .archs
+        .iter()
+        .zip(&saved.states)
+        .map(|(&arch, state)| {
+            let mut model = Model::named(zoo::build(arch, saved.spec, &mut rng), saved.spec, arch.name());
+            load_state(&mut model, state).map_err(|e| e.to_string())?;
+            Ok(model)
+        })
+        .collect();
+    Ok((TrainedEnsemble::new(models?), saved))
+}
+
+/// `remix evaluate`
+pub fn evaluate(args: &Args) -> Result<(), String> {
+    let (_, test) = load_dataset(args)?;
+    let (mut ensemble, saved) = load_ensemble(args)?;
+    println!(
+        "evaluating {:?} (trained on `{}`) over {} test inputs",
+        ensemble.names(),
+        saved.dataset,
+        test.len()
+    );
+    let which = args.get_or("voter", "all");
+    let mut voters: Vec<Box<dyn Voter>> = Vec::new();
+    if which == "all" || which == "umaj" {
+        voters.push(Box::new(UniformMajority));
+    }
+    if which == "all" || which == "uavg" {
+        voters.push(Box::new(UniformAverage));
+    }
+    if which == "all" || which == "remix" {
+        voters.push(Box::new(RemixVoter::new(Remix::builder().build())));
+    }
+    if voters.is_empty() {
+        return Err(format!("unknown voter `{which}` (umaj|uavg|remix|all)"));
+    }
+    println!("{:<8} {:>8} {:>8} {:>8}", "voter", "BA", "F1", "acc");
+    for voter in &mut voters {
+        let eval = run_evaluation(voter.as_mut(), &mut ensemble, &test);
+        println!(
+            "{:<8} {:>8.3} {:>8.3} {:>8.3}",
+            eval.voter, eval.balanced_accuracy, eval.f1, eval.accuracy
+        );
+    }
+    Ok(())
+}
+
+
+
+/// `remix explain`
+pub fn explain(args: &Args) -> Result<(), String> {
+    let (_, test) = load_dataset(args)?;
+    let (mut ensemble, _) = load_ensemble(args)?;
+    let index: usize = args.get_num("index", 0usize)?;
+    if index >= test.len() {
+        return Err(format!("--index {index} out of range ({} test inputs)", test.len()));
+    }
+    let technique = match args.get_or("technique", "SG").to_uppercase().as_str() {
+        "SG" => XaiTechnique::SmoothGrad,
+        "IG" => XaiTechnique::IntegratedGradients,
+        "SHAP" => XaiTechnique::Shap,
+        "LIME" => XaiTechnique::Lime,
+        "CFE" => XaiTechnique::Counterfactual,
+        "NG" => XaiTechnique::NoiseGrad,
+        "FG" => XaiTechnique::FusionGrad,
+        other => return Err(format!("unknown technique `{other}`")),
+    };
+    let image = &test.images[index];
+    let label = test.labels[index];
+    let remix = Remix::builder()
+        .technique(technique)
+        .keep_feature_matrices(true)
+        .fast_path(false)
+        .build();
+    let verdict = remix.predict(&mut ensemble, image);
+    println!("test input {index} (true label {label}), technique {technique}:");
+    for d in &verdict.details {
+        println!(
+            "\n{} predicts {} (c={:.2}, δ={:.3}, σ={:.2}, ω={:.4})",
+            d.name, d.pred, d.confidence, d.diversity, d.sparseness, d.weight
+        );
+        let matrix = d.feature_matrix.as_ref().expect("matrices kept");
+        print!("{}", render_ascii(matrix));
+    }
+    println!("\nReMIX verdict: {:?}", verdict.prediction);
+    Ok(())
+}
+
+fn render_ascii(matrix: &remix_tensor::Tensor) -> String {
+    const RAMP: &[u8] = b" .:-=+*#%@";
+    let (h, w) = (matrix.shape()[0], matrix.shape()[1]);
+    let mut out = String::new();
+    for y in 0..h {
+        for x in 0..w {
+            let v = matrix.at(&[y, x]).clamp(0.0, 1.0);
+            out.push(RAMP[((v * 9.0).round() as usize).min(9)] as char);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_lookup_covers_all_names() {
+        for name in ["gtsrb", "cifar", "pneumonia", "mnist", "tabular"] {
+            assert!(spec_for(name).is_ok(), "{name}");
+        }
+        assert!(spec_for("imagenet").is_err());
+    }
+
+    #[test]
+    fn arch_lookup_is_case_insensitive() {
+        assert_eq!(arch_by_name("convnet").unwrap(), Arch::ConvNet);
+        assert_eq!(arch_by_name("VGG11").unwrap(), Arch::Vgg11);
+        assert!(arch_by_name("transformer").is_err());
+    }
+
+    #[test]
+    fn train_then_evaluate_roundtrip_via_file() {
+        let dir = std::env::temp_dir().join("remix_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("ens.json");
+        let out_str = out.to_str().unwrap().to_string();
+        let train_args = Args::parse(
+            [
+                "train", "--dataset", "mnist", "--archs", "ConvNet", "--epochs", "2", "--train",
+                "60", "--out", &out_str,
+            ]
+            .map(String::from),
+        )
+        .unwrap();
+        train(&train_args).unwrap();
+        let eval_args = Args::parse(
+            [
+                "evaluate", "--dataset", "mnist", "--ensemble", &out_str, "--test", "10",
+                "--voter", "umaj",
+            ]
+            .map(String::from),
+        )
+        .unwrap();
+        evaluate(&eval_args).unwrap();
+        std::fs::remove_file(out).ok();
+    }
+}

@@ -1,0 +1,68 @@
+//! `remix` — command-line interface for the ReMIX reproduction.
+//!
+//! ```text
+//! remix datasets
+//! remix train    --dataset gtsrb --archs ConvNet,ResNet18,MobileNet \
+//!                --mislabel 0.3 --epochs 8 --out ensemble.json
+//! remix evaluate --dataset gtsrb --ensemble ensemble.json [--voter remix|umaj|uavg]
+//! remix explain  --dataset gtsrb --ensemble ensemble.json --index 3 --technique SG
+//! ```
+//!
+//! Trained ensembles are stored as JSON state dictionaries
+//! (`remix_nn::state`), so evaluation and explanation runs don't retrain.
+
+mod args;
+mod commands;
+
+use args::Args;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+remix — ReMIX reproduction CLI
+
+USAGE:
+  remix datasets
+      List the synthetic dataset families and their shapes.
+  remix train --dataset <gtsrb|cifar|pneumonia|mnist|tabular> [options]
+      Train an ensemble (optionally on fault-injected data) and save it.
+      --archs    comma list of zoo architectures  [ConvNet,ResNet18,MobileNet]
+      --epochs   training epochs                  [8]
+      --mislabel fraction of labels to corrupt    [0.0]
+      --removal  fraction of samples to remove    [0.0]
+      --train    training-set size                [dataset default]
+      --seed     RNG seed                         [0]
+      --out      output JSON path                 [ensemble.json]
+  remix evaluate --dataset <name> --ensemble <path> [--voter <name>] [--test <n>]
+      Evaluate a saved ensemble. Voters: umaj, uavg, remix (default: all).
+  remix explain --dataset <name> --ensemble <path> [--index <i>] [--technique <SG|IG|SHAP|LIME|CFE>]
+      Render each model's feature matrix for one test input.
+";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() || argv[0] == "--help" || argv[0] == "help" {
+        print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let args = match Args::parse(argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match args.command.as_str() {
+        "datasets" => commands::datasets(),
+        "train" => commands::train(&args),
+        "evaluate" => commands::evaluate(&args),
+        "explain" => commands::explain(&args),
+        other => Err(format!("unknown subcommand `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

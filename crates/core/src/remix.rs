@@ -1,0 +1,397 @@
+use crate::verdict::{ModelDetail, RemixVerdict, StageTimings};
+use rand::{rngs::StdRng, SeedableRng};
+use remix_diversity::{sparseness_with_threshold, DiversityMetric};
+use remix_ensemble::{Prediction, TrainedEnsemble};
+use remix_tensor::Tensor;
+use remix_xai::{Explainer, ExplainerConfig, XaiTechnique};
+use std::time::Instant;
+
+/// The ReMIX meta-learner (paper §IV): XAI technique + diversity metric +
+/// weight-generation parameters.
+///
+/// Built via [`Remix::builder`]. The paper's preferred configuration —
+/// Smooth Gradients, Cosine Distance, α = 20 — is the default.
+#[derive(Debug, Clone)]
+pub struct Remix {
+    explainer: Explainer,
+    metric: DiversityMetric,
+    alpha: f32,
+    sparseness_threshold: f32,
+    majority_threshold: f32,
+    keep_feature_matrices: bool,
+    fast_path: bool,
+    seed: u64,
+}
+
+impl Remix {
+    /// Starts building a ReMIX instance.
+    pub fn builder() -> RemixBuilder {
+        RemixBuilder::default()
+    }
+
+    /// The configured XAI technique.
+    pub fn technique(&self) -> XaiTechnique {
+        self.explainer.technique
+    }
+
+    /// The configured diversity metric.
+    pub fn metric(&self) -> DiversityMetric {
+        self.metric
+    }
+
+    /// Runs the five-component ReMIX pipeline on one input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ensemble is empty or the image does not match the
+    /// models' input spec.
+    pub fn predict(&self, ensemble: &mut TrainedEnsemble, image: &Tensor) -> RemixVerdict {
+        let mut timings = StageTimings::default();
+        let t0 = Instant::now();
+        let outputs = ensemble.outputs(image);
+        timings.prediction = t0.elapsed();
+        // Fast path: when every model predicts the same label the ensemble
+        // has no influence, so ReMIX outputs it directly (paper §IV).
+        let first = outputs[0].pred;
+        if self.fast_path && outputs.iter().all(|o| o.pred == first) {
+            return RemixVerdict {
+                prediction: Prediction::Decided(first),
+                unanimous: true,
+                details: Vec::new(),
+                timings,
+            };
+        }
+        // (1) Feature Space Extraction
+        let t1 = Instant::now();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let matrices: Vec<Tensor> = ensemble
+            .models
+            .iter_mut()
+            .zip(&outputs)
+            .map(|(model, out)| self.explainer.explain(model, image, out.pred, &mut rng))
+            .collect();
+        timings.xai = t1.elapsed();
+        let t2 = Instant::now();
+        // (2) Feature-space Diversity: mean pairwise diversity per model
+        let n = matrices.len();
+        let mut diversity = vec![0.0f32; n];
+        if n > 1 {
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let d = self.metric.diversity(&matrices[i], &matrices[j]);
+                    diversity[i] += d;
+                    diversity[j] += d;
+                }
+            }
+            for d in &mut diversity {
+                *d /= (n - 1) as f32;
+            }
+        }
+        // (3) Feature Sparseness, (4) Weight Generation (Eq. 5)
+        let mut details = Vec::with_capacity(n);
+        for ((model, out), (matrix, &delta)) in ensemble
+            .models
+            .iter()
+            .zip(&outputs)
+            .zip(matrices.iter().zip(&diversity))
+        {
+            let sigma = sparseness_with_threshold(matrix, self.sparseness_threshold);
+            let weight = out.confidence * delta * (self.alpha * sigma).tanh();
+            details.push(ModelDetail {
+                name: model.name.clone(),
+                pred: out.pred,
+                confidence: out.confidence,
+                diversity: delta,
+                sparseness: sigma,
+                weight,
+                feature_matrix: self.keep_feature_matrices.then(|| matrix.clone()),
+            });
+        }
+        // (5) Weighted Majority Voting with the 50% threshold
+        let total: f32 = details.iter().map(|d| d.weight).sum();
+        let mut tally: std::collections::HashMap<usize, f32> = std::collections::HashMap::new();
+        for d in &details {
+            *tally.entry(d.pred).or_insert(0.0) += d.weight;
+        }
+        let prediction = tally
+            .into_iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1).then(b.0.cmp(&a.0)))
+            .map_or(Prediction::NoMajority, |(class, weight)| {
+                if total > 0.0 && weight > self.majority_threshold * total {
+                    Prediction::Decided(class)
+                } else {
+                    Prediction::NoMajority
+                }
+            });
+        timings.weighting = t2.elapsed();
+        RemixVerdict {
+            prediction,
+            unanimous: false,
+            details,
+            timings,
+        }
+    }
+}
+
+impl Default for Remix {
+    fn default() -> Self {
+        Remix::builder().build()
+    }
+}
+
+/// Builder for [`Remix`].
+///
+/// # Example
+///
+/// ```
+/// use remix_core::Remix;
+/// use remix_diversity::DiversityMetric;
+/// use remix_xai::XaiTechnique;
+///
+/// let remix = Remix::builder()
+///     .technique(XaiTechnique::Shap)
+///     .metric(DiversityMetric::RSquared)
+///     .alpha(10.0)
+///     .build();
+/// assert_eq!(remix.technique(), XaiTechnique::Shap);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RemixBuilder {
+    technique: XaiTechnique,
+    explainer_config: ExplainerConfig,
+    metric: DiversityMetric,
+    alpha: f32,
+    sparseness_threshold: f32,
+    majority_threshold: f32,
+    keep_feature_matrices: bool,
+    fast_path: bool,
+    seed: u64,
+}
+
+impl Default for RemixBuilder {
+    fn default() -> Self {
+        Self {
+            technique: XaiTechnique::SmoothGrad,
+            explainer_config: ExplainerConfig::default(),
+            metric: DiversityMetric::CosineDistance,
+            alpha: 20.0,
+            // The paper counts entries below 0.01 as zero. Our feature
+            // matrices are min-max normalized with a higher noise floor than
+            // the authors' full-scale saliency maps, so the equivalent
+            // "near-zero" cut sits at 0.2 of the max (see DESIGN.md §3);
+            // with it, tanh(20σ) saturates for focused maps and only
+            // penalizes extremely dense ones, as intended.
+            sparseness_threshold: 0.2,
+            majority_threshold: 0.5,
+            keep_feature_matrices: false,
+            fast_path: true,
+            seed: 0,
+        }
+    }
+}
+
+impl RemixBuilder {
+    /// Sets the XAI technique (default: Smooth Gradients, per RQ3).
+    pub fn technique(mut self, technique: XaiTechnique) -> Self {
+        self.technique = technique;
+        self
+    }
+
+    /// Sets the XAI technique parameters.
+    pub fn explainer_config(mut self, config: ExplainerConfig) -> Self {
+        self.explainer_config = config;
+        self
+    }
+
+    /// Sets the diversity metric (default: Cosine Distance, per RQ4).
+    pub fn metric(mut self, metric: DiversityMetric) -> Self {
+        self.metric = metric;
+        self
+    }
+
+    /// Sets the sparseness activation steepness α (default 20, so only
+    /// extremely unfocused explanations are penalized).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `alpha > 0`.
+    pub fn alpha(mut self, alpha: f32) -> Self {
+        assert!(alpha > 0.0, "alpha must be positive");
+        self.alpha = alpha;
+        self
+    }
+
+    /// Sets the near-zero threshold for sparseness (default 0.2 of the
+    /// normalized matrix maximum; the paper's 0.01 assumes unnormalized
+    /// saliency scales).
+    pub fn sparseness_threshold(mut self, threshold: f32) -> Self {
+        self.sparseness_threshold = threshold;
+        self
+    }
+
+    /// Sets the majority threshold (default 0.5: a class must carry more
+    /// than half the total weight).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= threshold < 1.0`.
+    pub fn majority_threshold(mut self, threshold: f32) -> Self {
+        assert!((0.0..1.0).contains(&threshold));
+        self.majority_threshold = threshold;
+        self
+    }
+
+    /// Keeps each model's feature matrix in the verdict (for visualization;
+    /// costs memory).
+    pub fn keep_feature_matrices(mut self, keep: bool) -> Self {
+        self.keep_feature_matrices = keep;
+        self
+    }
+
+    /// Enables/disables the unanimous fast path (default on; the ablation
+    /// benchmark turns it off).
+    pub fn fast_path(mut self, enabled: bool) -> Self {
+        self.fast_path = enabled;
+        self
+    }
+
+    /// Seeds the stochastic XAI techniques (default 0; ReMIX predictions are
+    /// deterministic given the seed).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Finalizes the ReMIX instance.
+    pub fn build(self) -> Remix {
+        Remix {
+            explainer: Explainer::with_config(self.technique, self.explainer_config),
+            metric: self.metric,
+            alpha: self.alpha,
+            sparseness_threshold: self.sparseness_threshold,
+            majority_threshold: self.majority_threshold,
+            keep_feature_matrices: self.keep_feature_matrices,
+            fast_path: self.fast_path,
+            seed: self.seed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remix_data::SyntheticSpec;
+    use remix_ensemble::train_zoo;
+    use remix_nn::Arch;
+
+    fn small_ensemble() -> (TrainedEnsemble, remix_data::Dataset) {
+        let (train, test) = SyntheticSpec::mnist_like()
+            .train_size(150)
+            .test_size(30)
+            .generate();
+        let models = train_zoo(
+            &[Arch::ConvNet, Arch::DeconvNet, Arch::MobileNet],
+            &train,
+            6,
+            42,
+        );
+        (TrainedEnsemble::new(models), test)
+    }
+
+    #[test]
+    fn fast_path_on_unanimity() {
+        let (mut ens, test) = small_ensemble();
+        // find an input all three agree on
+        for (img, _) in test.iter() {
+            let outs = ens.outputs(img);
+            if outs.iter().all(|o| o.pred == outs[0].pred) {
+                let verdict = Remix::builder().build().predict(&mut ens, img);
+                assert!(verdict.unanimous);
+                assert_eq!(verdict.prediction, Prediction::Decided(outs[0].pred));
+                assert!(verdict.details.is_empty());
+                assert_eq!(verdict.timings.xai.as_nanos(), 0);
+                return;
+            }
+        }
+        panic!("no unanimous test input found");
+    }
+
+    #[test]
+    fn disagreement_produces_full_details() {
+        let (mut ens, test) = small_ensemble();
+        let remix = Remix::builder().keep_feature_matrices(true).build();
+        for (img, _) in test.iter() {
+            let outs = ens.outputs(img);
+            if !outs.iter().all(|o| o.pred == outs[0].pred) {
+                let verdict = remix.predict(&mut ens, img);
+                assert!(!verdict.unanimous);
+                assert_eq!(verdict.details.len(), 3);
+                for d in &verdict.details {
+                    assert!(d.weight >= 0.0, "weight {}", d.weight);
+                    assert!((0.0..=1.0).contains(&d.sparseness));
+                    assert!(d.diversity >= 0.0);
+                    assert!(d.feature_matrix.is_some());
+                }
+                assert!(verdict.timings.xai.as_nanos() > 0);
+                return;
+            }
+        }
+        panic!("no disagreeing test input found");
+    }
+
+    #[test]
+    fn weight_formula_matches_eq5() {
+        let (mut ens, test) = small_ensemble();
+        let alpha = 20.0f32;
+        let remix = Remix::builder().alpha(alpha).build();
+        for (img, _) in test.iter() {
+            let outs = ens.outputs(img);
+            if !outs.iter().all(|o| o.pred == outs[0].pred) {
+                let verdict = remix.predict(&mut ens, img);
+                for d in &verdict.details {
+                    let expected = d.confidence * d.diversity * (alpha * d.sparseness).tanh();
+                    assert!((d.weight - expected).abs() < 1e-5);
+                }
+                return;
+            }
+        }
+        panic!("no disagreeing test input found");
+    }
+
+    #[test]
+    fn predictions_are_deterministic_per_seed() {
+        let (mut ens, test) = small_ensemble();
+        let remix = Remix::builder().seed(5).build();
+        let img = &test.images[0];
+        let a = remix.predict(&mut ens, img).prediction;
+        let b = remix.predict(&mut ens, img).prediction;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn disabling_fast_path_always_runs_xai() {
+        let (mut ens, test) = small_ensemble();
+        let remix = Remix::builder().fast_path(false).build();
+        let verdict = remix.predict(&mut ens, &test.images[0]);
+        assert!(!verdict.unanimous);
+        assert_eq!(verdict.details.len(), 3);
+    }
+
+    #[test]
+    fn builder_validates_parameters() {
+        let r = Remix::builder()
+            .technique(XaiTechnique::IntegratedGradients)
+            .metric(DiversityMetric::Wasserstein)
+            .alpha(5.0)
+            .majority_threshold(0.4)
+            .build();
+        assert_eq!(r.technique(), XaiTechnique::IntegratedGradients);
+        assert_eq!(r.metric(), DiversityMetric::Wasserstein);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be positive")]
+    fn rejects_nonpositive_alpha() {
+        Remix::builder().alpha(0.0);
+    }
+}

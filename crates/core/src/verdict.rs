@@ -1,0 +1,71 @@
+use remix_ensemble::Prediction;
+use remix_tensor::Tensor;
+use std::time::Duration;
+
+/// Per-model evidence ReMIX used for one input.
+#[derive(Debug, Clone)]
+pub struct ModelDetail {
+    /// Model display name.
+    pub name: String,
+    /// The model's predicted class.
+    pub pred: usize,
+    /// Prediction confidence `cᵢ`.
+    pub confidence: f32,
+    /// Mean pairwise feature-space diversity `δᵢ`.
+    pub diversity: f32,
+    /// Feature sparseness `σᵢ`.
+    pub sparseness: f32,
+    /// Final voting weight `ωᵢ = cᵢ·δᵢ·tanh(α·σᵢ)`.
+    pub weight: f32,
+    /// The model's XAI feature matrix (kept only when the builder enables
+    /// [`keep_feature_matrices`](crate::RemixBuilder::keep_feature_matrices)).
+    pub feature_matrix: Option<Tensor>,
+}
+
+/// Wall-clock breakdown of one ReMIX inference (paper RQ2 reports the XAI
+/// stage dominating at ~67 %).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageTimings {
+    /// Running the constituent models.
+    pub prediction: Duration,
+    /// Feature-space extraction (XAI), zero on the unanimous fast path.
+    pub xai: Duration,
+    /// Diversity + sparseness + weight generation + voting.
+    pub weighting: Duration,
+}
+
+impl StageTimings {
+    /// Total inference time.
+    pub fn total(&self) -> Duration {
+        self.prediction + self.xai + self.weighting
+    }
+}
+
+/// The full outcome of one ReMIX inference.
+#[derive(Debug, Clone)]
+pub struct RemixVerdict {
+    /// The ensemble decision (a plurality below the majority threshold is
+    /// [`Prediction::NoMajority`]).
+    pub prediction: Prediction,
+    /// Whether the unanimous fast path was taken (no XAI run).
+    pub unanimous: bool,
+    /// Per-model evidence (empty on the fast path).
+    pub details: Vec<ModelDetail>,
+    /// Stage timing breakdown.
+    pub timings: StageTimings,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timings_total_sums_stages() {
+        let t = StageTimings {
+            prediction: Duration::from_millis(10),
+            xai: Duration::from_millis(60),
+            weighting: Duration::from_millis(5),
+        };
+        assert_eq!(t.total(), Duration::from_millis(75));
+    }
+}

@@ -1,0 +1,66 @@
+use crate::Remix;
+use remix_ensemble::{Prediction, TrainedEnsemble, Voter};
+use remix_tensor::Tensor;
+
+/// Adapter that lets ReMIX plug into the `remix-ensemble` evaluation harness
+/// exactly like the seven baselines.
+#[derive(Debug, Clone, Default)]
+pub struct RemixVoter {
+    remix: Remix,
+}
+
+impl RemixVoter {
+    /// Wraps a configured [`Remix`] instance.
+    pub fn new(remix: Remix) -> Self {
+        Self { remix }
+    }
+
+    /// The wrapped instance.
+    pub fn remix(&self) -> &Remix {
+        &self.remix
+    }
+}
+
+impl From<Remix> for RemixVoter {
+    fn from(remix: Remix) -> Self {
+        Self::new(remix)
+    }
+}
+
+impl Voter for RemixVoter {
+    fn vote(&mut self, ensemble: &mut TrainedEnsemble, image: &Tensor) -> Prediction {
+        self.remix.predict(ensemble, image).prediction
+    }
+
+    fn name(&self) -> String {
+        "ReMIX".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remix_data::SyntheticSpec;
+    use remix_ensemble::{evaluate, train_zoo};
+    use remix_nn::Arch;
+
+    #[test]
+    fn remix_voter_integrates_with_evaluation_harness() {
+        let (train, test) = SyntheticSpec::mnist_like()
+            .train_size(150)
+            .test_size(20)
+            .generate();
+        let models = train_zoo(
+            &[Arch::ConvNet, Arch::DeconvNet, Arch::MobileNet],
+            &train,
+            6,
+            3,
+        );
+        let mut ens = TrainedEnsemble::new(models);
+        let mut voter = RemixVoter::new(Remix::builder().build());
+        let eval = evaluate(&mut voter, &mut ens, &test);
+        assert_eq!(eval.voter, "ReMIX");
+        assert_eq!(eval.predictions.len(), 20);
+        assert!(eval.balanced_accuracy > 0.3, "BA {}", eval.balanced_accuracy);
+    }
+}

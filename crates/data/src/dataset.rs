@@ -1,0 +1,178 @@
+use rand::{seq::SliceRandom, Rng};
+use remix_tensor::Tensor;
+
+/// A labelled image-classification dataset.
+///
+/// Images are `[C, H, W]` tensors with values in roughly `[0, 1]`; labels are
+/// class indices in `0..num_classes`.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// The images, each `[channels, size, size]`.
+    pub images: Vec<Tensor>,
+    /// Class index per image.
+    pub labels: Vec<usize>,
+    /// Number of label classes.
+    pub num_classes: usize,
+    /// Image channels.
+    pub channels: usize,
+    /// Image side length.
+    pub size: usize,
+    /// Human-readable dataset name (e.g. `"gtsrb-like"`).
+    pub name: String,
+}
+
+impl Dataset {
+    /// Creates a dataset after validating that images and labels agree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ or any label is out of range.
+    pub fn new(
+        images: Vec<Tensor>,
+        labels: Vec<usize>,
+        num_classes: usize,
+        channels: usize,
+        size: usize,
+        name: impl Into<String>,
+    ) -> Self {
+        assert_eq!(images.len(), labels.len(), "images/labels length mismatch");
+        assert!(
+            labels.iter().all(|&l| l < num_classes),
+            "label out of range"
+        );
+        Self {
+            images,
+            labels,
+            num_classes,
+            channels,
+            size,
+            name: name.into(),
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.images.len()
+    }
+
+    /// Whether the dataset has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.images.is_empty()
+    }
+
+    /// Iterates over `(image, label)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&Tensor, usize)> {
+        self.images.iter().zip(self.labels.iter().copied())
+    }
+
+    /// Per-class sample counts.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_classes];
+        for &l in &self.labels {
+            counts[l] += 1;
+        }
+        counts
+    }
+
+    /// Extracts the samples at `indices` (duplicates allowed — used by
+    /// bootstrap sampling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            images: indices.iter().map(|&i| self.images[i].clone()).collect(),
+            labels: indices.iter().map(|&i| self.labels[i]).collect(),
+            num_classes: self.num_classes,
+            channels: self.channels,
+            size: self.size,
+            name: self.name.clone(),
+        }
+    }
+
+    /// Splits off the last `frac` of a shuffled copy as a held-out set,
+    /// returning `(rest, held_out)`. Used to carve validation splits for the
+    /// statically- and dynamically-weighted baselines.
+    pub fn split(&self, frac: f32, rng: &mut impl Rng) -> (Dataset, Dataset) {
+        assert!((0.0..=1.0).contains(&frac), "split fraction out of range");
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        order.shuffle(rng);
+        let held = (self.len() as f32 * frac).round() as usize;
+        let cut = self.len() - held;
+        (self.subset(&order[..cut]), self.subset(&order[cut..]))
+    }
+
+    /// Bootstrap sample of `frac * len` indices drawn with replacement (the
+    /// bagging baseline uses `frac = 0.63` per Breiman).
+    pub fn bootstrap(&self, frac: f32, rng: &mut impl Rng) -> Dataset {
+        let n = ((self.len() as f32 * frac).round() as usize).max(1);
+        let indices: Vec<usize> = (0..n).map(|_| rng.gen_range(0..self.len())).collect();
+        self.subset(&indices)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn toy(n: usize, classes: usize) -> Dataset {
+        let images = (0..n).map(|i| Tensor::full(&[1, 2, 2], i as f32)).collect();
+        let labels = (0..n).map(|i| i % classes).collect();
+        Dataset::new(images, labels, classes, 1, 2, "toy")
+    }
+
+    #[test]
+    fn class_counts_are_balanced_for_round_robin() {
+        let d = toy(12, 3);
+        assert_eq!(d.class_counts(), vec![4, 4, 4]);
+    }
+
+    #[test]
+    fn split_partitions_without_loss() {
+        let d = toy(20, 2);
+        let mut rng = StdRng::seed_from_u64(1);
+        let (rest, held) = d.split(0.25, &mut rng);
+        assert_eq!(rest.len(), 15);
+        assert_eq!(held.len(), 5);
+        // every original sample appears exactly once across the two halves
+        let mut seen: Vec<f32> = rest
+            .images
+            .iter()
+            .chain(&held.images)
+            .map(|t| t.data()[0])
+            .collect();
+        seen.sort_by(f32::total_cmp);
+        let expected: Vec<f32> = (0..20).map(|i| i as f32).collect();
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn bootstrap_has_requested_size_and_repeats() {
+        let d = toy(50, 5);
+        let mut rng = StdRng::seed_from_u64(2);
+        let b = d.bootstrap(0.63, &mut rng);
+        assert_eq!(b.len(), 32); // round(50 * 0.63)
+        // with replacement: overwhelmingly likely to contain a duplicate
+        let mut firsts: Vec<f32> = b.images.iter().map(|t| t.data()[0]).collect();
+        firsts.sort_by(f32::total_cmp);
+        let unique = firsts.windows(2).filter(|w| w[0] != w[1]).count() + 1;
+        assert!(unique < b.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn rejects_out_of_range_labels() {
+        Dataset::new(vec![Tensor::zeros(&[1, 2, 2])], vec![3], 3, 1, 2, "bad");
+    }
+
+    #[test]
+    fn subset_preserves_metadata() {
+        let d = toy(10, 2);
+        let s = d.subset(&[0, 0, 9]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.num_classes, 2);
+        assert_eq!(s.labels, vec![0, 0, 1]);
+    }
+}

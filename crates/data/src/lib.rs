@@ -1,0 +1,36 @@
+//! Synthetic image-classification datasets for the ReMIX reproduction.
+//!
+//! The paper evaluates on GTSRB (43-class traffic signs), CIFAR-10 (10-class
+//! photos), Pneumonia (binary chest X-rays) and a 128×128 resized CIFAR-10;
+//! MNIST appears in the XAI gallery (Fig. 2). Real datasets cannot be shipped
+//! or trained in this CPU-only environment, so this crate provides procedural
+//! analogues (see DESIGN.md §3 for the substitution argument):
+//!
+//! * every class has a randomized but *deterministic-per-seed* archetype
+//!   (geometric sign shapes, smooth object templates, lung-field textures,
+//!   seven-segment digits);
+//! * every sample is the archetype under affine jitter, brightness shift and
+//!   pixel noise — learnable, non-trivially separable, and architecture-
+//!   sensitive, which is what the resilience experiments need.
+//!
+//! # Example
+//!
+//! ```
+//! use remix_data::SyntheticSpec;
+//!
+//! let (train, test) = SyntheticSpec::gtsrb_like()
+//!     .train_size(120)
+//!     .test_size(40)
+//!     .seed(7)
+//!     .generate();
+//! assert_eq!(train.num_classes, 43);
+//! assert_eq!(train.len(), 120);
+//! assert_eq!(test.len(), 40);
+//! ```
+
+mod archetype;
+mod dataset;
+mod spec;
+
+pub use dataset::Dataset;
+pub use spec::{Family, SyntheticSpec};

@@ -1,0 +1,295 @@
+use crate::archetype::{class_template, render_sample};
+use crate::Dataset;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use remix_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// The synthetic dataset families (analogues of the paper's datasets plus
+/// the Discussion's tabular extension).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Family {
+    /// 43-class colored sign shapes (GTSRB analogue).
+    TrafficSigns,
+    /// 10-class smooth random templates (CIFAR-10 analogue).
+    Objects,
+    /// Binary lung-field textures with opacities (Pneumonia analogue).
+    XRay,
+    /// 10-class seven-segment digits (MNIST analogue).
+    Digits,
+    /// 6-class feature-vector data embedded on a 4×4 grid (the Discussion's
+    /// tabular-modality extension).
+    Tabular,
+}
+
+/// Builder for synthetic datasets.
+///
+/// # Example
+///
+/// ```
+/// use remix_data::SyntheticSpec;
+///
+/// let (train, test) = SyntheticSpec::cifar_like().image_size(32).generate();
+/// assert_eq!(train.size, 32);
+/// assert_eq!(train.num_classes, 10);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SyntheticSpec {
+    family: Family,
+    num_classes: usize,
+    channels: usize,
+    size: usize,
+    train_size: usize,
+    test_size: usize,
+    jitter: usize,
+    noise: f32,
+    seed: u64,
+    /// Per-class sampling weights (`None` = balanced). Used to make the
+    /// Pneumonia analogue imbalanced like the real dataset.
+    class_weights: Option<Vec<f32>>,
+    name: &'static str,
+}
+
+impl SyntheticSpec {
+    /// GTSRB analogue: 43 classes, RGB, default 16×16.
+    pub fn gtsrb_like() -> Self {
+        Self {
+            family: Family::TrafficSigns,
+            num_classes: 43,
+            channels: 3,
+            size: 16,
+            train_size: 860,
+            test_size: 430,
+            jitter: 1,
+            noise: 0.08,
+            seed: 0,
+            class_weights: None,
+            name: "gtsrb-like",
+        }
+    }
+
+    /// CIFAR-10 analogue: 10 classes, RGB, default 16×16 (use
+    /// [`SyntheticSpec::image_size`]`(32)` for the CIFAR-10-128 analogue).
+    pub fn cifar_like() -> Self {
+        Self {
+            family: Family::Objects,
+            num_classes: 10,
+            channels: 3,
+            size: 16,
+            train_size: 600,
+            test_size: 300,
+            jitter: 1,
+            noise: 0.10,
+            seed: 0,
+            class_weights: None,
+            name: "cifar-like",
+        }
+    }
+
+    /// Pneumonia analogue: binary, grayscale, imbalanced 3:1
+    /// (normal : pneumonia), default 24×24, evaluated with F1 in the paper.
+    pub fn pneumonia_like() -> Self {
+        Self {
+            family: Family::XRay,
+            num_classes: 2,
+            channels: 1,
+            size: 24,
+            train_size: 400,
+            test_size: 200,
+            jitter: 2,
+            noise: 0.06,
+            seed: 0,
+            class_weights: Some(vec![3.0, 1.0]),
+            name: "pneumonia-like",
+        }
+    }
+
+    /// Tabular analogue (paper Discussion, "Applicability to Other ML Tasks
+    /// and Data Modality"): 16 numeric features per sample, embedded on a
+    /// 4×4 single-channel grid so the same model zoo, XAI techniques and
+    /// diversity metrics apply; the feature matrices are conceptually the
+    /// 1-D influence vectors the paper describes.
+    pub fn tabular_like() -> Self {
+        Self {
+            family: Family::Tabular,
+            num_classes: 6,
+            channels: 1,
+            size: 4,
+            train_size: 400,
+            test_size: 200,
+            jitter: 0,
+            noise: 0.35,
+            seed: 0,
+            class_weights: None,
+            name: "tabular-like",
+        }
+    }
+
+    /// MNIST analogue: 10 digit classes, grayscale, default 16×16.
+    pub fn mnist_like() -> Self {
+        Self {
+            family: Family::Digits,
+            num_classes: 10,
+            channels: 1,
+            size: 16,
+            train_size: 500,
+            test_size: 250,
+            jitter: 1,
+            noise: 0.10,
+            seed: 0,
+            class_weights: None,
+            name: "mnist-like",
+        }
+    }
+
+    /// Sets the image side length (must be divisible by 8 for the deeper zoo
+    /// architectures).
+    pub fn image_size(mut self, size: usize) -> Self {
+        self.size = size;
+        self
+    }
+
+    /// Sets the number of training samples.
+    pub fn train_size(mut self, n: usize) -> Self {
+        self.train_size = n;
+        self
+    }
+
+    /// Sets the number of test samples.
+    pub fn test_size(mut self, n: usize) -> Self {
+        self.test_size = n;
+        self
+    }
+
+    /// Sets the generation seed (templates and samples are deterministic in
+    /// it).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the per-sample pixel-noise standard deviation.
+    pub fn noise(mut self, noise: f32) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// The dataset family.
+    pub fn family(&self) -> Family {
+        self.family
+    }
+
+    /// The number of classes this spec generates.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Generates `(train, test)` with disjoint sample randomness but shared
+    /// class templates (the paper uses each dataset's pre-defined split).
+    pub fn generate(&self) -> (Dataset, Dataset) {
+        let templates: Vec<Tensor> = (0..self.num_classes)
+            .map(|c| class_template(self.family, c, self.channels, self.size, self.seed))
+            .collect();
+        let train = self.generate_split(&templates, self.train_size, self.seed.wrapping_add(1));
+        let test = self.generate_split(&templates, self.test_size, self.seed.wrapping_add(2));
+        (train, test)
+    }
+
+    fn generate_split(&self, templates: &[Tensor], n: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cumulative: Option<Vec<f32>> = self.class_weights.as_ref().map(|w| {
+            let total: f32 = w.iter().sum();
+            w.iter()
+                .scan(0.0, |acc, &x| {
+                    *acc += x / total;
+                    Some(*acc)
+                })
+                .collect()
+        });
+        let mut images = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let class = match &cumulative {
+                // balanced: round-robin so small datasets still cover all classes
+                None => i % self.num_classes,
+                Some(cum) => {
+                    let u: f32 = rng.gen();
+                    cum.partition_point(|&c| c < u).min(self.num_classes - 1)
+                }
+            };
+            images.push(render_sample(&templates[class], self.jitter, self.noise, &mut rng));
+            labels.push(class);
+        }
+        Dataset::new(
+            images,
+            labels,
+            self.num_classes,
+            self.channels,
+            self.size,
+            self.name,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gtsrb_like_covers_all_classes() {
+        let (train, _) = SyntheticSpec::gtsrb_like()
+            .train_size(86)
+            .test_size(43)
+            .generate();
+        assert_eq!(train.num_classes, 43);
+        assert!(train.class_counts().iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn pneumonia_like_is_imbalanced() {
+        let (train, _) = SyntheticSpec::pneumonia_like().train_size(400).generate();
+        let counts = train.class_counts();
+        assert!(
+            counts[0] > counts[1] * 2,
+            "expected ~3:1 imbalance, got {counts:?}"
+        );
+        assert!(counts[1] > 0);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let (a, _) = SyntheticSpec::mnist_like().train_size(30).seed(5).generate();
+        let (b, _) = SyntheticSpec::mnist_like().train_size(30).seed(5).generate();
+        assert_eq!(a.images[7], b.images[7]);
+        let (c, _) = SyntheticSpec::mnist_like().train_size(30).seed(6).generate();
+        assert_ne!(a.images[7], c.images[7]);
+    }
+
+    #[test]
+    fn train_and_test_are_different_samples() {
+        let (train, test) = SyntheticSpec::cifar_like()
+            .train_size(20)
+            .test_size(20)
+            .generate();
+        assert_ne!(train.images[0], test.images[0]);
+    }
+
+    #[test]
+    fn image_size_is_respected() {
+        let (train, _) = SyntheticSpec::cifar_like()
+            .image_size(32)
+            .train_size(10)
+            .test_size(5)
+            .generate();
+        assert_eq!(train.images[0].shape(), &[3, 32, 32]);
+    }
+
+    #[test]
+    fn same_class_samples_are_similar_but_not_identical() {
+        let (train, _) = SyntheticSpec::mnist_like().train_size(40).generate();
+        // samples 0 and 10 share class 0 (round-robin)
+        assert_eq!(train.labels[0], train.labels[10]);
+        let same = train.images[0].sub(&train.images[10]).unwrap().abs().mean();
+        let diff = train.images[0].sub(&train.images[1]).unwrap().abs().mean();
+        assert!(same < diff, "within-class distance {same} vs cross-class {diff}");
+    }
+}

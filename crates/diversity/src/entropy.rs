@@ -1,0 +1,64 @@
+//! Output-space diversity: normalized Shannon entropy (paper Eq. 1).
+
+/// Normalized Shannon entropy of a prediction-confidence vector:
+/// `H = −(Σ pᵢ ln pᵢ) / ln S`, where `S` is the number of classes.
+///
+/// Ranges from 0 (all confidence on one class — no output-space diversity)
+/// to 1 (uniform — maximal diversity). Zero-probability entries contribute
+/// nothing, as in the usual `0·ln 0 = 0` convention. The vector is
+/// renormalized internally so near-simplex inputs behave well.
+///
+/// # Panics
+///
+/// Panics if `probs` has fewer than two entries or sums to zero.
+pub fn shannon_entropy(probs: &[f32]) -> f32 {
+    assert!(probs.len() >= 2, "entropy needs at least two classes");
+    let total: f32 = probs.iter().sum();
+    assert!(total > 0.0, "probability vector sums to zero");
+    let h: f32 = probs
+        .iter()
+        .map(|&p| {
+            let p = p / total;
+            if p > 0.0 {
+                -p * p.ln()
+            } else {
+                0.0
+            }
+        })
+        .sum();
+    (h / (probs.len() as f32).ln()).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_hot_has_zero_entropy() {
+        assert_eq!(shannon_entropy(&[1.0, 0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn uniform_has_unit_entropy() {
+        assert!((shannon_entropy(&[0.25; 4]) - 1.0).abs() < 1e-6);
+        assert!((shannon_entropy(&[1.0 / 43.0; 43]) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn entropy_is_monotone_in_spread() {
+        let peaked = shannon_entropy(&[0.9, 0.05, 0.05]);
+        let spread = shannon_entropy(&[0.5, 0.3, 0.2]);
+        assert!(peaked < spread);
+    }
+
+    #[test]
+    fn unnormalized_input_is_renormalized() {
+        assert!((shannon_entropy(&[2.0, 2.0]) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn rejects_single_class() {
+        shannon_entropy(&[1.0]);
+    }
+}

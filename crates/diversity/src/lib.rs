@@ -1,0 +1,37 @@
+//! Diversity metrics for the ReMIX reproduction (paper §II-D).
+//!
+//! Two families:
+//!
+//! * **feature-space** metrics comparing two XAI feature matrices `A`, `B` —
+//!   Coefficient of Determination (R², Eq. 2), Cosine Distance, Frobenius
+//!   Norm (Eq. 3), and Wasserstein Distance (Eq. 4, the paper's elementwise
+//!   mean-absolute-difference form). All are commutative.
+//! * **output-space** — normalized Shannon entropy over ensemble prediction
+//!   confidences (Eq. 1).
+//!
+//! Plus the *feature sparseness* σ of §IV-(3): the fraction of near-zero
+//! entries of a feature matrix, which ReMIX runs through `tanh(α·σ)` to
+//! down-weight unfocused models.
+//!
+//! # Example
+//!
+//! ```
+//! use remix_diversity::DiversityMetric;
+//! use remix_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2])?;
+//! let b = Tensor::from_vec(vec![0.0, 1.0, 1.0, 0.0], &[2, 2])?;
+//! let d = DiversityMetric::CosineDistance.distance(&a, &b);
+//! assert!((d - 1.0).abs() < 1e-6); // orthogonal matrices
+//! # Ok::<(), remix_tensor::TensorError>(())
+//! ```
+
+mod entropy;
+mod metric;
+pub mod pairwise;
+mod sparseness;
+
+pub use entropy::shannon_entropy;
+pub use metric::DiversityMetric;
+pub use pairwise::{kohavi_wolpert_variance, OracleTable};
+pub use sparseness::{sparseness, sparseness_with_threshold};

@@ -1,0 +1,229 @@
+use remix_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The four feature-space diversity metrics shortlisted in §II-D.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DiversityMetric {
+    /// Coefficient of determination R² (Eq. 2): 0 = maximal diversity,
+    /// 1 = none.
+    RSquared,
+    /// Cosine distance `1 − cos(A, B)` on flattened matrices: 0 = none,
+    /// 2 = maximal.
+    CosineDistance,
+    /// Frobenius norm of `A − B` (Eq. 3): unbounded, higher = more diverse.
+    FrobeniusNorm,
+    /// Elementwise Wasserstein/earth-mover form (Eq. 4): mean absolute
+    /// difference, unbounded, higher = more diverse.
+    Wasserstein,
+}
+
+impl DiversityMetric {
+    /// All four metrics in paper order.
+    pub const ALL: [DiversityMetric; 4] = [
+        DiversityMetric::RSquared,
+        DiversityMetric::CosineDistance,
+        DiversityMetric::FrobeniusNorm,
+        DiversityMetric::Wasserstein,
+    ];
+
+    /// Computes the raw metric value between two feature matrices.
+    ///
+    /// Matrices may have any shape as long as the element counts agree (the
+    /// paper flattens them for cosine distance anyway).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    pub fn distance(&self, a: &Tensor, b: &Tensor) -> f32 {
+        assert_eq!(a.len(), b.len(), "feature matrices must have equal size");
+        match self {
+            DiversityMetric::RSquared => r_squared(a, b),
+            DiversityMetric::CosineDistance => cosine_distance(a, b),
+            DiversityMetric::FrobeniusNorm => frobenius(a, b),
+            DiversityMetric::Wasserstein => wasserstein(a, b),
+        }
+    }
+
+    /// Converts the raw metric value into a *diversity weight factor* δ:
+    /// higher = more diverse, per the paper's §IV-(2). R² and cosine
+    /// similarity have an inverse relationship with diversity, so their
+    /// reciprocal-style transforms are applied; Frobenius and Wasserstein are
+    /// used directly.
+    pub fn to_weight_factor(&self, raw: f32) -> f32 {
+        match self {
+            // R² in [0,1], 1 = identical: reciprocal with clamping
+            DiversityMetric::RSquared => 1.0 / raw.max(1e-3) - 1.0,
+            // cosine distance already grows with diversity in [0, 2]
+            DiversityMetric::CosineDistance => raw,
+            DiversityMetric::FrobeniusNorm | DiversityMetric::Wasserstein => raw,
+        }
+    }
+
+    /// Diversity weight factor straight from two matrices.
+    pub fn diversity(&self, a: &Tensor, b: &Tensor) -> f32 {
+        self.to_weight_factor(self.distance(a, b))
+    }
+}
+
+impl fmt::Display for DiversityMetric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DiversityMetric::RSquared => "R²",
+            DiversityMetric::CosineDistance => "Cosine Distance",
+            DiversityMetric::FrobeniusNorm => "Frobenius Norm",
+            DiversityMetric::Wasserstein => "Wasserstein",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Squared Pearson correlation (paper Eq. 2). Degenerate (zero-variance)
+/// inputs yield 1.0 for identical matrices and 0.0 otherwise.
+fn r_squared(a: &Tensor, b: &Tensor) -> f32 {
+    let (ma, mb) = (a.mean(), b.mean());
+    let (sa, sb) = (a.std(), b.std());
+    if sa <= f32::EPSILON || sb <= f32::EPSILON {
+        return if a.data() == b.data() { 1.0 } else { 0.0 };
+    }
+    let n = a.len() as f32;
+    let cov: f32 = a
+        .data()
+        .iter()
+        .zip(b.data())
+        .map(|(&x, &y)| (x - ma) * (y - mb))
+        .sum::<f32>()
+        / n;
+    let r = cov / (sa * sb);
+    (r * r).clamp(0.0, 1.0)
+}
+
+/// Cosine distance on flattened matrices. Zero vectors are treated as
+/// maximally distant from non-zero vectors and identical to each other.
+fn cosine_distance(a: &Tensor, b: &Tensor) -> f32 {
+    let (na, nb) = (a.norm(), b.norm());
+    if na <= f32::EPSILON || nb <= f32::EPSILON {
+        return if (na <= f32::EPSILON) == (nb <= f32::EPSILON) {
+            0.0
+        } else {
+            1.0
+        };
+    }
+    let dot = a.dot(b).expect("equal lengths checked");
+    (1.0 - dot / (na * nb)).clamp(0.0, 2.0)
+}
+
+/// Frobenius norm of the difference (paper Eq. 3).
+fn frobenius(a: &Tensor, b: &Tensor) -> f32 {
+    a.data()
+        .iter()
+        .zip(b.data())
+        .map(|(&x, &y)| (x - y) * (x - y))
+        .sum::<f32>()
+        .sqrt()
+}
+
+/// Elementwise Wasserstein form of the paper's Eq. 4: the mean absolute
+/// difference between the matrices.
+fn wasserstein(a: &Tensor, b: &Tensor) -> f32 {
+    a.data()
+        .iter()
+        .zip(b.data())
+        .map(|(&x, &y)| (x - y).abs())
+        .sum::<f32>()
+        / a.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: &[f32]) -> Tensor {
+        Tensor::from_slice(v)
+    }
+
+    #[test]
+    fn identical_matrices_have_zero_diversity() {
+        let a = t(&[0.2, 0.8, 0.5, 0.1]);
+        assert!((DiversityMetric::RSquared.distance(&a, &a) - 1.0).abs() < 1e-5);
+        assert!(DiversityMetric::CosineDistance.distance(&a, &a) < 1e-5);
+        assert_eq!(DiversityMetric::FrobeniusNorm.distance(&a, &a), 0.0);
+        assert_eq!(DiversityMetric::Wasserstein.distance(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn all_metrics_are_commutative() {
+        let a = t(&[0.9, 0.1, 0.4, 0.6]);
+        let b = t(&[0.2, 0.7, 0.3, 0.8]);
+        for m in DiversityMetric::ALL {
+            let ab = m.distance(&a, &b);
+            let ba = m.distance(&b, &a);
+            assert!((ab - ba).abs() < 1e-6, "{m} not commutative");
+        }
+    }
+
+    #[test]
+    fn r_squared_matches_hand_computation() {
+        // perfectly anti-correlated: r = -1, r² = 1
+        let a = t(&[1.0, 2.0, 3.0]);
+        let b = t(&[3.0, 2.0, 1.0]);
+        assert!((DiversityMetric::RSquared.distance(&a, &b) - 1.0).abs() < 1e-5);
+        // uncorrelated-ish
+        let c = t(&[1.0, -1.0, 0.0]);
+        let d = t(&[1.0, 1.0, -2.0]);
+        assert!(DiversityMetric::RSquared.distance(&c, &d) < 0.3);
+    }
+
+    #[test]
+    fn cosine_distance_range_endpoints() {
+        let a = t(&[1.0, 0.0]);
+        let b = t(&[0.0, 1.0]);
+        let o = t(&[-1.0, 0.0]);
+        assert!((DiversityMetric::CosineDistance.distance(&a, &b) - 1.0).abs() < 1e-6);
+        assert!((DiversityMetric::CosineDistance.distance(&a, &o) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn frobenius_matches_euclidean() {
+        let a = t(&[0.0, 0.0]);
+        let b = t(&[3.0, 4.0]);
+        assert_eq!(DiversityMetric::FrobeniusNorm.distance(&a, &b), 5.0);
+    }
+
+    #[test]
+    fn wasserstein_is_mean_absolute_difference() {
+        let a = t(&[0.0, 1.0, 2.0, 3.0]);
+        let b = t(&[1.0, 1.0, 0.0, 3.0]);
+        assert!((DiversityMetric::Wasserstein.distance(&a, &b) - 0.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_inputs_do_not_panic_or_nan() {
+        let z = Tensor::zeros(&[4]);
+        let c = Tensor::full(&[4], 2.0);
+        for m in DiversityMetric::ALL {
+            for (x, y) in [(&z, &z), (&z, &c), (&c, &c)] {
+                let v = m.distance(x, y);
+                assert!(v.is_finite(), "{m} produced {v}");
+                let w = m.to_weight_factor(v);
+                assert!(w.is_finite(), "{m} weight {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn weight_factor_increases_with_diversity() {
+        // R²: lower similarity -> higher weight factor
+        let m = DiversityMetric::RSquared;
+        assert!(m.to_weight_factor(0.1) > m.to_weight_factor(0.9));
+        // cosine: identity transform
+        assert_eq!(DiversityMetric::CosineDistance.to_weight_factor(1.3), 1.3);
+    }
+
+    #[test]
+    fn works_on_rank2_matrices() {
+        let a = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]).unwrap();
+        let b = Tensor::from_vec(vec![0.0, 1.0, 1.0, 0.0], &[2, 2]).unwrap();
+        assert!((DiversityMetric::CosineDistance.distance(&a, &b) - 1.0).abs() < 1e-6);
+    }
+}

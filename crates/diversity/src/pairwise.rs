@@ -1,0 +1,173 @@
+//! Kuncheva & Whitaker's classical pairwise ensemble-diversity statistics
+//! (paper §II-D background).
+//!
+//! The paper notes these are "largely limited to binary classifiers": they
+//! operate on *oracle outputs* — per-sample correct/incorrect indicators of
+//! two classifiers — rather than on predictions directly, which is why ReMIX
+//! replaces them with feature-space metrics. They are provided here both for
+//! completeness and so experiments can contrast output-space and
+//! feature-space notions of diversity.
+//!
+//! With `a` = both correct, `b` = only the first correct, `c` = only the
+//! second correct, `d` = both wrong (as fractions), the measures are:
+//!
+//! * Q statistic: `(ad − bc) / (ad + bc)` ∈ [−1, 1]; lower = more diverse;
+//! * disagreement: `b + c` ∈ [0, 1]; higher = more diverse;
+//! * double-fault: `d` ∈ [0, 1]; lower = more diverse;
+//! * correlation ρ: `(ad − bc) / √((a+b)(c+d)(a+c)(b+d))`.
+
+use serde::{Deserialize, Serialize};
+
+/// The 2×2 oracle-agreement table of two classifiers, as fractions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OracleTable {
+    /// Fraction where both classifiers are correct.
+    pub both: f32,
+    /// Fraction where only the first is correct.
+    pub only_first: f32,
+    /// Fraction where only the second is correct.
+    pub only_second: f32,
+    /// Fraction where both are wrong.
+    pub neither: f32,
+}
+
+impl OracleTable {
+    /// Builds the table from two correctness vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices' lengths differ or are zero.
+    pub fn from_oracle(first: &[bool], second: &[bool]) -> Self {
+        assert_eq!(first.len(), second.len(), "oracle length mismatch");
+        assert!(!first.is_empty(), "empty oracle vectors");
+        let n = first.len() as f32;
+        let mut t = OracleTable {
+            both: 0.0,
+            only_first: 0.0,
+            only_second: 0.0,
+            neither: 0.0,
+        };
+        for (&f, &s) in first.iter().zip(second) {
+            match (f, s) {
+                (true, true) => t.both += 1.0,
+                (true, false) => t.only_first += 1.0,
+                (false, true) => t.only_second += 1.0,
+                (false, false) => t.neither += 1.0,
+            }
+        }
+        t.both /= n;
+        t.only_first /= n;
+        t.only_second /= n;
+        t.neither /= n;
+        t
+    }
+
+    /// Yule's Q statistic ∈ [−1, 1]; 0 for independent classifiers, lower =
+    /// more diverse. Degenerate tables (no disagreement *and* no agreement
+    /// products) return 0.
+    pub fn q_statistic(&self) -> f32 {
+        let ad = self.both * self.neither;
+        let bc = self.only_first * self.only_second;
+        if ad + bc <= f32::EPSILON {
+            return 0.0;
+        }
+        (ad - bc) / (ad + bc)
+    }
+
+    /// Disagreement measure ∈ [0, 1]; higher = more diverse.
+    pub fn disagreement(&self) -> f32 {
+        self.only_first + self.only_second
+    }
+
+    /// Double-fault measure ∈ [0, 1]; lower = more diverse.
+    pub fn double_fault(&self) -> f32 {
+        self.neither
+    }
+
+    /// Pearson correlation ρ of the two oracles; 0 for degenerate marginals.
+    pub fn correlation(&self) -> f32 {
+        let (a, b, c, d) = (self.both, self.only_first, self.only_second, self.neither);
+        let denom = ((a + b) * (c + d) * (a + c) * (b + d)).sqrt();
+        if denom <= f32::EPSILON {
+            return 0.0;
+        }
+        ((a * d - b * c) / denom).clamp(-1.0, 1.0)
+    }
+}
+
+/// Kohavi–Wolpert variance over an ensemble's oracle outputs: the average of
+/// `p(1−p)` where `p` is the per-sample fraction of correct classifiers.
+/// Higher = more diverse; 0 when all classifiers always agree.
+///
+/// # Panics
+///
+/// Panics if `oracles` is empty or the member lengths differ.
+pub fn kohavi_wolpert_variance(oracles: &[Vec<bool>]) -> f32 {
+    assert!(!oracles.is_empty(), "no classifiers");
+    let n = oracles[0].len();
+    assert!(n > 0 && oracles.iter().all(|o| o.len() == n), "ragged oracles");
+    let l = oracles.len() as f32;
+    let mut total = 0.0;
+    for sample in 0..n {
+        let correct = oracles.iter().filter(|o| o[sample]).count() as f32;
+        let p = correct / l;
+        total += p * (1.0 - p);
+    }
+    total / n as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_classifiers_have_q_one_and_no_disagreement() {
+        let o = vec![true, false, true, true];
+        let t = OracleTable::from_oracle(&o, &o);
+        assert_eq!(t.q_statistic(), 1.0);
+        assert_eq!(t.disagreement(), 0.0);
+        assert!((t.correlation() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn complementary_classifiers_are_maximally_diverse() {
+        let a = vec![true, true, false, false];
+        let b = vec![false, false, true, true];
+        let t = OracleTable::from_oracle(&a, &b);
+        assert_eq!(t.q_statistic(), -1.0);
+        assert_eq!(t.disagreement(), 1.0);
+        assert_eq!(t.double_fault(), 0.0);
+    }
+
+    #[test]
+    fn table_fractions_sum_to_one() {
+        let a = vec![true, false, true, false, true];
+        let b = vec![true, true, false, false, true];
+        let t = OracleTable::from_oracle(&a, &b);
+        let sum = t.both + t.only_first + t.only_second + t.neither;
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!((t.both - 0.4).abs() < 1e-6);
+        assert!((t.disagreement() - 0.4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn kw_variance_bounds_and_extremes() {
+        // all agree -> 0
+        let same = vec![vec![true; 6], vec![true; 6], vec![true; 6]];
+        assert_eq!(kohavi_wolpert_variance(&same), 0.0);
+        // 3 classifiers, always exactly one correct -> p=1/3, p(1-p)=2/9
+        let spread = vec![
+            vec![true, false, false],
+            vec![false, true, false],
+            vec![false, false, true],
+        ];
+        let kw = kohavi_wolpert_variance(&spread);
+        assert!((kw - 2.0 / 9.0).abs() < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rejects_ragged_input() {
+        OracleTable::from_oracle(&[true], &[true, false]);
+    }
+}

@@ -1,0 +1,62 @@
+//! Feature sparseness σ (paper §IV-(3)).
+
+use remix_tensor::Tensor;
+
+/// Default near-zero threshold used by the paper (values below 0.01 count as
+/// zero).
+pub const DEFAULT_THRESHOLD: f32 = 0.01;
+
+/// Fraction of near-zero entries (|v| < 0.01) in a feature matrix.
+///
+/// Ranges from 0 (least sparse — the model "looks at everything", which the
+/// paper found correlates with incorrect predictions) to 1 (most sparse).
+pub fn sparseness(matrix: &Tensor) -> f32 {
+    sparseness_with_threshold(matrix, DEFAULT_THRESHOLD)
+}
+
+/// [`sparseness`] with an explicit near-zero threshold.
+///
+/// # Panics
+///
+/// Panics if the matrix is empty or the threshold is negative.
+pub fn sparseness_with_threshold(matrix: &Tensor, threshold: f32) -> f32 {
+    assert!(!matrix.is_empty(), "sparseness of an empty matrix");
+    assert!(threshold >= 0.0, "negative sparseness threshold");
+    let zeros = matrix.data().iter().filter(|v| v.abs() < threshold).count();
+    zeros as f32 / matrix.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_zero_matrix_is_fully_sparse() {
+        assert_eq!(sparseness(&Tensor::zeros(&[4, 4])), 1.0);
+    }
+
+    #[test]
+    fn dense_matrix_has_zero_sparseness() {
+        assert_eq!(sparseness(&Tensor::full(&[4, 4], 0.5)), 0.0);
+    }
+
+    #[test]
+    fn counts_near_zero_values() {
+        let m = Tensor::from_slice(&[0.005, -0.009, 0.5, 0.02]);
+        assert_eq!(sparseness(&m), 0.5);
+    }
+
+    #[test]
+    fn threshold_is_respected() {
+        let m = Tensor::from_slice(&[0.05, 0.5]);
+        assert_eq!(sparseness_with_threshold(&m, 0.1), 0.5);
+        assert_eq!(sparseness_with_threshold(&m, 0.01), 0.0);
+    }
+
+    #[test]
+    fn sparseness_is_bounded() {
+        let m = Tensor::from_slice(&[-5.0, 0.0, 5.0]);
+        let s = sparseness(&m);
+        assert!((0.0..=1.0).contains(&s));
+    }
+}

@@ -1,0 +1,169 @@
+//! Ensemble disagreement analytics: the k-correct histograms of Fig. 3, the
+//! disagreement taxonomy behind the paper's motivational study, and
+//! Kuncheva-style output-space diversity summaries.
+
+use crate::ensemble::TrainedEnsemble;
+use remix_data::Dataset;
+use remix_diversity::{kohavi_wolpert_variance, OracleTable};
+use serde::{Deserialize, Serialize};
+
+/// How the constituent predictions of one input relate to each other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DisagreementKind {
+    /// All models predict the same class.
+    Unanimous,
+    /// A strict majority agrees, at least one dissents.
+    MajorityWithDissent,
+    /// No class has a strict majority (e.g. a 1-1-1 split of three models).
+    Fragmented,
+}
+
+/// Aggregate disagreement statistics of an ensemble over a dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DisagreementReport {
+    /// Histogram of how many constituents were correct per input
+    /// (`k_correct[k]` = inputs with exactly `k` correct models).
+    pub k_correct: Vec<usize>,
+    /// Count of unanimous inputs.
+    pub unanimous: usize,
+    /// Count of majority-with-dissent inputs.
+    pub majority_with_dissent: usize,
+    /// Count of fragmented inputs.
+    pub fragmented: usize,
+    /// Kohavi–Wolpert variance of the constituent oracles.
+    pub kw_variance: f32,
+    /// Mean pairwise Q statistic (lower = more diverse).
+    pub mean_q_statistic: f32,
+    /// Mean pairwise disagreement measure (higher = more diverse).
+    pub mean_disagreement: f32,
+    /// Total inputs analyzed.
+    pub total: usize,
+}
+
+impl DisagreementReport {
+    /// Fraction of inputs with exactly `k` correct constituents.
+    pub fn k_correct_fraction(&self, k: usize) -> f32 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.k_correct.get(k).copied().unwrap_or(0) as f32 / self.total as f32
+    }
+}
+
+/// Classifies one prediction vector.
+pub fn classify_votes(preds: &[usize]) -> DisagreementKind {
+    let mut tally: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+    for &p in preds {
+        *tally.entry(p).or_insert(0) += 1;
+    }
+    let top = tally.values().copied().max().unwrap_or(0);
+    if top == preds.len() {
+        DisagreementKind::Unanimous
+    } else if 2 * top > preds.len() {
+        DisagreementKind::MajorityWithDissent
+    } else {
+        DisagreementKind::Fragmented
+    }
+}
+
+/// Analyzes `ensemble` over `dataset` (the machinery behind Fig. 3 and the
+/// motivational case study).
+///
+/// # Panics
+///
+/// Panics if the dataset is empty.
+pub fn analyze(ensemble: &mut TrainedEnsemble, dataset: &Dataset) -> DisagreementReport {
+    assert!(!dataset.is_empty(), "empty dataset");
+    let n_models = ensemble.len();
+    let mut k_correct = vec![0usize; n_models + 1];
+    let (mut unanimous, mut majority, mut fragmented) = (0, 0, 0);
+    let mut oracles: Vec<Vec<bool>> = vec![Vec::with_capacity(dataset.len()); n_models];
+    for (img, label) in dataset.iter() {
+        let outputs = ensemble.outputs(img);
+        let preds: Vec<usize> = outputs.iter().map(|o| o.pred).collect();
+        let correct = preds.iter().filter(|&&p| p == label).count();
+        k_correct[correct] += 1;
+        match classify_votes(&preds) {
+            DisagreementKind::Unanimous => unanimous += 1,
+            DisagreementKind::MajorityWithDissent => majority += 1,
+            DisagreementKind::Fragmented => fragmented += 1,
+        }
+        for (m, &p) in preds.iter().enumerate() {
+            oracles[m].push(p == label);
+        }
+    }
+    // pairwise Kuncheva statistics
+    let mut q_sum = 0.0;
+    let mut dis_sum = 0.0;
+    let mut pairs = 0;
+    for i in 0..n_models {
+        for j in (i + 1)..n_models {
+            let table = OracleTable::from_oracle(&oracles[i], &oracles[j]);
+            q_sum += table.q_statistic();
+            dis_sum += table.disagreement();
+            pairs += 1;
+        }
+    }
+    DisagreementReport {
+        k_correct,
+        unanimous,
+        majority_with_dissent: majority,
+        fragmented,
+        kw_variance: kohavi_wolpert_variance(&oracles),
+        mean_q_statistic: if pairs > 0 { q_sum / pairs as f32 } else { 0.0 },
+        mean_disagreement: if pairs > 0 { dis_sum / pairs as f32 } else { 0.0 },
+        total: dataset.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::train_zoo;
+    use remix_data::SyntheticSpec;
+    use remix_nn::Arch;
+
+    #[test]
+    fn classify_votes_taxonomy() {
+        assert_eq!(classify_votes(&[1, 1, 1]), DisagreementKind::Unanimous);
+        assert_eq!(
+            classify_votes(&[1, 1, 2]),
+            DisagreementKind::MajorityWithDissent
+        );
+        assert_eq!(classify_votes(&[0, 1, 2]), DisagreementKind::Fragmented);
+        assert_eq!(
+            classify_votes(&[0, 0, 1, 1]),
+            DisagreementKind::Fragmented
+        );
+        assert_eq!(
+            classify_votes(&[0, 0, 0, 1, 2]),
+            DisagreementKind::MajorityWithDissent
+        );
+    }
+
+    #[test]
+    fn analysis_counts_are_consistent() {
+        let (train, test) = SyntheticSpec::mnist_like()
+            .train_size(150)
+            .test_size(40)
+            .generate();
+        let models = train_zoo(
+            &[Arch::ConvNet, Arch::DeconvNet, Arch::MobileNet],
+            &train,
+            5,
+            3,
+        );
+        let mut ens = TrainedEnsemble::new(models);
+        let report = analyze(&mut ens, &test);
+        assert_eq!(report.total, 40);
+        assert_eq!(report.k_correct.iter().sum::<usize>(), 40);
+        assert_eq!(
+            report.unanimous + report.majority_with_dissent + report.fragmented,
+            40
+        );
+        assert!((0.0..=0.25).contains(&report.kw_variance));
+        assert!((-1.0..=1.0).contains(&report.mean_q_statistic));
+        let frac_sum: f32 = (0..=3).map(|k| report.k_correct_fraction(k)).sum();
+        assert!((frac_sum - 1.0).abs() < 1e-5);
+    }
+}

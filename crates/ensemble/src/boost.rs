@@ -1,0 +1,174 @@
+//! Boosting baseline: AdaBoost with the multi-class SAMME weighting
+//! (paper §V-B baseline 6).
+
+use crate::ensemble::{TrainedEnsemble, Voter};
+use crate::Prediction;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use remix_data::Dataset;
+use remix_nn::{zoo, Arch, InputSpec, Model, Trainer, TrainerConfig};
+use remix_tensor::Tensor;
+
+/// Trains an AdaBoost (SAMME) ensemble of `rounds` sequential models of the
+/// same architecture, and returns it together with its [`AlphaWeighted`]
+/// voter.
+///
+/// Each round reweights the training samples toward those the previous model
+/// mispredicted — the sequential learning pattern the paper identifies as
+/// boosting's weakness under training-data faults (faulty samples keep
+/// getting boosted).
+pub fn adaboost(
+    arch: Arch,
+    train: &Dataset,
+    rounds: usize,
+    epochs: usize,
+    rng: &mut impl Rng,
+) -> (TrainedEnsemble, AlphaWeighted) {
+    assert!(rounds >= 1, "boosting needs at least one round");
+    let spec = InputSpec {
+        channels: train.channels,
+        size: train.size,
+        num_classes: train.num_classes,
+    };
+    let k = train.num_classes as f32;
+    let n = train.len();
+    let mut weights = vec![1.0f32 / n as f32; n];
+    let mut models = Vec::with_capacity(rounds);
+    let mut alphas = Vec::with_capacity(rounds);
+    for round in 0..rounds {
+        let mut init_rng = StdRng::seed_from_u64(rng.gen());
+        let mut model = Model::named(
+            zoo::build(arch, spec, &mut init_rng),
+            spec,
+            format!("{}-boost{}", arch.name(), round),
+        );
+        Trainer::new(TrainerConfig {
+            epochs,
+            lr: arch.default_lr(),
+            seed: rng.gen(),
+            ..TrainerConfig::default()
+        })
+        .with_sample_weights(weights.clone())
+        .fit(&mut model, &train.images, &train.labels);
+        // weighted training error
+        let miss: Vec<bool> = train
+            .iter()
+            .map(|(img, l)| model.predict(img).0 != l)
+            .collect();
+        let total: f32 = weights.iter().sum();
+        let err = weights
+            .iter()
+            .zip(&miss)
+            .filter(|(_, &m)| m)
+            .map(|(&w, _)| w)
+            .sum::<f32>()
+            / total;
+        // SAMME model weight; clamp err away from {0, 1} for stability
+        let err = err.clamp(1e-4, 1.0 - 1e-4);
+        let alpha = ((1.0 - err) / err).ln() + (k - 1.0).ln();
+        models.push(model);
+        alphas.push(alpha.max(0.0));
+        // re-weight samples toward the misses
+        for (w, &m) in weights.iter_mut().zip(&miss) {
+            if m {
+                *w *= alpha.exp().min(1e4);
+            }
+        }
+        let z: f32 = weights.iter().sum();
+        for w in &mut weights {
+            *w /= z;
+        }
+    }
+    (TrainedEnsemble::new(models), AlphaWeighted::new(alphas))
+}
+
+/// SAMME voting: each model's vote carries its `alpha` weight; the class
+/// with the highest total wins (no abstention — AdaBoost always answers).
+#[derive(Debug, Clone)]
+pub struct AlphaWeighted {
+    alphas: Vec<f32>,
+}
+
+impl AlphaWeighted {
+    /// Creates the voter from per-model alphas.
+    pub fn new(alphas: Vec<f32>) -> Self {
+        Self { alphas }
+    }
+
+    /// The per-model weights.
+    pub fn alphas(&self) -> &[f32] {
+        &self.alphas
+    }
+}
+
+impl Voter for AlphaWeighted {
+    fn vote(&mut self, ensemble: &mut TrainedEnsemble, image: &Tensor) -> Prediction {
+        debug_assert_eq!(ensemble.len(), self.alphas.len());
+        let outputs = ensemble.outputs(image);
+        let classes = outputs[0].probs.len();
+        let mut tally = vec![0.0f32; classes];
+        for (o, &a) in outputs.iter().zip(&self.alphas) {
+            tally[o.pred] += a;
+        }
+        let pred = tally
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(c, _)| c)
+            .expect("non-empty tally");
+        Prediction::Decided(pred)
+    }
+
+    fn name(&self) -> String {
+        "Boosting".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remix_data::SyntheticSpec;
+
+    #[test]
+    fn adaboost_builds_rounds_with_positive_alphas() {
+        let (train, _) = SyntheticSpec::mnist_like()
+            .train_size(80)
+            
+            .generate();
+        let mut rng = StdRng::seed_from_u64(1);
+        let (ens, voter) = adaboost(Arch::ConvNet, &train, 3, 2, &mut rng);
+        assert_eq!(ens.len(), 3);
+        assert_eq!(voter.alphas().len(), 3);
+        assert!(voter.alphas().iter().all(|&a| a >= 0.0));
+    }
+
+    #[test]
+    fn boosted_ensemble_beats_chance() {
+        let (train, test) = SyntheticSpec::mnist_like()
+            .train_size(150)
+            .test_size(40)
+            .generate();
+        let mut rng = StdRng::seed_from_u64(2);
+        let (mut ens, mut voter) = adaboost(Arch::ConvNet, &train, 3, 6, &mut rng);
+        let correct = test
+            .iter()
+            .filter(|(img, l)| voter.vote(&mut ens, img).is_correct(*l))
+            .count();
+        assert!(correct as f32 / test.len() as f32 > 0.3, "{correct}/40");
+    }
+
+    #[test]
+    fn alpha_voting_prefers_heavier_models() {
+        // two fake alphas: model 1 dominates
+        let mut voter = AlphaWeighted::new(vec![0.1, 5.0]);
+        let (train, _) = SyntheticSpec::mnist_like()
+            .train_size(40)
+            
+            .generate();
+        let models = crate::train_zoo(&[Arch::ConvNet, Arch::DeconvNet], &train, 1, 3);
+        let mut ens = TrainedEnsemble::new(models);
+        let img = train.images[0].clone();
+        let outs = ens.outputs(&img);
+        let p = voter.vote(&mut ens, &img);
+        assert_eq!(p, Prediction::Decided(outs[1].pred));
+    }
+}

@@ -1,0 +1,36 @@
+//! Ensemble framework and baselines for the ReMIX reproduction (§V-B).
+//!
+//! A [`TrainedEnsemble`] is a set of independently trained [`Model`]s; a
+//! [`Voter`] combines their per-input outputs into one [`Prediction`]. The
+//! paper's seven baselines are provided:
+//!
+//! | baseline | here |
+//! |---|---|
+//! | best individual model | [`BestIndividual`] |
+//! | UMaj — unweighted simple majority | [`UniformMajority`] |
+//! | UAvg — uniform (soft) average | [`UniformAverage`] |
+//! | S-WMaj — static validation-accuracy weights | [`StaticWeighted`] |
+//! | D-WMaj — dynamic weights via stacking | [`StackedDynamic`] |
+//! | Bagging (63% bootstrap) | [`bagging`] |
+//! | Boosting (AdaBoost/SAMME) | [`boosting`] |
+//!
+//! ReMIX itself lives in `remix-core` and plugs into the same [`Voter`]
+//! interface, so the evaluation harness treats it exactly like a baseline.
+//!
+//! [`Model`]: remix_nn::Model
+
+pub mod analysis;
+mod baselines;
+mod boost;
+mod ensemble;
+mod evaluate;
+pub mod metrics;
+mod output;
+mod selection;
+
+pub use baselines::{BestIndividual, StackedDynamic, StaticWeighted, UniformAverage, UniformMajority};
+pub use boost::{adaboost, AlphaWeighted};
+pub use ensemble::{bagging, train_zoo, TrainedEnsemble, Voter};
+pub use evaluate::{evaluate, Evaluation};
+pub use output::{ModelOutput, Prediction};
+pub use selection::select_best_ensemble;

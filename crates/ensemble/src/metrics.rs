@@ -1,0 +1,142 @@
+//! Predictive-capability metrics (paper §V-B "Metrics"): balanced accuracy
+//! for multi-class datasets, F1 for the binary Pneumonia analogue.
+
+use crate::Prediction;
+
+/// Balanced accuracy: mean per-class recall. Abstentions
+/// ([`Prediction::NoMajority`]) count against the true class's recall.
+/// Classes absent from `labels` are skipped.
+///
+/// # Panics
+///
+/// Panics if the slices' lengths differ or `labels` is empty.
+pub fn balanced_accuracy(preds: &[Prediction], labels: &[usize], num_classes: usize) -> f32 {
+    assert_eq!(preds.len(), labels.len());
+    assert!(!labels.is_empty());
+    let mut correct = vec![0usize; num_classes];
+    let mut total = vec![0usize; num_classes];
+    for (p, &l) in preds.iter().zip(labels) {
+        total[l] += 1;
+        if p.is_correct(l) {
+            correct[l] += 1;
+        }
+    }
+    let mut recall_sum = 0.0;
+    let mut present = 0;
+    for c in 0..num_classes {
+        if total[c] > 0 {
+            recall_sum += correct[c] as f32 / total[c] as f32;
+            present += 1;
+        }
+    }
+    recall_sum / present.max(1) as f32
+}
+
+/// Binary F1 score with class 1 as the positive class. Abstentions count as
+/// neither true nor false positives but do cost recall.
+///
+/// # Panics
+///
+/// Panics if the slices' lengths differ or `labels` is empty.
+pub fn f1_binary(preds: &[Prediction], labels: &[usize]) -> f32 {
+    assert_eq!(preds.len(), labels.len());
+    assert!(!labels.is_empty());
+    let (mut tp, mut fp, mut fneg) = (0usize, 0usize, 0usize);
+    for (p, &l) in preds.iter().zip(labels) {
+        match (p.class(), l) {
+            (Some(1), 1) => tp += 1,
+            (Some(1), 0) => fp += 1,
+            (Some(0), 1) | (None, 1) => fneg += 1,
+            _ => {}
+        }
+    }
+    if tp == 0 {
+        return 0.0;
+    }
+    let precision = tp as f32 / (tp + fp) as f32;
+    let recall = tp as f32 / (tp + fneg) as f32;
+    2.0 * precision * recall / (precision + recall)
+}
+
+/// Plain accuracy (fraction of correct predictions).
+pub fn accuracy(preds: &[Prediction], labels: &[usize]) -> f32 {
+    assert_eq!(preds.len(), labels.len());
+    let correct = preds
+        .iter()
+        .zip(labels)
+        .filter(|(p, &l)| p.is_correct(l))
+        .count();
+    correct as f32 / labels.len().max(1) as f32
+}
+
+/// Confusion matrix (`rows = actual`, `cols = predicted`); abstentions are
+/// dropped.
+pub fn confusion_matrix(preds: &[Prediction], labels: &[usize], num_classes: usize) -> Vec<Vec<usize>> {
+    let mut m = vec![vec![0usize; num_classes]; num_classes];
+    for (p, &l) in preds.iter().zip(labels) {
+        if let Some(c) = p.class() {
+            m[l][c] += 1;
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Prediction::{Decided, NoMajority};
+
+    #[test]
+    fn balanced_accuracy_averages_recalls() {
+        // class 0: 2/2 correct, class 1: 0/2 -> BA = 0.5 even though acc = 0.5
+        let preds = [Decided(0), Decided(0), Decided(0), Decided(0)];
+        let labels = [0, 0, 1, 1];
+        assert_eq!(balanced_accuracy(&preds, &labels, 2), 0.5);
+    }
+
+    #[test]
+    fn balanced_accuracy_on_imbalanced_data_is_not_fooled() {
+        // 9 of class 0 correct, 1 of class 1 wrong: acc = 0.9, BA = 0.5
+        let mut preds = vec![Decided(0); 10];
+        let mut labels = vec![0; 9];
+        labels.push(1);
+        assert!((accuracy(&preds, &labels) - 0.9).abs() < 1e-6);
+        assert_eq!(balanced_accuracy(&preds, &labels, 2), 0.5);
+        // fixing the minority sample lifts BA to 1.0
+        preds[9] = Decided(1);
+        assert_eq!(balanced_accuracy(&preds, &labels, 2), 1.0);
+    }
+
+    #[test]
+    fn abstentions_hurt_recall() {
+        let preds = [Decided(0), NoMajority];
+        let labels = [0, 0];
+        assert_eq!(balanced_accuracy(&preds, &labels, 2), 0.5);
+    }
+
+    #[test]
+    fn f1_hand_computed() {
+        // tp=1, fp=1, fn=1 -> precision=0.5, recall=0.5, f1=0.5
+        let preds = [Decided(1), Decided(1), Decided(0), Decided(0)];
+        let labels = [1, 0, 1, 0];
+        assert_eq!(f1_binary(&preds, &labels), 0.5);
+    }
+
+    #[test]
+    fn f1_zero_when_no_true_positives() {
+        let preds = [Decided(0), Decided(0)];
+        let labels = [1, 1];
+        assert_eq!(f1_binary(&preds, &labels), 0.0);
+    }
+
+    #[test]
+    fn confusion_matrix_counts() {
+        let preds = [Decided(0), Decided(1), NoMajority, Decided(1)];
+        let labels = [0, 0, 1, 1];
+        let m = confusion_matrix(&preds, &labels, 2);
+        assert_eq!(m[0][0], 1);
+        assert_eq!(m[0][1], 1);
+        assert_eq!(m[1][1], 1);
+        assert_eq!(m[1][0], 0);
+    }
+}

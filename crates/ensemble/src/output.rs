@@ -1,0 +1,79 @@
+use remix_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// One constituent model's output for one input.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelOutput {
+    /// Softmax probabilities over classes.
+    pub probs: Tensor,
+    /// Predicted class (argmax of `probs`).
+    pub pred: usize,
+    /// Prediction confidence (`probs[pred]`).
+    pub confidence: f32,
+}
+
+impl ModelOutput {
+    /// Builds an output from a probability vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probs` is empty.
+    pub fn from_probs(probs: Tensor) -> Self {
+        let pred = probs.argmax().expect("non-empty probabilities");
+        let confidence = probs.data()[pred];
+        Self {
+            probs,
+            pred,
+            confidence,
+        }
+    }
+}
+
+/// The outcome of ensemble voting for one input.
+///
+/// The paper treats a plurality that falls short of the 50% majority
+/// threshold as a misprediction (safe disengagement in an AV); voters that
+/// can abstain return [`Prediction::NoMajority`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Prediction {
+    /// The ensemble decided on a class.
+    Decided(usize),
+    /// No class reached the majority threshold — counted as incorrect.
+    NoMajority,
+}
+
+impl Prediction {
+    /// Whether the prediction equals the (ground-truth) label.
+    pub fn is_correct(&self, label: usize) -> bool {
+        matches!(self, Prediction::Decided(c) if *c == label)
+    }
+
+    /// The decided class, if any.
+    pub fn class(&self) -> Option<usize> {
+        match self {
+            Prediction::Decided(c) => Some(*c),
+            Prediction::NoMajority => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_probs_extracts_argmax_and_confidence() {
+        let o = ModelOutput::from_probs(Tensor::from_slice(&[0.2, 0.7, 0.1]));
+        assert_eq!(o.pred, 1);
+        assert!((o.confidence - 0.7).abs() < 1e-6);
+    }
+
+    #[test]
+    fn prediction_correctness() {
+        assert!(Prediction::Decided(3).is_correct(3));
+        assert!(!Prediction::Decided(3).is_correct(2));
+        assert!(!Prediction::NoMajority.is_correct(0));
+        assert_eq!(Prediction::NoMajority.class(), None);
+        assert_eq!(Prediction::Decided(5).class(), Some(5));
+    }
+}

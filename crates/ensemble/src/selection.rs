@@ -1,0 +1,154 @@
+//! Ensemble selection (paper §V-B "Ensemble Training"): enumerate all
+//! size-`k` subsets of the trained zoo and keep the most resilient one under
+//! the current fault configuration.
+//!
+//! Each model's predictions on the evaluation set are computed once and the
+//! `C(n, k)` candidate subsets are scored from that cache, so selecting from
+//! the paper's 84 three-model candidates costs 9 inference passes, not 252.
+
+use crate::ensemble::TrainedEnsemble;
+use crate::metrics::balanced_accuracy;
+use crate::Prediction;
+use remix_data::Dataset;
+use remix_nn::Model;
+
+/// Picks the size-`k` subset of `models` with the highest balanced accuracy
+/// (under simple majority voting) on `eval_set`, returning the chosen
+/// ensemble, the indices it was built from, and its score.
+///
+/// With 9 zoo models and `k = 3` this enumerates the paper's
+/// `C(9,3) = 84` candidate ensembles.
+///
+/// # Panics
+///
+/// Panics if `k` is zero or exceeds the number of models.
+pub fn select_best_ensemble(
+    mut models: Vec<Model>,
+    k: usize,
+    eval_set: &Dataset,
+) -> (TrainedEnsemble, Vec<usize>, f32) {
+    let n = models.len();
+    assert!(k >= 1 && k <= n, "cannot pick {k} of {n} models");
+    // cache every model's predictions once
+    let preds: Vec<Vec<usize>> = models
+        .iter_mut()
+        .map(|m| eval_set.images.iter().map(|img| m.predict(img).0).collect())
+        .collect();
+    let mut best: Option<(Vec<usize>, f32)> = None;
+    for combo in combinations(n, k) {
+        let votes: Vec<Prediction> = (0..eval_set.len())
+            .map(|s| simple_majority(combo.iter().map(|&m| preds[m][s]), k))
+            .collect();
+        let score = balanced_accuracy(&votes, &eval_set.labels, eval_set.num_classes);
+        if best.as_ref().is_none_or(|(_, s)| score > *s) {
+            best = Some((combo, score));
+        }
+    }
+    let (indices, score) = best.expect("at least one combination");
+    // move the chosen models out (highest index first to keep indices valid)
+    let mut sorted = indices.clone();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    let mut chosen: Vec<(usize, Model)> = sorted
+        .into_iter()
+        .map(|i| (i, models.swap_remove(i)))
+        .collect();
+    chosen.sort_by_key(|(i, _)| *i);
+    (
+        TrainedEnsemble::new(chosen.into_iter().map(|(_, m)| m).collect()),
+        indices,
+        score,
+    )
+}
+
+/// Simple-majority tally over cached votes.
+fn simple_majority(votes: impl Iterator<Item = usize>, k: usize) -> Prediction {
+    let mut tally: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+    for v in votes {
+        *tally.entry(v).or_insert(0) += 1;
+    }
+    let (class, count) = tally
+        .into_iter()
+        .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+        .expect("at least one vote");
+    if 2 * count > k {
+        Prediction::Decided(class)
+    } else {
+        Prediction::NoMajority
+    }
+}
+
+/// All `k`-element subsets of `0..n` in lexicographic order.
+pub(crate) fn combinations(n: usize, k: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut combo: Vec<usize> = (0..k).collect();
+    loop {
+        out.push(combo.clone());
+        // advance
+        let mut i = k;
+        loop {
+            if i == 0 {
+                return out;
+            }
+            i -= 1;
+            if combo[i] != i + n - k {
+                break;
+            }
+            if i == 0 {
+                return out;
+            }
+        }
+        combo[i] += 1;
+        for j in (i + 1)..k {
+            combo[j] = combo[j - 1] + 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::train_zoo;
+    use remix_data::SyntheticSpec;
+    use remix_nn::Arch;
+
+    #[test]
+    fn combinations_enumerates_binomial_count() {
+        assert_eq!(combinations(4, 2).len(), 6);
+        assert_eq!(combinations(9, 3).len(), 84); // the paper's C(9,3)
+        assert_eq!(combinations(3, 3), vec![vec![0, 1, 2]]);
+        let c = combinations(5, 2);
+        for combo in &c {
+            assert!(combo[0] < combo[1]);
+        }
+    }
+
+    #[test]
+    fn simple_majority_tally() {
+        assert_eq!(
+            simple_majority([1, 1, 2].into_iter(), 3),
+            Prediction::Decided(1)
+        );
+        assert_eq!(
+            simple_majority([0, 1, 2].into_iter(), 3),
+            Prediction::NoMajority
+        );
+    }
+
+    #[test]
+    fn selection_returns_best_subset_with_correct_models() {
+        let (train, test) = SyntheticSpec::mnist_like()
+            .train_size(100)
+            .test_size(30)
+            .generate();
+        let archs = [Arch::ConvNet, Arch::DeconvNet, Arch::MobileNet, Arch::ResNet18];
+        let models = train_zoo(&archs, &train, 3, 3);
+        let (ens, indices, score) = select_best_ensemble(models, 3, &test);
+        assert_eq!(ens.len(), 3);
+        assert_eq!(indices.len(), 3);
+        assert!((0.0..=1.0).contains(&score));
+        // the returned models are the ones named by the indices
+        for (model, &i) in ens.models.iter().zip(&indices) {
+            assert_eq!(model.name, archs[i].name());
+        }
+    }
+}

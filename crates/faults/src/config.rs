@@ -1,0 +1,142 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The three training-data fault categories of the paper's §II-A.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultType {
+    /// Labels replaced with wrong classes (asymmetric, pattern-driven).
+    Mislabelling,
+    /// Samples deleted (symmetric).
+    Removal,
+    /// Samples duplicated (symmetric).
+    Repetition,
+}
+
+impl FaultType {
+    /// All fault types.
+    pub const ALL: [FaultType; 3] = [
+        FaultType::Mislabelling,
+        FaultType::Removal,
+        FaultType::Repetition,
+    ];
+}
+
+impl fmt::Display for FaultType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FaultType::Mislabelling => "mislabelling",
+            FaultType::Removal => "removal",
+            FaultType::Repetition => "repetition",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One *fault configuration* in the paper's sense: a fault type plus an
+/// amount in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Which fault to inject.
+    pub ty: FaultType,
+    /// Fraction of the training data affected (paper sweeps 0.1–0.5).
+    pub amount: f32,
+}
+
+impl FaultConfig {
+    /// Creates a fault configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= amount <= 1.0`.
+    pub fn new(ty: FaultType, amount: f32) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&amount),
+            "fault amount must be in [0, 1], got {amount}"
+        );
+        Self { ty, amount }
+    }
+
+    /// The zero-fault ("golden") configuration.
+    pub fn golden() -> Self {
+        Self {
+            ty: FaultType::Mislabelling,
+            amount: 0.0,
+        }
+    }
+
+    /// Whether this configuration injects nothing.
+    pub fn is_golden(&self) -> bool {
+        self.amount == 0.0
+    }
+}
+
+impl fmt::Display for FaultConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_golden() {
+            write!(f, "golden")
+        } else {
+            write!(f, "{:.0}% {}", self.amount * 100.0, self.ty)
+        }
+    }
+}
+
+/// A combination of fault configurations applied in sequence (the paper's
+/// "multiple fault types" experiment splits the amount evenly between
+/// mislabelling and removal).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiFault {
+    /// The configurations, applied in order.
+    pub parts: Vec<FaultConfig>,
+}
+
+impl MultiFault {
+    /// The paper's combined configuration: `total` split evenly between
+    /// mislabelling and removal (e.g. 30% total = 15% + 15%).
+    pub fn mislabel_and_removal(total: f32) -> Self {
+        Self {
+            parts: vec![
+                FaultConfig::new(FaultType::Mislabelling, total / 2.0),
+                FaultConfig::new(FaultType::Removal, total / 2.0),
+            ],
+        }
+    }
+}
+
+impl fmt::Display for MultiFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, p) in self.parts.iter().enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(FaultConfig::new(FaultType::Removal, 0.3).to_string(), "30% removal");
+        assert_eq!(FaultConfig::golden().to_string(), "golden");
+        assert_eq!(
+            MultiFault::mislabel_and_removal(0.3).to_string(),
+            "15% mislabelling + 15% removal"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "fault amount")]
+    fn rejects_bad_amount() {
+        FaultConfig::new(FaultType::Mislabelling, 1.5);
+    }
+
+    #[test]
+    fn golden_detection() {
+        assert!(FaultConfig::golden().is_golden());
+        assert!(!FaultConfig::new(FaultType::Repetition, 0.1).is_golden());
+    }
+}

@@ -1,0 +1,216 @@
+//! The fault injector proper (TF-DM analogue).
+
+use crate::{ConfusionPattern, FaultConfig, FaultType, MultiFault};
+use rand::{seq::SliceRandom, Rng};
+use remix_data::Dataset;
+
+/// A dataset after fault injection, with an audit trail of what was changed.
+#[derive(Debug, Clone)]
+pub struct FaultyDataset {
+    /// The corrupted dataset.
+    pub dataset: Dataset,
+    /// Audit trail. Semantics depend on the fault type:
+    /// * mislabelling — indices (in `dataset`) whose label was replaced;
+    /// * removal — indices (in the *original* dataset) that were deleted;
+    /// * repetition — indices (in `dataset`) of the appended duplicates.
+    pub corrupted: Vec<usize>,
+    /// For mislabelling: `(index, original_label)` pairs.
+    pub original_labels: Vec<(usize, usize)>,
+    /// The configuration that produced this dataset.
+    pub config: FaultConfig,
+}
+
+/// Injects one fault configuration into `dataset`.
+///
+/// Mislabelling is asymmetric: replacement labels are drawn from the
+/// [`ConfusionPattern`] row of the true class. Removal and repetition are
+/// symmetric: affected samples are drawn uniformly, matching the paper's
+/// setup (§V-B).
+///
+/// # Panics
+///
+/// Panics if the pattern's class count does not match the dataset's, or (for
+/// removal) if the injection would delete the entire dataset.
+pub fn inject(
+    dataset: &Dataset,
+    config: FaultConfig,
+    pattern: &ConfusionPattern,
+    rng: &mut impl Rng,
+) -> FaultyDataset {
+    assert_eq!(
+        pattern.num_classes(),
+        dataset.num_classes,
+        "pattern/dataset class count mismatch"
+    );
+    let n = dataset.len();
+    let k = ((n as f32 * config.amount).round() as usize).min(n);
+    let mut indices: Vec<usize> = (0..n).collect();
+    indices.shuffle(rng);
+    indices.truncate(k);
+    indices.sort_unstable();
+    match config.ty {
+        FaultType::Mislabelling => {
+            let mut out = dataset.clone();
+            let mut original_labels = Vec::with_capacity(k);
+            for &i in &indices {
+                let orig = out.labels[i];
+                out.labels[i] = pattern.sample_replacement(orig, rng);
+                original_labels.push((i, orig));
+            }
+            FaultyDataset {
+                dataset: out,
+                corrupted: indices,
+                original_labels,
+                config,
+            }
+        }
+        FaultType::Removal => {
+            assert!(k < n, "removal would delete the entire dataset");
+            let removed: std::collections::HashSet<usize> = indices.iter().copied().collect();
+            let keep: Vec<usize> = (0..n).filter(|i| !removed.contains(i)).collect();
+            FaultyDataset {
+                dataset: dataset.subset(&keep),
+                corrupted: indices,
+                original_labels: Vec::new(),
+                config,
+            }
+        }
+        FaultType::Repetition => {
+            let mut out = dataset.clone();
+            let mut corrupted = Vec::with_capacity(k);
+            for &i in &indices {
+                corrupted.push(out.len());
+                out.images.push(dataset.images[i].clone());
+                out.labels.push(dataset.labels[i]);
+            }
+            FaultyDataset {
+                dataset: out,
+                corrupted,
+                original_labels: Vec::new(),
+                config,
+            }
+        }
+    }
+}
+
+/// Applies the parts of a [`MultiFault`] in sequence (the audit trail of the
+/// last part is returned; intermediate trails are merged into `corrupted`).
+pub fn inject_multi(
+    dataset: &Dataset,
+    multi: &MultiFault,
+    pattern: &ConfusionPattern,
+    rng: &mut impl Rng,
+) -> FaultyDataset {
+    let mut current = dataset.clone();
+    let mut last = None;
+    for &part in &multi.parts {
+        let injected = inject(&current, part, pattern, rng);
+        current = injected.dataset.clone();
+        last = Some(injected);
+    }
+    last.unwrap_or(FaultyDataset {
+        dataset: current,
+        corrupted: Vec::new(),
+        original_labels: Vec::new(),
+        config: FaultConfig::golden(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use remix_data::SyntheticSpec;
+
+    fn dataset() -> Dataset {
+        SyntheticSpec::mnist_like().train_size(100).generate().0
+    }
+
+    #[test]
+    fn mislabelling_changes_exactly_the_requested_fraction() {
+        let d = dataset();
+        let p = ConfusionPattern::uniform(10);
+        let mut rng = StdRng::seed_from_u64(1);
+        let f = inject(&d, FaultConfig::new(FaultType::Mislabelling, 0.3), &p, &mut rng);
+        assert_eq!(f.corrupted.len(), 30);
+        assert_eq!(f.dataset.len(), 100);
+        // every audited index actually has a different label now
+        for &(i, orig) in &f.original_labels {
+            assert_ne!(f.dataset.labels[i], orig);
+            assert_eq!(d.labels[i], orig);
+        }
+        // untouched samples are unchanged
+        let touched: std::collections::HashSet<_> = f.corrupted.iter().collect();
+        for i in 0..100 {
+            if !touched.contains(&i) {
+                assert_eq!(d.labels[i], f.dataset.labels[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn removal_shrinks_dataset() {
+        let d = dataset();
+        let p = ConfusionPattern::uniform(10);
+        let mut rng = StdRng::seed_from_u64(2);
+        let f = inject(&d, FaultConfig::new(FaultType::Removal, 0.2), &p, &mut rng);
+        assert_eq!(f.dataset.len(), 80);
+        assert_eq!(f.corrupted.len(), 20);
+    }
+
+    #[test]
+    fn repetition_grows_dataset_with_true_duplicates() {
+        let d = dataset();
+        let p = ConfusionPattern::uniform(10);
+        let mut rng = StdRng::seed_from_u64(3);
+        let f = inject(&d, FaultConfig::new(FaultType::Repetition, 0.25), &p, &mut rng);
+        assert_eq!(f.dataset.len(), 125);
+        for &i in &f.corrupted {
+            assert!(i >= 100);
+            // the appended sample equals some original sample exactly
+            assert!(d
+                .images
+                .iter()
+                .zip(&d.labels)
+                .any(|(img, &l)| *img == f.dataset.images[i] && l == f.dataset.labels[i]));
+        }
+    }
+
+    #[test]
+    fn golden_config_changes_nothing() {
+        let d = dataset();
+        let p = ConfusionPattern::uniform(10);
+        let mut rng = StdRng::seed_from_u64(4);
+        let f = inject(&d, FaultConfig::golden(), &p, &mut rng);
+        assert_eq!(f.dataset.labels, d.labels);
+        assert!(f.corrupted.is_empty());
+    }
+
+    #[test]
+    fn multi_fault_applies_both_parts() {
+        let d = dataset();
+        let p = ConfusionPattern::uniform(10);
+        let mut rng = StdRng::seed_from_u64(5);
+        let f = inject_multi(&d, &MultiFault::mislabel_and_removal(0.2), &p, &mut rng);
+        // 10% mislabel then 10% removal of the 100 samples
+        assert_eq!(f.dataset.len(), 90);
+    }
+
+    #[test]
+    fn asymmetric_pattern_biases_replacements() {
+        // class 0 is always confused with class 1
+        let mut counts = vec![vec![0.0; 3]; 3];
+        counts[0][1] = 100.0;
+        counts[1][2] = 100.0;
+        counts[2][0] = 100.0;
+        let p = ConfusionPattern::from_counts(&counts);
+        let images = (0..60).map(|_| remix_tensor::Tensor::zeros(&[1, 8, 8])).collect();
+        let labels = (0..60).map(|i| i % 3).collect();
+        let d = Dataset::new(images, labels, 3, 1, 8, "toy");
+        let mut rng = StdRng::seed_from_u64(6);
+        let f = inject(&d, FaultConfig::new(FaultType::Mislabelling, 1.0), &p, &mut rng);
+        for &(i, orig) in &f.original_labels {
+            assert_eq!(f.dataset.labels[i], (orig + 1) % 3);
+        }
+    }
+}

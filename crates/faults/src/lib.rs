@@ -1,0 +1,41 @@
+//! Training-data fault injection for the ReMIX reproduction.
+//!
+//! The paper injects three fault categories with the TF-DM injector (§II-A,
+//! §V-B):
+//!
+//! * **mislabelling** — asymmetric, driven by a confusion pattern extracted
+//!   from the dataset with Cleanlab (classes that resemble each other are
+//!   confused more often);
+//! * **removal** — symmetric deletion of a fraction of the data;
+//! * **repetition** — symmetric duplication of a fraction of the data.
+//!
+//! This crate reproduces that pipeline: [`pattern::extract`] estimates an
+//! asymmetric confusion pattern by cross-validating a light probe model
+//! (the Cleanlab substitution, DESIGN.md §3), and [`inject`] applies a
+//! [`FaultConfig`] to a dataset, recording exactly which samples were
+//! corrupted so experiments and tests can audit the injection.
+//!
+//! # Example
+//!
+//! ```
+//! use rand::{rngs::StdRng, SeedableRng};
+//! use remix_data::SyntheticSpec;
+//! use remix_faults::{inject, ConfusionPattern, FaultConfig, FaultType};
+//!
+//! let (train, _) = SyntheticSpec::mnist_like().train_size(100).generate();
+//! let pattern = ConfusionPattern::uniform(train.num_classes);
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let faulty = inject(&train, FaultConfig::new(FaultType::Mislabelling, 0.3), &pattern, &mut rng);
+//! assert_eq!(faulty.dataset.len(), 100);
+//! assert!(faulty.corrupted.len() >= 25 && faulty.corrupted.len() <= 35);
+//! ```
+
+pub mod cleaning;
+mod config;
+mod injector;
+pub mod pattern;
+
+pub use config::{FaultConfig, FaultType, MultiFault};
+pub use injector::{inject, inject_multi, FaultyDataset};
+pub use cleaning::{clean, CleaningOutcome};
+pub use pattern::ConfusionPattern;

@@ -1,0 +1,236 @@
+//! Confusion-pattern extraction — the Cleanlab substitution.
+//!
+//! The paper extracts *mislabelling fault patterns* from datasets with
+//! Cleanlab: a matrix describing which classes are confused with which.
+//! Cleanlab is closed to us, so the same signal is estimated here by k-fold
+//! cross-validating a light linear probe on the dataset and accumulating its
+//! off-diagonal confusion mass (classes that genuinely resemble each other
+//! confuse the probe in the same asymmetric way human labellers are confused
+//! by them).
+
+use rand::{rngs::StdRng, seq::SliceRandom, Rng, SeedableRng};
+use remix_data::Dataset;
+use remix_nn::layers::{Dense, Flatten};
+use remix_nn::{InputSpec, Model, Sequential, Trainer, TrainerConfig};
+use serde::{Deserialize, Serialize};
+
+/// A row-stochastic mislabelling pattern: `row = true class`, `column =
+/// replacement class`, zero diagonal. Row `c` is the distribution a
+/// mislabelled sample of class `c` is re-labelled from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConfusionPattern {
+    num_classes: usize,
+    rows: Vec<Vec<f32>>,
+}
+
+impl ConfusionPattern {
+    /// Uniform (symmetric) pattern: every wrong class equally likely.
+    pub fn uniform(num_classes: usize) -> Self {
+        assert!(num_classes >= 2, "need at least two classes");
+        let p = 1.0 / (num_classes - 1) as f32;
+        let rows = (0..num_classes)
+            .map(|c| {
+                (0..num_classes)
+                    .map(|k| if k == c { 0.0 } else { p })
+                    .collect()
+            })
+            .collect();
+        Self { num_classes, rows }
+    }
+
+    /// Builds a pattern from raw confusion counts (diagonal ignored).
+    /// Rows with no off-diagonal mass fall back to uniform.
+    pub fn from_counts(counts: &[Vec<f32>]) -> Self {
+        let n = counts.len();
+        assert!(n >= 2 && counts.iter().all(|r| r.len() == n));
+        let mut rows = Vec::with_capacity(n);
+        for (c, row) in counts.iter().enumerate() {
+            let mut r: Vec<f32> = row
+                .iter()
+                .enumerate()
+                .map(|(k, &v)| if k == c { 0.0 } else { v.max(0.0) })
+                .collect();
+            let total: f32 = r.iter().sum();
+            if total <= 0.0 {
+                r = ConfusionPattern::uniform(n).rows[c].clone();
+            } else {
+                for v in &mut r {
+                    *v /= total;
+                }
+            }
+            rows.push(r);
+        }
+        Self { num_classes: n, rows }
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// The replacement distribution for `true_class`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `true_class` is out of range.
+    pub fn row(&self, true_class: usize) -> &[f32] {
+        &self.rows[true_class]
+    }
+
+    /// Samples a replacement label for `true_class` (never `true_class`).
+    pub fn sample_replacement(&self, true_class: usize, rng: &mut impl Rng) -> usize {
+        let row = self.row(true_class);
+        let u: f32 = rng.gen();
+        let mut acc = 0.0;
+        for (k, &p) in row.iter().enumerate() {
+            acc += p;
+            if u < acc {
+                return k;
+            }
+        }
+        // numerical slack: fall back to the last non-diagonal class
+        (0..self.num_classes)
+            .rev()
+            .find(|&k| k != true_class)
+            .expect("at least two classes")
+    }
+
+    /// Measures asymmetry: the mean absolute difference between `P[i][j]`
+    /// and `P[j][i]`. Zero for symmetric patterns like [`Self::uniform`].
+    pub fn asymmetry(&self) -> f32 {
+        let n = self.num_classes;
+        let mut total = 0.0;
+        let mut count = 0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                total += (self.rows[i][j] - self.rows[j][i]).abs();
+                count += 1;
+            }
+        }
+        total / count as f32
+    }
+}
+
+/// Extracts a confusion pattern from `dataset` by `folds`-fold
+/// cross-validation of a linear probe (the Cleanlab substitution).
+///
+/// # Panics
+///
+/// Panics if the dataset is empty or has fewer than two classes.
+pub fn extract(dataset: &Dataset, folds: usize, seed: u64) -> ConfusionPattern {
+    assert!(dataset.num_classes >= 2 && !dataset.is_empty());
+    let folds = folds.clamp(2, dataset.len());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut order: Vec<usize> = (0..dataset.len()).collect();
+    order.shuffle(&mut rng);
+    let mut counts = vec![vec![0.0f32; dataset.num_classes]; dataset.num_classes];
+    let flat = dataset.channels * dataset.size * dataset.size;
+    for f in 0..folds {
+        let held: Vec<usize> = order
+            .iter()
+            .copied()
+            .skip(f)
+            .step_by(folds)
+            .collect();
+        let train: Vec<usize> = order
+            .iter()
+            .copied()
+            .filter(|i| !held.contains(i))
+            .collect();
+        if train.is_empty() || held.is_empty() {
+            continue;
+        }
+        let mut net = Sequential::new();
+        net.push(Flatten::new());
+        net.push(Dense::new(flat, dataset.num_classes, &mut rng));
+        let mut probe = Model::new(
+            net,
+            InputSpec {
+                channels: dataset.channels,
+                size: dataset.size,
+                num_classes: dataset.num_classes,
+            },
+        );
+        let images: Vec<_> = train.iter().map(|&i| dataset.images[i].clone()).collect();
+        let labels: Vec<_> = train.iter().map(|&i| dataset.labels[i]).collect();
+        Trainer::new(TrainerConfig {
+            epochs: 3,
+            lr: 0.05,
+            seed: seed.wrapping_add(f as u64),
+            ..TrainerConfig::default()
+        })
+        .fit(&mut probe, &images, &labels);
+        for &i in &held {
+            let (pred, _) = probe.predict(&dataset.images[i]);
+            counts[dataset.labels[i]][pred] += 1.0;
+        }
+    }
+    // smoothing so no replacement class has exactly zero probability
+    for row in &mut counts {
+        for v in row.iter_mut() {
+            *v += 0.05;
+        }
+    }
+    ConfusionPattern::from_counts(&counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remix_data::SyntheticSpec;
+
+    #[test]
+    fn uniform_rows_are_stochastic_with_zero_diagonal() {
+        let p = ConfusionPattern::uniform(5);
+        for c in 0..5 {
+            let row = p.row(c);
+            assert_eq!(row[c], 0.0);
+            assert!((row.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        }
+        assert!(p.asymmetry() < 1e-6);
+    }
+
+    #[test]
+    fn sample_replacement_never_returns_true_class() {
+        let p = ConfusionPattern::uniform(4);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let c = rng.gen_range(0..4);
+            assert_ne!(p.sample_replacement(c, &mut rng), c);
+        }
+    }
+
+    #[test]
+    fn from_counts_normalizes_and_handles_empty_rows() {
+        let counts = vec![
+            vec![10.0, 3.0, 1.0],
+            vec![0.0, 0.0, 0.0], // degenerate row -> uniform
+            vec![2.0, 2.0, 5.0],
+        ];
+        let p = ConfusionPattern::from_counts(&counts);
+        assert!((p.row(0)[1] - 0.75).abs() < 1e-5);
+        assert!((p.row(0)[2] - 0.25).abs() < 1e-5);
+        assert!((p.row(1)[0] - 0.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn extracted_pattern_is_asymmetric_on_real_data() {
+        let (train, _) = SyntheticSpec::mnist_like().train_size(120).seed(3).generate();
+        let p = extract(&train, 3, 7);
+        assert_eq!(p.num_classes(), 10);
+        for c in 0..10 {
+            assert!((p.row(c).iter().sum::<f32>() - 1.0).abs() < 1e-4);
+            assert_eq!(p.row(c)[c], 0.0);
+        }
+        // probe confusion on digit shapes should not be perfectly symmetric
+        assert!(p.asymmetry() > 0.0);
+    }
+
+    #[test]
+    fn extraction_is_deterministic_per_seed() {
+        let (train, _) = SyntheticSpec::mnist_like().train_size(60).seed(4).generate();
+        let a = extract(&train, 2, 11);
+        let b = extract(&train, 2, 11);
+        assert_eq!(a, b);
+    }
+}

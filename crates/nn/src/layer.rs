@@ -1,0 +1,52 @@
+use remix_tensor::Tensor;
+
+/// Whether a forward pass is part of training or inference.
+///
+/// Dropout and batch-norm behave differently between the two.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Training: dropout active, normalization statistics updated.
+    Train,
+    /// Inference: deterministic forward pass.
+    Eval,
+}
+
+/// A differentiable network layer.
+///
+/// Layers cache whatever the backward pass needs during [`Layer::forward`];
+/// callers must pair every `backward` with the immediately preceding
+/// `forward`. `backward` accumulates weight gradients internally and returns
+/// the gradient with respect to the layer *input*, so chaining `backward`
+/// through a network yields the input-image gradient required by
+/// gradient-based XAI.
+pub trait Layer: Send {
+    /// Computes the layer output for `input`, caching backward state.
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor;
+
+    /// Propagates `grad_out` (gradient w.r.t. the last forward output) and
+    /// returns the gradient w.r.t. the last forward input. Accumulates
+    /// parameter gradients as a side effect.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Visits every `(parameter, gradient)` pair for optimizers.
+    fn visit_params(&mut self, visit: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        let _ = visit;
+    }
+
+    /// Short human-readable layer name (for architecture summaries).
+    fn name(&self) -> &'static str;
+
+    /// Number of trainable scalars in this layer.
+    fn param_count(&self) -> usize {
+        0
+    }
+
+    /// Zeroes all accumulated parameter gradients.
+    fn zero_grads(&mut self) {
+        self.visit_params(&mut |_, g| {
+            for v in g.data_mut() {
+                *v = 0.0;
+            }
+        });
+    }
+}

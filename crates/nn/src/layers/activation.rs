@@ -1,0 +1,139 @@
+use crate::{Layer, Mode};
+use remix_tensor::Tensor;
+
+/// Rectified linear unit.
+#[derive(Debug, Default)]
+pub struct Relu {
+    mask: Vec<bool>,
+}
+
+impl Relu {
+    /// Creates a ReLU activation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+        self.mask = input.data().iter().map(|&v| v > 0.0).collect();
+        input.map(|v| v.max(0.0))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let data = grad_out
+            .data()
+            .iter()
+            .zip(&self.mask)
+            .map(|(&g, &m)| if m { g } else { 0.0 })
+            .collect();
+        Tensor::from_vec(data, grad_out.shape()).expect("same shape")
+    }
+
+    fn name(&self) -> &'static str {
+        "ReLU"
+    }
+}
+
+/// Logistic sigmoid.
+#[derive(Debug, Default)]
+pub struct Sigmoid {
+    cached_out: Tensor,
+}
+
+impl Sigmoid {
+    /// Creates a sigmoid activation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Sigmoid {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+        let out = input.map(|v| 1.0 / (1.0 + (-v).exp()));
+        self.cached_out = out.clone();
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let data = grad_out
+            .data()
+            .iter()
+            .zip(self.cached_out.data())
+            .map(|(&g, &y)| g * y * (1.0 - y))
+            .collect();
+        Tensor::from_vec(data, grad_out.shape()).expect("same shape")
+    }
+
+    fn name(&self) -> &'static str {
+        "Sigmoid"
+    }
+}
+
+/// Hyperbolic tangent.
+#[derive(Debug, Default)]
+pub struct TanhLayer {
+    cached_out: Tensor,
+}
+
+impl TanhLayer {
+    /// Creates a tanh activation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for TanhLayer {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+        let out = input.map(f32::tanh);
+        self.cached_out = out.clone();
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let data = grad_out
+            .data()
+            .iter()
+            .zip(self.cached_out.data())
+            .map(|(&g, &y)| g * (1.0 - y * y))
+            .collect();
+        Tensor::from_vec(data, grad_out.shape()).expect("same shape")
+    }
+
+    fn name(&self) -> &'static str {
+        "Tanh"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_forward_backward() {
+        let mut r = Relu::new();
+        let y = r.forward(&Tensor::from_slice(&[-1.0, 2.0]), Mode::Eval);
+        assert_eq!(y.data(), &[0.0, 2.0]);
+        let dx = r.backward(&Tensor::from_slice(&[5.0, 5.0]));
+        assert_eq!(dx.data(), &[0.0, 5.0]);
+    }
+
+    #[test]
+    fn sigmoid_centre_and_gradient() {
+        let mut s = Sigmoid::new();
+        let y = s.forward(&Tensor::from_slice(&[0.0]), Mode::Eval);
+        assert!((y.data()[0] - 0.5).abs() < 1e-6);
+        let dx = s.backward(&Tensor::from_slice(&[1.0]));
+        assert!((dx.data()[0] - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tanh_gradient_matches_identity() {
+        let mut t = TanhLayer::new();
+        let x = Tensor::from_slice(&[0.3]);
+        let y = t.forward(&x, Mode::Eval);
+        let dx = t.backward(&Tensor::from_slice(&[1.0]));
+        let expected = 1.0 - y.data()[0] * y.data()[0];
+        assert!((dx.data()[0] - expected).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,181 @@
+use crate::{Layer, Mode};
+use remix_tensor::Tensor;
+
+/// Per-channel instance normalization with learnable affine parameters.
+///
+/// The zoo's deep architectures (ResNet, MobileNet, EfficientNetV2) rely on
+/// batch normalization in their reference form. This trainer feeds samples
+/// one at a time, where batch statistics degenerate, so the normalization
+/// role is filled by *instance* normalization — per-sample per-channel
+/// standardization with an exact backward pass through the statistics. It is
+/// deterministic, identical between train and eval modes, and keeps the deep
+/// zoo models trainable, which is what the reproduction needs from BN.
+#[derive(Debug)]
+pub struct InstanceNorm2d {
+    gamma: Tensor,
+    beta: Tensor,
+    grad_gamma: Tensor,
+    grad_beta: Tensor,
+    eps: f32,
+    channels: usize,
+    spatial: usize,
+    cached_xhat: Tensor,
+    cached_sigma: Vec<f32>,
+}
+
+impl InstanceNorm2d {
+    /// Creates an instance-norm layer over `in_shape = (channels, h, w)`.
+    pub fn new(in_shape: (usize, usize, usize)) -> Self {
+        let (c, h, w) = in_shape;
+        Self {
+            gamma: Tensor::ones(&[c]),
+            beta: Tensor::zeros(&[c]),
+            grad_gamma: Tensor::zeros(&[c]),
+            grad_beta: Tensor::zeros(&[c]),
+            eps: 1e-5,
+            channels: c,
+            spatial: h * w,
+            cached_xhat: Tensor::default(),
+            cached_sigma: vec![1.0; c],
+        }
+    }
+}
+
+impl Layer for InstanceNorm2d {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+        debug_assert_eq!(input.len(), self.channels * self.spatial);
+        let n = self.spatial as f32;
+        let mut out = Tensor::zeros(input.shape());
+        let mut xhat = Tensor::zeros(input.shape());
+        {
+            let ob = out.data_mut();
+            let xb = xhat.data_mut();
+            for c in 0..self.channels {
+                let slice = &input.data()[c * self.spatial..(c + 1) * self.spatial];
+                let mean = slice.iter().sum::<f32>() / n;
+                let var = slice.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / n;
+                let sigma = (var + self.eps).sqrt();
+                self.cached_sigma[c] = sigma;
+                let (g, b) = (self.gamma.data()[c], self.beta.data()[c]);
+                for i in 0..self.spatial {
+                    let h = (slice[i] - mean) / sigma;
+                    xb[c * self.spatial + i] = h;
+                    ob[c * self.spatial + i] = g * h + b;
+                }
+            }
+        }
+        self.cached_xhat = xhat;
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let n = self.spatial as f32;
+        let mut dx = Tensor::zeros(grad_out.shape());
+        let buf = dx.data_mut();
+        for c in 0..self.channels {
+            let g = self.gamma.data()[c];
+            let sigma = self.cached_sigma[c];
+            let xhat = &self.cached_xhat.data()[c * self.spatial..(c + 1) * self.spatial];
+            let go = &grad_out.data()[c * self.spatial..(c + 1) * self.spatial];
+            // exact instance-norm backward:
+            // dx = γ/(Nσ) · (N·dy − Σdy − x̂·Σ(dy·x̂))
+            let sum_dy: f32 = go.iter().sum();
+            let sum_dy_xhat: f32 = go.iter().zip(xhat).map(|(&a, &b)| a * b).sum();
+            for i in 0..self.spatial {
+                buf[c * self.spatial + i] =
+                    g / (n * sigma) * (n * go[i] - sum_dy - xhat[i] * sum_dy_xhat);
+            }
+            self.grad_gamma.data_mut()[c] += sum_dy_xhat;
+            self.grad_beta.data_mut()[c] += sum_dy;
+        }
+        dx
+    }
+
+    fn visit_params(&mut self, visit: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        visit(&mut self.gamma, &mut self.grad_gamma);
+        visit(&mut self.beta, &mut self.grad_beta);
+    }
+
+    fn name(&self) -> &'static str {
+        "InstanceNorm2d"
+    }
+
+    fn param_count(&self) -> usize {
+        self.gamma.len() + self.beta.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use remix_tensor::Tensor;
+
+    #[test]
+    fn output_is_standardized_per_channel() {
+        let mut norm = InstanceNorm2d::new((2, 4, 4));
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = Tensor::randn(&[2, 4, 4], 3.0, &mut rng).add_scalar(5.0);
+        let y = norm.forward(&x, Mode::Train);
+        for c in 0..2 {
+            let ch = y.index_axis0(c).unwrap();
+            assert!(ch.mean().abs() < 1e-4, "channel {c} mean {}", ch.mean());
+            assert!((ch.std() - 1.0).abs() < 1e-2, "channel {c} std {}", ch.std());
+        }
+    }
+
+    #[test]
+    fn train_and_eval_agree() {
+        let mut norm = InstanceNorm2d::new((1, 3, 3));
+        let mut rng = StdRng::seed_from_u64(2);
+        let x = Tensor::randn(&[1, 3, 3], 1.0, &mut rng);
+        let a = norm.forward(&x, Mode::Train);
+        let b = norm.forward(&x, Mode::Eval);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let mut norm = InstanceNorm2d::new((2, 3, 3));
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = Tensor::randn(&[2, 3, 3], 1.0, &mut rng);
+        // non-trivial downstream loss: weighted sum
+        let w = Tensor::randn(&[2, 3, 3], 1.0, &mut rng);
+        let loss = |norm: &mut InstanceNorm2d, x: &Tensor| -> f32 {
+            norm.forward(x, Mode::Train).mul(&w).unwrap().sum()
+        };
+        let base = loss(&mut norm, &x);
+        let dx = norm.backward(&w);
+        let eps = 1e-2;
+        for &i in &[0usize, 4, 9, 13, 17] {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let num = (loss(&mut norm, &xp) - base) / eps;
+            assert!(
+                (num - dx.data()[i]).abs() < 5e-2,
+                "grad at {i}: fd={num} vs {}",
+                dx.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn constant_channel_does_not_blow_up() {
+        let mut norm = InstanceNorm2d::new((1, 2, 2));
+        let y = norm.forward(&Tensor::full(&[1, 2, 2], 7.0), Mode::Train);
+        assert!(!y.has_non_finite());
+        let dx = norm.backward(&Tensor::ones(&[1, 2, 2]));
+        assert!(!dx.has_non_finite());
+    }
+
+    #[test]
+    fn gamma_beta_gradients_accumulate() {
+        let mut norm = InstanceNorm2d::new((1, 2, 2));
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 2, 2]).unwrap();
+        norm.forward(&x, Mode::Train);
+        norm.backward(&Tensor::ones(&[1, 2, 2]));
+        assert_eq!(norm.grad_beta.data()[0], 4.0);
+        // x̂ sums to ~0, so dγ ≈ 0 for a uniform upstream gradient
+        assert!(norm.grad_gamma.data()[0].abs() < 1e-4);
+    }
+}

@@ -1,0 +1,188 @@
+use crate::{Layer, Mode};
+use rand::Rng;
+use remix_tensor::{col2im, im2col, Conv2dGeometry, Tensor};
+
+/// 2-D convolution over `[C, H, W]` inputs, lowered to a matrix product via
+/// im2col.
+///
+/// Weights are stored as `[filters, C*k*k]`, which makes both the forward
+/// product and the two backward products plain rank-2 matmuls.
+#[derive(Debug)]
+pub struct Conv2d {
+    weight: Tensor, // [F, C*k*k]
+    bias: Tensor,   // [F]
+    grad_w: Tensor,
+    grad_b: Tensor,
+    geo: Conv2dGeometry,
+    filters: usize,
+    cached_cols: Tensor,
+}
+
+impl Conv2d {
+    /// Creates a convolution with square `kernel`, `stride` and `pad` over
+    /// `in_shape = (channels, height, width)` producing `filters` channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is unrealizable (kernel larger than padded
+    /// input or zero stride).
+    pub fn new(
+        in_shape: (usize, usize, usize),
+        filters: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let geo = Conv2dGeometry {
+            in_channels: in_shape.0,
+            in_h: in_shape.1,
+            in_w: in_shape.2,
+            kernel,
+            stride,
+            pad,
+        };
+        assert!(geo.is_valid(), "invalid conv geometry {geo:?}");
+        let fan_in = geo.patch_len();
+        let std = (2.0 / fan_in as f32).sqrt();
+        Self {
+            weight: Tensor::randn(&[filters, fan_in], std, rng),
+            bias: Tensor::zeros(&[filters]),
+            grad_w: Tensor::zeros(&[filters, fan_in]),
+            grad_b: Tensor::zeros(&[filters]),
+            geo,
+            filters,
+            cached_cols: Tensor::default(),
+        }
+    }
+
+    /// Output shape `(filters, out_h, out_w)`.
+    pub fn out_shape(&self) -> (usize, usize, usize) {
+        (self.filters, self.geo.out_h(), self.geo.out_w())
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+        let cols = im2col(input, &self.geo).expect("conv input matches geometry");
+        let mut out = self.weight.matmul(&cols).expect("conv matmul");
+        let (oh, ow) = (self.geo.out_h(), self.geo.out_w());
+        let spatial = oh * ow;
+        {
+            let buf = out.data_mut();
+            for f in 0..self.filters {
+                let b = self.bias.data()[f];
+                for v in &mut buf[f * spatial..(f + 1) * spatial] {
+                    *v += b;
+                }
+            }
+        }
+        self.cached_cols = cols;
+        out.reshape(&[self.filters, oh, ow]).expect("reshape conv out")
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let (oh, ow) = (self.geo.out_h(), self.geo.out_w());
+        let g = grad_out
+            .reshape(&[self.filters, oh * ow])
+            .expect("grad shape matches conv output");
+        // dW += g · colsᵀ
+        let cols_t = self.cached_cols.transpose().expect("cols rank 2");
+        let dw = g.matmul(&cols_t).expect("dW matmul");
+        self.grad_w.add_assign(&dw).expect("dW shape");
+        // db += row sums of g
+        {
+            let gb = self.grad_b.data_mut();
+            for f in 0..self.filters {
+                gb[f] += g.data()[f * oh * ow..(f + 1) * oh * ow].iter().sum::<f32>();
+            }
+        }
+        // dx = col2im(Wᵀ · g)
+        let wt = self.weight.transpose().expect("weight rank 2");
+        let dcols = wt.matmul(&g).expect("dcols matmul");
+        col2im(&dcols, &self.geo).expect("col2im geometry")
+    }
+
+    fn visit_params(&mut self, visit: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        visit(&mut self.weight, &mut self.grad_w);
+        visit(&mut self.bias, &mut self.grad_b);
+    }
+
+    fn name(&self) -> &'static str {
+        "Conv2d"
+    }
+
+    fn param_count(&self) -> usize {
+        self.weight.len() + self.bias.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn forward_matches_manual_convolution() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut conv = Conv2d::new((1, 3, 3), 1, 2, 1, 0, &mut rng);
+        conv.weight = Tensor::ones(&[1, 4]);
+        conv.bias = Tensor::from_slice(&[1.0]);
+        let x = Tensor::from_vec((1..=9).map(|v| v as f32).collect(), &[1, 3, 3]).unwrap();
+        let y = conv.forward(&x, Mode::Eval);
+        assert_eq!(y.shape(), &[1, 2, 2]);
+        assert_eq!(y.data(), &[13.0, 17.0, 25.0, 29.0]); // patch sums + bias
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut conv = Conv2d::new((2, 4, 4), 3, 3, 1, 1, &mut rng);
+        let x = Tensor::randn(&[2, 4, 4], 1.0, &mut rng);
+        let y = conv.forward(&x, Mode::Train);
+        let dx = conv.backward(&Tensor::ones(y.shape()));
+        let eps = 1e-2;
+        for &i in &[0usize, 7, 20, 31] {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let yp = conv.forward(&xp, Mode::Train);
+            let num = (yp.sum() - y.sum()) / eps;
+            assert!(
+                (num - dx.data()[i]).abs() < 5e-2,
+                "input grad at {i}: fd={num} analytic={}",
+                dx.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn weight_gradient_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut conv = Conv2d::new((1, 4, 4), 2, 3, 1, 0, &mut rng);
+        let x = Tensor::randn(&[1, 4, 4], 1.0, &mut rng);
+        let y = conv.forward(&x, Mode::Train);
+        conv.zero_grads();
+        conv.backward(&Tensor::ones(y.shape()));
+        let analytic = conv.grad_w.clone();
+        let eps = 1e-2;
+        for &i in &[0usize, 5, 11] {
+            let mut pert = conv.weight.clone();
+            pert.data_mut()[i] += eps;
+            let orig = std::mem::replace(&mut conv.weight, pert);
+            let yp = conv.forward(&x, Mode::Train);
+            conv.weight = orig;
+            let num = (yp.sum() - y.sum()) / eps;
+            assert!(
+                (num - analytic.data()[i]).abs() < 5e-2,
+                "weight grad at {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn stride_and_padding_shapes() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let conv = Conv2d::new((3, 8, 8), 6, 3, 2, 1, &mut rng);
+        assert_eq!(conv.out_shape(), (6, 4, 4));
+    }
+}

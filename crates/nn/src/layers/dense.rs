@@ -1,0 +1,149 @@
+use crate::{Layer, Mode};
+use rand::Rng;
+use remix_tensor::Tensor;
+
+/// Fully-connected layer: `y = W x + b` over rank-1 inputs.
+///
+/// Weights use He initialization, appropriate for the ReLU networks of the
+/// zoo.
+#[derive(Debug)]
+pub struct Dense {
+    weight: Tensor, // [out, in]
+    bias: Tensor,   // [out]
+    grad_w: Tensor,
+    grad_b: Tensor,
+    cached_input: Tensor,
+}
+
+impl Dense {
+    /// Creates a dense layer mapping `in_dim -> out_dim`.
+    pub fn new(in_dim: usize, out_dim: usize, rng: &mut impl Rng) -> Self {
+        let std = (2.0 / in_dim as f32).sqrt();
+        Self {
+            weight: Tensor::randn(&[out_dim, in_dim], std, rng),
+            bias: Tensor::zeros(&[out_dim]),
+            grad_w: Tensor::zeros(&[out_dim, in_dim]),
+            grad_b: Tensor::zeros(&[out_dim]),
+            cached_input: Tensor::default(),
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.weight.shape()[1]
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.weight.shape()[0]
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+        debug_assert_eq!(input.len(), self.in_dim(), "dense input length");
+        let flat = if input.rank() == 1 { input.clone() } else { input.flatten() };
+        let mut out = self.weight.matvec(&flat).expect("dense shape checked");
+        out.add_assign(&self.bias).expect("bias length");
+        self.cached_input = flat;
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let (out_dim, in_dim) = (self.out_dim(), self.in_dim());
+        debug_assert_eq!(grad_out.len(), out_dim);
+        // dW += g ⊗ x ; db += g ; dx = Wᵀ g
+        let gw = self.grad_w.data_mut();
+        let x = self.cached_input.data();
+        for (i, &g) in grad_out.data().iter().enumerate() {
+            if g != 0.0 {
+                let row = &mut gw[i * in_dim..(i + 1) * in_dim];
+                for (w, &xv) in row.iter_mut().zip(x) {
+                    *w += g * xv;
+                }
+            }
+        }
+        self.grad_b.add_assign(grad_out).expect("bias grad length");
+        let mut dx = vec![0.0f32; in_dim];
+        let w = self.weight.data();
+        for (i, &g) in grad_out.data().iter().enumerate() {
+            if g != 0.0 {
+                let row = &w[i * in_dim..(i + 1) * in_dim];
+                for (d, &wv) in dx.iter_mut().zip(row) {
+                    *d += g * wv;
+                }
+            }
+        }
+        Tensor::from_slice(&dx)
+    }
+
+    fn visit_params(&mut self, visit: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        visit(&mut self.weight, &mut self.grad_w);
+        visit(&mut self.bias, &mut self.grad_b);
+    }
+
+    fn name(&self) -> &'static str {
+        "Dense"
+    }
+
+    fn param_count(&self) -> usize {
+        self.weight.len() + self.bias.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn forward_computes_affine_map() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut d = Dense::new(2, 2, &mut rng);
+        // overwrite with known weights
+        d.weight = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        d.bias = Tensor::from_slice(&[0.5, -0.5]);
+        let y = d.forward(&Tensor::from_slice(&[1.0, 1.0]), Mode::Eval);
+        assert_eq!(y.data(), &[3.5, 6.5]);
+    }
+
+    #[test]
+    fn backward_gradients_match_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut d = Dense::new(3, 2, &mut rng);
+        let x = Tensor::from_slice(&[0.3, -0.7, 0.9]);
+        let y = d.forward(&x, Mode::Train);
+        // scalar loss = sum(y); dL/dy = ones
+        let dx = d.backward(&Tensor::ones(&[2]));
+        let eps = 1e-3;
+        for i in 0..3 {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let yp = d.forward(&xp, Mode::Train);
+            let num = (yp.sum() - y.sum()) / eps;
+            assert!((num - dx.data()[i]).abs() < 1e-2, "input grad {i}");
+        }
+    }
+
+    #[test]
+    fn weight_gradient_accumulates() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut d = Dense::new(2, 1, &mut rng);
+        let x = Tensor::from_slice(&[1.0, 2.0]);
+        d.forward(&x, Mode::Train);
+        d.backward(&Tensor::from_slice(&[1.0]));
+        d.forward(&x, Mode::Train);
+        d.backward(&Tensor::from_slice(&[1.0]));
+        assert_eq!(d.grad_w.data(), &[2.0, 4.0]);
+        assert_eq!(d.grad_b.data(), &[2.0]);
+        d.zero_grads();
+        assert_eq!(d.grad_w.data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn param_count() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let d = Dense::new(4, 3, &mut rng);
+        assert_eq!(d.param_count(), 15);
+    }
+}

@@ -1,0 +1,204 @@
+use crate::{Layer, Mode};
+use rand::Rng;
+use remix_tensor::Tensor;
+
+/// Depthwise 2-D convolution: one `k×k` filter per input channel.
+///
+/// This is the distinguishing layer of MobileNet and of the MBConv blocks in
+/// EfficientNetV2. Channel counts in the zoo are small, so a direct loop is
+/// fast enough without im2col lowering.
+#[derive(Debug)]
+pub struct DepthwiseConv2d {
+    weight: Tensor, // [C, k*k]
+    bias: Tensor,   // [C]
+    grad_w: Tensor,
+    grad_b: Tensor,
+    channels: usize,
+    in_h: usize,
+    in_w: usize,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+    cached_input: Tensor,
+}
+
+impl DepthwiseConv2d {
+    /// Creates a depthwise convolution over `in_shape = (channels, h, w)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel does not fit the padded input.
+    pub fn new(
+        in_shape: (usize, usize, usize),
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let (c, h, w) = in_shape;
+        assert!(h + 2 * pad >= kernel && w + 2 * pad >= kernel && stride > 0);
+        let std = (2.0 / (kernel * kernel) as f32).sqrt();
+        Self {
+            weight: Tensor::randn(&[c, kernel * kernel], std, rng),
+            bias: Tensor::zeros(&[c]),
+            grad_w: Tensor::zeros(&[c, kernel * kernel]),
+            grad_b: Tensor::zeros(&[c]),
+            channels: c,
+            in_h: h,
+            in_w: w,
+            kernel,
+            stride,
+            pad,
+            cached_input: Tensor::default(),
+        }
+    }
+
+    fn out_h(&self) -> usize {
+        (self.in_h + 2 * self.pad - self.kernel) / self.stride + 1
+    }
+
+    fn out_w(&self) -> usize {
+        (self.in_w + 2 * self.pad - self.kernel) / self.stride + 1
+    }
+
+    /// Output shape `(channels, out_h, out_w)`.
+    pub fn out_shape(&self) -> (usize, usize, usize) {
+        (self.channels, self.out_h(), self.out_w())
+    }
+}
+
+impl Layer for DepthwiseConv2d {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+        debug_assert_eq!(input.shape(), [self.channels, self.in_h, self.in_w]);
+        let (oh, ow, k) = (self.out_h(), self.out_w(), self.kernel);
+        let mut out = Tensor::zeros(&[self.channels, oh, ow]);
+        let x = input.data();
+        let buf = out.data_mut();
+        for c in 0..self.channels {
+            let w = &self.weight.data()[c * k * k..(c + 1) * k * k];
+            let b = self.bias.data()[c];
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = b;
+                    for ky in 0..k {
+                        let iy = (oy * self.stride + ky) as isize - self.pad as isize;
+                        if iy < 0 || iy >= self.in_h as isize {
+                            continue;
+                        }
+                        for kx in 0..k {
+                            let ix = (ox * self.stride + kx) as isize - self.pad as isize;
+                            if ix < 0 || ix >= self.in_w as isize {
+                                continue;
+                            }
+                            acc += w[ky * k + kx]
+                                * x[(c * self.in_h + iy as usize) * self.in_w + ix as usize];
+                        }
+                    }
+                    buf[(c * oh + oy) * ow + ox] = acc;
+                }
+            }
+        }
+        self.cached_input = input.clone();
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let (oh, ow, k) = (self.out_h(), self.out_w(), self.kernel);
+        debug_assert_eq!(grad_out.shape(), [self.channels, oh, ow]);
+        let mut dx = Tensor::zeros(&[self.channels, self.in_h, self.in_w]);
+        let x = self.cached_input.data();
+        let g = grad_out.data();
+        let dxb = dx.data_mut();
+        for c in 0..self.channels {
+            let w = &self.weight.data()[c * k * k..(c + 1) * k * k];
+            let gw_base = c * k * k;
+            let mut db = 0.0;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let gv = g[(c * oh + oy) * ow + ox];
+                    if gv == 0.0 {
+                        continue;
+                    }
+                    db += gv;
+                    for ky in 0..k {
+                        let iy = (oy * self.stride + ky) as isize - self.pad as isize;
+                        if iy < 0 || iy >= self.in_h as isize {
+                            continue;
+                        }
+                        for kx in 0..k {
+                            let ix = (ox * self.stride + kx) as isize - self.pad as isize;
+                            if ix < 0 || ix >= self.in_w as isize {
+                                continue;
+                            }
+                            let xi = (c * self.in_h + iy as usize) * self.in_w + ix as usize;
+                            self.grad_w.data_mut()[gw_base + ky * k + kx] += gv * x[xi];
+                            dxb[xi] += gv * w[ky * k + kx];
+                        }
+                    }
+                }
+            }
+            self.grad_b.data_mut()[c] += db;
+        }
+        dx
+    }
+
+    fn visit_params(&mut self, visit: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        visit(&mut self.weight, &mut self.grad_w);
+        visit(&mut self.bias, &mut self.grad_b);
+    }
+
+    fn name(&self) -> &'static str {
+        "DepthwiseConv2d"
+    }
+
+    fn param_count(&self) -> usize {
+        self.weight.len() + self.bias.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn channels_do_not_mix() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut dw = DepthwiseConv2d::new((2, 3, 3), 3, 1, 1, &mut rng);
+        // zero out channel 1's filter: its output must be all bias (= 0)
+        for v in &mut dw.weight.data_mut()[9..18] {
+            *v = 0.0;
+        }
+        let x = Tensor::ones(&[2, 3, 3]);
+        let y = dw.forward(&x, Mode::Eval);
+        let ch1 = y.index_axis0(1).unwrap();
+        assert!(ch1.data().iter().all(|&v| v == 0.0));
+        let ch0 = y.index_axis0(0).unwrap();
+        assert!(ch0.data().iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn gradients_match_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut dw = DepthwiseConv2d::new((2, 4, 4), 3, 1, 1, &mut rng);
+        let x = Tensor::randn(&[2, 4, 4], 1.0, &mut rng);
+        let y = dw.forward(&x, Mode::Train);
+        dw.zero_grads();
+        let dx = dw.backward(&Tensor::ones(y.shape()));
+        let eps = 1e-2;
+        for &i in &[0usize, 9, 17, 31] {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let yp = dw.forward(&xp, Mode::Train);
+            let num = (yp.sum() - y.sum()) / eps;
+            assert!((num - dx.data()[i]).abs() < 5e-2, "input grad at {i}");
+        }
+    }
+
+    #[test]
+    fn stride_two_halves_resolution() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let dw = DepthwiseConv2d::new((4, 8, 8), 3, 2, 1, &mut rng);
+        assert_eq!(dw.out_shape(), (4, 4, 4));
+    }
+}

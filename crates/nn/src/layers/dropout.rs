@@ -1,0 +1,120 @@
+use crate::{Layer, Mode};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use remix_tensor::Tensor;
+
+/// Inverted dropout: in training mode zeroes activations with probability `p`
+/// and rescales survivors by `1/(1-p)`; identity in evaluation mode.
+#[derive(Debug)]
+pub struct Dropout {
+    p: f32,
+    rng: StdRng,
+    mask: Option<Vec<f32>>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p < 1.0`.
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout p must be in [0, 1), got {p}");
+        Self {
+            p,
+            rng: StdRng::seed_from_u64(seed),
+            mask: None,
+        }
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        match mode {
+            Mode::Eval => {
+                self.mask = None;
+                input.clone()
+            }
+            Mode::Train => {
+                let keep = 1.0 - self.p;
+                let mask: Vec<f32> = (0..input.len())
+                    .map(|_| {
+                        if self.rng.gen::<f32>() < self.p {
+                            0.0
+                        } else {
+                            1.0 / keep
+                        }
+                    })
+                    .collect();
+                let data = input
+                    .data()
+                    .iter()
+                    .zip(&mask)
+                    .map(|(&v, &m)| v * m)
+                    .collect();
+                self.mask = Some(mask);
+                Tensor::from_vec(data, input.shape()).expect("same shape")
+            }
+        }
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        match &self.mask {
+            None => grad_out.clone(),
+            Some(mask) => {
+                let data = grad_out
+                    .data()
+                    .iter()
+                    .zip(mask)
+                    .map(|(&g, &m)| g * m)
+                    .collect();
+                Tensor::from_vec(data, grad_out.shape()).expect("same shape")
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "Dropout"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let mut d = Dropout::new(0.5, 1);
+        let x = Tensor::ones(&[100]);
+        let y = d.forward(&x, Mode::Eval);
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn train_mode_drops_and_rescales() {
+        let mut d = Dropout::new(0.5, 2);
+        let x = Tensor::ones(&[10_000]);
+        let y = d.forward(&x, Mode::Train);
+        let zeros = y.data().iter().filter(|&&v| v == 0.0).count();
+        assert!((zeros as f32 / 10_000.0 - 0.5).abs() < 0.05);
+        // survivors are scaled so the expectation is preserved
+        assert!((y.mean() - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn backward_applies_same_mask() {
+        let mut d = Dropout::new(0.5, 3);
+        let x = Tensor::ones(&[1000]);
+        let y = d.forward(&x, Mode::Train);
+        let dx = d.backward(&Tensor::ones(&[1000]));
+        // gradient is zero exactly where the forward output was zero
+        for (o, g) in y.data().iter().zip(dx.data()) {
+            assert_eq!(*o == 0.0, *g == 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dropout p")]
+    fn rejects_invalid_probability() {
+        Dropout::new(1.0, 4);
+    }
+}

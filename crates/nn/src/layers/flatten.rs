@@ -1,0 +1,47 @@
+use crate::{Layer, Mode};
+use remix_tensor::Tensor;
+
+/// Flattens any input to rank 1 and restores the shape on the way back.
+#[derive(Debug, Default)]
+pub struct Flatten {
+    in_shape: Vec<usize>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+        self.in_shape = input.shape().to_vec();
+        input.flatten()
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        grad_out
+            .reshape(&self.in_shape)
+            .expect("flatten backward restores cached shape")
+    }
+
+    fn name(&self) -> &'static str {
+        "Flatten"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_shape() {
+        let mut f = Flatten::new();
+        let x = Tensor::zeros(&[2, 3, 4]);
+        let y = f.forward(&x, Mode::Eval);
+        assert_eq!(y.shape(), &[24]);
+        let dx = f.backward(&Tensor::ones(&[24]));
+        assert_eq!(dx.shape(), &[2, 3, 4]);
+    }
+}

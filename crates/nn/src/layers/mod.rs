@@ -1,0 +1,23 @@
+//! The layer set used by the model zoo.
+
+mod activation;
+mod batchnorm;
+mod conv;
+mod dense;
+mod depthwise;
+mod dropout;
+mod flatten;
+mod pool;
+mod residual;
+mod squeeze_excite;
+
+pub use activation::{Relu, Sigmoid, TanhLayer};
+pub use batchnorm::InstanceNorm2d;
+pub use conv::Conv2d;
+pub use dense::Dense;
+pub use depthwise::DepthwiseConv2d;
+pub use dropout::Dropout;
+pub use flatten::Flatten;
+pub use pool::{AvgPool2d, GlobalAvgPool, MaxPool2d};
+pub use residual::Residual;
+pub use squeeze_excite::SqueezeExcite;

@@ -1,0 +1,243 @@
+use crate::{Layer, Mode};
+use remix_tensor::Tensor;
+
+/// Max pooling with square window and matching stride over `[C, H, W]`.
+#[derive(Debug)]
+pub struct MaxPool2d {
+    window: usize,
+    in_shape: (usize, usize, usize),
+    argmax: Vec<usize>,
+}
+
+impl MaxPool2d {
+    /// Creates a max-pool of `window`×`window` (stride = window).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window does not divide the spatial dimensions.
+    pub fn new(in_shape: (usize, usize, usize), window: usize) -> Self {
+        assert!(window > 0 && in_shape.1 % window == 0 && in_shape.2 % window == 0,
+            "pool window {window} must divide spatial dims {in_shape:?}");
+        Self { window, in_shape, argmax: Vec::new() }
+    }
+
+    /// Output shape `(C, H/window, W/window)`.
+    pub fn out_shape(&self) -> (usize, usize, usize) {
+        let (c, h, w) = self.in_shape;
+        (c, h / self.window, w / self.window)
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+        let (c, h, w) = self.in_shape;
+        debug_assert_eq!(input.shape(), [c, h, w]);
+        let (oc, oh, ow) = self.out_shape();
+        let mut out = Tensor::zeros(&[oc, oh, ow]);
+        self.argmax.clear();
+        self.argmax.reserve(oc * oh * ow);
+        let x = input.data();
+        let buf = out.data_mut();
+        for ci in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best_i = (ci * h + oy * self.window) * w + ox * self.window;
+                    let mut best = x[best_i];
+                    for ky in 0..self.window {
+                        for kx in 0..self.window {
+                            let i = (ci * h + oy * self.window + ky) * w + ox * self.window + kx;
+                            if x[i] > best {
+                                best = x[i];
+                                best_i = i;
+                            }
+                        }
+                    }
+                    buf[(ci * oh + oy) * ow + ox] = best;
+                    self.argmax.push(best_i);
+                }
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let (c, h, w) = self.in_shape;
+        let mut dx = Tensor::zeros(&[c, h, w]);
+        let buf = dx.data_mut();
+        for (&src, &g) in self.argmax.iter().zip(grad_out.data()) {
+            buf[src] += g;
+        }
+        dx
+    }
+
+    fn name(&self) -> &'static str {
+        "MaxPool2d"
+    }
+}
+
+/// Average pooling with square window and matching stride.
+#[derive(Debug)]
+pub struct AvgPool2d {
+    window: usize,
+    in_shape: (usize, usize, usize),
+}
+
+impl AvgPool2d {
+    /// Creates an average pool of `window`×`window` (stride = window).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window does not divide the spatial dimensions.
+    pub fn new(in_shape: (usize, usize, usize), window: usize) -> Self {
+        assert!(window > 0 && in_shape.1 % window == 0 && in_shape.2 % window == 0);
+        Self { window, in_shape }
+    }
+
+    /// Output shape `(C, H/window, W/window)`.
+    pub fn out_shape(&self) -> (usize, usize, usize) {
+        let (c, h, w) = self.in_shape;
+        (c, h / self.window, w / self.window)
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+        let (c, h, w) = self.in_shape;
+        let (oc, oh, ow) = self.out_shape();
+        let norm = 1.0 / (self.window * self.window) as f32;
+        let mut out = Tensor::zeros(&[oc, oh, ow]);
+        let x = input.data();
+        let buf = out.data_mut();
+        for ci in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0;
+                    for ky in 0..self.window {
+                        for kx in 0..self.window {
+                            acc += x[(ci * h + oy * self.window + ky) * w
+                                + ox * self.window
+                                + kx];
+                        }
+                    }
+                    buf[(ci * oh + oy) * ow + ox] = acc * norm;
+                }
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let (c, h, w) = self.in_shape;
+        let (_, oh, ow) = self.out_shape();
+        let norm = 1.0 / (self.window * self.window) as f32;
+        let mut dx = Tensor::zeros(&[c, h, w]);
+        let g = grad_out.data();
+        let buf = dx.data_mut();
+        for ci in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let gv = g[(ci * oh + oy) * ow + ox] * norm;
+                    for ky in 0..self.window {
+                        for kx in 0..self.window {
+                            buf[(ci * h + oy * self.window + ky) * w + ox * self.window + kx] +=
+                                gv;
+                        }
+                    }
+                }
+            }
+        }
+        dx
+    }
+
+    fn name(&self) -> &'static str {
+        "AvgPool2d"
+    }
+}
+
+/// Global average pooling: `[C, H, W] -> [C]`.
+#[derive(Debug)]
+pub struct GlobalAvgPool {
+    in_shape: (usize, usize, usize),
+}
+
+impl GlobalAvgPool {
+    /// Creates a global average pool over `in_shape`.
+    pub fn new(in_shape: (usize, usize, usize)) -> Self {
+        Self { in_shape }
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+        let (c, h, w) = self.in_shape;
+        let spatial = h * w;
+        let mut out = vec![0.0f32; c];
+        for (ci, o) in out.iter_mut().enumerate() {
+            *o = input.data()[ci * spatial..(ci + 1) * spatial].iter().sum::<f32>()
+                / spatial as f32;
+        }
+        Tensor::from_slice(&out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let (c, h, w) = self.in_shape;
+        let spatial = h * w;
+        let norm = 1.0 / spatial as f32;
+        let mut dx = Tensor::zeros(&[c, h, w]);
+        let buf = dx.data_mut();
+        for ci in 0..c {
+            let gv = grad_out.data()[ci] * norm;
+            for v in &mut buf[ci * spatial..(ci + 1) * spatial] {
+                *v = gv;
+            }
+        }
+        dx
+    }
+
+    fn name(&self) -> &'static str {
+        "GlobalAvgPool"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxpool_selects_maxima() {
+        let mut p = MaxPool2d::new((1, 2, 2), 2);
+        let x = Tensor::from_vec(vec![1.0, 5.0, 3.0, 2.0], &[1, 2, 2]).unwrap();
+        let y = p.forward(&x, Mode::Eval);
+        assert_eq!(y.data(), &[5.0]);
+        let dx = p.backward(&Tensor::from_slice(&[1.0]).reshape(&[1, 1, 1]).unwrap());
+        assert_eq!(dx.data(), &[0.0, 1.0, 0.0, 0.0]); // gradient routed to the max
+    }
+
+    #[test]
+    fn avgpool_averages_and_spreads_gradient() {
+        let mut p = AvgPool2d::new((1, 2, 2), 2);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 2, 2]).unwrap();
+        let y = p.forward(&x, Mode::Eval);
+        assert_eq!(y.data(), &[2.5]);
+        let dx = p.backward(&Tensor::from_vec(vec![4.0], &[1, 1, 1]).unwrap());
+        assert_eq!(dx.data(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn global_avg_pool_reduces_to_channels() {
+        let mut p = GlobalAvgPool::new((2, 2, 2));
+        let x = Tensor::from_vec(vec![1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 2.0], &[2, 2, 2])
+            .unwrap();
+        let y = p.forward(&x, Mode::Eval);
+        assert_eq!(y.data(), &[1.0, 2.0]);
+        let dx = p.backward(&Tensor::from_slice(&[4.0, 8.0]));
+        assert_eq!(dx.at(&[0, 0, 0]), 1.0);
+        assert_eq!(dx.at(&[1, 1, 1]), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide")]
+    fn maxpool_rejects_nondividing_window() {
+        MaxPool2d::new((1, 3, 3), 2);
+    }
+}

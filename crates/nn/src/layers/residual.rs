@@ -1,0 +1,155 @@
+use crate::layers::Conv2d;
+use crate::{Layer, Mode, Sequential};
+use rand::Rng;
+use remix_tensor::Tensor;
+
+/// Residual block: `y = body(x) + shortcut(x)`.
+///
+/// The shortcut is the identity when the body preserves shape, or a strided
+/// 1×1 projection convolution when the body changes channel count or spatial
+/// resolution — exactly the two shortcut flavours of ResNet-18/50.
+pub struct Residual {
+    body: Sequential,
+    projection: Option<Conv2d>,
+    cached_input: Tensor,
+}
+
+impl Residual {
+    /// Creates an identity-shortcut block (body must preserve shape).
+    pub fn identity(body: Sequential) -> Self {
+        Self {
+            body,
+            projection: None,
+            cached_input: Tensor::default(),
+        }
+    }
+
+    /// Creates a block with a 1×1 projection shortcut mapping
+    /// `in_shape -> (out_channels, ...)` at `stride`.
+    pub fn projected(
+        body: Sequential,
+        in_shape: (usize, usize, usize),
+        out_channels: usize,
+        stride: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        Self {
+            body,
+            projection: Some(Conv2d::new(in_shape, out_channels, 1, stride, 0, rng)),
+            cached_input: Tensor::default(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Residual {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Residual(body={:?}, projected={})",
+            self.body,
+            self.projection.is_some()
+        )
+    }
+}
+
+impl Layer for Residual {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        self.cached_input = input.clone();
+        let mut out = self.body.forward(input, mode);
+        let shortcut = match &mut self.projection {
+            Some(proj) => proj.forward(input, mode),
+            None => input.clone(),
+        };
+        out.add_assign(&shortcut)
+            .expect("residual body and shortcut shapes must agree");
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut dx = self.body.backward(grad_out);
+        let d_short = match &mut self.projection {
+            Some(proj) => proj.backward(grad_out),
+            None => grad_out.clone(),
+        };
+        dx.add_assign(&d_short).expect("shortcut grad shape");
+        dx
+    }
+
+    fn visit_params(&mut self, visit: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        self.body.visit_params(visit);
+        if let Some(proj) = &mut self.projection {
+            proj.visit_params(visit);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "Residual"
+    }
+
+    fn param_count(&self) -> usize {
+        self.body.param_count()
+            + self.projection.as_ref().map_or(0, |p| p.param_count())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::Relu;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn identity_block_with_empty_body_doubles_nothing() {
+        // body = ReLU only: y = relu(x) + x
+        let mut body = Sequential::new();
+        body.push(Relu::new());
+        let mut block = Residual::identity(body);
+        let x = Tensor::from_vec(vec![-1.0, 2.0], &[2, 1, 1]).unwrap();
+        let y = block.forward(&x, Mode::Eval);
+        assert_eq!(y.data(), &[-1.0, 4.0]);
+    }
+
+    #[test]
+    fn gradient_flows_through_both_paths() {
+        let mut body = Sequential::new();
+        body.push(Relu::new());
+        let mut block = Residual::identity(body);
+        let x = Tensor::from_vec(vec![1.0, -1.0], &[2, 1, 1]).unwrap();
+        block.forward(&x, Mode::Train);
+        let dx = block.backward(&Tensor::ones(&[2, 1, 1]));
+        // positive input: relu path + identity = 2; negative: identity only = 1
+        assert_eq!(dx.data(), &[2.0, 1.0]);
+    }
+
+    #[test]
+    fn projected_block_changes_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut body = Sequential::new();
+        body.push(Conv2d::new((2, 4, 4), 4, 3, 2, 1, &mut rng));
+        let mut block = Residual::projected(body, (2, 4, 4), 4, 2, &mut rng);
+        let x = Tensor::randn(&[2, 4, 4], 1.0, &mut rng);
+        let y = block.forward(&x, Mode::Eval);
+        assert_eq!(y.shape(), &[4, 2, 2]);
+        let dx = block.backward(&Tensor::ones(&[4, 2, 2]));
+        assert_eq!(dx.shape(), x.shape());
+    }
+
+    #[test]
+    fn projected_gradient_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut body = Sequential::new();
+        body.push(Conv2d::new((1, 4, 4), 2, 3, 1, 1, &mut rng));
+        let mut block = Residual::projected(body, (1, 4, 4), 2, 1, &mut rng);
+        let x = Tensor::randn(&[1, 4, 4], 1.0, &mut rng);
+        let y = block.forward(&x, Mode::Train);
+        let dx = block.backward(&Tensor::ones(y.shape()));
+        let eps = 1e-2;
+        for &i in &[0usize, 6, 15] {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let yp = block.forward(&xp, Mode::Train);
+            let num = (yp.sum() - y.sum()) / eps;
+            assert!((num - dx.data()[i]).abs() < 5e-2, "grad at {i}");
+        }
+    }
+}

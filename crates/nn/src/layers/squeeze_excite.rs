@@ -1,0 +1,193 @@
+use crate::layers::Dense;
+use crate::{Layer, Mode};
+use rand::Rng;
+use remix_tensor::Tensor;
+
+/// Squeeze-and-excitation channel gating, as used inside the MBConv blocks of
+/// EfficientNetV2.
+///
+/// `y[c] = x[c] * sigmoid(W2 relu(W1 gap(x)))[c]`.
+pub struct SqueezeExcite {
+    reduce: Dense,
+    expand: Dense,
+    channels: usize,
+    spatial: usize,
+    cached_input: Tensor,
+    cached_gate: Vec<f32>,
+    cached_hidden: Vec<f32>,
+}
+
+impl SqueezeExcite {
+    /// Creates an SE block over `in_shape = (channels, h, w)` with the hidden
+    /// width `channels / reduction` (at least 1).
+    pub fn new(in_shape: (usize, usize, usize), reduction: usize, rng: &mut impl Rng) -> Self {
+        let (c, h, w) = in_shape;
+        let hidden = (c / reduction).max(1);
+        Self {
+            reduce: Dense::new(c, hidden, rng),
+            expand: Dense::new(hidden, c, rng),
+            channels: c,
+            spatial: h * w,
+            cached_input: Tensor::default(),
+            cached_gate: Vec::new(),
+            cached_hidden: Vec::new(),
+        }
+    }
+}
+
+impl std::fmt::Debug for SqueezeExcite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SqueezeExcite(channels={})", self.channels)
+    }
+}
+
+impl Layer for SqueezeExcite {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        // squeeze: global average pool
+        let mut pooled = vec![0.0f32; self.channels];
+        for (c, p) in pooled.iter_mut().enumerate() {
+            *p = input.data()[c * self.spatial..(c + 1) * self.spatial]
+                .iter()
+                .sum::<f32>()
+                / self.spatial as f32;
+        }
+        // excite: reduce -> relu -> expand -> sigmoid
+        let h_pre = self.reduce.forward(&Tensor::from_slice(&pooled), mode);
+        let h: Vec<f32> = h_pre.data().iter().map(|&v| v.max(0.0)).collect();
+        let g_pre = self.expand.forward(&Tensor::from_slice(&h), mode);
+        let gate: Vec<f32> = g_pre
+            .data()
+            .iter()
+            .map(|&v| 1.0 / (1.0 + (-v).exp()))
+            .collect();
+        // scale channels
+        let mut out = input.clone();
+        {
+            let buf = out.data_mut();
+            for c in 0..self.channels {
+                for v in &mut buf[c * self.spatial..(c + 1) * self.spatial] {
+                    *v *= gate[c];
+                }
+            }
+        }
+        self.cached_input = input.clone();
+        self.cached_gate = gate;
+        self.cached_hidden = h;
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        // dL/dx (direct path): grad_out * gate
+        let mut dx = grad_out.clone();
+        {
+            let buf = dx.data_mut();
+            for c in 0..self.channels {
+                for v in &mut buf[c * self.spatial..(c + 1) * self.spatial] {
+                    *v *= self.cached_gate[c];
+                }
+            }
+        }
+        // dL/dgate[c] = sum_s grad_out[c,s] * x[c,s]
+        let mut dgate = vec![0.0f32; self.channels];
+        for (c, d) in dgate.iter_mut().enumerate() {
+            *d = grad_out.data()[c * self.spatial..(c + 1) * self.spatial]
+                .iter()
+                .zip(&self.cached_input.data()[c * self.spatial..(c + 1) * self.spatial])
+                .map(|(&g, &x)| g * x)
+                .sum();
+        }
+        // through sigmoid
+        let dg_pre: Vec<f32> = dgate
+            .iter()
+            .zip(&self.cached_gate)
+            .map(|(&d, &g)| d * g * (1.0 - g))
+            .collect();
+        // through expand dense
+        let dh = self.expand.backward(&Tensor::from_slice(&dg_pre));
+        // through relu
+        let dh_pre: Vec<f32> = dh
+            .data()
+            .iter()
+            .zip(&self.cached_hidden)
+            .map(|(&d, &h)| if h > 0.0 { d } else { 0.0 })
+            .collect();
+        // through reduce dense
+        let dpool = self.reduce.backward(&Tensor::from_slice(&dh_pre));
+        // spread pooled gradient back over spatial positions
+        {
+            let buf = dx.data_mut();
+            let norm = 1.0 / self.spatial as f32;
+            for c in 0..self.channels {
+                let dv = dpool.data()[c] * norm;
+                for v in &mut buf[c * self.spatial..(c + 1) * self.spatial] {
+                    *v += dv;
+                }
+            }
+        }
+        dx
+    }
+
+    fn visit_params(&mut self, visit: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        self.reduce.visit_params(visit);
+        self.expand.visit_params(visit);
+    }
+
+    fn name(&self) -> &'static str {
+        "SqueezeExcite"
+    }
+
+    fn param_count(&self) -> usize {
+        self.reduce.param_count() + self.expand.param_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn output_is_gated_input() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut se = SqueezeExcite::new((2, 2, 2), 2, &mut rng);
+        let x = Tensor::ones(&[2, 2, 2]);
+        let y = se.forward(&x, Mode::Eval);
+        assert_eq!(y.shape(), x.shape());
+        // each channel is uniformly scaled by a gate in (0, 1)
+        for c in 0..2 {
+            let ch = y.index_axis0(c).unwrap();
+            let first = ch.data()[0];
+            assert!(first > 0.0 && first < 1.0);
+            assert!(ch.data().iter().all(|&v| (v - first).abs() < 1e-6));
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut se = SqueezeExcite::new((2, 3, 3), 2, &mut rng);
+        let x = Tensor::randn(&[2, 3, 3], 1.0, &mut rng);
+        let y = se.forward(&x, Mode::Train);
+        let dx = se.backward(&Tensor::ones(y.shape()));
+        let eps = 1e-2;
+        for &i in &[0usize, 5, 13, 17] {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let yp = se.forward(&xp, Mode::Train);
+            let num = (yp.sum() - y.sum()) / eps;
+            assert!(
+                (num - dx.data()[i]).abs() < 5e-2,
+                "grad at {i}: fd={num} vs {}",
+                dx.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn has_trainable_params() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let se = SqueezeExcite::new((8, 2, 2), 4, &mut rng);
+        // reduce: 8*2+2, expand: 2*8+8
+        assert_eq!(se.param_count(), 18 + 24);
+    }
+}

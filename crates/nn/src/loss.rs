@@ -1,0 +1,73 @@
+//! Softmax cross-entropy loss with its fused gradient.
+
+use remix_tensor::Tensor;
+
+/// Computes softmax cross-entropy between `logits` (rank-1, length = classes)
+/// and the `target` class, returning `(loss, d_loss/d_logits)`.
+///
+/// The gradient is the familiar `softmax(logits) - onehot(target)`.
+///
+/// # Panics
+///
+/// Panics if `target` is out of range for the logit vector.
+pub fn cross_entropy(logits: &Tensor, target: usize) -> (f32, Tensor) {
+    assert!(
+        target < logits.len(),
+        "target class {target} out of range for {} logits",
+        logits.len()
+    );
+    let probs = logits.softmax();
+    let p_t = probs.data()[target].max(1e-12);
+    let loss = -p_t.ln();
+    let mut grad = probs;
+    grad.data_mut()[target] -= 1.0;
+    (loss, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_has_near_zero_loss() {
+        let logits = Tensor::from_slice(&[20.0, 0.0, 0.0]);
+        let (loss, grad) = cross_entropy(&logits, 0);
+        assert!(loss < 1e-3);
+        assert!(grad.data()[0].abs() < 1e-3);
+    }
+
+    #[test]
+    fn uniform_logits_give_ln_classes() {
+        let logits = Tensor::zeros(&[4]);
+        let (loss, _) = cross_entropy(&logits, 2);
+        assert!((loss - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_sums_to_zero() {
+        let logits = Tensor::from_slice(&[1.0, -2.0, 0.5]);
+        let (_, grad) = cross_entropy(&logits, 1);
+        assert!(grad.sum().abs() < 1e-6);
+        assert!(grad.data()[1] < 0.0); // target class pulled up
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let logits = Tensor::from_slice(&[0.3, -0.8, 1.2]);
+        let (loss, grad) = cross_entropy(&logits, 2);
+        let eps = 1e-3;
+        for i in 0..3 {
+            let mut lp = logits.clone();
+            lp.data_mut()[i] += eps;
+            let (lp_loss, _) = cross_entropy(&lp, 2);
+            let num = (lp_loss - loss) / eps;
+            assert!((num - grad.data()[i]).abs() < 1e-2, "logit grad {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_target() {
+        cross_entropy(&Tensor::zeros(&[3]), 3);
+    }
+}

@@ -1,0 +1,159 @@
+use crate::{zoo::InputSpec, Layer, Mode, Sequential};
+use remix_tensor::Tensor;
+
+/// A trained (or trainable) classifier: a [`Sequential`] network plus its
+/// input/output contract.
+///
+/// `Model` is what ensembles, baselines, and XAI techniques consume. Methods
+/// take `&mut self` because the forward pass caches backward state inside the
+/// layers.
+pub struct Model {
+    net: Sequential,
+    spec: InputSpec,
+    /// Human-readable architecture label (e.g. `"VGG11"`).
+    pub name: String,
+}
+
+impl Model {
+    /// Wraps a network with its input specification.
+    pub fn new(net: Sequential, spec: InputSpec) -> Self {
+        Self {
+            net,
+            spec,
+            name: String::from("model"),
+        }
+    }
+
+    /// Wraps a network with a descriptive name.
+    pub fn named(net: Sequential, spec: InputSpec, name: impl Into<String>) -> Self {
+        Self {
+            net,
+            spec,
+            name: name.into(),
+        }
+    }
+
+    /// The input specification this model was built for.
+    pub fn spec(&self) -> InputSpec {
+        self.spec
+    }
+
+    /// Number of output classes.
+    pub fn num_classes(&self) -> usize {
+        self.spec.num_classes
+    }
+
+    /// Number of trainable parameters.
+    pub fn param_count(&mut self) -> usize {
+        self.net.param_count()
+    }
+
+    /// Raw logits for one `[C, H, W]` image.
+    pub fn logits(&mut self, image: &Tensor) -> Tensor {
+        self.net.forward(image, Mode::Eval)
+    }
+
+    /// Softmax class probabilities for one image.
+    pub fn predict_proba(&mut self, image: &Tensor) -> Tensor {
+        self.logits(image).softmax()
+    }
+
+    /// Predicted class and its confidence (softmax probability).
+    pub fn predict(&mut self, image: &Tensor) -> (usize, f32) {
+        let probs = self.predict_proba(image);
+        let class = probs.argmax().expect("non-empty probabilities");
+        (class, probs.data()[class])
+    }
+
+    /// Gradient of the `class` logit with respect to the input image
+    /// (`[C, H, W]`, same shape as the input).
+    ///
+    /// This is the primitive behind the gradient-based XAI techniques:
+    /// SmoothGrad averages it over noisy inputs, Integrated Gradients
+    /// accumulates it along a baseline path.
+    pub fn input_gradient(&mut self, image: &Tensor, class: usize) -> Tensor {
+        let logits = self.net.forward(image, Mode::Eval);
+        let mut seed = Tensor::zeros(logits.shape());
+        seed.data_mut()[class] = 1.0;
+        self.net.backward(&seed)
+    }
+
+    /// Mutable access to the underlying network (training, optimizers).
+    pub fn net_mut(&mut self) -> &mut Sequential {
+        &mut self.net
+    }
+
+    /// Layer names of the underlying network.
+    pub fn layer_names(&self) -> Vec<&'static str> {
+        self.net.layer_names()
+    }
+}
+
+impl std::fmt::Debug for Model {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Model({}, spec={:?})", self.name, self.spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Dense, Flatten};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn tiny_model() -> Model {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut net = Sequential::new();
+        net.push(Flatten::new());
+        net.push(Dense::new(4, 3, &mut rng));
+        Model::named(
+            net,
+            InputSpec {
+                channels: 1,
+                size: 2,
+                num_classes: 3,
+            },
+            "tiny",
+        )
+    }
+
+    #[test]
+    fn predict_proba_is_simplex() {
+        let mut m = tiny_model();
+        let p = m.predict_proba(&Tensor::ones(&[1, 2, 2]));
+        assert_eq!(p.len(), 3);
+        assert!((p.sum() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn predict_returns_argmax_and_confidence() {
+        let mut m = tiny_model();
+        let (class, conf) = m.predict(&Tensor::ones(&[1, 2, 2]));
+        let p = m.predict_proba(&Tensor::ones(&[1, 2, 2]));
+        assert_eq!(class, p.argmax().unwrap());
+        assert!((conf - p.max().unwrap()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn input_gradient_has_input_shape_and_signal() {
+        let mut m = tiny_model();
+        let g = m.input_gradient(&Tensor::ones(&[1, 2, 2]), 0);
+        assert_eq!(g.shape(), &[1, 2, 2]);
+        assert!(g.abs().sum() > 0.0);
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_difference() {
+        let mut m = tiny_model();
+        let x = Tensor::from_vec(vec![0.1, -0.4, 0.7, 0.2], &[1, 2, 2]).unwrap();
+        let g = m.input_gradient(&x, 1);
+        let base = m.logits(&x).data()[1];
+        let eps = 1e-3;
+        for i in 0..4 {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let num = (m.logits(&xp).data()[1] - base) / eps;
+            assert!((num - g.data()[i]).abs() < 1e-2);
+        }
+    }
+}

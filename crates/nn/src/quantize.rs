@@ -1,0 +1,150 @@
+//! Post-training weight quantization (paper Discussion, "Quantized models"):
+//! shorter bit widths speed up ensemble inference and XAI, at some cost in
+//! predictive capability. This module simulates `b`-bit quantization by
+//! rounding every parameter to a per-tensor affine grid and dequantizing back
+//! to `f32` (the standard "fake quantization" evaluation), so the accuracy
+//! and explainability impact can be measured with the unmodified inference
+//! path.
+
+use crate::{Layer, Model};
+
+/// Statistics of one quantization pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantizationReport {
+    /// Number of parameter tensors quantized.
+    pub tensors: usize,
+    /// Number of scalar parameters quantized.
+    pub scalars: usize,
+    /// Mean absolute rounding error introduced.
+    pub mean_abs_error: f32,
+}
+
+/// Quantizes every parameter of `model` to `bits`-bit precision in place
+/// (per-tensor symmetric affine grid), returning what changed.
+///
+/// # Panics
+///
+/// Panics unless `2 <= bits <= 16`.
+pub fn quantize_weights(model: &mut Model, bits: u32) -> QuantizationReport {
+    assert!((2..=16).contains(&bits), "bits must be in 2..=16");
+    let levels = (1u32 << bits) - 1;
+    let mut tensors = 0;
+    let mut scalars = 0usize;
+    let mut err_sum = 0.0f64;
+    model.net_mut().visit_params(&mut |param, _| {
+        tensors += 1;
+        let lo = param.data().iter().copied().fold(f32::INFINITY, f32::min);
+        let hi = param
+            .data()
+            .iter()
+            .copied()
+            .fold(f32::NEG_INFINITY, f32::max);
+        let range = (hi - lo).max(1e-12);
+        let step = range / levels as f32;
+        for v in param.data_mut() {
+            let q = ((*v - lo) / step).round().clamp(0.0, levels as f32);
+            let dequantized = lo + q * step;
+            err_sum += (dequantized - *v).abs() as f64;
+            *v = dequantized;
+            scalars += 1;
+        }
+    });
+    QuantizationReport {
+        tensors,
+        scalars,
+        mean_abs_error: if scalars == 0 {
+            0.0
+        } else {
+            (err_sum / scalars as f64) as f32
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Dense, Flatten, Relu};
+    use crate::{InputSpec, Sequential, Trainer, TrainerConfig};
+    use rand::{rngs::StdRng, SeedableRng};
+    use remix_tensor::Tensor;
+
+    fn trained_model(seed: u64) -> (Model, Vec<Tensor>, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut net = Sequential::new();
+        net.push(Flatten::new());
+        net.push(Dense::new(16, 12, &mut rng));
+        net.push(Relu::new());
+        net.push(Dense::new(12, 2, &mut rng));
+        let mut model = Model::new(
+            net,
+            InputSpec {
+                channels: 1,
+                size: 4,
+                num_classes: 2,
+            },
+        );
+        let mut images = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..60 {
+            let class = i % 2;
+            let mut img = Tensor::randn(&[1, 4, 4], 0.1, &mut rng);
+            img.set(&[0, 0, if class == 0 { 0 } else { 3 }], 1.0);
+            images.push(img);
+            labels.push(class);
+        }
+        Trainer::new(TrainerConfig {
+            epochs: 12,
+            ..TrainerConfig::default()
+        })
+        .fit(&mut model, &images, &labels);
+        (model, images, labels)
+    }
+
+    fn accuracy(model: &mut Model, images: &[Tensor], labels: &[usize]) -> f32 {
+        images
+            .iter()
+            .zip(labels)
+            .filter(|(img, &l)| model.predict(img).0 == l)
+            .count() as f32
+            / labels.len() as f32
+    }
+
+    #[test]
+    fn eight_bit_quantization_is_nearly_lossless() {
+        let (mut model, images, labels) = trained_model(1);
+        let before = accuracy(&mut model, &images, &labels);
+        let report = quantize_weights(&mut model, 8);
+        let after = accuracy(&mut model, &images, &labels);
+        assert!(report.tensors > 0 && report.scalars > 0);
+        assert!(report.mean_abs_error < 0.01);
+        assert!(after >= before - 0.05, "8-bit: {before} -> {after}");
+    }
+
+    #[test]
+    fn two_bit_quantization_hurts_more_than_eight_bit() {
+        let (mut m8, images, labels) = trained_model(2);
+        let (mut m2, _, _) = trained_model(2);
+        let r8 = quantize_weights(&mut m8, 8);
+        let r2 = quantize_weights(&mut m2, 2);
+        assert!(r2.mean_abs_error > r8.mean_abs_error * 5.0);
+        let a8 = accuracy(&mut m8, &images, &labels);
+        let a2 = accuracy(&mut m2, &images, &labels);
+        assert!(a8 + 1e-6 >= a2, "coarser grid should not help: {a8} vs {a2}");
+    }
+
+    #[test]
+    fn quantized_model_still_yields_input_gradients() {
+        let (mut model, images, _) = trained_model(3);
+        quantize_weights(&mut model, 6);
+        let g = model.input_gradient(&images[0], 0);
+        assert!(!g.has_non_finite());
+        assert!(g.abs().sum() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bits must be")]
+    fn rejects_one_bit() {
+        let (mut model, _, _) = trained_model(4);
+        quantize_weights(&mut model, 1);
+    }
+}

@@ -1,0 +1,142 @@
+use crate::{Layer, Mode};
+use remix_tensor::Tensor;
+
+/// Ordered composition of layers; itself a [`Layer`], so residual blocks can
+/// nest `Sequential` bodies.
+///
+/// # Example
+///
+/// ```
+/// use remix_nn::{layers::Relu, Layer, Mode, Sequential};
+/// use remix_tensor::Tensor;
+///
+/// let mut net = Sequential::new();
+/// net.push(Relu::new());
+/// let y = net.forward(&Tensor::from_slice(&[-1.0, 1.0]), Mode::Eval);
+/// assert_eq!(y.data(), &[0.0, 1.0]);
+/// ```
+#[derive(Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a layer.
+    pub fn push(&mut self, layer: impl Layer + 'static) {
+        self.layers.push(Box::new(layer));
+    }
+
+    /// Appends a boxed layer.
+    pub fn push_boxed(&mut self, layer: Box<dyn Layer>) {
+        self.layers.push(layer);
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the network has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Names of all layers in order (architecture summary).
+    pub fn layer_names(&self) -> Vec<&'static str> {
+        self.layers.iter().map(|l| l.name()).collect()
+    }
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Sequential({:?})", self.layer_names())
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, mode);
+        }
+        x
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut g = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    fn visit_params(&mut self, visit: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        for layer in &mut self.layers {
+            layer.visit_params(visit);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "Sequential"
+    }
+
+    fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.param_count()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Dense, Relu};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn composes_layers_in_order() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut net = Sequential::new();
+        net.push(Dense::new(2, 3, &mut rng));
+        net.push(Relu::new());
+        net.push(Dense::new(3, 2, &mut rng));
+        assert_eq!(net.len(), 3);
+        let y = net.forward(&Tensor::from_slice(&[1.0, -1.0]), Mode::Eval);
+        assert_eq!(y.len(), 2);
+        assert_eq!(net.layer_names(), vec!["Dense", "ReLU", "Dense"]);
+    }
+
+    #[test]
+    fn backward_chains_through_all_layers() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut net = Sequential::new();
+        net.push(Dense::new(3, 4, &mut rng));
+        net.push(Relu::new());
+        net.push(Dense::new(4, 2, &mut rng));
+        let x = Tensor::from_slice(&[0.5, -0.3, 0.8]);
+        let y = net.forward(&x, Mode::Train);
+        let dx = net.backward(&Tensor::ones(&[2]));
+        assert_eq!(dx.len(), 3);
+        // finite-difference check on the whole network
+        let eps = 1e-3;
+        for i in 0..3 {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let yp = net.forward(&xp, Mode::Train);
+            let num = (yp.sum() - y.sum()) / eps;
+            assert!((num - dx.data()[i]).abs() < 1e-2, "grad at {i}");
+        }
+    }
+
+    #[test]
+    fn param_count_sums_layers() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut net = Sequential::new();
+        net.push(Dense::new(2, 2, &mut rng)); // 6 params
+        net.push(Dense::new(2, 1, &mut rng)); // 3 params
+        assert_eq!(net.param_count(), 9);
+    }
+}

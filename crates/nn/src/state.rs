@@ -1,0 +1,172 @@
+//! Model state persistence: a `state_dict`-style export of all trainable
+//! parameters, so trained zoo members can be saved once and reloaded across
+//! experiment runs instead of retrained.
+//!
+//! The state carries shape metadata and a structural fingerprint, so loading
+//! into a mismatched architecture fails loudly instead of silently
+//! scrambling weights.
+
+use crate::{Layer, Model};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A serializable snapshot of a model's trainable parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelState {
+    /// Model display name at save time.
+    pub name: String,
+    /// Per-tensor shapes, in `visit_params` order (the structural
+    /// fingerprint).
+    pub shapes: Vec<Vec<usize>>,
+    /// Parameter payloads, aligned with `shapes`.
+    pub tensors: Vec<Vec<f32>>,
+}
+
+/// Error loading a [`ModelState`] into a model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoadStateError {
+    /// The state has a different number of parameter tensors.
+    TensorCountMismatch {
+        /// Tensors in the state.
+        state: usize,
+        /// Tensors in the model.
+        model: usize,
+    },
+    /// A tensor's shape disagrees.
+    ShapeMismatch {
+        /// Index in `visit_params` order.
+        index: usize,
+        /// Shape in the state.
+        state: Vec<usize>,
+        /// Shape in the model.
+        model: Vec<usize>,
+    },
+}
+
+impl fmt::Display for LoadStateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadStateError::TensorCountMismatch { state, model } => write!(
+                f,
+                "state has {state} parameter tensors but the model has {model}"
+            ),
+            LoadStateError::ShapeMismatch { index, state, model } => write!(
+                f,
+                "parameter {index} shape mismatch: state {state:?} vs model {model:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LoadStateError {}
+
+/// Captures the model's parameters.
+pub fn save_state(model: &mut Model) -> ModelState {
+    let mut shapes = Vec::new();
+    let mut tensors = Vec::new();
+    model.net_mut().visit_params(&mut |param, _| {
+        shapes.push(param.shape().to_vec());
+        tensors.push(param.data().to_vec());
+    });
+    ModelState {
+        name: model.name.clone(),
+        shapes,
+        tensors,
+    }
+}
+
+/// Restores parameters captured by [`save_state`] into a structurally
+/// identical model (same architecture and spec; initialization may differ).
+///
+/// # Errors
+///
+/// Returns [`LoadStateError`] if tensor counts or shapes disagree; the model
+/// is left unmodified in that case.
+pub fn load_state(model: &mut Model, state: &ModelState) -> Result<(), LoadStateError> {
+    // validation pass first so failures leave the model untouched
+    let mut shapes = Vec::new();
+    model.net_mut().visit_params(&mut |param, _| {
+        shapes.push(param.shape().to_vec());
+    });
+    if shapes.len() != state.shapes.len() {
+        return Err(LoadStateError::TensorCountMismatch {
+            state: state.shapes.len(),
+            model: shapes.len(),
+        });
+    }
+    for (i, (model_shape, state_shape)) in shapes.iter().zip(&state.shapes).enumerate() {
+        if model_shape != state_shape {
+            return Err(LoadStateError::ShapeMismatch {
+                index: i,
+                state: state_shape.clone(),
+                model: model_shape.clone(),
+            });
+        }
+    }
+    let mut idx = 0;
+    model.net_mut().visit_params(&mut |param, _| {
+        param.data_mut().copy_from_slice(&state.tensors[idx]);
+        idx += 1;
+    });
+    model.name = state.name.clone();
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{zoo, Arch, InputSpec};
+    use rand::{rngs::StdRng, SeedableRng};
+    use remix_tensor::Tensor;
+
+    fn spec() -> InputSpec {
+        InputSpec {
+            channels: 1,
+            size: 16,
+            num_classes: 4,
+        }
+    }
+
+    #[test]
+    fn save_load_roundtrips_predictions() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut original = Model::named(zoo::build(Arch::ConvNet, spec(), &mut rng), spec(), "a");
+        let img = Tensor::rand_uniform(&[1, 16, 16], 0.0, 1.0, &mut rng);
+        let before = original.predict_proba(&img);
+        let state = save_state(&mut original);
+        // fresh model with different random init
+        let mut restored =
+            Model::named(zoo::build(Arch::ConvNet, spec(), &mut rng), spec(), "b");
+        assert_ne!(restored.predict_proba(&img), before);
+        load_state(&mut restored, &state).expect("same architecture");
+        assert_eq!(restored.predict_proba(&img), before);
+        assert_eq!(restored.name, "a");
+    }
+
+    #[test]
+    fn load_rejects_different_architecture() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut convnet = Model::new(zoo::build(Arch::ConvNet, spec(), &mut rng), spec());
+        let mut mobilenet = Model::new(zoo::build(Arch::MobileNet, spec(), &mut rng), spec());
+        let state = save_state(&mut convnet);
+        let err = load_state(&mut mobilenet, &state).unwrap_err();
+        assert!(matches!(
+            err,
+            LoadStateError::TensorCountMismatch { .. } | LoadStateError::ShapeMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn state_has_serde_impls_and_consistent_shapes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut model = Model::new(zoo::build(Arch::ConvNet, spec(), &mut rng), spec());
+        let state = save_state(&mut model);
+        fn assert_serde<T: serde::Serialize + for<'de> serde::Deserialize<'de>>() {}
+        assert_serde::<ModelState>();
+        assert!(!state.shapes.is_empty());
+        assert_eq!(state.shapes.len(), state.tensors.len());
+        for (s, t) in state.shapes.iter().zip(&state.tensors) {
+            assert_eq!(s.iter().product::<usize>(), t.len());
+        }
+    }
+}

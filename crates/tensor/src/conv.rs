@@ -1,0 +1,247 @@
+//! `im2col`/`col2im` lowering used to express 2-D convolution as a matrix
+//! product, the standard CPU strategy for small direct convolutions.
+
+use crate::{Result, Tensor, TensorError};
+
+/// Static geometry of a 2-D convolution over `[C, H, W]` inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dGeometry {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Input height.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+    /// Square kernel side.
+    pub kernel: usize,
+    /// Stride in both directions.
+    pub stride: usize,
+    /// Zero padding on every side.
+    pub pad: usize,
+}
+
+impl Conv2dGeometry {
+    /// Output height after convolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel does not fit the padded input.
+    pub fn out_h(&self) -> usize {
+        (self.in_h + 2 * self.pad - self.kernel) / self.stride + 1
+    }
+
+    /// Output width after convolution.
+    pub fn out_w(&self) -> usize {
+        (self.in_w + 2 * self.pad - self.kernel) / self.stride + 1
+    }
+
+    /// Number of rows in the im2col matrix (`C * k * k`).
+    pub fn patch_len(&self) -> usize {
+        self.in_channels * self.kernel * self.kernel
+    }
+
+    /// Checks the geometry is realizable.
+    pub fn is_valid(&self) -> bool {
+        self.stride > 0
+            && self.kernel > 0
+            && self.in_h + 2 * self.pad >= self.kernel
+            && self.in_w + 2 * self.pad >= self.kernel
+    }
+}
+
+/// Unfolds a `[C, H, W]` input into a `[C*k*k, out_h*out_w]` patch matrix.
+///
+/// Padding positions contribute zeros. Convolution then becomes
+/// `weights [F, C*k*k] x patches [C*k*k, out_h*out_w]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `input` does not match the
+/// geometry, or [`TensorError::RankMismatch`] if it is not rank 3.
+pub fn im2col(input: &Tensor, geo: &Conv2dGeometry) -> Result<Tensor> {
+    if input.rank() != 3 {
+        return Err(TensorError::RankMismatch {
+            expected: 3,
+            shape: input.shape().to_vec(),
+            op: "im2col",
+        });
+    }
+    let expect = [geo.in_channels, geo.in_h, geo.in_w];
+    if input.shape() != expect {
+        return Err(TensorError::ShapeMismatch {
+            left: input.shape().to_vec(),
+            right: expect.to_vec(),
+            op: "im2col",
+        });
+    }
+    let (oh, ow) = (geo.out_h(), geo.out_w());
+    let cols = oh * ow;
+    let rows = geo.patch_len();
+    let mut out = vec![0.0f32; rows * cols];
+    let data = input.data();
+    let (h, w, k) = (geo.in_h, geo.in_w, geo.kernel);
+    for c in 0..geo.in_channels {
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = (c * k + ky) * k + kx;
+                for oy in 0..oh {
+                    let iy = (oy * geo.stride + ky) as isize - geo.pad as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    for ox in 0..ow {
+                        let ix = (ox * geo.stride + kx) as isize - geo.pad as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        out[row * cols + oy * ow + ox] =
+                            data[(c * h + iy as usize) * w + ix as usize];
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[rows, cols])
+}
+
+/// Folds a `[C*k*k, out_h*out_w]` patch-gradient matrix back into a
+/// `[C, H, W]` input gradient, accumulating overlapping contributions.
+///
+/// This is the adjoint of [`im2col`] and is used in the convolution backward
+/// pass (which is also how XAI input gradients reach the image).
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `cols` does not match the
+/// geometry.
+pub fn col2im(cols_mat: &Tensor, geo: &Conv2dGeometry) -> Result<Tensor> {
+    let (oh, ow) = (geo.out_h(), geo.out_w());
+    let expect = [geo.patch_len(), oh * ow];
+    if cols_mat.shape() != expect {
+        return Err(TensorError::ShapeMismatch {
+            left: cols_mat.shape().to_vec(),
+            right: expect.to_vec(),
+            op: "col2im",
+        });
+    }
+    let mut out = Tensor::zeros(&[geo.in_channels, geo.in_h, geo.in_w]);
+    let data = cols_mat.data();
+    let buf = out.data_mut();
+    let (h, w, k) = (geo.in_h, geo.in_w, geo.kernel);
+    let n_cols = oh * ow;
+    for c in 0..geo.in_channels {
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = (c * k + ky) * k + kx;
+                for oy in 0..oh {
+                    let iy = (oy * geo.stride + ky) as isize - geo.pad as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    for ox in 0..ow {
+                        let ix = (ox * geo.stride + kx) as isize - geo.pad as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        buf[(c * h + iy as usize) * w + ix as usize] +=
+                            data[row * n_cols + oy * ow + ox];
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geo() -> Conv2dGeometry {
+        Conv2dGeometry {
+            in_channels: 1,
+            in_h: 3,
+            in_w: 3,
+            kernel: 2,
+            stride: 1,
+            pad: 0,
+        }
+    }
+
+    #[test]
+    fn geometry_dims() {
+        let g = geo();
+        assert_eq!(g.out_h(), 2);
+        assert_eq!(g.out_w(), 2);
+        assert_eq!(g.patch_len(), 4);
+        assert!(g.is_valid());
+    }
+
+    #[test]
+    fn im2col_extracts_patches() {
+        let input = Tensor::from_vec((1..=9).map(|v| v as f32).collect(), &[1, 3, 3]).unwrap();
+        let cols = im2col(&input, &geo()).unwrap();
+        assert_eq!(cols.shape(), &[4, 4]);
+        // first output position sees the top-left 2x2 patch [1,2,4,5]
+        assert_eq!(cols.at(&[0, 0]), 1.0);
+        assert_eq!(cols.at(&[1, 0]), 2.0);
+        assert_eq!(cols.at(&[2, 0]), 4.0);
+        assert_eq!(cols.at(&[3, 0]), 5.0);
+    }
+
+    #[test]
+    fn im2col_padding_is_zero() {
+        let g = Conv2dGeometry { pad: 1, ..geo() };
+        let input = Tensor::ones(&[1, 3, 3]);
+        let cols = im2col(&input, &g).unwrap();
+        // padded corner patch has zeros at padding positions
+        assert_eq!(cols.at(&[0, 0]), 0.0);
+        assert_eq!(cols.shape(), &[4, 16]);
+    }
+
+    #[test]
+    fn conv_via_matmul_matches_manual() {
+        // 1-channel 3x3 input, single 2x2 filter of all ones = patch sums
+        let input = Tensor::from_vec((1..=9).map(|v| v as f32).collect(), &[1, 3, 3]).unwrap();
+        let cols = im2col(&input, &geo()).unwrap();
+        let w = Tensor::ones(&[1, 4]);
+        let out = w.matmul(&cols).unwrap();
+        assert_eq!(out.data(), &[12.0, 16.0, 24.0, 28.0]);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_accumulation() {
+        // all-ones gradient on cols accumulates overlap counts in the image
+        let g = geo();
+        let grad_cols = Tensor::ones(&[4, 4]);
+        let grad_in = col2im(&grad_cols, &g).unwrap();
+        // centre pixel participates in all 4 patches
+        assert_eq!(grad_in.at(&[0, 1, 1]), 4.0);
+        // corners participate in exactly 1
+        assert_eq!(grad_in.at(&[0, 0, 0]), 1.0);
+    }
+
+    #[test]
+    fn shape_validation() {
+        assert!(im2col(&Tensor::zeros(&[3, 3]), &geo()).is_err());
+        assert!(im2col(&Tensor::zeros(&[2, 3, 3]), &geo()).is_err());
+        assert!(col2im(&Tensor::zeros(&[4, 5]), &geo()).is_err());
+    }
+
+    #[test]
+    fn stride_two_geometry() {
+        let g = Conv2dGeometry {
+            in_channels: 2,
+            in_h: 8,
+            in_w: 8,
+            kernel: 3,
+            stride: 2,
+            pad: 1,
+        };
+        assert_eq!(g.out_h(), 4);
+        assert_eq!(g.out_w(), 4);
+        let input = Tensor::ones(&[2, 8, 8]);
+        let cols = im2col(&input, &g).unwrap();
+        assert_eq!(cols.shape(), &[18, 16]);
+    }
+}

@@ -1,0 +1,36 @@
+//! Dense `f32` tensor substrate for the ReMIX reproduction.
+//!
+//! The paper's reference implementation relies on NumPy/TensorFlow tensors.
+//! This crate provides the minimal-but-complete dense tensor machinery that the
+//! rest of the workspace (the neural-network stack in `remix-nn`, the XAI
+//! techniques in `remix-xai`, the diversity metrics in `remix-diversity`) is
+//! built on: row-major `f32` tensors with elementwise arithmetic, matrix
+//! multiplication, axis reductions, and `im2col`/`col2im` support for
+//! convolutions.
+//!
+//! # Example
+//!
+//! ```
+//! use remix_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b)?;
+//! assert_eq!(c.data(), a.data());
+//! # Ok::<(), remix_tensor::TensorError>(())
+//! ```
+
+mod conv;
+mod error;
+mod linalg;
+mod ops;
+mod random;
+mod reduce;
+mod tensor;
+
+pub use conv::{col2im, im2col, Conv2dGeometry};
+pub use error::TensorError;
+pub use tensor::Tensor;
+
+/// Convenience result alias used across the crate.
+pub type Result<T> = std::result::Result<T, TensorError>;

@@ -1,0 +1,157 @@
+//! Matrix products and transposes.
+
+use crate::{Result, Tensor, TensorError};
+
+impl Tensor {
+    /// Matrix product of two rank-2 tensors (`[m, k] x [k, n] -> [m, n]`).
+    ///
+    /// Implemented as a cache-friendly ikj loop; this is the hot path of every
+    /// dense layer and of the im2col convolution in `remix-nn`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] unless both operands are rank 2,
+    /// and [`TensorError::MatmulDimMismatch`] if the inner dimensions differ.
+    pub fn matmul(&self, other: &Tensor) -> Result<Tensor> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                shape: self.shape().to_vec(),
+                op: "matmul",
+            });
+        }
+        if other.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                shape: other.shape().to_vec(),
+                op: "matmul",
+            });
+        }
+        let (m, k) = (self.shape()[0], self.shape()[1]);
+        let (k2, n) = (other.shape()[0], other.shape()[1]);
+        if k != k2 {
+            return Err(TensorError::MatmulDimMismatch {
+                left: self.shape().to_vec(),
+                right: other.shape().to_vec(),
+            });
+        }
+        let a = self.data();
+        let b = other.data();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (p, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &b[p * n..(p + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Transpose of a rank-2 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] unless the tensor is rank 2.
+    pub fn transpose(&self) -> Result<Tensor> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                shape: self.shape().to_vec(),
+                op: "transpose",
+            });
+        }
+        let (m, n) = (self.shape()[0], self.shape()[1]);
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = self.data()[i * n + j];
+            }
+        }
+        Tensor::from_vec(out, &[n, m])
+    }
+
+    /// Matrix-vector product (`[m, n] x [n] -> [m]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] / [`TensorError::MatmulDimMismatch`]
+    /// on shape violations.
+    pub fn matvec(&self, v: &Tensor) -> Result<Tensor> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                shape: self.shape().to_vec(),
+                op: "matvec",
+            });
+        }
+        let (m, n) = (self.shape()[0], self.shape()[1]);
+        if v.len() != n {
+            return Err(TensorError::MatmulDimMismatch {
+                left: self.shape().to_vec(),
+                right: v.shape().to_vec(),
+            });
+        }
+        let mut out = vec![0.0f32; m];
+        for i in 0..m {
+            out[i] = self.data()[i * n..(i + 1) * n]
+                .iter()
+                .zip(v.data())
+                .map(|(&a, &b)| a * b)
+                .sum();
+        }
+        Ok(Tensor::from_slice(&out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let b = Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Tensor::from_vec((0..9).map(|v| v as f32).collect(), &[3, 3]).unwrap();
+        let c = a.matmul(&Tensor::eye(3)).unwrap();
+        assert_eq!(c.data(), a.data());
+    }
+
+    #[test]
+    fn matmul_rejects_bad_shapes() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[2, 3]);
+        assert!(a.matmul(&b).is_err());
+        assert!(Tensor::zeros(&[3]).matmul(&a).is_err());
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Tensor::from_vec((0..6).map(|v| v as f32).collect(), &[2, 3]).unwrap();
+        let at = a.transpose().unwrap();
+        assert_eq!(at.shape(), &[3, 2]);
+        assert_eq!(at.at(&[2, 1]), a.at(&[1, 2]));
+        assert_eq!(at.transpose().unwrap(), a);
+    }
+
+    #[test]
+    fn matvec_known_values() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let v = Tensor::from_slice(&[1.0, -1.0]);
+        assert_eq!(a.matvec(&v).unwrap().data(), &[-1.0, -1.0]);
+        assert!(a.matvec(&Tensor::zeros(&[3])).is_err());
+    }
+}

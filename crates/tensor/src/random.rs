@@ -1,0 +1,100 @@
+//! Random tensor constructors used for weight initialization and noise.
+
+use crate::Tensor;
+use rand::Rng;
+use rand_distr_shim::StandardNormal;
+
+/// Minimal Box–Muller standard-normal sampler.
+///
+/// `rand` ships offline without `rand_distr`; a two-sample Box–Muller
+/// transform is all the workspace needs (weight init, SmoothGrad noise).
+mod rand_distr_shim {
+    use rand::Rng;
+
+    /// Distribution marker for a standard normal sample.
+    pub struct StandardNormal;
+
+    impl StandardNormal {
+        /// Draws one N(0, 1) sample.
+        pub fn sample<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+            loop {
+                let u1: f32 = rng.gen::<f32>();
+                let u2: f32 = rng.gen::<f32>();
+                if u1 > f32::EPSILON {
+                    let r = (-2.0 * u1.ln()).sqrt();
+                    let v = r * (2.0 * std::f32::consts::PI * u2).cos();
+                    if v.is_finite() {
+                        return v;
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Tensor {
+    /// Creates a tensor of i.i.d. N(0, `std`²) samples.
+    pub fn randn(shape: &[usize], std: f32, rng: &mut impl Rng) -> Self {
+        let data = (0..shape.iter().product::<usize>())
+            .map(|_| StandardNormal::sample(rng) * std)
+            .collect();
+        Tensor::from_vec(data, shape).expect("length matches shape")
+    }
+
+    /// Creates a tensor of i.i.d. U(`lo`, `hi`) samples.
+    pub fn rand_uniform(shape: &[usize], lo: f32, hi: f32, rng: &mut impl Rng) -> Self {
+        let data = (0..shape.iter().product::<usize>())
+            .map(|_| rng.gen_range(lo..hi))
+            .collect();
+        Tensor::from_vec(data, shape).expect("length matches shape")
+    }
+
+    /// Returns a copy with additive Gaussian noise (used by SmoothGrad).
+    pub fn with_gaussian_noise(&self, std: f32, rng: &mut impl Rng) -> Self {
+        self.map_with_rng(rng, |v, r| v + StandardNormal::sample(r) * std)
+    }
+
+    fn map_with_rng<R: Rng>(&self, rng: &mut R, f: impl Fn(f32, &mut R) -> f32) -> Self {
+        let data = self.data().iter().map(|&v| f(v, rng)).collect();
+        Tensor::from_vec(data, self.shape()).expect("same shape")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn randn_moments_are_plausible() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = Tensor::randn(&[10_000], 2.0, &mut rng);
+        assert!(t.mean().abs() < 0.1);
+        assert!((t.std() - 2.0).abs() < 0.1);
+        assert!(!t.has_non_finite());
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let t = Tensor::rand_uniform(&[1000], -1.0, 1.0, &mut rng);
+        assert!(t.max().unwrap() < 1.0);
+        assert!(t.min().unwrap() >= -1.0);
+    }
+
+    #[test]
+    fn seeded_generation_is_deterministic() {
+        let a = Tensor::randn(&[16], 1.0, &mut StdRng::seed_from_u64(42));
+        let b = Tensor::randn(&[16], 1.0, &mut StdRng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn gaussian_noise_perturbs() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let base = Tensor::zeros(&[64]);
+        let noisy = base.with_gaussian_noise(0.5, &mut rng);
+        assert!(noisy.std() > 0.2);
+        assert_eq!(noisy.shape(), base.shape());
+    }
+}

@@ -1,0 +1,215 @@
+//! Reductions and statistics: sums, means, argmax, softmax, standard deviation.
+
+use crate::{Result, Tensor, TensorError};
+
+impl Tensor {
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data().iter().sum()
+    }
+
+    /// Arithmetic mean of all elements (0 for empty tensors).
+    pub fn mean(&self) -> f32 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.len() as f32
+        }
+    }
+
+    /// Population standard deviation of all elements.
+    pub fn std(&self) -> f32 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let m = self.mean();
+        (self
+            .data()
+            .iter()
+            .map(|&v| (v - m) * (v - m))
+            .sum::<f32>()
+            / self.len() as f32)
+            .sqrt()
+    }
+
+    /// Maximum element.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::EmptyTensor`] if the tensor is empty.
+    pub fn max(&self) -> Result<f32> {
+        self.data()
+            .iter()
+            .copied()
+            .fold(None, |acc: Option<f32>, v| {
+                Some(acc.map_or(v, |a| a.max(v)))
+            })
+            .ok_or(TensorError::EmptyTensor { op: "max" })
+    }
+
+    /// Minimum element.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::EmptyTensor`] if the tensor is empty.
+    pub fn min(&self) -> Result<f32> {
+        self.data()
+            .iter()
+            .copied()
+            .fold(None, |acc: Option<f32>, v| {
+                Some(acc.map_or(v, |a| a.min(v)))
+            })
+            .ok_or(TensorError::EmptyTensor { op: "min" })
+    }
+
+    /// Flat index of the maximum element (first on ties).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::EmptyTensor`] if the tensor is empty.
+    pub fn argmax(&self) -> Result<usize> {
+        if self.is_empty() {
+            return Err(TensorError::EmptyTensor { op: "argmax" });
+        }
+        let mut best = 0;
+        for (i, &v) in self.data().iter().enumerate() {
+            if v > self.data()[best] {
+                best = i;
+            }
+        }
+        Ok(best)
+    }
+
+    /// Row-wise argmax of a rank-2 tensor (`[n, c] -> n` indices).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] unless rank 2 with non-empty rows.
+    pub fn argmax_rows(&self) -> Result<Vec<usize>> {
+        if self.rank() != 2 || self.shape()[1] == 0 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                shape: self.shape().to_vec(),
+                op: "argmax_rows",
+            });
+        }
+        let (n, c) = (self.shape()[0], self.shape()[1]);
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let row = &self.data()[i * c..(i + 1) * c];
+            let mut best = 0;
+            for (j, &v) in row.iter().enumerate() {
+                if v > row[best] {
+                    best = j;
+                }
+            }
+            out.push(best);
+        }
+        Ok(out)
+    }
+
+    /// Numerically-stable softmax over the last axis.
+    ///
+    /// For rank-1 tensors this is a probability vector; for rank-2 tensors the
+    /// softmax is applied independently to each row (a batch of logits).
+    pub fn softmax(&self) -> Tensor {
+        let cols = *self.shape().last().unwrap_or(&0);
+        if cols == 0 {
+            return self.clone();
+        }
+        let rows = self.len() / cols;
+        let mut out = self.data().to_vec();
+        for r in 0..rows {
+            let row = &mut out[r * cols..(r + 1) * cols];
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut z = 0.0;
+            for v in row.iter_mut() {
+                *v = (*v - m).exp();
+                z += *v;
+            }
+            for v in row.iter_mut() {
+                *v /= z;
+            }
+        }
+        Tensor::from_vec(out, self.shape()).expect("same shape")
+    }
+
+    /// Min–max normalizes all elements into `[0, 1]`.
+    ///
+    /// Constant tensors normalize to all zeros. This is how XAI feature
+    /// matrices are put on a common scale before diversity comparison.
+    pub fn normalize_minmax(&self) -> Tensor {
+        let (lo, hi) = match (self.min(), self.max()) {
+            (Ok(lo), Ok(hi)) => (lo, hi),
+            _ => return self.clone(),
+        };
+        let range = hi - lo;
+        if range <= f32::EPSILON {
+            return Tensor::zeros(self.shape());
+        }
+        self.map(|v| (v - lo) / range)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_mean_std() {
+        let t = Tensor::from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(t.sum(), 10.0);
+        assert_eq!(t.mean(), 2.5);
+        assert!((t.std() - 1.118_034).abs() < 1e-5);
+    }
+
+    #[test]
+    fn min_max_argmax() {
+        let t = Tensor::from_slice(&[3.0, 7.0, -1.0, 7.0]);
+        assert_eq!(t.max().unwrap(), 7.0);
+        assert_eq!(t.min().unwrap(), -1.0);
+        assert_eq!(t.argmax().unwrap(), 1); // first on ties
+        assert!(Tensor::zeros(&[0]).argmax().is_err());
+    }
+
+    #[test]
+    fn argmax_rows_per_row() {
+        let t = Tensor::from_vec(vec![0.1, 0.9, 0.8, 0.2], &[2, 2]).unwrap();
+        assert_eq!(t.argmax_rows().unwrap(), vec![1, 0]);
+        assert!(Tensor::zeros(&[4]).argmax_rows().is_err());
+    }
+
+    #[test]
+    fn softmax_is_simplex() {
+        let t = Tensor::from_slice(&[1.0, 2.0, 3.0]);
+        let s = t.softmax();
+        assert!((s.sum() - 1.0).abs() < 1e-6);
+        assert!(s.data()[2] > s.data()[1] && s.data()[1] > s.data()[0]);
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_logits() {
+        let t = Tensor::from_slice(&[1000.0, 1001.0]);
+        let s = t.softmax();
+        assert!(!s.has_non_finite());
+        assert!((s.sum() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_rows_independent() {
+        let t = Tensor::from_vec(vec![0.0, 0.0, 10.0, 0.0], &[2, 2]).unwrap();
+        let s = t.softmax();
+        assert!((s.at(&[0, 0]) - 0.5).abs() < 1e-6);
+        assert!(s.at(&[1, 0]) > 0.99);
+    }
+
+    #[test]
+    fn normalize_minmax_bounds() {
+        let t = Tensor::from_slice(&[-2.0, 0.0, 2.0]);
+        let n = t.normalize_minmax();
+        assert_eq!(n.data(), &[0.0, 0.5, 1.0]);
+        // constant tensor collapses to zeros, not NaNs
+        let c = Tensor::full(&[3], 5.0).normalize_minmax();
+        assert_eq!(c.data(), &[0.0, 0.0, 0.0]);
+    }
+}

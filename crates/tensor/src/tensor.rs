@@ -1,0 +1,357 @@
+use crate::{Result, TensorError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense, row-major `f32` tensor of arbitrary rank.
+///
+/// `Tensor` is the common currency of the workspace: images are `[C, H, W]`
+/// tensors, batches are `[N, C, H, W]`, feature matrices produced by XAI
+/// techniques are `[H, W]`, and fully-connected activations are `[N, D]`.
+///
+/// # Example
+///
+/// ```
+/// use remix_tensor::Tensor;
+///
+/// let t = Tensor::zeros(&[2, 3]);
+/// assert_eq!(t.shape(), &[2, 3]);
+/// assert_eq!(t.len(), 6);
+/// ```
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor filled with zeros.
+    pub fn zeros(shape: &[usize]) -> Self {
+        Self {
+            shape: shape.to_vec(),
+            data: vec![0.0; shape.iter().product()],
+        }
+    }
+
+    /// Creates a tensor filled with ones.
+    pub fn ones(shape: &[usize]) -> Self {
+        Self::full(shape, 1.0)
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        Self {
+            shape: shape.to_vec(),
+            data: vec![value; shape.iter().product()],
+        }
+    }
+
+    /// Creates a square identity matrix of size `n`.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Self::zeros(&[n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// Creates a tensor from raw data and a shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeDataMismatch`] if `data.len()` does not
+    /// equal the product of `shape`.
+    pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Result<Self> {
+        if data.len() != shape.iter().product::<usize>() {
+            return Err(TensorError::ShapeDataMismatch {
+                shape: shape.to_vec(),
+                len: data.len(),
+            });
+        }
+        Ok(Self {
+            shape: shape.to_vec(),
+            data,
+        })
+    }
+
+    /// Creates a rank-1 tensor from a slice.
+    pub fn from_slice(data: &[f32]) -> Self {
+        Self {
+            shape: vec![data.len()],
+            data: data.to_vec(),
+        }
+    }
+
+    /// The shape of the tensor.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// The rank (number of axes).
+    pub fn rank(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying row-major buffer.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying row-major buffer.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning the underlying buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Returns the flat offset of a multi-index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] if `index` has the wrong rank
+    /// or any coordinate exceeds its axis length.
+    pub fn offset(&self, index: &[usize]) -> Result<usize> {
+        if index.len() != self.shape.len()
+            || index.iter().zip(&self.shape).any(|(i, s)| i >= s)
+        {
+            return Err(TensorError::IndexOutOfBounds {
+                index: index.to_vec(),
+                shape: self.shape.clone(),
+            });
+        }
+        let mut off = 0;
+        for (i, s) in index.iter().zip(&self.shape) {
+            off = off * s + i;
+        }
+        Ok(off)
+    }
+
+    /// Reads the element at a multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds; use [`Tensor::offset`] for a
+    /// checked variant.
+    pub fn at(&self, index: &[usize]) -> f32 {
+        let off = self.offset(index).expect("index in bounds");
+        self.data[off]
+    }
+
+    /// Writes the element at a multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds.
+    pub fn set(&mut self, index: &[usize], value: f32) {
+        let off = self.offset(index).expect("index in bounds");
+        self.data[off] = value;
+    }
+
+    /// Reinterprets the tensor with a new shape holding the same data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeDataMismatch`] if the element counts differ.
+    pub fn reshape(&self, shape: &[usize]) -> Result<Self> {
+        if self.data.len() != shape.iter().product::<usize>() {
+            return Err(TensorError::ShapeDataMismatch {
+                shape: shape.to_vec(),
+                len: self.data.len(),
+            });
+        }
+        Ok(Self {
+            shape: shape.to_vec(),
+            data: self.data.clone(),
+        })
+    }
+
+    /// Flattens to a rank-1 tensor.
+    pub fn flatten(&self) -> Self {
+        Self {
+            shape: vec![self.data.len()],
+            data: self.data.clone(),
+        }
+    }
+
+    /// Extracts the `i`-th slice along axis 0 (e.g. one image out of a batch).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] if `i` exceeds the first axis,
+    /// or [`TensorError::EmptyTensor`] for rank-0 tensors.
+    pub fn index_axis0(&self, i: usize) -> Result<Self> {
+        if self.shape.is_empty() {
+            return Err(TensorError::EmptyTensor { op: "index_axis0" });
+        }
+        if i >= self.shape[0] {
+            return Err(TensorError::IndexOutOfBounds {
+                index: vec![i],
+                shape: self.shape.clone(),
+            });
+        }
+        let inner: usize = self.shape[1..].iter().product();
+        let data = self.data[i * inner..(i + 1) * inner].to_vec();
+        Ok(Self {
+            shape: self.shape[1..].to_vec(),
+            data,
+        })
+    }
+
+    /// Stacks rank-`k` tensors of identical shape into a rank-`k+1` tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::EmptyTensor`] when `items` is empty and
+    /// [`TensorError::ShapeMismatch`] when the shapes disagree.
+    pub fn stack(items: &[Tensor]) -> Result<Self> {
+        let first = items.first().ok_or(TensorError::EmptyTensor { op: "stack" })?;
+        let mut data = Vec::with_capacity(items.len() * first.len());
+        for item in items {
+            if item.shape != first.shape {
+                return Err(TensorError::ShapeMismatch {
+                    left: first.shape.clone(),
+                    right: item.shape.clone(),
+                    op: "stack",
+                });
+            }
+            data.extend_from_slice(&item.data);
+        }
+        let mut shape = vec![items.len()];
+        shape.extend_from_slice(&first.shape);
+        Ok(Self { shape, data })
+    }
+
+    /// Returns `true` if any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|v| !v.is_finite())
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const PREVIEW: usize = 8;
+        write!(f, "Tensor(shape={:?}, data=[", self.shape)?;
+        for (i, v) in self.data.iter().take(PREVIEW).enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v:.4}")?;
+        }
+        if self.data.len() > PREVIEW {
+            write!(f, ", … {} more", self.data.len() - PREVIEW)?;
+        }
+        write!(f, "])")
+    }
+}
+
+impl Default for Tensor {
+    fn default() -> Self {
+        Self::zeros(&[0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_has_right_shape_and_content() {
+        let t = Tensor::zeros(&[2, 3, 4]);
+        assert_eq!(t.shape(), &[2, 3, 4]);
+        assert_eq!(t.len(), 24);
+        assert!(t.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Tensor::from_vec(vec![1.0; 6], &[2, 3]).is_ok());
+        let err = Tensor::from_vec(vec![1.0; 5], &[2, 3]).unwrap_err();
+        assert!(matches!(err, TensorError::ShapeDataMismatch { .. }));
+    }
+
+    #[test]
+    fn eye_is_identity() {
+        let t = Tensor::eye(3);
+        assert_eq!(t.at(&[0, 0]), 1.0);
+        assert_eq!(t.at(&[1, 2]), 0.0);
+        assert_eq!(t.data().iter().sum::<f32>(), 3.0);
+    }
+
+    #[test]
+    fn multi_index_roundtrip() {
+        let mut t = Tensor::zeros(&[2, 3, 4]);
+        t.set(&[1, 2, 3], 7.5);
+        assert_eq!(t.at(&[1, 2, 3]), 7.5);
+        assert_eq!(t.offset(&[1, 2, 3]).unwrap(), 23);
+    }
+
+    #[test]
+    fn offset_rejects_out_of_bounds() {
+        let t = Tensor::zeros(&[2, 2]);
+        assert!(t.offset(&[2, 0]).is_err());
+        assert!(t.offset(&[0]).is_err());
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec((0..6).map(|v| v as f32).collect(), &[2, 3]).unwrap();
+        let r = t.reshape(&[3, 2]).unwrap();
+        assert_eq!(r.shape(), &[3, 2]);
+        assert_eq!(r.data(), t.data());
+        assert!(t.reshape(&[4, 2]).is_err());
+    }
+
+    #[test]
+    fn index_axis0_extracts_rows() {
+        let t = Tensor::from_vec((0..6).map(|v| v as f32).collect(), &[2, 3]).unwrap();
+        let row = t.index_axis0(1).unwrap();
+        assert_eq!(row.shape(), &[3]);
+        assert_eq!(row.data(), &[3.0, 4.0, 5.0]);
+        assert!(t.index_axis0(2).is_err());
+    }
+
+    #[test]
+    fn stack_builds_batch() {
+        let a = Tensor::full(&[2, 2], 1.0);
+        let b = Tensor::full(&[2, 2], 2.0);
+        let s = Tensor::stack(&[a, b]).unwrap();
+        assert_eq!(s.shape(), &[2, 2, 2]);
+        assert_eq!(s.index_axis0(1).unwrap().data(), &[2.0; 4]);
+    }
+
+    #[test]
+    fn stack_rejects_mismatched_shapes() {
+        let a = Tensor::zeros(&[2, 2]);
+        let b = Tensor::zeros(&[3]);
+        assert!(Tensor::stack(&[a, b]).is_err());
+        assert!(Tensor::stack(&[]).is_err());
+    }
+
+    #[test]
+    fn has_non_finite_detects_nan() {
+        let mut t = Tensor::zeros(&[3]);
+        assert!(!t.has_non_finite());
+        t.data_mut()[1] = f32::NAN;
+        assert!(t.has_non_finite());
+    }
+
+    #[test]
+    fn debug_is_nonempty_and_truncated() {
+        let t = Tensor::zeros(&[100]);
+        let s = format!("{t:?}");
+        assert!(s.contains("more"));
+        assert!(!s.is_empty());
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests for the tensor substrate.
+
+use proptest::prelude::*;
+use remix_tensor::{im2col, Conv2dGeometry, Tensor};
+
+fn vec_strategy(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-100.0f32..100.0, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn add_is_commutative_and_sub_inverts(a in vec_strategy(20), b in vec_strategy(20)) {
+        let ta = Tensor::from_slice(&a);
+        let tb = Tensor::from_slice(&b);
+        prop_assert_eq!(ta.add(&tb).unwrap(), tb.add(&ta).unwrap());
+        let roundtrip = ta.add(&tb).unwrap().sub(&tb).unwrap();
+        for (x, y) in roundtrip.data().iter().zip(ta.data()) {
+            prop_assert!((x - y).abs() <= 0.02 * y.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn scale_distributes_over_add(a in vec_strategy(12), b in vec_strategy(12), s in -5.0f32..5.0) {
+        let ta = Tensor::from_slice(&a);
+        let tb = Tensor::from_slice(&b);
+        let left = ta.add(&tb).unwrap().scale(s);
+        let right = ta.scale(s).add(&tb.scale(s)).unwrap();
+        for (x, y) in left.data().iter().zip(right.data()) {
+            prop_assert!((x - y).abs() <= 1e-2 * x.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn matmul_is_associative_enough(
+        a in vec_strategy(9), b in vec_strategy(9), c in vec_strategy(9)
+    ) {
+        let (ta, tb, tc) = (
+            Tensor::from_vec(a, &[3, 3]).unwrap(),
+            Tensor::from_vec(b, &[3, 3]).unwrap(),
+            Tensor::from_vec(c, &[3, 3]).unwrap(),
+        );
+        let left = ta.matmul(&tb).unwrap().matmul(&tc).unwrap();
+        let right = ta.matmul(&tb.matmul(&tc).unwrap()).unwrap();
+        for (x, y) in left.data().iter().zip(right.data()) {
+            let scale = x.abs().max(y.abs()).max(1.0);
+            prop_assert!((x - y).abs() / scale < 1e-2, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn transpose_swaps_matmul_order(a in vec_strategy(6), b in vec_strategy(6)) {
+        // (A·B)ᵀ = Bᵀ·Aᵀ
+        let ta = Tensor::from_vec(a, &[2, 3]).unwrap();
+        let tb = Tensor::from_vec(b, &[3, 2]).unwrap();
+        let left = ta.matmul(&tb).unwrap().transpose().unwrap();
+        let right = tb.transpose().unwrap().matmul(&ta.transpose().unwrap()).unwrap();
+        for (x, y) in left.data().iter().zip(right.data()) {
+            prop_assert!((x - y).abs() < 1e-3 * x.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn dot_is_symmetric_and_bounded_by_norms(a in vec_strategy(16), b in vec_strategy(16)) {
+        let ta = Tensor::from_slice(&a);
+        let tb = Tensor::from_slice(&b);
+        let ab = ta.dot(&tb).unwrap();
+        let ba = tb.dot(&ta).unwrap();
+        prop_assert!((ab - ba).abs() <= 1e-2 * ab.abs().max(1.0));
+        // Cauchy–Schwarz with float slack
+        prop_assert!(ab.abs() <= ta.norm() * tb.norm() * 1.001 + 1e-3);
+    }
+
+    #[test]
+    fn stack_then_index_roundtrips(a in vec_strategy(8), b in vec_strategy(8)) {
+        let ta = Tensor::from_vec(a, &[2, 4]).unwrap();
+        let tb = Tensor::from_vec(b, &[2, 4]).unwrap();
+        let stacked = Tensor::stack(&[ta.clone(), tb.clone()]).unwrap();
+        prop_assert_eq!(stacked.index_axis0(0).unwrap(), ta);
+        prop_assert_eq!(stacked.index_axis0(1).unwrap(), tb);
+    }
+
+    #[test]
+    fn im2col_columns_have_conserved_mass(v in vec_strategy(36)) {
+        // with kernel 1 and stride 1, im2col is a permutation of the input
+        let t = Tensor::from_vec(v, &[1, 6, 6]).unwrap();
+        let geo = Conv2dGeometry { in_channels: 1, in_h: 6, in_w: 6, kernel: 1, stride: 1, pad: 0 };
+        let cols = im2col(&t, &geo).unwrap();
+        prop_assert_eq!(cols.len(), t.len());
+        prop_assert!((cols.sum() - t.sum()).abs() <= 1e-2 * t.sum().abs().max(1.0));
+    }
+
+    #[test]
+    fn argmax_points_at_maximum(v in vec_strategy(10)) {
+        let t = Tensor::from_slice(&v);
+        let i = t.argmax().unwrap();
+        let max = t.max().unwrap();
+        prop_assert_eq!(t.data()[i], max);
+    }
+}

@@ -1,0 +1,221 @@
+//! XAI evaluation metrics used by RQ3 (paper §V-E).
+//!
+//! * [`faithfulness_correlation`] (Bhatt et al. 2021): correlation between
+//!   the attribution mass of random feature subsets and the model-output drop
+//!   when those subsets are masked. Higher = more faithful.
+//! * [`relative_input_stability`] (Agarwal et al. 2022): the worst-case ratio
+//!   between the relative change of the explanation and the relative change
+//!   of the input, over small input perturbations. Lower = more stable; the
+//!   paper plots its logarithm.
+
+use crate::feature::apply_pixel_mask;
+use crate::Explainer;
+use rand::{seq::SliceRandom, Rng};
+use remix_nn::Model;
+use remix_tensor::Tensor;
+
+/// Faithfulness correlation: Pearson correlation between Σ-attribution of a
+/// random pixel subset and the probability drop when that subset is masked.
+///
+/// `subset_frac` controls subset size (the reference implementation uses a
+/// small fixed cardinality; a fraction adapts to image size).
+///
+/// # Panics
+///
+/// Panics if `n_subsets < 2` or `subset_frac` is not in `(0, 1]`.
+pub fn faithfulness_correlation(
+    model: &mut Model,
+    explainer: &Explainer,
+    image: &Tensor,
+    n_subsets: usize,
+    subset_frac: f32,
+    rng: &mut impl Rng,
+) -> f32 {
+    assert!(n_subsets >= 2, "need at least two subsets");
+    assert!(subset_frac > 0.0 && subset_frac <= 1.0);
+    let (h, w) = (image.shape()[1], image.shape()[2]);
+    let n_pixels = h * w;
+    let subset_len = ((n_pixels as f32 * subset_frac).round() as usize).clamp(1, n_pixels);
+    let (class, base_prob) = model.predict(image);
+    let attribution = explainer.explain(model, image, class, rng);
+    let baseline = image.mean();
+    let mut attr_sums = Vec::with_capacity(n_subsets);
+    let mut drops = Vec::with_capacity(n_subsets);
+    let mut pixels: Vec<usize> = (0..n_pixels).collect();
+    for _ in 0..n_subsets {
+        pixels.shuffle(rng);
+        let subset = &pixels[..subset_len];
+        let masked = apply_pixel_mask(image, subset, baseline);
+        let prob = model.predict_proba(&masked).data()[class];
+        drops.push(base_prob - prob);
+        attr_sums.push(subset.iter().map(|&p| attribution.data()[p]).sum::<f32>());
+    }
+    pearson(&attr_sums, &drops)
+}
+
+/// Relative Input Stability: `max over perturbations of
+/// ‖(e(x) − e(x')) / (e(x) + ε)‖₂ / max(‖(x − x') / (x + ε)‖₂, ε)`.
+///
+/// Lower values mean the explanation moves no faster than the input — the
+/// stability the paper wants from an XAI technique under ReMIX.
+///
+/// # Panics
+///
+/// Panics if `n_perturbations` is zero.
+pub fn relative_input_stability(
+    model: &mut Model,
+    explainer: &Explainer,
+    image: &Tensor,
+    n_perturbations: usize,
+    noise_std: f32,
+    rng: &mut impl Rng,
+) -> f32 {
+    assert!(n_perturbations > 0);
+    const EPS: f32 = 1e-3;
+    let (class, _) = model.predict(image);
+    let base_expl = explainer.explain(model, image, class, rng);
+    let mut worst = 0.0f32;
+    for _ in 0..n_perturbations {
+        let perturbed = image.with_gaussian_noise(noise_std, rng).clamp(0.0, 1.0);
+        let expl = explainer.explain(model, &perturbed, class, rng);
+        let expl_rel: f32 = base_expl
+            .data()
+            .iter()
+            .zip(expl.data())
+            .map(|(&a, &b)| {
+                let d = (a - b) / (a.abs() + EPS);
+                d * d
+            })
+            .sum::<f32>()
+            .sqrt();
+        let input_rel: f32 = image
+            .data()
+            .iter()
+            .zip(perturbed.data())
+            .map(|(&a, &b)| {
+                let d = (a - b) / (a.abs() + EPS);
+                d * d
+            })
+            .sum::<f32>()
+            .sqrt();
+        let ratio = expl_rel / input_rel.max(EPS);
+        worst = worst.max(ratio);
+    }
+    worst
+}
+
+/// Pearson correlation coefficient; 0 when either series is constant.
+fn pearson(a: &[f32], b: &[f32]) -> f32 {
+    let n = a.len() as f32;
+    let (ma, mb) = (
+        a.iter().sum::<f32>() / n,
+        b.iter().sum::<f32>() / n,
+    );
+    let cov: f32 = a.iter().zip(b).map(|(&x, &y)| (x - ma) * (y - mb)).sum();
+    let (va, vb): (f32, f32) = (
+        a.iter().map(|&x| (x - ma) * (x - ma)).sum(),
+        b.iter().map(|&y| (y - mb) * (y - mb)).sum(),
+    );
+    if va <= f32::EPSILON || vb <= f32::EPSILON {
+        return 0.0;
+    }
+    (cov / (va.sqrt() * vb.sqrt())).clamp(-1.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::XaiTechnique;
+    use rand::{rngs::StdRng, SeedableRng};
+    use remix_nn::layers::{Dense, Flatten};
+    use remix_nn::{InputSpec, Layer, Sequential};
+
+    fn linear_model() -> Model {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut net = Sequential::new();
+        net.push(Flatten::new());
+        let mut dense = Dense::new(16, 2, &mut rng);
+        dense.visit_params(&mut |p, _| {
+            for v in p.data_mut() {
+                *v = 0.0;
+            }
+            if p.len() == 32 {
+                // class 0 looks at the first row of the 4x4 image
+                for x in 0..4 {
+                    p.data_mut()[x] = 2.0;
+                }
+            }
+        });
+        net.push(dense);
+        Model::new(
+            net,
+            InputSpec {
+                channels: 1,
+                size: 4,
+                num_classes: 2,
+            },
+        )
+    }
+
+    #[test]
+    fn pearson_basics() {
+        assert!((pearson(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]) - 1.0).abs() < 1e-5);
+        assert!((pearson(&[1.0, 2.0, 3.0], &[3.0, 2.0, 1.0]) + 1.0).abs() < 1e-5);
+        assert_eq!(pearson(&[1.0, 1.0], &[0.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn faithful_gradient_explanation_correlates_positively() {
+        let mut model = linear_model();
+        // bright decisive top row over a dim background (a constant image
+        // would make masking-to-mean a no-op)
+        let mut image = Tensor::full(&[1, 4, 4], 0.2);
+        for x in 0..4 {
+            image.set(&[0, 0, x], 1.0);
+        }
+        let mut rng = StdRng::seed_from_u64(2);
+        let corr = faithfulness_correlation(
+            &mut model,
+            &Explainer::new(XaiTechnique::SmoothGrad),
+            &image,
+            24,
+            0.25,
+            &mut rng,
+        );
+        assert!(corr > 0.3, "faithfulness {corr}");
+    }
+
+    #[test]
+    fn stability_is_finite_and_nonnegative() {
+        let mut model = linear_model();
+        let image = Tensor::full(&[1, 4, 4], 0.5);
+        let mut rng = StdRng::seed_from_u64(3);
+        let ris = relative_input_stability(
+            &mut model,
+            &Explainer::new(XaiTechnique::IntegratedGradients),
+            &image,
+            4,
+            0.05,
+            &mut rng,
+        );
+        assert!(ris.is_finite() && ris >= 0.0);
+    }
+
+    #[test]
+    fn gradient_technique_is_stable_on_a_linear_model() {
+        // a linear model's gradient never changes, so SG should be extremely
+        // stable under input noise
+        let mut model = linear_model();
+        let image = Tensor::full(&[1, 4, 4], 0.5);
+        let mut rng = StdRng::seed_from_u64(4);
+        let ris = relative_input_stability(
+            &mut model,
+            &Explainer::new(XaiTechnique::SmoothGrad),
+            &image,
+            3,
+            0.05,
+            &mut rng,
+        );
+        assert!(ris < 5.0, "RIS {ris} unexpectedly high for a linear model");
+    }
+}

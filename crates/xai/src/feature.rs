@@ -1,0 +1,85 @@
+//! Feature-matrix helpers shared by all techniques.
+
+use remix_tensor::Tensor;
+
+/// Collapses a `[C, H, W]` attribution tensor into a normalized `[H, W]`
+/// feature matrix: absolute values are summed across channels and min–max
+/// scaled into `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics unless the input is rank 3.
+pub fn aggregate_channels(attribution: &Tensor) -> Tensor {
+    assert_eq!(attribution.rank(), 3, "attribution must be [C, H, W]");
+    let (c, h, w) = (
+        attribution.shape()[0],
+        attribution.shape()[1],
+        attribution.shape()[2],
+    );
+    let mut out = Tensor::zeros(&[h, w]);
+    {
+        let buf = out.data_mut();
+        let data = attribution.data();
+        for ci in 0..c {
+            for i in 0..h * w {
+                buf[i] += data[ci * h * w + i].abs();
+            }
+        }
+    }
+    out.normalize_minmax()
+}
+
+/// Returns a copy of `image` with the pixels at `pixel_indices` (flat `y*W+x`
+/// spatial indices) replaced by `baseline` in every channel. Used by SHAP,
+/// LIME and the faithfulness metric to "remove" features.
+pub fn apply_pixel_mask(image: &Tensor, pixel_indices: &[usize], baseline: f32) -> Tensor {
+    let (c, h, w) = (image.shape()[0], image.shape()[1], image.shape()[2]);
+    let mut out = image.clone();
+    let buf = out.data_mut();
+    for &p in pixel_indices {
+        debug_assert!(p < h * w);
+        for ci in 0..c {
+            buf[ci * h * w + p] = baseline;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_sums_channel_magnitudes() {
+        let t = Tensor::from_vec(vec![1.0, -1.0, 0.0, 0.0, -2.0, 2.0, 0.0, 0.0], &[2, 2, 2])
+            .unwrap();
+        let m = aggregate_channels(&t);
+        assert_eq!(m.shape(), &[2, 2]);
+        // |1|+|−2| = 3 at (0,0); |−1|+|2| = 3 at (0,1); zeros elsewhere
+        assert_eq!(m.data(), &[1.0, 1.0, 0.0, 0.0]); // after min-max normalize
+    }
+
+    #[test]
+    fn aggregate_output_is_unit_range() {
+        let t = Tensor::from_vec(vec![5.0, -3.0, 0.5, 0.0], &[1, 2, 2]).unwrap();
+        let m = aggregate_channels(&t);
+        assert_eq!(m.max().unwrap(), 1.0);
+        assert_eq!(m.min().unwrap(), 0.0);
+    }
+
+    #[test]
+    fn mask_replaces_all_channels() {
+        let img = Tensor::ones(&[2, 2, 2]);
+        let masked = apply_pixel_mask(&img, &[0, 3], 0.5);
+        assert_eq!(masked.at(&[0, 0, 0]), 0.5);
+        assert_eq!(masked.at(&[1, 0, 0]), 0.5);
+        assert_eq!(masked.at(&[1, 1, 1]), 0.5);
+        assert_eq!(masked.at(&[0, 0, 1]), 1.0); // untouched
+    }
+
+    #[test]
+    fn empty_mask_is_identity() {
+        let img = Tensor::ones(&[1, 3, 3]);
+        assert_eq!(apply_pixel_mask(&img, &[], 0.0), img);
+    }
+}

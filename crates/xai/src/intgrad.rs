@@ -1,0 +1,99 @@
+//! Integrated Gradients (Sundararajan et al.): attributions accumulated
+//! along the straight path from a black baseline to the input,
+//! `IG_i = (x_i − x'_i) · Σ_k ∇f(x' + k/m (x − x'))_i / m`.
+
+use crate::feature::aggregate_channels;
+use crate::ExplainerConfig;
+use remix_nn::Model;
+use remix_tensor::Tensor;
+
+/// Integrated-Gradients feature matrix for `(model, image, class)`.
+pub(crate) fn explain(
+    model: &mut Model,
+    image: &Tensor,
+    class: usize,
+    config: &ExplainerConfig,
+) -> Tensor {
+    let steps = config.ig_steps.max(1);
+    let baseline = Tensor::full(image.shape(), config.baseline);
+    let delta = image.sub(&baseline).expect("same shape");
+    let mut grad_sum = Tensor::zeros(image.shape());
+    for k in 1..=steps {
+        let alpha = k as f32 / steps as f32;
+        let point = baseline
+            .add(&delta.scale(alpha))
+            .expect("same shape");
+        let grad = model.input_gradient(&point, class);
+        grad_sum.add_assign(&grad).expect("gradient shape");
+    }
+    let attribution = delta
+        .mul(&grad_sum.scale(1.0 / steps as f32))
+        .expect("same shape");
+    aggregate_channels(&attribution)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use remix_nn::layers::{Dense, Flatten};
+    use remix_nn::{InputSpec, Layer, Sequential};
+
+    fn linear_model(w_class0: &[f32]) -> Model {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut net = Sequential::new();
+        net.push(Flatten::new());
+        let mut dense = Dense::new(4, 2, &mut rng);
+        let mut w = vec![0.0f32; 8];
+        w[..4].copy_from_slice(w_class0);
+        dense.visit_params(&mut |p, _| {
+            if p.len() == 8 {
+                p.data_mut().copy_from_slice(&w);
+            } else {
+                for v in p.data_mut() {
+                    *v = 0.0;
+                }
+            }
+        });
+        net.push(dense);
+        Model::new(
+            net,
+            InputSpec {
+                channels: 1,
+                size: 2,
+                num_classes: 2,
+            },
+        )
+    }
+
+    #[test]
+    fn linear_model_ig_equals_weight_times_input() {
+        // for linear f, IG_i = w_i * x_i exactly (completeness axiom)
+        let mut model = linear_model(&[2.0, -1.0, 0.0, 4.0]);
+        let image = Tensor::from_vec(vec![0.5, 1.0, 1.0, 0.25], &[1, 2, 2]).unwrap();
+        let m = explain(&mut model, &image, 0, &ExplainerConfig::default());
+        // |w*x| = [1.0, 1.0, 0.0, 1.0] -> normalized all equal except pixel 2
+        assert_eq!(m.at(&[1, 0]), 0.0);
+        assert!((m.at(&[0, 0]) - 1.0).abs() < 1e-5);
+        assert!((m.at(&[0, 1]) - 1.0).abs() < 1e-5);
+        assert!((m.at(&[1, 1]) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn zero_input_gives_zero_attribution() {
+        let mut model = linear_model(&[1.0, 1.0, 1.0, 1.0]);
+        let image = Tensor::zeros(&[1, 2, 2]);
+        let m = explain(&mut model, &image, 0, &ExplainerConfig::default());
+        // (x - baseline) = 0 everywhere -> all-zero matrix (normalized to 0)
+        assert_eq!(m.sum(), 0.0);
+    }
+
+    #[test]
+    fn is_deterministic() {
+        let mut model = linear_model(&[1.0, 2.0, 3.0, 4.0]);
+        let image = Tensor::full(&[1, 2, 2], 0.7);
+        let a = explain(&mut model, &image, 0, &ExplainerConfig::default());
+        let b = explain(&mut model, &image, 0, &ExplainerConfig::default());
+        assert_eq!(a, b);
+    }
+}

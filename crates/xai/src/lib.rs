@@ -1,0 +1,55 @@
+//! Post-hoc XAI techniques for the ReMIX reproduction (paper §II-C).
+//!
+//! All five techniques shortlisted by the paper are implemented from scratch
+//! against the `remix-nn` model substrate:
+//!
+//! | technique | kind | mechanism here |
+//! |---|---|---|
+//! | Smooth Gradients | model-dependent | input gradients averaged over noisy copies |
+//! | Integrated Gradients | model-dependent | gradients accumulated along a black-baseline path |
+//! | SHAP | model-agnostic | permutation-sampling Shapley values over patch segments |
+//! | LIME | model-agnostic | ridge-regression surrogate over random segment masks |
+//! | Counterfactual Explanations | model-agnostic* | gradient-guided minimal perturbation until the label flips |
+//!
+//! (*the CFE search uses gradients for efficiency, as modern CFE libraries
+//! do for differentiable models; the explanation itself is the pixel delta.)
+//!
+//! Every technique produces a 2-D **feature matrix** (`[H, W]`,
+//! channel-aggregated, min–max normalized to `[0, 1]`) — the common currency
+//! consumed by `remix-diversity` and `remix-core`.
+//!
+//! The [`eval`] module provides the paper's two XAI quality measures:
+//! faithfulness correlation (Bhatt et al.) and Relative Input Stability
+//! (Agarwal et al.), used to answer RQ3.
+//!
+//! # Example
+//!
+//! ```
+//! use rand::{rngs::StdRng, SeedableRng};
+//! use remix_nn::{zoo, Arch, InputSpec, Model};
+//! use remix_tensor::Tensor;
+//! use remix_xai::{Explainer, XaiTechnique};
+//!
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let spec = InputSpec { channels: 1, size: 8, num_classes: 2 };
+//! let mut model = Model::new(zoo::build(Arch::ConvNet, spec, &mut rng), spec);
+//! let image = Tensor::rand_uniform(&[1, 8, 8], 0.0, 1.0, &mut rng);
+//! let explainer = Explainer::new(XaiTechnique::SmoothGrad);
+//! let matrix = explainer.explain(&mut model, &image, 0, &mut rng);
+//! assert_eq!(matrix.shape(), &[8, 8]);
+//! ```
+
+mod cfe;
+pub mod eval;
+mod feature;
+mod intgrad;
+mod lime;
+pub mod noisegrad;
+mod segments;
+mod shap;
+mod smoothgrad;
+mod technique;
+
+pub use feature::{aggregate_channels, apply_pixel_mask};
+pub use segments::SegmentGrid;
+pub use technique::{Explainer, ExplainerConfig, XaiTechnique};

@@ -1,0 +1,183 @@
+//! LIME (Ribeiro et al.): a local interpretable surrogate.
+//!
+//! Random coalitions of segments are masked out of the input; the model's
+//! predicted-class probability on each perturbed input becomes the target of
+//! a proximity-weighted ridge regression over the coalition indicator
+//! vectors. The learned coefficients are the segment influences.
+
+use crate::feature::apply_pixel_mask;
+use crate::{ExplainerConfig, SegmentGrid};
+use rand::Rng;
+use remix_nn::Model;
+use remix_tensor::Tensor;
+
+/// LIME feature matrix for `(model, image, class)`.
+pub(crate) fn explain(
+    model: &mut Model,
+    image: &Tensor,
+    class: usize,
+    config: &ExplainerConfig,
+    rng: &mut impl Rng,
+) -> Tensor {
+    let (h, w) = (image.shape()[1], image.shape()[2]);
+    let grid = SegmentGrid::new(h, w, config.segment.min(h).max(1));
+    let t = grid.len();
+    let n = config.lime_samples.max(t + 2);
+    // design matrix rows (coalition indicators), targets, proximity weights
+    let mut rows: Vec<Vec<f32>> = Vec::with_capacity(n);
+    let mut targets: Vec<f32> = Vec::with_capacity(n);
+    let mut weights: Vec<f32> = Vec::with_capacity(n);
+    // include the all-on coalition so the surrogate anchors at the input
+    let mut coalitions: Vec<Vec<bool>> = vec![vec![true; t]];
+    for _ in 1..n {
+        coalitions.push((0..t).map(|_| rng.gen::<f32>() < 0.5).collect());
+    }
+    for mask in &coalitions {
+        let masked_pixels = grid.masked_pixels(mask);
+        let perturbed = apply_pixel_mask(image, &masked_pixels, config.baseline);
+        let prob = model.predict_proba(&perturbed).data()[class];
+        let off_frac = mask.iter().filter(|&&m| !m).count() as f32 / t as f32;
+        // exponential proximity kernel: nearer coalitions weigh more
+        let weight = (-(off_frac * off_frac) / 0.25).exp();
+        rows.push(mask.iter().map(|&m| if m { 1.0 } else { 0.0 }).collect());
+        targets.push(prob);
+        weights.push(weight);
+    }
+    let coeffs = ridge_regression(&rows, &targets, &weights, config.lime_ridge);
+    // positive influence = segment supports the prediction
+    let influence: Vec<f32> = coeffs.iter().map(|&c| c.max(0.0)).collect();
+    grid.upsample(&influence).normalize_minmax()
+}
+
+/// Solves `(XᵀWX + λI) β = XᵀW y` by Gaussian elimination with partial
+/// pivoting. The system is `T×T` with `T` = number of segments (small).
+fn ridge_regression(rows: &[Vec<f32>], y: &[f32], w: &[f32], lambda: f32) -> Vec<f32> {
+    let t = rows[0].len();
+    let mut a = vec![vec![0.0f32; t]; t];
+    let mut b = vec![0.0f32; t];
+    for ((row, &yi), &wi) in rows.iter().zip(y).zip(w) {
+        for i in 0..t {
+            if row[i] == 0.0 {
+                continue;
+            }
+            b[i] += wi * row[i] * yi;
+            for j in 0..t {
+                a[i][j] += wi * row[i] * row[j];
+            }
+        }
+    }
+    for (i, row) in a.iter_mut().enumerate() {
+        row[i] += lambda;
+    }
+    gaussian_solve(&mut a, &mut b)
+}
+
+fn gaussian_solve(a: &mut [Vec<f32>], b: &mut [f32]) -> Vec<f32> {
+    let n = b.len();
+    for col in 0..n {
+        // partial pivot
+        let pivot = (col..n)
+            .max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))
+            .expect("non-empty");
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        let diag = a[col][col];
+        if diag.abs() < 1e-9 {
+            continue; // singular direction; ridge term should prevent this
+        }
+        for row in (col + 1)..n {
+            let factor = a[row][col] / diag;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    let mut x = vec![0.0f32; n];
+    for col in (0..n).rev() {
+        let mut acc = b[col];
+        for k in (col + 1)..n {
+            acc -= a[col][k] * x[k];
+        }
+        x[col] = if a[col][col].abs() < 1e-9 {
+            0.0
+        } else {
+            acc / a[col][col]
+        };
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use remix_nn::layers::{Dense, Flatten};
+    use remix_nn::{InputSpec, Layer, Sequential};
+
+    #[test]
+    fn ridge_recovers_known_linear_coefficients() {
+        // y = 2·z0 + 0·z1 with unit weights; ridge pulls slightly toward 0
+        let rows = vec![
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 1.0],
+            vec![0.0, 0.0],
+        ];
+        let y = vec![2.0, 0.0, 2.0, 0.0];
+        let w = vec![1.0; 4];
+        let beta = ridge_regression(&rows, &y, &w, 0.01);
+        assert!((beta[0] - 2.0).abs() < 0.05, "beta0 {}", beta[0]);
+        assert!(beta[1].abs() < 0.05, "beta1 {}", beta[1]);
+    }
+
+    #[test]
+    fn gaussian_solver_handles_permuted_system() {
+        let mut a = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        let mut b = vec![3.0, 5.0];
+        let x = gaussian_solve(&mut a, &mut b);
+        assert!((x[0] - 5.0).abs() < 1e-5);
+        assert!((x[1] - 3.0).abs() < 1e-5);
+    }
+
+    fn segment_sensitive_model() -> Model {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut net = Sequential::new();
+        net.push(Flatten::new());
+        let mut dense = Dense::new(64, 2, &mut rng);
+        dense.visit_params(&mut |p, _| {
+            for v in p.data_mut() {
+                *v = 0.0;
+            }
+            if p.len() == 128 {
+                for y in 0..4 {
+                    for x in 0..4 {
+                        p.data_mut()[y * 8 + x] = 1.0;
+                    }
+                }
+            }
+        });
+        net.push(dense);
+        Model::new(
+            net,
+            InputSpec {
+                channels: 1,
+                size: 8,
+                num_classes: 2,
+            },
+        )
+    }
+
+    #[test]
+    fn lime_highlights_the_influential_segment() {
+        let mut model = segment_sensitive_model();
+        let image = Tensor::ones(&[1, 8, 8]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = explain(&mut model, &image, 0, &ExplainerConfig::default(), &mut rng);
+        assert_eq!(m.at(&[0, 0]), 1.0);
+        assert!(m.at(&[6, 6]) < 0.3);
+    }
+}

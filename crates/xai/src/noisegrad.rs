@@ -1,0 +1,163 @@
+//! NoiseGrad and FusionGrad (Bykov et al.), the optimized SmoothGrad
+//! variants the paper's Discussion cites as runtime optimizations
+//! ("Optimizations to Runtime Overhead"): instead of (only) perturbing the
+//! input, these perturb the *model weights*.
+//!
+//! * **NoiseGrad** — gradients averaged over multiplicative Gaussian noise on
+//!   the parameters;
+//! * **FusionGrad** — NoiseGrad and SmoothGrad combined (noise on both
+//!   weights and inputs).
+//!
+//! The paper notes such techniques trade faithfulness for speed; the
+//! `ablations` binary and `remix-xai`'s evaluation metrics let that tradeoff
+//! be measured here.
+
+use crate::feature::aggregate_channels;
+use crate::ExplainerConfig;
+use rand::Rng;
+use remix_nn::{Layer, Model};
+use remix_tensor::Tensor;
+
+/// Applies multiplicative Gaussian noise `w ← w·(1+ε)` to every parameter,
+/// returning the noise factors so [`restore_params`] can undo it exactly.
+fn perturb_params(model: &mut Model, std: f32, rng: &mut impl Rng) -> Vec<Tensor> {
+    let mut noises = Vec::new();
+    model.net_mut().visit_params(&mut |param, _| {
+        let noise = Tensor::randn(param.shape(), std, rng);
+        for (p, &n) in param.data_mut().iter_mut().zip(noise.data()) {
+            *p *= 1.0 + n;
+        }
+        noises.push(noise);
+    });
+    noises
+}
+
+/// Undoes [`perturb_params`] by dividing the stored factors back out.
+fn restore_params(model: &mut Model, noises: &[Tensor]) {
+    let mut idx = 0;
+    model.net_mut().visit_params(&mut |param, _| {
+        let noise = &noises[idx];
+        for (p, &n) in param.data_mut().iter_mut().zip(noise.data()) {
+            *p /= 1.0 + n;
+        }
+        idx += 1;
+    });
+}
+
+/// NoiseGrad feature matrix: `n_samples` input gradients under weight noise.
+///
+/// The model is restored bit-for-bit (multiplicative noise divided back out)
+/// after each sample.
+pub fn noisegrad(
+    model: &mut Model,
+    image: &Tensor,
+    class: usize,
+    config: &ExplainerConfig,
+    rng: &mut impl Rng,
+) -> Tensor {
+    let mut acc = Tensor::zeros(image.shape());
+    for _ in 0..config.sg_samples.max(1) {
+        let noises = perturb_params(model, config.sg_sigma * 0.5, rng);
+        let grad = model.input_gradient(image, class);
+        restore_params(model, &noises);
+        acc.add_assign(&grad.abs()).expect("gradient shape");
+    }
+    aggregate_channels(&acc)
+}
+
+/// FusionGrad feature matrix: weight noise *and* input noise per sample.
+pub fn fusiongrad(
+    model: &mut Model,
+    image: &Tensor,
+    class: usize,
+    config: &ExplainerConfig,
+    rng: &mut impl Rng,
+) -> Tensor {
+    let mut acc = Tensor::zeros(image.shape());
+    for _ in 0..config.sg_samples.max(1) {
+        let noises = perturb_params(model, config.sg_sigma * 0.5, rng);
+        let noisy_input = image.with_gaussian_noise(config.sg_sigma, rng);
+        let grad = model.input_gradient(&noisy_input, class);
+        restore_params(model, &noises);
+        acc.add_assign(&grad.abs()).expect("gradient shape");
+    }
+    aggregate_channels(&acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use remix_nn::layers::{Dense, Flatten, Relu};
+    use remix_nn::{InputSpec, Sequential};
+
+    fn model() -> Model {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut net = Sequential::new();
+        net.push(Flatten::new());
+        net.push(Dense::new(16, 8, &mut rng));
+        net.push(Relu::new());
+        net.push(Dense::new(8, 3, &mut rng));
+        Model::new(
+            net,
+            InputSpec {
+                channels: 1,
+                size: 4,
+                num_classes: 3,
+            },
+        )
+    }
+
+    #[test]
+    fn perturb_restore_roundtrips_exactly() {
+        let mut m = model();
+        let img = Tensor::full(&[1, 4, 4], 0.3);
+        let before = m.logits(&img);
+        let mut rng = StdRng::seed_from_u64(2);
+        let noises = perturb_params(&mut m, 0.1, &mut rng);
+        let during = m.logits(&img);
+        assert_ne!(before, during, "perturbation had no effect");
+        restore_params(&mut m, &noises);
+        let after = m.logits(&img);
+        for (a, b) in before.data().iter().zip(after.data()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn noisegrad_and_fusiongrad_produce_valid_matrices() {
+        let mut m = model();
+        let img = Tensor::rand_uniform(&[1, 4, 4], 0.0, 1.0, &mut StdRng::seed_from_u64(3));
+        let mut rng = StdRng::seed_from_u64(4);
+        let cfg = ExplainerConfig::default();
+        for f in [noisegrad, fusiongrad] {
+            let matrix = f(&mut m, &img, 0, &cfg, &mut rng);
+            assert_eq!(matrix.shape(), &[4, 4]);
+            assert!(!matrix.has_non_finite());
+            assert!(matrix.max().unwrap() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn noisegrad_resembles_plain_gradient_on_average() {
+        let mut m = model();
+        let img = Tensor::rand_uniform(&[1, 4, 4], 0.0, 1.0, &mut StdRng::seed_from_u64(5));
+        let mut rng = StdRng::seed_from_u64(6);
+        let cfg = ExplainerConfig {
+            sg_samples: 16,
+            sg_sigma: 0.05,
+            ..ExplainerConfig::default()
+        };
+        let ng = noisegrad(&mut m, &img, 0, &cfg, &mut rng);
+        let plain = aggregate_channels(&m.input_gradient(&img, 0).abs());
+        // small weight noise: the maps should correlate strongly
+        let d = ng
+            .data()
+            .iter()
+            .zip(plain.data())
+            .map(|(&a, &b)| (a - b).abs())
+            .sum::<f32>()
+            / ng.len() as f32;
+        assert!(d < 0.4, "NoiseGrad diverged from the plain gradient ({d})");
+    }
+}

@@ -1,0 +1,136 @@
+//! Patch segmentation shared by the model-agnostic techniques (SHAP, LIME).
+//!
+//! Real SHAP/LIME image pipelines use superpixel segmentation; on the small
+//! procedural images of this reproduction a regular patch grid plays the same
+//! role (groups of pixels toggled together as one interpretable feature).
+
+/// A regular grid of square segments over an `H×W` image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentGrid {
+    height: usize,
+    width: usize,
+    patch: usize,
+    grid_h: usize,
+    grid_w: usize,
+}
+
+impl SegmentGrid {
+    /// Creates a grid of `patch`×`patch` segments over an `height`×`width`
+    /// image. Edge segments absorb any remainder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `patch` is zero or larger than the image.
+    pub fn new(height: usize, width: usize, patch: usize) -> Self {
+        assert!(patch > 0 && patch <= height && patch <= width);
+        Self {
+            height,
+            width,
+            patch,
+            grid_h: height.div_ceil(patch),
+            grid_w: width.div_ceil(patch),
+        }
+    }
+
+    /// Number of segments.
+    pub fn len(&self) -> usize {
+        self.grid_h * self.grid_w
+    }
+
+    /// Whether the grid has no segments (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Flat spatial pixel indices (`y*W + x`) belonging to segment `seg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seg` is out of range.
+    pub fn pixels(&self, seg: usize) -> Vec<usize> {
+        assert!(seg < self.len(), "segment {seg} out of range");
+        let gy = seg / self.grid_w;
+        let gx = seg % self.grid_w;
+        let y0 = gy * self.patch;
+        let x0 = gx * self.patch;
+        let y1 = (y0 + self.patch).min(self.height);
+        let x1 = (x0 + self.patch).min(self.width);
+        let mut out = Vec::with_capacity((y1 - y0) * (x1 - x0));
+        for y in y0..y1 {
+            for x in x0..x1 {
+                out.push(y * self.width + x);
+            }
+        }
+        out
+    }
+
+    /// Pixel indices of all segments where `mask[seg]` is `false` (the
+    /// "removed" features of a coalition).
+    pub fn masked_pixels(&self, mask: &[bool]) -> Vec<usize> {
+        assert_eq!(mask.len(), self.len());
+        let mut out = Vec::new();
+        for (seg, &on) in mask.iter().enumerate() {
+            if !on {
+                out.extend(self.pixels(seg));
+            }
+        }
+        out
+    }
+
+    /// Paints per-segment scores onto an `[H, W]` matrix (each pixel gets its
+    /// segment's score).
+    pub fn upsample(&self, scores: &[f32]) -> remix_tensor::Tensor {
+        assert_eq!(scores.len(), self.len());
+        let mut out = remix_tensor::Tensor::zeros(&[self.height, self.width]);
+        let buf = out.data_mut();
+        for (seg, &s) in scores.iter().enumerate() {
+            for p in self.pixels(seg) {
+                buf[p] = s;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_division_grid() {
+        let g = SegmentGrid::new(8, 8, 4);
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.pixels(0).len(), 16);
+        // all segments partition the image
+        let mut all: Vec<usize> = (0..g.len()).flat_map(|s| g.pixels(s)).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn remainder_goes_to_edge_segments() {
+        let g = SegmentGrid::new(10, 10, 4);
+        assert_eq!(g.len(), 9);
+        let mut all: Vec<usize> = (0..g.len()).flat_map(|s| g.pixels(s)).collect();
+        all.sort_unstable();
+        assert_eq!(all.len(), 100);
+    }
+
+    #[test]
+    fn masked_pixels_selects_off_segments() {
+        let g = SegmentGrid::new(4, 4, 2);
+        let masked = g.masked_pixels(&[true, false, true, false]);
+        assert_eq!(masked.len(), 8);
+        assert!(masked.contains(&2)); // segment 1 covers columns 2-3 of rows 0-1
+    }
+
+    #[test]
+    fn upsample_paints_segments() {
+        let g = SegmentGrid::new(4, 4, 2);
+        let m = g.upsample(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m.at(&[0, 0]), 1.0);
+        assert_eq!(m.at(&[0, 3]), 2.0);
+        assert_eq!(m.at(&[3, 0]), 3.0);
+        assert_eq!(m.at(&[3, 3]), 4.0);
+    }
+}

@@ -1,0 +1,99 @@
+//! Smooth Gradients (Smilkov et al.): input gradients averaged over
+//! Gaussian-noised copies of the input, which suppresses gradient noise and
+//! sharpens the saliency map relative to a single gradient.
+
+use crate::feature::aggregate_channels;
+use crate::ExplainerConfig;
+use rand::Rng;
+use remix_nn::Model;
+use remix_tensor::Tensor;
+
+/// SmoothGrad feature matrix for `(model, image, class)`.
+pub(crate) fn explain(
+    model: &mut Model,
+    image: &Tensor,
+    class: usize,
+    config: &ExplainerConfig,
+    rng: &mut impl Rng,
+) -> Tensor {
+    let mut acc = Tensor::zeros(image.shape());
+    for _ in 0..config.sg_samples.max(1) {
+        let noisy = image.with_gaussian_noise(config.sg_sigma, rng);
+        let grad = model.input_gradient(&noisy, class);
+        acc.add_assign(&grad.abs()).expect("gradient shape");
+    }
+    aggregate_channels(&acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use remix_nn::layers::{Dense, Flatten};
+    use remix_nn::{InputSpec, Sequential};
+
+    /// A linear model whose gradient is its weight row — ground truth for
+    /// saliency.
+    fn linear_model(weights: &[f32]) -> Model {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut net = Sequential::new();
+        net.push(Flatten::new());
+        let mut dense = Dense::new(4, 2, &mut rng);
+        // class-0 row = weights, class-1 row = zeros
+        let mut w = vec![0.0f32; 8];
+        w[..4].copy_from_slice(weights);
+        dense_set(&mut dense, &w);
+        net.push(dense);
+        Model::new(
+            net,
+            InputSpec {
+                channels: 1,
+                size: 2,
+                num_classes: 2,
+            },
+        )
+    }
+
+    fn dense_set(dense: &mut Dense, w: &[f32]) {
+        use remix_nn::Layer;
+        dense.visit_params(&mut |p, _| {
+            if p.len() == w.len() {
+                p.data_mut().copy_from_slice(w);
+            }
+        });
+    }
+
+    #[test]
+    fn saliency_matches_linear_weights() {
+        let mut model = linear_model(&[5.0, 0.0, 0.0, 1.0]);
+        let image = Tensor::full(&[1, 2, 2], 0.5);
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = explain(
+            &mut model,
+            &image,
+            0,
+            &ExplainerConfig::default(),
+            &mut rng,
+        );
+        // strongest attribution where the weight is largest
+        assert_eq!(m.argmax().unwrap(), 0);
+        assert_eq!(m.at(&[0, 0]), 1.0);
+        assert!(m.at(&[0, 1]) < 0.1);
+        assert!(m.at(&[1, 1]) > 0.1); // the 1.0-weight pixel is nonzero
+    }
+
+    #[test]
+    fn more_samples_reduce_variance() {
+        let mut model = linear_model(&[1.0, 1.0, 1.0, 1.0]);
+        let image = Tensor::full(&[1, 2, 2], 0.5);
+        // linear model: gradient is constant, so any sample count gives the
+        // same (uniform) map; just confirm determinism under seeds
+        let cfg = ExplainerConfig {
+            sg_samples: 16,
+            ..ExplainerConfig::default()
+        };
+        let a = explain(&mut model, &image, 0, &cfg, &mut StdRng::seed_from_u64(3));
+        let b = explain(&mut model, &image, 0, &cfg, &mut StdRng::seed_from_u64(3));
+        assert_eq!(a, b);
+    }
+}

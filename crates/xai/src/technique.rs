@@ -1,0 +1,221 @@
+use crate::{cfe, intgrad, lime, shap, smoothgrad};
+use rand::Rng;
+use remix_nn::Model;
+use remix_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The five XAI techniques shortlisted by the paper (§II-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum XaiTechnique {
+    /// Smooth Gradients — gradients averaged over Gaussian-noised inputs.
+    SmoothGrad,
+    /// Integrated Gradients — gradients accumulated along a baseline path.
+    IntegratedGradients,
+    /// SHAP — permutation-sampling Shapley values over patch segments.
+    Shap,
+    /// LIME — ridge-regression surrogate over random segment masks.
+    Lime,
+    /// Counterfactual Explanations — minimal label-flipping perturbation.
+    Counterfactual,
+    /// NoiseGrad — gradients under model-weight noise (Discussion §runtime).
+    NoiseGrad,
+    /// FusionGrad — NoiseGrad + SmoothGrad combined (Discussion §runtime).
+    FusionGrad,
+}
+
+impl XaiTechnique {
+    /// The paper's five shortlisted techniques in Fig. 9 order.
+    pub const ALL: [XaiTechnique; 5] = [
+        XaiTechnique::Counterfactual,
+        XaiTechnique::IntegratedGradients,
+        XaiTechnique::Lime,
+        XaiTechnique::SmoothGrad,
+        XaiTechnique::Shap,
+    ];
+
+    /// The Discussion-section optimized variants (not part of Fig. 9).
+    pub const OPTIMIZED: [XaiTechnique; 2] = [XaiTechnique::NoiseGrad, XaiTechnique::FusionGrad];
+
+    /// Abbreviation used in the paper's figures.
+    pub fn abbrev(&self) -> &'static str {
+        match self {
+            XaiTechnique::SmoothGrad => "SG",
+            XaiTechnique::IntegratedGradients => "IG",
+            XaiTechnique::Shap => "SHAP",
+            XaiTechnique::Lime => "LIME",
+            XaiTechnique::Counterfactual => "CFE",
+            XaiTechnique::NoiseGrad => "NG",
+            XaiTechnique::FusionGrad => "FG",
+        }
+    }
+
+    /// Whether the technique requires a differentiable model (paper's
+    /// *model-dependent* class).
+    pub fn is_model_dependent(&self) -> bool {
+        matches!(
+            self,
+            XaiTechnique::SmoothGrad
+                | XaiTechnique::IntegratedGradients
+                | XaiTechnique::NoiseGrad
+                | XaiTechnique::FusionGrad
+        )
+    }
+}
+
+impl fmt::Display for XaiTechnique {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abbrev())
+    }
+}
+
+/// Tunable parameters for all techniques.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExplainerConfig {
+    /// SmoothGrad: number of noisy samples.
+    pub sg_samples: usize,
+    /// SmoothGrad: noise standard deviation (input range is `[0, 1]`).
+    pub sg_sigma: f32,
+    /// Integrated Gradients: number of interpolation steps.
+    pub ig_steps: usize,
+    /// SHAP: number of sampled permutations.
+    pub shap_permutations: usize,
+    /// Segment (patch) side for SHAP/LIME.
+    pub segment: usize,
+    /// LIME: number of random coalition samples.
+    pub lime_samples: usize,
+    /// LIME: ridge regularization strength.
+    pub lime_ridge: f32,
+    /// CFE: maximum perturbation steps before giving up.
+    pub cfe_max_steps: usize,
+    /// CFE: per-step perturbation magnitude.
+    pub cfe_step: f32,
+    /// Masking baseline value for "removed" features.
+    pub baseline: f32,
+}
+
+impl Default for ExplainerConfig {
+    fn default() -> Self {
+        Self {
+            sg_samples: 8,
+            sg_sigma: 0.1,
+            ig_steps: 12,
+            shap_permutations: 4,
+            segment: 4,
+            lime_samples: 40,
+            lime_ridge: 1.0,
+            cfe_max_steps: 40,
+            cfe_step: 0.08,
+            baseline: 0.0,
+        }
+    }
+}
+
+/// Applies an [`XaiTechnique`] to a model and input, yielding a `[H, W]`
+/// feature matrix in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Explainer {
+    /// The technique to apply.
+    pub technique: XaiTechnique,
+    /// Its parameters.
+    pub config: ExplainerConfig,
+}
+
+impl Explainer {
+    /// Creates an explainer with default parameters.
+    pub fn new(technique: XaiTechnique) -> Self {
+        Self {
+            technique,
+            config: ExplainerConfig::default(),
+        }
+    }
+
+    /// Creates an explainer with explicit parameters.
+    pub fn with_config(technique: XaiTechnique, config: ExplainerConfig) -> Self {
+        Self { technique, config }
+    }
+
+    /// Extracts the feature matrix explaining why `model` assigns `class` to
+    /// `image` (paper workflow step 1, "Feature Space Extraction").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `image` does not match the model's input spec or `class` is
+    /// out of range.
+    pub fn explain(
+        &self,
+        model: &mut Model,
+        image: &Tensor,
+        class: usize,
+        rng: &mut impl Rng,
+    ) -> Tensor {
+        assert!(class < model.num_classes(), "class out of range");
+        match self.technique {
+            XaiTechnique::SmoothGrad => smoothgrad::explain(model, image, class, &self.config, rng),
+            XaiTechnique::IntegratedGradients => intgrad::explain(model, image, class, &self.config),
+            XaiTechnique::Shap => shap::explain(model, image, class, &self.config, rng),
+            XaiTechnique::Lime => lime::explain(model, image, class, &self.config, rng),
+            XaiTechnique::Counterfactual => cfe::explain(model, image, class, &self.config),
+            XaiTechnique::NoiseGrad => {
+                crate::noisegrad::noisegrad(model, image, class, &self.config, rng)
+            }
+            XaiTechnique::FusionGrad => {
+                crate::noisegrad::fusiongrad(model, image, class, &self.config, rng)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use remix_nn::{zoo, Arch, InputSpec};
+
+    #[test]
+    fn all_techniques_produce_unit_range_matrices() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let spec = InputSpec {
+            channels: 1,
+            size: 8,
+            num_classes: 3,
+        };
+        let mut model = Model::new(zoo::build(Arch::ConvNet, spec, &mut rng), spec);
+        let image = Tensor::rand_uniform(&[1, 8, 8], 0.0, 1.0, &mut rng);
+        for technique in XaiTechnique::ALL.into_iter().chain(XaiTechnique::OPTIMIZED) {
+            let m = Explainer::new(technique).explain(&mut model, &image, 1, &mut rng);
+            assert_eq!(m.shape(), &[8, 8], "{technique}");
+            assert!(!m.has_non_finite(), "{technique} NaN");
+            let max = m.max().unwrap();
+            let min = m.min().unwrap();
+            assert!((0.0..=1.0).contains(&min) && max <= 1.0, "{technique} range");
+        }
+    }
+
+    #[test]
+    fn classification_of_techniques_matches_paper() {
+        assert!(XaiTechnique::SmoothGrad.is_model_dependent());
+        assert!(XaiTechnique::IntegratedGradients.is_model_dependent());
+        assert!(!XaiTechnique::Shap.is_model_dependent());
+        assert!(!XaiTechnique::Lime.is_model_dependent());
+        assert!(!XaiTechnique::Counterfactual.is_model_dependent());
+    }
+
+    #[test]
+    #[should_panic(expected = "class out of range")]
+    fn rejects_bad_class() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let spec = InputSpec {
+            channels: 1,
+            size: 8,
+            num_classes: 2,
+        };
+        let mut model = Model::new(zoo::build(Arch::ConvNet, spec, &mut rng), spec);
+        Explainer::new(XaiTechnique::SmoothGrad).explain(
+            &mut model,
+            &Tensor::zeros(&[1, 8, 8]),
+            5,
+            &mut rng,
+        );
+    }
+}

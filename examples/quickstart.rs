@@ -1,0 +1,76 @@
+//! Quickstart: train a small ensemble on faulty data and let ReMIX vote.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use rand::{rngs::StdRng, SeedableRng};
+use remix::core::Remix;
+use remix::data::SyntheticSpec;
+use remix::ensemble::{evaluate, train_zoo, TrainedEnsemble, UniformMajority};
+use remix::faults::{inject, ConfusionPattern, FaultConfig, FaultType};
+use remix::nn::Arch;
+use remix_core::RemixVoter;
+
+fn main() {
+    // 1. A dataset (synthetic MNIST analogue) with a fault injection:
+    //    30% of the training labels are randomly flipped.
+    let (train, test) = SyntheticSpec::mnist_like()
+        .train_size(300)
+        .test_size(100)
+        .seed(1)
+        .generate();
+    let pattern = ConfusionPattern::uniform(train.num_classes);
+    let mut rng = StdRng::seed_from_u64(7);
+    let faulty = inject(
+        &train,
+        FaultConfig::new(FaultType::Mislabelling, 0.3),
+        &pattern,
+        &mut rng,
+    );
+    println!(
+        "training set: {} samples, {} with corrupted labels",
+        faulty.dataset.len(),
+        faulty.corrupted.len()
+    );
+
+    // 2. An ensemble of three architecturally diverse models, trained
+    //    independently on the same faulty data.
+    let models = train_zoo(
+        &[Arch::ConvNet, Arch::ResNet18, Arch::MobileNet],
+        &faulty.dataset,
+        8,
+        42,
+    );
+    let mut ensemble = TrainedEnsemble::new(models);
+
+    // 3. Compare simple majority voting with ReMIX.
+    let umaj = evaluate(&mut UniformMajority, &mut ensemble, &test);
+    let mut remix = RemixVoter::new(Remix::builder().build());
+    let remix_eval = evaluate(&mut remix, &mut ensemble, &test);
+    println!("\nbalanced accuracy on {} test inputs:", test.len());
+    println!("  simple majority: {:.3}", umaj.balanced_accuracy);
+    println!("  ReMIX:           {:.3}", remix_eval.balanced_accuracy);
+
+    // 4. Inspect one disagreement in detail.
+    let remix = Remix::builder().build();
+    for (img, label) in test.iter() {
+        let verdict = remix.predict(&mut ensemble, img);
+        if verdict.unanimous {
+            continue;
+        }
+        println!("\nfirst disagreement (true label {label}):");
+        for d in &verdict.details {
+            println!(
+                "  {:<10} votes {:<2} with weight {:.4} (c={:.2} δ={:.3} σ={:.2})",
+                d.name, d.pred, d.weight, d.confidence, d.diversity, d.sparseness
+            );
+        }
+        println!("  ReMIX decides: {:?}", verdict.prediction);
+        println!(
+            "  time: prediction {:?} + XAI {:?} + weighting {:?}",
+            verdict.timings.prediction, verdict.timings.xai, verdict.timings.weighting
+        );
+        break;
+    }
+}

@@ -1,0 +1,62 @@
+//! XAI explorer: apply all five techniques to the same (model, input) pair,
+//! render the feature matrices, and cross-compare them with every diversity
+//! metric — a sandbox for the ReMIX building blocks.
+//!
+//! ```sh
+//! cargo run --release --example xai_explorer
+//! ```
+
+use rand::{rngs::StdRng, SeedableRng};
+use remix::data::SyntheticSpec;
+use remix::diversity::{sparseness, DiversityMetric};
+use remix::ensemble::train_zoo;
+use remix::nn::Arch;
+use remix::tensor::Tensor;
+use remix::xai::{Explainer, XaiTechnique};
+use remix_bench::viz::ascii_row;
+
+fn main() {
+    let (train, test) = SyntheticSpec::gtsrb_like()
+        .train_size(430)
+        .test_size(50)
+        .generate();
+    let mut models = train_zoo(&[Arch::ConvNet], &train, 8, 5);
+    let model = &mut models[0];
+    let (image, label) = test
+        .iter()
+        .find(|(img, l)| model.predict(img).0 == *l)
+        .map(|(img, l)| (img.clone(), l))
+        .expect("model classifies something correctly");
+    println!("== XAI explorer: ConvNet on a gtsrb-like sign (class {label}) ==\n");
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut matrices: Vec<(String, Tensor)> = vec![("input".into(), image.clone())];
+    for technique in XaiTechnique::ALL {
+        let m = Explainer::new(technique).explain(model, &image, label, &mut rng);
+        println!(
+            "{:<5} sparseness(0.2) = {:.2}",
+            technique.abbrev(),
+            remix::diversity::sparseness_with_threshold(&m, 0.2)
+        );
+        let _ = sparseness(&m);
+        matrices.push((technique.abbrev().to_string(), m));
+    }
+    let refs: Vec<(&str, &Tensor)> = matrices.iter().map(|(n, t)| (n.as_str(), t)).collect();
+    println!("\n{}", ascii_row(&refs));
+    // cross-technique diversity: how differently do the techniques explain
+    // the SAME model?
+    println!("cross-technique diversity of the feature matrices:");
+    println!("{:<22} {:>8} {:>8} {:>10} {:>12}", "pair", "cosine", "R²", "Frobenius", "Wasserstein");
+    for i in 1..matrices.len() {
+        for j in (i + 1)..matrices.len() {
+            let (a, b) = (&matrices[i].1, &matrices[j].1);
+            println!(
+                "{:<22} {:>8.3} {:>8.3} {:>10.3} {:>12.4}",
+                format!("{} vs {}", matrices[i].0, matrices[j].0),
+                DiversityMetric::CosineDistance.distance(a, b),
+                DiversityMetric::RSquared.distance(a, b),
+                DiversityMetric::FrobeniusNorm.distance(a, b),
+                DiversityMetric::Wasserstein.distance(a, b),
+            );
+        }
+    }
+}

@@ -1,0 +1,33 @@
+#!/bin/sh
+# Regenerates every paper figure/table. REMIX_SCALE=quick|paper.
+set -x
+cd "$(dirname "$0")"
+B=./target/release
+mkdir -p results
+$B/table02_datasets           > results/table02.txt 2>&1
+$B/table03_models             > results/table03.txt 2>&1
+$B/fig07 --panel a            > results/fig07a.txt 2>&1
+$B/fig07 --panel b            > results/fig07b.txt 2>&1
+$B/fig10_metrics              > results/fig10.txt 2>&1
+$B/fig11_ensemble_size        > results/fig11.txt 2>&1
+$B/fig07 --panel c            > results/fig07c.txt 2>&1
+$B/fig07 --panel d            > results/fig07d.txt 2>&1
+$B/fig07 --panel e            > results/fig07e.txt 2>&1
+$B/fig07 --panel f            > results/fig07f.txt 2>&1
+$B/fig07 --panel g            > results/fig07g.txt 2>&1
+$B/fig07 --panel h            > results/fig07h.txt 2>&1
+$B/fig09_xai_compare          > results/fig09.txt 2>&1
+$B/fig03_correct_proportions  > results/fig03.txt 2>&1
+$B/fig04_diversity_scatter    > results/fig04.txt 2>&1
+$B/fig06_sparseness           > results/fig06.txt 2>&1
+$B/fig01_motivation           > results/fig01.txt 2>&1
+$B/fig08_overhead             > results/fig08.txt 2>&1
+$B/fig02_xai_gallery          > results/fig02.txt 2>&1
+$B/fig12_vit_attention        > results/fig12.txt 2>&1
+$B/ablations                  > results/ablations.txt 2>&1
+$B/fig07 --panel i            > results/fig07i.txt 2>&1
+$B/fig07 --panel j            > results/fig07j.txt 2>&1
+$B/ext_cleaning               > results/ext_cleaning.txt 2>&1
+$B/ext_tabular                > results/ext_tabular.txt 2>&1
+$B/ext_quantization           > results/ext_quantization.txt 2>&1
+echo ALL_EXPERIMENTS_DONE

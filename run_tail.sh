@@ -1,0 +1,15 @@
+#!/bin/sh
+set -x
+cd "$(dirname "$0")"
+B=./target/release
+$B/fig03_correct_proportions  > results/fig03.txt 2>&1
+$B/fig08_overhead             > results/fig08.txt 2>&1
+$B/ablations --study threshold > results/ablations.txt 2>&1
+$B/ext_tabular                > results/ext_tabular.txt 2>&1
+$B/fig02_xai_gallery          > results/fig02.txt 2>&1
+$B/fig12_vit_attention        > results/fig12.txt 2>&1
+$B/fig09_xai_compare          > results/fig09.txt 2>&1
+$B/fig06_sparseness           > results/fig06.txt 2>&1
+$B/fig01_motivation           > results/fig01.txt 2>&1
+$B/fig04_diversity_scatter    > results/fig04.txt 2>&1
+echo TAIL_DONE

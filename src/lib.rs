@@ -1,0 +1,34 @@
+//! Umbrella crate for the ReMIX reproduction.
+//!
+//! Re-exports every workspace crate under one roof so that examples,
+//! integration tests, and downstream users can depend on a single crate:
+//!
+//! ```
+//! use remix::prelude::*;
+//! ```
+//!
+//! See the individual crates for the substrate documentation:
+//! [`remix_tensor`], [`remix_nn`], [`remix_data`], [`remix_faults`],
+//! [`remix_xai`], [`remix_diversity`], [`remix_ensemble`], and the ReMIX
+//! meta-learner itself in [`remix_core`].
+
+pub use remix_core as core;
+pub use remix_data as data;
+pub use remix_diversity as diversity;
+pub use remix_ensemble as ensemble;
+pub use remix_faults as faults;
+pub use remix_nn as nn;
+pub use remix_tensor as tensor;
+pub use remix_xai as xai;
+
+/// Commonly used items, importable in one line.
+pub mod prelude {
+    pub use remix_core::{Remix, RemixBuilder, RemixVerdict, RemixVoter};
+    pub use remix_data::{Dataset, SyntheticSpec};
+    pub use remix_diversity::DiversityMetric;
+    pub use remix_ensemble::{evaluate, train_zoo, Prediction, TrainedEnsemble, Voter};
+    pub use remix_faults::{inject, ConfusionPattern, FaultConfig, FaultType};
+    pub use remix_nn::{Arch, InputSpec, Model, Trainer, TrainerConfig};
+    pub use remix_tensor::Tensor;
+    pub use remix_xai::{Explainer, XaiTechnique};
+}

@@ -1,0 +1,137 @@
+//! Cross-crate resilience behaviour: faults degrade learning, ensembles
+//! resist better than individuals, and the injection bookkeeping is sound
+//! end-to-end.
+
+use rand::{rngs::StdRng, SeedableRng};
+use remix::data::SyntheticSpec;
+use remix::ensemble::{evaluate, train_zoo, TrainedEnsemble, UniformMajority};
+use remix::faults::{inject, inject_multi, ConfusionPattern, FaultConfig, FaultType, MultiFault};
+use remix::nn::Arch;
+
+#[test]
+fn heavy_mislabelling_degrades_a_single_model() {
+    let (train, test) = SyntheticSpec::mnist_like()
+        .train_size(200)
+        .test_size(60)
+        .generate();
+    let pattern = ConfusionPattern::uniform(10);
+    let mut rng = StdRng::seed_from_u64(1);
+    let faulty = inject(
+        &train,
+        FaultConfig::new(FaultType::Mislabelling, 0.5),
+        &pattern,
+        &mut rng,
+    );
+    let mut clean_model = train_zoo(&[Arch::ConvNet], &train, 8, 3);
+    let mut dirty_model = train_zoo(&[Arch::ConvNet], &faulty.dataset, 8, 3);
+    let acc = |model: &mut remix::nn::Model| {
+        test.iter()
+            .filter(|(img, l)| model.predict(img).0 == *l)
+            .count() as f32
+            / test.len() as f32
+    };
+    let clean = acc(&mut clean_model[0]);
+    let dirty = acc(&mut dirty_model[0]);
+    assert!(
+        clean > dirty + 0.1,
+        "50% mislabelling should hurt: clean {clean:.2} vs dirty {dirty:.2}"
+    );
+}
+
+#[test]
+fn removal_and_repetition_keep_models_trainable() {
+    let (train, test) = SyntheticSpec::mnist_like()
+        .train_size(200)
+        .test_size(50)
+        .generate();
+    let pattern = ConfusionPattern::uniform(10);
+    for ty in [FaultType::Removal, FaultType::Repetition] {
+        let mut rng = StdRng::seed_from_u64(2);
+        let faulty = inject(&train, FaultConfig::new(ty, 0.3), &pattern, &mut rng);
+        let mut models = train_zoo(&[Arch::ConvNet], &faulty.dataset, 8, 4);
+        let correct = test
+            .iter()
+            .filter(|(img, l)| models[0].predict(img).0 == *l)
+            .count();
+        assert!(
+            correct as f32 / test.len() as f32 > 0.4,
+            "{ty} at 30% should be survivable, got {correct}/{}",
+            test.len()
+        );
+    }
+}
+
+#[test]
+fn ensemble_majority_resists_mislabelling_at_least_as_well_as_average_member() {
+    let (train, test) = SyntheticSpec::mnist_like()
+        .train_size(250)
+        .test_size(80)
+        .generate();
+    let pattern = ConfusionPattern::uniform(10);
+    let mut rng = StdRng::seed_from_u64(5);
+    let faulty = inject(
+        &train,
+        FaultConfig::new(FaultType::Mislabelling, 0.3),
+        &pattern,
+        &mut rng,
+    );
+    let models = train_zoo(
+        &[Arch::ConvNet, Arch::ResNet18, Arch::MobileNet],
+        &faulty.dataset,
+        8,
+        6,
+    );
+    let mut ensemble = TrainedEnsemble::new(models);
+    // mean individual accuracy
+    let mut individual_sum = 0.0;
+    for m in 0..3 {
+        let correct = test
+            .iter()
+            .filter(|(img, l)| ensemble.models[m].predict(img).0 == *l)
+            .count();
+        individual_sum += correct as f32 / test.len() as f32;
+    }
+    let mean_individual = individual_sum / 3.0;
+    let umaj = evaluate(&mut UniformMajority, &mut ensemble, &test);
+    assert!(
+        umaj.accuracy + 0.05 >= mean_individual,
+        "majority {:.3} should not trail the mean member {:.3} by much",
+        umaj.accuracy,
+        mean_individual
+    );
+}
+
+#[test]
+fn combined_faults_compound() {
+    let (train, _) = SyntheticSpec::mnist_like().train_size(200).generate();
+    let pattern = ConfusionPattern::uniform(10);
+    let mut rng = StdRng::seed_from_u64(7);
+    let faulty = inject_multi(
+        &train,
+        &MultiFault::mislabel_and_removal(0.4),
+        &pattern,
+        &mut rng,
+    );
+    // 20% mislabelling then 20% removal: size shrinks, labels corrupted
+    assert_eq!(faulty.dataset.len(), 160);
+    let flipped = faulty
+        .dataset
+        .labels
+        .iter()
+        .zip(faulty.dataset.images.iter())
+        .count();
+    assert_eq!(flipped, 160);
+}
+
+#[test]
+fn poisoned_inputs_do_not_crash_inference() {
+    let (train, _) = SyntheticSpec::mnist_like().train_size(120).generate();
+    let mut models = train_zoo(&[Arch::ConvNet], &train, 2, 8);
+    // NaN pixels: inference must not panic (outputs may be garbage, but the
+    // pipeline stays alive and flags the problem via has_non_finite)
+    let mut poisoned = train.images[0].clone();
+    poisoned.data_mut()[7] = f32::NAN;
+    let probs = models[0].predict_proba(&poisoned);
+    assert_eq!(probs.len(), 10);
+    assert!(poisoned.has_non_finite());
+}

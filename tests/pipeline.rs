@@ -1,0 +1,115 @@
+//! End-to-end integration: dataset → pattern extraction → fault injection →
+//! zoo training → ensemble selection → every voter, including ReMIX.
+
+use rand::{rngs::StdRng, SeedableRng};
+use remix::core::Remix;
+use remix::data::SyntheticSpec;
+use remix::ensemble::{
+    evaluate, select_best_ensemble, train_zoo, BestIndividual, StackedDynamic, StaticWeighted,
+    UniformAverage, UniformMajority, Voter,
+};
+use remix::faults::{inject, pattern, FaultConfig, FaultType};
+use remix::nn::Arch;
+use remix_core::RemixVoter;
+
+fn trained_stack() -> (
+    remix::ensemble::TrainedEnsemble,
+    remix::data::Dataset,
+    remix::data::Dataset,
+) {
+    let (train, test) = SyntheticSpec::mnist_like()
+        .train_size(200)
+        .test_size(60)
+        .seed(3)
+        .generate();
+    let pat = pattern::extract(&train, 2, 5);
+    let mut rng = StdRng::seed_from_u64(9);
+    let faulty = inject(
+        &train,
+        FaultConfig::new(FaultType::Mislabelling, 0.2),
+        &pat,
+        &mut rng,
+    );
+    let (_, validation) = faulty.dataset.split(0.2, &mut rng);
+    let models = train_zoo(
+        &[Arch::ConvNet, Arch::DeconvNet, Arch::ResNet18, Arch::MobileNet],
+        &faulty.dataset,
+        6,
+        17,
+    );
+    let (ensemble, indices, _) = select_best_ensemble(models, 3, &validation);
+    assert_eq!(indices.len(), 3);
+    (ensemble, validation, test)
+}
+
+#[test]
+fn full_pipeline_all_voters_beat_chance() {
+    let (mut ensemble, validation, test) = trained_stack();
+    let mut voters: Vec<Box<dyn Voter>> = vec![
+        Box::new(BestIndividual::fit(&mut ensemble, &validation)),
+        Box::new(UniformMajority),
+        Box::new(UniformAverage),
+        Box::new(StaticWeighted::fit(&mut ensemble, &validation)),
+        Box::new(StackedDynamic::fit(&mut ensemble, &validation)),
+        Box::new(RemixVoter::new(Remix::builder().build())),
+    ];
+    for voter in &mut voters {
+        let eval = evaluate(voter.as_mut(), &mut ensemble, &test);
+        assert!(
+            eval.balanced_accuracy > 0.3,
+            "{} only reached BA {:.3} (chance = 0.1)",
+            eval.voter,
+            eval.balanced_accuracy
+        );
+        assert!(eval.balanced_accuracy <= 1.0);
+        assert_eq!(eval.predictions.len(), test.len());
+    }
+}
+
+#[test]
+fn remix_verdicts_are_internally_consistent() {
+    let (mut ensemble, _, test) = trained_stack();
+    let remix = Remix::builder().keep_feature_matrices(true).build();
+    let mut saw_disagreement = false;
+    for (img, _) in test.iter().take(30) {
+        let verdict = remix.predict(&mut ensemble, img);
+        if verdict.unanimous {
+            assert!(verdict.details.is_empty());
+            continue;
+        }
+        saw_disagreement = true;
+        assert_eq!(verdict.details.len(), 3);
+        // Eq. 5 holds for every model
+        for d in &verdict.details {
+            let expected = d.confidence * d.diversity * (20.0 * d.sparseness).tanh();
+            assert!((d.weight - expected).abs() < 1e-5, "Eq. 5 violated");
+            let fm = d.feature_matrix.as_ref().expect("matrices kept");
+            assert_eq!(fm.shape(), &[16, 16]);
+            assert!(!fm.has_non_finite());
+        }
+        // the decision, when made, is one of the constituent votes
+        if let Some(class) = verdict.prediction.class() {
+            assert!(verdict.details.iter().any(|d| d.pred == class));
+        }
+    }
+    assert!(saw_disagreement, "test set produced no disagreements");
+}
+
+#[test]
+fn remix_is_deterministic_end_to_end() {
+    let (mut ensemble, _, test) = trained_stack();
+    let remix = Remix::builder().seed(11).build();
+    let first: Vec<_> = test
+        .images
+        .iter()
+        .take(10)
+        .map(|img| remix.predict(&mut ensemble, img).prediction)
+        .collect();
+    let second: Vec<_> = test
+        .images
+        .iter()
+        .take(10)
+        .map(|img| remix.predict(&mut ensemble, img).prediction)
+        .collect();
+    assert_eq!(first, second);
+}

@@ -1,0 +1,176 @@
+//! Property-based tests over the core data structures and invariants
+//! (proptest): tensor algebra, diversity metrics, entropy, sparseness,
+//! voting, and fault-injection accounting.
+
+use proptest::prelude::*;
+use remix::diversity::{shannon_entropy, sparseness_with_threshold, DiversityMetric};
+use remix::ensemble::metrics::{balanced_accuracy, f1_binary};
+use remix::ensemble::Prediction;
+use remix::faults::{inject, ConfusionPattern, FaultConfig, FaultType};
+use remix::tensor::Tensor;
+use remix_data::Dataset;
+
+fn tensor_strategy(len: usize) -> impl Strategy<Value = Tensor> {
+    prop::collection::vec(-10.0f32..10.0, len).prop_map(|v| Tensor::from_slice(&v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // --- tensor algebra ---
+
+    #[test]
+    fn addition_commutes(a in tensor_strategy(24), b in tensor_strategy(24)) {
+        prop_assert_eq!(a.add(&b).unwrap(), b.add(&a).unwrap());
+    }
+
+    #[test]
+    fn matmul_identity_is_noop(v in prop::collection::vec(-5.0f32..5.0, 16)) {
+        let m = Tensor::from_vec(v, &[4, 4]).unwrap();
+        let out = m.matmul(&Tensor::eye(4)).unwrap();
+        prop_assert_eq!(out, m);
+    }
+
+    #[test]
+    fn transpose_is_involution(v in prop::collection::vec(-5.0f32..5.0, 12)) {
+        let m = Tensor::from_vec(v, &[3, 4]).unwrap();
+        prop_assert_eq!(m.transpose().unwrap().transpose().unwrap(), m);
+    }
+
+    #[test]
+    fn softmax_is_a_distribution(logits in prop::collection::vec(-30.0f32..30.0, 2..20)) {
+        let s = Tensor::from_slice(&logits).softmax();
+        prop_assert!(!s.has_non_finite());
+        prop_assert!((s.sum() - 1.0).abs() < 1e-4);
+        prop_assert!(s.data().iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    #[test]
+    fn normalize_minmax_bounds(t in tensor_strategy(16)) {
+        let n = t.normalize_minmax();
+        prop_assert!(n.min().unwrap() >= 0.0);
+        prop_assert!(n.max().unwrap() <= 1.0);
+    }
+
+    // --- diversity metrics ---
+
+    #[test]
+    fn metrics_are_commutative_and_finite(a in tensor_strategy(16), b in tensor_strategy(16)) {
+        for metric in DiversityMetric::ALL {
+            let ab = metric.distance(&a, &b);
+            let ba = metric.distance(&b, &a);
+            prop_assert!(ab.is_finite());
+            prop_assert!((ab - ba).abs() < 1e-4, "{} not commutative", metric);
+        }
+    }
+
+    #[test]
+    fn self_distance_is_minimal(a in tensor_strategy(16)) {
+        prop_assert_eq!(DiversityMetric::FrobeniusNorm.distance(&a, &a), 0.0);
+        prop_assert_eq!(DiversityMetric::Wasserstein.distance(&a, &a), 0.0);
+        prop_assert!(DiversityMetric::CosineDistance.distance(&a, &a) < 1e-4);
+    }
+
+    #[test]
+    fn cosine_distance_in_range(a in tensor_strategy(16), b in tensor_strategy(16)) {
+        let d = DiversityMetric::CosineDistance.distance(&a, &b);
+        prop_assert!((0.0..=2.0).contains(&d));
+    }
+
+    #[test]
+    fn r_squared_in_unit_interval(a in tensor_strategy(16), b in tensor_strategy(16)) {
+        let d = DiversityMetric::RSquared.distance(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&d));
+    }
+
+    // --- entropy & sparseness ---
+
+    #[test]
+    fn entropy_is_bounded(p in prop::collection::vec(0.001f32..1.0, 2..30)) {
+        let h = shannon_entropy(&p);
+        prop_assert!((0.0..=1.0).contains(&h));
+    }
+
+    #[test]
+    fn sparseness_is_a_fraction(t in tensor_strategy(25), thresh in 0.0f32..1.0) {
+        let s = sparseness_with_threshold(&t, thresh);
+        prop_assert!((0.0..=1.0).contains(&s));
+    }
+
+    // --- evaluation metrics ---
+
+    #[test]
+    fn balanced_accuracy_bounds(
+        labels in prop::collection::vec(0usize..4, 4..40),
+        preds_raw in prop::collection::vec(0usize..5, 4..40),
+    ) {
+        let n = labels.len().min(preds_raw.len());
+        let preds: Vec<Prediction> = preds_raw[..n]
+            .iter()
+            .map(|&p| if p == 4 { Prediction::NoMajority } else { Prediction::Decided(p) })
+            .collect();
+        let ba = balanced_accuracy(&preds, &labels[..n], 4);
+        prop_assert!((0.0..=1.0).contains(&ba));
+        let all_right: Vec<Prediction> = labels[..n].iter().map(|&l| Prediction::Decided(l)).collect();
+        prop_assert_eq!(balanced_accuracy(&all_right, &labels[..n], 4), 1.0);
+    }
+
+    #[test]
+    fn f1_bounds(
+        labels in prop::collection::vec(0usize..2, 4..30),
+        preds_raw in prop::collection::vec(0usize..2, 4..30),
+    ) {
+        let n = labels.len().min(preds_raw.len());
+        let preds: Vec<Prediction> = preds_raw[..n].iter().map(|&p| Prediction::Decided(p)).collect();
+        let f1 = f1_binary(&preds, &labels[..n]);
+        prop_assert!((0.0..=1.0).contains(&f1));
+    }
+
+    // --- fault injection accounting ---
+
+    #[test]
+    fn mislabelling_amount_is_respected(amount in 0.0f32..=1.0, seed in 0u64..1000) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let images = (0..40).map(|_| Tensor::zeros(&[1, 4, 4])).collect();
+        let labels = (0..40).map(|i| i % 5).collect();
+        let d = Dataset::new(images, labels, 5, 1, 4, "prop");
+        let pattern = ConfusionPattern::uniform(5);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let f = inject(&d, FaultConfig::new(FaultType::Mislabelling, amount), &pattern, &mut rng);
+        let expected = (40.0 * amount).round() as usize;
+        prop_assert_eq!(f.corrupted.len(), expected);
+        // every corrupted sample has a changed label; none maps to itself
+        for &(i, orig) in &f.original_labels {
+            prop_assert_ne!(f.dataset.labels[i], orig);
+        }
+        prop_assert_eq!(f.dataset.len(), 40);
+    }
+
+    #[test]
+    fn removal_and_repetition_sizes(amount in 0.0f32..0.9, seed in 0u64..1000) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let images = (0..50).map(|_| Tensor::zeros(&[1, 4, 4])).collect();
+        let labels = (0..50).map(|i| i % 5).collect();
+        let d = Dataset::new(images, labels, 5, 1, 4, "prop");
+        let pattern = ConfusionPattern::uniform(5);
+        let k = (50.0 * amount).round() as usize;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let removed = inject(&d, FaultConfig::new(FaultType::Removal, amount), &pattern, &mut rng);
+        prop_assert_eq!(removed.dataset.len(), 50 - k);
+        let repeated = inject(&d, FaultConfig::new(FaultType::Repetition, amount), &pattern, &mut rng);
+        prop_assert_eq!(repeated.dataset.len(), 50 + k);
+    }
+
+    #[test]
+    fn confusion_pattern_rows_are_stochastic(classes in 2usize..12, seed in 0u64..100) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let pattern = ConfusionPattern::uniform(classes);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for c in 0..classes {
+            prop_assert!((pattern.row(c).iter().sum::<f32>() - 1.0).abs() < 1e-4);
+            let r = pattern.sample_replacement(c, &mut rng);
+            prop_assert_ne!(r, c);
+            prop_assert!(r < classes);
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! XAI techniques against genuinely trained models: matrices differ between
+//! architectures (the diversity ReMIX exploits), evaluation metrics run, and
+//! degenerate inputs are survivable.
+
+use rand::{rngs::StdRng, SeedableRng};
+use remix::data::SyntheticSpec;
+use remix::diversity::DiversityMetric;
+use remix::ensemble::train_zoo;
+use remix::nn::Arch;
+use remix::tensor::Tensor;
+use remix::xai::{eval, Explainer, XaiTechnique};
+
+#[test]
+fn different_architectures_explain_differently() {
+    let (train, test) = SyntheticSpec::mnist_like()
+        .train_size(200)
+        .test_size(20)
+        .generate();
+    let mut models = train_zoo(&[Arch::ConvNet, Arch::MobileNet], &train, 6, 3);
+    let explainer = Explainer::new(XaiTechnique::SmoothGrad);
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut total_div = 0.0;
+    let mut count = 0;
+    for (img, _) in test.iter().take(8) {
+        let (pred_a, _) = models[0].predict(img);
+        let (pred_b, _) = models[1].predict(img);
+        let ma = explainer.explain(&mut models[0], img, pred_a, &mut rng);
+        let mb = explainer.explain(&mut models[1], img, pred_b, &mut rng);
+        total_div += DiversityMetric::CosineDistance.distance(&ma, &mb);
+        count += 1;
+    }
+    let mean_div = total_div / count as f32;
+    assert!(
+        mean_div > 0.01,
+        "two architectures produced near-identical feature spaces ({mean_div})"
+    );
+}
+
+#[test]
+fn same_model_explains_itself_consistently() {
+    let (train, test) = SyntheticSpec::mnist_like()
+        .train_size(150)
+        .test_size(10)
+        .generate();
+    let mut models = train_zoo(&[Arch::ConvNet], &train, 5, 4);
+    let explainer = Explainer::new(XaiTechnique::IntegratedGradients); // deterministic
+    let mut rng = StdRng::seed_from_u64(2);
+    let img = &test.images[0];
+    let (pred, _) = models[0].predict(img);
+    let a = explainer.explain(&mut models[0], img, pred, &mut rng);
+    let b = explainer.explain(&mut models[0], img, pred, &mut rng);
+    assert_eq!(a, b, "IG must be deterministic for a fixed model and input");
+    assert!(DiversityMetric::RSquared.distance(&a, &b) > 0.99);
+}
+
+#[test]
+fn faithfulness_and_stability_run_on_trained_models() {
+    let (train, test) = SyntheticSpec::mnist_like()
+        .train_size(200)
+        .test_size(10)
+        .generate();
+    let mut models = train_zoo(&[Arch::ConvNet], &train, 6, 5);
+    let mut rng = StdRng::seed_from_u64(3);
+    let explainer = Explainer::new(XaiTechnique::SmoothGrad);
+    let img = &test.images[0];
+    let faith = eval::faithfulness_correlation(&mut models[0], &explainer, img, 16, 0.25, &mut rng);
+    assert!((-1.0..=1.0).contains(&faith));
+    let ris = eval::relative_input_stability(&mut models[0], &explainer, img, 3, 0.05, &mut rng);
+    assert!(ris.is_finite() && ris >= 0.0);
+}
+
+#[test]
+fn techniques_survive_constant_and_extreme_inputs() {
+    let (train, _) = SyntheticSpec::mnist_like().train_size(120).generate();
+    let mut models = train_zoo(&[Arch::ConvNet], &train, 2, 6);
+    let mut rng = StdRng::seed_from_u64(4);
+    for image in [
+        Tensor::zeros(&[1, 16, 16]),
+        Tensor::ones(&[1, 16, 16]),
+        Tensor::full(&[1, 16, 16], 0.5),
+    ] {
+        let (pred, _) = models[0].predict(&image);
+        for technique in XaiTechnique::ALL {
+            let m = Explainer::new(technique).explain(&mut models[0], &image, pred, &mut rng);
+            assert!(!m.has_non_finite(), "{technique} NaN on degenerate input");
+            assert_eq!(m.shape(), &[16, 16]);
+        }
+    }
+}
