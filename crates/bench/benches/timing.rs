@@ -104,5 +104,10 @@ fn rq4_metric_runtime(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, fig08_overhead, fig09e_xai_runtime, rq4_metric_runtime);
+criterion_group!(
+    benches,
+    fig08_overhead,
+    fig09e_xai_runtime,
+    rq4_metric_runtime
+);
 criterion_main!(benches);

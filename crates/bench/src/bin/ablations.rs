@@ -71,7 +71,14 @@ fn main() {
     }
     if study == "all" || study == "weights" {
         // full Eq. 5
-        run(&mut rows, &test, "abl-weights", "full ω=c·δ·tanh(ασ)".into(), Remix::builder(), &mut stack);
+        run(
+            &mut rows,
+            &test,
+            "abl-weights",
+            "full ω=c·δ·tanh(ασ)".into(),
+            Remix::builder(),
+            &mut stack,
+        );
         // no sparseness term: α huge so tanh saturates to 1 for any σ > 0
         run(
             &mut rows,
@@ -114,7 +121,14 @@ fn main() {
         }
     }
     if study == "all" || study == "fast-path" {
-        run(&mut rows, &test, "abl-fastpath", "fast path on".into(), Remix::builder(), &mut stack);
+        run(
+            &mut rows,
+            &test,
+            "abl-fastpath",
+            "fast path on".into(),
+            Remix::builder(),
+            &mut stack,
+        );
         run(
             &mut rows,
             &test,
@@ -161,16 +175,16 @@ fn weight_term_ablation(stack: &mut TrainedStack, test: &remix_data::Dataset) ->
             for (d, w) in verdict.details.iter().zip(&weights) {
                 *tally.entry(d.pred).or_insert(0.0) += w;
             }
-            tally
-                .into_iter()
-                .max_by(|a, b| a.1.total_cmp(&b.1))
-                .map_or(remix_ensemble::Prediction::NoMajority, |(c, w)| {
+            tally.into_iter().max_by(|a, b| a.1.total_cmp(&b.1)).map_or(
+                remix_ensemble::Prediction::NoMajority,
+                |(c, w)| {
                     if total > 0.0 && w > total / 2.0 {
                         remix_ensemble::Prediction::Decided(c)
                     } else {
                         remix_ensemble::Prediction::NoMajority
                     }
-                })
+                },
+            )
         }
         fn name(&self) -> String {
             "ReMIX-term".into()

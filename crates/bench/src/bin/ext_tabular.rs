@@ -111,7 +111,10 @@ fn main() {
     print_table(&rows);
     write_csv("results/ext_tabular.csv", &rows).expect("write results");
     // show one per-feature influence vector (the 1-D explanation)
-    let remix = Remix::builder().keep_feature_matrices(true).fast_path(false).build();
+    let remix = Remix::builder()
+        .keep_feature_matrices(true)
+        .fast_path(false)
+        .build();
     let verdict = remix.predict(&mut ensemble, &test.images[0]);
     if let Some(d) = verdict.details.first() {
         let fm = d.feature_matrix.as_ref().expect("kept");

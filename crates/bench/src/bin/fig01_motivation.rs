@@ -37,8 +37,7 @@ fn main() {
             "simple majority: {:?}  |  ReMIX: {:?}\n",
             umaj, verdict.prediction
         );
-        let mut panels: Vec<(String, remix_tensor::Tensor)> =
-            vec![("input".into(), img.clone())];
+        let mut panels: Vec<(String, remix_tensor::Tensor)> = vec![("input".into(), img.clone())];
         for d in &verdict.details {
             let tag = if d.pred == label { "✓" } else { "✗" };
             panels.push((
@@ -59,7 +58,11 @@ fn main() {
                 d.diversity,
                 d.sparseness,
                 d.weight,
-                if d.pred == label { "  <- correct model" } else { "" }
+                if d.pred == label {
+                    "  <- correct model"
+                } else {
+                    ""
+                }
             );
         }
         if verdict.prediction.is_correct(label) && umaj == Prediction::NoMajority {

@@ -28,12 +28,9 @@ fn main() {
         eprintln!("model failed to classify anything; increase REMIX_SCALE");
         return;
     };
-    println!(
-        "Fig. 2 — XAI techniques on ConvNet / mnist-like (test digit {label})\n"
-    );
+    println!("Fig. 2 — XAI techniques on ConvNet / mnist-like (test digit {label})\n");
     let mut rng = StdRng::seed_from_u64(9);
-    let mut panels: Vec<(String, remix_tensor::Tensor)> =
-        vec![("input".into(), image.clone())];
+    let mut panels: Vec<(String, remix_tensor::Tensor)> = vec![("input".into(), image.clone())];
     for technique in [
         XaiTechnique::Shap,
         XaiTechnique::Counterfactual,
@@ -44,10 +41,8 @@ fn main() {
         let m = Explainer::new(technique).explain(model, image, label, &mut rng);
         panels.push((technique.abbrev().to_string(), m));
     }
-    let refs: Vec<(&str, &remix_tensor::Tensor)> = panels
-        .iter()
-        .map(|(n, t)| (n.as_str(), t))
-        .collect();
+    let refs: Vec<(&str, &remix_tensor::Tensor)> =
+        panels.iter().map(|(n, t)| (n.as_str(), t)).collect();
     println!("{}", viz::ascii_row(&refs));
     println!("Brighter characters = higher attribution (paper Fig. 2's saliency maps).");
 }

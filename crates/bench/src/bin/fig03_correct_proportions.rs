@@ -8,6 +8,7 @@
 use rand::{rngs::StdRng, SeedableRng};
 use remix_bench::{FaultSetting, Scale, TrainedStack};
 use remix_data::SyntheticSpec;
+use remix_ensemble::TrainedEnsemble;
 use remix_faults::{pattern, FaultConfig, FaultType};
 
 fn main() {
@@ -31,13 +32,11 @@ fn main() {
         let mut stack = TrainedStack::train(&train, &pat, &setting, 3, &scale, 100);
         let mut hist = [0usize; 4];
         for (img, l) in test.iter() {
-            hist[stack.ensemble.count_correct(img, l)] += 1;
+            let outputs = stack.ensemble.outputs(img);
+            hist[TrainedEnsemble::count_correct_from_outputs(&outputs, l)] += 1;
         }
         let n = test.len() as f32;
-        println!(
-            "{label:<18} ensemble {:?}",
-            stack.ensemble.names()
-        );
+        println!("{label:<18} ensemble {:?}", stack.ensemble.names());
         for (k, count) in hist.iter().enumerate() {
             let pct = *count as f32 / n * 100.0;
             println!(

@@ -38,7 +38,14 @@ fn main() {
         let h = shannon_entropy(avg.scale(1.0 / 3.0).data());
         // feature-space: mean pairwise 1-R² of SHAP matrices
         let mats: Vec<Tensor> = (0..3)
-            .map(|m| explainer.explain(&mut stack.ensemble.models[m], img, outputs[m].pred, &mut rng))
+            .map(|m| {
+                explainer.explain(
+                    &mut stack.ensemble.models[m],
+                    img,
+                    outputs[m].pred,
+                    &mut rng,
+                )
+            })
             .collect();
         let mut fdiv = 0.0;
         for i in 0..3 {
@@ -63,9 +70,18 @@ fn main() {
     let ds: Vec<f32> = points.iter().map(|p| p.1).collect();
     let (hlo, hhi) = range(&hs);
     let (dlo, dhi) = range(&ds);
-    println!("Fig. 4 — diversity ranges over {} test inputs (30% mislabelling)", points.len());
-    println!("  output-space entropy H:      [{hlo:.3}, {hhi:.3}] span {:.3}", hhi - hlo);
-    println!("  feature-space 1-R² (SHAP):   [{dlo:.3}, {dhi:.3}] span {:.3}", dhi - dlo);
+    println!(
+        "Fig. 4 — diversity ranges over {} test inputs (30% mislabelling)",
+        points.len()
+    );
+    println!(
+        "  output-space entropy H:      [{hlo:.3}, {hhi:.3}] span {:.3}",
+        hhi - hlo
+    );
+    println!(
+        "  feature-space 1-R² (SHAP):   [{dlo:.3}, {dhi:.3}] span {:.3}",
+        dhi - dlo
+    );
     let one: Vec<f32> = points.iter().filter(|p| p.2 == 1).map(|p| p.1).collect();
     let rest: Vec<f32> = points.iter().filter(|p| p.2 != 1).map(|p| p.1).collect();
     let mean = |v: &[f32]| v.iter().sum::<f32>() / v.len().max(1) as f32;

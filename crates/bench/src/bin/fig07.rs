@@ -119,7 +119,14 @@ fn main() {
             .map(|&a| FaultSetting::Combined(a))
             .collect();
         rows.extend(run_technique_sweep(
-            "fig07g", &train, &test, &pat, &settings, &Technique::ALL, 3, &scale,
+            "fig07g",
+            &train,
+            &test,
+            &pat,
+            &settings,
+            &Technique::ALL,
+            3,
+            &scale,
         ));
     }
     if run("h") {
@@ -130,12 +137,22 @@ fn main() {
             .map(|&a| FaultSetting::Combined(a))
             .collect();
         rows.extend(run_technique_sweep(
-            "fig07h", &train, &test, &pat, &settings, &Technique::ALL, 3, &scale,
+            "fig07h",
+            &train,
+            &test,
+            &pat,
+            &settings,
+            &Technique::ALL,
+            3,
+            &scale,
         ));
     }
     if run("i") || run("j") {
         // image-size effect: 16 px vs 32 px CIFAR-like, ReMIX vs D-WMaj
-        for (p, ty) in [("fig07i", FaultType::Mislabelling), ("fig07j", FaultType::Removal)] {
+        for (p, ty) in [
+            ("fig07i", FaultType::Mislabelling),
+            ("fig07j", FaultType::Removal),
+        ] {
             if !run(&p[5..]) {
                 continue;
             }
@@ -168,12 +185,7 @@ fn main() {
 
 /// Fig. 7b: of the 1-correct cases, how many does each weighted technique
 /// fix; of the 2-correct cases, how many does it break (vs UMaj).
-fn panel_b(
-    train: &Dataset,
-    test: &Dataset,
-    pat: &ConfusionPattern,
-    scale: &Scale,
-) -> Vec<Row> {
+fn panel_b(train: &Dataset, test: &Dataset, pat: &ConfusionPattern, scale: &Scale) -> Vec<Row> {
     use remix_core::{Remix, RemixVoter};
     use remix_ensemble::{StackedDynamic, StaticWeighted, UniformAverage, Voter};
     let setting = FaultSetting::Single(FaultConfig::new(FaultType::Mislabelling, 0.3));

@@ -5,7 +5,7 @@
 
 use rand::{rngs::StdRng, SeedableRng};
 use remix_bench::{FaultSetting, Scale, TrainedStack};
-use remix_core::{Remix, RemixVoter};
+use remix_core::{Remix, RemixVoter, StageTimings};
 use remix_data::SyntheticSpec;
 use remix_ensemble::{
     BestIndividual, StackedDynamic, StaticWeighted, UniformAverage, UniformMajority, Voter,
@@ -89,7 +89,10 @@ fn main() {
         }));
     }
     let base = results[0].1;
-    println!("Fig. 8 — per-input runtime (avg over {} inputs)\n", test.len());
+    println!(
+        "Fig. 8 — per-input runtime (avg over {} inputs)\n",
+        test.len()
+    );
     println!(
         "{:<10} {:>12} {:>12} {:>10}",
         "technique", "avg", "worst", "x Best"
@@ -103,35 +106,54 @@ fn main() {
             avg.as_secs_f64() / base.as_secs_f64()
         );
     }
-    // ReMIX stage breakdown over disagreement inputs
-    let remix = Remix::builder().build();
-    let (mut pred_t, mut xai_t, mut weight_t, mut disagreements) =
-        (Duration::ZERO, Duration::ZERO, Duration::ZERO, 0u32);
-    for img in &test.images {
-        let v = remix.predict(&mut stack.ensemble, img);
-        if !v.unanimous {
-            pred_t += v.timings.prediction;
-            xai_t += v.timings.xai;
-            weight_t += v.timings.weighting;
-            disagreements += 1;
+    // ReMIX stage breakdown over disagreement inputs, sequential vs parallel
+    for threads in [1usize, 0] {
+        let remix = Remix::builder().threads(threads).build();
+        let mut stage = StageTimings::default();
+        let mut disagreements = 0u32;
+        let wall = Instant::now();
+        for img in &test.images {
+            let v = remix.predict(&mut stack.ensemble, img);
+            if !v.unanimous {
+                stage.prediction += v.timings.prediction;
+                stage.xai += v.timings.xai;
+                stage.diversity += v.timings.diversity;
+                stage.weighting += v.timings.weighting;
+                stage.threads = v.timings.threads;
+                disagreements += 1;
+            }
         }
-    }
-    if disagreements > 0 {
-        let total = (pred_t + xai_t + weight_t).as_secs_f64();
+        let wall = wall.elapsed();
+        if disagreements == 0 {
+            continue;
+        }
+        let total = stage.total().as_secs_f64();
         println!(
-            "\nReMIX stage breakdown over {disagreements} disagreement inputs:"
+            "\nReMIX stage breakdown over {disagreements} disagreement inputs \
+             ({} worker thread{}, wall {:.3?}):",
+            stage.threads,
+            if stage.threads == 1 { "" } else { "s" },
+            wall
         );
         println!(
-            "  ensemble prediction: {:>5.1}%   (paper: ~15%)",
-            pred_t.as_secs_f64() / total * 100.0
+            "  ensemble prediction: {:>5.1}%  {:>10.3?}   (paper: ~15%)",
+            stage.prediction.as_secs_f64() / total * 100.0,
+            stage.prediction
         );
         println!(
-            "  XAI extraction:      {:>5.1}%   (paper: ~67%)",
-            xai_t.as_secs_f64() / total * 100.0
+            "  XAI extraction:      {:>5.1}%  {:>10.3?}   (paper: ~67%)",
+            stage.xai.as_secs_f64() / total * 100.0,
+            stage.xai
         );
         println!(
-            "  weights + voting:    {:>5.1}%   (paper: ~18%)",
-            weight_t.as_secs_f64() / total * 100.0
+            "  pairwise diversity:  {:>5.1}%  {:>10.3?}",
+            stage.diversity.as_secs_f64() / total * 100.0,
+            stage.diversity
+        );
+        println!(
+            "  weights + voting:    {:>5.1}%  {:>10.3?}   (paper: ~18%)",
+            stage.weighting.as_secs_f64() / total * 100.0,
+            stage.weighting
         );
     }
     println!("\nPaper: ReMIX ≈ 1.15× D-WMaj, ≈ 4.5× UMaj/UAvg/S-WMaj/Bagging, ≈ 6× Best.");

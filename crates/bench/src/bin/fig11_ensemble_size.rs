@@ -47,15 +47,15 @@ fn main() {
                 .iter()
                 .zip(&states)
                 .map(|(&arch, state)| {
-                    let mut m =
-                        Model::named(zoo::build(arch, spec, &mut rng), spec, arch.name());
+                    let mut m = Model::named(zoo::build(arch, spec, &mut rng), spec, arch.name());
                     load_state(&mut m, state).expect("matching architecture");
                     m
                 })
                 .collect();
             let chosen_arch0;
             let mut ensemble = {
-                let (ens, chosen, _) = select_best_ensemble(std::mem::take(&mut models), size, &validation);
+                let (ens, chosen, _) =
+                    select_best_ensemble(std::mem::take(&mut models), size, &validation);
                 chosen_arch0 = Arch::ALL[chosen[0]];
                 ens
             };

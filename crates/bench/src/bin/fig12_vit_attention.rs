@@ -12,7 +12,6 @@ use remix_diversity::DiversityMetric;
 use remix_nn::attention::MiniVit;
 use remix_nn::{cross_entropy, Layer, Mode, Optimizer, Sgd};
 
-
 /// Minimal mini-batch training loop for a bare MiniViT layer (per-sample
 /// steps at this learning rate diverge; batching + gradient clipping mirrors
 /// the main `Trainer`).
@@ -53,9 +52,7 @@ fn step_clipped(vit: &mut MiniVit, opt: &mut Sgd, batch: usize) {
 fn accuracy(vit: &mut MiniVit, test: &Dataset) -> f32 {
     let correct = test
         .iter()
-        .filter(|(img, l)| {
-            vit.forward(img, Mode::Eval).argmax().expect("logits") == *l
-        })
+        .filter(|(img, l)| vit.forward(img, Mode::Eval).argmax().expect("logits") == *l)
         .count();
     correct as f32 / test.len() as f32
 }

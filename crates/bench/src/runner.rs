@@ -124,8 +124,20 @@ impl TrainedStack {
         // architecture that is most resilient under this fault configuration
         let best_in_ensemble = BestIndividual::fit(&mut ensemble, &validation).index();
         let best_arch = Arch::ALL[chosen[best_in_ensemble]];
-        let bagged = bagging(best_arch, &faulty.dataset, ensemble_size, scale.epochs, &mut rng);
-        let boosted = adaboost(best_arch, &faulty.dataset, ensemble_size, scale.epochs, &mut rng);
+        let bagged = bagging(
+            best_arch,
+            &faulty.dataset,
+            ensemble_size,
+            scale.epochs,
+            &mut rng,
+        );
+        let boosted = adaboost(
+            best_arch,
+            &faulty.dataset,
+            ensemble_size,
+            scale.epochs,
+            &mut rng,
+        );
         Self {
             ensemble,
             chosen,
@@ -174,6 +186,7 @@ impl TrainedStack {
 
 /// Runs the standard 8-technique comparison over `settings`, averaging over
 /// `scale.seeds` repetitions. The workhorse of the Fig. 7 panels.
+#[allow(clippy::too_many_arguments)]
 pub fn run_technique_sweep(
     panel: &str,
     train: &Dataset,

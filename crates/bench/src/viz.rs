@@ -9,21 +9,14 @@ const RAMP: &[u8] = b" .:-=+*#%@";
 /// ASCII art, one character per pixel, dark-to-bright.
 pub fn ascii(matrix: &Tensor) -> String {
     let (h, w, data) = match matrix.rank() {
-        2 => (
-            matrix.shape()[0],
-            matrix.shape()[1],
-            matrix.data().to_vec(),
-        ),
+        2 => (matrix.shape()[0], matrix.shape()[1], matrix.data().to_vec()),
         3 => {
-            let (c, h, w) = (
-                matrix.shape()[0],
-                matrix.shape()[1],
-                matrix.shape()[2],
-            );
+            let (c, h, w) = (matrix.shape()[0], matrix.shape()[1], matrix.shape()[2]);
             let mut mean = vec![0.0f32; h * w];
             for ci in 0..c {
-                for i in 0..h * w {
-                    mean[i] += matrix.data()[ci * h * w + i] / c as f32;
+                let plane = &matrix.data()[ci * h * w..(ci + 1) * h * w];
+                for (m, &v) in mean.iter_mut().zip(plane) {
+                    *m += v / c as f32;
                 }
             }
             (h, w, mean)

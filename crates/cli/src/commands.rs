@@ -5,8 +5,8 @@ use rand::{rngs::StdRng, SeedableRng};
 use remix_core::{Remix, RemixVoter};
 use remix_data::{Dataset, SyntheticSpec};
 use remix_ensemble::{
-    evaluate as run_evaluation, train_zoo, TrainedEnsemble, UniformAverage, UniformMajority,
-    Voter,
+    evaluate as run_evaluation, evaluate_parallel, train_zoo, Evaluation, TrainedEnsemble,
+    UniformAverage, UniformMajority, Voter,
 };
 use remix_faults::{inject, pattern, FaultConfig, FaultType};
 use remix_nn::state::{load_state, save_state, ModelState};
@@ -40,7 +40,10 @@ fn arch_by_name(name: &str) -> Result<Arch, String> {
         .find(|a| a.name().eq_ignore_ascii_case(name))
         .ok_or_else(|| {
             let known: Vec<&str> = Arch::ALL.iter().map(|a| a.name()).collect();
-            format!("unknown architecture `{name}` (known: {})", known.join(", "))
+            format!(
+                "unknown architecture `{name}` (known: {})",
+                known.join(", ")
+            )
         })
 }
 
@@ -53,9 +56,17 @@ pub fn datasets() -> Result<(), String> {
     let rows = [
         ("gtsrb", SyntheticSpec::gtsrb_like(), "GTSRB traffic signs"),
         ("cifar", SyntheticSpec::cifar_like(), "CIFAR-10 objects"),
-        ("pneumonia", SyntheticSpec::pneumonia_like(), "Pneumonia chest X-rays"),
+        (
+            "pneumonia",
+            SyntheticSpec::pneumonia_like(),
+            "Pneumonia chest X-rays",
+        ),
         ("mnist", SyntheticSpec::mnist_like(), "MNIST digits"),
-        ("tabular", SyntheticSpec::tabular_like(), "tabular features (Discussion)"),
+        (
+            "tabular",
+            SyntheticSpec::tabular_like(),
+            "tabular features (Discussion)",
+        ),
     ];
     for (name, s, analogue) in rows {
         let (train, _) = s.train_size(8).test_size(4).generate();
@@ -151,7 +162,11 @@ fn load_ensemble(args: &Args) -> Result<(TrainedEnsemble, SavedEnsemble), String
         .iter()
         .zip(&saved.states)
         .map(|(&arch, state)| {
-            let mut model = Model::named(zoo::build(arch, saved.spec, &mut rng), saved.spec, arch.name());
+            let mut model = Model::named(
+                zoo::build(arch, saved.spec, &mut rng),
+                saved.spec,
+                arch.name(),
+            );
             load_state(&mut model, state).map_err(|e| e.to_string())?;
             Ok(model)
         })
@@ -159,10 +174,30 @@ fn load_ensemble(args: &Args) -> Result<(TrainedEnsemble, SavedEnsemble), String
     Ok((TrainedEnsemble::new(models?), saved))
 }
 
+/// Runs one voter either sequentially or sharded over `threads` workers.
+/// Both paths produce bit-identical predictions (see `evaluate_parallel`).
+fn run_voter<V>(
+    voter: V,
+    ensemble: &mut TrainedEnsemble,
+    test: &Dataset,
+    threads: usize,
+) -> Evaluation
+where
+    V: Voter + Clone + Send + Sync,
+{
+    if threads == 1 {
+        let mut voter = voter;
+        run_evaluation(&mut voter, ensemble, test)
+    } else {
+        evaluate_parallel(&voter, ensemble, test, threads)
+    }
+}
+
 /// `remix evaluate`
 pub fn evaluate(args: &Args) -> Result<(), String> {
     let (_, test) = load_dataset(args)?;
     let (mut ensemble, saved) = load_ensemble(args)?;
+    let threads = args.get_num("threads", 0usize)?;
     println!(
         "evaluating {:?} (trained on `{}`) over {} test inputs",
         ensemble.names(),
@@ -170,22 +205,24 @@ pub fn evaluate(args: &Args) -> Result<(), String> {
         test.len()
     );
     let which = args.get_or("voter", "all");
-    let mut voters: Vec<Box<dyn Voter>> = Vec::new();
+    let mut results: Vec<Evaluation> = Vec::new();
     if which == "all" || which == "umaj" {
-        voters.push(Box::new(UniformMajority));
+        results.push(run_voter(UniformMajority, &mut ensemble, &test, threads));
     }
     if which == "all" || which == "uavg" {
-        voters.push(Box::new(UniformAverage));
+        results.push(run_voter(UniformAverage, &mut ensemble, &test, threads));
     }
     if which == "all" || which == "remix" {
-        voters.push(Box::new(RemixVoter::new(Remix::builder().build())));
+        // Parallelism is spent at the sample level here; each ReMIX inference
+        // stays sequential so the shards don't oversubscribe the cores.
+        let voter = RemixVoter::new(Remix::builder().threads(1).build());
+        results.push(run_voter(voter, &mut ensemble, &test, threads));
     }
-    if voters.is_empty() {
+    if results.is_empty() {
         return Err(format!("unknown voter `{which}` (umaj|uavg|remix|all)"));
     }
     println!("{:<8} {:>8} {:>8} {:>8}", "voter", "BA", "F1", "acc");
-    for voter in &mut voters {
-        let eval = run_evaluation(voter.as_mut(), &mut ensemble, &test);
+    for eval in &results {
         println!(
             "{:<8} {:>8.3} {:>8.3} {:>8.3}",
             eval.voter, eval.balanced_accuracy, eval.f1, eval.accuracy
@@ -194,15 +231,16 @@ pub fn evaluate(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-
-
 /// `remix explain`
 pub fn explain(args: &Args) -> Result<(), String> {
     let (_, test) = load_dataset(args)?;
     let (mut ensemble, _) = load_ensemble(args)?;
     let index: usize = args.get_num("index", 0usize)?;
     if index >= test.len() {
-        return Err(format!("--index {index} out of range ({} test inputs)", test.len()));
+        return Err(format!(
+            "--index {index} out of range ({} test inputs)",
+            test.len()
+        ));
     }
     let technique = match args.get_or("technique", "SG").to_uppercase().as_str() {
         "SG" => XaiTechnique::SmoothGrad,
@@ -220,6 +258,7 @@ pub fn explain(args: &Args) -> Result<(), String> {
         .technique(technique)
         .keep_feature_matrices(true)
         .fast_path(false)
+        .threads(args.get_num("threads", 0usize)?)
         .build();
     let verdict = remix.predict(&mut ensemble, image);
     println!("test input {index} (true label {label}), technique {technique}:");
@@ -276,8 +315,17 @@ mod tests {
         let out_str = out.to_str().unwrap().to_string();
         let train_args = Args::parse(
             [
-                "train", "--dataset", "mnist", "--archs", "ConvNet", "--epochs", "2", "--train",
-                "60", "--out", &out_str,
+                "train",
+                "--dataset",
+                "mnist",
+                "--archs",
+                "ConvNet",
+                "--epochs",
+                "2",
+                "--train",
+                "60",
+                "--out",
+                &out_str,
             ]
             .map(String::from),
         )
@@ -285,8 +333,15 @@ mod tests {
         train(&train_args).unwrap();
         let eval_args = Args::parse(
             [
-                "evaluate", "--dataset", "mnist", "--ensemble", &out_str, "--test", "10",
-                "--voter", "umaj",
+                "evaluate",
+                "--dataset",
+                "mnist",
+                "--ensemble",
+                &out_str,
+                "--test",
+                "10",
+                "--voter",
+                "umaj",
             ]
             .map(String::from),
         )

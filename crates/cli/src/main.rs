@@ -32,9 +32,11 @@ USAGE:
       --train    training-set size                [dataset default]
       --seed     RNG seed                         [0]
       --out      output JSON path                 [ensemble.json]
-  remix evaluate --dataset <name> --ensemble <path> [--voter <name>] [--test <n>]
+  remix evaluate --dataset <name> --ensemble <path> [--voter <name>] [--test <n>] [--threads <t>]
       Evaluate a saved ensemble. Voters: umaj, uavg, remix (default: all).
-  remix explain --dataset <name> --ensemble <path> [--index <i>] [--technique <SG|IG|SHAP|LIME|CFE>]
+      --threads  worker threads over test samples; 0 = all cores [0], 1 = sequential.
+      Results are bit-identical for any thread count.
+  remix explain --dataset <name> --ensemble <path> [--index <i>] [--technique <SG|IG|SHAP|LIME|CFE>] [--threads <t>]
       Render each model's feature matrix for one test input.
 ";
 

@@ -2,7 +2,7 @@ use crate::verdict::{ModelDetail, RemixVerdict, StageTimings};
 use rand::{rngs::StdRng, SeedableRng};
 use remix_diversity::{sparseness_with_threshold, DiversityMetric};
 use remix_ensemble::{Prediction, TrainedEnsemble};
-use remix_tensor::Tensor;
+use remix_tensor::{fnv1a64, splitmix64, Tensor};
 use remix_xai::{Explainer, ExplainerConfig, XaiTechnique};
 use std::time::Instant;
 
@@ -21,6 +21,7 @@ pub struct Remix {
     keep_feature_matrices: bool,
     fast_path: bool,
     seed: u64,
+    threads: usize,
 }
 
 impl Remix {
@@ -39,16 +40,36 @@ impl Remix {
         self.metric
     }
 
+    /// The deterministic RNG stream for one model's XAI pass.
+    ///
+    /// Keyed by the model's *name* (not its index), so the stream a model
+    /// receives is invariant under ensemble permutation, and independent of
+    /// every other model's stream — the prerequisite for running XAI in
+    /// parallel and for verdicts that don't depend on model order.
+    fn xai_rng(&self, model_name: &str) -> StdRng {
+        StdRng::seed_from_u64(splitmix64(self.seed ^ fnv1a64(model_name.as_bytes())))
+    }
+
     /// Runs the five-component ReMIX pipeline on one input.
+    ///
+    /// The prediction and XAI stages fan the constituent models out across
+    /// scoped threads (see the `threads` builder option); every model draws
+    /// from its own [`Remix::xai_rng`] stream and the diversity sums
+    /// accumulate in a fixed order, so the verdict is bit-identical for any
+    /// thread count.
     ///
     /// # Panics
     ///
     /// Panics if the ensemble is empty or the image does not match the
     /// models' input spec.
     pub fn predict(&self, ensemble: &mut TrainedEnsemble, image: &Tensor) -> RemixVerdict {
-        let mut timings = StageTimings::default();
+        let threads = remix_parallel::resolve_threads(self.threads);
+        let mut timings = StageTimings {
+            threads,
+            ..StageTimings::default()
+        };
         let t0 = Instant::now();
-        let outputs = ensemble.outputs(image);
+        let outputs = ensemble.outputs_with_threads(image, threads);
         timings.prediction = t0.elapsed();
         // Fast path: when every model predicts the same label the ensemble
         // has no influence, so ReMIX outputs it directly (paper §IV).
@@ -61,32 +82,39 @@ impl Remix {
                 timings,
             };
         }
-        // (1) Feature Space Extraction
+        // (1) Feature Space Extraction, one independent RNG stream per model
         let t1 = Instant::now();
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let matrices: Vec<Tensor> = ensemble
-            .models
-            .iter_mut()
-            .zip(&outputs)
-            .map(|(model, out)| self.explainer.explain(model, image, out.pred, &mut rng))
-            .collect();
+        let matrices: Vec<Tensor> =
+            remix_parallel::map_mut_indexed(&mut ensemble.models, threads, |i, model| {
+                let mut rng = self.xai_rng(&model.name);
+                self.explainer
+                    .explain(model, image, outputs[i].pred, &mut rng)
+            });
         timings.xai = t1.elapsed();
         let t2 = Instant::now();
-        // (2) Feature-space Diversity: mean pairwise diversity per model
+        // (2) Feature-space Diversity: mean pairwise diversity per model.
+        // Distances are computed in parallel but summed serially in the same
+        // (i, j) order as the sequential double loop, keeping the float
+        // accumulation — and thus the weights — bit-identical.
         let n = matrices.len();
         let mut diversity = vec![0.0f32; n];
         if n > 1 {
-            for i in 0..n {
-                for j in (i + 1)..n {
-                    let d = self.metric.diversity(&matrices[i], &matrices[j]);
-                    diversity[i] += d;
-                    diversity[j] += d;
-                }
+            let pairs: Vec<(usize, usize)> = (0..n)
+                .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
+                .collect();
+            let distances = remix_parallel::map_indexed(&pairs, threads, |_, &(i, j)| {
+                self.metric.diversity(&matrices[i], &matrices[j])
+            });
+            for (&(i, j), &d) in pairs.iter().zip(&distances) {
+                diversity[i] += d;
+                diversity[j] += d;
             }
             for d in &mut diversity {
                 *d /= (n - 1) as f32;
             }
         }
+        timings.diversity = t2.elapsed();
+        let t3 = Instant::now();
         // (3) Feature Sparseness, (4) Weight Generation (Eq. 5)
         let mut details = Vec::with_capacity(n);
         for ((model, out), (matrix, &delta)) in ensemble
@@ -123,7 +151,7 @@ impl Remix {
                     Prediction::NoMajority
                 }
             });
-        timings.weighting = t2.elapsed();
+        timings.weighting = t3.elapsed();
         RemixVerdict {
             prediction,
             unanimous: false,
@@ -166,6 +194,7 @@ pub struct RemixBuilder {
     keep_feature_matrices: bool,
     fast_path: bool,
     seed: u64,
+    threads: usize,
 }
 
 impl Default for RemixBuilder {
@@ -186,6 +215,7 @@ impl Default for RemixBuilder {
             keep_feature_matrices: false,
             fast_path: true,
             seed: 0,
+            threads: 0,
         }
     }
 }
@@ -262,6 +292,15 @@ impl RemixBuilder {
         self
     }
 
+    /// Caps the worker threads for the prediction and XAI stages
+    /// (default `0` = all available cores, honoring `REMIX_THREADS`; `1`
+    /// forces sequential execution). Verdicts are bit-identical for any
+    /// value.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
     /// Finalizes the ReMIX instance.
     pub fn build(self) -> Remix {
         Remix {
@@ -273,6 +312,7 @@ impl RemixBuilder {
             keep_feature_matrices: self.keep_feature_matrices,
             fast_path: self.fast_path,
             seed: self.seed,
+            threads: self.threads,
         }
     }
 }
@@ -393,5 +433,78 @@ mod tests {
     #[should_panic(expected = "alpha must be positive")]
     fn rejects_nonpositive_alpha() {
         Remix::builder().alpha(0.0);
+    }
+
+    /// Bitwise-compares the per-model evidence of two verdicts, matching
+    /// details by model name so the ensembles may be permutations of each
+    /// other.
+    fn assert_details_bitwise_equal(a: &RemixVerdict, b: &RemixVerdict) {
+        assert_eq!(a.details.len(), b.details.len());
+        for d in &a.details {
+            let other = b
+                .details
+                .iter()
+                .find(|o| o.name == d.name)
+                .unwrap_or_else(|| panic!("model {} missing from verdict", d.name));
+            assert_eq!(d.pred, other.pred, "{}", d.name);
+            assert_eq!(
+                d.confidence.to_bits(),
+                other.confidence.to_bits(),
+                "{}",
+                d.name
+            );
+            assert_eq!(
+                d.diversity.to_bits(),
+                other.diversity.to_bits(),
+                "{}",
+                d.name
+            );
+            assert_eq!(
+                d.sparseness.to_bits(),
+                other.sparseness.to_bits(),
+                "{}",
+                d.name
+            );
+            assert_eq!(d.weight.to_bits(), other.weight.to_bits(), "{}", d.name);
+        }
+    }
+
+    #[test]
+    fn verdicts_are_invariant_under_model_permutation() {
+        // Regression test for the order-dependent XAI RNG: one shared stream
+        // threaded through every model's explain() made each model's noise
+        // depend on its position. Streams are now keyed by model name.
+        let (mut ens, test) = small_ensemble();
+        let remix = Remix::builder().fast_path(false).seed(7).build();
+        let img = &test.images[0];
+        let base = remix.predict(&mut ens, img);
+        ens.models.rotate_left(1);
+        let rotated = remix.predict(&mut ens, img);
+        assert_eq!(base.prediction, rotated.prediction);
+        assert_details_bitwise_equal(&base, &rotated);
+    }
+
+    #[test]
+    fn parallel_predict_is_bit_identical_to_sequential() {
+        let (mut ens, test) = small_ensemble();
+        let img = &test.images[0];
+        let sequential = Remix::builder()
+            .fast_path(false)
+            .seed(3)
+            .threads(1)
+            .build()
+            .predict(&mut ens, img);
+        assert_eq!(sequential.timings.threads, 1);
+        for threads in [2, 4] {
+            let parallel = Remix::builder()
+                .fast_path(false)
+                .seed(3)
+                .threads(threads)
+                .build()
+                .predict(&mut ens, img);
+            assert_eq!(parallel.timings.threads, threads);
+            assert_eq!(sequential.prediction, parallel.prediction);
+            assert_details_bitwise_equal(&sequential, &parallel);
+        }
     }
 }

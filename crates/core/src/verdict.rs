@@ -30,14 +30,19 @@ pub struct StageTimings {
     pub prediction: Duration,
     /// Feature-space extraction (XAI), zero on the unanimous fast path.
     pub xai: Duration,
-    /// Diversity + sparseness + weight generation + voting.
+    /// Pairwise feature-space diversity, zero on the fast path.
+    pub diversity: Duration,
+    /// Sparseness + weight generation + voting.
     pub weighting: Duration,
+    /// Worker threads the prediction and XAI stages were allowed to use
+    /// (`1` = sequential; the fast path still reports the configured count).
+    pub threads: usize,
 }
 
 impl StageTimings {
     /// Total inference time.
     pub fn total(&self) -> Duration {
-        self.prediction + self.xai + self.weighting
+        self.prediction + self.xai + self.diversity + self.weighting
     }
 }
 
@@ -64,8 +69,10 @@ mod tests {
         let t = StageTimings {
             prediction: Duration::from_millis(10),
             xai: Duration::from_millis(60),
+            diversity: Duration::from_millis(8),
             weighting: Duration::from_millis(5),
+            threads: 4,
         };
-        assert_eq!(t.total(), Duration::from_millis(75));
+        assert_eq!(t.total(), Duration::from_millis(83));
     }
 }

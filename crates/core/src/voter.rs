@@ -61,6 +61,10 @@ mod tests {
         let eval = evaluate(&mut voter, &mut ens, &test);
         assert_eq!(eval.voter, "ReMIX");
         assert_eq!(eval.predictions.len(), 20);
-        assert!(eval.balanced_accuracy > 0.3, "BA {}", eval.balanced_accuracy);
+        assert!(
+            eval.balanced_accuracy > 0.3,
+            "BA {}",
+            eval.balanced_accuracy
+        );
     }
 }

@@ -37,12 +37,7 @@ fn tabular(channels: usize, size: usize, rng: &mut StdRng) -> Tensor {
 }
 
 /// Renders one sample: shift + brightness/contrast jitter + pixel noise.
-pub fn render_sample(
-    template: &Tensor,
-    jitter: usize,
-    noise: f32,
-    rng: &mut impl Rng,
-) -> Tensor {
+pub fn render_sample(template: &Tensor, jitter: usize, noise: f32, rng: &mut impl Rng) -> Tensor {
     let shape = template.shape();
     let (c, h, w) = (shape[0], shape[1], shape[2]);
     let j = jitter as isize;
@@ -104,10 +99,10 @@ fn traffic_sign(class: usize, channels: usize, size: usize, rng: &mut StdRng) ->
             let (fy, fx) = (y as f32 - cy, x as f32 - cx);
             let inside = |r: f32| -> bool {
                 match shape_kind {
-                    0 => (fy * fy + fx * fx).sqrt() <= r,            // circle
+                    0 => (fy * fy + fx * fx).sqrt() <= r, // circle
                     1 => fx.abs() * 0.9 + fy.max(0.0) * 1.1 <= r && -fy <= r, // triangle-ish
-                    2 => fy.abs() + fx.abs() <= r * 1.2,             // diamond
-                    _ => fy.abs().max(fx.abs()) <= r * 0.95,         // square
+                    2 => fy.abs() + fx.abs() <= r * 1.2,  // diamond
+                    _ => fy.abs().max(fx.abs()) <= r * 0.95, // square
                 }
             };
             if inside(r_outer) && !inside(r_inner) {
@@ -215,16 +210,16 @@ fn digit(class: usize, channels: usize, size: usize) -> Tensor {
     //  |_|                3=middle 4=bottom-left 5=bottom-right 6=bottom
     //  |_|
     const SEGMENTS: [[bool; 7]; 10] = [
-        [true, true, true, false, true, true, true],    // 0
+        [true, true, true, false, true, true, true],     // 0
         [false, false, true, false, false, true, false], // 1
-        [true, false, true, true, true, false, true],   // 2
-        [true, false, true, true, false, true, true],   // 3
-        [false, true, true, true, false, true, false],  // 4
-        [true, true, false, true, false, true, true],   // 5
-        [true, true, false, true, true, true, true],    // 6
-        [true, false, true, false, false, true, false], // 7
-        [true, true, true, true, true, true, true],     // 8
-        [true, true, true, true, false, true, true],    // 9
+        [true, false, true, true, true, false, true],    // 2
+        [true, false, true, true, false, true, true],    // 3
+        [false, true, true, true, false, true, false],   // 4
+        [true, true, false, true, false, true, true],    // 5
+        [true, true, false, true, true, true, true],     // 6
+        [true, false, true, false, false, true, false],  // 7
+        [true, true, true, true, true, true, true],      // 8
+        [true, true, true, true, false, true, true],     // 9
     ];
     let seg = SEGMENTS[class % 10];
     let mut img = Tensor::full(&[channels, size, size], 0.05);
@@ -273,7 +268,12 @@ mod tests {
 
     #[test]
     fn templates_are_deterministic_per_seed() {
-        for family in [Family::TrafficSigns, Family::Objects, Family::XRay, Family::Digits] {
+        for family in [
+            Family::TrafficSigns,
+            Family::Objects,
+            Family::XRay,
+            Family::Digits,
+        ] {
             let a = class_template(family, 3, 1, 16, 42);
             let b = class_template(family, 3, 1, 16, 42);
             assert_eq!(a, b, "{family:?} not deterministic");
@@ -293,7 +293,12 @@ mod tests {
 
     #[test]
     fn different_classes_have_different_templates() {
-        for family in [Family::TrafficSigns, Family::Objects, Family::XRay, Family::Digits] {
+        for family in [
+            Family::TrafficSigns,
+            Family::Objects,
+            Family::XRay,
+            Family::Digits,
+        ] {
             let a = class_template(family, 0, 1, 16, 1);
             let b = class_template(family, 1, 1, 16, 1);
             assert_ne!(a, b, "{family:?} classes collide");

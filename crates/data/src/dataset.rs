@@ -154,7 +154,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let b = d.bootstrap(0.63, &mut rng);
         assert_eq!(b.len(), 32); // round(50 * 0.63)
-        // with replacement: overwhelmingly likely to contain a duplicate
+                                 // with replacement: overwhelmingly likely to contain a duplicate
         let mut firsts: Vec<f32> = b.images.iter().map(|t| t.data()[0]).collect();
         firsts.sort_by(f32::total_cmp);
         let unique = firsts.windows(2).filter(|w| w[0] != w[1]).count() + 1;

@@ -105,7 +105,10 @@ impl OracleTable {
 pub fn kohavi_wolpert_variance(oracles: &[Vec<bool>]) -> f32 {
     assert!(!oracles.is_empty(), "no classifiers");
     let n = oracles[0].len();
-    assert!(n > 0 && oracles.iter().all(|o| o.len() == n), "ragged oracles");
+    assert!(
+        n > 0 && oracles.iter().all(|o| o.len() == n),
+        "ragged oracles"
+    );
     let l = oracles.len() as f32;
     let mut total = 0.0;
     for sample in 0..n {

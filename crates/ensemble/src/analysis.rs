@@ -111,7 +111,11 @@ pub fn analyze(ensemble: &mut TrainedEnsemble, dataset: &Dataset) -> Disagreemen
         fragmented,
         kw_variance: kohavi_wolpert_variance(&oracles),
         mean_q_statistic: if pairs > 0 { q_sum / pairs as f32 } else { 0.0 },
-        mean_disagreement: if pairs > 0 { dis_sum / pairs as f32 } else { 0.0 },
+        mean_disagreement: if pairs > 0 {
+            dis_sum / pairs as f32
+        } else {
+            0.0
+        },
         total: dataset.len(),
     }
 }
@@ -131,10 +135,7 @@ mod tests {
             DisagreementKind::MajorityWithDissent
         );
         assert_eq!(classify_votes(&[0, 1, 2]), DisagreementKind::Fragmented);
-        assert_eq!(
-            classify_votes(&[0, 0, 1, 1]),
-            DisagreementKind::Fragmented
-        );
+        assert_eq!(classify_votes(&[0, 0, 1, 1]), DisagreementKind::Fragmented);
         assert_eq!(
             classify_votes(&[0, 0, 0, 1, 2]),
             DisagreementKind::MajorityWithDissent

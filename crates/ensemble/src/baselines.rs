@@ -55,10 +55,7 @@ pub struct UniformMajority;
 impl Voter for UniformMajority {
     fn vote(&mut self, ensemble: &mut TrainedEnsemble, image: &Tensor) -> Prediction {
         let outputs = ensemble.outputs(image);
-        majority_with_weights(
-            outputs.iter().map(|o| (o.pred, 1.0)),
-            outputs.len() as f32,
-        )
+        majority_with_weights(outputs.iter().map(|o| (o.pred, 1.0)), outputs.len() as f32)
     }
 
     fn name(&self) -> String {
@@ -192,12 +189,7 @@ impl StackedDynamic {
         (0..self.classes)
             .map(|k| {
                 let row = &self.w[k * self.feature_len..(k + 1) * self.feature_len];
-                self.b[k]
-                    + row
-                        .iter()
-                        .zip(x)
-                        .map(|(&w, &v)| w * v)
-                        .sum::<f32>()
+                self.b[k] + row.iter().zip(x).map(|(&w, &v)| w * v).sum::<f32>()
             })
             .collect()
     }
@@ -282,7 +274,6 @@ mod tests {
         let (train, test) = SyntheticSpec::mnist_like()
             .train_size(120)
             .test_size(40)
-            
             .generate();
         let models = train_zoo(
             &[Arch::ConvNet, Arch::DeconvNet, Arch::MobileNet],

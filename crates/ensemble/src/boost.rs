@@ -130,10 +130,7 @@ mod tests {
 
     #[test]
     fn adaboost_builds_rounds_with_positive_alphas() {
-        let (train, _) = SyntheticSpec::mnist_like()
-            .train_size(80)
-            
-            .generate();
+        let (train, _) = SyntheticSpec::mnist_like().train_size(80).generate();
         let mut rng = StdRng::seed_from_u64(1);
         let (ens, voter) = adaboost(Arch::ConvNet, &train, 3, 2, &mut rng);
         assert_eq!(ens.len(), 3);
@@ -160,10 +157,7 @@ mod tests {
     fn alpha_voting_prefers_heavier_models() {
         // two fake alphas: model 1 dominates
         let mut voter = AlphaWeighted::new(vec![0.1, 5.0]);
-        let (train, _) = SyntheticSpec::mnist_like()
-            .train_size(40)
-            
-            .generate();
+        let (train, _) = SyntheticSpec::mnist_like().train_size(40).generate();
         let models = crate::train_zoo(&[Arch::ConvNet, Arch::DeconvNet], &train, 1, 3);
         let mut ens = TrainedEnsemble::new(models);
         let img = train.images[0].clone();

@@ -5,6 +5,7 @@ use remix_nn::{zoo, Arch, InputSpec, Model, Trainer, TrainerConfig};
 use remix_tensor::Tensor;
 
 /// A set of independently trained models voting on the same inputs.
+#[derive(Clone)]
 pub struct TrainedEnsemble {
     /// The constituent models.
     pub models: Vec<Model>,
@@ -49,26 +50,35 @@ impl TrainedEnsemble {
     /// ensembles are run in parallel during inference"). On a single-core
     /// host this matches [`TrainedEnsemble::outputs`] up to scheduling.
     pub fn outputs_parallel(&mut self, image: &Tensor) -> Vec<ModelOutput> {
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .models
-                .iter_mut()
-                .map(|m| scope.spawn(move || ModelOutput::from_probs(m.predict_proba(image))))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("model inference thread panicked"))
-                .collect()
+        self.outputs_with_threads(image, remix_parallel::num_threads())
+    }
+
+    /// Every model's output for one input, run on at most `threads` worker
+    /// threads (`0` = auto, `1` = sequential). Output order always matches
+    /// [`TrainedEnsemble::outputs`]; each model's forward pass is untouched,
+    /// so results are bit-identical for any thread count.
+    pub fn outputs_with_threads(&mut self, image: &Tensor, threads: usize) -> Vec<ModelOutput> {
+        let threads = remix_parallel::resolve_threads(threads);
+        remix_parallel::map_mut_indexed(&mut self.models, threads, |_, m| {
+            ModelOutput::from_probs(m.predict_proba(image))
         })
     }
 
     /// How many constituent models predict `label` for `image` — the paper's
     /// *k-correct* analysis (Fig. 3).
     pub fn count_correct(&mut self, image: &Tensor, label: usize) -> usize {
-        self.outputs(image)
-            .iter()
-            .filter(|o| o.pred == label)
-            .count()
+        let outputs = self.outputs(image);
+        Self::count_correct_from_outputs(&outputs, label)
+    }
+
+    /// How many of the given per-model `outputs` predict `label`.
+    ///
+    /// Use this when the outputs are already computed for another purpose
+    /// (e.g. the k-correct analysis over a whole test set) instead of paying
+    /// for a second full inference pass via
+    /// [`TrainedEnsemble::count_correct`].
+    pub fn count_correct_from_outputs(outputs: &[ModelOutput], label: usize) -> usize {
+        outputs.iter().filter(|o| o.pred == label).count()
     }
 }
 
@@ -93,12 +103,7 @@ pub trait Voter {
 /// Trains one model per architecture on `train`, with per-architecture
 /// default learning rates. The workhorse for building the paper's 9-model
 /// zoo under each fault configuration.
-pub fn train_zoo(
-    archs: &[Arch],
-    train: &Dataset,
-    epochs: usize,
-    seed: u64,
-) -> Vec<Model> {
+pub fn train_zoo(archs: &[Arch], train: &Dataset, epochs: usize, seed: u64) -> Vec<Model> {
     let spec = InputSpec {
         channels: train.channels,
         size: train.size,
@@ -164,11 +169,7 @@ mod tests {
     use remix_data::SyntheticSpec;
 
     fn tiny_train() -> Dataset {
-        SyntheticSpec::mnist_like()
-            .train_size(60)
-            
-            .generate()
-            .0
+        SyntheticSpec::mnist_like().train_size(60).generate().0
     }
 
     #[test]

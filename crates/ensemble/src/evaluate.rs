@@ -32,8 +32,69 @@ pub fn evaluate(
         .iter()
         .map(|img| voter.vote(ensemble, img))
         .collect();
+    finish_evaluation(voter.name(), predictions, test)
+}
+
+/// Runs `voter` over every test sample on up to `threads` worker threads
+/// (`0` = auto, `1` = sequential) and computes all metrics.
+///
+/// Each worker gets its own clone of the voter and the ensemble and processes
+/// a contiguous shard of the test set, so per-sample work is identical to
+/// [`evaluate`] and the resulting predictions are bit-for-bit the same for
+/// any thread count. This relies on votes being per-sample independent, which
+/// holds for every voter in this crate (any state mutated during `vote` is
+/// per-call scratch, not carried across samples).
+pub fn evaluate_parallel<V>(
+    voter: &V,
+    ensemble: &TrainedEnsemble,
+    test: &Dataset,
+    threads: usize,
+) -> Evaluation
+where
+    V: Voter + Clone + Send + Sync,
+{
+    let threads = remix_parallel::resolve_threads(threads);
+    let shards = remix_parallel::shard_ranges(test.images.len(), threads);
+    let predictions: Vec<Prediction> = if shards.len() <= 1 {
+        let mut voter = voter.clone();
+        let mut ensemble = ensemble.clone();
+        test.images
+            .iter()
+            .map(|img| voter.vote(&mut ensemble, img))
+            .collect()
+    } else {
+        let mut per_shard: Vec<Vec<Prediction>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = shards
+                .iter()
+                .map(|range| {
+                    let mut voter = voter.clone();
+                    let mut ensemble = ensemble.clone();
+                    let range = range.clone();
+                    scope.spawn(move || {
+                        test.images[range]
+                            .iter()
+                            .map(|img| voter.vote(&mut ensemble, img))
+                            .collect::<Vec<Prediction>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("evaluation worker panicked"))
+                .collect()
+        });
+        let mut out = Vec::with_capacity(test.images.len());
+        for shard in &mut per_shard {
+            out.append(shard);
+        }
+        out
+    };
+    finish_evaluation(voter.name(), predictions, test)
+}
+
+fn finish_evaluation(voter: String, predictions: Vec<Prediction>, test: &Dataset) -> Evaluation {
     Evaluation {
-        voter: voter.name(),
+        voter,
         balanced_accuracy: balanced_accuracy(&predictions, &test.labels, test.num_classes),
         f1: if test.num_classes == 2 {
             f1_binary(&predictions, &test.labels)
@@ -57,9 +118,13 @@ mod tests {
         let (train, test) = SyntheticSpec::mnist_like()
             .train_size(150)
             .test_size(30)
-            
             .generate();
-        let models = train_zoo(&[Arch::ConvNet, Arch::DeconvNet, Arch::MobileNet], &train, 6, 1);
+        let models = train_zoo(
+            &[Arch::ConvNet, Arch::DeconvNet, Arch::MobileNet],
+            &train,
+            6,
+            1,
+        );
         let mut ens = TrainedEnsemble::new(models);
         let eval = evaluate(&mut UniformMajority, &mut ens, &test);
         assert_eq!(eval.predictions.len(), 30);
@@ -67,5 +132,25 @@ mod tests {
         assert_eq!(eval.voter, "UMaj");
         // trained majority should beat 10-class chance comfortably
         assert!(eval.accuracy > 0.2, "accuracy {}", eval.accuracy);
+    }
+
+    #[test]
+    fn parallel_evaluate_is_bit_identical_to_sequential() {
+        let (train, test) = SyntheticSpec::mnist_like()
+            .train_size(120)
+            .test_size(24)
+            .generate();
+        let models = train_zoo(
+            &[Arch::ConvNet, Arch::DeconvNet, Arch::MobileNet],
+            &train,
+            4,
+            3,
+        );
+        let mut ens = TrainedEnsemble::new(models);
+        let sequential = evaluate(&mut UniformMajority, &mut ens, &test);
+        for threads in [1, 2, 5] {
+            let parallel = evaluate_parallel(&UniformMajority, &ens, &test, threads);
+            assert_eq!(sequential, parallel, "threads={threads}");
+        }
     }
 }

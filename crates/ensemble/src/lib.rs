@@ -28,9 +28,11 @@ pub mod metrics;
 mod output;
 mod selection;
 
-pub use baselines::{BestIndividual, StackedDynamic, StaticWeighted, UniformAverage, UniformMajority};
+pub use baselines::{
+    BestIndividual, StackedDynamic, StaticWeighted, UniformAverage, UniformMajority,
+};
 pub use boost::{adaboost, AlphaWeighted};
 pub use ensemble::{bagging, train_zoo, TrainedEnsemble, Voter};
-pub use evaluate::{evaluate, Evaluation};
+pub use evaluate::{evaluate, evaluate_parallel, Evaluation};
 pub use output::{ModelOutput, Prediction};
 pub use selection::select_best_ensemble;

@@ -71,7 +71,11 @@ pub fn accuracy(preds: &[Prediction], labels: &[usize]) -> f32 {
 
 /// Confusion matrix (`rows = actual`, `cols = predicted`); abstentions are
 /// dropped.
-pub fn confusion_matrix(preds: &[Prediction], labels: &[usize], num_classes: usize) -> Vec<Vec<usize>> {
+pub fn confusion_matrix(
+    preds: &[Prediction],
+    labels: &[usize],
+    num_classes: usize,
+) -> Vec<Vec<usize>> {
     let mut m = vec![vec![0usize; num_classes]; num_classes];
     for (p, &l) in preds.iter().zip(labels) {
         if let Some(c) = p.class() {

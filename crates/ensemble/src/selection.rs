@@ -140,7 +140,12 @@ mod tests {
             .train_size(100)
             .test_size(30)
             .generate();
-        let archs = [Arch::ConvNet, Arch::DeconvNet, Arch::MobileNet, Arch::ResNet18];
+        let archs = [
+            Arch::ConvNet,
+            Arch::DeconvNet,
+            Arch::MobileNet,
+            Arch::ResNet18,
+        ];
         let models = train_zoo(&archs, &train, 3, 3);
         let (ens, indices, score) = select_best_ensemble(models, 3, &test);
         assert_eq!(ens.len(), 3);

@@ -30,7 +30,12 @@ pub struct CleaningOutcome {
 ///
 /// Panics if the dataset is empty, has fewer than two classes, or the
 /// threshold is outside `(0, 1]`.
-pub fn clean(dataset: &Dataset, folds: usize, confidence_threshold: f32, seed: u64) -> CleaningOutcome {
+pub fn clean(
+    dataset: &Dataset,
+    folds: usize,
+    confidence_threshold: f32,
+    seed: u64,
+) -> CleaningOutcome {
     assert!(!dataset.is_empty() && dataset.num_classes >= 2);
     assert!(
         confidence_threshold > 0.0 && confidence_threshold <= 1.0,
@@ -63,7 +68,10 @@ pub fn clean(dataset: &Dataset, folds: usize, confidence_threshold: f32, seed: u
                 num_classes: dataset.num_classes,
             },
         );
-        let images: Vec<_> = train_idx.iter().map(|&i| dataset.images[i].clone()).collect();
+        let images: Vec<_> = train_idx
+            .iter()
+            .map(|&i| dataset.images[i].clone())
+            .collect();
         let labels: Vec<_> = train_idx.iter().map(|&i| dataset.labels[i]).collect();
         Trainer::new(TrainerConfig {
             epochs: 4,
@@ -103,7 +111,10 @@ mod tests {
 
     #[test]
     fn cleaning_removes_more_corrupted_than_clean_samples() {
-        let (train, _) = SyntheticSpec::mnist_like().train_size(200).generate();
+        // 300 samples: below that the linear probe sees too little data per
+        // fold and its precision is statistically indistinguishable from the
+        // 30% base rate (flagging a handful of borderline samples).
+        let (train, _) = SyntheticSpec::mnist_like().train_size(300).generate();
         let pattern = ConfusionPattern::uniform(10);
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
         let faulty = inject(
@@ -114,7 +125,7 @@ mod tests {
         );
         let corrupted: std::collections::HashSet<usize> =
             faulty.corrupted.iter().copied().collect();
-        let outcome = clean(&faulty.dataset, 3, 0.5, 9);
+        let outcome = clean(&faulty.dataset, 3, 0.4, 9);
         if outcome.removed.is_empty() {
             // the probe may be too weak at this scale to flag anything;
             // the dataset must then be untouched

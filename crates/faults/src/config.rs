@@ -120,7 +120,10 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        assert_eq!(FaultConfig::new(FaultType::Removal, 0.3).to_string(), "30% removal");
+        assert_eq!(
+            FaultConfig::new(FaultType::Removal, 0.3).to_string(),
+            "30% removal"
+        );
         assert_eq!(FaultConfig::golden().to_string(), "golden");
         assert_eq!(
             MultiFault::mislabel_and_removal(0.3).to_string(),

@@ -131,7 +131,12 @@ mod tests {
         let d = dataset();
         let p = ConfusionPattern::uniform(10);
         let mut rng = StdRng::seed_from_u64(1);
-        let f = inject(&d, FaultConfig::new(FaultType::Mislabelling, 0.3), &p, &mut rng);
+        let f = inject(
+            &d,
+            FaultConfig::new(FaultType::Mislabelling, 0.3),
+            &p,
+            &mut rng,
+        );
         assert_eq!(f.corrupted.len(), 30);
         assert_eq!(f.dataset.len(), 100);
         // every audited index actually has a different label now
@@ -163,7 +168,12 @@ mod tests {
         let d = dataset();
         let p = ConfusionPattern::uniform(10);
         let mut rng = StdRng::seed_from_u64(3);
-        let f = inject(&d, FaultConfig::new(FaultType::Repetition, 0.25), &p, &mut rng);
+        let f = inject(
+            &d,
+            FaultConfig::new(FaultType::Repetition, 0.25),
+            &p,
+            &mut rng,
+        );
         assert_eq!(f.dataset.len(), 125);
         for &i in &f.corrupted {
             assert!(i >= 100);
@@ -204,11 +214,18 @@ mod tests {
         counts[1][2] = 100.0;
         counts[2][0] = 100.0;
         let p = ConfusionPattern::from_counts(&counts);
-        let images = (0..60).map(|_| remix_tensor::Tensor::zeros(&[1, 8, 8])).collect();
+        let images = (0..60)
+            .map(|_| remix_tensor::Tensor::zeros(&[1, 8, 8]))
+            .collect();
         let labels = (0..60).map(|i| i % 3).collect();
         let d = Dataset::new(images, labels, 3, 1, 8, "toy");
         let mut rng = StdRng::seed_from_u64(6);
-        let f = inject(&d, FaultConfig::new(FaultType::Mislabelling, 1.0), &p, &mut rng);
+        let f = inject(
+            &d,
+            FaultConfig::new(FaultType::Mislabelling, 1.0),
+            &p,
+            &mut rng,
+        );
         for &(i, orig) in &f.original_labels {
             assert_eq!(f.dataset.labels[i], (orig + 1) % 3);
         }

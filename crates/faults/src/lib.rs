@@ -35,7 +35,7 @@ mod config;
 mod injector;
 pub mod pattern;
 
+pub use cleaning::{clean, CleaningOutcome};
 pub use config::{FaultConfig, FaultType, MultiFault};
 pub use injector::{inject, inject_multi, FaultyDataset};
-pub use cleaning::{clean, CleaningOutcome};
 pub use pattern::ConfusionPattern;

@@ -60,7 +60,10 @@ impl ConfusionPattern {
             }
             rows.push(r);
         }
-        Self { num_classes: n, rows }
+        Self {
+            num_classes: n,
+            rows,
+        }
     }
 
     /// Number of classes.
@@ -126,12 +129,7 @@ pub fn extract(dataset: &Dataset, folds: usize, seed: u64) -> ConfusionPattern {
     let mut counts = vec![vec![0.0f32; dataset.num_classes]; dataset.num_classes];
     let flat = dataset.channels * dataset.size * dataset.size;
     for f in 0..folds {
-        let held: Vec<usize> = order
-            .iter()
-            .copied()
-            .skip(f)
-            .step_by(folds)
-            .collect();
+        let held: Vec<usize> = order.iter().copied().skip(f).step_by(folds).collect();
         let train: Vec<usize> = order
             .iter()
             .copied()
@@ -215,7 +213,10 @@ mod tests {
 
     #[test]
     fn extracted_pattern_is_asymmetric_on_real_data() {
-        let (train, _) = SyntheticSpec::mnist_like().train_size(120).seed(3).generate();
+        let (train, _) = SyntheticSpec::mnist_like()
+            .train_size(120)
+            .seed(3)
+            .generate();
         let p = extract(&train, 3, 7);
         assert_eq!(p.num_classes(), 10);
         for c in 0..10 {
@@ -228,7 +229,10 @@ mod tests {
 
     #[test]
     fn extraction_is_deterministic_per_seed() {
-        let (train, _) = SyntheticSpec::mnist_like().train_size(60).seed(4).generate();
+        let (train, _) = SyntheticSpec::mnist_like()
+            .train_size(60)
+            .seed(4)
+            .generate();
         let a = extract(&train, 2, 11);
         let b = extract(&train, 2, 11);
         assert_eq!(a, b);

@@ -13,6 +13,7 @@ use rand::Rng;
 use remix_tensor::Tensor;
 
 /// Single-head self-attention patch classifier.
+#[derive(Clone)]
 pub struct MiniVit {
     patch: usize,
     grid: usize,
@@ -60,7 +61,10 @@ impl MiniVit {
         num_classes: usize,
         rng: &mut impl Rng,
     ) -> Self {
-        assert!(patch > 0 && size % patch == 0, "patch must divide image size");
+        assert!(
+            patch > 0 && size.is_multiple_of(patch),
+            "patch must divide image size"
+        );
         let grid = size / patch;
         let patch_len = channels * patch * patch;
         let std_e = (2.0 / patch_len as f32).sqrt();
@@ -155,11 +159,8 @@ impl MiniVit {
                 for c in 0..self.channels {
                     for py in 0..self.patch {
                         for px in 0..self.patch {
-                            buf[tok * plen + i] = image.at(&[
-                                c,
-                                ty * self.patch + py,
-                                tx * self.patch + px,
-                            ]);
+                            buf[tok * plen + i] =
+                                image.at(&[c, ty * self.patch + py, tx * self.patch + px]);
                             i += 1;
                         }
                     }
@@ -183,15 +184,27 @@ impl std::fmt::Debug for MiniVit {
 }
 
 impl Layer for MiniVit {
+    fn clone_boxed(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
         debug_assert_eq!(input.shape(), [self.channels, self.size, self.size]);
         let patches = self.extract_patches(input); // [T, P]
         let we_t = self.w_embed.transpose().expect("rank 2");
         let mut tokens = patches.matmul(&we_t).expect("embed"); // [T, E]
-        tokens.add_assign(&self.pos_embed).expect("positional embedding shape");
-        let q = tokens.matmul(&self.w_q.transpose().expect("rank 2")).expect("q");
-        let k = tokens.matmul(&self.w_k.transpose().expect("rank 2")).expect("k");
-        let v = tokens.matmul(&self.w_v.transpose().expect("rank 2")).expect("v");
+        tokens
+            .add_assign(&self.pos_embed)
+            .expect("positional embedding shape");
+        let q = tokens
+            .matmul(&self.w_q.transpose().expect("rank 2"))
+            .expect("q");
+        let k = tokens
+            .matmul(&self.w_k.transpose().expect("rank 2"))
+            .expect("k");
+        let v = tokens
+            .matmul(&self.w_v.transpose().expect("rank 2"))
+            .expect("v");
         let scale = 1.0 / (self.embed_dim as f32).sqrt();
         let scores = q
             .matmul(&k.transpose().expect("rank 2"))
@@ -199,7 +212,7 @@ impl Layer for MiniVit {
             .scale(scale);
         let attn = scores.softmax(); // row-wise softmax [T, T]
         let attended = attn.matmul(&v).expect("av"); // [T, E]
-        // mean-pool tokens
+                                                     // mean-pool tokens
         let t = self.num_tokens() as f32;
         let mut pooled = vec![0.0f32; self.embed_dim];
         for tok in 0..self.num_tokens() {
@@ -237,7 +250,7 @@ impl Layer for MiniVit {
             .expect("rank 2")
             .matvec(grad_out)
             .expect("d_pooled"); // [E]
-        // mean-pool backward: every token gets d_pooled / T
+                                 // mean-pool backward: every token gets d_pooled / T
         let mut d_attended = Tensor::zeros(&[t, e]);
         {
             let buf = d_attended.data_mut();
@@ -257,7 +270,7 @@ impl Layer for MiniVit {
             .expect("rank 2")
             .matmul(&d_attended)
             .expect("d_v"); // [T, E]
-        // softmax backward per row
+                            // softmax backward per row
         let mut d_scores = Tensor::zeros(&[t, t]);
         {
             let a = self.cache_attn.data();
@@ -277,14 +290,10 @@ impl Layer for MiniVit {
             .expect("rank 2")
             .matmul(&self.cache_q)
             .expect("d_k"); // [T, E]
-        // Q = tokens · Wqᵀ etc.: dWq = d_qᵀ · tokens, d_tokens += d_q · Wq
+                            // Q = tokens · Wqᵀ etc.: dWq = d_qᵀ · tokens, d_tokens += d_q · Wq
         let tokens = &self.cache_tokens;
         let acc = |grad: &mut Tensor, d: &Tensor| {
-            let dw = d
-                .transpose()
-                .expect("rank 2")
-                .matmul(tokens)
-                .expect("dW");
+            let dw = d.transpose().expect("rank 2").matmul(tokens).expect("dW");
             grad.add_assign(&dw).expect("dW shape");
         };
         acc(&mut self.g_q, &d_q);
@@ -306,7 +315,7 @@ impl Layer for MiniVit {
             .expect("dWe");
         self.g_embed.add_assign(&dwe).expect("dWe shape");
         let d_patches = d_tokens.matmul(&self.w_embed).expect("d_patches"); // [T, P]
-        // scatter patch gradients back to the image
+                                                                            // scatter patch gradients back to the image
         let mut dx = Tensor::zeros(&[self.channels, self.size, self.size]);
         let plen = self.channels * self.patch * self.patch;
         for ty in 0..self.grid {

@@ -36,6 +36,13 @@ pub trait Layer: Send {
     /// Short human-readable layer name (for architecture summaries).
     fn name(&self) -> &'static str;
 
+    /// Deep copy as a boxed trait object.
+    ///
+    /// This is what makes [`Sequential`](crate::Sequential) (and therefore
+    /// models and ensembles) cloneable, so parallel evaluation can hand each
+    /// worker thread its own copy of the mutable forward/backward caches.
+    fn clone_boxed(&self) -> Box<dyn Layer>;
+
     /// Number of trainable scalars in this layer.
     fn param_count(&self) -> usize {
         0

@@ -2,7 +2,7 @@ use crate::{Layer, Mode};
 use remix_tensor::Tensor;
 
 /// Rectified linear unit.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Relu {
     mask: Vec<bool>,
 }
@@ -15,6 +15,10 @@ impl Relu {
 }
 
 impl Layer for Relu {
+    fn clone_boxed(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
         self.mask = input.data().iter().map(|&v| v > 0.0).collect();
         input.map(|v| v.max(0.0))
@@ -36,7 +40,7 @@ impl Layer for Relu {
 }
 
 /// Logistic sigmoid.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Sigmoid {
     cached_out: Tensor,
 }
@@ -49,6 +53,10 @@ impl Sigmoid {
 }
 
 impl Layer for Sigmoid {
+    fn clone_boxed(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
         let out = input.map(|v| 1.0 / (1.0 + (-v).exp()));
         self.cached_out = out.clone();
@@ -71,7 +79,7 @@ impl Layer for Sigmoid {
 }
 
 /// Hyperbolic tangent.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct TanhLayer {
     cached_out: Tensor,
 }
@@ -84,6 +92,10 @@ impl TanhLayer {
 }
 
 impl Layer for TanhLayer {
+    fn clone_boxed(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
         let out = input.map(f32::tanh);
         self.cached_out = out.clone();

@@ -10,7 +10,7 @@ use remix_tensor::Tensor;
 /// standardization with an exact backward pass through the statistics. It is
 /// deterministic, identical between train and eval modes, and keeps the deep
 /// zoo models trainable, which is what the reproduction needs from BN.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct InstanceNorm2d {
     gamma: Tensor,
     beta: Tensor,
@@ -42,6 +42,10 @@ impl InstanceNorm2d {
 }
 
 impl Layer for InstanceNorm2d {
+    fn clone_boxed(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
         debug_assert_eq!(input.len(), self.channels * self.spatial);
         let n = self.spatial as f32;
@@ -120,7 +124,11 @@ mod tests {
         for c in 0..2 {
             let ch = y.index_axis0(c).unwrap();
             assert!(ch.mean().abs() < 1e-4, "channel {c} mean {}", ch.mean());
-            assert!((ch.std() - 1.0).abs() < 1e-2, "channel {c} std {}", ch.std());
+            assert!(
+                (ch.std() - 1.0).abs() < 1e-2,
+                "channel {c} std {}",
+                ch.std()
+            );
         }
     }
 

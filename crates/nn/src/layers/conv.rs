@@ -7,7 +7,7 @@ use remix_tensor::{col2im, im2col, Conv2dGeometry, Tensor};
 ///
 /// Weights are stored as `[filters, C*k*k]`, which makes both the forward
 /// product and the two backward products plain rank-2 matmuls.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Conv2d {
     weight: Tensor, // [F, C*k*k]
     bias: Tensor,   // [F]
@@ -63,6 +63,10 @@ impl Conv2d {
 }
 
 impl Layer for Conv2d {
+    fn clone_boxed(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
         let cols = im2col(input, &self.geo).expect("conv input matches geometry");
         let mut out = self.weight.matmul(&cols).expect("conv matmul");
@@ -78,7 +82,8 @@ impl Layer for Conv2d {
             }
         }
         self.cached_cols = cols;
-        out.reshape(&[self.filters, oh, ow]).expect("reshape conv out")
+        out.reshape(&[self.filters, oh, ow])
+            .expect("reshape conv out")
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
@@ -93,8 +98,8 @@ impl Layer for Conv2d {
         // db += row sums of g
         {
             let gb = self.grad_b.data_mut();
-            for f in 0..self.filters {
-                gb[f] += g.data()[f * oh * ow..(f + 1) * oh * ow].iter().sum::<f32>();
+            for (f, gbf) in gb.iter_mut().enumerate().take(self.filters) {
+                *gbf += g.data()[f * oh * ow..(f + 1) * oh * ow].iter().sum::<f32>();
             }
         }
         // dx = col2im(Wᵀ · g)

@@ -6,7 +6,7 @@ use remix_tensor::Tensor;
 ///
 /// Weights use He initialization, appropriate for the ReLU networks of the
 /// zoo.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Dense {
     weight: Tensor, // [out, in]
     bias: Tensor,   // [out]
@@ -40,9 +40,17 @@ impl Dense {
 }
 
 impl Layer for Dense {
+    fn clone_boxed(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
         debug_assert_eq!(input.len(), self.in_dim(), "dense input length");
-        let flat = if input.rank() == 1 { input.clone() } else { input.flatten() };
+        let flat = if input.rank() == 1 {
+            input.clone()
+        } else {
+            input.flatten()
+        };
         let mut out = self.weight.matvec(&flat).expect("dense shape checked");
         out.add_assign(&self.bias).expect("bias length");
         self.cached_input = flat;

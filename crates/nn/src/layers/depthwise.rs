@@ -7,7 +7,7 @@ use remix_tensor::Tensor;
 /// This is the distinguishing layer of MobileNet and of the MBConv blocks in
 /// EfficientNetV2. Channel counts in the zoo are small, so a direct loop is
 /// fast enough without im2col lowering.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct DepthwiseConv2d {
     weight: Tensor, // [C, k*k]
     bias: Tensor,   // [C]
@@ -68,6 +68,10 @@ impl DepthwiseConv2d {
 }
 
 impl Layer for DepthwiseConv2d {
+    fn clone_boxed(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
         debug_assert_eq!(input.shape(), [self.channels, self.in_h, self.in_w]);
         let (oh, ow, k) = (self.out_h(), self.out_w(), self.kernel);

@@ -4,7 +4,7 @@ use remix_tensor::Tensor;
 
 /// Inverted dropout: in training mode zeroes activations with probability `p`
 /// and rescales survivors by `1/(1-p)`; identity in evaluation mode.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Dropout {
     p: f32,
     rng: StdRng,
@@ -18,7 +18,10 @@ impl Dropout {
     ///
     /// Panics unless `0.0 <= p < 1.0`.
     pub fn new(p: f32, seed: u64) -> Self {
-        assert!((0.0..1.0).contains(&p), "dropout p must be in [0, 1), got {p}");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "dropout p must be in [0, 1), got {p}"
+        );
         Self {
             p,
             rng: StdRng::seed_from_u64(seed),
@@ -28,6 +31,10 @@ impl Dropout {
 }
 
 impl Layer for Dropout {
+    fn clone_boxed(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
         match mode {
             Mode::Eval => {

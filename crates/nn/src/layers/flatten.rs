@@ -2,7 +2,7 @@ use crate::{Layer, Mode};
 use remix_tensor::Tensor;
 
 /// Flattens any input to rank 1 and restores the shape on the way back.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Flatten {
     in_shape: Vec<usize>,
 }
@@ -15,6 +15,10 @@ impl Flatten {
 }
 
 impl Layer for Flatten {
+    fn clone_boxed(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
         self.in_shape = input.shape().to_vec();
         input.flatten()

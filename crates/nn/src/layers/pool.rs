@@ -2,7 +2,7 @@ use crate::{Layer, Mode};
 use remix_tensor::Tensor;
 
 /// Max pooling with square window and matching stride over `[C, H, W]`.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct MaxPool2d {
     window: usize,
     in_shape: (usize, usize, usize),
@@ -16,9 +16,15 @@ impl MaxPool2d {
     ///
     /// Panics if the window does not divide the spatial dimensions.
     pub fn new(in_shape: (usize, usize, usize), window: usize) -> Self {
-        assert!(window > 0 && in_shape.1 % window == 0 && in_shape.2 % window == 0,
-            "pool window {window} must divide spatial dims {in_shape:?}");
-        Self { window, in_shape, argmax: Vec::new() }
+        assert!(
+            window > 0 && in_shape.1.is_multiple_of(window) && in_shape.2.is_multiple_of(window),
+            "pool window {window} must divide spatial dims {in_shape:?}"
+        );
+        Self {
+            window,
+            in_shape,
+            argmax: Vec::new(),
+        }
     }
 
     /// Output shape `(C, H/window, W/window)`.
@@ -29,6 +35,10 @@ impl MaxPool2d {
 }
 
 impl Layer for MaxPool2d {
+    fn clone_boxed(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
         let (c, h, w) = self.in_shape;
         debug_assert_eq!(input.shape(), [c, h, w]);
@@ -76,7 +86,7 @@ impl Layer for MaxPool2d {
 }
 
 /// Average pooling with square window and matching stride.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct AvgPool2d {
     window: usize,
     in_shape: (usize, usize, usize),
@@ -89,7 +99,9 @@ impl AvgPool2d {
     ///
     /// Panics if the window does not divide the spatial dimensions.
     pub fn new(in_shape: (usize, usize, usize), window: usize) -> Self {
-        assert!(window > 0 && in_shape.1 % window == 0 && in_shape.2 % window == 0);
+        assert!(
+            window > 0 && in_shape.1.is_multiple_of(window) && in_shape.2.is_multiple_of(window)
+        );
         Self { window, in_shape }
     }
 
@@ -101,6 +113,10 @@ impl AvgPool2d {
 }
 
 impl Layer for AvgPool2d {
+    fn clone_boxed(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
         let (c, h, w) = self.in_shape;
         let (oc, oh, ow) = self.out_shape();
@@ -114,9 +130,7 @@ impl Layer for AvgPool2d {
                     let mut acc = 0.0;
                     for ky in 0..self.window {
                         for kx in 0..self.window {
-                            acc += x[(ci * h + oy * self.window + ky) * w
-                                + ox * self.window
-                                + kx];
+                            acc += x[(ci * h + oy * self.window + ky) * w + ox * self.window + kx];
                         }
                     }
                     buf[(ci * oh + oy) * ow + ox] = acc * norm;
@@ -139,8 +153,7 @@ impl Layer for AvgPool2d {
                     let gv = g[(ci * oh + oy) * ow + ox] * norm;
                     for ky in 0..self.window {
                         for kx in 0..self.window {
-                            buf[(ci * h + oy * self.window + ky) * w + ox * self.window + kx] +=
-                                gv;
+                            buf[(ci * h + oy * self.window + ky) * w + ox * self.window + kx] += gv;
                         }
                     }
                 }
@@ -155,7 +168,7 @@ impl Layer for AvgPool2d {
 }
 
 /// Global average pooling: `[C, H, W] -> [C]`.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct GlobalAvgPool {
     in_shape: (usize, usize, usize),
 }
@@ -168,12 +181,18 @@ impl GlobalAvgPool {
 }
 
 impl Layer for GlobalAvgPool {
+    fn clone_boxed(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
         let (c, h, w) = self.in_shape;
         let spatial = h * w;
         let mut out = vec![0.0f32; c];
         for (ci, o) in out.iter_mut().enumerate() {
-            *o = input.data()[ci * spatial..(ci + 1) * spatial].iter().sum::<f32>()
+            *o = input.data()[ci * spatial..(ci + 1) * spatial]
+                .iter()
+                .sum::<f32>()
                 / spatial as f32;
         }
         Tensor::from_slice(&out)
@@ -226,8 +245,7 @@ mod tests {
     #[test]
     fn global_avg_pool_reduces_to_channels() {
         let mut p = GlobalAvgPool::new((2, 2, 2));
-        let x = Tensor::from_vec(vec![1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 2.0], &[2, 2, 2])
-            .unwrap();
+        let x = Tensor::from_vec(vec![1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 2.0], &[2, 2, 2]).unwrap();
         let y = p.forward(&x, Mode::Eval);
         assert_eq!(y.data(), &[1.0, 2.0]);
         let dx = p.backward(&Tensor::from_slice(&[4.0, 8.0]));

@@ -8,6 +8,7 @@ use remix_tensor::Tensor;
 /// The shortcut is the identity when the body preserves shape, or a strided
 /// 1×1 projection convolution when the body changes channel count or spatial
 /// resolution — exactly the two shortcut flavours of ResNet-18/50.
+#[derive(Clone)]
 pub struct Residual {
     body: Sequential,
     projection: Option<Conv2d>,
@@ -53,6 +54,10 @@ impl std::fmt::Debug for Residual {
 }
 
 impl Layer for Residual {
+    fn clone_boxed(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
         self.cached_input = input.clone();
         let mut out = self.body.forward(input, mode);
@@ -87,8 +92,7 @@ impl Layer for Residual {
     }
 
     fn param_count(&self) -> usize {
-        self.body.param_count()
-            + self.projection.as_ref().map_or(0, |p| p.param_count())
+        self.body.param_count() + self.projection.as_ref().map_or(0, |p| p.param_count())
     }
 }
 

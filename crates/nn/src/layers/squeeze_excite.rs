@@ -7,6 +7,7 @@ use remix_tensor::Tensor;
 /// EfficientNetV2.
 ///
 /// `y[c] = x[c] * sigmoid(W2 relu(W1 gap(x)))[c]`.
+#[derive(Clone)]
 pub struct SqueezeExcite {
     reduce: Dense,
     expand: Dense,
@@ -42,6 +43,10 @@ impl std::fmt::Debug for SqueezeExcite {
 }
 
 impl Layer for SqueezeExcite {
+    fn clone_boxed(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
         // squeeze: global average pool
         let mut pooled = vec![0.0f32; self.channels];

@@ -7,6 +7,7 @@ use remix_tensor::Tensor;
 /// `Model` is what ensembles, baselines, and XAI techniques consume. Methods
 /// take `&mut self` because the forward pass caches backward state inside the
 /// layers.
+#[derive(Clone)]
 pub struct Model {
     net: Sequential,
     spec: InputSpec,

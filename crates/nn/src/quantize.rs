@@ -129,7 +129,10 @@ mod tests {
         assert!(r2.mean_abs_error > r8.mean_abs_error * 5.0);
         let a8 = accuracy(&mut m8, &images, &labels);
         let a2 = accuracy(&mut m2, &images, &labels);
-        assert!(a8 + 1e-6 >= a2, "coarser grid should not help: {a8} vs {a2}");
+        assert!(
+            a8 + 1e-6 >= a2,
+            "coarser grid should not help: {a8} vs {a2}"
+        );
     }
 
     #[test]

@@ -52,6 +52,14 @@ impl Sequential {
     }
 }
 
+impl Clone for Sequential {
+    fn clone(&self) -> Self {
+        Self {
+            layers: self.layers.iter().map(|l| l.clone_boxed()).collect(),
+        }
+    }
+}
+
 impl std::fmt::Debug for Sequential {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "Sequential({:?})", self.layer_names())
@@ -59,6 +67,10 @@ impl std::fmt::Debug for Sequential {
 }
 
 impl Layer for Sequential {
+    fn clone_boxed(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
         let mut x = input.clone();
         for layer in &mut self.layers {

@@ -50,7 +50,11 @@ impl fmt::Display for LoadStateError {
                 f,
                 "state has {state} parameter tensors but the model has {model}"
             ),
-            LoadStateError::ShapeMismatch { index, state, model } => write!(
+            LoadStateError::ShapeMismatch {
+                index,
+                state,
+                model,
+            } => write!(
                 f,
                 "parameter {index} shape mismatch: state {state:?} vs model {model:?}"
             ),
@@ -135,8 +139,7 @@ mod tests {
         let before = original.predict_proba(&img);
         let state = save_state(&mut original);
         // fresh model with different random init
-        let mut restored =
-            Model::named(zoo::build(Arch::ConvNet, spec(), &mut rng), spec(), "b");
+        let mut restored = Model::named(zoo::build(Arch::ConvNet, spec(), &mut rng), spec(), "b");
         assert_ne!(restored.predict_proba(&img), before);
         load_state(&mut restored, &state).expect("same architecture");
         assert_eq!(restored.predict_proba(&img), before);

@@ -229,7 +229,10 @@ mod tests {
         // give all the weight to class-0 samples: the model should at least
         // master class 0
         let (images, labels) = toy_dataset(40, 3);
-        let weights: Vec<f32> = labels.iter().map(|&l| if l == 0 { 1.0 } else { 0.01 }).collect();
+        let weights: Vec<f32> = labels
+            .iter()
+            .map(|&l| if l == 0 { 1.0 } else { 0.01 })
+            .collect();
         let mut model = toy_model(4);
         Trainer::new(TrainerConfig {
             epochs: 12,

@@ -13,8 +13,8 @@
 //!   squeeze-excitation) late stages.
 
 use crate::layers::{
-    AvgPool2d, Conv2d, Dense, DepthwiseConv2d, Dropout, Flatten, GlobalAvgPool, InstanceNorm2d, MaxPool2d,
-    Relu, Residual, SqueezeExcite,
+    AvgPool2d, Conv2d, Dense, DepthwiseConv2d, Dropout, Flatten, GlobalAvgPool, InstanceNorm2d,
+    MaxPool2d, Relu, Residual, SqueezeExcite,
 };
 use crate::Sequential;
 use rand::Rng;
@@ -166,7 +166,7 @@ fn head(net: &mut Sequential, shape: Shape, num_classes: usize, rng: &mut impl R
     // global average is nearly information-free (channels are standardized),
     // so the head keeps a little spatial structure before the classifier.
     let mut s = shape;
-    if s.1 >= 4 && s.1 % 2 == 0 {
+    if s.1 >= 4 && s.1.is_multiple_of(2) {
         let pool = AvgPool2d::new(s, s.1 / 2);
         s = pool.out_shape();
         net.push(pool);

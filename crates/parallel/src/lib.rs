@@ -1,0 +1,236 @@
+//! Deterministic scoped-thread fan-out for the ReMIX pipeline.
+//!
+//! Every helper here preserves input order in its output and partitions work
+//! into *contiguous* shards, so callers can guarantee bit-identical results
+//! between sequential and parallel execution: the same per-item computation
+//! runs in the same per-item order, only on different threads. There is no
+//! work stealing and no thread pool — `std::thread::scope` keeps lifetimes
+//! simple and the spawn cost (~10 µs per thread) is noise next to the
+//! model-inference and XAI work being parallelized.
+//!
+//! Thread-count resolution is centralized in [`num_threads`] /
+//! [`resolve_threads`], honoring the `REMIX_THREADS` environment variable so
+//! benchmarks and CI can pin parallelism without code changes.
+
+use std::ops::Range;
+
+/// Default worker count: the `REMIX_THREADS` environment variable when set to
+/// a positive integer, otherwise the machine's available parallelism.
+pub fn num_threads() -> usize {
+    if let Ok(raw) = std::env::var("REMIX_THREADS") {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Resolves a user-facing thread setting: `0` means "auto" ([`num_threads`]),
+/// anything else is taken literally.
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        num_threads()
+    } else {
+        requested
+    }
+}
+
+/// Splits `0..len` into at most `shards` contiguous, near-equal, non-empty
+/// ranges covering every index exactly once.
+pub fn shard_ranges(len: usize, shards: usize) -> Vec<Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let shards = shards.clamp(1, len);
+    let base = len / shards;
+    let extra = len % shards;
+    let mut ranges = Vec::with_capacity(shards);
+    let mut start = 0;
+    for s in 0..shards {
+        let size = base + usize::from(s < extra);
+        ranges.push(start..start + size);
+        start += size;
+    }
+    ranges
+}
+
+/// Order-preserving parallel map over shared items.
+///
+/// `f` receives `(index, &item)`; the output at position `i` is `f(i,
+/// &items[i])`. With `threads <= 1` this degenerates to a plain serial map on
+/// the calling thread.
+pub fn map_indexed<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let shards = shard_ranges(items.len(), threads);
+    if shards.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let mut outputs: Vec<Vec<U>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = shards
+            .iter()
+            .map(|range| {
+                let f = &f;
+                let range = range.clone();
+                scope.spawn(move || range.map(|i| f(i, &items[i])).collect::<Vec<U>>())
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel map worker panicked"))
+            .collect()
+    });
+    let mut out = Vec::with_capacity(items.len());
+    for shard in &mut outputs {
+        out.append(shard);
+    }
+    out
+}
+
+/// Order-preserving parallel map over mutable items (each item is visited by
+/// exactly one worker).
+///
+/// `f` receives `(index, &mut item)`; the output at position `i` is `f(i,
+/// &mut items[i])`. With `threads <= 1` this degenerates to a serial map.
+pub fn map_mut_indexed<T, U, F>(items: &mut [T], threads: usize, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(usize, &mut T) -> U + Sync,
+{
+    let shards = shard_ranges(items.len(), threads);
+    if shards.len() <= 1 {
+        return items.iter_mut().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let mut outputs: Vec<Vec<U>> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(shards.len());
+        let mut rest = items;
+        let mut start = 0;
+        for range in &shards {
+            let (chunk, tail) = rest.split_at_mut(range.len());
+            rest = tail;
+            let f = &f;
+            let base = start;
+            handles.push(scope.spawn(move || {
+                chunk
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(offset, item)| f(base + offset, item))
+                    .collect::<Vec<U>>()
+            }));
+            start += range.len();
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel map worker panicked"))
+            .collect()
+    });
+    let mut out = Vec::with_capacity(outputs.iter().map(Vec::len).sum());
+    for shard in &mut outputs {
+        out.append(shard);
+    }
+    out
+}
+
+/// Runs `f(span_index, span)` for each consecutive `span`-element chunk of
+/// `data`, one scoped thread per chunk (the final chunk may be shorter).
+///
+/// Callers pick `span` so the chunk count matches their desired parallelism;
+/// contiguous chunks keep writes disjoint without synchronization.
+///
+/// # Panics
+///
+/// Panics if `span` is zero.
+pub fn for_each_span_mut<T, F>(data: &mut [T], span: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(span > 0, "span must be positive");
+    if data.len() <= span {
+        if !data.is_empty() {
+            f(0, data);
+        }
+        return;
+    }
+    std::thread::scope(|scope| {
+        for (idx, chunk) in data.chunks_mut(span).enumerate() {
+            let f = &f;
+            scope.spawn(move || f(idx, chunk));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_ranges_partition_exactly() {
+        for len in [0usize, 1, 2, 7, 16, 33] {
+            for shards in [1usize, 2, 3, 8, 64] {
+                let ranges = shard_ranges(len, shards);
+                let mut covered = 0;
+                let mut expected_start = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, expected_start);
+                    assert!(!r.is_empty(), "len={len} shards={shards}");
+                    covered += r.len();
+                    expected_start = r.end;
+                }
+                assert_eq!(covered, len);
+                assert!(ranges.len() <= shards.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn map_indexed_preserves_order_for_any_thread_count() {
+        let items: Vec<usize> = (0..100).collect();
+        let expected: Vec<usize> = items.iter().map(|v| v * 3).collect();
+        for threads in [1, 2, 3, 7, 100, 200] {
+            let got = map_indexed(&items, threads, |i, &v| {
+                assert_eq!(i, v);
+                v * 3
+            });
+            assert_eq!(got, expected);
+        }
+    }
+
+    #[test]
+    fn map_mut_indexed_mutates_and_preserves_order() {
+        for threads in [1, 4, 9] {
+            let mut items: Vec<usize> = (0..37).collect();
+            let got = map_mut_indexed(&mut items, threads, |i, v| {
+                *v += 1;
+                i
+            });
+            assert_eq!(got, (0..37).collect::<Vec<_>>());
+            assert_eq!(items, (1..38).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn for_each_span_mut_covers_all_chunks() {
+        let mut data = vec![0u32; 25];
+        for_each_span_mut(&mut data, 7, |idx, chunk| {
+            for v in chunk {
+                *v = idx as u32 + 1;
+            }
+        });
+        assert!(data.iter().all(|&v| v > 0));
+        assert_eq!(data[0], 1);
+        assert_eq!(data[24], 4); // 25 = 7+7+7+4 -> four chunks
+    }
+
+    #[test]
+    fn resolve_threads_treats_zero_as_auto() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+    }
+}

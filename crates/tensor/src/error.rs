@@ -73,8 +73,15 @@ impl fmt::Display for TensorError {
             TensorError::AxisOutOfRange { axis, rank } => {
                 write!(f, "axis {axis} out of range for rank-{rank} tensor")
             }
-            TensorError::RankMismatch { expected, shape, op } => {
-                write!(f, "`{op}` expects a rank-{expected} tensor, got shape {shape:?}")
+            TensorError::RankMismatch {
+                expected,
+                shape,
+                op,
+            } => {
+                write!(
+                    f,
+                    "`{op}` expects a rank-{expected} tensor, got shape {shape:?}"
+                )
             }
             TensorError::MatmulDimMismatch { left, right } => {
                 write!(f, "matmul inner dimensions disagree: {left:?} x {right:?}")

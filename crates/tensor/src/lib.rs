@@ -30,6 +30,7 @@ mod tensor;
 
 pub use conv::{col2im, im2col, Conv2dGeometry};
 pub use error::TensorError;
+pub use random::{fnv1a64, splitmix64};
 pub use tensor::Tensor;
 
 /// Convenience result alias used across the crate.

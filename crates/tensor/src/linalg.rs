@@ -2,11 +2,35 @@
 
 use crate::{Result, Tensor, TensorError};
 
+/// One output row of the ikj matmul kernel: `orow += arow · B`.
+///
+/// Shared by the sequential and row-parallel paths so both accumulate in the
+/// same order and therefore produce bit-identical results.
+#[inline]
+fn matmul_row(arow: &[f32], b: &[f32], orow: &mut [f32], n: usize) {
+    for (p, &av) in arow.iter().enumerate() {
+        if av == 0.0 {
+            continue;
+        }
+        let brow = &b[p * n..(p + 1) * n];
+        for (o, &bv) in orow.iter_mut().zip(brow) {
+            *o += av * bv;
+        }
+    }
+}
+
+/// Below this many multiply-adds (`m·k·n`) a matmul runs sequentially: thread
+/// spawn overhead (~10 µs each) would outweigh the work.
+const PARALLEL_MATMUL_FLOPS: usize = 1 << 18;
+
 impl Tensor {
     /// Matrix product of two rank-2 tensors (`[m, k] x [k, n] -> [m, n]`).
     ///
     /// Implemented as a cache-friendly ikj loop; this is the hot path of every
-    /// dense layer and of the im2col convolution in `remix-nn`.
+    /// dense layer and of the im2col convolution in `remix-nn`. Products
+    /// large enough to amortize thread spawns are partitioned by output row
+    /// across scoped threads; each row's accumulation order is unchanged, so
+    /// the parallel path is bit-identical to the sequential one.
     ///
     /// # Errors
     ///
@@ -38,17 +62,19 @@ impl Tensor {
         let a = self.data();
         let b = other.data();
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let arow = &a[i * k..(i + 1) * k];
-            let orow = &mut out[i * n..(i + 1) * n];
-            for (p, &av) in arow.iter().enumerate() {
-                if av == 0.0 {
-                    continue;
+        let threads = remix_parallel::num_threads();
+        if threads > 1 && m > 1 && m * k * n >= PARALLEL_MATMUL_FLOPS {
+            let rows_per_span = m.div_ceil(threads.min(m));
+            remix_parallel::for_each_span_mut(&mut out, rows_per_span * n, |span, orows| {
+                let row0 = span * rows_per_span;
+                for (r, orow) in orows.chunks_mut(n).enumerate() {
+                    let i = row0 + r;
+                    matmul_row(&a[i * k..(i + 1) * k], b, orow, n);
                 }
-                let brow = &b[p * n..(p + 1) * n];
-                for (o, &bv) in orow.iter_mut().zip(brow) {
-                    *o += av * bv;
-                }
+            });
+        } else {
+            for i in 0..m {
+                matmul_row(&a[i * k..(i + 1) * k], b, &mut out[i * n..(i + 1) * n], n);
             }
         }
         Tensor::from_vec(out, &[m, n])
@@ -99,8 +125,8 @@ impl Tensor {
             });
         }
         let mut out = vec![0.0f32; m];
-        for i in 0..m {
-            out[i] = self.data()[i * n..(i + 1) * n]
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.data()[i * n..(i + 1) * n]
                 .iter()
                 .zip(v.data())
                 .map(|(&a, &b)| a * b)
@@ -145,6 +171,28 @@ mod tests {
         assert_eq!(at.shape(), &[3, 2]);
         assert_eq!(at.at(&[2, 1]), a.at(&[1, 2]));
         assert_eq!(at.transpose().unwrap(), a);
+    }
+
+    #[test]
+    fn parallel_matmul_is_bit_identical_to_sequential() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(11);
+        // 96·96·96 ≈ 885k multiply-adds: above the parallel cutoff
+        let a = Tensor::rand_uniform(&[96, 96], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform(&[96, 96], -1.0, 1.0, &mut rng);
+        let parallel = a.matmul(&b).unwrap();
+        // reference: sequential kernel over the same rows
+        let (m, k, n) = (96, 96, 96);
+        let mut reference = vec![0.0f32; m * n];
+        for i in 0..m {
+            matmul_row(
+                &a.data()[i * k..(i + 1) * k],
+                b.data(),
+                &mut reference[i * n..(i + 1) * n],
+                n,
+            );
+        }
+        assert_eq!(parallel.data(), &reference[..]);
     }
 
     #[test]

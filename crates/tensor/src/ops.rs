@@ -3,7 +3,12 @@
 use crate::{Result, Tensor, TensorError};
 
 impl Tensor {
-    fn zip_with(&self, other: &Tensor, op: &'static str, f: impl Fn(f32, f32) -> f32) -> Result<Tensor> {
+    fn zip_with(
+        &self,
+        other: &Tensor,
+        op: &'static str,
+        f: impl Fn(f32, f32) -> f32,
+    ) -> Result<Tensor> {
         if self.shape() != other.shape() {
             return Err(TensorError::ShapeMismatch {
                 left: self.shape().to_vec(),

@@ -23,13 +23,7 @@ impl Tensor {
             return 0.0;
         }
         let m = self.mean();
-        (self
-            .data()
-            .iter()
-            .map(|&v| (v - m) * (v - m))
-            .sum::<f32>()
-            / self.len() as f32)
-            .sqrt()
+        (self.data().iter().map(|&v| (v - m) * (v - m)).sum::<f32>() / self.len() as f32).sqrt()
     }
 
     /// Maximum element.

@@ -123,9 +123,7 @@ impl Tensor {
     /// Returns [`TensorError::IndexOutOfBounds`] if `index` has the wrong rank
     /// or any coordinate exceeds its axis length.
     pub fn offset(&self, index: &[usize]) -> Result<usize> {
-        if index.len() != self.shape.len()
-            || index.iter().zip(&self.shape).any(|(i, s)| i >= s)
-        {
+        if index.len() != self.shape.len() || index.iter().zip(&self.shape).any(|(i, s)| i >= s) {
             return Err(TensorError::IndexOutOfBounds {
                 index: index.to_vec(),
                 shape: self.shape.clone(),
@@ -216,7 +214,9 @@ impl Tensor {
     /// Returns [`TensorError::EmptyTensor`] when `items` is empty and
     /// [`TensorError::ShapeMismatch`] when the shapes disagree.
     pub fn stack(items: &[Tensor]) -> Result<Self> {
-        let first = items.first().ok_or(TensorError::EmptyTensor { op: "stack" })?;
+        let first = items
+            .first()
+            .ok_or(TensorError::EmptyTensor { op: "stack" })?;
         let mut data = Vec::with_capacity(items.len() * first.len());
         for item in items {
             if item.shape != first.shape {

@@ -53,8 +53,7 @@ pub(crate) fn explain(
         {
             let buf = next.data_mut();
             for &(i, _) in magnitudes.iter().take(k) {
-                buf[i] = (buf[i] - config.cfe_step * gap_grad.data()[i].signum())
-                    .clamp(0.0, 1.0);
+                buf[i] = (buf[i] - config.cfe_step * gap_grad.data()[i].signum()).clamp(0.0, 1.0);
             }
         }
         current = next;

@@ -107,10 +107,7 @@ pub fn relative_input_stability(
 /// Pearson correlation coefficient; 0 when either series is constant.
 fn pearson(a: &[f32], b: &[f32]) -> f32 {
     let n = a.len() as f32;
-    let (ma, mb) = (
-        a.iter().sum::<f32>() / n,
-        b.iter().sum::<f32>() / n,
-    );
+    let (ma, mb) = (a.iter().sum::<f32>() / n, b.iter().sum::<f32>() / n);
     let cov: f32 = a.iter().zip(b).map(|(&x, &y)| (x - ma) * (y - mb)).sum();
     let (va, vb): (f32, f32) = (
         a.iter().map(|&x| (x - ma) * (x - ma)).sum(),

@@ -51,8 +51,8 @@ mod tests {
 
     #[test]
     fn aggregate_sums_channel_magnitudes() {
-        let t = Tensor::from_vec(vec![1.0, -1.0, 0.0, 0.0, -2.0, 2.0, 0.0, 0.0], &[2, 2, 2])
-            .unwrap();
+        let t =
+            Tensor::from_vec(vec![1.0, -1.0, 0.0, 0.0, -2.0, 2.0, 0.0, 0.0], &[2, 2, 2]).unwrap();
         let m = aggregate_channels(&t);
         assert_eq!(m.shape(), &[2, 2]);
         // |1|+|−2| = 3 at (0,0); |−1|+|2| = 3 at (0,1); zeros elsewhere

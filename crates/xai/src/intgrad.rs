@@ -20,9 +20,7 @@ pub(crate) fn explain(
     let mut grad_sum = Tensor::zeros(image.shape());
     for k in 1..=steps {
         let alpha = k as f32 / steps as f32;
-        let point = baseline
-            .add(&delta.scale(alpha))
-            .expect("same shape");
+        let point = baseline.add(&delta.scale(alpha)).expect("same shape");
         let grad = model.input_gradient(&point, class);
         grad_sum.add_assign(&grad).expect("gradient shape");
     }

@@ -85,13 +85,16 @@ fn gaussian_solve(a: &mut [Vec<f32>], b: &mut [f32]) -> Vec<f32> {
         if diag.abs() < 1e-9 {
             continue; // singular direction; ridge term should prevent this
         }
-        for row in (col + 1)..n {
-            let factor = a[row][col] / diag;
+        let (pivot_rows, rest) = a.split_at_mut(col + 1);
+        let pivot = &pivot_rows[col];
+        for (offset, row_data) in rest.iter_mut().enumerate() {
+            let row = col + 1 + offset;
+            let factor = row_data[col] / diag;
             if factor == 0.0 {
                 continue;
             }
-            for k in col..n {
-                a[row][k] -= factor * a[col][k];
+            for (rk, &pk) in row_data[col..n].iter_mut().zip(&pivot[col..n]) {
+                *rk -= factor * pk;
             }
             b[row] -= factor * b[col];
         }

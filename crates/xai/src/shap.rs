@@ -103,13 +103,7 @@ mod tests {
         let mut model = segment_sensitive_model();
         let image = Tensor::ones(&[1, 8, 8]);
         let mut rng = StdRng::seed_from_u64(2);
-        let m = explain(
-            &mut model,
-            &image,
-            0,
-            &ExplainerConfig::default(),
-            &mut rng,
-        );
+        let m = explain(&mut model, &image, 0, &ExplainerConfig::default(), &mut rng);
         // the top-left segment should dominate: its value is the max (1.0)
         assert_eq!(m.at(&[0, 0]), 1.0);
         assert_eq!(m.at(&[1, 3]), 1.0);

@@ -68,13 +68,7 @@ mod tests {
         let mut model = linear_model(&[5.0, 0.0, 0.0, 1.0]);
         let image = Tensor::full(&[1, 2, 2], 0.5);
         let mut rng = StdRng::seed_from_u64(2);
-        let m = explain(
-            &mut model,
-            &image,
-            0,
-            &ExplainerConfig::default(),
-            &mut rng,
-        );
+        let m = explain(&mut model, &image, 0, &ExplainerConfig::default(), &mut rng);
         // strongest attribution where the weight is largest
         assert_eq!(m.argmax().unwrap(), 0);
         assert_eq!(m.at(&[0, 0]), 1.0);

@@ -152,7 +152,9 @@ impl Explainer {
         assert!(class < model.num_classes(), "class out of range");
         match self.technique {
             XaiTechnique::SmoothGrad => smoothgrad::explain(model, image, class, &self.config, rng),
-            XaiTechnique::IntegratedGradients => intgrad::explain(model, image, class, &self.config),
+            XaiTechnique::IntegratedGradients => {
+                intgrad::explain(model, image, class, &self.config)
+            }
             XaiTechnique::Shap => shap::explain(model, image, class, &self.config, rng),
             XaiTechnique::Lime => lime::explain(model, image, class, &self.config, rng),
             XaiTechnique::Counterfactual => cfe::explain(model, image, class, &self.config),
@@ -188,7 +190,10 @@ mod tests {
             assert!(!m.has_non_finite(), "{technique} NaN");
             let max = m.max().unwrap();
             let min = m.min().unwrap();
-            assert!((0.0..=1.0).contains(&min) && max <= 1.0, "{technique} range");
+            assert!(
+                (0.0..=1.0).contains(&min) && max <= 1.0,
+                "{technique} range"
+            );
         }
     }
 

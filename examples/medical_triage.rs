@@ -12,9 +12,7 @@
 use rand::{rngs::StdRng, SeedableRng};
 use remix::core::Remix;
 use remix::data::SyntheticSpec;
-use remix::ensemble::{
-    evaluate, train_zoo, Prediction, TrainedEnsemble, UniformMajority,
-};
+use remix::ensemble::{evaluate, train_zoo, Prediction, TrainedEnsemble, UniformMajority};
 use remix::faults::{inject_multi, ConfusionPattern, MultiFault};
 use remix::nn::Arch;
 use remix_core::RemixVoter;

@@ -45,7 +45,10 @@ fn main() {
     // cross-technique diversity: how differently do the techniques explain
     // the SAME model?
     println!("cross-technique diversity of the feature matrices:");
-    println!("{:<22} {:>8} {:>8} {:>10} {:>12}", "pair", "cosine", "R²", "Frobenius", "Wasserstein");
+    println!(
+        "{:<22} {:>8} {:>8} {:>10} {:>12}",
+        "pair", "cosine", "R²", "Frobenius", "Wasserstein"
+    );
     for i in 1..matrices.len() {
         for j in (i + 1)..matrices.len() {
             let (a, b) = (&matrices[i].1, &matrices[j].1);

@@ -1,0 +1,198 @@
+//! Offline drop-in for the subset of the `criterion` API this workspace's
+//! benches use: `criterion_group!`/`criterion_main!`, benchmark groups with
+//! `sample_size`, and `Bencher::{iter, iter_batched}`.
+//!
+//! Instead of criterion's statistical machinery, each benchmark takes one
+//! warm-up call plus `sample_size` timed calls and prints mean/min/max
+//! wall-clock per call. Good enough for the relative comparisons the paper
+//! figures make (technique A vs technique B on the same machine), with no
+//! external dependencies.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Benchmark-run entry point, handed to each `criterion_group!` target.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            name,
+            sample_size: 50,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing a sample count.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark; `routine` drives the provided [`Bencher`].
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            times: Vec::new(),
+        };
+        routine(&mut bencher);
+        let id = id.into();
+        match summarize(&bencher.times) {
+            Some((mean, min, max)) => println!(
+                "{}/{id}: mean {} (min {}, max {}, {} samples)",
+                self.name,
+                fmt_duration(mean),
+                fmt_duration(min),
+                fmt_duration(max),
+                bencher.times.len()
+            ),
+            None => println!("{}/{id}: no samples recorded", self.name),
+        }
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; output is already printed).
+    pub fn finish(self) {}
+}
+
+/// Timing driver passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine` once per sample after a warm-up call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        self.times = (0..self.samples)
+            .map(|_| {
+                let start = Instant::now();
+                black_box(routine());
+                start.elapsed()
+            })
+            .collect();
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is excluded
+    /// from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        self.times = (0..self.samples)
+            .map(|_| {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                start.elapsed()
+            })
+            .collect();
+    }
+}
+
+/// Input-size hint (ignored by this shim; present for API compatibility).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup call per routine call.
+    PerIteration,
+}
+
+fn summarize(times: &[Duration]) -> Option<(Duration, Duration, Duration)> {
+    let min = *times.iter().min()?;
+    let max = *times.iter().max()?;
+    let mean = times.iter().sum::<Duration>() / times.len() as u32;
+    Some((mean, min, max))
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if nanos >= 1_000_000 {
+        format!("{:.3} ms", d.as_secs_f64() * 1e3)
+    } else if nanos >= 1_000 {
+        format!("{:.3} µs", d.as_secs_f64() * 1e6)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+/// Declares a function running the listed benchmark targets in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_one_time_per_sample() {
+        let mut group = Criterion::default().benchmark_group("shim");
+        group.sample_size(7);
+        let mut calls = 0u32;
+        let mut bencher = Bencher {
+            samples: 7,
+            times: Vec::new(),
+        };
+        bencher.iter(|| calls += 1);
+        assert_eq!(bencher.times.len(), 7);
+        assert_eq!(calls, 8); // warm-up + samples
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut bencher = Bencher {
+            samples: 3,
+            times: Vec::new(),
+        };
+        bencher.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput);
+        assert_eq!(bencher.times.len(), 3);
+    }
+
+    #[test]
+    fn durations_format_with_sensible_units() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert!(fmt_duration(Duration::from_micros(12)).ends_with("µs"));
+        assert!(fmt_duration(Duration::from_millis(12)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(2)).ends_with(" s"));
+    }
+}

@@ -1,0 +1,278 @@
+//! Offline drop-in for the subset of `proptest` this workspace uses.
+//!
+//! The real crate cannot be fetched in this environment, so this shim keeps
+//! the same test-authoring surface — `proptest!`, range and collection
+//! strategies, `prop_map`, `prop_assert*` — but implements it as plain
+//! deterministic random sampling: each test draws `cases` inputs from a
+//! per-test seed (FNV-1a of the test name) and runs the body. There is no
+//! shrinking; a failing case panics with the ordinary assert message.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleRange, SeedableRng};
+
+/// Test-runner configuration (`cases` is the only knob the workspace uses).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The RNG handed to strategies by the `proptest!` runner.
+pub type TestRng = StdRng;
+
+/// Deterministic per-test RNG: seeded from an FNV-1a hash of the test name,
+/// so every test has its own stable stream regardless of execution order.
+pub fn new_test_rng(test_name: &str) -> TestRng {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in test_name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    StdRng::seed_from_u64(hash)
+}
+
+/// A generator of random values (sampling-only; no shrink tree).
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `func`.
+    fn prop_map<O, F>(self, func: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map {
+            strategy: self,
+            func,
+        }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    strategy: S,
+    func: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn sample_value(&self, rng: &mut TestRng) -> O {
+        (self.func)(self.strategy.sample_value(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($range:ident),*) => {$(
+        impl<T> Strategy for core::ops::$range<T>
+        where
+            core::ops::$range<T>: SampleRange<T> + Clone,
+        {
+            type Value = T;
+
+            fn sample_value(&self, rng: &mut TestRng) -> T {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(Range, RangeInclusive);
+
+/// Strategy combinator modules, mirroring `proptest::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use rand::Rng;
+
+        /// Element-count specification for [`vec`]: an exact size or a
+        /// half-open range of sizes.
+        #[derive(Clone, Copy, Debug)]
+        pub struct SizeRange {
+            lo: usize,
+            hi: usize,
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(exact: usize) -> Self {
+                SizeRange {
+                    lo: exact,
+                    hi: exact + 1,
+                }
+            }
+        }
+
+        impl From<core::ops::Range<usize>> for SizeRange {
+            fn from(range: core::ops::Range<usize>) -> Self {
+                assert!(range.start < range.end, "empty size range");
+                SizeRange {
+                    lo: range.start,
+                    hi: range.end,
+                }
+            }
+        }
+
+        /// Strategy producing `Vec`s of `element` with a size drawn from
+        /// `size`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        /// Strategy returned by [`vec`].
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn sample_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let len = if self.size.lo + 1 == self.size.hi {
+                    self.size.lo
+                } else {
+                    rng.gen_range(self.size.lo..self.size.hi)
+                };
+                (0..len).map(|_| self.element.sample_value(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Declares deterministic sampling tests with `arg in strategy` bindings.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let mut __rng = $crate::new_test_rng(stringify!($name));
+                for __case in 0..__config.cases {
+                    $(let $arg = $crate::Strategy::sample_value(&($strat), &mut __rng);)+
+                    let _ = __case;
+                    $body
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strat),+) $body
+            )*
+        }
+    };
+}
+
+/// `assert!` under the upstream name (no shrink-aware error plumbing).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// `assert_eq!` under the upstream name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// `assert_ne!` under the upstream name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { assert_ne!($($tokens)*) };
+}
+
+/// Everything a test file needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{ProptestConfig, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn per_test_rngs_are_stable_and_distinct() {
+        use rand::RngCore;
+        let mut a = super::new_test_rng("alpha");
+        let mut b = super::new_test_rng("alpha");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = super::new_test_rng("beta");
+        assert_ne!(super::new_test_rng("alpha").next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn vec_strategy_respects_sizes() {
+        let mut rng = super::new_test_rng("sizes");
+        let exact = prop::collection::vec(0usize..5, 7);
+        let ranged = prop::collection::vec(-1.0f32..1.0, 2..20);
+        for _ in 0..100 {
+            assert_eq!(Strategy::sample_value(&exact, &mut rng).len(), 7);
+            let v = Strategy::sample_value(&ranged, &mut rng);
+            assert!((2..20).contains(&v.len()));
+            assert!(v.iter().all(|x| (-1.0..1.0).contains(x)));
+        }
+    }
+
+    #[test]
+    fn prop_map_composes() {
+        let mut rng = super::new_test_rng("map");
+        let doubled = (0usize..10).prop_map(|v| v * 2);
+        for _ in 0..50 {
+            let v = Strategy::sample_value(&doubled, &mut rng);
+            assert!(v % 2 == 0 && v < 20);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_binds_multiple_args(a in 0usize..8, b in 1usize..=4,) {
+            prop_assert!(a < 8);
+            prop_assert!((1..=4).contains(&b));
+            prop_assert_ne!(a + b, a);
+        }
+    }
+}

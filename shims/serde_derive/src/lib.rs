@@ -1,0 +1,330 @@
+//! Derive macros for the vendored `serde` shim.
+//!
+//! `syn`/`quote` are unavailable offline, so this walks the raw
+//! [`proc_macro::TokenTree`] stream directly. It supports exactly the shapes
+//! the workspace derives on: structs with named fields, and enums whose
+//! variants are unit or tuple variants. Generic types, tuple structs, and
+//! struct variants are rejected with a compile-time panic rather than
+//! miscompiled. Enum tagging is external, matching `serde_json` conventions:
+//! unit variants serialize as `"Variant"`, tuple variants as
+//! `{"Variant": payload}` (payload is an array when arity > 1).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving item.
+enum Shape {
+    /// Named-field struct: type name + field names (types are inferred at the
+    /// use site, so only names are needed).
+    Struct { name: String, fields: Vec<String> },
+    /// Enum: type name + (variant name, tuple arity) pairs; arity 0 is a unit
+    /// variant.
+    Enum {
+        name: String,
+        variants: Vec<(String, usize)>,
+    },
+}
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip outer attributes (doc comments arrive as #[doc = ...]) and
+    // visibility qualifiers.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match tokens.get(i + 1) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected type name, found {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.get(i + 2) {
+        if p.as_char() == '<' {
+            panic!("serde shim derive: generic type `{name}` is not supported");
+        }
+    }
+    let body = tokens[i + 2..]
+        .iter()
+        .find_map(|t| match t {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g.stream()),
+            _ => None,
+        })
+        .unwrap_or_else(|| {
+            panic!("serde shim derive: `{name}` has no braced body (tuple structs unsupported)")
+        });
+    match keyword.as_str() {
+        "struct" => Shape::Struct {
+            name,
+            fields: parse_struct_fields(body),
+        },
+        "enum" => Shape::Enum {
+            name,
+            variants: parse_enum_variants(body),
+        },
+        other => panic!("serde shim derive: cannot derive for `{other}` items"),
+    }
+}
+
+/// Collects field names from a named-field struct body. Commas inside angle
+/// brackets (e.g. `Vec<(String, Value)>` desugars parens into a group, but
+/// `HashMap<K, V>` does not) are ignored by tracking `<`/`>` depth.
+fn parse_struct_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut angle_depth = 0i32;
+    let mut at_field_start = true;
+    for token in body {
+        match token {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => at_field_start = true,
+                _ => {}
+            },
+            TokenTree::Ident(id) if at_field_start => {
+                let word = id.to_string();
+                if word != "pub" {
+                    fields.push(word);
+                    at_field_start = false;
+                }
+            }
+            _ => {}
+        }
+    }
+    fields
+}
+
+/// Collects (name, tuple arity) for each enum variant; arity 0 = unit.
+fn parse_enum_variants(body: TokenStream) -> Vec<(String, usize)> {
+    let mut variants: Vec<(String, usize)> = Vec::new();
+    let mut angle_depth = 0i32;
+    let mut at_variant_start = true;
+    for token in body {
+        match token {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => at_variant_start = true,
+                _ => {}
+            },
+            TokenTree::Ident(id) if at_variant_start => {
+                variants.push((id.to_string(), 0));
+                at_variant_start = false;
+            }
+            TokenTree::Group(g) if !at_variant_start => match g.delimiter() {
+                Delimiter::Parenthesis => {
+                    variants.last_mut().expect("variant before payload").1 =
+                        count_top_level_items(g.stream());
+                }
+                Delimiter::Brace => panic!(
+                    "serde shim derive: struct variant `{}` is not supported",
+                    variants.last().map(|v| v.0.as_str()).unwrap_or("?")
+                ),
+                _ => {}
+            },
+            _ => {}
+        }
+    }
+    variants
+}
+
+/// Number of comma-separated items at the top level of a token stream
+/// (tolerates a trailing comma).
+fn count_top_level_items(stream: TokenStream) -> usize {
+    let mut count = 0;
+    let mut angle_depth = 0i32;
+    let mut in_item = false;
+    for token in stream {
+        if let TokenTree::Punct(p) = &token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    in_item = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        if !in_item {
+            in_item = true;
+            count += 1;
+        }
+    }
+    count
+}
+
+/// Derives `serde::Serialize` (shim value-model flavor).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse_shape(input) {
+        Shape::Struct { name, fields } => {
+            let pairs: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(vec![{pairs}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|(variant, arity)| match arity {
+                    0 => format!(
+                        "{name}::{variant} => \
+                         ::serde::Value::Str(::std::string::String::from(\"{variant}\")),"
+                    ),
+                    1 => format!(
+                        "{name}::{variant}(f0) => ::serde::Value::Object(vec![(\
+                         ::std::string::String::from(\"{variant}\"), \
+                         ::serde::Serialize::to_value(f0))]),"
+                    ),
+                    n => {
+                        let binders: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                        let items: String = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                            .collect();
+                        format!(
+                            "{name}::{variant}({}) => ::serde::Value::Object(vec![(\
+                             ::std::string::String::from(\"{variant}\"), \
+                             ::serde::Value::Array(vec![{items}]))]),",
+                            binders.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse()
+        .expect("serde shim derive: generated code must parse")
+}
+
+/// Derives `serde::Deserialize` (shim value-model flavor).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse_shape(input) {
+        Shape::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                         ::serde::field(pairs, \"{f}\")?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                     fn from_value(value: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match value {{\n\
+                             ::serde::Value::Object(pairs) => {{\n\
+                                 let _ = pairs;\n\
+                                 Ok({name} {{ {inits} }})\n\
+                             }}\n\
+                             other => Err(::serde::Error::msg(format!(\n\
+                                 \"expected object for {name}, found {{}}\", other.kind()))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|(_, arity)| *arity == 0)
+                .map(|(variant, _)| format!("\"{variant}\" => Ok({name}::{variant}),"))
+                .collect();
+            let has_payload = variants.iter().any(|(_, arity)| *arity > 0);
+            let payload_arm = if has_payload {
+                let tag_arms: String = variants
+                    .iter()
+                    .filter(|(_, arity)| *arity > 0)
+                    .map(|(variant, arity)| {
+                        if *arity == 1 {
+                            format!(
+                                "\"{variant}\" => Ok({name}::{variant}(\
+                                 ::serde::Deserialize::from_value(payload)?)),"
+                            )
+                        } else {
+                            let items: String = (0..*arity)
+                                .map(|k| format!("::serde::Deserialize::from_value(&items[{k}])?,"))
+                                .collect();
+                            format!(
+                                "\"{variant}\" => match payload {{\n\
+                                     ::serde::Value::Array(items) if items.len() == {arity} => \
+                                         Ok({name}::{variant}({items})),\n\
+                                     _ => Err(::serde::Error::msg(\n\
+                                         \"expected {arity}-element array for \
+                                          {name}::{variant}\".to_string())),\n\
+                                 }},"
+                            )
+                        }
+                    })
+                    .collect();
+                format!(
+                    "::serde::Value::Object(pairs) if pairs.len() == 1 => {{\n\
+                         let (tag, payload) = &pairs[0];\n\
+                         match tag.as_str() {{\n\
+                             {tag_arms}\n\
+                             other => Err(::serde::Error::msg(format!(\n\
+                                 \"unknown variant `{{other}}` for {name}\"))),\n\
+                         }}\n\
+                     }}"
+                )
+            } else {
+                String::new()
+            };
+            format!(
+                "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                     fn from_value(value: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match value {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 other => Err(::serde::Error::msg(format!(\n\
+                                     \"unknown variant `{{other}}` for {name}\"))),\n\
+                             }},\n\
+                             {payload_arm}\n\
+                             other => Err(::serde::Error::msg(format!(\n\
+                                 \"expected variant encoding for {name}, found {{}}\",\n\
+                                 other.kind()))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse()
+        .expect("serde shim derive: generated code must parse")
+}

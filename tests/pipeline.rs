@@ -32,7 +32,12 @@ fn trained_stack() -> (
     );
     let (_, validation) = faulty.dataset.split(0.2, &mut rng);
     let models = train_zoo(
-        &[Arch::ConvNet, Arch::DeconvNet, Arch::ResNet18, Arch::MobileNet],
+        &[
+            Arch::ConvNet,
+            Arch::DeconvNet,
+            Arch::ResNet18,
+            Arch::MobileNet,
+        ],
         &faulty.dataset,
         6,
         17,
