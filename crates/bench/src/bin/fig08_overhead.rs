@@ -2,18 +2,46 @@
 //! the best individual model, plus ReMIX's stage breakdown (the paper finds
 //! XAI extraction dominating at ~67 % of the overhead, and ReMIX ≈ 1.15× the
 //! cost of D-WMaj).
+//!
+//! The runner additionally benchmarks the batched XAI inference engine
+//! against the per-sample path (`--threads N` pins the worker count, default
+//! auto), asserts the verdicts are bit-identical, and writes a
+//! machine-readable record to `results/bench_inference.json`. A verdict
+//! mismatch exits nonzero so CI can gate on it.
 
 use rand::{rngs::StdRng, SeedableRng};
 use remix_bench::{FaultSetting, Scale, TrainedStack};
-use remix_core::{Remix, RemixVoter, StageTimings};
+use remix_core::{Remix, RemixVerdict, RemixVoter, StageTimings};
 use remix_data::SyntheticSpec;
 use remix_ensemble::{
     BestIndividual, StackedDynamic, StaticWeighted, UniformAverage, UniformMajority, Voter,
 };
 use remix_faults::{pattern, FaultConfig, FaultType};
+use std::io::Write;
 use std::time::{Duration, Instant};
 
+/// PR 1 recorded this single-thread quick-scale wall for the breakdown loop;
+/// the batched engine is benchmarked against it.
+const PR1_BASELINE_SECS: f64 = 2.231;
+
+/// One batched-vs-per-sample measurement: stage sums over the disagreement
+/// inputs, total wall, and the full verdict list for bitwise comparison.
+struct EngineRun {
+    batch_size: usize,
+    wall: Duration,
+    stage: StageTimings,
+    disagreements: u32,
+    verdicts: Vec<RemixVerdict>,
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let threads: usize = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
     let scale = Scale::from_env();
     let (train, test) = SyntheticSpec::gtsrb_like()
         .train_size(scale.train_size)
@@ -106,55 +134,169 @@ fn main() {
             avg.as_secs_f64() / base.as_secs_f64()
         );
     }
-    // ReMIX stage breakdown over disagreement inputs, sequential vs parallel
-    for threads in [1usize, 0] {
-        let remix = Remix::builder().threads(threads).build();
-        let mut stage = StageTimings::default();
-        let mut disagreements = 0u32;
-        let wall = Instant::now();
-        for img in &test.images {
-            let v = remix.predict(&mut stack.ensemble, img);
-            if !v.unanimous {
-                stage.prediction += v.timings.prediction;
-                stage.xai += v.timings.xai;
-                stage.diversity += v.timings.diversity;
-                stage.weighting += v.timings.weighting;
-                stage.threads = v.timings.threads;
-                disagreements += 1;
+    // ReMIX stage breakdown over disagreement inputs: the per-sample XAI
+    // path (batch_size 1) against the batched inference engine (default 32),
+    // at the same thread count.
+    let runs: Vec<EngineRun> = [1usize, 32]
+        .into_iter()
+        .map(|batch_size| {
+            let remix = Remix::builder()
+                .threads(threads)
+                .xai_batch_size(batch_size)
+                .build();
+            let mut stage = StageTimings::default();
+            let mut disagreements = 0u32;
+            let mut verdicts = Vec::with_capacity(test.len());
+            let wall = Instant::now();
+            for img in &test.images {
+                let v = remix.predict(&mut stack.ensemble, img);
+                if !v.unanimous {
+                    stage.prediction += v.timings.prediction;
+                    stage.xai += v.timings.xai;
+                    stage.diversity += v.timings.diversity;
+                    stage.weighting += v.timings.weighting;
+                    stage.threads = v.timings.threads;
+                    disagreements += 1;
+                }
+                verdicts.push(v);
             }
+            let wall = wall.elapsed();
+            print_breakdown(batch_size, &stage, disagreements, wall);
+            EngineRun {
+                batch_size,
+                wall,
+                stage,
+                disagreements,
+                verdicts,
+            }
+        })
+        .collect();
+    let per_sample = &runs[0];
+    let batched = &runs[1];
+    let verdicts_identical = per_sample
+        .verdicts
+        .iter()
+        .zip(&batched.verdicts)
+        .all(|(a, b)| verdicts_bit_equal(a, b));
+    let speedup = per_sample.wall.as_secs_f64() / batched.wall.as_secs_f64();
+    println!(
+        "\nBatched engine (batch 32) vs per-sample: {:.3?} vs {:.3?} ({speedup:.2}x), \
+         verdicts {}",
+        batched.wall,
+        per_sample.wall,
+        if verdicts_identical {
+            "bit-identical"
+        } else {
+            "DIVERGED"
         }
-        let wall = wall.elapsed();
-        if disagreements == 0 {
-            continue;
-        }
-        let total = stage.total().as_secs_f64();
-        println!(
-            "\nReMIX stage breakdown over {disagreements} disagreement inputs \
-             ({} worker thread{}, wall {:.3?}):",
-            stage.threads,
-            if stage.threads == 1 { "" } else { "s" },
-            wall
-        );
-        println!(
-            "  ensemble prediction: {:>5.1}%  {:>10.3?}   (paper: ~15%)",
-            stage.prediction.as_secs_f64() / total * 100.0,
-            stage.prediction
-        );
-        println!(
-            "  XAI extraction:      {:>5.1}%  {:>10.3?}   (paper: ~67%)",
-            stage.xai.as_secs_f64() / total * 100.0,
-            stage.xai
-        );
-        println!(
-            "  pairwise diversity:  {:>5.1}%  {:>10.3?}",
-            stage.diversity.as_secs_f64() / total * 100.0,
-            stage.diversity
-        );
-        println!(
-            "  weights + voting:    {:>5.1}%  {:>10.3?}   (paper: ~18%)",
-            stage.weighting.as_secs_f64() / total * 100.0,
-            stage.weighting
-        );
-    }
+    );
+    write_bench_json(per_sample, batched, speedup, verdicts_identical, &test)
+        .expect("write results/bench_inference.json");
+    println!("Record written to results/bench_inference.json");
     println!("\nPaper: ReMIX ≈ 1.15× D-WMaj, ≈ 4.5× UMaj/UAvg/S-WMaj/Bagging, ≈ 6× Best.");
+    if !verdicts_identical {
+        eprintln!("ERROR: batched verdicts diverged from the per-sample path");
+        std::process::exit(1);
+    }
+}
+
+fn print_breakdown(batch_size: usize, stage: &StageTimings, disagreements: u32, wall: Duration) {
+    if disagreements == 0 {
+        return;
+    }
+    let total = stage.total().as_secs_f64();
+    println!(
+        "\nReMIX stage breakdown over {disagreements} disagreement inputs \
+         ({} worker thread{}, XAI batch {batch_size}, wall {:.3?}):",
+        stage.threads,
+        if stage.threads == 1 { "" } else { "s" },
+        wall
+    );
+    println!(
+        "  ensemble prediction: {:>5.1}%  {:>10.3?}   (paper: ~15%)",
+        stage.prediction.as_secs_f64() / total * 100.0,
+        stage.prediction
+    );
+    println!(
+        "  XAI extraction:      {:>5.1}%  {:>10.3?}   (paper: ~67%)",
+        stage.xai.as_secs_f64() / total * 100.0,
+        stage.xai
+    );
+    println!(
+        "  pairwise diversity:  {:>5.1}%  {:>10.3?}",
+        stage.diversity.as_secs_f64() / total * 100.0,
+        stage.diversity
+    );
+    println!(
+        "  weights + voting:    {:>5.1}%  {:>10.3?}   (paper: ~18%)",
+        stage.weighting.as_secs_f64() / total * 100.0,
+        stage.weighting
+    );
+}
+
+/// Bitwise verdict equality: decision, fast-path flag, and every per-model
+/// statistic compared by bit pattern (timings excluded — they are the one
+/// thing batching is supposed to change).
+fn verdicts_bit_equal(a: &RemixVerdict, b: &RemixVerdict) -> bool {
+    a.prediction == b.prediction
+        && a.unanimous == b.unanimous
+        && a.details.len() == b.details.len()
+        && a.details.iter().zip(&b.details).all(|(x, y)| {
+            x.name == y.name
+                && x.pred == y.pred
+                && x.confidence.to_bits() == y.confidence.to_bits()
+                && x.diversity.to_bits() == y.diversity.to_bits()
+                && x.sparseness.to_bits() == y.sparseness.to_bits()
+                && x.weight.to_bits() == y.weight.to_bits()
+        })
+}
+
+/// Hand-formatted JSON record (the vendored serde_json has no pretty
+/// printer) of the per-sample vs batched engine comparison.
+fn write_bench_json(
+    per_sample: &EngineRun,
+    batched: &EngineRun,
+    speedup: f64,
+    verdicts_identical: bool,
+    test: &remix_data::Dataset,
+) -> std::io::Result<()> {
+    std::fs::create_dir_all("results")?;
+    let mut f = std::fs::File::create("results/bench_inference.json")?;
+    let scale = match std::env::var("REMIX_SCALE").as_deref() {
+        Ok("paper") => "paper",
+        _ => "quick",
+    };
+    let engine_json = |run: &EngineRun| {
+        format!(
+            "{{\n      \"batch_size\": {},\n      \"wall_secs\": {:.6},\n      \
+             \"stages_secs\": {{\n        \"prediction\": {:.6},\n        \
+             \"xai\": {:.6},\n        \"diversity\": {:.6},\n        \
+             \"weighting\": {:.6}\n      }},\n      \
+             \"explanations_per_sec\": {:.3}\n    }}",
+            run.batch_size,
+            run.wall.as_secs_f64(),
+            run.stage.prediction.as_secs_f64(),
+            run.stage.xai.as_secs_f64(),
+            run.stage.diversity.as_secs_f64(),
+            run.stage.weighting.as_secs_f64(),
+            // one explanation per (disagreement input × constituent model)
+            f64::from(run.disagreements * 3) / run.stage.xai.as_secs_f64().max(1e-9),
+        )
+    };
+    writeln!(
+        f,
+        "{{\n  \"benchmark\": \"fig08_overhead\",\n  \"scale\": \"{scale}\",\n  \
+         \"inputs\": {},\n  \"disagreement_inputs\": {},\n  \"threads\": {},\n  \
+         \"pr1_baseline_wall_secs\": {PR1_BASELINE_SECS},\n  \
+         \"engines\": {{\n    \"per_sample\": {},\n    \"batched\": {}\n  }},\n  \
+         \"speedup_batched_vs_per_sample\": {speedup:.3},\n  \
+         \"speedup_batched_vs_pr1_baseline\": {:.3},\n  \
+         \"verdicts_identical\": {verdicts_identical}\n}}",
+        test.len(),
+        batched.disagreements,
+        batched.stage.threads,
+        engine_json(per_sample),
+        engine_json(batched),
+        PR1_BASELINE_SECS / batched.wall.as_secs_f64(),
+    )
 }

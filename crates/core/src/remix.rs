@@ -58,6 +58,12 @@ impl Remix {
     /// accumulate in a fixed order, so the verdict is bit-identical for any
     /// thread count.
     ///
+    /// Batching and threading compose orthogonally: each thread owns whole
+    /// models, and *within* a model each XAI technique evaluates its
+    /// perturbed inputs in batches of [`RemixBuilder::xai_batch_size`].
+    /// Both knobs are pure execution strategy — the verdict is bit-identical
+    /// for any `(threads, batch_size)` combination.
+    ///
     /// # Panics
     ///
     /// Panics if the ensemble is empty or the image does not match the
@@ -230,6 +236,18 @@ impl RemixBuilder {
     /// Sets the XAI technique parameters.
     pub fn explainer_config(mut self, config: ExplainerConfig) -> Self {
         self.explainer_config = config;
+        self
+    }
+
+    /// Sets how many perturbed inputs each XAI technique pushes through the
+    /// model per forward pass (default: 32; clamped to at least 1).
+    ///
+    /// Batching is a pure execution-strategy knob: every technique
+    /// materializes its perturbations (and all RNG draws) up front, so the
+    /// feature matrices — and therefore the verdict — are bit-identical for
+    /// every batch size.
+    pub fn xai_batch_size(mut self, batch_size: usize) -> Self {
+        self.explainer_config.budget.batch_size = batch_size;
         self
     }
 

@@ -1,14 +1,26 @@
-use remix_tensor::Tensor;
+use remix_tensor::{Result, Tensor, TensorError};
 
-/// Whether a forward pass is part of training or inference.
+/// Which caches a forward pass must retain.
 ///
-/// Dropout and batch-norm behave differently between the two.
+/// Dropout and batch-norm behave differently between training and inference;
+/// beyond that, the mode controls how much backward state the layers keep.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Mode {
-    /// Training: dropout active, normalization statistics updated.
+    /// Training: dropout active, normalization statistics updated, every
+    /// cache needed to accumulate *parameter* gradients is stored.
     Train,
-    /// Inference: deterministic forward pass.
+    /// Deterministic forward pass with full backward caches, so a subsequent
+    /// [`Layer::backward`] can accumulate parameter gradients (used by
+    /// finite-difference tests and diagnostic tooling).
     Eval,
+    /// Deterministic forward pass that keeps only what
+    /// [`Layer::backward_input`] needs (activation masks, pooling argmaxes,
+    /// normalization statistics) and skips the parameter-gradient caches —
+    /// im2col column matrices, cached layer inputs. This is the mode of the
+    /// XAI hot path: `predict_proba` never calls backward at all, and
+    /// `input_gradient` only needs the input gradient, so neither should pay
+    /// training-only memory traffic on every perturbation pass.
+    Inference,
 }
 
 /// A differentiable network layer.
@@ -19,14 +31,96 @@ pub enum Mode {
 /// the gradient with respect to the layer *input*, so chaining `backward`
 /// through a network yields the input-image gradient required by
 /// gradient-based XAI.
+///
+/// # Batched execution
+///
+/// [`Layer::forward_batch`] pushes a whole batch of same-shape inputs through
+/// the layer at once; convolution layers turn the batch into a single large
+/// matrix product. The default implementation loops [`Layer::try_forward`]
+/// over the samples so exotic layers keep working unchanged. After a
+/// `forward_batch`, the only valid backward call is
+/// [`Layer::backward_input_batch`] — and only on layers reporting
+/// [`Layer::supports_batched_backward`] — which propagates per-sample input
+/// gradients *without* touching parameter gradients. All batched paths are
+/// bit-identical to their per-sample counterparts: they run the same kernels
+/// in the same per-element accumulation order.
 pub trait Layer: Send {
-    /// Computes the layer output for `input`, caching backward state.
+    /// Computes the layer output for `input`, caching backward state
+    /// according to `mode`.
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor;
+
+    /// Fallible [`Layer::forward`]: layers that validate their input geometry
+    /// override this to surface a [`TensorError`] instead of panicking
+    /// mid-evaluation. The default wraps `forward` (which may still panic for
+    /// layers without an overridden validation path).
+    ///
+    /// # Errors
+    ///
+    /// Returns the layer's shape-validation error for mismatched inputs.
+    fn try_forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        Ok(self.forward(input, mode))
+    }
+
+    /// Computes outputs for a batch of same-shape inputs.
+    ///
+    /// The default loops [`Layer::try_forward`] over the samples, leaving the
+    /// single-sample caches holding the *last* sample's state — which is why
+    /// per-sample `backward` after a default `forward_batch` is invalid and
+    /// batched backward is gated on [`Layer::supports_batched_backward`].
+    /// Layers overriding this with a genuinely batched implementation must
+    /// keep bit-identical outputs and maintain per-sample caches for
+    /// [`Layer::backward_input_batch`] (except in [`Mode::Inference`], where
+    /// only the input-gradient caches are required).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first per-sample validation error.
+    fn forward_batch(&mut self, inputs: &[Tensor], mode: Mode) -> Result<Vec<Tensor>> {
+        inputs.iter().map(|x| self.try_forward(x, mode)).collect()
+    }
 
     /// Propagates `grad_out` (gradient w.r.t. the last forward output) and
     /// returns the gradient w.r.t. the last forward input. Accumulates
     /// parameter gradients as a side effect.
     fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Input-gradient-only backward: like [`Layer::backward`] but skips the
+    /// parameter-gradient accumulation, which XAI input gradients never
+    /// consume. Layers with expensive weight-gradient products (convolutions,
+    /// dense layers) override this; the default falls back to the full
+    /// `backward`.
+    ///
+    /// Valid after a [`Layer::forward`] in any mode, including
+    /// [`Mode::Inference`].
+    fn backward_input(&mut self, grad_out: &Tensor) -> Tensor {
+        self.backward(grad_out)
+    }
+
+    /// Batched [`Layer::backward_input`]: per-sample input gradients for the
+    /// batch of the immediately preceding [`Layer::forward_batch`].
+    ///
+    /// Only valid on layers reporting [`Layer::supports_batched_backward`];
+    /// the default returns [`TensorError::Unsupported`] so a mis-wired caller
+    /// fails loudly instead of silently using stale caches.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::Unsupported`] unless overridden.
+    fn backward_input_batch(&mut self, grads_out: &[Tensor]) -> Result<Vec<Tensor>> {
+        let _ = grads_out;
+        Err(TensorError::Unsupported {
+            op: "backward_input_batch",
+            by: self.name(),
+        })
+    }
+
+    /// Whether this layer implements the batched backward contract
+    /// ([`Layer::forward_batch`] keeping per-sample caches +
+    /// [`Layer::backward_input_batch`]). Defaults to `false`; callers fall
+    /// back to per-sample forward/backward for layers that opt out.
+    fn supports_batched_backward(&self) -> bool {
+        false
+    }
 
     /// Visits every `(parameter, gradient)` pair for optimizers.
     fn visit_params(&mut self, visit: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {

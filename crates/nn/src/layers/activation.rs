@@ -1,10 +1,25 @@
 use crate::{Layer, Mode};
-use remix_tensor::Tensor;
+use remix_tensor::{Result, Tensor, TensorError};
+
+/// Checks that a batched backward call matches the batch size of the
+/// preceding `forward_batch`.
+fn check_batch(got: usize, cached: usize, op: &'static str) -> Result<()> {
+    if got == cached {
+        Ok(())
+    } else {
+        Err(TensorError::ShapeMismatch {
+            left: vec![got],
+            right: vec![cached],
+            op,
+        })
+    }
+}
 
 /// Rectified linear unit.
 #[derive(Debug, Default, Clone)]
 pub struct Relu {
     mask: Vec<bool>,
+    batch_masks: Vec<Vec<bool>>,
 }
 
 impl Relu {
@@ -24,6 +39,14 @@ impl Layer for Relu {
         input.map(|v| v.max(0.0))
     }
 
+    fn forward_batch(&mut self, inputs: &[Tensor], _mode: Mode) -> Result<Vec<Tensor>> {
+        self.batch_masks = inputs
+            .iter()
+            .map(|x| x.data().iter().map(|&v| v > 0.0).collect())
+            .collect();
+        Ok(inputs.iter().map(|x| x.map(|v| v.max(0.0))).collect())
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let data = grad_out
             .data()
@@ -32,6 +55,31 @@ impl Layer for Relu {
             .map(|(&g, &m)| if m { g } else { 0.0 })
             .collect();
         Tensor::from_vec(data, grad_out.shape()).expect("same shape")
+    }
+
+    fn backward_input_batch(&mut self, grads_out: &[Tensor]) -> Result<Vec<Tensor>> {
+        check_batch(
+            grads_out.len(),
+            self.batch_masks.len(),
+            "relu backward_input_batch",
+        )?;
+        grads_out
+            .iter()
+            .zip(&self.batch_masks)
+            .map(|(g, mask)| {
+                let data = g
+                    .data()
+                    .iter()
+                    .zip(mask)
+                    .map(|(&g, &m)| if m { g } else { 0.0 })
+                    .collect();
+                Tensor::from_vec(data, g.shape())
+            })
+            .collect()
+    }
+
+    fn supports_batched_backward(&self) -> bool {
+        true
     }
 
     fn name(&self) -> &'static str {
@@ -43,6 +91,7 @@ impl Layer for Relu {
 #[derive(Debug, Default, Clone)]
 pub struct Sigmoid {
     cached_out: Tensor,
+    batch_outs: Vec<Tensor>,
 }
 
 impl Sigmoid {
@@ -63,6 +112,15 @@ impl Layer for Sigmoid {
         out
     }
 
+    fn forward_batch(&mut self, inputs: &[Tensor], _mode: Mode) -> Result<Vec<Tensor>> {
+        let outs: Vec<Tensor> = inputs
+            .iter()
+            .map(|x| x.map(|v| 1.0 / (1.0 + (-v).exp())))
+            .collect();
+        self.batch_outs = outs.clone();
+        Ok(outs)
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let data = grad_out
             .data()
@@ -71,6 +129,31 @@ impl Layer for Sigmoid {
             .map(|(&g, &y)| g * y * (1.0 - y))
             .collect();
         Tensor::from_vec(data, grad_out.shape()).expect("same shape")
+    }
+
+    fn backward_input_batch(&mut self, grads_out: &[Tensor]) -> Result<Vec<Tensor>> {
+        check_batch(
+            grads_out.len(),
+            self.batch_outs.len(),
+            "sigmoid backward_input_batch",
+        )?;
+        grads_out
+            .iter()
+            .zip(&self.batch_outs)
+            .map(|(g, y)| {
+                let data = g
+                    .data()
+                    .iter()
+                    .zip(y.data())
+                    .map(|(&g, &y)| g * y * (1.0 - y))
+                    .collect();
+                Tensor::from_vec(data, g.shape())
+            })
+            .collect()
+    }
+
+    fn supports_batched_backward(&self) -> bool {
+        true
     }
 
     fn name(&self) -> &'static str {
@@ -82,6 +165,7 @@ impl Layer for Sigmoid {
 #[derive(Debug, Default, Clone)]
 pub struct TanhLayer {
     cached_out: Tensor,
+    batch_outs: Vec<Tensor>,
 }
 
 impl TanhLayer {
@@ -102,6 +186,12 @@ impl Layer for TanhLayer {
         out
     }
 
+    fn forward_batch(&mut self, inputs: &[Tensor], _mode: Mode) -> Result<Vec<Tensor>> {
+        let outs: Vec<Tensor> = inputs.iter().map(|x| x.map(f32::tanh)).collect();
+        self.batch_outs = outs.clone();
+        Ok(outs)
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let data = grad_out
             .data()
@@ -110,6 +200,31 @@ impl Layer for TanhLayer {
             .map(|(&g, &y)| g * (1.0 - y * y))
             .collect();
         Tensor::from_vec(data, grad_out.shape()).expect("same shape")
+    }
+
+    fn backward_input_batch(&mut self, grads_out: &[Tensor]) -> Result<Vec<Tensor>> {
+        check_batch(
+            grads_out.len(),
+            self.batch_outs.len(),
+            "tanh backward_input_batch",
+        )?;
+        grads_out
+            .iter()
+            .zip(&self.batch_outs)
+            .map(|(g, y)| {
+                let data = g
+                    .data()
+                    .iter()
+                    .zip(y.data())
+                    .map(|(&g, &y)| g * (1.0 - y * y))
+                    .collect();
+                Tensor::from_vec(data, g.shape())
+            })
+            .collect()
+    }
+
+    fn supports_batched_backward(&self) -> bool {
+        true
     }
 
     fn name(&self) -> &'static str {
@@ -147,5 +262,23 @@ mod tests {
         let dx = t.backward(&Tensor::from_slice(&[1.0]));
         let expected = 1.0 - y.data()[0] * y.data()[0];
         assert!((dx.data()[0] - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn batched_relu_keeps_per_sample_masks() {
+        let mut r = Relu::new();
+        let xs = [
+            Tensor::from_slice(&[-1.0, 2.0]),
+            Tensor::from_slice(&[3.0, -4.0]),
+        ];
+        let ys = r.forward_batch(&xs, Mode::Inference).unwrap();
+        assert_eq!(ys[0].data(), &[0.0, 2.0]);
+        assert_eq!(ys[1].data(), &[3.0, 0.0]);
+        let gs = [Tensor::ones(&[2]), Tensor::ones(&[2])];
+        let dxs = r.backward_input_batch(&gs).unwrap();
+        assert_eq!(dxs[0].data(), &[0.0, 1.0]);
+        assert_eq!(dxs[1].data(), &[1.0, 0.0]);
+        // Mismatched batch size is rejected rather than silently zipped.
+        assert!(r.backward_input_batch(&gs[..1]).is_err());
     }
 }

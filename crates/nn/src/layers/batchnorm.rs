@@ -1,5 +1,5 @@
 use crate::{Layer, Mode};
-use remix_tensor::Tensor;
+use remix_tensor::{Result, Tensor, TensorError};
 
 /// Per-channel instance normalization with learnable affine parameters.
 ///
@@ -21,6 +21,8 @@ pub struct InstanceNorm2d {
     spatial: usize,
     cached_xhat: Tensor,
     cached_sigma: Vec<f32>,
+    batch_xhat: Vec<Tensor>,
+    batch_sigma: Vec<Vec<f32>>,
 }
 
 impl InstanceNorm2d {
@@ -37,7 +39,30 @@ impl InstanceNorm2d {
             spatial: h * w,
             cached_xhat: Tensor::default(),
             cached_sigma: vec![1.0; c],
+            batch_xhat: Vec::new(),
+            batch_sigma: Vec::new(),
         }
+    }
+
+    /// `dx = γ/(Nσ) · (N·dy − Σdy − x̂·Σ(dy·x̂))` for one sample, without the
+    /// parameter-gradient accumulation of [`Layer::backward`].
+    fn input_grad_from(&self, grad_out: &Tensor, xhat_t: &Tensor, sigma: &[f32]) -> Tensor {
+        let n = self.spatial as f32;
+        let mut dx = Tensor::zeros(grad_out.shape());
+        let buf = dx.data_mut();
+        for c in 0..self.channels {
+            let g = self.gamma.data()[c];
+            let s = sigma[c];
+            let xhat = &xhat_t.data()[c * self.spatial..(c + 1) * self.spatial];
+            let go = &grad_out.data()[c * self.spatial..(c + 1) * self.spatial];
+            let sum_dy: f32 = go.iter().sum();
+            let sum_dy_xhat: f32 = go.iter().zip(xhat).map(|(&a, &b)| a * b).sum();
+            for i in 0..self.spatial {
+                buf[c * self.spatial + i] =
+                    g / (n * s) * (n * go[i] - sum_dy - xhat[i] * sum_dy_xhat);
+            }
+        }
+        dx
     }
 }
 
@@ -93,6 +118,48 @@ impl Layer for InstanceNorm2d {
             self.grad_beta.data_mut()[c] += sum_dy;
         }
         dx
+    }
+
+    fn forward_batch(&mut self, inputs: &[Tensor], mode: Mode) -> Result<Vec<Tensor>> {
+        // Instance norm is per-sample by definition; run the single-sample
+        // forward and collect its caches per sample.
+        let mut xhats = Vec::with_capacity(inputs.len());
+        let mut sigmas = Vec::with_capacity(inputs.len());
+        let outs = inputs
+            .iter()
+            .map(|x| {
+                let y = self.forward(x, mode);
+                xhats.push(std::mem::take(&mut self.cached_xhat));
+                sigmas.push(self.cached_sigma.clone());
+                y
+            })
+            .collect();
+        self.batch_xhat = xhats;
+        self.batch_sigma = sigmas;
+        Ok(outs)
+    }
+
+    fn backward_input(&mut self, grad_out: &Tensor) -> Tensor {
+        self.input_grad_from(grad_out, &self.cached_xhat, &self.cached_sigma)
+    }
+
+    fn backward_input_batch(&mut self, grads_out: &[Tensor]) -> Result<Vec<Tensor>> {
+        if grads_out.len() != self.batch_xhat.len() {
+            return Err(TensorError::ShapeMismatch {
+                left: vec![grads_out.len()],
+                right: vec![self.batch_xhat.len()],
+                op: "instancenorm backward_input_batch",
+            });
+        }
+        Ok(grads_out
+            .iter()
+            .zip(self.batch_xhat.iter().zip(&self.batch_sigma))
+            .map(|(g, (xhat, sigma))| self.input_grad_from(g, xhat, sigma))
+            .collect())
+    }
+
+    fn supports_batched_backward(&self) -> bool {
+        true
     }
 
     fn visit_params(&mut self, visit: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {

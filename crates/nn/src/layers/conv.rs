@@ -1,12 +1,18 @@
 use crate::{Layer, Mode};
 use rand::Rng;
-use remix_tensor::{col2im, im2col, Conv2dGeometry, Tensor};
+use remix_tensor::{
+    col2im, col2im_batch, im2col_batch_into, im2col_into, Conv2dGeometry, Result, Tensor,
+    TensorError,
+};
 
 /// 2-D convolution over `[C, H, W]` inputs, lowered to a matrix product via
 /// im2col.
 ///
 /// Weights are stored as `[filters, C*k*k]`, which makes both the forward
-/// product and the two backward products plain rank-2 matmuls.
+/// product and the two backward products plain rank-2 matmuls. A batch of
+/// inputs lowers to one `[filters, C*k*k] x [C*k*k, B*out_h*out_w]` product
+/// that reuses the same row-partitioned kernel, so batched outputs are
+/// bit-identical to per-sample outputs.
 #[derive(Debug, Clone)]
 pub struct Conv2d {
     weight: Tensor, // [F, C*k*k]
@@ -16,6 +22,7 @@ pub struct Conv2d {
     geo: Conv2dGeometry,
     filters: usize,
     cached_cols: Tensor,
+    scratch_cols: Vec<f32>,
 }
 
 impl Conv2d {
@@ -53,12 +60,21 @@ impl Conv2d {
             geo,
             filters,
             cached_cols: Tensor::default(),
+            scratch_cols: Vec::new(),
         }
     }
 
     /// Output shape `(filters, out_h, out_w)`.
     pub fn out_shape(&self) -> (usize, usize, usize) {
         (self.filters, self.geo.out_h(), self.geo.out_w())
+    }
+
+    /// Input gradient `col2im(Wᵀ · g)` — shared by `backward`,
+    /// `backward_input` and (in its concatenated form) the batched backward.
+    fn input_grad_from(&self, g: &Tensor) -> Result<Tensor> {
+        let wt = self.weight.transpose()?;
+        let dcols = wt.matmul(g)?;
+        col2im(&dcols, &self.geo)
     }
 }
 
@@ -67,11 +83,21 @@ impl Layer for Conv2d {
         Box::new(self.clone())
     }
 
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
-        let cols = im2col(input, &self.geo).expect("conv input matches geometry");
-        let mut out = self.weight.matmul(&cols).expect("conv matmul");
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        self.try_forward(input, mode)
+            .expect("conv input matches geometry")
+    }
+
+    fn try_forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let mut buf = std::mem::take(&mut self.scratch_cols);
+        if let Err(e) = im2col_into(input, &self.geo, &mut buf) {
+            self.scratch_cols = buf;
+            return Err(e);
+        }
         let (oh, ow) = (self.geo.out_h(), self.geo.out_w());
         let spatial = oh * ow;
+        let cols = Tensor::from_vec(buf, &[self.geo.patch_len(), spatial])?;
+        let mut out = self.weight.matmul(&cols)?;
         {
             let buf = out.data_mut();
             for f in 0..self.filters {
@@ -81,9 +107,49 @@ impl Layer for Conv2d {
                 }
             }
         }
-        self.cached_cols = cols;
-        out.reshape(&[self.filters, oh, ow])
-            .expect("reshape conv out")
+        if mode == Mode::Inference {
+            // The input gradient only needs the weights; recycle the column
+            // matrix as scratch instead of caching it.
+            self.scratch_cols = cols.into_vec();
+        } else {
+            self.cached_cols = cols;
+        }
+        Tensor::from_vec(out.into_vec(), &[self.filters, oh, ow])
+    }
+
+    fn forward_batch(&mut self, inputs: &[Tensor], mode: Mode) -> Result<Vec<Tensor>> {
+        if inputs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut buf = std::mem::take(&mut self.scratch_cols);
+        if let Err(e) = im2col_batch_into(inputs, &self.geo, &mut buf) {
+            self.scratch_cols = buf;
+            return Err(e);
+        }
+        let _ = mode;
+        let batch = inputs.len();
+        let (oh, ow) = (self.geo.out_h(), self.geo.out_w());
+        let spatial = oh * ow;
+        let total = batch * spatial;
+        let cols = Tensor::from_vec(buf, &[self.geo.patch_len(), total])?;
+        // One big product: sample b occupies columns b*spatial..(b+1)*spatial.
+        // `matmul` accumulates each output element independently over the
+        // inner dimension, so every element is bit-identical to the
+        // per-sample product.
+        let big = self.weight.matmul(&cols)?;
+        self.scratch_cols = cols.into_vec();
+        let data = big.data();
+        let mut outs = Vec::with_capacity(batch);
+        for bi in 0..batch {
+            let mut sample = Vec::with_capacity(self.filters * spatial);
+            for f in 0..self.filters {
+                let base = f * total + bi * spatial;
+                let b = self.bias.data()[f];
+                sample.extend(data[base..base + spatial].iter().map(|&v| v + b));
+            }
+            outs.push(Tensor::from_vec(sample, &[self.filters, oh, ow])?);
+        }
+        Ok(outs)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
@@ -103,9 +169,47 @@ impl Layer for Conv2d {
             }
         }
         // dx = col2im(Wᵀ · g)
-        let wt = self.weight.transpose().expect("weight rank 2");
-        let dcols = wt.matmul(&g).expect("dcols matmul");
-        col2im(&dcols, &self.geo).expect("col2im geometry")
+        self.input_grad_from(&g).expect("col2im geometry")
+    }
+
+    fn backward_input(&mut self, grad_out: &Tensor) -> Tensor {
+        let (oh, ow) = (self.geo.out_h(), self.geo.out_w());
+        let g = grad_out
+            .reshape(&[self.filters, oh * ow])
+            .expect("grad shape matches conv output");
+        self.input_grad_from(&g).expect("col2im geometry")
+    }
+
+    fn backward_input_batch(&mut self, grads_out: &[Tensor]) -> Result<Vec<Tensor>> {
+        if grads_out.is_empty() {
+            return Ok(Vec::new());
+        }
+        let batch = grads_out.len();
+        let (oh, ow) = (self.geo.out_h(), self.geo.out_w());
+        let spatial = oh * ow;
+        let total = batch * spatial;
+        let mut gcat = vec![0.0f32; self.filters * total];
+        for (bi, g) in grads_out.iter().enumerate() {
+            if g.len() != self.filters * spatial {
+                return Err(TensorError::ShapeMismatch {
+                    left: g.shape().to_vec(),
+                    right: vec![self.filters, oh, ow],
+                    op: "conv backward_input_batch",
+                });
+            }
+            for f in 0..self.filters {
+                let dst = f * total + bi * spatial;
+                gcat[dst..dst + spatial].copy_from_slice(&g.data()[f * spatial..(f + 1) * spatial]);
+            }
+        }
+        let g = Tensor::from_vec(gcat, &[self.filters, total])?;
+        let wt = self.weight.transpose()?;
+        let dcols = wt.matmul(&g)?;
+        col2im_batch(&dcols, &self.geo, batch)
+    }
+
+    fn supports_batched_backward(&self) -> bool {
+        true
     }
 
     fn visit_params(&mut self, visit: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
@@ -189,5 +293,55 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let conv = Conv2d::new((3, 8, 8), 6, 3, 2, 1, &mut rng);
         assert_eq!(conv.out_shape(), (6, 4, 4));
+    }
+
+    #[test]
+    fn try_forward_surfaces_geometry_errors() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut conv = Conv2d::new((1, 3, 3), 1, 2, 1, 0, &mut rng);
+        let bad = Tensor::zeros(&[1, 4, 4]);
+        assert!(conv.try_forward(&bad, Mode::Eval).is_err());
+        // The layer stays usable after a rejected input.
+        let x = Tensor::zeros(&[1, 3, 3]);
+        assert!(conv.try_forward(&x, Mode::Eval).is_ok());
+    }
+
+    #[test]
+    fn batched_forward_and_backward_are_bit_identical() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut conv = Conv2d::new((2, 5, 5), 4, 3, 2, 1, &mut rng);
+        let inputs: Vec<Tensor> = (0..3)
+            .map(|_| Tensor::randn(&[2, 5, 5], 1.0, &mut rng))
+            .collect();
+        let grads: Vec<Tensor> = (0..3)
+            .map(|_| Tensor::randn(&[4, 3, 3], 1.0, &mut rng))
+            .collect();
+        let mut seq_out = Vec::new();
+        let mut seq_dx = Vec::new();
+        for (x, g) in inputs.iter().zip(&grads) {
+            seq_out.push(conv.forward(x, Mode::Inference));
+            seq_dx.push(conv.backward_input(g));
+        }
+        let bat_out = conv.forward_batch(&inputs, Mode::Inference).unwrap();
+        let bat_dx = conv.backward_input_batch(&grads).unwrap();
+        for (a, b) in seq_out.iter().zip(&bat_out) {
+            assert_eq!(a.shape(), b.shape());
+            assert_eq!(a.data(), b.data());
+        }
+        for (a, b) in seq_dx.iter().zip(&bat_dx) {
+            assert_eq!(a.data(), b.data());
+        }
+    }
+
+    #[test]
+    fn inference_mode_skips_column_cache() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut conv = Conv2d::new((1, 4, 4), 2, 3, 1, 1, &mut rng);
+        let x = Tensor::randn(&[1, 4, 4], 1.0, &mut rng);
+        conv.forward(&x, Mode::Inference);
+        assert_eq!(conv.cached_cols.len(), 0);
+        assert!(!conv.scratch_cols.is_empty());
+        conv.forward(&x, Mode::Train);
+        assert_ne!(conv.cached_cols.len(), 0);
     }
 }

@@ -1,6 +1,6 @@
 use crate::{Layer, Mode};
 use rand::Rng;
-use remix_tensor::Tensor;
+use remix_tensor::{Result, Tensor};
 
 /// Fully-connected layer: `y = W x + b` over rank-1 inputs.
 ///
@@ -37,6 +37,25 @@ impl Dense {
     pub fn out_dim(&self) -> usize {
         self.weight.shape()[0]
     }
+
+    /// Input gradient `dx = Wᵀ g` without touching parameter gradients or
+    /// cached state. Shared by [`Layer::backward`], [`Layer::backward_input`]
+    /// and composite layers (squeeze-excitation) that only need the input
+    /// path.
+    pub(crate) fn input_grad(&self, grad_out: &Tensor) -> Tensor {
+        let in_dim = self.in_dim();
+        let mut dx = vec![0.0f32; in_dim];
+        let w = self.weight.data();
+        for (i, &g) in grad_out.data().iter().enumerate() {
+            if g != 0.0 {
+                let row = &w[i * in_dim..(i + 1) * in_dim];
+                for (d, &wv) in dx.iter_mut().zip(row) {
+                    *d += g * wv;
+                }
+            }
+        }
+        Tensor::from_slice(&dx)
+    }
 }
 
 impl Layer for Dense {
@@ -44,7 +63,7 @@ impl Layer for Dense {
         Box::new(self.clone())
     }
 
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
         debug_assert_eq!(input.len(), self.in_dim(), "dense input length");
         let flat = if input.rank() == 1 {
             input.clone()
@@ -53,7 +72,11 @@ impl Layer for Dense {
         };
         let mut out = self.weight.matvec(&flat).expect("dense shape checked");
         out.add_assign(&self.bias).expect("bias length");
-        self.cached_input = flat;
+        if mode != Mode::Inference {
+            // The cached input only feeds the dW outer product, which the
+            // inference-mode input gradient never computes.
+            self.cached_input = flat;
+        }
         out
     }
 
@@ -72,17 +95,23 @@ impl Layer for Dense {
             }
         }
         self.grad_b.add_assign(grad_out).expect("bias grad length");
-        let mut dx = vec![0.0f32; in_dim];
-        let w = self.weight.data();
-        for (i, &g) in grad_out.data().iter().enumerate() {
-            if g != 0.0 {
-                let row = &w[i * in_dim..(i + 1) * in_dim];
-                for (d, &wv) in dx.iter_mut().zip(row) {
-                    *d += g * wv;
-                }
-            }
-        }
-        Tensor::from_slice(&dx)
+        self.input_grad(grad_out)
+    }
+
+    fn backward_input(&mut self, grad_out: &Tensor) -> Tensor {
+        self.input_grad(grad_out)
+    }
+
+    fn backward_input_batch(&mut self, grads_out: &[Tensor]) -> Result<Vec<Tensor>> {
+        // dx = Wᵀ g needs no cached state, so the batch is just the
+        // per-sample kernel applied in order (bit-identical by construction;
+        // the matvec accumulation order must not change, so no batched
+        // matmul here).
+        Ok(grads_out.iter().map(|g| self.input_grad(g)).collect())
+    }
+
+    fn supports_batched_backward(&self) -> bool {
+        true
     }
 
     fn visit_params(&mut self, visit: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {

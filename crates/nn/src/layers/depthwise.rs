@@ -1,6 +1,6 @@
 use crate::{Layer, Mode};
 use rand::Rng;
-use remix_tensor::Tensor;
+use remix_tensor::{Result, Tensor};
 
 /// Depthwise 2-D convolution: one `k×k` filter per input channel.
 ///
@@ -65,6 +65,43 @@ impl DepthwiseConv2d {
     pub fn out_shape(&self) -> (usize, usize, usize) {
         (self.channels, self.out_h(), self.out_w())
     }
+
+    /// Input gradient only: the same loop as [`Layer::backward`] with the
+    /// parameter-gradient updates removed, so `dx` accumulates in the exact
+    /// same order.
+    fn input_grad(&self, grad_out: &Tensor) -> Tensor {
+        let (oh, ow, k) = (self.out_h(), self.out_w(), self.kernel);
+        debug_assert_eq!(grad_out.shape(), [self.channels, oh, ow]);
+        let mut dx = Tensor::zeros(&[self.channels, self.in_h, self.in_w]);
+        let g = grad_out.data();
+        let dxb = dx.data_mut();
+        for c in 0..self.channels {
+            let w = &self.weight.data()[c * k * k..(c + 1) * k * k];
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let gv = g[(c * oh + oy) * ow + ox];
+                    if gv == 0.0 {
+                        continue;
+                    }
+                    for ky in 0..k {
+                        let iy = (oy * self.stride + ky) as isize - self.pad as isize;
+                        if iy < 0 || iy >= self.in_h as isize {
+                            continue;
+                        }
+                        for kx in 0..k {
+                            let ix = (ox * self.stride + kx) as isize - self.pad as isize;
+                            if ix < 0 || ix >= self.in_w as isize {
+                                continue;
+                            }
+                            let xi = (c * self.in_h + iy as usize) * self.in_w + ix as usize;
+                            dxb[xi] += gv * w[ky * k + kx];
+                        }
+                    }
+                }
+            }
+        }
+        dx
+    }
 }
 
 impl Layer for DepthwiseConv2d {
@@ -72,7 +109,7 @@ impl Layer for DepthwiseConv2d {
         Box::new(self.clone())
     }
 
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
         debug_assert_eq!(input.shape(), [self.channels, self.in_h, self.in_w]);
         let (oh, ow, k) = (self.out_h(), self.out_w(), self.kernel);
         let mut out = Tensor::zeros(&[self.channels, oh, ow]);
@@ -102,7 +139,10 @@ impl Layer for DepthwiseConv2d {
                 }
             }
         }
-        self.cached_input = input.clone();
+        if mode != Mode::Inference {
+            // Only the dW accumulation reads the cached input.
+            self.cached_input = input.clone();
+        }
         out
     }
 
@@ -144,6 +184,18 @@ impl Layer for DepthwiseConv2d {
             self.grad_b.data_mut()[c] += db;
         }
         dx
+    }
+
+    fn backward_input(&mut self, grad_out: &Tensor) -> Tensor {
+        self.input_grad(grad_out)
+    }
+
+    fn backward_input_batch(&mut self, grads_out: &[Tensor]) -> Result<Vec<Tensor>> {
+        Ok(grads_out.iter().map(|g| self.input_grad(g)).collect())
+    }
+
+    fn supports_batched_backward(&self) -> bool {
+        true
     }
 
     fn visit_params(&mut self, visit: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {

@@ -1,6 +1,6 @@
 use crate::{Layer, Mode};
 use rand::{rngs::StdRng, Rng, SeedableRng};
-use remix_tensor::Tensor;
+use remix_tensor::{Result, Tensor, TensorError};
 
 /// Inverted dropout: in training mode zeroes activations with probability `p`
 /// and rescales survivors by `1/(1-p)`; identity in evaluation mode.
@@ -37,7 +37,7 @@ impl Layer for Dropout {
 
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
         match mode {
-            Mode::Eval => {
+            Mode::Eval | Mode::Inference => {
                 self.mask = None;
                 input.clone()
             }
@@ -77,6 +77,23 @@ impl Layer for Dropout {
                 Tensor::from_vec(data, grad_out.shape()).expect("same shape")
             }
         }
+    }
+
+    fn backward_input_batch(&mut self, grads_out: &[Tensor]) -> Result<Vec<Tensor>> {
+        match &self.mask {
+            // Identity in eval/inference mode, where the batched path runs.
+            None => Ok(grads_out.to_vec()),
+            // Batched training-mode dropout would need per-sample masks; the
+            // batched engine never trains, so refuse instead of guessing.
+            Some(_) => Err(TensorError::Unsupported {
+                op: "backward_input_batch in train mode",
+                by: self.name(),
+            }),
+        }
+    }
+
+    fn supports_batched_backward(&self) -> bool {
+        true
     }
 
     fn name(&self) -> &'static str {

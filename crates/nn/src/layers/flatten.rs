@@ -1,5 +1,5 @@
 use crate::{Layer, Mode};
-use remix_tensor::Tensor;
+use remix_tensor::{Result, Tensor};
 
 /// Flattens any input to rank 1 and restores the shape on the way back.
 #[derive(Debug, Default, Clone)]
@@ -28,6 +28,25 @@ impl Layer for Flatten {
         grad_out
             .reshape(&self.in_shape)
             .expect("flatten backward restores cached shape")
+    }
+
+    fn forward_batch(&mut self, inputs: &[Tensor], _mode: Mode) -> Result<Vec<Tensor>> {
+        // All samples in a batch share a shape, so one cached shape suffices.
+        if let Some(first) = inputs.first() {
+            self.in_shape = first.shape().to_vec();
+        }
+        Ok(inputs.iter().map(Tensor::flatten).collect())
+    }
+
+    fn backward_input_batch(&mut self, grads_out: &[Tensor]) -> Result<Vec<Tensor>> {
+        grads_out
+            .iter()
+            .map(|g| g.reshape(&self.in_shape))
+            .collect()
+    }
+
+    fn supports_batched_backward(&self) -> bool {
+        true
     }
 
     fn name(&self) -> &'static str {

@@ -1,5 +1,5 @@
 use crate::{Layer, Mode};
-use remix_tensor::Tensor;
+use remix_tensor::{Result, Tensor, TensorError};
 
 /// Max pooling with square window and matching stride over `[C, H, W]`.
 #[derive(Debug, Clone)]
@@ -7,6 +7,7 @@ pub struct MaxPool2d {
     window: usize,
     in_shape: (usize, usize, usize),
     argmax: Vec<usize>,
+    batch_argmax: Vec<Vec<usize>>,
 }
 
 impl MaxPool2d {
@@ -24,6 +25,7 @@ impl MaxPool2d {
             window,
             in_shape,
             argmax: Vec::new(),
+            batch_argmax: Vec::new(),
         }
     }
 
@@ -32,20 +34,14 @@ impl MaxPool2d {
         let (c, h, w) = self.in_shape;
         (c, h / self.window, w / self.window)
     }
-}
 
-impl Layer for MaxPool2d {
-    fn clone_boxed(&self) -> Box<dyn Layer> {
-        Box::new(self.clone())
-    }
-
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+    fn pool_one(&self, input: &Tensor, argmax: &mut Vec<usize>) -> Tensor {
         let (c, h, w) = self.in_shape;
         debug_assert_eq!(input.shape(), [c, h, w]);
         let (oc, oh, ow) = self.out_shape();
         let mut out = Tensor::zeros(&[oc, oh, ow]);
-        self.argmax.clear();
-        self.argmax.reserve(oc * oh * ow);
+        argmax.clear();
+        argmax.reserve(oc * oh * ow);
         let x = input.data();
         let buf = out.data_mut();
         for ci in 0..c {
@@ -63,21 +59,75 @@ impl Layer for MaxPool2d {
                         }
                     }
                     buf[(ci * oh + oy) * ow + ox] = best;
-                    self.argmax.push(best_i);
+                    argmax.push(best_i);
                 }
             }
         }
         out
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+    fn route_grad(&self, grad_out: &Tensor, argmax: &[usize]) -> Tensor {
         let (c, h, w) = self.in_shape;
         let mut dx = Tensor::zeros(&[c, h, w]);
         let buf = dx.data_mut();
-        for (&src, &g) in self.argmax.iter().zip(grad_out.data()) {
+        for (&src, &g) in argmax.iter().zip(grad_out.data()) {
             buf[src] += g;
         }
         dx
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn clone_boxed(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+        let mut argmax = std::mem::take(&mut self.argmax);
+        let out = self.pool_one(input, &mut argmax);
+        self.argmax = argmax;
+        out
+    }
+
+    fn forward_batch(&mut self, inputs: &[Tensor], _mode: Mode) -> Result<Vec<Tensor>> {
+        let mut argmaxes = Vec::with_capacity(inputs.len());
+        let outs = inputs
+            .iter()
+            .map(|x| {
+                let mut a = Vec::new();
+                let y = self.pool_one(x, &mut a);
+                argmaxes.push(a);
+                y
+            })
+            .collect();
+        self.batch_argmax = argmaxes;
+        Ok(outs)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let argmax = std::mem::take(&mut self.argmax);
+        let dx = self.route_grad(grad_out, &argmax);
+        self.argmax = argmax;
+        dx
+    }
+
+    fn backward_input_batch(&mut self, grads_out: &[Tensor]) -> Result<Vec<Tensor>> {
+        if grads_out.len() != self.batch_argmax.len() {
+            return Err(TensorError::ShapeMismatch {
+                left: vec![grads_out.len()],
+                right: vec![self.batch_argmax.len()],
+                op: "maxpool backward_input_batch",
+            });
+        }
+        Ok(grads_out
+            .iter()
+            .zip(&self.batch_argmax)
+            .map(|(g, a)| self.route_grad(g, a))
+            .collect())
+    }
+
+    fn supports_batched_backward(&self) -> bool {
+        true
     }
 
     fn name(&self) -> &'static str {
@@ -162,6 +212,15 @@ impl Layer for AvgPool2d {
         dx
     }
 
+    fn backward_input_batch(&mut self, grads_out: &[Tensor]) -> Result<Vec<Tensor>> {
+        // Average pooling's backward reads no cached state.
+        Ok(grads_out.iter().map(|g| self.backward(g)).collect())
+    }
+
+    fn supports_batched_backward(&self) -> bool {
+        true
+    }
+
     fn name(&self) -> &'static str {
         "AvgPool2d"
     }
@@ -211,6 +270,15 @@ impl Layer for GlobalAvgPool {
             }
         }
         dx
+    }
+
+    fn backward_input_batch(&mut self, grads_out: &[Tensor]) -> Result<Vec<Tensor>> {
+        // Global average pooling's backward reads no cached state.
+        Ok(grads_out.iter().map(|g| self.backward(g)).collect())
+    }
+
+    fn supports_batched_backward(&self) -> bool {
+        true
     }
 
     fn name(&self) -> &'static str {

@@ -1,7 +1,7 @@
 use crate::layers::Conv2d;
 use crate::{Layer, Mode, Sequential};
 use rand::Rng;
-use remix_tensor::Tensor;
+use remix_tensor::{Result, Tensor};
 
 /// Residual block: `y = body(x) + shortcut(x)`.
 ///
@@ -12,7 +12,6 @@ use remix_tensor::Tensor;
 pub struct Residual {
     body: Sequential,
     projection: Option<Conv2d>,
-    cached_input: Tensor,
 }
 
 impl Residual {
@@ -21,7 +20,6 @@ impl Residual {
         Self {
             body,
             projection: None,
-            cached_input: Tensor::default(),
         }
     }
 
@@ -37,7 +35,6 @@ impl Residual {
         Self {
             body,
             projection: Some(Conv2d::new(in_shape, out_channels, 1, stride, 0, rng)),
-            cached_input: Tensor::default(),
         }
     }
 }
@@ -59,7 +56,6 @@ impl Layer for Residual {
     }
 
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
-        self.cached_input = input.clone();
         let mut out = self.body.forward(input, mode);
         let shortcut = match &mut self.projection {
             Some(proj) => proj.forward(input, mode),
@@ -70,6 +66,34 @@ impl Layer for Residual {
         out
     }
 
+    fn try_forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let mut out = self.body.try_forward(input, mode)?;
+        let shortcut = match &mut self.projection {
+            Some(proj) => proj.try_forward(input, mode)?,
+            None => input.clone(),
+        };
+        out.add_assign(&shortcut)?;
+        Ok(out)
+    }
+
+    fn forward_batch(&mut self, inputs: &[Tensor], mode: Mode) -> Result<Vec<Tensor>> {
+        let mut outs = self.body.forward_batch(inputs, mode)?;
+        match &mut self.projection {
+            Some(proj) => {
+                let shorts = proj.forward_batch(inputs, mode)?;
+                for (o, s) in outs.iter_mut().zip(&shorts) {
+                    o.add_assign(s)?;
+                }
+            }
+            None => {
+                for (o, s) in outs.iter_mut().zip(inputs) {
+                    o.add_assign(s)?;
+                }
+            }
+        }
+        Ok(outs)
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let mut dx = self.body.backward(grad_out);
         let d_short = match &mut self.projection {
@@ -78,6 +102,42 @@ impl Layer for Residual {
         };
         dx.add_assign(&d_short).expect("shortcut grad shape");
         dx
+    }
+
+    fn backward_input(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut dx = self.body.backward_input(grad_out);
+        let d_short = match &mut self.projection {
+            Some(proj) => proj.backward_input(grad_out),
+            None => grad_out.clone(),
+        };
+        dx.add_assign(&d_short).expect("shortcut grad shape");
+        dx
+    }
+
+    fn backward_input_batch(&mut self, grads_out: &[Tensor]) -> Result<Vec<Tensor>> {
+        let mut dxs = self.body.backward_input_batch(grads_out)?;
+        match &mut self.projection {
+            Some(proj) => {
+                let shorts = proj.backward_input_batch(grads_out)?;
+                for (d, s) in dxs.iter_mut().zip(&shorts) {
+                    d.add_assign(s)?;
+                }
+            }
+            None => {
+                for (d, g) in dxs.iter_mut().zip(grads_out) {
+                    d.add_assign(g)?;
+                }
+            }
+        }
+        Ok(dxs)
+    }
+
+    fn supports_batched_backward(&self) -> bool {
+        self.body.supports_batched_backward()
+            && self
+                .projection
+                .as_ref()
+                .is_none_or(Layer::supports_batched_backward)
     }
 
     fn visit_params(&mut self, visit: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
@@ -154,6 +214,35 @@ mod tests {
             let yp = block.forward(&xp, Mode::Train);
             let num = (yp.sum() - y.sum()) / eps;
             assert!((num - dx.data()[i]).abs() < 5e-2, "grad at {i}");
+        }
+    }
+
+    #[test]
+    fn batched_projected_block_is_bit_identical() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut body = Sequential::new();
+        body.push(Conv2d::new((2, 4, 4), 4, 3, 2, 1, &mut rng));
+        let mut block = Residual::projected(body, (2, 4, 4), 4, 2, &mut rng);
+        assert!(block.supports_batched_backward());
+        let xs: Vec<Tensor> = (0..3)
+            .map(|_| Tensor::randn(&[2, 4, 4], 1.0, &mut rng))
+            .collect();
+        let gs: Vec<Tensor> = (0..3)
+            .map(|_| Tensor::randn(&[4, 2, 2], 1.0, &mut rng))
+            .collect();
+        let mut seq_y = Vec::new();
+        let mut seq_dx = Vec::new();
+        for (x, g) in xs.iter().zip(&gs) {
+            seq_y.push(block.forward(x, Mode::Inference));
+            seq_dx.push(block.backward_input(g));
+        }
+        let bat_y = block.forward_batch(&xs, Mode::Inference).unwrap();
+        let bat_dx = block.backward_input_batch(&gs).unwrap();
+        for (a, b) in seq_y.iter().zip(&bat_y) {
+            assert_eq!(a.data(), b.data());
+        }
+        for (a, b) in seq_dx.iter().zip(&bat_dx) {
+            assert_eq!(a.data(), b.data());
         }
     }
 }

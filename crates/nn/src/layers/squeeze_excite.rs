@@ -1,7 +1,7 @@
 use crate::layers::Dense;
 use crate::{Layer, Mode};
 use rand::Rng;
-use remix_tensor::Tensor;
+use remix_tensor::{Result, Tensor, TensorError};
 
 /// Squeeze-and-excitation channel gating, as used inside the MBConv blocks of
 /// EfficientNetV2.
@@ -16,6 +16,7 @@ pub struct SqueezeExcite {
     cached_input: Tensor,
     cached_gate: Vec<f32>,
     cached_hidden: Vec<f32>,
+    batch_cache: Vec<(Tensor, Vec<f32>, Vec<f32>)>,
 }
 
 impl SqueezeExcite {
@@ -32,22 +33,13 @@ impl SqueezeExcite {
             cached_input: Tensor::default(),
             cached_gate: Vec::new(),
             cached_hidden: Vec::new(),
+            batch_cache: Vec::new(),
         }
     }
-}
 
-impl std::fmt::Debug for SqueezeExcite {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "SqueezeExcite(channels={})", self.channels)
-    }
-}
-
-impl Layer for SqueezeExcite {
-    fn clone_boxed(&self) -> Box<dyn Layer> {
-        Box::new(self.clone())
-    }
-
-    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+    /// One forward pass, returning `(output, gate, hidden)` so callers decide
+    /// where the backward caches live (single-sample vs per-batch-sample).
+    fn forward_one(&mut self, input: &Tensor, mode: Mode) -> (Tensor, Vec<f32>, Vec<f32>) {
         // squeeze: global average pool
         let mut pooled = vec![0.0f32; self.channels];
         for (c, p) in pooled.iter_mut().enumerate() {
@@ -75,10 +67,101 @@ impl Layer for SqueezeExcite {
                 }
             }
         }
+        (out, gate, h)
+    }
+
+    /// Input gradient through the gate and the pooled excitation path,
+    /// without accumulating the dense sublayers' parameter gradients. The
+    /// accumulation order matches [`Layer::backward`] exactly.
+    fn input_grad_from(
+        &self,
+        grad_out: &Tensor,
+        input: &Tensor,
+        gate: &[f32],
+        hidden: &[f32],
+    ) -> Tensor {
+        // dL/dx (direct path): grad_out * gate
+        let mut dx = grad_out.clone();
+        {
+            let buf = dx.data_mut();
+            for c in 0..self.channels {
+                for v in &mut buf[c * self.spatial..(c + 1) * self.spatial] {
+                    *v *= gate[c];
+                }
+            }
+        }
+        // dL/dgate[c] = sum_s grad_out[c,s] * x[c,s]
+        let mut dgate = vec![0.0f32; self.channels];
+        for (c, d) in dgate.iter_mut().enumerate() {
+            *d = grad_out.data()[c * self.spatial..(c + 1) * self.spatial]
+                .iter()
+                .zip(&input.data()[c * self.spatial..(c + 1) * self.spatial])
+                .map(|(&g, &x)| g * x)
+                .sum();
+        }
+        // through sigmoid
+        let dg_pre: Vec<f32> = dgate
+            .iter()
+            .zip(gate)
+            .map(|(&d, &g)| d * g * (1.0 - g))
+            .collect();
+        // through expand dense (input path only)
+        let dh = self.expand.input_grad(&Tensor::from_slice(&dg_pre));
+        // through relu
+        let dh_pre: Vec<f32> = dh
+            .data()
+            .iter()
+            .zip(hidden)
+            .map(|(&d, &h)| if h > 0.0 { d } else { 0.0 })
+            .collect();
+        // through reduce dense (input path only)
+        let dpool = self.reduce.input_grad(&Tensor::from_slice(&dh_pre));
+        // spread pooled gradient back over spatial positions
+        {
+            let buf = dx.data_mut();
+            let norm = 1.0 / self.spatial as f32;
+            for c in 0..self.channels {
+                let dv = dpool.data()[c] * norm;
+                for v in &mut buf[c * self.spatial..(c + 1) * self.spatial] {
+                    *v += dv;
+                }
+            }
+        }
+        dx
+    }
+}
+
+impl std::fmt::Debug for SqueezeExcite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SqueezeExcite(channels={})", self.channels)
+    }
+}
+
+impl Layer for SqueezeExcite {
+    fn clone_boxed(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        let (out, gate, hidden) = self.forward_one(input, mode);
+        // The input/gate/hidden triple feeds the *input* gradient, so it is
+        // kept in every mode (unlike parameter-gradient caches).
         self.cached_input = input.clone();
         self.cached_gate = gate;
-        self.cached_hidden = h;
+        self.cached_hidden = hidden;
         out
+    }
+
+    fn forward_batch(&mut self, inputs: &[Tensor], mode: Mode) -> Result<Vec<Tensor>> {
+        let mut outs = Vec::with_capacity(inputs.len());
+        let mut cache = Vec::with_capacity(inputs.len());
+        for input in inputs {
+            let (out, gate, hidden) = self.forward_one(input, mode);
+            cache.push((input.clone(), gate, hidden));
+            outs.push(out);
+        }
+        self.batch_cache = cache;
+        Ok(outs)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
@@ -130,6 +213,34 @@ impl Layer for SqueezeExcite {
             }
         }
         dx
+    }
+
+    fn backward_input(&mut self, grad_out: &Tensor) -> Tensor {
+        self.input_grad_from(
+            grad_out,
+            &self.cached_input,
+            &self.cached_gate,
+            &self.cached_hidden,
+        )
+    }
+
+    fn backward_input_batch(&mut self, grads_out: &[Tensor]) -> Result<Vec<Tensor>> {
+        if grads_out.len() != self.batch_cache.len() {
+            return Err(TensorError::ShapeMismatch {
+                left: vec![grads_out.len()],
+                right: vec![self.batch_cache.len()],
+                op: "squeeze_excite backward_input_batch",
+            });
+        }
+        Ok(grads_out
+            .iter()
+            .zip(&self.batch_cache)
+            .map(|(g, (input, gate, hidden))| self.input_grad_from(g, input, gate, hidden))
+            .collect())
+    }
+
+    fn supports_batched_backward(&self) -> bool {
+        true
     }
 
     fn visit_params(&mut self, visit: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
@@ -194,5 +305,18 @@ mod tests {
         let se = SqueezeExcite::new((8, 2, 2), 4, &mut rng);
         // reduce: 8*2+2, expand: 2*8+8
         assert_eq!(se.param_count(), 18 + 24);
+    }
+
+    #[test]
+    fn input_gradient_matches_full_backward() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut se = SqueezeExcite::new((4, 3, 3), 2, &mut rng);
+        let x = Tensor::randn(&[4, 3, 3], 1.0, &mut rng);
+        let g = Tensor::randn(&[4, 3, 3], 1.0, &mut rng);
+        se.forward(&x, Mode::Train);
+        let dx_full = se.backward(&g);
+        se.forward(&x, Mode::Inference);
+        let dx_input = se.backward_input(&g);
+        assert_eq!(dx_full.data(), dx_input.data());
     }
 }

@@ -1,5 +1,5 @@
 use crate::{zoo::InputSpec, Layer, Mode, Sequential};
-use remix_tensor::Tensor;
+use remix_tensor::{Result, Tensor, TensorError};
 
 /// A trained (or trainable) classifier: a [`Sequential`] network plus its
 /// input/output contract.
@@ -50,13 +50,62 @@ impl Model {
     }
 
     /// Raw logits for one `[C, H, W]` image.
+    ///
+    /// Runs in [`Mode::Inference`]: bit-identical to an eval-mode forward,
+    /// but skips the parameter-gradient caches the XAI hot path never reads.
     pub fn logits(&mut self, image: &Tensor) -> Tensor {
-        self.net.forward(image, Mode::Eval)
+        self.net.forward(image, Mode::Inference)
+    }
+
+    /// Fallible [`Model::logits`]: surfaces geometry errors (wrong input
+    /// shape) instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first layer validation error.
+    pub fn try_logits(&mut self, image: &Tensor) -> Result<Tensor> {
+        self.net.try_forward(image, Mode::Inference)
     }
 
     /// Softmax class probabilities for one image.
     pub fn predict_proba(&mut self, image: &Tensor) -> Tensor {
         self.logits(image).softmax()
+    }
+
+    /// Fallible [`Model::predict_proba`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first layer validation error.
+    pub fn try_predict_proba(&mut self, image: &Tensor) -> Result<Tensor> {
+        Ok(self.try_logits(image)?.softmax())
+    }
+
+    /// Raw logits for a batch of same-shape images.
+    ///
+    /// Convolutional layers evaluate the whole batch as a single matrix
+    /// product; the results are bit-identical to calling [`Model::logits`]
+    /// per image.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first layer validation error.
+    pub fn logits_batch(&mut self, images: &[Tensor]) -> Result<Vec<Tensor>> {
+        self.net.forward_batch(images, Mode::Inference)
+    }
+
+    /// Softmax class probabilities for a batch of images (see
+    /// [`Model::logits_batch`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first layer validation error.
+    pub fn predict_proba_batch(&mut self, images: &[Tensor]) -> Result<Vec<Tensor>> {
+        Ok(self
+            .logits_batch(images)?
+            .iter()
+            .map(Tensor::softmax)
+            .collect())
     }
 
     /// Predicted class and its confidence (softmax probability).
@@ -71,12 +120,61 @@ impl Model {
     ///
     /// This is the primitive behind the gradient-based XAI techniques:
     /// SmoothGrad averages it over noisy inputs, Integrated Gradients
-    /// accumulates it along a baseline path.
+    /// accumulates it along a baseline path. It runs an inference-mode
+    /// forward followed by an input-only backward, so no parameter gradients
+    /// are accumulated (the values are bit-identical to the full backward's
+    /// input gradient).
     pub fn input_gradient(&mut self, image: &Tensor, class: usize) -> Tensor {
-        let logits = self.net.forward(image, Mode::Eval);
+        let logits = self.net.forward(image, Mode::Inference);
         let mut seed = Tensor::zeros(logits.shape());
         seed.data_mut()[class] = 1.0;
-        self.net.backward(&seed)
+        self.net.backward_input(&seed)
+    }
+
+    /// Per-image input gradients for a batch: `classes[i]` selects the logit
+    /// differentiated for `images[i]`.
+    ///
+    /// When every layer supports the batched backward contract the whole
+    /// batch runs through one forward/backward sweep (convolutions as single
+    /// large matmuls); otherwise it falls back to per-image
+    /// [`Model::input_gradient`] calls. Both paths produce bit-identical
+    /// gradients.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if `images` and `classes` lengths differ, or the
+    /// first layer validation error.
+    pub fn input_gradient_batch(
+        &mut self,
+        images: &[Tensor],
+        classes: &[usize],
+    ) -> Result<Vec<Tensor>> {
+        if images.len() != classes.len() {
+            return Err(TensorError::ShapeMismatch {
+                left: vec![images.len()],
+                right: vec![classes.len()],
+                op: "input_gradient_batch",
+            });
+        }
+        if self.net.supports_batched_backward() {
+            let logits = self.net.forward_batch(images, Mode::Inference)?;
+            let seeds: Vec<Tensor> = logits
+                .iter()
+                .zip(classes)
+                .map(|(l, &c)| {
+                    let mut seed = Tensor::zeros(l.shape());
+                    seed.data_mut()[c] = 1.0;
+                    seed
+                })
+                .collect();
+            self.net.backward_input_batch(&seeds)
+        } else {
+            Ok(images
+                .iter()
+                .zip(classes)
+                .map(|(img, &c)| self.input_gradient(img, c))
+                .collect())
+        }
     }
 
     /// Mutable access to the underlying network (training, optimizers).

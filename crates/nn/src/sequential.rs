@@ -1,5 +1,5 @@
 use crate::{Layer, Mode};
-use remix_tensor::Tensor;
+use remix_tensor::{Result, Tensor};
 
 /// Ordered composition of layers; itself a [`Layer`], so residual blocks can
 /// nest `Sequential` bodies.
@@ -79,12 +79,48 @@ impl Layer for Sequential {
         x
     }
 
+    fn try_forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.try_forward(&x, mode)?;
+        }
+        Ok(x)
+    }
+
+    fn forward_batch(&mut self, inputs: &[Tensor], mode: Mode) -> Result<Vec<Tensor>> {
+        let mut xs = inputs.to_vec();
+        for layer in &mut self.layers {
+            xs = layer.forward_batch(&xs, mode)?;
+        }
+        Ok(xs)
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let mut g = grad_out.clone();
         for layer in self.layers.iter_mut().rev() {
             g = layer.backward(&g);
         }
         g
+    }
+
+    fn backward_input(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut g = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward_input(&g);
+        }
+        g
+    }
+
+    fn backward_input_batch(&mut self, grads_out: &[Tensor]) -> Result<Vec<Tensor>> {
+        let mut gs = grads_out.to_vec();
+        for layer in self.layers.iter_mut().rev() {
+            gs = layer.backward_input_batch(&gs)?;
+        }
+        Ok(gs)
+    }
+
+    fn supports_batched_backward(&self) -> bool {
+        self.layers.iter().all(|l| l.supports_batched_backward())
     }
 
     fn visit_params(&mut self, visit: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {

@@ -1,0 +1,98 @@
+//! The batched inference engine's core guarantee: for every zoo archetype,
+//! `forward_batch` / `backward_input_batch` produce bit-for-bit the same
+//! numbers as the historical one-sample-at-a-time path, for any batch size
+//! including ragged final batches.
+
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+use remix_nn::{zoo, Arch, InputSpec, Model};
+use remix_tensor::Tensor;
+
+fn spec() -> InputSpec {
+    InputSpec {
+        channels: 1,
+        size: 16,
+        num_classes: 5,
+    }
+}
+
+fn model(arch: Arch, seed: u64) -> Model {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Model::new(zoo::build(arch, spec(), &mut rng), spec())
+}
+
+fn images(n: usize, seed: u64) -> Vec<Tensor> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Tensor::rand_uniform(&[1, 16, 16], 0.0, 1.0, &mut rng))
+        .collect()
+}
+
+#[test]
+fn batched_forward_is_bit_identical_to_sequential() {
+    for arch in Arch::ALL {
+        let mut m = model(arch, 1);
+        let batch = images(5, 2);
+        let sequential: Vec<Tensor> = batch.iter().map(|x| m.predict_proba(x)).collect();
+        let batched = m.predict_proba_batch(&batch).expect("valid batch");
+        for (i, (a, b)) in sequential.iter().zip(&batched).enumerate() {
+            assert_eq!(
+                a.data(),
+                b.data(),
+                "{arch} sample {i}: batched probs diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn batched_input_gradients_are_bit_identical_to_sequential() {
+    for arch in Arch::ALL {
+        let mut m = model(arch, 3);
+        let batch = images(4, 4);
+        let classes: Vec<usize> = (0..batch.len()).map(|i| i % 5).collect();
+        let sequential: Vec<Tensor> = batch
+            .iter()
+            .zip(&classes)
+            .map(|(x, &c)| m.input_gradient(x, c))
+            .collect();
+        let batched = m
+            .input_gradient_batch(&batch, &classes)
+            .expect("valid batch");
+        for (i, (a, b)) in sequential.iter().zip(&batched).enumerate() {
+            assert!(a.abs().sum() > 0.0, "{arch} sample {i}: zero gradient");
+            assert_eq!(
+                a.data(),
+                b.data(),
+                "{arch} sample {i}: batched input gradient diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn mismatched_class_count_is_rejected() {
+    let mut m = model(Arch::ConvNet, 5);
+    let batch = images(3, 6);
+    assert!(m.input_gradient_batch(&batch, &[0, 1]).is_err());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Ragged splits: chunking N samples into batches of any size B (the
+    /// final batch has N mod B samples) reproduces the whole-batch result.
+    #[test]
+    fn ragged_batches_are_bit_identical(n in 1usize..8, b in 1usize..5, seed in 0u64..64) {
+        let mut m = model(Arch::ConvNet, 7);
+        let batch = images(n, seed);
+        let whole = m.predict_proba_batch(&batch).expect("valid batch");
+        let mut chunked = Vec::with_capacity(n);
+        for chunk in batch.chunks(b) {
+            chunked.extend(m.predict_proba_batch(chunk).expect("valid chunk"));
+        }
+        for (a, c) in whole.iter().zip(&chunked) {
+            prop_assert_eq!(a.data(), c.data());
+        }
+    }
+}

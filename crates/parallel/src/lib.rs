@@ -56,6 +56,27 @@ pub fn shard_ranges(len: usize, shards: usize) -> Vec<Range<usize>> {
     ranges
 }
 
+/// Splits `0..len` into contiguous batches of at most `batch_size` items.
+///
+/// Unlike [`shard_ranges`] (which balances a fixed *number* of shards), this
+/// fixes the batch *size*: every range has exactly `batch_size` elements
+/// except possibly the last, which holds the ragged remainder. This is the
+/// unit of work for the batched inference engine — each batch becomes one
+/// multi-column matmul sweep.
+///
+/// A `batch_size` of 0 is treated as 1.
+pub fn batch_ranges(len: usize, batch_size: usize) -> Vec<Range<usize>> {
+    let batch_size = batch_size.max(1);
+    let mut ranges = Vec::with_capacity(len.div_ceil(batch_size));
+    let mut start = 0;
+    while start < len {
+        let end = (start + batch_size).min(len);
+        ranges.push(start..end);
+        start = end;
+    }
+    ranges
+}
+
 /// Order-preserving parallel map over shared items.
 ///
 /// `f` receives `(index, &item)`; the output at position `i` is `f(i,
@@ -232,5 +253,18 @@ mod tests {
     fn resolve_threads_treats_zero_as_auto() {
         assert!(resolve_threads(0) >= 1);
         assert_eq!(resolve_threads(3), 3);
+    }
+
+    #[test]
+    fn batch_ranges_fixes_size_with_ragged_tail() {
+        assert_eq!(batch_ranges(0, 32), vec![]);
+        assert_eq!(batch_ranges(7, 3), vec![0..3, 3..6, 6..7]);
+        assert_eq!(batch_ranges(6, 3), vec![0..3, 3..6]);
+        assert_eq!(batch_ranges(2, 32), vec![0..2]);
+        // zero batch size degrades to one-at-a-time instead of looping forever
+        assert_eq!(batch_ranges(3, 0), vec![0..1, 1..2, 2..3]);
+        // every index covered exactly once, in order
+        let covered: Vec<usize> = batch_ranges(103, 10).into_iter().flatten().collect();
+        assert_eq!(covered, (0..103).collect::<Vec<_>>());
     }
 }

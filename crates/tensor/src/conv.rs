@@ -49,21 +49,13 @@ impl Conv2dGeometry {
     }
 }
 
-/// Unfolds a `[C, H, W]` input into a `[C*k*k, out_h*out_w]` patch matrix.
-///
-/// Padding positions contribute zeros. Convolution then becomes
-/// `weights [F, C*k*k] x patches [C*k*k, out_h*out_w]`.
-///
-/// # Errors
-///
-/// Returns [`TensorError::ShapeMismatch`] if `input` does not match the
-/// geometry, or [`TensorError::RankMismatch`] if it is not rank 3.
-pub fn im2col(input: &Tensor, geo: &Conv2dGeometry) -> Result<Tensor> {
+/// Validates that `input` is a rank-3 tensor matching `geo`.
+fn check_geometry(input: &Tensor, geo: &Conv2dGeometry, op: &'static str) -> Result<()> {
     if input.rank() != 3 {
         return Err(TensorError::RankMismatch {
             expected: 3,
             shape: input.shape().to_vec(),
-            op: "im2col",
+            op,
         });
     }
     let expect = [geo.in_channels, geo.in_h, geo.in_w];
@@ -71,14 +63,23 @@ pub fn im2col(input: &Tensor, geo: &Conv2dGeometry) -> Result<Tensor> {
         return Err(TensorError::ShapeMismatch {
             left: input.shape().to_vec(),
             right: expect.to_vec(),
-            op: "im2col",
+            op,
         });
     }
+    Ok(())
+}
+
+/// Writes one sample's patches into `out` starting at column `col_offset` of
+/// a `[C*k*k, total_cols]` matrix. `out` must already be zeroed; padding
+/// positions are left untouched.
+fn fill_patches(
+    out: &mut [f32],
+    total_cols: usize,
+    col_offset: usize,
+    data: &[f32],
+    geo: &Conv2dGeometry,
+) {
     let (oh, ow) = (geo.out_h(), geo.out_w());
-    let cols = oh * ow;
-    let rows = geo.patch_len();
-    let mut out = vec![0.0f32; rows * cols];
-    let data = input.data();
     let (h, w, k) = (geo.in_h, geo.in_w, geo.kernel);
     for c in 0..geo.in_channels {
         for ky in 0..k {
@@ -94,14 +95,77 @@ pub fn im2col(input: &Tensor, geo: &Conv2dGeometry) -> Result<Tensor> {
                         if ix < 0 || ix >= w as isize {
                             continue;
                         }
-                        out[row * cols + oy * ow + ox] =
+                        out[row * total_cols + col_offset + oy * ow + ox] =
                             data[(c * h + iy as usize) * w + ix as usize];
                     }
                 }
             }
         }
     }
-    Tensor::from_vec(out, &[rows, cols])
+}
+
+/// Unfolds a `[C, H, W]` input into a `[C*k*k, out_h*out_w]` patch matrix.
+///
+/// Padding positions contribute zeros. Convolution then becomes
+/// `weights [F, C*k*k] x patches [C*k*k, out_h*out_w]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `input` does not match the
+/// geometry, or [`TensorError::RankMismatch`] if it is not rank 3.
+pub fn im2col(input: &Tensor, geo: &Conv2dGeometry) -> Result<Tensor> {
+    let mut out = Vec::new();
+    im2col_into(input, geo, &mut out)?;
+    Tensor::from_vec(out, &[geo.patch_len(), geo.out_h() * geo.out_w()])
+}
+
+/// [`im2col`] writing into a caller-provided buffer, so hot inference loops
+/// can reuse one allocation across calls. `buf` is cleared and resized to
+/// `C*k*k * out_h*out_w`; its prior contents are discarded.
+///
+/// # Errors
+///
+/// Same conditions as [`im2col`].
+pub fn im2col_into(input: &Tensor, geo: &Conv2dGeometry, buf: &mut Vec<f32>) -> Result<()> {
+    check_geometry(input, geo, "im2col")?;
+    let cols = geo.out_h() * geo.out_w();
+    buf.clear();
+    buf.resize(geo.patch_len() * cols, 0.0);
+    fill_patches(buf, cols, 0, input.data(), geo);
+    Ok(())
+}
+
+/// Batched [`im2col`]: unfolds `B` same-geometry inputs into one
+/// `[C*k*k, B*out_h*out_w]` patch matrix, sample `b` occupying the contiguous
+/// column block `b*out_h*out_w .. (b+1)*out_h*out_w`.
+///
+/// A whole batch of perturbed inputs then becomes a *single* matmul
+/// `weights [F, C*k*k] x patches [C*k*k, B*oh*ow]`, and because the matmul
+/// kernel accumulates each output element independently of its column count,
+/// the batched product is bit-identical to `B` per-sample products.
+///
+/// `buf` is cleared and resized; its prior contents are discarded, so callers
+/// can keep one scratch buffer alive across batches.
+///
+/// # Errors
+///
+/// Returns the first per-sample validation error (same conditions as
+/// [`im2col`]).
+pub fn im2col_batch_into(
+    inputs: &[Tensor],
+    geo: &Conv2dGeometry,
+    buf: &mut Vec<f32>,
+) -> Result<()> {
+    let cols = geo.out_h() * geo.out_w();
+    for input in inputs {
+        check_geometry(input, geo, "im2col")?;
+    }
+    buf.clear();
+    buf.resize(geo.patch_len() * cols * inputs.len(), 0.0);
+    for (b, input) in inputs.iter().enumerate() {
+        fill_patches(buf, cols * inputs.len(), b * cols, input.data(), geo);
+    }
+    Ok(())
 }
 
 /// Folds a `[C*k*k, out_h*out_w]` patch-gradient matrix back into a
@@ -151,6 +215,62 @@ pub fn col2im(cols_mat: &Tensor, geo: &Conv2dGeometry) -> Result<Tensor> {
         }
     }
     Ok(out)
+}
+
+/// Batched [`col2im`]: folds a `[C*k*k, B*out_h*out_w]` patch-gradient matrix
+/// (the layout produced by [`im2col_batch_into`]) back into `B` per-sample
+/// `[C, H, W]` input gradients.
+///
+/// Each sample reads only its own contiguous column block, and within a
+/// sample the accumulation order matches [`col2im`] exactly, so the batched
+/// fold is bit-identical to `B` per-sample folds.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `cols_mat` does not match the
+/// geometry for `batch` samples.
+pub fn col2im_batch(cols_mat: &Tensor, geo: &Conv2dGeometry, batch: usize) -> Result<Vec<Tensor>> {
+    let (oh, ow) = (geo.out_h(), geo.out_w());
+    let expect = [geo.patch_len(), batch * oh * ow];
+    if cols_mat.shape() != expect {
+        return Err(TensorError::ShapeMismatch {
+            left: cols_mat.shape().to_vec(),
+            right: expect.to_vec(),
+            op: "col2im_batch",
+        });
+    }
+    let data = cols_mat.data();
+    let (h, w, k) = (geo.in_h, geo.in_w, geo.kernel);
+    let total_cols = batch * oh * ow;
+    let mut outs = Vec::with_capacity(batch);
+    for b in 0..batch {
+        let col_offset = b * oh * ow;
+        let mut out = Tensor::zeros(&[geo.in_channels, geo.in_h, geo.in_w]);
+        let buf = out.data_mut();
+        for c in 0..geo.in_channels {
+            for ky in 0..k {
+                for kx in 0..k {
+                    let row = (c * k + ky) * k + kx;
+                    for oy in 0..oh {
+                        let iy = (oy * geo.stride + ky) as isize - geo.pad as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for ox in 0..ow {
+                            let ix = (ox * geo.stride + kx) as isize - geo.pad as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            buf[(c * h + iy as usize) * w + ix as usize] +=
+                                data[row * total_cols + col_offset + oy * ow + ox];
+                        }
+                    }
+                }
+            }
+        }
+        outs.push(out);
+    }
+    Ok(outs)
 }
 
 #[cfg(test)]
@@ -226,6 +346,88 @@ mod tests {
         assert!(im2col(&Tensor::zeros(&[3, 3]), &geo()).is_err());
         assert!(im2col(&Tensor::zeros(&[2, 3, 3]), &geo()).is_err());
         assert!(col2im(&Tensor::zeros(&[4, 5]), &geo()).is_err());
+    }
+
+    #[test]
+    fn batched_im2col_concatenates_per_sample_columns() {
+        let g = Conv2dGeometry {
+            in_channels: 2,
+            in_h: 5,
+            in_w: 5,
+            kernel: 3,
+            stride: 2,
+            pad: 1,
+        };
+        let inputs: Vec<Tensor> = (0..3)
+            .map(|b| {
+                Tensor::from_vec(
+                    (0..50).map(|v| (v as f32) + 100.0 * b as f32).collect(),
+                    &[2, 5, 5],
+                )
+                .unwrap()
+            })
+            .collect();
+        let mut buf = vec![7.0; 3]; // stale contents must be discarded
+        im2col_batch_into(&inputs, &g, &mut buf).unwrap();
+        let cols = g.out_h() * g.out_w();
+        assert_eq!(buf.len(), g.patch_len() * cols * 3);
+        for (b, input) in inputs.iter().enumerate() {
+            let single = im2col(input, &g).unwrap();
+            for row in 0..g.patch_len() {
+                for col in 0..cols {
+                    assert_eq!(
+                        buf[row * cols * 3 + b * cols + col].to_bits(),
+                        single.data()[row * cols + col].to_bits(),
+                        "sample {b} row {row} col {col}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_col2im_matches_per_sample() {
+        let g = Conv2dGeometry {
+            in_channels: 1,
+            in_h: 4,
+            in_w: 4,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+        };
+        let cols = g.out_h() * g.out_w();
+        let batch = 2;
+        let data: Vec<f32> = (0..g.patch_len() * cols * batch)
+            .map(|v| v as f32 * 0.25 - 3.0)
+            .collect();
+        let big = Tensor::from_vec(data.clone(), &[g.patch_len(), batch * cols]).unwrap();
+        let folded = col2im_batch(&big, &g, batch).unwrap();
+        assert_eq!(folded.len(), batch);
+        for b in 0..batch {
+            let mut sample = vec![0.0f32; g.patch_len() * cols];
+            for row in 0..g.patch_len() {
+                for col in 0..cols {
+                    sample[row * cols + col] = data[row * batch * cols + b * cols + col];
+                }
+            }
+            let single = col2im(
+                &Tensor::from_vec(sample, &[g.patch_len(), cols]).unwrap(),
+                &g,
+            )
+            .unwrap();
+            assert_eq!(folded[b].data(), single.data(), "sample {b}");
+        }
+        assert!(col2im_batch(&big, &g, 3).is_err());
+    }
+
+    #[test]
+    fn im2col_into_reuses_buffer() {
+        let input = Tensor::from_vec((1..=9).map(|v| v as f32).collect(), &[1, 3, 3]).unwrap();
+        let reference = im2col(&input, &geo()).unwrap();
+        let mut buf = vec![9.9; 64];
+        im2col_into(&input, &geo(), &mut buf).unwrap();
+        assert_eq!(&buf[..], reference.data());
+        assert!(im2col_into(&Tensor::zeros(&[2, 3, 3]), &geo(), &mut buf).is_err());
     }
 
     #[test]

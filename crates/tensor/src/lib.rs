@@ -28,7 +28,7 @@ mod random;
 mod reduce;
 mod tensor;
 
-pub use conv::{col2im, im2col, Conv2dGeometry};
+pub use conv::{col2im, col2im_batch, im2col, im2col_batch_into, im2col_into, Conv2dGeometry};
 pub use error::TensorError;
 pub use random::{fnv1a64, splitmix64};
 pub use tensor::Tensor;

@@ -14,12 +14,18 @@ use remix_nn::Model;
 use remix_tensor::Tensor;
 
 /// CFE feature matrix for `(model, image, class)`.
+///
+/// The search steps are inherently sequential (each step's input depends on
+/// the previous step's gradient), so only the per-step gradient *pair* can
+/// batch: when the budget allows at least two inputs per forward, the class
+/// and runner-up gradients share one batched forward/backward pass.
 pub(crate) fn explain(
     model: &mut Model,
     image: &Tensor,
     class: usize,
     config: &ExplainerConfig,
 ) -> Tensor {
+    let pair_batched = config.budget.effective_batch_size() >= 2;
     let mut current = image.clone();
     for _ in 0..config.cfe_max_steps {
         let probs = model.predict_proba(&current);
@@ -37,8 +43,19 @@ pub(crate) fn explain(
             }
         }
         // gradient of (logit_class − logit_runner): descending it closes the gap
-        let g_class = model.input_gradient(&current, class);
-        let g_runner = model.input_gradient(&current, runner);
+        let (g_class, g_runner) = if pair_batched {
+            let mut grads = model
+                .input_gradient_batch(&[current.clone(), current.clone()], &[class, runner])
+                .expect("inputs match the model spec");
+            let g_runner = grads.pop().expect("two gradients");
+            let g_class = grads.pop().expect("two gradients");
+            (g_class, g_runner)
+        } else {
+            (
+                model.input_gradient(&current, class),
+                model.input_gradient(&current, runner),
+            )
+        };
         let gap_grad = g_class.sub(&g_runner).expect("same shape");
         // perturb only the top-k most influential pixels (sparse counterfactual)
         let mut magnitudes: Vec<(usize, f32)> = gap_grad

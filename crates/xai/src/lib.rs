@@ -39,6 +39,7 @@
 //! assert_eq!(matrix.shape(), &[8, 8]);
 //! ```
 
+mod batch;
 mod cfe;
 pub mod eval;
 mod feature;
@@ -52,4 +53,4 @@ mod technique;
 
 pub use feature::{aggregate_channels, apply_pixel_mask};
 pub use segments::SegmentGrid;
-pub use technique::{Explainer, ExplainerConfig, XaiTechnique};
+pub use technique::{Explainer, ExplainerConfig, XaiBudget, XaiTechnique};

@@ -6,12 +6,16 @@
 //! vectors. The learned coefficients are the segment influences.
 
 use crate::feature::apply_pixel_mask;
-use crate::{ExplainerConfig, SegmentGrid};
+use crate::{batch, ExplainerConfig, SegmentGrid};
 use rand::Rng;
 use remix_nn::Model;
 use remix_tensor::Tensor;
 
 /// LIME feature matrix for `(model, image, class)`.
+///
+/// The coalitions were always drawn before any model call, so batching the
+/// probability evaluations changes nothing about the RNG stream; the ridge
+/// regression consumes the per-coalition probabilities in draw order.
 pub(crate) fn explain(
     model: &mut Model,
     image: &Tensor,
@@ -23,19 +27,25 @@ pub(crate) fn explain(
     let grid = SegmentGrid::new(h, w, config.segment.min(h).max(1));
     let t = grid.len();
     let n = config.lime_samples.max(t + 2);
-    // design matrix rows (coalition indicators), targets, proximity weights
-    let mut rows: Vec<Vec<f32>> = Vec::with_capacity(n);
-    let mut targets: Vec<f32> = Vec::with_capacity(n);
-    let mut weights: Vec<f32> = Vec::with_capacity(n);
     // include the all-on coalition so the surrogate anchors at the input
     let mut coalitions: Vec<Vec<bool>> = vec![vec![true; t]];
     for _ in 1..n {
         coalitions.push((0..t).map(|_| rng.gen::<f32>() < 0.5).collect());
     }
-    for mask in &coalitions {
-        let masked_pixels = grid.masked_pixels(mask);
-        let perturbed = apply_pixel_mask(image, &masked_pixels, config.baseline);
-        let prob = model.predict_proba(&perturbed).data()[class];
+    // materialize all perturbed inputs, then evaluate them in batches
+    let inputs: Vec<Tensor> = coalitions
+        .iter()
+        .map(|mask| {
+            let masked_pixels = grid.masked_pixels(mask);
+            apply_pixel_mask(image, &masked_pixels, config.baseline)
+        })
+        .collect();
+    let probs = batch::class_probs(model, &inputs, class, config.budget.effective_batch_size());
+    // design matrix rows (coalition indicators), targets, proximity weights
+    let mut rows: Vec<Vec<f32>> = Vec::with_capacity(n);
+    let mut targets: Vec<f32> = Vec::with_capacity(n);
+    let mut weights: Vec<f32> = Vec::with_capacity(n);
+    for (mask, &prob) in coalitions.iter().zip(&probs) {
         let off_frac = mask.iter().filter(|&&m| !m).count() as f32 / t as f32;
         // exponential proximity kernel: nearer coalitions weigh more
         let weight = (-(off_frac * off_frac) / 0.25).exp();

@@ -11,6 +11,12 @@
 //! The paper notes such techniques trade faithfulness for speed; the
 //! `ablations` binary and `remix-xai`'s evaluation metrics let that tradeoff
 //! be measured here.
+//!
+//! Unlike the input-perturbation techniques, NoiseGrad and FusionGrad stay
+//! per-sample under the batched inference engine: each sample evaluates a
+//! *differently-noised model*, and a batched forward shares one set of
+//! weights across the whole batch. They still profit from the
+//! inference-mode input-gradient path (no parameter-gradient caches).
 
 use crate::feature::aggregate_channels;
 use crate::ExplainerConfig;

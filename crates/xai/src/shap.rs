@@ -7,12 +7,18 @@
 //! probability is accumulated. Removed segments are masked to the baseline.
 
 use crate::feature::apply_pixel_mask;
-use crate::{ExplainerConfig, SegmentGrid};
+use crate::{batch, ExplainerConfig, SegmentGrid};
 use rand::{seq::SliceRandom, Rng};
 use remix_nn::Model;
 use remix_tensor::Tensor;
 
 /// SHAP feature matrix for `(model, image, class)`.
+///
+/// Every permutation's reveal order is drawn first (model evaluation
+/// consumes no RNG, so the shuffle stream matches the historical interleaved
+/// loop), then all `permutations × (t + 1)` coalition inputs are
+/// materialized and pushed through the model in batches. The marginal
+/// contributions are read back in the original reveal order.
 pub(crate) fn explain(
     model: &mut Model,
     image: &Tensor,
@@ -23,16 +29,32 @@ pub(crate) fn explain(
     let (h, w) = (image.shape()[1], image.shape()[2]);
     let grid = SegmentGrid::new(h, w, config.segment.min(h).max(1));
     let t = grid.len();
-    let mut phi = vec![0.0f32; t];
     let permutations = config.shap_permutations.max(1);
-    for _ in 0..permutations {
-        let mut order: Vec<usize> = (0..t).collect();
-        order.shuffle(rng);
-        let mut mask = vec![false; t]; // nothing revealed yet
-        let mut prev = eval_coalition(model, image, class, &grid, &mask, config.baseline);
-        for &seg in &order {
+    let orders: Vec<Vec<usize>> = (0..permutations)
+        .map(|_| {
+            let mut order: Vec<usize> = (0..t).collect();
+            order.shuffle(rng);
+            order
+        })
+        .collect();
+    // Materialize every coalition along every permutation: the empty
+    // coalition, then one more segment revealed at each step.
+    let mut inputs = Vec::with_capacity(permutations * (t + 1));
+    for order in &orders {
+        let mut mask = vec![false; t];
+        inputs.push(coalition_input(image, &grid, &mask, config.baseline));
+        for &seg in order {
             mask[seg] = true;
-            let cur = eval_coalition(model, image, class, &grid, &mask, config.baseline);
+            inputs.push(coalition_input(image, &grid, &mask, config.baseline));
+        }
+    }
+    let probs = batch::class_probs(model, &inputs, class, config.budget.effective_batch_size());
+    let mut phi = vec![0.0f32; t];
+    let mut cursor = probs.iter();
+    for order in &orders {
+        let mut prev = *cursor.next().expect("one prob per coalition");
+        for &seg in order {
+            let cur = *cursor.next().expect("one prob per coalition");
             phi[seg] += cur - prev;
             prev = cur;
         }
@@ -43,18 +65,10 @@ pub(crate) fn explain(
     grid.upsample(&phi).normalize_minmax()
 }
 
-/// Predicted-class probability with all unrevealed segments masked out.
-fn eval_coalition(
-    model: &mut Model,
-    image: &Tensor,
-    class: usize,
-    grid: &SegmentGrid,
-    mask: &[bool],
-    baseline: f32,
-) -> f32 {
+/// The input with all unrevealed segments masked to the baseline.
+fn coalition_input(image: &Tensor, grid: &SegmentGrid, mask: &[bool], baseline: f32) -> Tensor {
     let masked_pixels = grid.masked_pixels(mask);
-    let masked = apply_pixel_mask(image, &masked_pixels, baseline);
-    model.predict_proba(&masked).data()[class]
+    apply_pixel_mask(image, &masked_pixels, baseline)
 }
 
 #[cfg(test)]

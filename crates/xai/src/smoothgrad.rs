@@ -3,12 +3,17 @@
 //! sharpens the saliency map relative to a single gradient.
 
 use crate::feature::aggregate_channels;
-use crate::ExplainerConfig;
+use crate::{batch, ExplainerConfig};
 use rand::Rng;
 use remix_nn::Model;
 use remix_tensor::Tensor;
 
 /// SmoothGrad feature matrix for `(model, image, class)`.
+///
+/// All noise draws are materialized before any model evaluation; the
+/// gradient passes consume no RNG, so the noise stream — and therefore the
+/// result — is bit-identical to the historical draw-evaluate-draw loop, for
+/// every batch size.
 pub(crate) fn explain(
     model: &mut Model,
     image: &Tensor,
@@ -16,10 +21,12 @@ pub(crate) fn explain(
     config: &ExplainerConfig,
     rng: &mut impl Rng,
 ) -> Tensor {
+    let noisy: Vec<Tensor> = (0..config.sg_samples.max(1))
+        .map(|_| image.with_gaussian_noise(config.sg_sigma, rng))
+        .collect();
+    let grads = batch::class_gradients(model, &noisy, class, config.budget.effective_batch_size());
     let mut acc = Tensor::zeros(image.shape());
-    for _ in 0..config.sg_samples.max(1) {
-        let noisy = image.with_gaussian_noise(config.sg_sigma, rng);
-        let grad = model.input_gradient(&noisy, class);
+    for grad in &grads {
         acc.add_assign(&grad.abs()).expect("gradient shape");
     }
     aggregate_channels(&acc)

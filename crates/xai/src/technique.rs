@@ -69,6 +69,34 @@ impl fmt::Display for XaiTechnique {
     }
 }
 
+/// Execution budget for the batched inference engine.
+///
+/// Every technique first materializes its perturbed inputs (noise draws,
+/// path points, coalition masks), then evaluates them `batch_size` at a time
+/// through the model's batched forward/backward sweeps. Results are
+/// bit-identical for every batch size, so this knob trades memory for
+/// throughput only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct XaiBudget {
+    /// Number of perturbed inputs evaluated per batched model sweep.
+    /// `1` reproduces the per-sample execution path exactly; `0` is treated
+    /// as `1`.
+    pub batch_size: usize,
+}
+
+impl Default for XaiBudget {
+    fn default() -> Self {
+        Self { batch_size: 32 }
+    }
+}
+
+impl XaiBudget {
+    /// Batch size clamped to at least one.
+    pub fn effective_batch_size(&self) -> usize {
+        self.batch_size.max(1)
+    }
+}
+
 /// Tunable parameters for all techniques.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ExplainerConfig {
@@ -92,6 +120,8 @@ pub struct ExplainerConfig {
     pub cfe_step: f32,
     /// Masking baseline value for "removed" features.
     pub baseline: f32,
+    /// Batched-execution budget shared by all techniques.
+    pub budget: XaiBudget,
 }
 
 impl Default for ExplainerConfig {
@@ -107,6 +137,7 @@ impl Default for ExplainerConfig {
             cfe_max_steps: 40,
             cfe_step: 0.08,
             baseline: 0.0,
+            budget: XaiBudget::default(),
         }
     }
 }

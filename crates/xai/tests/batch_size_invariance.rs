@@ -1,0 +1,79 @@
+//! Batch size is pure execution strategy: every technique materializes its
+//! perturbations (and all RNG draws) before the first model call, so the
+//! feature matrix must be bit-identical for every `XaiBudget.batch_size` —
+//! including sizes that leave a ragged final batch.
+
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+use remix_nn::{zoo, Arch, InputSpec, Model};
+use remix_tensor::Tensor;
+use remix_xai::{Explainer, ExplainerConfig, XaiBudget, XaiTechnique};
+
+fn spec() -> InputSpec {
+    InputSpec {
+        channels: 1,
+        size: 8,
+        num_classes: 3,
+    }
+}
+
+fn model() -> Model {
+    let mut rng = StdRng::seed_from_u64(1);
+    Model::new(zoo::build(Arch::ConvNet, spec(), &mut rng), spec())
+}
+
+fn explain_with_batch(technique: XaiTechnique, batch_size: usize) -> Tensor {
+    let mut m = model();
+    let image = Tensor::rand_uniform(&[1, 8, 8], 0.0, 1.0, &mut StdRng::seed_from_u64(2));
+    let config = ExplainerConfig {
+        budget: XaiBudget { batch_size },
+        ..ExplainerConfig::default()
+    };
+    let explainer = Explainer::with_config(technique, config);
+    explainer.explain(&mut m, &image, 0, &mut StdRng::seed_from_u64(3))
+}
+
+#[test]
+fn every_technique_is_bit_identical_across_batch_sizes() {
+    for technique in XaiTechnique::ALL {
+        let per_sample = explain_with_batch(technique, 1);
+        let batched = explain_with_batch(technique, 32);
+        assert_eq!(
+            per_sample.data(),
+            batched.data(),
+            "{technique:?}: batch 32 diverged from batch 1"
+        );
+    }
+}
+
+#[test]
+fn optimized_variants_are_batch_size_invariant() {
+    // NoiseGrad / FusionGrad run per-sample by design (per-sample weight
+    // noise), so the budget must have no effect at all.
+    for technique in XaiTechnique::OPTIMIZED {
+        let a = explain_with_batch(technique, 1);
+        let b = explain_with_batch(technique, 32);
+        assert_eq!(a.data(), b.data(), "{technique:?} read the batch size");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Ragged final batches: any batch size (most of which do not divide
+    /// the perturbation counts) reproduces the per-sample result.
+    #[test]
+    fn ragged_batch_sizes_are_bit_identical(batch_size in 1usize..24) {
+        for technique in [XaiTechnique::SmoothGrad, XaiTechnique::Shap, XaiTechnique::Lime] {
+            let per_sample = explain_with_batch(technique, 1);
+            let batched = explain_with_batch(technique, batch_size);
+            prop_assert_eq!(
+                per_sample.data(),
+                batched.data(),
+                "{:?}: batch {} diverged",
+                technique,
+                batch_size
+            );
+        }
+    }
+}
