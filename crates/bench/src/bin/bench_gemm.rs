@@ -1,0 +1,371 @@
+//! GEMM microbenchmark + batched-training throughput gate.
+//!
+//! Times the register-blocked packed GEMM against the retained reference
+//! kernel on the zoo's conv/dense GEMM shapes (single-threaded, so the
+//! numbers isolate the kernel, not the pool), then times `Trainer::fit` with
+//! the batched forward/backward engine against the per-sample loop on
+//! conv/dense and depthwise zoo models. Every comparison is also a bitwise
+//! gate: any f32 divergence between the two paths exits nonzero so CI can
+//! fail on it. Results land in `results/bench_gemm.json`.
+
+use rand::{rngs::StdRng, SeedableRng};
+use remix_nn::{zoo, Arch, InputSpec, Layer, Model, Trainer, TrainerConfig};
+use remix_tensor::Tensor;
+use std::io::Write;
+use std::time::{Duration, Instant};
+
+/// One zoo-derived GEMM shape: `[m,k] × [k,n]`.
+struct GemmShape {
+    /// Which zoo layer (at GTSRB scale, batch 32) the shape comes from.
+    name: &'static str,
+    m: usize,
+    k: usize,
+    n: usize,
+}
+
+/// The zoo's hot GEMM shapes at GTSRB scale (3×16×16 inputs) with the
+/// training batch size of 32 folded into the column count, as the batched
+/// engine produces them.
+const SHAPES: &[GemmShape] = &[
+    // ConvNet conv1: 8 filters over (3,16,16), 3×3 pad 1 → patch 27,
+    // 16×16 output positions × 32 samples.
+    GemmShape {
+        name: "convnet_conv1_fwd",
+        m: 8,
+        k: 27,
+        n: 8192,
+    },
+    // ConvNet conv2: 16 filters over (8,8,8) → patch 72, 8×8 positions × 32.
+    // The largest zoo GEMM by multiply-accumulate count.
+    GemmShape {
+        name: "convnet_conv2_fwd",
+        m: 16,
+        k: 72,
+        n: 2048,
+    },
+    // VGG16 group-3 conv: 24 filters over (16,4,4) → patch 144, 16 × 32.
+    GemmShape {
+        name: "vgg16_conv_g3_fwd",
+        m: 24,
+        k: 144,
+        n: 512,
+    },
+    // ConvNet conv1 input gradient: Wᵀ[27,8] · G[8, 256·32].
+    GemmShape {
+        name: "convnet_conv1_dx",
+        m: 27,
+        k: 8,
+        n: 8192,
+    },
+    // ConvNet fc1: Dense(256 → 48) batched forward, X is [256, 32].
+    GemmShape {
+        name: "convnet_fc1_fwd",
+        m: 48,
+        k: 256,
+        n: 32,
+    },
+];
+
+struct GemmResult {
+    name: &'static str,
+    m: usize,
+    k: usize,
+    n: usize,
+    reference_secs: f64,
+    blocked_secs: f64,
+    bit_identical: bool,
+}
+
+/// Per-sample `Trainer::fit` wall times measured at the commit preceding
+/// this optimization (the per-call-scoped GEMM + column-layout conv tree),
+/// same box, same seeds/dataset (96 samples × 2 epochs, batch 32, 1 thread).
+/// These anchor the `speedup_vs_baseline` field in the JSON record so the
+/// training-throughput claim is against the pre-PR engine, not merely
+/// against this tree's per-sample path.
+const BASELINE_FIT_SECS: &[(&str, usize, f64)] = &[
+    ("ConvNet", 16, 0.030073),
+    ("ConvNet", 32, 0.130948),
+    ("MobileNet", 16, 0.108079),
+    ("MobileNet", 32, 0.390580),
+];
+
+/// Pre-PR fit seconds for a model/size pair (panics if the pair is missing
+/// from the baseline table).
+fn baseline_fit_secs(model: &str, size: usize) -> f64 {
+    BASELINE_FIT_SECS
+        .iter()
+        .find(|(m, s, _)| *m == model && *s == size)
+        .map(|&(_, _, secs)| secs)
+        .expect("baseline entry for every benched model/size")
+}
+
+struct TrainResult {
+    model: &'static str,
+    size: usize,
+    samples: usize,
+    epochs: usize,
+    per_sample_secs: f64,
+    batched_secs: f64,
+    weights_bit_identical: bool,
+}
+
+fn main() {
+    // Pin to one thread before anything touches the pool: the microbench
+    // isolates the kernel, and the training gate is specified single-thread.
+    std::env::set_var("REMIX_THREADS", "1");
+
+    let gemm_results: Vec<GemmResult> = SHAPES.iter().map(bench_shape).collect();
+    println!("GEMM kernel — blocked vs reference (1 thread)\n");
+    println!(
+        "{:<20} {:>16} {:>12} {:>12} {:>9}  bits",
+        "shape", "m×k×n", "reference", "blocked", "speedup"
+    );
+    for r in &gemm_results {
+        println!(
+            "{:<20} {:>16} {:>12} {:>12} {:>8.2}x  {}",
+            r.name,
+            format!("{}×{}×{}", r.m, r.k, r.n),
+            format!("{:.1}µs", r.reference_secs * 1e6),
+            format!("{:.1}µs", r.blocked_secs * 1e6),
+            r.reference_secs / r.blocked_secs,
+            if r.bit_identical { "=" } else { "DIVERGED" }
+        );
+    }
+    let largest = gemm_results
+        .iter()
+        .max_by_key(|r| r.m * r.k * r.n)
+        .expect("non-empty shape list");
+    let largest_speedup = largest.reference_secs / largest.blocked_secs;
+    println!(
+        "\nLargest zoo shape ({}): {:.2}x (target ≥ 1.5x)",
+        largest.name, largest_speedup
+    );
+
+    println!("\nTraining — batched engine vs per-sample loop (batch 32, 1 thread)\n");
+    let train_results = vec![
+        bench_training(Arch::ConvNet, "ConvNet", 16),
+        bench_training(Arch::ConvNet, "ConvNet", 32),
+        bench_training(Arch::MobileNet, "MobileNet", 16),
+        bench_training(Arch::MobileNet, "MobileNet", 32),
+    ];
+    println!(
+        "{:<12} {:>5} {:>12} {:>12} {:>9} {:>9}  weights",
+        "model", "size", "per-sample", "batched", "speedup", "vs-seed"
+    );
+    for r in &train_results {
+        println!(
+            "{:<12} {:>5} {:>12} {:>12} {:>8.2}x {:>8.2}x  {}",
+            r.model,
+            format!("{}px", r.size),
+            format!("{:.3}s", r.per_sample_secs),
+            format!("{:.3}s", r.batched_secs),
+            r.per_sample_secs / r.batched_secs,
+            baseline_fit_secs(r.model, r.size) / r.batched_secs,
+            if r.weights_bit_identical {
+                "bit-identical"
+            } else {
+                "DIVERGED"
+            }
+        );
+    }
+
+    write_bench_json(&gemm_results, largest.name, largest_speedup, &train_results)
+        .expect("write results/bench_gemm.json");
+    println!("\nRecord written to results/bench_gemm.json");
+
+    let gemm_ok = gemm_results.iter().all(|r| r.bit_identical);
+    let train_ok = train_results.iter().all(|r| r.weights_bit_identical);
+    if !gemm_ok || !train_ok {
+        eprintln!("ERROR: blocked/batched path diverged bitwise from the reference path");
+        std::process::exit(1);
+    }
+}
+
+/// Times one shape: the retained reference kernel (which allocates its
+/// output per call, as the pre-blocking `matmul` did) against the blocked
+/// kernel driven through `matmul_into` with reused scratch (the batched
+/// engine's steady state). Also checks the results are bit-identical.
+fn bench_shape(shape: &GemmShape) -> GemmResult {
+    let (m, k, n) = (shape.m, shape.k, shape.n);
+    let mut rng = StdRng::seed_from_u64(7);
+    let a = Tensor::rand_uniform(&[m, k], -1.0, 1.0, &mut rng);
+    let b = Tensor::rand_uniform(&[k, n], -1.0, 1.0, &mut rng);
+
+    let reference = a.matmul_reference(&b).expect("shapes agree");
+    let mut out = Vec::new();
+    let mut packed = Vec::new();
+    a.matmul_into(&b, &mut out, &mut packed)
+        .expect("shapes agree");
+    let bit_identical = reference
+        .data()
+        .iter()
+        .zip(&out)
+        .all(|(x, y)| x.to_bits() == y.to_bits());
+
+    let reference_secs = time_per_iter(|| {
+        std::hint::black_box(a.matmul_reference(&b).expect("shapes agree"));
+    });
+    let blocked_secs = time_per_iter(|| {
+        a.matmul_into(&b, &mut out, &mut packed)
+            .expect("shapes agree");
+        std::hint::black_box(out.last());
+    });
+
+    GemmResult {
+        name: shape.name,
+        m,
+        k,
+        n,
+        reference_secs,
+        blocked_secs,
+        bit_identical,
+    }
+}
+
+/// Seconds per iteration: warm up, then repeat until ≥0.3 s has elapsed.
+fn time_per_iter(mut f: impl FnMut()) -> f64 {
+    for _ in 0..3 {
+        f();
+    }
+    let start = Instant::now();
+    let mut iters = 0u32;
+    while start.elapsed() < Duration::from_millis(300) {
+        f();
+        iters += 1;
+    }
+    start.elapsed().as_secs_f64() / f64::from(iters)
+}
+
+/// Trains two identically-seeded copies of `arch` at GTSRB scale, one
+/// through the batched engine and one per sample, and compares wall time and
+/// final weight bits.
+fn bench_training(arch: Arch, name: &'static str, size: usize) -> TrainResult {
+    let spec = InputSpec {
+        channels: 3,
+        size,
+        num_classes: 43,
+    };
+    let samples = 96;
+    let epochs = 2;
+    let mut rng = StdRng::seed_from_u64(11);
+    let images: Vec<Tensor> = (0..samples)
+        .map(|_| Tensor::rand_uniform(&[3, size, size], 0.0, 1.0, &mut rng))
+        .collect();
+    let labels: Vec<usize> = (0..samples).map(|i| i % spec.num_classes).collect();
+    let config = TrainerConfig {
+        epochs,
+        batch_size: 32,
+        seed: 5,
+        ..TrainerConfig::default()
+    };
+
+    // Best-of-3: fit wall times on a shared box are noisy, and the minimum
+    // is the least contaminated estimate of the true cost.
+    let run = |batched: bool| {
+        let mut best = f64::INFINITY;
+        let mut bits = Vec::new();
+        for _ in 0..3 {
+            let mut rng = StdRng::seed_from_u64(3);
+            let mut model = Model::new(zoo::build(arch, spec, &mut rng), spec);
+            assert!(
+                model.net_mut().supports_batched_train(),
+                "{name} should support the batched training engine"
+            );
+            let trainer = Trainer::new(TrainerConfig {
+                batched,
+                ..config.clone()
+            });
+            let start = Instant::now();
+            trainer.fit(&mut model, &images, &labels);
+            best = best.min(start.elapsed().as_secs_f64());
+            bits.clear();
+            model.net_mut().visit_params(&mut |p, _| {
+                bits.extend(p.data().iter().map(|v| v.to_bits()));
+            });
+        }
+        (best, bits)
+    };
+
+    let (per_sample_secs, per_sample_bits) = run(false);
+    let (batched_secs, batched_bits) = run(true);
+    TrainResult {
+        model: name,
+        size,
+        samples,
+        epochs,
+        per_sample_secs,
+        batched_secs,
+        weights_bit_identical: per_sample_bits == batched_bits,
+    }
+}
+
+/// Hand-formatted JSON record (the vendored serde_json has no pretty
+/// printer) of the kernel and training comparisons.
+fn write_bench_json(
+    gemm: &[GemmResult],
+    largest_name: &str,
+    largest_speedup: f64,
+    training: &[TrainResult],
+) -> std::io::Result<()> {
+    std::fs::create_dir_all("results")?;
+    let mut f = std::fs::File::create("results/bench_gemm.json")?;
+    let gemm_entries: Vec<String> = gemm
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\n      \"shape\": \"{}\",\n      \"m\": {},\n      \"k\": {},\n      \
+                 \"n\": {},\n      \"macs\": {},\n      \"reference_secs_per_iter\": {:.9},\n      \
+                 \"blocked_secs_per_iter\": {:.9},\n      \"speedup\": {:.3},\n      \
+                 \"bit_identical\": {}\n    }}",
+                r.name,
+                r.m,
+                r.k,
+                r.n,
+                r.m * r.k * r.n,
+                r.reference_secs,
+                r.blocked_secs,
+                r.reference_secs / r.blocked_secs,
+                r.bit_identical
+            )
+        })
+        .collect();
+    let train_entries: Vec<String> = training
+        .iter()
+        .map(|r| {
+            let trained = (r.samples * r.epochs) as f64;
+            let baseline = baseline_fit_secs(r.model, r.size);
+            format!(
+                "    {{\n      \"model\": \"{}\",\n      \"input_size\": {},\n      \
+                 \"samples\": {},\n      \
+                 \"epochs\": {},\n      \"batch_size\": 32,\n      \
+                 \"per_sample_secs\": {:.6},\n      \"batched_secs\": {:.6},\n      \
+                 \"per_sample_samples_per_sec\": {:.3},\n      \
+                 \"batched_samples_per_sec\": {:.3},\n      \"speedup\": {:.3},\n      \
+                 \"baseline_per_sample_secs\": {:.6},\n      \
+                 \"speedup_vs_baseline\": {:.3},\n      \
+                 \"weights_bit_identical\": {}\n    }}",
+                r.model,
+                r.size,
+                r.samples,
+                r.epochs,
+                r.per_sample_secs,
+                r.batched_secs,
+                trained / r.per_sample_secs,
+                trained / r.batched_secs,
+                r.per_sample_secs / r.batched_secs,
+                baseline,
+                baseline / r.batched_secs,
+                r.weights_bit_identical
+            )
+        })
+        .collect();
+    writeln!(
+        f,
+        "{{\n  \"benchmark\": \"bench_gemm\",\n  \"threads\": 1,\n  \
+         \"gemm\": [\n{}\n  ],\n  \"largest_shape\": \"{largest_name}\",\n  \
+         \"largest_shape_speedup\": {largest_speedup:.3},\n  \
+         \"training\": [\n{}\n  ]\n}}",
+        gemm_entries.join(",\n"),
+        train_entries.join(",\n"),
+    )
+}

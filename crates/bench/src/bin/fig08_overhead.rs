@@ -24,6 +24,13 @@ use std::time::{Duration, Instant};
 /// the batched engine is benchmarked against it.
 const PR1_BASELINE_SECS: f64 = 2.231;
 
+/// Wall seconds of the `TrainedStack::train` call below at quick scale on
+/// one thread, recorded at the commit preceding the blocked-GEMM batched
+/// training step (the faster of two baseline runs, so the speedup claim is
+/// conservative). The training wall measured by this runner is compared
+/// against it.
+const SEED_STACK_TRAIN_SECS: f64 = 61.843;
+
 /// One batched-vs-per-sample measurement: stage sums over the disagreement
 /// inputs, total wall, and the full verdict list for bitwise comparison.
 struct EngineRun {
@@ -49,7 +56,15 @@ fn main() {
         .generate();
     let pat = pattern::extract(&train, 3, 5);
     let setting = FaultSetting::Single(FaultConfig::new(FaultType::Mislabelling, 0.3));
+    let train_start = Instant::now();
     let mut stack = TrainedStack::train(&train, &pat, &setting, 3, &scale, 100);
+    let stack_train_secs = train_start.elapsed().as_secs_f64();
+    println!(
+        "Stack training: {:.3}s wall (pre-GEMM-blocking baseline {:.3}s, {:.2}x)\n",
+        stack_train_secs,
+        SEED_STACK_TRAIN_SECS,
+        SEED_STACK_TRAIN_SECS / stack_train_secs
+    );
     let mut rng = StdRng::seed_from_u64(1);
     let _ = &mut rng;
     // best-individual baseline time
@@ -190,8 +205,15 @@ fn main() {
             "DIVERGED"
         }
     );
-    write_bench_json(per_sample, batched, speedup, verdicts_identical, &test)
-        .expect("write results/bench_inference.json");
+    write_bench_json(
+        per_sample,
+        batched,
+        speedup,
+        verdicts_identical,
+        stack_train_secs,
+        &test,
+    )
+    .expect("write results/bench_inference.json");
     println!("Record written to results/bench_inference.json");
     println!("\nPaper: ReMIX ≈ 1.15× D-WMaj, ≈ 4.5× UMaj/UAvg/S-WMaj/Bagging, ≈ 6× Best.");
     if !verdicts_identical {
@@ -258,6 +280,7 @@ fn write_bench_json(
     batched: &EngineRun,
     speedup: f64,
     verdicts_identical: bool,
+    stack_train_secs: f64,
     test: &remix_data::Dataset,
 ) -> std::io::Result<()> {
     std::fs::create_dir_all("results")?;
@@ -288,6 +311,9 @@ fn write_bench_json(
         "{{\n  \"benchmark\": \"fig08_overhead\",\n  \"scale\": \"{scale}\",\n  \
          \"inputs\": {},\n  \"disagreement_inputs\": {},\n  \"threads\": {},\n  \
          \"pr1_baseline_wall_secs\": {PR1_BASELINE_SECS},\n  \
+         \"stack_train_secs\": {stack_train_secs:.6},\n  \
+         \"seed_stack_train_secs\": {SEED_STACK_TRAIN_SECS},\n  \
+         \"stack_train_speedup_vs_seed\": {:.3},\n  \
          \"engines\": {{\n    \"per_sample\": {},\n    \"batched\": {}\n  }},\n  \
          \"speedup_batched_vs_per_sample\": {speedup:.3},\n  \
          \"speedup_batched_vs_pr1_baseline\": {:.3},\n  \
@@ -295,6 +321,7 @@ fn write_bench_json(
         test.len(),
         batched.disagreements,
         batched.stage.threads,
+        SEED_STACK_TRAIN_SECS / stack_train_secs,
         engine_json(per_sample),
         engine_json(batched),
         PR1_BASELINE_SECS / batched.wall.as_secs_f64(),

@@ -109,7 +109,7 @@ fn cosine_distance(a: &Tensor, b: &Tensor) -> f32 {
             1.0
         };
     }
-    let dot = a.dot(b).expect("equal lengths checked");
+    let dot = a.dot_flat(b).expect("equal lengths checked");
     (1.0 - dot / (na * nb)).clamp(0.0, 2.0)
 }
 

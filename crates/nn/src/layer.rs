@@ -16,7 +16,7 @@ pub enum Mode {
     /// Deterministic forward pass that keeps only what
     /// [`Layer::backward_input`] needs (activation masks, pooling argmaxes,
     /// normalization statistics) and skips the parameter-gradient caches —
-    /// im2col column matrices, cached layer inputs. This is the mode of the
+    /// im2row patch matrices, cached layer inputs. This is the mode of the
     /// XAI hot path: `predict_proba` never calls backward at all, and
     /// `input_gradient` only needs the input gradient, so neither should pay
     /// training-only memory traffic on every perturbation pass.
@@ -84,6 +84,32 @@ pub trait Layer: Send {
     /// parameter gradients as a side effect.
     fn backward(&mut self, grad_out: &Tensor) -> Tensor;
 
+    /// Parameter-gradient-only backward: like [`Layer::backward`] but skips
+    /// computing the gradient w.r.t. the layer input, which the caller is
+    /// about to discard. Only the *root* layer of a training step qualifies —
+    /// its input gradient is the image gradient, consumed by nothing — so
+    /// `Sequential::backward_train` calls this on its first layer and the
+    /// full `backward` everywhere else. Parameter gradients must accumulate
+    /// through the exact chains of `backward`, so skipping the input product
+    /// never changes the trained weights. The default runs the full
+    /// `backward` and drops the result.
+    fn backward_params_only(&mut self, grad_out: &Tensor) {
+        let _ = self.backward(grad_out);
+    }
+
+    /// Batched [`Layer::backward_params_only`]: accumulates parameter
+    /// gradients for the batch of the immediately preceding
+    /// [`Layer::forward_batch`] without producing input gradients. Same
+    /// root-layer-only contract; the default runs the full
+    /// [`Layer::backward_batch`] and drops the gradients.
+    ///
+    /// # Errors
+    ///
+    /// Returns whatever the layer's `backward_batch` contract returns.
+    fn backward_batch_params_only(&mut self, grads_out: &[Tensor]) -> Result<()> {
+        self.backward_batch(grads_out).map(|_| ())
+    }
+
     /// Input-gradient-only backward: like [`Layer::backward`] but skips the
     /// parameter-gradient accumulation, which XAI input gradients never
     /// consume. Layers with expensive weight-gradient products (convolutions,
@@ -119,6 +145,42 @@ pub trait Layer: Send {
     /// [`Layer::backward_input_batch`]). Defaults to `false`; callers fall
     /// back to per-sample forward/backward for layers that opt out.
     fn supports_batched_backward(&self) -> bool {
+        false
+    }
+
+    /// Batched [`Layer::backward`]: per-sample input gradients for the batch
+    /// of the immediately preceding [`Layer::forward_batch`] in
+    /// [`Mode::Train`] / [`Mode::Eval`], *with* parameter-gradient
+    /// accumulation.
+    ///
+    /// The bit-identity contract is strict: parameter gradients must
+    /// accumulate per sample, in batch order, through the same per-element
+    /// accumulation chains as `batch_size` calls of [`Layer::backward`] —
+    /// layers may batch the input-gradient product (each output element's
+    /// chain stays within one sample) but must *not* fuse the per-sample
+    /// parameter-gradient sums into one long chain.
+    ///
+    /// Only valid on layers reporting [`Layer::supports_batched_train`]; the
+    /// default returns [`TensorError::Unsupported`] so a mis-wired caller
+    /// fails loudly instead of silently using stale caches.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::Unsupported`] unless overridden.
+    fn backward_batch(&mut self, grads_out: &[Tensor]) -> Result<Vec<Tensor>> {
+        let _ = grads_out;
+        Err(TensorError::Unsupported {
+            op: "backward_batch",
+            by: self.name(),
+        })
+    }
+
+    /// Whether this layer implements the batched *training* contract
+    /// ([`Layer::forward_batch`] in [`Mode::Train`] keeping the
+    /// parameter-gradient caches + [`Layer::backward_batch`]). Defaults to
+    /// `false`; `Trainer::fit` falls back to the per-sample loop for networks
+    /// containing layers that opt out.
+    fn supports_batched_train(&self) -> bool {
         false
     }
 

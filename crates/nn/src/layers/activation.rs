@@ -40,10 +40,13 @@ impl Layer for Relu {
     }
 
     fn forward_batch(&mut self, inputs: &[Tensor], _mode: Mode) -> Result<Vec<Tensor>> {
-        self.batch_masks = inputs
-            .iter()
-            .map(|x| x.data().iter().map(|&v| v > 0.0).collect())
-            .collect();
+        // Refill the retained per-sample mask vectors in place: at batch 32 a
+        // fresh Vec<bool> per sample per step is pure allocator churn.
+        self.batch_masks.resize(inputs.len(), Vec::new());
+        for (mask, x) in self.batch_masks.iter_mut().zip(inputs) {
+            mask.clear();
+            mask.extend(x.data().iter().map(|&v| v > 0.0));
+        }
         Ok(inputs.iter().map(|x| x.map(|v| v.max(0.0))).collect())
     }
 
@@ -79,6 +82,15 @@ impl Layer for Relu {
     }
 
     fn supports_batched_backward(&self) -> bool {
+        true
+    }
+
+    fn backward_batch(&mut self, grads_out: &[Tensor]) -> Result<Vec<Tensor>> {
+        // No parameters: the training backward is the input backward.
+        self.backward_input_batch(grads_out)
+    }
+
+    fn supports_batched_train(&self) -> bool {
         true
     }
 
@@ -156,6 +168,15 @@ impl Layer for Sigmoid {
         true
     }
 
+    fn backward_batch(&mut self, grads_out: &[Tensor]) -> Result<Vec<Tensor>> {
+        // No parameters: the training backward is the input backward.
+        self.backward_input_batch(grads_out)
+    }
+
+    fn supports_batched_train(&self) -> bool {
+        true
+    }
+
     fn name(&self) -> &'static str {
         "Sigmoid"
     }
@@ -224,6 +245,15 @@ impl Layer for TanhLayer {
     }
 
     fn supports_batched_backward(&self) -> bool {
+        true
+    }
+
+    fn backward_batch(&mut self, grads_out: &[Tensor]) -> Result<Vec<Tensor>> {
+        // No parameters: the training backward is the input backward.
+        self.backward_input_batch(grads_out)
+    }
+
+    fn supports_batched_train(&self) -> bool {
         true
     }
 

@@ -162,6 +162,38 @@ impl Layer for InstanceNorm2d {
         true
     }
 
+    fn backward_batch(&mut self, grads_out: &[Tensor]) -> Result<Vec<Tensor>> {
+        if grads_out.len() != self.batch_xhat.len() {
+            return Err(TensorError::ShapeMismatch {
+                left: vec![grads_out.len()],
+                right: vec![self.batch_xhat.len()],
+                op: "instancenorm backward_batch",
+            });
+        }
+        let xhats = std::mem::take(&mut self.batch_xhat);
+        let sigmas = std::mem::take(&mut self.batch_sigma);
+        let mut dxs = Vec::with_capacity(grads_out.len());
+        // dγ/dβ accumulate per sample in batch order, recomputing the same
+        // per-channel sums backward() folds — identical chains, so batched
+        // training matches per-sample training bitwise.
+        for (g, (xhat_t, sigma)) in grads_out.iter().zip(xhats.iter().zip(&sigmas)) {
+            dxs.push(self.input_grad_from(g, xhat_t, sigma));
+            for c in 0..self.channels {
+                let xhat = &xhat_t.data()[c * self.spatial..(c + 1) * self.spatial];
+                let go = &g.data()[c * self.spatial..(c + 1) * self.spatial];
+                let sum_dy: f32 = go.iter().sum();
+                let sum_dy_xhat: f32 = go.iter().zip(xhat).map(|(&a, &b)| a * b).sum();
+                self.grad_gamma.data_mut()[c] += sum_dy_xhat;
+                self.grad_beta.data_mut()[c] += sum_dy;
+            }
+        }
+        Ok(dxs)
+    }
+
+    fn supports_batched_train(&self) -> bool {
+        true
+    }
+
     fn visit_params(&mut self, visit: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
         visit(&mut self.gamma, &mut self.grad_gamma);
         visit(&mut self.beta, &mut self.grad_beta);

@@ -1,18 +1,21 @@
 use crate::{Layer, Mode};
 use rand::Rng;
 use remix_tensor::{
-    col2im, col2im_batch, im2col_batch_into, im2col_into, Conv2dGeometry, Result, Tensor,
-    TensorError,
+    gemm_accum_ab, im2row_batch_into, im2row_into, row2im, row2im_batch, Conv2dGeometry, Result,
+    Tensor, TensorError,
 };
 
 /// 2-D convolution over `[C, H, W]` inputs, lowered to a matrix product via
-/// im2col.
+/// a row-major patch matrix (im2row).
 ///
-/// Weights are stored as `[filters, C*k*k]`, which makes both the forward
-/// product and the two backward products plain rank-2 matmuls. A batch of
-/// inputs lowers to one `[filters, C*k*k] x [C*k*k, B*out_h*out_w]` product
-/// that reuses the same row-partitioned kernel, so batched outputs are
-/// bit-identical to per-sample outputs.
+/// Weights are stored as `[filters, C*k*k]` and patches as
+/// `[out_h*out_w, C*k*k]` rows, so the forward pass is a transpose-free
+/// `W ·ᵃᵇᵗ patches` and both backward products are plain rank-2 matmuls. A
+/// batch of inputs lowers to one `[B*out_h*out_w, C*k*k]` patch matrix whose
+/// per-sample blocks are contiguous *rows* — the unfold writes, the
+/// per-sample dW windows and the input-gradient fold all touch memory
+/// sequentially, and the fused products are bit-identical to per-sample ones
+/// because each output element keeps its own ascending-k chain.
 #[derive(Debug, Clone)]
 pub struct Conv2d {
     weight: Tensor, // [F, C*k*k]
@@ -21,8 +24,22 @@ pub struct Conv2d {
     grad_b: Tensor,
     geo: Conv2dGeometry,
     filters: usize,
-    cached_cols: Tensor,
-    scratch_cols: Vec<f32>,
+    cached_rows: Tensor, // [B*out_h*out_w, C*k*k] patch rows from forward
+    scratch_rows: Vec<f32>,
+    scratch: ConvScratch,
+}
+
+/// Reusable buffers for the batched GEMMs. Each GEMM call site owns its pair
+/// so the sizes stay stable across training steps and the `_into` kernels
+/// never reallocate or zero-fill in steady state.
+#[derive(Debug, Clone, Default)]
+struct ConvScratch {
+    fwd_out: Vec<f32>,    // [F, B·spatial] forward product
+    fwd_packed: Vec<f32>, // packed patch-row panels for the forward GEMM
+    gcat: Vec<f32>,       // [F, B·spatial] concatenated output gradients
+    drows: Vec<f32>,      // [B·spatial, patch] patch-row gradients
+    dx_packed: Vec<f32>,  // packed weight panels for the dX GEMM
+    dw_packed: Vec<f32>,  // packed patch-row panels for the per-sample dW GEMMs
 }
 
 impl Conv2d {
@@ -59,8 +76,21 @@ impl Conv2d {
             grad_b: Tensor::zeros(&[filters]),
             geo,
             filters,
-            cached_cols: Tensor::default(),
-            scratch_cols: Vec::new(),
+            cached_rows: Tensor::default(),
+            scratch_rows: Vec::new(),
+            scratch: ConvScratch::default(),
+        }
+    }
+
+    /// Reclaims the patch-row buffer for the next unfold: the inference path
+    /// parks it in `scratch_rows`, the training path leaves it inside the
+    /// previous step's `cached_rows`.
+    fn take_patch_buf(&mut self) -> Vec<f32> {
+        let buf = std::mem::take(&mut self.scratch_rows);
+        if buf.is_empty() {
+            std::mem::take(&mut self.cached_rows).into_vec()
+        } else {
+            buf
         }
     }
 
@@ -69,12 +99,127 @@ impl Conv2d {
         (self.filters, self.geo.out_h(), self.geo.out_w())
     }
 
-    /// Input gradient `col2im(Wᵀ · g)` — shared by `backward`,
-    /// `backward_input` and (in its concatenated form) the batched backward.
+    /// Input gradient `row2im(gᵀ · W)` — shared by `backward` and
+    /// `backward_input`. `matmul_at_b` reads `gᵀ` straight out of the
+    /// `[F, spatial]` storage, so no transpose copy is materialized, and the
+    /// `[spatial, patch]` result feeds the sequential-read row fold.
     fn input_grad_from(&self, g: &Tensor) -> Result<Tensor> {
-        let wt = self.weight.transpose()?;
-        let dcols = wt.matmul(g)?;
-        col2im(&dcols, &self.geo)
+        let drows = g.matmul_at_b(&self.weight)?;
+        row2im(&drows, &self.geo)
+    }
+
+    /// Concatenates per-sample output gradients into the batched layout
+    /// `[F, B·spatial]` (sample `bi` at columns `bi·spatial..`), validating
+    /// shapes. Reuses the `gcat` scratch allocation; every slot is written.
+    fn concat_grads(&mut self, grads_out: &[Tensor]) -> Result<Tensor> {
+        let batch = grads_out.len();
+        let (oh, ow) = (self.geo.out_h(), self.geo.out_w());
+        let spatial = oh * ow;
+        let total = batch * spatial;
+        let mut gcat = std::mem::take(&mut self.scratch.gcat);
+        if gcat.len() != self.filters * total {
+            gcat.clear();
+            gcat.resize(self.filters * total, 0.0);
+        }
+        for (bi, g) in grads_out.iter().enumerate() {
+            if g.len() != self.filters * spatial {
+                self.scratch.gcat = gcat;
+                return Err(TensorError::ShapeMismatch {
+                    left: g.shape().to_vec(),
+                    right: vec![self.filters, oh, ow],
+                    op: "conv batched backward",
+                });
+            }
+            for f in 0..self.filters {
+                let dst = f * total + bi * spatial;
+                gcat[dst..dst + spatial].copy_from_slice(&g.data()[f * spatial..(f + 1) * spatial]);
+            }
+        }
+        Tensor::from_vec(gcat, &[self.filters, total])
+    }
+
+    /// `dW += g · rows ; db += row sums of g` — the parameter half of
+    /// [`Layer::backward`], against the cached `[spatial, patch]` rows. The
+    /// `[spatial, patch]` layout makes the dW product a plain matmul with no
+    /// transpose copy and contiguous B packing.
+    fn accumulate_param_grads(&mut self, g: &Tensor) {
+        let spatial = self.geo.out_h() * self.geo.out_w();
+        let dw = g.matmul(&self.cached_rows).expect("dW matmul");
+        self.grad_w.add_assign(&dw).expect("dW shape");
+        let gb = self.grad_b.data_mut();
+        for (f, gbf) in gb.iter_mut().enumerate().take(self.filters) {
+            *gbf += g.data()[f * spatial..(f + 1) * spatial].iter().sum::<f32>();
+        }
+    }
+
+    /// dW/db for a whole batch, accumulated per sample in batch order — the
+    /// exact chains of `batch_size` [`Layer::backward`] calls. Each sample's
+    /// dW contribution is a plain A·B against its contiguous row window of
+    /// the cached patch matrix, computed as a complete register chain then
+    /// added to `grad_w`, matching `dw = g·rows; grad_w += dw` bitwise.
+    /// Callers must have validated every gradient's length.
+    fn accumulate_batch_param_grads(&mut self, grads_out: &[Tensor], spatial: usize, patch: usize) {
+        let mut packed = std::mem::take(&mut self.scratch.dw_packed);
+        for (bi, gs) in grads_out.iter().enumerate() {
+            gemm_accum_ab(
+                gs.data(),
+                &self.cached_rows.data()[bi * spatial * patch..(bi + 1) * spatial * patch],
+                self.grad_w.data_mut(),
+                self.filters,
+                spatial,
+                patch,
+                &mut packed,
+            );
+            let gb = self.grad_b.data_mut();
+            for (f, gbf) in gb.iter_mut().enumerate().take(self.filters) {
+                *gbf += gs.data()[f * spatial..(f + 1) * spatial]
+                    .iter()
+                    .sum::<f32>();
+            }
+        }
+        self.scratch.dw_packed = packed;
+    }
+
+    /// Checks the cached patch matrix covers `batch` samples and that every
+    /// per-sample gradient has the conv's output length. Shared by the
+    /// batched backward entry points, all of which read raw per-sample
+    /// windows after this.
+    fn validate_batch_grads(
+        &self,
+        grads_out: &[Tensor],
+        spatial: usize,
+        patch: usize,
+    ) -> Result<()> {
+        assert_eq!(
+            self.cached_rows.len(),
+            patch * grads_out.len() * spatial,
+            "backward_batch batch size must match the preceding forward_batch"
+        );
+        for g in grads_out {
+            if g.len() != self.filters * spatial {
+                return Err(TensorError::ShapeMismatch {
+                    left: g.shape().to_vec(),
+                    right: vec![self.filters, self.geo.out_h(), self.geo.out_w()],
+                    op: "conv batched backward",
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Shared tail of both batched backward paths: `dX = row2im(gcatᵀ · W)`
+    /// as one large transpose-free GEMM into reused scratch, then the
+    /// per-sample row fold. Returns `gcat`'s allocation to the scratch pool.
+    fn batched_input_grads(&mut self, gcat: Tensor, batch: usize) -> Result<Vec<Tensor>> {
+        let mut drows = std::mem::take(&mut self.scratch.drows);
+        let gemm = gcat.matmul_at_b_into(&self.weight, &mut drows, &mut self.scratch.dx_packed);
+        self.scratch.gcat = gcat.into_vec();
+        gemm?;
+        let total = drows.len() / self.geo.patch_len();
+        let drows_t = Tensor::from_vec(drows, &[total, self.geo.patch_len()])?;
+        let folded = row2im_batch(&drows_t, &self.geo, batch);
+        self.scratch.drows = drows_t.into_vec();
+        folded
     }
 }
 
@@ -89,66 +234,80 @@ impl Layer for Conv2d {
     }
 
     fn try_forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
-        let mut buf = std::mem::take(&mut self.scratch_cols);
-        if let Err(e) = im2col_into(input, &self.geo, &mut buf) {
-            self.scratch_cols = buf;
+        let mut buf = self.take_patch_buf();
+        if let Err(e) = im2row_into(input, &self.geo, &mut buf) {
+            self.scratch_rows = buf;
             return Err(e);
         }
         let (oh, ow) = (self.geo.out_h(), self.geo.out_w());
         let spatial = oh * ow;
-        let cols = Tensor::from_vec(buf, &[self.geo.patch_len(), spatial])?;
-        let mut out = self.weight.matmul(&cols)?;
-        {
-            let buf = out.data_mut();
-            for f in 0..self.filters {
-                let b = self.bias.data()[f];
-                for v in &mut buf[f * spatial..(f + 1) * spatial] {
-                    *v += b;
-                }
+        let rows = Tensor::from_vec(buf, &[spatial, self.geo.patch_len()])?;
+        // `W ·ᵃᵇᵗ rows` reads the patch rows straight out of their storage —
+        // same products, same ascending-patch chains as the column-layout
+        // `W · cols`, so forward bits are unchanged by the row layout.
+        let mut out = Vec::new();
+        self.weight
+            .matmul_a_bt_into(&rows, &mut out, &mut self.scratch.fwd_packed)?;
+        for f in 0..self.filters {
+            let b = self.bias.data()[f];
+            for v in &mut out[f * spatial..(f + 1) * spatial] {
+                *v += b;
             }
         }
         if mode == Mode::Inference {
-            // The input gradient only needs the weights; recycle the column
+            // The input gradient only needs the weights; recycle the patch
             // matrix as scratch instead of caching it.
-            self.scratch_cols = cols.into_vec();
+            self.scratch_rows = rows.into_vec();
         } else {
-            self.cached_cols = cols;
+            self.cached_rows = rows;
         }
-        Tensor::from_vec(out.into_vec(), &[self.filters, oh, ow])
+        Tensor::from_vec(out, &[self.filters, oh, ow])
     }
 
     fn forward_batch(&mut self, inputs: &[Tensor], mode: Mode) -> Result<Vec<Tensor>> {
         if inputs.is_empty() {
             return Ok(Vec::new());
         }
-        let mut buf = std::mem::take(&mut self.scratch_cols);
-        if let Err(e) = im2col_batch_into(inputs, &self.geo, &mut buf) {
-            self.scratch_cols = buf;
+        let mut buf = self.take_patch_buf();
+        if let Err(e) = im2row_batch_into(inputs, &self.geo, &mut buf) {
+            self.scratch_rows = buf;
             return Err(e);
         }
-        let _ = mode;
         let batch = inputs.len();
         let (oh, ow) = (self.geo.out_h(), self.geo.out_w());
         let spatial = oh * ow;
         let total = batch * spatial;
-        let cols = Tensor::from_vec(buf, &[self.geo.patch_len(), total])?;
-        // One big product: sample b occupies columns b*spatial..(b+1)*spatial.
-        // `matmul` accumulates each output element independently over the
-        // inner dimension, so every element is bit-identical to the
+        let rows = Tensor::from_vec(buf, &[total, self.geo.patch_len()])?;
+        // One big product: sample b occupies output columns
+        // b*spatial..(b+1)*spatial. Each output element keeps its own
+        // ascending-patch chain, so every element is bit-identical to the
         // per-sample product.
-        let big = self.weight.matmul(&cols)?;
-        self.scratch_cols = cols.into_vec();
-        let data = big.data();
+        let mut big = std::mem::take(&mut self.scratch.fwd_out);
+        let gemm = self
+            .weight
+            .matmul_a_bt_into(&rows, &mut big, &mut self.scratch.fwd_packed);
+        if mode == Mode::Inference {
+            self.scratch_rows = rows.into_vec();
+        } else {
+            // Train/Eval keep the batched patch matrix: backward_batch reads
+            // per-sample row windows of it for the dW accumulation.
+            self.cached_rows = rows;
+        }
+        if let Err(e) = gemm {
+            self.scratch.fwd_out = big;
+            return Err(e);
+        }
         let mut outs = Vec::with_capacity(batch);
         for bi in 0..batch {
             let mut sample = Vec::with_capacity(self.filters * spatial);
             for f in 0..self.filters {
                 let base = f * total + bi * spatial;
                 let b = self.bias.data()[f];
-                sample.extend(data[base..base + spatial].iter().map(|&v| v + b));
+                sample.extend(big[base..base + spatial].iter().map(|&v| v + b));
             }
             outs.push(Tensor::from_vec(sample, &[self.filters, oh, ow])?);
         }
+        self.scratch.fwd_out = big;
         Ok(outs)
     }
 
@@ -157,19 +316,18 @@ impl Layer for Conv2d {
         let g = grad_out
             .reshape(&[self.filters, oh * ow])
             .expect("grad shape matches conv output");
-        // dW += g · colsᵀ
-        let cols_t = self.cached_cols.transpose().expect("cols rank 2");
-        let dw = g.matmul(&cols_t).expect("dW matmul");
-        self.grad_w.add_assign(&dw).expect("dW shape");
-        // db += row sums of g
-        {
-            let gb = self.grad_b.data_mut();
-            for (f, gbf) in gb.iter_mut().enumerate().take(self.filters) {
-                *gbf += g.data()[f * oh * ow..(f + 1) * oh * ow].iter().sum::<f32>();
-            }
-        }
-        // dx = col2im(Wᵀ · g)
-        self.input_grad_from(&g).expect("col2im geometry")
+        self.accumulate_param_grads(&g);
+        // dx = row2im(gᵀ · W)
+        self.input_grad_from(&g).expect("row2im geometry")
+    }
+
+    fn backward_params_only(&mut self, grad_out: &Tensor) {
+        // Root-layer training backward: skip the dX GEMM and the overlap
+        // fold entirely — the image gradient is never consumed.
+        let g = grad_out
+            .reshape(&[self.filters, self.geo.out_h() * self.geo.out_w()])
+            .expect("grad shape matches conv output");
+        self.accumulate_param_grads(&g);
     }
 
     fn backward_input(&mut self, grad_out: &Tensor) -> Tensor {
@@ -177,7 +335,7 @@ impl Layer for Conv2d {
         let g = grad_out
             .reshape(&[self.filters, oh * ow])
             .expect("grad shape matches conv output");
-        self.input_grad_from(&g).expect("col2im geometry")
+        self.input_grad_from(&g).expect("row2im geometry")
     }
 
     fn backward_input_batch(&mut self, grads_out: &[Tensor]) -> Result<Vec<Tensor>> {
@@ -185,30 +343,45 @@ impl Layer for Conv2d {
             return Ok(Vec::new());
         }
         let batch = grads_out.len();
-        let (oh, ow) = (self.geo.out_h(), self.geo.out_w());
-        let spatial = oh * ow;
-        let total = batch * spatial;
-        let mut gcat = vec![0.0f32; self.filters * total];
-        for (bi, g) in grads_out.iter().enumerate() {
-            if g.len() != self.filters * spatial {
-                return Err(TensorError::ShapeMismatch {
-                    left: g.shape().to_vec(),
-                    right: vec![self.filters, oh, ow],
-                    op: "conv backward_input_batch",
-                });
-            }
-            for f in 0..self.filters {
-                let dst = f * total + bi * spatial;
-                gcat[dst..dst + spatial].copy_from_slice(&g.data()[f * spatial..(f + 1) * spatial]);
-            }
-        }
-        let g = Tensor::from_vec(gcat, &[self.filters, total])?;
-        let wt = self.weight.transpose()?;
-        let dcols = wt.matmul(&g)?;
-        col2im_batch(&dcols, &self.geo, batch)
+        let g = self.concat_grads(grads_out)?;
+        self.batched_input_grads(g, batch)
     }
 
     fn supports_batched_backward(&self) -> bool {
+        true
+    }
+
+    fn backward_batch(&mut self, grads_out: &[Tensor]) -> Result<Vec<Tensor>> {
+        if grads_out.is_empty() {
+            return Ok(Vec::new());
+        }
+        let batch = grads_out.len();
+        let spatial = self.geo.out_h() * self.geo.out_w();
+        let patch = self.geo.patch_len();
+        self.validate_batch_grads(grads_out, spatial, patch)?;
+        self.accumulate_batch_param_grads(grads_out, spatial, patch);
+        // dX is one large transpose-free GEMM + batched row fold: each output
+        // row belongs to exactly one sample, so per-element chains match the
+        // per-sample input gradient.
+        let g = self.concat_grads(grads_out)?;
+        self.batched_input_grads(g, batch)
+    }
+
+    fn backward_batch_params_only(&mut self, grads_out: &[Tensor]) -> Result<()> {
+        if grads_out.is_empty() {
+            return Ok(());
+        }
+        let spatial = self.geo.out_h() * self.geo.out_w();
+        let patch = self.geo.patch_len();
+        self.validate_batch_grads(grads_out, spatial, patch)?;
+        // Root-layer training backward: the per-sample dW/db accumulation
+        // with the gradient concat, the dX GEMM and the batched fold all
+        // skipped — the image gradients are never consumed.
+        self.accumulate_batch_param_grads(grads_out, spatial, patch);
+        Ok(())
+    }
+
+    fn supports_batched_train(&self) -> bool {
         true
     }
 
@@ -334,14 +507,14 @@ mod tests {
     }
 
     #[test]
-    fn inference_mode_skips_column_cache() {
+    fn inference_mode_skips_patch_cache() {
         let mut rng = StdRng::seed_from_u64(7);
         let mut conv = Conv2d::new((1, 4, 4), 2, 3, 1, 1, &mut rng);
         let x = Tensor::randn(&[1, 4, 4], 1.0, &mut rng);
         conv.forward(&x, Mode::Inference);
-        assert_eq!(conv.cached_cols.len(), 0);
-        assert!(!conv.scratch_cols.is_empty());
+        assert_eq!(conv.cached_rows.len(), 0);
+        assert!(!conv.scratch_rows.is_empty());
         conv.forward(&x, Mode::Train);
-        assert_ne!(conv.cached_cols.len(), 0);
+        assert_ne!(conv.cached_rows.len(), 0);
     }
 }

@@ -13,6 +13,7 @@ pub struct Dense {
     grad_w: Tensor,
     grad_b: Tensor,
     cached_input: Tensor,
+    batch_inputs: Vec<Tensor>,
 }
 
 impl Dense {
@@ -25,6 +26,7 @@ impl Dense {
             grad_w: Tensor::zeros(&[out_dim, in_dim]),
             grad_b: Tensor::zeros(&[out_dim]),
             cached_input: Tensor::default(),
+            batch_inputs: Vec::new(),
         }
     }
 
@@ -42,6 +44,23 @@ impl Dense {
     /// cached state. Shared by [`Layer::backward`], [`Layer::backward_input`]
     /// and composite layers (squeeze-excitation) that only need the input
     /// path.
+    /// `dW += g ⊗ x ; db += g` — the parameter half of [`Layer::backward`]
+    /// against an explicit input, sharing its exact accumulation chains
+    /// (including the zero-gradient row skip).
+    fn accumulate_param_grads(&mut self, grad_out: &Tensor, x: &Tensor) {
+        let in_dim = self.in_dim();
+        let gw = self.grad_w.data_mut();
+        for (i, &g) in grad_out.data().iter().enumerate() {
+            if g != 0.0 {
+                let row = &mut gw[i * in_dim..(i + 1) * in_dim];
+                for (w, &xv) in row.iter_mut().zip(x.data()) {
+                    *w += g * xv;
+                }
+            }
+        }
+        self.grad_b.add_assign(grad_out).expect("bias grad length");
+    }
+
     pub(crate) fn input_grad(&self, grad_out: &Tensor) -> Tensor {
         let in_dim = self.in_dim();
         let mut dx = vec![0.0f32; in_dim];
@@ -81,25 +100,70 @@ impl Layer for Dense {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let (out_dim, in_dim) = (self.out_dim(), self.in_dim());
-        debug_assert_eq!(grad_out.len(), out_dim);
+        debug_assert_eq!(grad_out.len(), self.out_dim());
         // dW += g ⊗ x ; db += g ; dx = Wᵀ g
-        let gw = self.grad_w.data_mut();
-        let x = self.cached_input.data();
-        for (i, &g) in grad_out.data().iter().enumerate() {
-            if g != 0.0 {
-                let row = &mut gw[i * in_dim..(i + 1) * in_dim];
-                for (w, &xv) in row.iter_mut().zip(x) {
-                    *w += g * xv;
-                }
-            }
-        }
-        self.grad_b.add_assign(grad_out).expect("bias grad length");
+        let x = std::mem::take(&mut self.cached_input);
+        self.accumulate_param_grads(grad_out, &x);
+        self.cached_input = x;
         self.input_grad(grad_out)
+    }
+
+    fn backward_params_only(&mut self, grad_out: &Tensor) {
+        // Root-layer training backward: skip the dx = Wᵀg product — the
+        // input gradient is never consumed.
+        debug_assert_eq!(grad_out.len(), self.out_dim());
+        let x = std::mem::take(&mut self.cached_input);
+        self.accumulate_param_grads(grad_out, &x);
+        self.cached_input = x;
     }
 
     fn backward_input(&mut self, grad_out: &Tensor) -> Tensor {
         self.input_grad(grad_out)
+    }
+
+    fn forward_batch(&mut self, inputs: &[Tensor], mode: Mode) -> Result<Vec<Tensor>> {
+        let (out_dim, in_dim) = (self.out_dim(), self.in_dim());
+        if inputs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let flats: Vec<Tensor> = inputs
+            .iter()
+            .map(|x| {
+                debug_assert_eq!(x.len(), in_dim, "dense input length");
+                if x.rank() == 1 {
+                    x.clone()
+                } else {
+                    x.flatten()
+                }
+            })
+            .collect();
+        let batch = flats.len();
+        // Columns are samples: big[i][s] = Σ_j w[i][j]·x_s[j], the same
+        // ascending-j chain as the per-sample matvec, so adding the bias last
+        // reproduces forward() bitwise.
+        let mut xmat = vec![0.0f32; in_dim * batch];
+        for (s, x) in flats.iter().enumerate() {
+            for (j, &v) in x.data().iter().enumerate() {
+                xmat[j * batch + s] = v;
+            }
+        }
+        let xmat = Tensor::from_vec(xmat, &[in_dim, batch])?;
+        let big = self.weight.matmul(&xmat)?;
+        let bias = self.bias.data();
+        let outs = (0..batch)
+            .map(|s| {
+                let data = (0..out_dim)
+                    .map(|i| big.data()[i * batch + s] + bias[i])
+                    .collect();
+                Tensor::from_vec(data, &[out_dim])
+            })
+            .collect::<Result<Vec<_>>>()?;
+        if mode != Mode::Inference {
+            self.batch_inputs = flats;
+        } else {
+            self.batch_inputs.clear();
+        }
+        Ok(outs)
     }
 
     fn backward_input_batch(&mut self, grads_out: &[Tensor]) -> Result<Vec<Tensor>> {
@@ -111,6 +175,62 @@ impl Layer for Dense {
     }
 
     fn supports_batched_backward(&self) -> bool {
+        true
+    }
+
+    fn backward_batch(&mut self, grads_out: &[Tensor]) -> Result<Vec<Tensor>> {
+        let (out_dim, in_dim) = (self.out_dim(), self.in_dim());
+        let inputs = std::mem::take(&mut self.batch_inputs);
+        assert_eq!(
+            grads_out.len(),
+            inputs.len(),
+            "backward_batch batch size must match the preceding forward_batch"
+        );
+        if grads_out.is_empty() {
+            return Ok(Vec::new());
+        }
+        // dW/db accumulate per sample in batch order — the exact chains of
+        // batch_size backward() calls. Fusing the per-sample outer products
+        // into one GEMM would merge those chains and break bit-identity.
+        for (g, x) in grads_out.iter().zip(&inputs) {
+            self.accumulate_param_grads(g, x);
+        }
+        // dX = Wᵀ·G is one transpose-free GEMM: each dx element's chain runs
+        // over the out_dim axis within a single sample's column, matching
+        // input_grad() bitwise on finite data.
+        let batch = grads_out.len();
+        let mut gmat = vec![0.0f32; out_dim * batch];
+        for (s, g) in grads_out.iter().enumerate() {
+            for (i, &v) in g.data().iter().enumerate() {
+                gmat[i * batch + s] = v;
+            }
+        }
+        let gmat = Tensor::from_vec(gmat, &[out_dim, batch])?;
+        let dxmat = self.weight.matmul_at_b(&gmat)?;
+        (0..batch)
+            .map(|s| {
+                let data = (0..in_dim).map(|j| dxmat.data()[j * batch + s]).collect();
+                Tensor::from_vec(data, &[in_dim])
+            })
+            .collect()
+    }
+
+    fn backward_batch_params_only(&mut self, grads_out: &[Tensor]) -> Result<()> {
+        let inputs = std::mem::take(&mut self.batch_inputs);
+        assert_eq!(
+            grads_out.len(),
+            inputs.len(),
+            "backward_batch batch size must match the preceding forward_batch"
+        );
+        // Root-layer training backward: the per-sample dW/db chains of
+        // backward_batch with the dX GEMM skipped.
+        for (g, x) in grads_out.iter().zip(&inputs) {
+            self.accumulate_param_grads(g, x);
+        }
+        Ok(())
+    }
+
+    fn supports_batched_train(&self) -> bool {
         true
     }
 

@@ -20,6 +20,7 @@ pub struct DepthwiseConv2d {
     stride: usize,
     pad: usize,
     cached_input: Tensor,
+    batch_inputs: Vec<Tensor>,
 }
 
 impl DepthwiseConv2d {
@@ -50,6 +51,7 @@ impl DepthwiseConv2d {
             stride,
             pad,
             cached_input: Tensor::default(),
+            batch_inputs: Vec::new(),
         }
     }
 
@@ -102,6 +104,88 @@ impl DepthwiseConv2d {
         }
         dx
     }
+
+    /// Full backward for one sample against an explicit input: accumulates
+    /// dW/db and returns dx. Shared by [`Layer::backward`] (cached input) and
+    /// [`Layer::backward_batch`] (per-sample batch inputs, in order), so both
+    /// run identical accumulation chains.
+    fn backward_sample(&mut self, grad_out: &Tensor, input: &Tensor) -> Tensor {
+        let (oh, ow, k) = (self.out_h(), self.out_w(), self.kernel);
+        debug_assert_eq!(grad_out.shape(), [self.channels, oh, ow]);
+        let mut dx = Tensor::zeros(&[self.channels, self.in_h, self.in_w]);
+        let x = input.data();
+        let g = grad_out.data();
+        let dxb = dx.data_mut();
+        for c in 0..self.channels {
+            let w = &self.weight.data()[c * k * k..(c + 1) * k * k];
+            let gw_base = c * k * k;
+            let mut db = 0.0;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let gv = g[(c * oh + oy) * ow + ox];
+                    if gv == 0.0 {
+                        continue;
+                    }
+                    db += gv;
+                    for ky in 0..k {
+                        let iy = (oy * self.stride + ky) as isize - self.pad as isize;
+                        if iy < 0 || iy >= self.in_h as isize {
+                            continue;
+                        }
+                        for kx in 0..k {
+                            let ix = (ox * self.stride + kx) as isize - self.pad as isize;
+                            if ix < 0 || ix >= self.in_w as isize {
+                                continue;
+                            }
+                            let xi = (c * self.in_h + iy as usize) * self.in_w + ix as usize;
+                            self.grad_w.data_mut()[gw_base + ky * k + kx] += gv * x[xi];
+                            dxb[xi] += gv * w[ky * k + kx];
+                        }
+                    }
+                }
+            }
+            self.grad_b.data_mut()[c] += db;
+        }
+        dx
+    }
+
+    /// Parameter gradients only for one sample: the same loop as
+    /// [`DepthwiseConv2d::backward_sample`] with the `dx` writes removed, so
+    /// `dW`/`db` accumulate in the exact same order.
+    fn param_grads_sample(&mut self, grad_out: &Tensor, input: &Tensor) {
+        let (oh, ow, k) = (self.out_h(), self.out_w(), self.kernel);
+        debug_assert_eq!(grad_out.shape(), [self.channels, oh, ow]);
+        let x = input.data();
+        let g = grad_out.data();
+        for c in 0..self.channels {
+            let gw_base = c * k * k;
+            let mut db = 0.0;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let gv = g[(c * oh + oy) * ow + ox];
+                    if gv == 0.0 {
+                        continue;
+                    }
+                    db += gv;
+                    for ky in 0..k {
+                        let iy = (oy * self.stride + ky) as isize - self.pad as isize;
+                        if iy < 0 || iy >= self.in_h as isize {
+                            continue;
+                        }
+                        for kx in 0..k {
+                            let ix = (ox * self.stride + kx) as isize - self.pad as isize;
+                            if ix < 0 || ix >= self.in_w as isize {
+                                continue;
+                            }
+                            let xi = (c * self.in_h + iy as usize) * self.in_w + ix as usize;
+                            self.grad_w.data_mut()[gw_base + ky * k + kx] += gv * x[xi];
+                        }
+                    }
+                }
+            }
+            self.grad_b.data_mut()[c] += db;
+        }
+    }
 }
 
 impl Layer for DepthwiseConv2d {
@@ -147,47 +231,33 @@ impl Layer for DepthwiseConv2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let (oh, ow, k) = (self.out_h(), self.out_w(), self.kernel);
-        debug_assert_eq!(grad_out.shape(), [self.channels, oh, ow]);
-        let mut dx = Tensor::zeros(&[self.channels, self.in_h, self.in_w]);
-        let x = self.cached_input.data();
-        let g = grad_out.data();
-        let dxb = dx.data_mut();
-        for c in 0..self.channels {
-            let w = &self.weight.data()[c * k * k..(c + 1) * k * k];
-            let gw_base = c * k * k;
-            let mut db = 0.0;
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let gv = g[(c * oh + oy) * ow + ox];
-                    if gv == 0.0 {
-                        continue;
-                    }
-                    db += gv;
-                    for ky in 0..k {
-                        let iy = (oy * self.stride + ky) as isize - self.pad as isize;
-                        if iy < 0 || iy >= self.in_h as isize {
-                            continue;
-                        }
-                        for kx in 0..k {
-                            let ix = (ox * self.stride + kx) as isize - self.pad as isize;
-                            if ix < 0 || ix >= self.in_w as isize {
-                                continue;
-                            }
-                            let xi = (c * self.in_h + iy as usize) * self.in_w + ix as usize;
-                            self.grad_w.data_mut()[gw_base + ky * k + kx] += gv * x[xi];
-                            dxb[xi] += gv * w[ky * k + kx];
-                        }
-                    }
-                }
-            }
-            self.grad_b.data_mut()[c] += db;
-        }
+        let input = std::mem::take(&mut self.cached_input);
+        let dx = self.backward_sample(grad_out, &input);
+        self.cached_input = input;
         dx
+    }
+
+    fn backward_params_only(&mut self, grad_out: &Tensor) {
+        let input = std::mem::take(&mut self.cached_input);
+        self.param_grads_sample(grad_out, &input);
+        self.cached_input = input;
     }
 
     fn backward_input(&mut self, grad_out: &Tensor) -> Tensor {
         self.input_grad(grad_out)
+    }
+
+    fn forward_batch(&mut self, inputs: &[Tensor], mode: Mode) -> Result<Vec<Tensor>> {
+        let outs = inputs
+            .iter()
+            .map(|x| self.try_forward(x, mode))
+            .collect::<Result<Vec<_>>>()?;
+        if mode != Mode::Inference {
+            self.batch_inputs = inputs.to_vec();
+        } else {
+            self.batch_inputs.clear();
+        }
+        Ok(outs)
     }
 
     fn backward_input_batch(&mut self, grads_out: &[Tensor]) -> Result<Vec<Tensor>> {
@@ -195,6 +265,37 @@ impl Layer for DepthwiseConv2d {
     }
 
     fn supports_batched_backward(&self) -> bool {
+        true
+    }
+
+    fn backward_batch(&mut self, grads_out: &[Tensor]) -> Result<Vec<Tensor>> {
+        let inputs = std::mem::take(&mut self.batch_inputs);
+        assert_eq!(
+            grads_out.len(),
+            inputs.len(),
+            "backward_batch batch size must match the preceding forward_batch"
+        );
+        Ok(grads_out
+            .iter()
+            .zip(&inputs)
+            .map(|(g, x)| self.backward_sample(g, x))
+            .collect())
+    }
+
+    fn backward_batch_params_only(&mut self, grads_out: &[Tensor]) -> Result<()> {
+        let inputs = std::mem::take(&mut self.batch_inputs);
+        assert_eq!(
+            grads_out.len(),
+            inputs.len(),
+            "backward_batch batch size must match the preceding forward_batch"
+        );
+        for (g, x) in grads_out.iter().zip(&inputs) {
+            self.param_grads_sample(g, x);
+        }
+        Ok(())
+    }
+
+    fn supports_batched_train(&self) -> bool {
         true
     }
 

@@ -9,6 +9,7 @@ pub struct Dropout {
     p: f32,
     rng: StdRng,
     mask: Option<Vec<f32>>,
+    batch_masks: Vec<Vec<f32>>,
 }
 
 impl Dropout {
@@ -26,7 +27,21 @@ impl Dropout {
             p,
             rng: StdRng::seed_from_u64(seed),
             mask: None,
+            batch_masks: Vec::new(),
         }
+    }
+
+    fn draw_mask(&mut self, len: usize) -> Vec<f32> {
+        let keep = 1.0 - self.p;
+        (0..len)
+            .map(|_| {
+                if self.rng.gen::<f32>() < self.p {
+                    0.0
+                } else {
+                    1.0 / keep
+                }
+            })
+            .collect()
     }
 }
 
@@ -42,16 +57,7 @@ impl Layer for Dropout {
                 input.clone()
             }
             Mode::Train => {
-                let keep = 1.0 - self.p;
-                let mask: Vec<f32> = (0..input.len())
-                    .map(|_| {
-                        if self.rng.gen::<f32>() < self.p {
-                            0.0
-                        } else {
-                            1.0 / keep
-                        }
-                    })
-                    .collect();
+                let mask = self.draw_mask(input.len());
                 let data = input
                     .data()
                     .iter()
@@ -79,20 +85,65 @@ impl Layer for Dropout {
         }
     }
 
-    fn backward_input_batch(&mut self, grads_out: &[Tensor]) -> Result<Vec<Tensor>> {
-        match &self.mask {
-            // Identity in eval/inference mode, where the batched path runs.
-            None => Ok(grads_out.to_vec()),
-            // Batched training-mode dropout would need per-sample masks; the
-            // batched engine never trains, so refuse instead of guessing.
-            Some(_) => Err(TensorError::Unsupported {
-                op: "backward_input_batch in train mode",
-                by: self.name(),
-            }),
+    fn forward_batch(&mut self, inputs: &[Tensor], mode: Mode) -> Result<Vec<Tensor>> {
+        match mode {
+            Mode::Eval | Mode::Inference => {
+                self.mask = None;
+                self.batch_masks.clear();
+                Ok(inputs.to_vec())
+            }
+            Mode::Train => {
+                // Masks are drawn sample-by-sample in batch order, consuming
+                // the RNG stream exactly as a per-sample forward loop would —
+                // so batched training stays bit-identical to per-sample
+                // training (including the random masks).
+                self.mask = None;
+                self.batch_masks = inputs.iter().map(|x| self.draw_mask(x.len())).collect();
+                inputs
+                    .iter()
+                    .zip(&self.batch_masks)
+                    .map(|(x, mask)| {
+                        let data = x.data().iter().zip(mask).map(|(&v, &m)| v * m).collect();
+                        Tensor::from_vec(data, x.shape())
+                    })
+                    .collect()
+            }
         }
     }
 
+    fn backward_input_batch(&mut self, grads_out: &[Tensor]) -> Result<Vec<Tensor>> {
+        if self.batch_masks.is_empty() {
+            // Identity in eval/inference mode.
+            return Ok(grads_out.to_vec());
+        }
+        if grads_out.len() != self.batch_masks.len() {
+            return Err(TensorError::ShapeMismatch {
+                left: vec![grads_out.len()],
+                right: vec![self.batch_masks.len()],
+                op: "dropout batched backward",
+            });
+        }
+        grads_out
+            .iter()
+            .zip(&self.batch_masks)
+            .map(|(g, mask)| {
+                let data = g.data().iter().zip(mask).map(|(&g, &m)| g * m).collect();
+                Tensor::from_vec(data, g.shape())
+            })
+            .collect()
+    }
+
     fn supports_batched_backward(&self) -> bool {
+        true
+    }
+
+    fn backward_batch(&mut self, grads_out: &[Tensor]) -> Result<Vec<Tensor>> {
+        // No parameters: applying the per-sample masks is the whole training
+        // backward.
+        self.backward_input_batch(grads_out)
+    }
+
+    fn supports_batched_train(&self) -> bool {
         true
     }
 

@@ -49,6 +49,15 @@ impl Layer for Flatten {
         true
     }
 
+    fn backward_batch(&mut self, grads_out: &[Tensor]) -> Result<Vec<Tensor>> {
+        // No parameters: reshaping is the whole training backward.
+        self.backward_input_batch(grads_out)
+    }
+
+    fn supports_batched_train(&self) -> bool {
+        true
+    }
+
     fn name(&self) -> &'static str {
         "Flatten"
     }

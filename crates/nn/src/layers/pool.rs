@@ -130,6 +130,16 @@ impl Layer for MaxPool2d {
         true
     }
 
+    fn backward_batch(&mut self, grads_out: &[Tensor]) -> Result<Vec<Tensor>> {
+        // No parameters: routing through the per-sample argmaxes is the whole
+        // training backward.
+        self.backward_input_batch(grads_out)
+    }
+
+    fn supports_batched_train(&self) -> bool {
+        true
+    }
+
     fn name(&self) -> &'static str {
         "MaxPool2d"
     }
@@ -221,6 +231,15 @@ impl Layer for AvgPool2d {
         true
     }
 
+    fn backward_batch(&mut self, grads_out: &[Tensor]) -> Result<Vec<Tensor>> {
+        // No parameters and no cached state.
+        self.backward_input_batch(grads_out)
+    }
+
+    fn supports_batched_train(&self) -> bool {
+        true
+    }
+
     fn name(&self) -> &'static str {
         "AvgPool2d"
     }
@@ -278,6 +297,15 @@ impl Layer for GlobalAvgPool {
     }
 
     fn supports_batched_backward(&self) -> bool {
+        true
+    }
+
+    fn backward_batch(&mut self, grads_out: &[Tensor]) -> Result<Vec<Tensor>> {
+        // No parameters and no cached state.
+        self.backward_input_batch(grads_out)
+    }
+
+    fn supports_batched_train(&self) -> bool {
         true
     }
 

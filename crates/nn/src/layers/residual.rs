@@ -140,6 +140,35 @@ impl Layer for Residual {
                 .is_none_or(Layer::supports_batched_backward)
     }
 
+    fn backward_batch(&mut self, grads_out: &[Tensor]) -> Result<Vec<Tensor>> {
+        // Body and projection own disjoint parameter sets, so running the
+        // body's batched backward before the projection's preserves each
+        // parameter's per-sample accumulation chain.
+        let mut dxs = self.body.backward_batch(grads_out)?;
+        match &mut self.projection {
+            Some(proj) => {
+                let shorts = proj.backward_batch(grads_out)?;
+                for (d, s) in dxs.iter_mut().zip(&shorts) {
+                    d.add_assign(s)?;
+                }
+            }
+            None => {
+                for (d, g) in dxs.iter_mut().zip(grads_out) {
+                    d.add_assign(g)?;
+                }
+            }
+        }
+        Ok(dxs)
+    }
+
+    fn supports_batched_train(&self) -> bool {
+        self.body.supports_batched_train()
+            && self
+                .projection
+                .as_ref()
+                .is_none_or(Layer::supports_batched_train)
+    }
+
     fn visit_params(&mut self, visit: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
         self.body.visit_params(visit);
         if let Some(proj) = &mut self.projection {

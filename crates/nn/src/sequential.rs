@@ -50,6 +50,50 @@ impl Sequential {
     pub fn layer_names(&self) -> Vec<&'static str> {
         self.layers.iter().map(|l| l.name()).collect()
     }
+
+    /// Training backward: chains [`Layer::backward`] through the layers in
+    /// reverse, but asks the first (input-side) layer for parameter gradients
+    /// only — its input gradient is the image gradient, which a training step
+    /// discards, and for a first convolution that gradient costs a full GEMM
+    /// plus an overlap fold. Parameter gradients are accumulated through the
+    /// exact chains of [`Layer::backward`], so the trained weights are
+    /// bit-identical.
+    ///
+    /// Only `Trainer::fit` should use this: XAI paths need the image gradient
+    /// (they call [`Layer::backward_input`]), and `Sequential` bodies nested
+    /// inside residual blocks must keep returning their input gradient to
+    /// feed the skip-connection sum (they are reached through the
+    /// [`Layer::backward`] of the enclosing block, which this method never
+    /// short-circuits).
+    pub fn backward_train(&mut self, grad_out: &Tensor) {
+        let Some((first, rest)) = self.layers.split_first_mut() else {
+            return;
+        };
+        let mut g = grad_out.clone();
+        for layer in rest.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        first.backward_params_only(&g);
+    }
+
+    /// Batched [`Sequential::backward_train`]: chains
+    /// [`Layer::backward_batch`] in reverse and finishes with the first
+    /// layer's [`Layer::backward_batch_params_only`]. Same root-only
+    /// contract, same bit-identical weights.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first layer-level batched-backward error.
+    pub fn backward_batch_train(&mut self, grads_out: &[Tensor]) -> Result<()> {
+        let Some((first, rest)) = self.layers.split_first_mut() else {
+            return Ok(());
+        };
+        let mut gs = grads_out.to_vec();
+        for layer in rest.iter_mut().rev() {
+            gs = layer.backward_batch(&gs)?;
+        }
+        first.backward_batch_params_only(&gs)
+    }
 }
 
 impl Clone for Sequential {
@@ -103,6 +147,12 @@ impl Layer for Sequential {
         g
     }
 
+    fn backward_params_only(&mut self, grad_out: &Tensor) {
+        // A Sequential used as a root layer can skip its own first layer's
+        // input gradient too.
+        self.backward_train(grad_out);
+    }
+
     fn backward_input(&mut self, grad_out: &Tensor) -> Tensor {
         let mut g = grad_out.clone();
         for layer in self.layers.iter_mut().rev() {
@@ -123,6 +173,22 @@ impl Layer for Sequential {
         self.layers.iter().all(|l| l.supports_batched_backward())
     }
 
+    fn backward_batch(&mut self, grads_out: &[Tensor]) -> Result<Vec<Tensor>> {
+        let mut gs = grads_out.to_vec();
+        for layer in self.layers.iter_mut().rev() {
+            gs = layer.backward_batch(&gs)?;
+        }
+        Ok(gs)
+    }
+
+    fn backward_batch_params_only(&mut self, grads_out: &[Tensor]) -> Result<()> {
+        self.backward_batch_train(grads_out)
+    }
+
+    fn supports_batched_train(&self) -> bool {
+        self.layers.iter().all(|l| l.supports_batched_train())
+    }
+
     fn visit_params(&mut self, visit: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
         for layer in &mut self.layers {
             layer.visit_params(visit);
@@ -141,7 +207,7 @@ impl Layer for Sequential {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::layers::{Dense, Relu};
+    use crate::layers::{Conv2d, Dense, Flatten, Relu};
     use rand::{rngs::StdRng, SeedableRng};
 
     #[test]
@@ -177,6 +243,52 @@ mod tests {
             let num = (yp.sum() - y.sum()) / eps;
             assert!((num - dx.data()[i]).abs() < 1e-2, "grad at {i}");
         }
+    }
+
+    fn conv_net(seed: u64) -> Sequential {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut net = Sequential::new();
+        net.push(Conv2d::new((1, 6, 6), 2, 3, 1, 1, &mut rng));
+        net.push(Relu::new());
+        net.push(Flatten::new());
+        net.push(Dense::new(72, 3, &mut rng));
+        net
+    }
+
+    fn grad_bits(net: &mut Sequential) -> Vec<u32> {
+        let mut bits = Vec::new();
+        net.visit_params(&mut |_, g| bits.extend(g.data().iter().map(|v| v.to_bits())));
+        bits
+    }
+
+    #[test]
+    fn backward_train_accumulates_the_same_param_grads_as_backward() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let x = Tensor::randn(&[1, 6, 6], 1.0, &mut rng);
+        let g = Tensor::randn(&[3], 1.0, &mut rng);
+        let mut full = conv_net(20);
+        let mut skip = conv_net(20);
+        full.forward(&x, Mode::Train);
+        skip.forward(&x, Mode::Train);
+        full.backward(&g);
+        skip.backward_train(&g);
+        assert_eq!(grad_bits(&mut full), grad_bits(&mut skip));
+    }
+
+    #[test]
+    fn backward_batch_train_accumulates_the_same_param_grads_as_backward_batch() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let xs: Vec<Tensor> = (0..4)
+            .map(|_| Tensor::randn(&[1, 6, 6], 1.0, &mut rng))
+            .collect();
+        let gs: Vec<Tensor> = (0..4).map(|_| Tensor::randn(&[3], 1.0, &mut rng)).collect();
+        let mut full = conv_net(22);
+        let mut skip = conv_net(22);
+        full.forward_batch(&xs, Mode::Train).unwrap();
+        skip.forward_batch(&xs, Mode::Train).unwrap();
+        full.backward_batch(&gs).unwrap();
+        skip.backward_batch_train(&gs).unwrap();
+        assert_eq!(grad_bits(&mut full), grad_bits(&mut skip));
     }
 
     #[test]

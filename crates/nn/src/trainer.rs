@@ -34,6 +34,11 @@ pub struct TrainerConfig {
     pub seed: u64,
     /// Optimizer selection.
     pub optimizer: OptimizerKind,
+    /// Drive mini-batches through the batched forward/backward engine when
+    /// every layer supports it (`supports_batched_train`). Bit-identical to
+    /// the per-sample loop; disable to force the per-sample path (the
+    /// `bench_gemm` baseline does).
+    pub batched: bool,
 }
 
 impl Default for TrainerConfig {
@@ -47,6 +52,7 @@ impl Default for TrainerConfig {
             grad_clip: 5.0,
             seed: 0,
             optimizer: OptimizerKind::Sgd,
+            batched: true,
         }
     }
 }
@@ -101,6 +107,7 @@ impl Trainer {
             OptimizerKind::Adam => Box::new(Adam::new(self.config.lr)),
         };
         let n = images.len();
+        let batched = self.config.batched && model.net_mut().supports_batched_train();
         let mut last_epoch_loss = f32::MAX;
         for _epoch in 0..self.config.epochs {
             let order = self.epoch_order(n, &mut rng);
@@ -108,11 +115,42 @@ impl Trainer {
             for batch in order.chunks(self.config.batch_size) {
                 model.net_mut().zero_grads();
                 let mut batch_loss = 0.0;
-                for &i in batch {
-                    let logits = model.net_mut().forward(&images[i], Mode::Train);
-                    let (loss, grad) = cross_entropy(&logits, labels[i]);
-                    batch_loss += loss;
-                    model.net_mut().backward(&grad);
+                if batched {
+                    // One batched forward/backward: a handful of large GEMMs
+                    // instead of batch_size small ones. Per-sample losses and
+                    // loss gradients are taken in batch order, and every
+                    // layer's backward_batch accumulates parameter gradients
+                    // per sample in that same order, so the result — weights,
+                    // losses, RNG streams — is bit-identical to the
+                    // per-sample branch below.
+                    let batch_images: Vec<Tensor> =
+                        batch.iter().map(|&i| images[i].clone()).collect();
+                    let logits = model
+                        .net_mut()
+                        .forward_batch(&batch_images, Mode::Train)
+                        .expect("batched forward in training");
+                    let mut grads = Vec::with_capacity(batch.len());
+                    for (logit, &i) in logits.iter().zip(batch) {
+                        let (loss, grad) = cross_entropy(logit, labels[i]);
+                        batch_loss += loss;
+                        grads.push(grad);
+                    }
+                    // backward_batch_train skips the first layer's input
+                    // gradient (the image gradient, which nothing consumes);
+                    // parameter gradients run the same chains either way.
+                    model
+                        .net_mut()
+                        .backward_batch_train(&grads)
+                        .expect("batched backward in training");
+                } else {
+                    for &i in batch {
+                        let logits = model.net_mut().forward(&images[i], Mode::Train);
+                        let (loss, grad) = cross_entropy(&logits, labels[i]);
+                        batch_loss += loss;
+                        // Same first-layer skip as the batched branch, so the
+                        // two paths stay step-for-step comparable.
+                        model.net_mut().backward_train(&grad);
+                    }
                 }
                 let mut scale = 1.0 / batch.len() as f32;
                 if self.config.grad_clip > 0.0 {
@@ -272,6 +310,42 @@ mod tests {
         })
         .fit(&mut model, &images, &labels);
         assert!(loss < 0.3, "Adam final loss {loss}");
+    }
+
+    #[test]
+    fn batched_training_is_bit_identical_to_per_sample() {
+        let (images, labels) = toy_dataset(20, 8);
+        let base = TrainerConfig {
+            epochs: 3,
+            seed: 13,
+            ..TrainerConfig::default()
+        };
+        let mut batched = toy_model(9);
+        let mut per_sample = toy_model(9);
+        assert!(batched.net_mut().supports_batched_train());
+        let lb = Trainer::new(TrainerConfig {
+            batched: true,
+            ..base.clone()
+        })
+        .fit(&mut batched, &images, &labels);
+        let lp = Trainer::new(TrainerConfig {
+            batched: false,
+            ..base
+        })
+        .fit(&mut per_sample, &images, &labels);
+        assert_eq!(lb.to_bits(), lp.to_bits(), "final losses diverge");
+        let collect = |m: &mut Model| {
+            let mut bits = Vec::new();
+            m.net_mut().visit_params(&mut |p, _| {
+                bits.extend(p.data().iter().map(|v| v.to_bits()));
+            });
+            bits
+        };
+        assert_eq!(
+            collect(&mut batched),
+            collect(&mut per_sample),
+            "final weights diverge bitwise"
+        );
     }
 
     #[test]

@@ -1,18 +1,30 @@
-//! Deterministic scoped-thread fan-out for the ReMIX pipeline.
+//! Deterministic parallel fan-out for the ReMIX pipeline, on a persistent
+//! worker pool.
 //!
 //! Every helper here preserves input order in its output and partitions work
 //! into *contiguous* shards, so callers can guarantee bit-identical results
 //! between sequential and parallel execution: the same per-item computation
-//! runs in the same per-item order, only on different threads. There is no
-//! work stealing and no thread pool — `std::thread::scope` keeps lifetimes
-//! simple and the spawn cost (~10 µs per thread) is noise next to the
-//! model-inference and XAI work being parallelized.
+//! runs in the same per-item order, only on different threads.
+//!
+//! Workers are spawned **once**, on the first parallel call, and then reused
+//! for the life of the process ([`pool_threads_spawned`] exposes the lifetime
+//! spawn count so tests can assert reuse). Dispatching a job costs one mutex
+//! lock plus a condvar broadcast (~2 µs), versus ~10 µs *per thread* for the
+//! `std::thread::scope` spawns this replaced — which matters because the GEMM
+//! kernel in `remix-tensor` dispatches here for every large matrix product.
+//! The caller always participates in its own job, so a machine reporting one
+//! core (or an empty pool) degrades to plain sequential execution.
 //!
 //! Thread-count resolution is centralized in [`num_threads`] /
 //! [`resolve_threads`], honoring the `REMIX_THREADS` environment variable so
-//! benchmarks and CI can pin parallelism without code changes.
+//! benchmarks and CI can pin parallelism without code changes. The pool is
+//! sized from the machine's parallelism (or `REMIX_THREADS`, whichever is
+//! larger at first use); callers control the *effective* concurrency of each
+//! job through how many tasks they split it into.
 
 use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// Default worker count: the `REMIX_THREADS` environment variable when set to
 /// a positive integer, otherwise the machine's available parallelism.
@@ -77,6 +89,273 @@ pub fn batch_ranges(len: usize, batch_size: usize) -> Vec<Range<usize>> {
     ranges
 }
 
+// ---------------------------------------------------------------------------
+// Persistent worker pool
+// ---------------------------------------------------------------------------
+
+/// One posted job: a type-erased task closure plus the claim/completion
+/// counters. Tasks are claimed by atomic `fetch_add` on `next`, so every
+/// index in `0..ntasks` is executed by exactly one thread; `remaining` counts
+/// completions and the last finisher signals `done`.
+struct Job {
+    /// Lifetime-erased pointer to the caller's task closure. Only valid while
+    /// the posting call is blocked in [`Pool::execute`]; stale workers that
+    /// observe this job after completion see `next >= ntasks` and never
+    /// dereference it.
+    func: *const (dyn Fn(usize) + Sync),
+    ntasks: usize,
+    next: AtomicUsize,
+    remaining: AtomicUsize,
+    done: Mutex<bool>,
+    done_cv: Condvar,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+// SAFETY: `func` is only dereferenced while the posting thread is blocked in
+// `Pool::execute`, which outlives every dereference (the job is not `done`
+// until all claimed tasks finish, and unclaimed observers never dereference).
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+impl Job {
+    /// Claims and runs tasks until none are left. Panics in tasks are caught,
+    /// recorded, and re-raised by the posting thread.
+    fn work(&self) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.ntasks {
+                return;
+            }
+            // SAFETY: a claimed index implies the posting call is still
+            // blocked waiting for `remaining`, so the closure is alive.
+            let f = unsafe { &*self.func };
+            if let Err(payload) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i))) {
+                let mut slot = self.panic.lock().unwrap();
+                slot.get_or_insert(payload);
+            }
+            if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                *self.done.lock().unwrap() = true;
+                self.done_cv.notify_all();
+            }
+        }
+    }
+}
+
+/// The pool's mailbox: workers sleep on `available` until `seq` advances,
+/// then grab the current job. A job left in the slot after completion is
+/// harmless (see [`Job::work`]); it is cleared by the poster to drop the Arc.
+struct Inbox {
+    seq: u64,
+    job: Option<Arc<Job>>,
+}
+
+struct PoolShared {
+    inbox: Mutex<Inbox>,
+    available: Condvar,
+}
+
+/// A persistent worker pool. Tests construct private instances; production
+/// code uses the lazily-initialized global via [`pool_execute`].
+struct Pool {
+    shared: Arc<PoolShared>,
+    workers: usize,
+}
+
+/// Lifetime count of worker threads spawned by pools in this process.
+static THREADS_SPAWNED: AtomicUsize = AtomicUsize::new(0);
+
+impl Pool {
+    /// Spawns `workers` detached worker threads (zero is valid: every job
+    /// then runs entirely on the posting thread).
+    fn with_workers(workers: usize) -> Self {
+        let shared = Arc::new(PoolShared {
+            inbox: Mutex::new(Inbox { seq: 0, job: None }),
+            available: Condvar::new(),
+        });
+        for w in 0..workers {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("remix-pool-{w}"))
+                .spawn(move || worker_loop(&shared))
+                .expect("spawn pool worker");
+            THREADS_SPAWNED.fetch_add(1, Ordering::Relaxed);
+        }
+        Self { shared, workers }
+    }
+
+    /// Runs `f(0)`, `f(1)`, …, `f(ntasks - 1)`, each exactly once, fanned out
+    /// across the workers with the calling thread participating. Returns when
+    /// every task has finished. Panics in tasks are re-raised here.
+    fn execute(&self, ntasks: usize, f: &(dyn Fn(usize) + Sync)) {
+        if ntasks == 0 {
+            return;
+        }
+        if ntasks == 1 || self.workers == 0 {
+            for i in 0..ntasks {
+                f(i);
+            }
+            return;
+        }
+        /// Erases the closure's borrow lifetime so it can sit in the shared
+        /// [`Job`]. Sound because `execute` does not return until `remaining`
+        /// hits zero, so the pointer outlives every dereference (see [`Job`]).
+        fn erase<'a>(
+            f: &'a (dyn Fn(usize) + Sync + 'a),
+        ) -> *const (dyn Fn(usize) + Sync + 'static) {
+            // SAFETY: both sides are fat pointers to the same allocation; only
+            // the (unused-at-runtime) lifetime bound changes.
+            unsafe {
+                std::mem::transmute::<
+                    &'a (dyn Fn(usize) + Sync + 'a),
+                    *const (dyn Fn(usize) + Sync + 'static),
+                >(f)
+            }
+        }
+        let job = Arc::new(Job {
+            func: erase(f),
+            ntasks,
+            next: AtomicUsize::new(0),
+            remaining: AtomicUsize::new(ntasks),
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+            panic: Mutex::new(None),
+        });
+        let posted_seq = {
+            let mut inbox = self.shared.inbox.lock().unwrap();
+            inbox.seq += 1;
+            inbox.job = Some(Arc::clone(&job));
+            self.shared.available.notify_all();
+            inbox.seq
+        };
+        // The poster is also a worker for its own job.
+        job.work();
+        let mut done = job.done.lock().unwrap();
+        while !*done {
+            done = job.done_cv.wait(done).unwrap();
+        }
+        drop(done);
+        // Drop the inbox's Arc so the job (and its dangling closure pointer)
+        // does not linger; guard on seq in case another poster raced in.
+        {
+            let mut inbox = self.shared.inbox.lock().unwrap();
+            if inbox.seq == posted_seq {
+                inbox.job = None;
+            }
+        }
+        let payload = job.panic.lock().unwrap().take();
+        if let Some(payload) = payload {
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut inbox = shared.inbox.lock().unwrap();
+            loop {
+                if inbox.seq != seen {
+                    seen = inbox.seq;
+                    break inbox.job.clone();
+                }
+                inbox = shared.available.wait(inbox).unwrap();
+            }
+        };
+        if let Some(job) = job {
+            job.work();
+        }
+    }
+}
+
+/// The process-wide pool, spawned on first use. Sized to leave one slot for
+/// the posting thread; `REMIX_THREADS` can raise it above the core count at
+/// first use (useful for exercising the parallel paths on small machines).
+fn global_pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+        Pool::with_workers(num_threads().max(hw).saturating_sub(1))
+    })
+}
+
+/// Runs `f(i)` for every `i` in `0..ntasks`, each exactly once, across the
+/// persistent global pool with the calling thread participating.
+///
+/// Task *claim order* follows the atomic counter, but callers must not rely
+/// on any cross-task ordering — tasks run concurrently. Determinism comes
+/// from each task writing disjoint state, exactly as with scoped threads.
+/// Nested calls are safe: a worker posting a sub-job simply participates in
+/// it while other idle workers help.
+///
+/// # Panics
+///
+/// Re-raises the first panic observed among the tasks.
+pub fn pool_execute(ntasks: usize, f: &(dyn Fn(usize) + Sync)) {
+    global_pool().execute(ntasks, f);
+}
+
+/// Total worker threads ever spawned by this process's pools. Flat across
+/// repeated parallel calls — the probe tests use this to assert the pool is
+/// actually reused rather than respawned.
+pub fn pool_threads_spawned() -> usize {
+    THREADS_SPAWNED.load(Ordering::Relaxed)
+}
+
+// ---------------------------------------------------------------------------
+// Order-preserving combinators (pool-backed)
+// ---------------------------------------------------------------------------
+
+/// Copyable raw-pointer wrapper so disjoint-index writes can cross the
+/// `Fn(usize) + Sync` task boundary. (`Copy`/`Clone` are manual so no `T:
+/// Clone` bound is implied, and `get` keeps closures capturing the whole
+/// wrapper rather than the raw field.)
+struct SendPtr<T>(*mut T);
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+impl<T> SendPtr<T> {
+    fn get(self) -> *mut T {
+        self.0
+    }
+}
+
+/// Computes `f(i)` for `i` in `0..len` across `threads` contiguous shards and
+/// returns the results in index order.
+///
+/// If a task panics, results produced so far are leaked (not dropped) before
+/// the panic is re-raised; all callers treat that as a fatal error.
+fn pool_collect<U, F>(len: usize, threads: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let shards = shard_ranges(len, threads);
+    if shards.len() <= 1 {
+        return (0..len).map(f).collect();
+    }
+    let mut out: Vec<std::mem::MaybeUninit<U>> = Vec::with_capacity(len);
+    out.resize_with(len, std::mem::MaybeUninit::uninit);
+    let base = SendPtr(out.as_mut_ptr());
+    pool_execute(shards.len(), &|s| {
+        for i in shards[s].clone() {
+            // SAFETY: shards partition 0..len disjointly and `out` outlives
+            // the call, so each slot is written exactly once, without aliasing.
+            unsafe { base.get().add(i).write(std::mem::MaybeUninit::new(f(i))) };
+        }
+    });
+    // SAFETY: every slot in 0..len was initialized by exactly one task.
+    unsafe {
+        let mut out = std::mem::ManuallyDrop::new(out);
+        Vec::from_raw_parts(out.as_mut_ptr().cast::<U>(), out.len(), out.capacity())
+    }
+}
+
 /// Order-preserving parallel map over shared items.
 ///
 /// `f` receives `(index, &item)`; the output at position `i` is `f(i,
@@ -88,29 +367,7 @@ where
     U: Send,
     F: Fn(usize, &T) -> U + Sync,
 {
-    let shards = shard_ranges(items.len(), threads);
-    if shards.len() <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
-    }
-    let mut outputs: Vec<Vec<U>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = shards
-            .iter()
-            .map(|range| {
-                let f = &f;
-                let range = range.clone();
-                scope.spawn(move || range.map(|i| f(i, &items[i])).collect::<Vec<U>>())
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("parallel map worker panicked"))
-            .collect()
-    });
-    let mut out = Vec::with_capacity(items.len());
-    for shard in &mut outputs {
-        out.append(shard);
-    }
-    out
+    pool_collect(items.len(), threads, |i| f(i, &items[i]))
 }
 
 /// Order-preserving parallel map over mutable items (each item is visited by
@@ -124,42 +381,18 @@ where
     U: Send,
     F: Fn(usize, &mut T) -> U + Sync,
 {
-    let shards = shard_ranges(items.len(), threads);
-    if shards.len() <= 1 {
-        return items.iter_mut().enumerate().map(|(i, t)| f(i, t)).collect();
-    }
-    let mut outputs: Vec<Vec<U>> = std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(shards.len());
-        let mut rest = items;
-        let mut start = 0;
-        for range in &shards {
-            let (chunk, tail) = rest.split_at_mut(range.len());
-            rest = tail;
-            let f = &f;
-            let base = start;
-            handles.push(scope.spawn(move || {
-                chunk
-                    .iter_mut()
-                    .enumerate()
-                    .map(|(offset, item)| f(base + offset, item))
-                    .collect::<Vec<U>>()
-            }));
-            start += range.len();
-        }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("parallel map worker panicked"))
-            .collect()
-    });
-    let mut out = Vec::with_capacity(outputs.iter().map(Vec::len).sum());
-    for shard in &mut outputs {
-        out.append(shard);
-    }
-    out
+    let base = SendPtr(items.as_mut_ptr());
+    let len = items.len();
+    pool_collect(len, threads, move |i| {
+        // SAFETY: pool_collect visits every index exactly once, so the &mut
+        // borrows are disjoint; `items` outlives the call.
+        let item = unsafe { &mut *base.get().add(i) };
+        f(i, item)
+    })
 }
 
 /// Runs `f(span_index, span)` for each consecutive `span`-element chunk of
-/// `data`, one scoped thread per chunk (the final chunk may be shorter).
+/// `data` (the final chunk may be shorter), fanned out across the pool.
 ///
 /// Callers pick `span` so the chunk count matches their desired parallelism;
 /// contiguous chunks keep writes disjoint without synchronization.
@@ -173,17 +406,22 @@ where
     F: Fn(usize, &mut [T]) + Sync,
 {
     assert!(span > 0, "span must be positive");
-    if data.len() <= span {
-        if !data.is_empty() {
+    let len = data.len();
+    if len <= span {
+        if len > 0 {
             f(0, data);
         }
         return;
     }
-    std::thread::scope(|scope| {
-        for (idx, chunk) in data.chunks_mut(span).enumerate() {
-            let f = &f;
-            scope.spawn(move || f(idx, chunk));
-        }
+    let nchunks = len.div_ceil(span);
+    let base = SendPtr(data.as_mut_ptr());
+    pool_execute(nchunks, &|idx| {
+        let start = idx * span;
+        let n = span.min(len - start);
+        // SAFETY: chunk `idx` covers `start..start + n`; chunks are disjoint
+        // and each task index runs exactly once, so no slice aliases another.
+        let chunk = unsafe { std::slice::from_raw_parts_mut(base.get().add(start), n) };
+        f(idx, chunk);
     });
 }
 
@@ -266,5 +504,76 @@ mod tests {
         // every index covered exactly once, in order
         let covered: Vec<usize> = batch_ranges(103, 10).into_iter().flatten().collect();
         assert_eq!(covered, (0..103).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn private_pool_runs_every_task_exactly_once() {
+        // Explicit worker counts so the worker code path is exercised even on
+        // single-core CI machines (where the global pool spawns no workers).
+        for workers in [0usize, 1, 3] {
+            let pool = Pool::with_workers(workers);
+            for ntasks in [0usize, 1, 2, 5, 64] {
+                let hits: Vec<AtomicUsize> = (0..ntasks).map(|_| AtomicUsize::new(0)).collect();
+                pool.execute(ntasks, &|i| {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                });
+                for (i, h) in hits.iter().enumerate() {
+                    assert_eq!(h.load(Ordering::Relaxed), 1, "task {i} workers {workers}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pool_is_reused_across_jobs() {
+        let pool = Pool::with_workers(2);
+        let before = pool_threads_spawned();
+        for _ in 0..50 {
+            let sum = AtomicUsize::new(0);
+            pool.execute(8, &|i| {
+                sum.fetch_add(i, Ordering::Relaxed);
+            });
+            assert_eq!(sum.load(Ordering::Relaxed), 28);
+        }
+        assert_eq!(
+            pool_threads_spawned(),
+            before,
+            "50 jobs must not spawn new threads"
+        );
+    }
+
+    #[test]
+    fn nested_execute_completes() {
+        let pool = Pool::with_workers(2);
+        let total = AtomicUsize::new(0);
+        pool.execute(3, &|_| {
+            // Each outer task runs an inner job on the same pool.
+            let inner = AtomicUsize::new(0);
+            pool.execute(4, &|j| {
+                inner.fetch_add(j + 1, Ordering::Relaxed);
+            });
+            total.fetch_add(inner.load(Ordering::Relaxed), Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 30); // 3 × (1+2+3+4)
+    }
+
+    #[test]
+    fn task_panic_propagates_to_poster() {
+        let pool = Pool::with_workers(1);
+        let result = std::panic::catch_unwind(|| {
+            pool.execute(4, &|i| {
+                assert!(i != 2, "boom");
+            });
+        });
+        assert!(
+            result.is_err(),
+            "panic in task must reach the posting thread"
+        );
+        // The pool stays usable after a panicked job.
+        let ok = AtomicUsize::new(0);
+        pool.execute(4, &|_| {
+            ok.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ok.load(Ordering::Relaxed), 4);
     }
 }

@@ -168,6 +168,195 @@ pub fn im2col_batch_into(
     Ok(())
 }
 
+/// Writes one sample's patches as *rows* of a `[rows, C*k*k]` matrix
+/// starting at `row_offset`: row `oy*out_w + ox` holds the full patch seen by
+/// that output position. Every slot is written (padding positions as 0.0), so
+/// the destination needs no pre-zeroing and the writes are one sequential
+/// sweep — unlike the column layout, whose writes stride by the total column
+/// count and thrash the cache once the batch matrix outgrows it.
+fn fill_patch_rows(out: &mut [f32], row_offset: usize, data: &[f32], geo: &Conv2dGeometry) {
+    let (oh, ow) = (geo.out_h(), geo.out_w());
+    let (h, w, k) = (geo.in_h, geo.in_w, geo.kernel);
+    let patch = geo.patch_len();
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let dst = &mut out[(row_offset + oy * ow + ox) * patch..][..patch];
+            let mut p = 0;
+            for c in 0..geo.in_channels {
+                for ky in 0..k {
+                    let iy = (oy * geo.stride + ky) as isize - geo.pad as isize;
+                    for kx in 0..k {
+                        let ix = (ox * geo.stride + kx) as isize - geo.pad as isize;
+                        dst[p] = if iy < 0 || iy >= h as isize || ix < 0 || ix >= w as isize {
+                            0.0
+                        } else {
+                            data[(c * h + iy as usize) * w + ix as usize]
+                        };
+                        p += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Row-major [`im2col`]: unfolds a `[C, H, W]` input into a
+/// `[out_h*out_w, C*k*k]` patch matrix — the transpose of the `im2col`
+/// layout. Convolution becomes `weights [F, C*k*k] ·ᵃᵇᵗ patches`, with
+/// bit-identical per-element accumulation chains.
+///
+/// # Errors
+///
+/// Same conditions as [`im2col`].
+pub fn im2row(input: &Tensor, geo: &Conv2dGeometry) -> Result<Tensor> {
+    let mut out = Vec::new();
+    im2row_into(input, geo, &mut out)?;
+    Tensor::from_vec(out, &[geo.out_h() * geo.out_w(), geo.patch_len()])
+}
+
+/// [`im2row`] writing into a caller-provided buffer. `buf` is resized to
+/// `out_h*out_w * C*k*k`; its prior contents are discarded (every slot is
+/// overwritten, so no zero-fill pass is needed at steady state).
+///
+/// # Errors
+///
+/// Same conditions as [`im2col`].
+pub fn im2row_into(input: &Tensor, geo: &Conv2dGeometry, buf: &mut Vec<f32>) -> Result<()> {
+    check_geometry(input, geo, "im2row")?;
+    let needed = geo.patch_len() * geo.out_h() * geo.out_w();
+    if buf.len() != needed {
+        buf.clear();
+        buf.resize(needed, 0.0);
+    }
+    fill_patch_rows(buf, 0, input.data(), geo);
+    Ok(())
+}
+
+/// Batched [`im2row`]: unfolds `B` same-geometry inputs into one
+/// `[B*out_h*out_w, C*k*k]` patch matrix, sample `b` occupying the contiguous
+/// *row* block `b*out_h*out_w .. (b+1)*out_h*out_w`.
+///
+/// Because each sample's patches are contiguous rows, the batched backward
+/// can slice per-sample windows without strided gathers — the column layout's
+/// per-sample windows stride by the full batch width instead.
+///
+/// # Errors
+///
+/// Returns the first per-sample validation error (same conditions as
+/// [`im2col`]).
+pub fn im2row_batch_into(
+    inputs: &[Tensor],
+    geo: &Conv2dGeometry,
+    buf: &mut Vec<f32>,
+) -> Result<()> {
+    for input in inputs {
+        check_geometry(input, geo, "im2row")?;
+    }
+    let spatial = geo.out_h() * geo.out_w();
+    let needed = geo.patch_len() * spatial * inputs.len();
+    if buf.len() != needed {
+        buf.clear();
+        buf.resize(needed, 0.0);
+    }
+    for (b, input) in inputs.iter().enumerate() {
+        fill_patch_rows(buf, b * spatial, input.data(), geo);
+    }
+    Ok(())
+}
+
+/// Accumulates one sample's `[out_h*out_w, C*k*k]` patch-gradient rows into a
+/// `[C, H, W]` gradient buffer. Contributions to each input element arrive in
+/// ascending output-position order (`oy`, `ox` major).
+fn fold_patch_rows(dst: &mut [f32], rows: &[f32], geo: &Conv2dGeometry) {
+    let (oh, ow) = (geo.out_h(), geo.out_w());
+    let (h, w, k) = (geo.in_h, geo.in_w, geo.kernel);
+    let patch = geo.patch_len();
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let src = &rows[(oy * ow + ox) * patch..][..patch];
+            let mut p = 0;
+            for c in 0..geo.in_channels {
+                for ky in 0..k {
+                    let iy = (oy * geo.stride + ky) as isize - geo.pad as isize;
+                    if iy < 0 || iy >= h as isize {
+                        p += k;
+                        continue;
+                    }
+                    for kx in 0..k {
+                        let ix = (ox * geo.stride + kx) as isize - geo.pad as isize;
+                        if ix >= 0 && ix < w as isize {
+                            dst[(c * h + iy as usize) * w + ix as usize] += src[p];
+                        }
+                        p += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Adjoint of [`im2row`]: folds a `[out_h*out_w, C*k*k]` patch-gradient
+/// matrix back into a `[C, H, W]` input gradient with sequential reads.
+///
+/// Overlapping contributions accumulate in ascending output-position order,
+/// which differs from [`col2im`]'s kernel-offset-major order — the two folds
+/// sum the same value sets but are not bitwise interchangeable.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `rows_mat` does not match the
+/// geometry.
+pub fn row2im(rows_mat: &Tensor, geo: &Conv2dGeometry) -> Result<Tensor> {
+    let expect = [geo.out_h() * geo.out_w(), geo.patch_len()];
+    if rows_mat.shape() != expect {
+        return Err(TensorError::ShapeMismatch {
+            left: rows_mat.shape().to_vec(),
+            right: expect.to_vec(),
+            op: "row2im",
+        });
+    }
+    let mut out = Tensor::zeros(&[geo.in_channels, geo.in_h, geo.in_w]);
+    fold_patch_rows(out.data_mut(), rows_mat.data(), geo);
+    Ok(out)
+}
+
+/// Batched [`row2im`]: folds a `[B*out_h*out_w, C*k*k]` patch-gradient matrix
+/// (the layout produced by [`im2row_batch_into`]) back into `B` per-sample
+/// `[C, H, W]` input gradients.
+///
+/// Each sample reads only its own contiguous row block, and within a sample
+/// the accumulation order matches [`row2im`] exactly, so the batched fold is
+/// bit-identical to `B` per-sample folds.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `rows_mat` does not match the
+/// geometry for `batch` samples.
+pub fn row2im_batch(rows_mat: &Tensor, geo: &Conv2dGeometry, batch: usize) -> Result<Vec<Tensor>> {
+    let spatial = geo.out_h() * geo.out_w();
+    let patch = geo.patch_len();
+    let expect = [batch * spatial, patch];
+    if rows_mat.shape() != expect {
+        return Err(TensorError::ShapeMismatch {
+            left: rows_mat.shape().to_vec(),
+            right: expect.to_vec(),
+            op: "row2im_batch",
+        });
+    }
+    let data = rows_mat.data();
+    (0..batch)
+        .map(|b| {
+            let mut out = Tensor::zeros(&[geo.in_channels, geo.in_h, geo.in_w]);
+            fold_patch_rows(
+                out.data_mut(),
+                &data[b * spatial * patch..(b + 1) * spatial * patch],
+                geo,
+            );
+            Ok(out)
+        })
+        .collect()
+}
+
 /// Folds a `[C*k*k, out_h*out_w]` patch-gradient matrix back into a
 /// `[C, H, W]` input gradient, accumulating overlapping contributions.
 ///
@@ -428,6 +617,120 @@ mod tests {
         im2col_into(&input, &geo(), &mut buf).unwrap();
         assert_eq!(&buf[..], reference.data());
         assert!(im2col_into(&Tensor::zeros(&[2, 3, 3]), &geo(), &mut buf).is_err());
+    }
+
+    #[test]
+    fn im2row_is_the_transpose_of_im2col() {
+        let g = Conv2dGeometry {
+            in_channels: 2,
+            in_h: 5,
+            in_w: 5,
+            kernel: 3,
+            stride: 2,
+            pad: 1,
+        };
+        let input =
+            Tensor::from_vec((0..50).map(|v| v as f32 * 0.5 - 7.0).collect(), &[2, 5, 5]).unwrap();
+        let cols = im2col(&input, &g).unwrap();
+        let rows = im2row(&input, &g).unwrap();
+        let spatial = g.out_h() * g.out_w();
+        assert_eq!(rows.shape(), &[spatial, g.patch_len()]);
+        for sp in 0..spatial {
+            for p in 0..g.patch_len() {
+                assert_eq!(
+                    rows.at(&[sp, p]).to_bits(),
+                    cols.at(&[p, sp]).to_bits(),
+                    "position {sp} patch element {p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn im2row_into_overwrites_stale_buffer() {
+        let input = Tensor::from_vec((1..=9).map(|v| v as f32).collect(), &[1, 3, 3]).unwrap();
+        let reference = im2row(&input, &geo()).unwrap();
+        let mut buf = vec![9.9; reference.len()]; // right size, stale contents
+        im2row_into(&input, &geo(), &mut buf).unwrap();
+        assert_eq!(&buf[..], reference.data());
+        assert!(im2row_into(&Tensor::zeros(&[2, 3, 3]), &geo(), &mut buf).is_err());
+    }
+
+    #[test]
+    fn batched_im2row_concatenates_per_sample_rows() {
+        let g = Conv2dGeometry {
+            in_channels: 2,
+            in_h: 5,
+            in_w: 5,
+            kernel: 3,
+            stride: 2,
+            pad: 1,
+        };
+        let inputs: Vec<Tensor> = (0..3)
+            .map(|b| {
+                Tensor::from_vec(
+                    (0..50).map(|v| (v as f32) + 100.0 * b as f32).collect(),
+                    &[2, 5, 5],
+                )
+                .unwrap()
+            })
+            .collect();
+        let mut buf = vec![7.0; 3]; // stale contents must be discarded
+        im2row_batch_into(&inputs, &g, &mut buf).unwrap();
+        let spatial = g.out_h() * g.out_w();
+        let patch = g.patch_len();
+        assert_eq!(buf.len(), patch * spatial * 3);
+        for (b, input) in inputs.iter().enumerate() {
+            let single = im2row(input, &g).unwrap();
+            assert_eq!(
+                &buf[b * spatial * patch..(b + 1) * spatial * patch],
+                single.data(),
+                "sample {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn row2im_accumulates_overlap_counts() {
+        // all-ones gradient on rows accumulates overlap counts in the image,
+        // the same adjoint property col2im satisfies
+        let g = geo();
+        let grad_rows = Tensor::ones(&[4, 4]);
+        let grad_in = row2im(&grad_rows, &g).unwrap();
+        assert_eq!(grad_in.at(&[0, 1, 1]), 4.0);
+        assert_eq!(grad_in.at(&[0, 0, 0]), 1.0);
+        assert!(row2im(&Tensor::zeros(&[5, 4]), &g).is_err());
+    }
+
+    #[test]
+    fn batched_row2im_matches_per_sample() {
+        let g = Conv2dGeometry {
+            in_channels: 1,
+            in_h: 4,
+            in_w: 4,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+        };
+        let spatial = g.out_h() * g.out_w();
+        let patch = g.patch_len();
+        let batch = 2;
+        let data: Vec<f32> = (0..batch * spatial * patch)
+            .map(|v| v as f32 * 0.25 - 3.0)
+            .collect();
+        let big = Tensor::from_vec(data.clone(), &[batch * spatial, patch]).unwrap();
+        let folded = row2im_batch(&big, &g, batch).unwrap();
+        assert_eq!(folded.len(), batch);
+        for b in 0..batch {
+            let sample = Tensor::from_vec(
+                data[b * spatial * patch..(b + 1) * spatial * patch].to_vec(),
+                &[spatial, patch],
+            )
+            .unwrap();
+            let single = row2im(&sample, &g).unwrap();
+            assert_eq!(folded[b].data(), single.data(), "sample {b}");
+        }
+        assert!(row2im_batch(&big, &g, 3).is_err());
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! rest of the workspace (the neural-network stack in `remix-nn`, the XAI
 //! techniques in `remix-xai`, the diversity metrics in `remix-diversity`) is
 //! built on: row-major `f32` tensors with elementwise arithmetic, matrix
-//! multiplication, axis reductions, and `im2col`/`col2im` support for
+//! multiplication, axis reductions, and `im2row`/`im2col` patch lowering for
 //! convolutions.
 //!
 //! # Example
@@ -28,8 +28,12 @@ mod random;
 mod reduce;
 mod tensor;
 
-pub use conv::{col2im, col2im_batch, im2col, im2col_batch_into, im2col_into, Conv2dGeometry};
+pub use conv::{
+    col2im, col2im_batch, im2col, im2col_batch_into, im2col_into, im2row, im2row_batch_into,
+    im2row_into, row2im, row2im_batch, Conv2dGeometry,
+};
 pub use error::TensorError;
+pub use linalg::{gemm_accum_ab, gemm_accum_abt_window};
 pub use random::{fnv1a64, splitmix64};
 pub use tensor::Tensor;
 

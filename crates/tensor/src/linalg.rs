@@ -1,13 +1,41 @@
 //! Matrix products and transposes.
+//!
+//! The GEMM here is a packed, register-blocked kernel: output is tiled into
+//! `MR x NR` register blocks, the B operand is packed once into column panels
+//! reused across every row block, and the A rows of each block are packed into
+//! an interleaved layout so the inner loop is a dense, branch-free
+//! multiply-add over `MR * NR` accumulators that the compiler can keep in
+//! vector registers.
+//!
+//! Determinism contract: every output element accumulates its k-products in
+//! ascending-p order as a single chain starting from 0.0 — exactly the chain
+//! of the retained reference kernel ([`matmul_row_reference`]). Tiling only
+//! reorders *which* output elements are computed when, never the order of
+//! additions within one element, so blocked, serial, and row-parallel paths
+//! are all bit-identical. See DESIGN.md §6f.
 
 use crate::{Result, Tensor, TensorError};
+use std::ops::Range;
 
-/// One output row of the ikj matmul kernel: `orow += arow · B`.
+/// Register-block height: rows of A handled per micro-kernel call.
+const MR: usize = 4;
+/// Register-block width: columns of B handled per micro-kernel call.
+/// `MR × NR` accumulators fill 8 YMM (AVX2) or 4 ZMM (AVX-512) registers,
+/// leaving room for the B loads and the A broadcast.
+const NR: usize = 16;
+
+/// One output row of the pre-blocking ikj matmul kernel: `orow += arow · B`.
 ///
-/// Shared by the sequential and row-parallel paths so both accumulate in the
-/// same order and therefore produce bit-identical results.
+/// Retained as the bit-exactness reference for the blocked kernel (proptests
+/// and the `bench_gemm` gate compare against it). Note the `av == 0.0` skip:
+/// it predates the blocked kernel and is *not* replicated there — skipping a
+/// zero product is bit-identical to adding it for finite data, because an
+/// accumulator that starts at +0.0 can never become -0.0 through sums (IEEE
+/// 754: `+0.0 + -0.0 == +0.0` and exact cancellation rounds to +0.0), and
+/// adding ±0.0 to any value returns that value unchanged. The
+/// `zero_products_do_not_change_bits` test pins this down.
 #[inline]
-fn matmul_row(arow: &[f32], b: &[f32], orow: &mut [f32], n: usize) {
+pub(crate) fn matmul_row_reference(arow: &[f32], b: &[f32], orow: &mut [f32], n: usize) {
     for (p, &av) in arow.iter().enumerate() {
         if av == 0.0 {
             continue;
@@ -19,38 +47,508 @@ fn matmul_row(arow: &[f32], b: &[f32], orow: &mut [f32], n: usize) {
     }
 }
 
-/// Below this many multiply-adds (`m·k·n`) a matmul runs sequentially: thread
-/// spawn overhead (~10 µs each) would outweigh the work.
-const PARALLEL_MATMUL_FLOPS: usize = 1 << 18;
+/// Below this many multiply-adds (`m·k·n`) a matmul runs sequentially.
+///
+/// The pooled dispatch in `remix-parallel` costs ~2 µs (one mutex post plus a
+/// condvar wake of already-running workers), versus ~10 µs per *spawned*
+/// thread before the persistent pool. At roughly 1 GMAC/s/core for the
+/// blocked kernel, 2^16 MACs ≈ 65 µs of work — comfortably above the
+/// dispatch cost, so the threshold drops from the spawn-era 2^18.
+const PARALLEL_MATMUL_MACS: usize = 1 << 16;
+
+/// Packs columns `j0..j0+w` (`w <= NR`) of row-major `b` (`[k, n]`) into a
+/// `[k][NR]` panel; lanes past `w` are zero so the micro-kernel can run a
+/// full-width NR loop on ragged edges (padded lanes are computed but never
+/// stored).
+fn pack_b_panel(b: &[f32], k: usize, n: usize, j0: usize, dst: &mut [f32]) {
+    let w = NR.min(n - j0);
+    for p in 0..k {
+        let src = &b[p * n + j0..p * n + j0 + w];
+        let d = &mut dst[p * NR..p * NR + NR];
+        d[..w].copy_from_slice(src);
+        d[w..].fill(0.0);
+    }
+}
+
+/// Sizes a pack/output buffer without the zero-fill `resize` implies: every
+/// caller overwrites all `len` slots, and on the hot path the buffer is
+/// reused at a stable size, making the reset free.
+fn reset_buf(buf: &mut Vec<f32>, len: usize) {
+    if buf.len() != len {
+        buf.clear();
+        buf.resize(len, 0.0);
+    }
+}
+
+/// Packs all of row-major `b` (`[k, n]`) into `n.div_ceil(NR)` panels of
+/// `[k][NR]` each, reusing `packed`'s allocation.
+fn pack_b(b: &[f32], k: usize, n: usize, packed: &mut Vec<f32>) {
+    let panels = n.div_ceil(NR);
+    reset_buf(packed, panels * k * NR);
+    for pj in 0..panels {
+        pack_b_panel(
+            b,
+            k,
+            n,
+            pj * NR,
+            &mut packed[pj * k * NR..(pj + 1) * k * NR],
+        );
+    }
+}
+
+/// Packs the *transpose* of `b` into panels: `b` is stored row-major
+/// `[n, row_len]` and the logical right operand is `B[p][j] = b[j][window.start + p]`,
+/// i.e. `A · Bᵀ` restricted to the `window` columns of `b`'s rows.
+fn pack_bt(b: &[f32], n: usize, row_len: usize, window: &Range<usize>, packed: &mut Vec<f32>) {
+    let k = window.len();
+    let panels = n.div_ceil(NR);
+    reset_buf(packed, panels * k * NR);
+    for pj in 0..panels {
+        let j0 = pj * NR;
+        let w = NR.min(n - j0);
+        let dst = &mut packed[pj * k * NR..(pj + 1) * k * NR];
+        for (d, p) in dst.chunks_exact_mut(NR).zip(window.clone()) {
+            for (lane, slot) in d.iter_mut().enumerate() {
+                *slot = if lane < w {
+                    b[(j0 + lane) * row_len + p]
+                } else {
+                    0.0
+                };
+            }
+        }
+    }
+}
+
+/// Packs rows `i0..i0+h` (`h <= MR`) of row-major `a` (`[_, row_len]`),
+/// columns `window`, into an interleaved `[k][MR]` layout
+/// (`dst[p*MR + r] = a[(i0+r)][window.start + p]`); rows past `h` are zero.
+fn pack_a_rows(
+    a: &[f32],
+    row_len: usize,
+    window: &Range<usize>,
+    i0: usize,
+    h: usize,
+    dst: &mut [f32],
+) {
+    for (p_local, p) in window.clone().enumerate() {
+        let d = &mut dst[p_local * MR..p_local * MR + MR];
+        for (r, slot) in d.iter_mut().enumerate() {
+            *slot = if r < h {
+                a[(i0 + r) * row_len + p]
+            } else {
+                0.0
+            };
+        }
+    }
+}
+
+/// Packs rows `i0..i0+h` of the transpose of row-major `a` (`[k, m]`) into
+/// the same interleaved `[k][MR]` layout: `dst[p*MR + r] = a[p*m + i0 + r]`.
+/// This is how `matmul_at_b` reads `Aᵀ` without materializing a transpose —
+/// the source rows are contiguous, so it's a straight copy per p.
+fn pack_at_rows(a: &[f32], m: usize, k: usize, i0: usize, h: usize, dst: &mut [f32]) {
+    for p in 0..k {
+        let d = &mut dst[p * MR..p * MR + MR];
+        d[..h].copy_from_slice(&a[p * m + i0..p * m + i0 + h]);
+        d[h..].fill(0.0);
+    }
+}
+
+/// The register-blocked micro-kernel: multiplies a packed `[kc][MR]` A block
+/// by a packed `[kc][NR]` B panel into an `MR x NR` accumulator tile.
+///
+/// The inner loops have fixed trip counts (MR, NR) and no branches, so the
+/// compiler unrolls and vectorizes them; each accumulator element's additions
+/// run in ascending-p order from 0.0, preserving the reference chain.
+#[inline(always)]
+fn micro_tile_body(apack: &[f32], panel: &[f32], kc: usize) -> [[f32; NR]; MR] {
+    let mut acc = [[0.0f32; NR]; MR];
+    for (av, bv) in apack.chunks_exact(MR).zip(panel.chunks_exact(NR)).take(kc) {
+        for (r, accr) in acc.iter_mut().enumerate() {
+            let ar = av[r];
+            for (c, &b) in accr.iter_mut().zip(bv) {
+                *c += ar * b;
+            }
+        }
+    }
+    acc
+}
+
+/// Micro-kernel function type; called through a pointer picked once per run.
+type MicroKernel = unsafe fn(&[f32], &[f32], usize) -> [[f32; NR]; MR];
+
+/// Picks the widest SIMD compilation of the micro-kernel this CPU supports.
+///
+/// All variants compile the *same* scalar body — the `target_feature` gates
+/// only change the vector width LLVM autovectorizes with, never the order or
+/// rounding of the float operations (Rust does not contract `mul + add` into
+/// FMA), so every variant is bit-identical to the portable one.
+#[cfg(target_arch = "x86_64")]
+fn micro_kernel() -> MicroKernel {
+    use std::sync::OnceLock;
+    #[target_feature(enable = "avx512f")]
+    unsafe fn avx512(apack: &[f32], panel: &[f32], kc: usize) -> [[f32; NR]; MR] {
+        micro_tile_body(apack, panel, kc)
+    }
+    #[target_feature(enable = "avx2")]
+    unsafe fn avx2(apack: &[f32], panel: &[f32], kc: usize) -> [[f32; NR]; MR] {
+        micro_tile_body(apack, panel, kc)
+    }
+    unsafe fn portable(apack: &[f32], panel: &[f32], kc: usize) -> [[f32; NR]; MR] {
+        micro_tile_body(apack, panel, kc)
+    }
+    static KERNEL: OnceLock<MicroKernel> = OnceLock::new();
+    *KERNEL.get_or_init(|| {
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            avx512
+        } else if std::arch::is_x86_feature_detected!("avx2") {
+            avx2
+        } else {
+            portable
+        }
+    })
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn micro_kernel() -> MicroKernel {
+    unsafe fn portable(apack: &[f32], panel: &[f32], kc: usize) -> [[f32; NR]; MR] {
+        micro_tile_body(apack, panel, kc)
+    }
+    portable
+}
+
+/// Computes output rows `rows` of a GEMM against pre-packed B panels.
+///
+/// `pack_a(i0, h, dst)` fills an interleaved `[kc][MR]` block for source rows
+/// `i0..i0+h`. `out` holds `rows.len() * n` elements (row `rows.start` first).
+/// With `ACCUM` the tile is added into `out` (`+=` of a register-complete
+/// chain, for windowed accumulation); otherwise it overwrites.
+fn gemm_rows<const ACCUM: bool>(
+    pack_a: &(dyn Fn(usize, usize, &mut [f32]) + Sync),
+    rows: Range<usize>,
+    kc: usize,
+    n: usize,
+    packed_b: &[f32],
+    out: &mut [f32],
+) {
+    let mut apack = vec![0.0f32; kc * MR];
+    let panels = n.div_ceil(NR);
+    let kernel = micro_kernel();
+    let mut i = rows.start;
+    while i < rows.end {
+        let h = MR.min(rows.end - i);
+        pack_a(i, h, &mut apack);
+        for pj in 0..panels {
+            let j0 = pj * NR;
+            let w = NR.min(n - j0);
+            let panel = &packed_b[pj * kc * NR..(pj + 1) * kc * NR];
+            // SAFETY: `micro_kernel` only returns a feature-gated variant
+            // when the CPU reports that feature.
+            let acc = unsafe { kernel(&apack, panel, kc) };
+            for (r, accr) in acc.iter().enumerate().take(h) {
+                let dst = &mut out[(i - rows.start + r) * n + j0..][..w];
+                if ACCUM {
+                    for (d, &s) in dst.iter_mut().zip(accr.iter()) {
+                        *d += s;
+                    }
+                } else {
+                    dst.copy_from_slice(&accr[..w]);
+                }
+            }
+        }
+        i += h;
+    }
+}
+
+/// Shared dispatch: serial for small products, row-partitioned over the
+/// persistent pool otherwise. The span partitioning matches the pre-pool
+/// version exactly (rows_per_span · n elements per span), and every span runs
+/// the same `gemm_rows` kernel, so parallel and serial results are
+/// bit-identical.
+fn gemm_dispatch(
+    pack_a: &(dyn Fn(usize, usize, &mut [f32]) + Sync),
+    m: usize,
+    kc: usize,
+    n: usize,
+    packed_b: &[f32],
+    out: &mut [f32],
+) {
+    let threads = remix_parallel::num_threads();
+    if threads > 1 && m > 1 && m * kc * n >= PARALLEL_MATMUL_MACS {
+        let rows_per_span = m.div_ceil(threads.min(m));
+        remix_parallel::for_each_span_mut(out, rows_per_span * n, |span, orows| {
+            let row0 = span * rows_per_span;
+            gemm_rows::<false>(pack_a, row0..row0 + orows.len() / n, kc, n, packed_b, orows);
+        });
+    } else {
+        gemm_rows::<false>(pack_a, 0..m, kc, n, packed_b, out);
+    }
+}
+
+/// Accumulates `out[i][j] += Σ_{p ∈ window} a[i][p] · b[j][p]` for row-major
+/// `a: [m, row_len]` and `b: [n, row_len]` (an `A · Bᵀ` product restricted to
+/// a column window), through the blocked micro-kernel.
+///
+/// Each `(i, j)` contribution is a complete ascending-p register chain from
+/// 0.0 that is then added to `out[i][j]` — bitwise the same as materializing
+/// the windowed product and calling `add_assign`. `remix-nn` uses this for
+/// per-sample conv weight gradients inside a batched column matrix; `packed`
+/// is caller-provided scratch so the per-sample loop doesn't reallocate.
+#[allow(clippy::too_many_arguments)] // a raw kernel entry point: dims + window + scratch
+pub fn gemm_accum_abt_window(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    n: usize,
+    row_len: usize,
+    window: Range<usize>,
+    packed: &mut Vec<f32>,
+) {
+    debug_assert!(window.end <= row_len);
+    debug_assert_eq!(out.len(), m * n);
+    let kc = window.len();
+    pack_bt(b, n, row_len, &window, packed);
+    gemm_rows::<true>(
+        &|i0, h, dst| pack_a_rows(a, row_len, &window, i0, h, dst),
+        0..m,
+        kc,
+        n,
+        packed,
+        out,
+    );
+}
+
+/// Accumulates `out[i][j] += Σ_p a[i][p] · b[p][j]` for row-major
+/// `a: [m, kc]` and `b: [kc, n]` (a plain `A · B` product), through the
+/// blocked micro-kernel.
+///
+/// Each `(i, j)` contribution is a complete ascending-p register chain from
+/// 0.0 that is then added to `out[i][j]` — bitwise the same as materializing
+/// `a.matmul(b)` and calling `add_assign`. `remix-nn` uses this for
+/// per-sample conv weight gradients against contiguous row windows of the
+/// batched `[B·spatial, patch]` matrix; `packed` is caller-provided scratch
+/// so the per-sample loop doesn't reallocate.
+pub fn gemm_accum_ab(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    kc: usize,
+    n: usize,
+    packed: &mut Vec<f32>,
+) {
+    debug_assert_eq!(a.len(), m * kc);
+    debug_assert_eq!(b.len(), kc * n);
+    debug_assert_eq!(out.len(), m * n);
+    pack_b(b, kc, n, packed);
+    let window = 0..kc;
+    gemm_rows::<true>(
+        &|i0, h, dst| pack_a_rows(a, kc, &window, i0, h, dst),
+        0..m,
+        kc,
+        n,
+        packed,
+        out,
+    );
+}
+
+fn check_rank2(t: &Tensor, op: &'static str) -> Result<()> {
+    if t.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            shape: t.shape().to_vec(),
+            op,
+        });
+    }
+    Ok(())
+}
 
 impl Tensor {
     /// Matrix product of two rank-2 tensors (`[m, k] x [k, n] -> [m, n]`).
     ///
-    /// Implemented as a cache-friendly ikj loop; this is the hot path of every
-    /// dense layer and of the im2col convolution in `remix-nn`. Products
-    /// large enough to amortize thread spawns are partitioned by output row
-    /// across scoped threads; each row's accumulation order is unchanged, so
-    /// the parallel path is bit-identical to the sequential one.
+    /// This is the hot path of every dense layer and of the im2col
+    /// convolution in `remix-nn`; see the module docs for the kernel design
+    /// and determinism contract. Products above [`PARALLEL_MATMUL_MACS`]
+    /// multiply-adds are partitioned by output row across the persistent
+    /// worker pool with bit-identical results.
     ///
     /// # Errors
     ///
     /// Returns [`TensorError::RankMismatch`] unless both operands are rank 2,
     /// and [`TensorError::MatmulDimMismatch`] if the inner dimensions differ.
     pub fn matmul(&self, other: &Tensor) -> Result<Tensor> {
-        if self.rank() != 2 {
-            return Err(TensorError::RankMismatch {
-                expected: 2,
-                shape: self.shape().to_vec(),
-                op: "matmul",
+        let mut out = Vec::new();
+        let mut packed = Vec::new();
+        self.matmul_into(other, &mut out, &mut packed)?;
+        Tensor::from_vec(out, &[self.shape()[0], other.shape()[1]])
+    }
+
+    /// [`Tensor::matmul`] writing into caller-owned buffers: `out` receives
+    /// the `m·n` result and `packed` is scratch for the packed B panels.
+    /// Reusing both across calls eliminates the per-product allocations on
+    /// the training/inference hot path.
+    ///
+    /// # Errors
+    ///
+    /// Same shape errors as [`Tensor::matmul`].
+    pub fn matmul_into(
+        &self,
+        other: &Tensor,
+        out: &mut Vec<f32>,
+        packed: &mut Vec<f32>,
+    ) -> Result<()> {
+        check_rank2(self, "matmul")?;
+        check_rank2(other, "matmul")?;
+        let (m, k) = (self.shape()[0], self.shape()[1]);
+        let (k2, n) = (other.shape()[0], other.shape()[1]);
+        if k != k2 {
+            return Err(TensorError::MatmulDimMismatch {
+                left: self.shape().to_vec(),
+                right: other.shape().to_vec(),
             });
         }
-        if other.rank() != 2 {
-            return Err(TensorError::RankMismatch {
-                expected: 2,
-                shape: other.shape().to_vec(),
-                op: "matmul",
+        let a = self.data();
+        let b = other.data();
+        pack_b(b, k, n, packed);
+        if out.len() != m * n {
+            out.clear();
+            out.resize(m * n, 0.0);
+        }
+        let window = 0..k;
+        gemm_dispatch(
+            &|i0, h, dst| pack_a_rows(a, k, &window, i0, h, dst),
+            m,
+            k,
+            n,
+            packed,
+            out,
+        );
+        Ok(())
+    }
+
+    /// `selfᵀ · other` for `self: [k, m]`, `other: [k, n]` → `[m, n]`,
+    /// without materializing the transpose: the packing stage reads `self`
+    /// column-block-wise directly (contiguous per-p copies). Accumulation
+    /// order per output element is identical to
+    /// `self.transpose()?.matmul(other)`.
+    ///
+    /// # Errors
+    ///
+    /// Same shape errors as [`Tensor::matmul`] (the shared `k` must match).
+    pub fn matmul_at_b(&self, other: &Tensor) -> Result<Tensor> {
+        let mut out = Vec::new();
+        let mut packed = Vec::new();
+        self.matmul_at_b_into(other, &mut out, &mut packed)?;
+        Tensor::from_vec(out, &[self.shape()[1], other.shape()[1]])
+    }
+
+    /// [`Tensor::matmul_at_b`] writing into caller-owned buffers, mirroring
+    /// [`Tensor::matmul_into`]: `out` receives the `m·n` result and `packed`
+    /// is scratch for the packed B panels. Reusing both across calls
+    /// eliminates the per-product allocations (and their zero-fills) on the
+    /// batched training hot path, where these buffers reach megabytes.
+    ///
+    /// # Errors
+    ///
+    /// Same shape errors as [`Tensor::matmul`].
+    pub fn matmul_at_b_into(
+        &self,
+        other: &Tensor,
+        out: &mut Vec<f32>,
+        packed: &mut Vec<f32>,
+    ) -> Result<()> {
+        check_rank2(self, "matmul_at_b")?;
+        check_rank2(other, "matmul_at_b")?;
+        let (k, m) = (self.shape()[0], self.shape()[1]);
+        let (k2, n) = (other.shape()[0], other.shape()[1]);
+        if k != k2 {
+            return Err(TensorError::MatmulDimMismatch {
+                left: self.shape().to_vec(),
+                right: other.shape().to_vec(),
             });
         }
+        let a = self.data();
+        let b = other.data();
+        pack_b(b, k, n, packed);
+        reset_buf(out, m * n);
+        gemm_dispatch(
+            &|i0, h, dst| pack_at_rows(a, m, k, i0, h, dst),
+            m,
+            k,
+            n,
+            packed,
+            out,
+        );
+        Ok(())
+    }
+
+    /// `self · otherᵀ` for `self: [m, k]`, `other: [n, k]` → `[m, n]`,
+    /// without materializing the transpose: the B-panel packing gathers
+    /// strided columns from `other`'s rows. Accumulation order per output
+    /// element is identical to `self.matmul(&other.transpose()?)`.
+    ///
+    /// # Errors
+    ///
+    /// Same shape errors as [`Tensor::matmul`] (the shared `k` must match).
+    pub fn matmul_a_bt(&self, other: &Tensor) -> Result<Tensor> {
+        let mut out = Vec::new();
+        let mut packed = Vec::new();
+        self.matmul_a_bt_into(other, &mut out, &mut packed)?;
+        Tensor::from_vec(out, &[self.shape()[0], other.shape()[0]])
+    }
+
+    /// [`Tensor::matmul_a_bt`] writing into caller-owned buffers, mirroring
+    /// [`Tensor::matmul_into`]: `out` receives the `m·n` result and `packed`
+    /// is scratch for the packed B panels. Reusing both across calls
+    /// eliminates the per-product allocations (and their zero-fills) on the
+    /// batched training hot path, where these buffers reach megabytes.
+    ///
+    /// # Errors
+    ///
+    /// Same shape errors as [`Tensor::matmul`].
+    pub fn matmul_a_bt_into(
+        &self,
+        other: &Tensor,
+        out: &mut Vec<f32>,
+        packed: &mut Vec<f32>,
+    ) -> Result<()> {
+        check_rank2(self, "matmul_a_bt")?;
+        check_rank2(other, "matmul_a_bt")?;
+        let (m, k) = (self.shape()[0], self.shape()[1]);
+        let (n, k2) = (other.shape()[0], other.shape()[1]);
+        if k != k2 {
+            return Err(TensorError::MatmulDimMismatch {
+                left: self.shape().to_vec(),
+                right: other.shape().to_vec(),
+            });
+        }
+        let a = self.data();
+        let b = other.data();
+        let window = 0..k;
+        pack_bt(b, n, k, &window, packed);
+        reset_buf(out, m * n);
+        gemm_dispatch(
+            &|i0, h, dst| pack_a_rows(a, k, &window, i0, h, dst),
+            m,
+            k,
+            n,
+            packed,
+            out,
+        );
+        Ok(())
+    }
+
+    /// Pre-blocking reference matmul (the PR 1 ikj kernel, zero-skip
+    /// included), kept public so proptests and `bench_gemm` can pin the
+    /// blocked kernel's bit-exactness and speedup against it.
+    ///
+    /// # Errors
+    ///
+    /// Same shape errors as [`Tensor::matmul`].
+    pub fn matmul_reference(&self, other: &Tensor) -> Result<Tensor> {
+        check_rank2(self, "matmul")?;
+        check_rank2(other, "matmul")?;
         let (m, k) = (self.shape()[0], self.shape()[1]);
         let (k2, n) = (other.shape()[0], other.shape()[1]);
         if k != k2 {
@@ -62,42 +560,32 @@ impl Tensor {
         let a = self.data();
         let b = other.data();
         let mut out = vec![0.0f32; m * n];
-        let threads = remix_parallel::num_threads();
-        if threads > 1 && m > 1 && m * k * n >= PARALLEL_MATMUL_FLOPS {
-            let rows_per_span = m.div_ceil(threads.min(m));
-            remix_parallel::for_each_span_mut(&mut out, rows_per_span * n, |span, orows| {
-                let row0 = span * rows_per_span;
-                for (r, orow) in orows.chunks_mut(n).enumerate() {
-                    let i = row0 + r;
-                    matmul_row(&a[i * k..(i + 1) * k], b, orow, n);
-                }
-            });
-        } else {
-            for i in 0..m {
-                matmul_row(&a[i * k..(i + 1) * k], b, &mut out[i * n..(i + 1) * n], n);
-            }
+        for i in 0..m {
+            matmul_row_reference(&a[i * k..(i + 1) * k], b, &mut out[i * n..(i + 1) * n], n);
         }
         Tensor::from_vec(out, &[m, n])
     }
 
-    /// Transpose of a rank-2 tensor.
+    /// Transpose of a rank-2 tensor, cache-blocked in 32×32 tiles so both
+    /// the strided reads and the strided writes stay within a few cache
+    /// lines per tile.
     ///
     /// # Errors
     ///
     /// Returns [`TensorError::RankMismatch`] unless the tensor is rank 2.
     pub fn transpose(&self) -> Result<Tensor> {
-        if self.rank() != 2 {
-            return Err(TensorError::RankMismatch {
-                expected: 2,
-                shape: self.shape().to_vec(),
-                op: "transpose",
-            });
-        }
+        check_rank2(self, "transpose")?;
+        const TILE: usize = 32;
         let (m, n) = (self.shape()[0], self.shape()[1]);
+        let src = self.data();
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            for j in 0..n {
-                out[j * m + i] = self.data()[i * n + j];
+        for i0 in (0..m).step_by(TILE) {
+            for j0 in (0..n).step_by(TILE) {
+                for i in i0..(i0 + TILE).min(m) {
+                    for j in j0..(j0 + TILE).min(n) {
+                        out[j * m + i] = src[i * n + j];
+                    }
+                }
             }
         }
         Tensor::from_vec(out, &[n, m])
@@ -110,13 +598,7 @@ impl Tensor {
     /// Returns [`TensorError::RankMismatch`] / [`TensorError::MatmulDimMismatch`]
     /// on shape violations.
     pub fn matvec(&self, v: &Tensor) -> Result<Tensor> {
-        if self.rank() != 2 {
-            return Err(TensorError::RankMismatch {
-                expected: 2,
-                shape: self.shape().to_vec(),
-                op: "matvec",
-            });
-        }
+        check_rank2(self, "matvec")?;
         let (m, n) = (self.shape()[0], self.shape()[1]);
         if v.len() != n {
             return Err(TensorError::MatmulDimMismatch {
@@ -139,6 +621,7 @@ impl Tensor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
 
     #[test]
     fn matmul_known_values() {
@@ -162,6 +645,157 @@ mod tests {
         let b = Tensor::zeros(&[2, 3]);
         assert!(a.matmul(&b).is_err());
         assert!(Tensor::zeros(&[3]).matmul(&a).is_err());
+        assert!(a.matmul_at_b(&Tensor::zeros(&[3, 2])).is_err());
+        assert!(a.matmul_a_bt(&Tensor::zeros(&[2, 4])).is_err());
+    }
+
+    #[test]
+    fn blocked_matmul_matches_reference_on_ragged_shapes() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 5, 7),
+            (4, 8, 8),
+            (5, 9, 17),
+            (13, 31, 29),
+            (64, 1, 64),
+            (1, 64, 1),
+        ] {
+            let a = Tensor::rand_uniform(&[m, k], -1.0, 1.0, &mut rng);
+            let b = Tensor::rand_uniform(&[k, n], -1.0, 1.0, &mut rng);
+            let blocked = a.matmul(&b).unwrap();
+            let reference = a.matmul_reference(&b).unwrap();
+            assert_eq!(blocked.data(), reference.data(), "shape {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn matmul_at_b_matches_explicit_transpose() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for &(k, m, n) in &[(5, 3, 7), (16, 9, 11), (33, 12, 4)] {
+            let at = Tensor::rand_uniform(&[k, m], -1.0, 1.0, &mut rng);
+            let b = Tensor::rand_uniform(&[k, n], -1.0, 1.0, &mut rng);
+            let fused = at.matmul_at_b(&b).unwrap();
+            let explicit = at.transpose().unwrap().matmul(&b).unwrap();
+            assert_eq!(fused.shape(), &[m, n]);
+            assert_eq!(fused.data(), explicit.data(), "shape t{k}x{m} · {k}x{n}");
+        }
+    }
+
+    #[test]
+    fn matmul_a_bt_matches_explicit_transpose() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for &(m, k, n) in &[(5, 3, 7), (16, 9, 11), (4, 33, 12)] {
+            let a = Tensor::rand_uniform(&[m, k], -1.0, 1.0, &mut rng);
+            let bt = Tensor::rand_uniform(&[n, k], -1.0, 1.0, &mut rng);
+            let fused = a.matmul_a_bt(&bt).unwrap();
+            let explicit = a.matmul(&bt.transpose().unwrap()).unwrap();
+            assert_eq!(fused.shape(), &[m, n]);
+            assert_eq!(fused.data(), explicit.data(), "shape {m}x{k} · t{n}x{k}");
+        }
+    }
+
+    #[test]
+    fn matmul_into_reuses_buffers_bitwise() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let a = Tensor::rand_uniform(&[7, 13], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform(&[13, 9], -1.0, 1.0, &mut rng);
+        let expect = a.matmul(&b).unwrap();
+        let mut out = Vec::new();
+        let mut packed = Vec::new();
+        for _ in 0..3 {
+            a.matmul_into(&b, &mut out, &mut packed).unwrap();
+            assert_eq!(&out[..], expect.data());
+        }
+    }
+
+    #[test]
+    fn zero_products_do_not_change_bits() {
+        // The blocked kernel dropped the reference kernel's `av == 0.0` skip;
+        // with ±0.0 sprinkled through both operands (so products like
+        // `+0.0 · -3.0 = -0.0` occur) the results must still agree bitwise.
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..20 {
+            let (m, k, n) = (
+                rng.gen_range(1..12),
+                rng.gen_range(1..12),
+                rng.gen_range(1..12),
+            );
+            let sample = |rng: &mut StdRng| -> f32 {
+                match rng.gen_range(0..4u32) {
+                    0 => 0.0,
+                    1 => -0.0,
+                    _ => rng.gen_range(-2.0..2.0),
+                }
+            };
+            let a =
+                Tensor::from_vec((0..m * k).map(|_| sample(&mut rng)).collect(), &[m, k]).unwrap();
+            let b =
+                Tensor::from_vec((0..k * n).map(|_| sample(&mut rng)).collect(), &[k, n]).unwrap();
+            let blocked = a.matmul(&b).unwrap();
+            let reference = a.matmul_reference(&b).unwrap();
+            let bits = |t: &Tensor| t.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&blocked), bits(&reference), "shape {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn gemm_accum_window_matches_matmul_add_assign() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let (m, n, row_len) = (5, 11, 24);
+        let a = Tensor::rand_uniform(&[m, row_len], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform(&[n, row_len], -1.0, 1.0, &mut rng);
+        for window in [0..row_len, 3..17, 8..8] {
+            let mut got = vec![0.5f32; m * n];
+            let mut expect = got.clone();
+            let mut packed = Vec::new();
+            gemm_accum_abt_window(
+                a.data(),
+                b.data(),
+                &mut got,
+                m,
+                n,
+                row_len,
+                window.clone(),
+                &mut packed,
+            );
+            // reference: slice the window out, run the fused A·Bᵀ, add.
+            // (the empty window must leave `out` untouched)
+            let kc = window.len();
+            if kc > 0 {
+                let slice_rows = |t: &Tensor, rows: usize| -> Tensor {
+                    let mut v = Vec::with_capacity(rows * kc);
+                    for i in 0..rows {
+                        let row = &t.data()[i * row_len..][window.start..window.end];
+                        v.extend_from_slice(row);
+                    }
+                    Tensor::from_vec(v, &[rows, kc]).unwrap()
+                };
+                let prod = slice_rows(&a, m).matmul_a_bt(&slice_rows(&b, n)).unwrap();
+                for (e, p) in expect.iter_mut().zip(prod.data()) {
+                    *e += p;
+                }
+            }
+            assert_eq!(got, expect, "window {window:?}");
+        }
+    }
+
+    #[test]
+    fn gemm_accum_ab_matches_matmul_add_assign() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let (m, kc, n) = (5, 13, 27);
+        let a = Tensor::rand_uniform(&[m, kc], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform(&[kc, n], -1.0, 1.0, &mut rng);
+        let mut got = vec![0.5f32; m * n];
+        let mut expect = got.clone();
+        let mut packed = Vec::new();
+        gemm_accum_ab(a.data(), b.data(), &mut got, m, kc, n, &mut packed);
+        let prod = a.matmul(&b).unwrap();
+        for (e, p) in expect.iter_mut().zip(prod.data()) {
+            *e += p;
+        }
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&got), bits(&expect));
     }
 
     #[test]
@@ -174,8 +808,24 @@ mod tests {
     }
 
     #[test]
+    fn blocked_transpose_known_values_and_roundtrip() {
+        // Shapes straddling the 32-tile boundary exercise ragged tiles.
+        let mut rng = StdRng::seed_from_u64(14);
+        for &(m, n) in &[(1, 1), (31, 33), (32, 32), (40, 70), (65, 3)] {
+            let a = Tensor::rand_uniform(&[m, n], -1.0, 1.0, &mut rng);
+            let at = a.transpose().unwrap();
+            assert_eq!(at.shape(), &[n, m]);
+            for i in 0..m.min(5) {
+                for j in 0..n.min(5) {
+                    assert_eq!(at.at(&[j, i]), a.at(&[i, j]));
+                }
+            }
+            assert_eq!(at.transpose().unwrap(), a);
+        }
+    }
+
+    #[test]
     fn parallel_matmul_is_bit_identical_to_sequential() {
-        use rand::{rngs::StdRng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(11);
         // 96·96·96 ≈ 885k multiply-adds: above the parallel cutoff
         let a = Tensor::rand_uniform(&[96, 96], -1.0, 1.0, &mut rng);
@@ -185,7 +835,7 @@ mod tests {
         let (m, k, n) = (96, 96, 96);
         let mut reference = vec![0.0f32; m * n];
         for i in 0..m {
-            matmul_row(
+            matmul_row_reference(
                 &a.data()[i * k..(i + 1) * k],
                 b.data(),
                 &mut reference[i * n..(i + 1) * n],

@@ -132,27 +132,51 @@ impl Tensor {
         self.map(|v| v.clamp(lo, hi))
     }
 
-    /// Dot product of two tensors viewed as flat vectors.
+    /// Dot product of two same-shaped tensors.
     ///
     /// # Errors
     ///
-    /// Returns [`TensorError::ShapeMismatch`] if the element counts differ
-    /// (shapes may differ as long as lengths agree, matching the paper's
-    /// "flatten A and B" cosine-distance recipe).
+    /// Returns [`TensorError::ShapeMismatch`] unless the shapes match
+    /// exactly. The old behavior — accepting any shapes of equal length —
+    /// silently dotted a `[2, 3]` against a `[3, 2]` elementwise, which is
+    /// almost never the intended product; callers that deliberately flatten
+    /// (the paper's "flatten A and B" cosine-distance recipe) should use
+    /// [`Tensor::dot_flat`].
     pub fn dot(&self, other: &Tensor) -> Result<f32> {
-        if self.len() != other.len() {
+        if self.shape() != other.shape() {
             return Err(TensorError::ShapeMismatch {
                 left: self.shape().to_vec(),
                 right: other.shape().to_vec(),
                 op: "dot",
             });
         }
-        Ok(self
-            .data()
+        Ok(self.dot_flat_unchecked(other))
+    }
+
+    /// Dot product of two tensors viewed as flat vectors: shapes may differ
+    /// as long as element counts agree (the paper's "flatten A and B"
+    /// cosine-distance recipe).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the element counts differ.
+    pub fn dot_flat(&self, other: &Tensor) -> Result<f32> {
+        if self.len() != other.len() {
+            return Err(TensorError::ShapeMismatch {
+                left: self.shape().to_vec(),
+                right: other.shape().to_vec(),
+                op: "dot_flat",
+            });
+        }
+        Ok(self.dot_flat_unchecked(other))
+    }
+
+    fn dot_flat_unchecked(&self, other: &Tensor) -> f32 {
+        self.data()
             .iter()
             .zip(other.data())
             .map(|(&a, &b)| a * b)
-            .sum())
+            .sum()
     }
 
     /// Euclidean (L2) norm of the flattened tensor.
@@ -208,8 +232,11 @@ mod tests {
         let a = t(&[3.0, 4.0]);
         assert_eq!(a.dot(&a).unwrap(), 25.0);
         assert_eq!(a.norm(), 5.0);
-        // dot tolerates different shapes of equal length
+        // dot now requires matching shapes; dot_flat keeps the old
+        // equal-length flattening semantics.
         let m = Tensor::from_vec(vec![3.0, 4.0], &[2, 1]).unwrap();
-        assert_eq!(a.dot(&m).unwrap(), 25.0);
+        assert!(a.dot(&m).is_err());
+        assert_eq!(a.dot_flat(&m).unwrap(), 25.0);
+        assert!(a.dot_flat(&Tensor::zeros(&[3])).is_err());
     }
 }

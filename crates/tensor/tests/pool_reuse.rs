@@ -1,0 +1,51 @@
+//! The persistent worker pool's core economy: parallel matmuls reuse the
+//! same threads instead of respawning a scope per call. This file is its own
+//! test binary so it can pin `REMIX_THREADS` before the pool is first touched
+//! without racing other tests.
+
+use rand::{rngs::StdRng, SeedableRng};
+use remix_tensor::Tensor;
+
+#[test]
+fn consecutive_parallel_matmuls_reuse_the_pool_and_agree_bitwise() {
+    // Force a multi-thread pool even on single-core CI machines; the pool is
+    // sized on first use, and nothing else in this binary touches it first.
+    std::env::set_var("REMIX_THREADS", "4");
+
+    let mut rng = StdRng::seed_from_u64(42);
+    // 96³ MACs is comfortably above the parallel dispatch threshold.
+    let a = Tensor::rand_uniform(&[96, 96], -1.0, 1.0, &mut rng);
+    let b = Tensor::rand_uniform(&[96, 96], -1.0, 1.0, &mut rng);
+
+    let first = a.matmul(&b).unwrap();
+    let spawned_after_first = remix_parallel::pool_threads_spawned();
+    assert!(
+        spawned_after_first > 0,
+        "parallel dispatch should have spun up the pool"
+    );
+
+    let second = a.matmul(&b).unwrap();
+    let spawned_after_second = remix_parallel::pool_threads_spawned();
+    assert_eq!(
+        spawned_after_first, spawned_after_second,
+        "second parallel matmul spawned new threads instead of reusing the pool"
+    );
+
+    for (i, (x, y)) in first.data().iter().zip(second.data()).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "element {i} diverged between consecutive parallel matmuls"
+        );
+    }
+
+    // And the pooled parallel result matches the sequential reference kernel.
+    let reference = a.matmul_reference(&b).unwrap();
+    for (i, (x, y)) in first.data().iter().zip(reference.data()).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "element {i} diverged from the sequential reference"
+        );
+    }
+}
