@@ -15,7 +15,6 @@ use remix_data::SyntheticSpec;
 use remix_ensemble::Voter;
 use remix_faults::{pattern, FaultConfig, FaultType};
 use remix_xai::ExplainerConfig;
-use std::time::Instant;
 
 fn main() {
     let scale = Scale::from_env();
@@ -44,9 +43,10 @@ fn main() {
         stack: &mut TrainedStack,
     ) {
         let mut voter = RemixVoter::new(builder.build());
-        let t = Instant::now();
-        let (ba, f1) = stack.evaluate_voter(&mut voter, test);
-        let secs = t.elapsed().as_secs_f32();
+        let ((ba, f1), dt) = remix_trace::timed("ablation_evaluate", || {
+            stack.evaluate_voter(&mut voter, test)
+        });
+        let secs = dt.as_secs_f32();
         rows.push(Row {
             panel: panel.into(),
             setting: label,

@@ -1,0 +1,150 @@
+//! CI perf-regression gate: compares fresh bench records against the
+//! committed baselines and exits nonzero on a >20 % wall-time regression or
+//! any bitwise-verdict divergence. See `remix_bench::check` for the policy
+//! (within-run ratios, so the gate is robust to CI machine speed).
+//!
+//! ```text
+//! bench_check [--baseline-dir DIR] [--fresh-dir DIR] [--tolerance F] [--self-test]
+//! ```
+//!
+//! `--self-test` skips the fresh records entirely: it doctors copies of the
+//! committed baselines (a synthetic 50 % wall-time regression, then a flipped
+//! verdict flag) and exits nonzero unless the gate catches both — proving the
+//! gate can fail before trusting it to pass.
+
+use remix_bench::check::{
+    check_gemm, check_inference, flip_verdict_flags, scale_speedups, GateReport, DEFAULT_TOLERANCE,
+};
+use serde::Value;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn load(path: &Path) -> Result<Value, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    serde_json::from_str(&text).map_err(|e| format!("parsing {}: {e}", path.display()))
+}
+
+fn print_report(report: &GateReport) {
+    for line in &report.checks {
+        println!("{line}");
+    }
+    for line in &report.failures {
+        println!("{line}");
+    }
+}
+
+/// Doctors a baseline record and returns true iff the gate catches it.
+fn self_test_record(
+    name: &str,
+    baseline: &Value,
+    gate: impl Fn(&Value, &Value) -> GateReport,
+) -> bool {
+    let mut ok = true;
+    let clean = gate(baseline, baseline);
+    if !clean.passed() {
+        println!("self-test FAIL: {name} baseline does not pass against itself:");
+        print_report(&clean);
+        ok = false;
+    }
+    let mut slow = baseline.clone();
+    scale_speedups(&mut slow, 1.0 / 1.5); // 50 % synthetic wall regression
+    if gate(baseline, &slow).passed() {
+        println!("self-test FAIL: {name} gate missed a 50 % synthetic regression");
+        ok = false;
+    }
+    let mut diverged = baseline.clone();
+    flip_verdict_flags(&mut diverged);
+    if gate(baseline, &diverged).passed() {
+        println!("self-test FAIL: {name} gate missed a verdict divergence");
+        ok = false;
+    }
+    if ok {
+        println!("self-test ok: {name} gate passes clean, catches regression + divergence");
+    }
+    ok
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let baseline_dir =
+        PathBuf::from(flag("--baseline-dir").unwrap_or_else(|| "crates/bench/baselines".into()));
+    let fresh_dir = PathBuf::from(flag("--fresh-dir").unwrap_or_else(|| "results".into()));
+    let tolerance: f64 = match flag("--tolerance").map(|t| t.parse()) {
+        None => DEFAULT_TOLERANCE,
+        Some(Ok(t)) => t,
+        Some(Err(e)) => {
+            eprintln!("error: --tolerance: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let self_test = args.iter().any(|a| a == "--self-test");
+
+    let (base_gemm, base_inference) = match (
+        load(&baseline_dir.join("bench_gemm.json")),
+        load(&baseline_dir.join("bench_inference.json")),
+    ) {
+        (Ok(g), Ok(i)) => (g, i),
+        (g, i) => {
+            for err in [g.err(), i.err()].into_iter().flatten() {
+                eprintln!("error: {err}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if self_test {
+        let gemm_ok =
+            self_test_record("bench_gemm", &base_gemm, |b, f| check_gemm(b, f, tolerance));
+        let inference_ok = self_test_record("bench_inference", &base_inference, |b, f| {
+            check_inference(b, f, tolerance)
+        });
+        return if gemm_ok && inference_ok {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+
+    let (fresh_gemm, fresh_inference) = match (
+        load(&fresh_dir.join("bench_gemm.json")),
+        load(&fresh_dir.join("bench_inference.json")),
+    ) {
+        (Ok(g), Ok(i)) => (g, i),
+        (g, i) => {
+            for err in [g.err(), i.err()].into_iter().flatten() {
+                eprintln!("error: {err}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut report = check_gemm(&base_gemm, &fresh_gemm, tolerance);
+    report.merge(check_inference(
+        &base_inference,
+        &fresh_inference,
+        tolerance,
+    ));
+    print_report(&report);
+    if report.passed() {
+        println!(
+            "bench_check: {} checks passed (tolerance {:.0} %)",
+            report.checks.len(),
+            tolerance * 100.0
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "bench_check: {} of {} checks FAILED",
+            report.failures.len(),
+            report.checks.len() + report.failures.len()
+        );
+        ExitCode::FAILURE
+    }
+}

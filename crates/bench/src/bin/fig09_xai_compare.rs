@@ -9,7 +9,6 @@ use remix_ensemble::train_zoo;
 use remix_faults::{inject, pattern, FaultConfig, FaultType};
 use remix_nn::Arch;
 use remix_xai::{eval, Explainer, XaiTechnique};
-use std::time::Instant;
 
 fn main() {
     let scale = Scale::from_env();
@@ -45,10 +44,11 @@ fn main() {
                 (0.0f32, 0.0f32, 0.0f64, 0u32);
             for model in models.iter_mut() {
                 for img in test.images.iter().take(8) {
-                    let t = Instant::now();
-                    let (class, _) = model.predict(img);
-                    explainer.explain(model, img, class, &mut rng);
-                    time_sum += t.elapsed().as_secs_f64();
+                    let ((), dt) = remix_trace::timed("fig09_explain", || {
+                        let (class, _) = model.predict(img);
+                        explainer.explain(model, img, class, &mut rng);
+                    });
+                    time_sum += dt.as_secs_f64();
                     faith_sum +=
                         eval::faithfulness_correlation(model, &explainer, img, 12, 0.25, &mut rng);
                     let ris =

@@ -10,7 +10,6 @@ use remix_data::SyntheticSpec;
 use remix_diversity::DiversityMetric;
 use remix_faults::{pattern, FaultConfig, FaultType};
 use remix_tensor::Tensor;
-use std::time::Instant;
 
 fn main() {
     let scale = Scale::from_env();
@@ -45,12 +44,14 @@ fn main() {
     let b = Tensor::rand_uniform(&[128, 128], 0.0, 1.0, &mut rng);
     println!("\nDiversity-metric runtime (128×128 matrices, 2000 calls):");
     for metric in DiversityMetric::ALL {
-        let t = Instant::now();
-        let mut sink = 0.0;
-        for _ in 0..2000 {
-            sink += metric.distance(&a, &b);
-        }
-        let per_call = t.elapsed().as_secs_f64() / 2000.0 * 1e6;
+        let (sink, dt) = remix_trace::timed("fig10_metric", || {
+            let mut sink = 0.0;
+            for _ in 0..2000 {
+                sink += metric.distance(&a, &b);
+            }
+            sink
+        });
+        let per_call = dt.as_secs_f64() / 2000.0 * 1e6;
         println!("  {metric:<16} {per_call:>8.2} µs/call (checksum {sink:.1})");
     }
     println!("\nPaper: R² and cosine most resilient (scale-invariant); Frobenius worst;");

@@ -1,0 +1,345 @@
+//! Perf-regression gate backing the `bench_check` binary (CI).
+//!
+//! Compares fresh bench records (`results/bench_gemm.json`,
+//! `results/bench_inference.json`) against the committed baselines under
+//! `crates/bench/baselines/` and fails on a >20 % wall-time regression or on
+//! any bitwise-verdict divergence.
+//!
+//! CI runners do not run at the speed of the machine that produced the
+//! committed baselines, so absolute wall times are not comparable across
+//! machines. Every gated timing metric is therefore a *within-run ratio*
+//! (the optimized path's wall time against its reference path, both measured
+//! in the same process): the machine constant cancels, and a >20 % drop in
+//! the ratio is exactly a >20 % wall-time regression of the optimized path
+//! at fixed reference speed. Correctness flags (`bit_identical`,
+//! `weights_bit_identical`, `verdicts_identical`) are gated absolutely —
+//! they must be `true` in the fresh record, no tolerance.
+
+use serde::Value;
+
+/// Allowed relative wall-time regression before the gate fails (20 %).
+pub const DEFAULT_TOLERANCE: f64 = 0.20;
+
+/// Outcome of one gate run: every comparison performed, plus the subset that
+/// failed. The gate passes iff `failures` is empty.
+#[derive(Debug, Default)]
+pub struct GateReport {
+    /// Human-readable line per comparison performed ("ok ..." lines).
+    pub checks: Vec<String>,
+    /// Human-readable line per failed comparison.
+    pub failures: Vec<String>,
+}
+
+impl GateReport {
+    /// True when no comparison failed.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Folds another report's lines into this one.
+    pub fn merge(&mut self, other: GateReport) {
+        self.checks.extend(other.checks);
+        self.failures.extend(other.failures);
+    }
+
+    fn ok(&mut self, line: String) {
+        self.checks.push(line);
+    }
+
+    fn fail(&mut self, line: String) {
+        self.failures.push(line);
+    }
+
+    /// Gates one within-run speedup: fresh must retain at least
+    /// `1 / (1 + tolerance)` of the baseline ratio.
+    fn gate_speedup(&mut self, label: &str, baseline: f64, fresh: f64, tolerance: f64) {
+        let floor = baseline / (1.0 + tolerance);
+        if fresh >= floor {
+            self.ok(format!(
+                "ok   {label}: speedup {fresh:.3} (baseline {baseline:.3}, floor {floor:.3})"
+            ));
+        } else {
+            self.fail(format!(
+                "FAIL {label}: speedup {fresh:.3} fell below {floor:.3} \
+                 (baseline {baseline:.3}, tolerance {:.0} %)",
+                tolerance * 100.0
+            ));
+        }
+    }
+
+    /// Gates a correctness flag: it must be present and `true` in the fresh
+    /// record.
+    fn gate_flag(&mut self, label: &str, fresh: Option<bool>) {
+        match fresh {
+            Some(true) => self.ok(format!("ok   {label}: bitwise identical")),
+            Some(false) => self.fail(format!("FAIL {label}: bitwise divergence")),
+            None => self.fail(format!("FAIL {label}: correctness flag missing")),
+        }
+    }
+}
+
+/// Field lookup on an object `Value`; `None` for non-objects/missing keys.
+fn get<'a>(value: &'a Value, name: &str) -> Option<&'a Value> {
+    value
+        .as_object()?
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+}
+
+/// Numeric coercion across the shim's three number variants.
+fn num(value: &Value) -> Option<f64> {
+    match value {
+        Value::UInt(u) => Some(*u as f64),
+        Value::Int(i) => Some(*i as f64),
+        Value::Float(f) => Some(*f),
+        _ => None,
+    }
+}
+
+fn get_num(value: &Value, name: &str) -> Option<f64> {
+    num(get(value, name)?)
+}
+
+fn get_bool(value: &Value, name: &str) -> Option<bool> {
+    match get(value, name)? {
+        Value::Bool(b) => Some(*b),
+        _ => None,
+    }
+}
+
+fn get_str<'a>(value: &'a Value, name: &str) -> Option<&'a str> {
+    match get(value, name)? {
+        Value::Str(s) => Some(s),
+        _ => None,
+    }
+}
+
+/// Gates `bench_gemm.json`: per shape, the blocked kernel must stay
+/// bit-identical to the reference and keep its within-run speedup; per
+/// training row, batched updates must stay weight-bit-identical and keep the
+/// batched-vs-per-sample ratio.
+pub fn check_gemm(baseline: &Value, fresh: &Value, tolerance: f64) -> GateReport {
+    let mut report = GateReport::default();
+    let empty: &[Value] = &[];
+    let fresh_gemm = get(fresh, "gemm")
+        .and_then(Value::as_array)
+        .unwrap_or(empty);
+    for base_row in get(baseline, "gemm")
+        .and_then(Value::as_array)
+        .unwrap_or(empty)
+    {
+        let Some(shape) = get_str(base_row, "shape") else {
+            continue;
+        };
+        let label = format!("gemm/{shape}");
+        let Some(fresh_row) = fresh_gemm
+            .iter()
+            .find(|r| get_str(r, "shape") == Some(shape))
+        else {
+            report.fail(format!("FAIL {label}: missing from fresh record"));
+            continue;
+        };
+        report.gate_flag(&label, get_bool(fresh_row, "bit_identical"));
+        match (get_num(base_row, "speedup"), get_num(fresh_row, "speedup")) {
+            (Some(b), Some(f)) => report.gate_speedup(&label, b, f, tolerance),
+            _ => report.fail(format!("FAIL {label}: speedup field missing")),
+        }
+    }
+    let fresh_training = get(fresh, "training")
+        .and_then(Value::as_array)
+        .unwrap_or(empty);
+    for base_row in get(baseline, "training")
+        .and_then(Value::as_array)
+        .unwrap_or(empty)
+    {
+        let (Some(model), Some(size)) =
+            (get_str(base_row, "model"), get_num(base_row, "input_size"))
+        else {
+            continue;
+        };
+        let label = format!("training/{model}@{size}");
+        let Some(fresh_row) = fresh_training
+            .iter()
+            .find(|r| get_str(r, "model") == Some(model) && get_num(r, "input_size") == Some(size))
+        else {
+            report.fail(format!("FAIL {label}: missing from fresh record"));
+            continue;
+        };
+        report.gate_flag(&label, get_bool(fresh_row, "weights_bit_identical"));
+        match (get_num(base_row, "speedup"), get_num(fresh_row, "speedup")) {
+            (Some(b), Some(f)) => report.gate_speedup(&label, b, f, tolerance),
+            _ => report.fail(format!("FAIL {label}: speedup field missing")),
+        }
+    }
+    if report.checks.is_empty() && report.failures.is_empty() {
+        report.fail("FAIL gemm: baseline record has no gemm/training rows".into());
+    }
+    report
+}
+
+/// Gates `bench_inference.json`: the traced/batched engine must keep its
+/// verdicts bit-identical to the per-sample engine and must not lose more
+/// than `tolerance` of its within-run batched-vs-per-sample speedup.
+pub fn check_inference(baseline: &Value, fresh: &Value, tolerance: f64) -> GateReport {
+    let mut report = GateReport::default();
+    report.gate_flag("inference/verdicts", get_bool(fresh, "verdicts_identical"));
+    match (
+        get_num(baseline, "speedup_batched_vs_per_sample"),
+        get_num(fresh, "speedup_batched_vs_per_sample"),
+    ) {
+        (Some(b), Some(f)) => report.gate_speedup("inference/batched_engine", b, f, tolerance),
+        _ => report.fail("FAIL inference/batched_engine: speedup field missing".into()),
+    }
+    report
+}
+
+/// Multiplies every within-run speedup field by `factor`, recursively. Used
+/// by the self-test to synthesize a wall-time regression (`factor < 1`)
+/// without re-running the benchmarks.
+pub fn scale_speedups(value: &mut Value, factor: f64) {
+    match value {
+        Value::Object(pairs) => {
+            for (key, v) in pairs.iter_mut() {
+                if key == "speedup" || key == "speedup_batched_vs_per_sample" {
+                    if let Some(n) = num(v) {
+                        *v = Value::Float(n * factor);
+                    }
+                } else {
+                    scale_speedups(v, factor);
+                }
+            }
+        }
+        Value::Array(items) => {
+            for v in items.iter_mut() {
+                scale_speedups(v, factor);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Flips every correctness flag to `false`, recursively. Used by the
+/// self-test to synthesize a bitwise-verdict divergence.
+pub fn flip_verdict_flags(value: &mut Value) {
+    match value {
+        Value::Object(pairs) => {
+            for (key, v) in pairs.iter_mut() {
+                if key == "bit_identical"
+                    || key == "weights_bit_identical"
+                    || key == "verdicts_identical"
+                {
+                    *v = Value::Bool(false);
+                } else {
+                    flip_verdict_flags(v);
+                }
+            }
+        }
+        Value::Array(items) => {
+            for v in items.iter_mut() {
+                flip_verdict_flags(v);
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gemm_record() -> Value {
+        serde_json::from_str(
+            r#"{
+              "gemm": [
+                {"shape": "a", "speedup": 2.0, "bit_identical": true},
+                {"shape": "b", "speedup": 1.5, "bit_identical": true}
+              ],
+              "training": [
+                {"model": "ConvNet", "input_size": 16, "speedup": 1.0,
+                 "weights_bit_identical": true}
+              ]
+            }"#,
+        )
+        .expect("valid test record")
+    }
+
+    fn inference_record() -> Value {
+        serde_json::from_str(
+            r#"{"speedup_batched_vs_per_sample": 0.93, "verdicts_identical": true}"#,
+        )
+        .expect("valid test record")
+    }
+
+    #[test]
+    fn identical_records_pass() {
+        let base = gemm_record();
+        let report = check_gemm(&base, &base, DEFAULT_TOLERANCE);
+        assert!(report.passed(), "failures: {:?}", report.failures);
+        // 2 flags + 2 speedups for gemm, 1 flag + 1 speedup for training
+        assert_eq!(report.checks.len(), 6);
+        let base = inference_record();
+        let report = check_inference(&base, &base, DEFAULT_TOLERANCE);
+        assert!(report.passed(), "failures: {:?}", report.failures);
+        assert_eq!(report.checks.len(), 2);
+    }
+
+    #[test]
+    fn regression_within_tolerance_passes() {
+        let base = gemm_record();
+        let mut fresh = gemm_record();
+        scale_speedups(&mut fresh, 1.0 / 1.15); // 15 % slower: inside 20 %
+        assert!(check_gemm(&base, &fresh, DEFAULT_TOLERANCE).passed());
+    }
+
+    #[test]
+    fn synthetic_regression_fails_the_gate() {
+        let base = gemm_record();
+        let mut fresh = gemm_record();
+        scale_speedups(&mut fresh, 1.0 / 1.5); // 50 % slower: over 20 %
+        let report = check_gemm(&base, &fresh, DEFAULT_TOLERANCE);
+        assert_eq!(report.failures.len(), 3); // every speedup row trips
+        let base = inference_record();
+        let mut fresh = inference_record();
+        scale_speedups(&mut fresh, 1.0 / 1.5);
+        assert!(!check_inference(&base, &fresh, DEFAULT_TOLERANCE).passed());
+    }
+
+    #[test]
+    fn verdict_divergence_fails_the_gate() {
+        let base = gemm_record();
+        let mut fresh = gemm_record();
+        flip_verdict_flags(&mut fresh);
+        let report = check_gemm(&base, &fresh, DEFAULT_TOLERANCE);
+        assert_eq!(report.failures.len(), 3); // every flag row trips
+        let base = inference_record();
+        let mut fresh = inference_record();
+        flip_verdict_flags(&mut fresh);
+        let report = check_inference(&base, &fresh, DEFAULT_TOLERANCE);
+        assert_eq!(report.failures.len(), 1);
+    }
+
+    #[test]
+    fn missing_fresh_rows_fail_the_gate() {
+        let base = gemm_record();
+        let fresh: Value = serde_json::from_str(r#"{"gemm": [], "training": []}"#).unwrap();
+        let report = check_gemm(&base, &fresh, DEFAULT_TOLERANCE);
+        assert_eq!(report.failures.len(), 3); // two gemm shapes + one training row
+    }
+
+    #[test]
+    fn committed_baselines_pass_against_themselves() {
+        for name in ["bench_gemm.json", "bench_inference.json"] {
+            let path = concat!(env!("CARGO_MANIFEST_DIR"), "/baselines/");
+            let text = std::fs::read_to_string(format!("{path}{name}"))
+                .expect("committed baseline readable");
+            let record: Value = serde_json::from_str(&text).expect("baseline parses");
+            let report = if name.contains("gemm") {
+                check_gemm(&record, &record, DEFAULT_TOLERANCE)
+            } else {
+                check_inference(&record, &record, DEFAULT_TOLERANCE)
+            };
+            assert!(report.passed(), "{name} failures: {:?}", report.failures);
+        }
+    }
+}

@@ -10,6 +10,7 @@
 //! `quick` (default — minutes on one CPU core) or `paper` (larger datasets,
 //! more epochs, more seeds; closer to the paper's statistical power).
 
+pub mod check;
 pub mod report;
 pub mod runner;
 pub mod scale;

@@ -38,6 +38,13 @@ USAGE:
       Results are bit-identical for any thread count.
   remix explain --dataset <name> --ensemble <path> [--index <i>] [--technique <SG|IG|SHAP|LIME|CFE>] [--threads <t>]
       Render each model's feature matrix for one test input.
+
+GLOBAL OPTIONS:
+  --trace <path>
+      Record telemetry (spans, counters, histograms) for the whole run and
+      write it to <path> as JSON (or JSONL if the path ends in .jsonl); a
+      human-readable tree summary is printed on completion. Tracing does not
+      change any result — instrumented code is bit-identical either way.
 ";
 
 fn main() -> ExitCode {
@@ -53,6 +60,11 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let trace_path = args.get("trace").map(std::path::PathBuf::from);
+    if trace_path.is_some() {
+        remix_trace::reset();
+        remix_trace::set_enabled(true);
+    }
     let result = match args.command.as_str() {
         "datasets" => commands::datasets(),
         "train" => commands::train(&args),
@@ -60,6 +72,16 @@ fn main() -> ExitCode {
         "explain" => commands::explain(&args),
         other => Err(format!("unknown subcommand `{other}`")),
     };
+    if let Some(path) = &trace_path {
+        remix_trace::set_enabled(false);
+        let report = remix_trace::snapshot();
+        print!("{}", report.render_tree());
+        if let Err(e) = report.write(path) {
+            eprintln!("error: writing trace to {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("trace written to {}", path.display());
+    }
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {

@@ -4,7 +4,6 @@ use remix_diversity::{sparseness_with_threshold, DiversityMetric};
 use remix_ensemble::{Prediction, TrainedEnsemble};
 use remix_tensor::{fnv1a64, splitmix64, Tensor};
 use remix_xai::{Explainer, ExplainerConfig, XaiTechnique};
-use std::time::Instant;
 
 /// The ReMIX meta-learner (paper §IV): XAI technique + diversity metric +
 /// weight-generation parameters.
@@ -70,17 +69,26 @@ impl Remix {
     /// models' input spec.
     pub fn predict(&self, ensemble: &mut TrainedEnsemble, image: &Tensor) -> RemixVerdict {
         let threads = remix_parallel::resolve_threads(self.threads);
+        remix_trace::incr(remix_trace::Counter::Predictions);
+        let predict_span = remix_trace::span("predict");
         let mut timings = StageTimings {
             threads,
             ..StageTimings::default()
         };
-        let t0 = Instant::now();
+        // Each stage runs under a `StageSpan`, which measures wall time
+        // whether or not tracing is enabled; `StageTimings` is the view of
+        // exactly those measurements (`finish()` returns the same `Duration`
+        // the span records), so the legacy struct and the span tree can never
+        // disagree.
+        let stage = remix_trace::stage_span("prediction");
         let outputs = ensemble.outputs_with_threads(image, threads);
-        timings.prediction = t0.elapsed();
+        timings.prediction = stage.finish();
         // Fast path: when every model predicts the same label the ensemble
         // has no influence, so ReMIX outputs it directly (paper §IV).
         let first = outputs[0].pred;
         if self.fast_path && outputs.iter().all(|o| o.pred == first) {
+            remix_trace::incr(remix_trace::Counter::FastPathHits);
+            remix_trace::record_duration("verdict_unanimous", predict_span.finish());
             return RemixVerdict {
                 prediction: Prediction::Decided(first),
                 unanimous: true,
@@ -88,16 +96,17 @@ impl Remix {
                 timings,
             };
         }
+        remix_trace::incr(remix_trace::Counter::Disagreements);
         // (1) Feature Space Extraction, one independent RNG stream per model
-        let t1 = Instant::now();
+        let stage = remix_trace::stage_span("xai");
         let matrices: Vec<Tensor> =
             remix_parallel::map_mut_indexed(&mut ensemble.models, threads, |i, model| {
                 let mut rng = self.xai_rng(&model.name);
                 self.explainer
                     .explain(model, image, outputs[i].pred, &mut rng)
             });
-        timings.xai = t1.elapsed();
-        let t2 = Instant::now();
+        timings.xai = stage.finish();
+        let stage = remix_trace::stage_span("diversity");
         // (2) Feature-space Diversity: mean pairwise diversity per model.
         // Distances are computed in parallel but summed serially in the same
         // (i, j) order as the sequential double loop, keeping the float
@@ -119,8 +128,8 @@ impl Remix {
                 *d /= (n - 1) as f32;
             }
         }
-        timings.diversity = t2.elapsed();
-        let t3 = Instant::now();
+        timings.diversity = stage.finish();
+        let stage = remix_trace::stage_span("weighting");
         // (3) Feature Sparseness, (4) Weight Generation (Eq. 5)
         let mut details = Vec::with_capacity(n);
         for ((model, out), (matrix, &delta)) in ensemble
@@ -157,7 +166,8 @@ impl Remix {
                     Prediction::NoMajority
                 }
             });
-        timings.weighting = t3.elapsed();
+        timings.weighting = stage.finish();
+        remix_trace::record_duration("verdict_weighted", predict_span.finish());
         RemixVerdict {
             prediction,
             unanimous: false,

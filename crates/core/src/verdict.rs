@@ -24,6 +24,14 @@ pub struct ModelDetail {
 
 /// Wall-clock breakdown of one ReMIX inference (paper RQ2 reports the XAI
 /// stage dominating at ~67 %).
+///
+/// Since the `remix-trace` integration this struct is a compatibility view:
+/// each field is the duration measured by the like-named stage span inside
+/// [`Remix::predict`](crate::Remix::predict) (`prediction`, `xai`,
+/// `diversity`, `weighting` under the `predict` root). With tracing enabled
+/// the span tree records bit-identical durations, so the two reports cannot
+/// drift apart; with tracing disabled the spans still measure (the struct
+/// stays populated) but nothing is recorded.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct StageTimings {
     /// Running the constituent models.

@@ -132,8 +132,10 @@ impl Layer for Sequential {
     }
 
     fn forward_batch(&mut self, inputs: &[Tensor], mode: Mode) -> Result<Vec<Tensor>> {
+        let _fwd = remix_trace::span("forward_batch");
         let mut xs = inputs.to_vec();
         for layer in &mut self.layers {
+            let _layer = remix_trace::span(layer.name());
             xs = layer.forward_batch(&xs, mode)?;
         }
         Ok(xs)

@@ -109,10 +109,14 @@ impl Trainer {
         let n = images.len();
         let batched = self.config.batched && model.net_mut().supports_batched_train();
         let mut last_epoch_loss = f32::MAX;
+        let _fit = remix_trace::span("fit");
         for _epoch in 0..self.config.epochs {
+            let _epoch_span = remix_trace::span("epoch");
             let order = self.epoch_order(n, &mut rng);
             let mut epoch_loss = 0.0;
             for batch in order.chunks(self.config.batch_size) {
+                remix_trace::incr(remix_trace::Counter::TrainBatches);
+                remix_trace::add(remix_trace::Counter::TrainSamples, batch.len() as u64);
                 model.net_mut().zero_grads();
                 let mut batch_loss = 0.0;
                 if batched {

@@ -109,6 +109,10 @@ struct Job {
     done: Mutex<bool>,
     done_cv: Condvar,
     panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    /// The poster's open trace span at post time; workers adopt it so spans
+    /// opened inside tasks nest under the dispatching span (zero when tracing
+    /// is disabled or no span is open).
+    trace_parent: u64,
 }
 
 // SAFETY: `func` is only dereferenced while the posting thread is blocked in
@@ -121,6 +125,7 @@ impl Job {
     /// Claims and runs tasks until none are left. Panics in tasks are caught,
     /// recorded, and re-raised by the posting thread.
     fn work(&self) {
+        let _adopt = remix_trace::propagate(self.trace_parent);
         loop {
             let i = self.next.fetch_add(1, Ordering::Relaxed);
             if i >= self.ntasks {
@@ -190,7 +195,11 @@ impl Pool {
         if ntasks == 0 {
             return;
         }
+        remix_trace::incr(remix_trace::Counter::PoolJobs);
+        remix_trace::add(remix_trace::Counter::PoolTasks, ntasks as u64);
         if ntasks == 1 || self.workers == 0 {
+            // Degenerate jobs run on the posting thread, where span nesting is
+            // already correct — no propagation needed.
             for i in 0..ntasks {
                 f(i);
             }
@@ -219,6 +228,7 @@ impl Pool {
             done: Mutex::new(false),
             done_cv: Condvar::new(),
             panic: Mutex::new(None),
+            trace_parent: remix_trace::current_span(),
         });
         let posted_seq = {
             let mut inbox = self.shared.inbox.lock().unwrap();

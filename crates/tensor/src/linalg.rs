@@ -273,6 +273,9 @@ fn gemm_dispatch(
     packed_b: &[f32],
     out: &mut [f32],
 ) {
+    remix_trace::incr(remix_trace::Counter::GemmCalls);
+    remix_trace::add(remix_trace::Counter::GemmMacs, (m * kc * n) as u64);
+    let _span = remix_trace::span("gemm");
     let threads = remix_parallel::num_threads();
     if threads > 1 && m > 1 && m * kc * n >= PARALLEL_MATMUL_MACS {
         let rows_per_span = m.div_ceil(threads.min(m));
@@ -308,6 +311,8 @@ pub fn gemm_accum_abt_window(
     debug_assert!(window.end <= row_len);
     debug_assert_eq!(out.len(), m * n);
     let kc = window.len();
+    remix_trace::incr(remix_trace::Counter::GemmCalls);
+    remix_trace::add(remix_trace::Counter::GemmMacs, (m * kc * n) as u64);
     pack_bt(b, n, row_len, &window, packed);
     gemm_rows::<true>(
         &|i0, h, dst| pack_a_rows(a, row_len, &window, i0, h, dst),
@@ -341,6 +346,8 @@ pub fn gemm_accum_ab(
     debug_assert_eq!(a.len(), m * kc);
     debug_assert_eq!(b.len(), kc * n);
     debug_assert_eq!(out.len(), m * n);
+    remix_trace::incr(remix_trace::Counter::GemmCalls);
+    remix_trace::add(remix_trace::Counter::GemmMacs, (m * kc * n) as u64);
     pack_b(b, kc, n, packed);
     let window = 0..kc;
     gemm_rows::<true>(

@@ -1,0 +1,171 @@
+//! Log₂-bucketed latency histograms keyed by name.
+//!
+//! Buckets are powers of two in nanoseconds: bucket `i` holds samples with
+//! `floor(log2(ns)) == i` (bucket 0 also takes 0 ns). 64 buckets cover the
+//! whole `u64` range, so recording is one index computation plus four relaxed
+//! atomic updates — no locking on the hot path once a histogram exists.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Duration;
+
+const NBUCKETS: usize = 64;
+
+struct Histogram {
+    buckets: [AtomicU64; NBUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    min_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Histogram {
+    fn new() -> Self {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; NBUCKETS],
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            min_ns: AtomicU64::new(u64::MAX),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, ns: u64) {
+        let bucket = if ns == 0 {
+            0
+        } else {
+            63 - ns.leading_zeros() as usize
+        };
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.min_ns.fetch_min(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+}
+
+/// Name → histogram map. Leaked `&'static Histogram` values let recorders
+/// drop the map lock before touching the atomics, so concurrent recorders on
+/// an existing name never serialize. Entries live until process exit, which
+/// is fine: names are a small fixed set (verdict kinds, XAI techniques).
+fn registry() -> &'static Mutex<HashMap<String, &'static Histogram>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<String, &'static Histogram>>> = OnceLock::new();
+    REGISTRY.get_or_init(Mutex::default)
+}
+
+fn histogram(name: &str) -> &'static Histogram {
+    let mut map = registry()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if let Some(h) = map.get(name) {
+        return h;
+    }
+    let h: &'static Histogram = Box::leak(Box::new(Histogram::new()));
+    map.insert(name.to_string(), h);
+    h
+}
+
+/// Records one duration sample into the histogram named `name`. No-op while
+/// tracing is disabled.
+pub fn record_duration(name: &str, d: Duration) {
+    if !crate::enabled() {
+        return;
+    }
+    histogram(name).record(d.as_nanos() as u64);
+}
+
+/// Summaries of every non-empty histogram, sorted by name:
+/// `(name, count, sum_ns, min_ns, max_ns, non_empty_buckets)` where each
+/// bucket entry is `(log2_lower_bound, count)`.
+#[allow(clippy::type_complexity)]
+pub(crate) fn histogram_summaries() -> Vec<(String, u64, u64, u64, u64, Vec<(u64, u64)>)> {
+    let map = registry()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let mut out: Vec<_> = map
+        .iter()
+        .filter_map(|(name, h)| {
+            let count = h.count.load(Ordering::Relaxed);
+            if count == 0 {
+                return None;
+            }
+            let buckets: Vec<(u64, u64)> = h
+                .buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(i, b)| {
+                    let n = b.load(Ordering::Relaxed);
+                    (n > 0).then_some((i as u64, n))
+                })
+                .collect();
+            Some((
+                name.clone(),
+                count,
+                h.sum_ns.load(Ordering::Relaxed),
+                h.min_ns.load(Ordering::Relaxed),
+                h.max_ns.load(Ordering::Relaxed),
+                buckets,
+            ))
+        })
+        .collect();
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+/// Zeroes every histogram (names are kept; their storage is reused).
+pub(crate) fn reset_histograms() {
+    let map = registry()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    for h in map.values() {
+        for b in &h.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        h.count.store(0, Ordering::Relaxed);
+        h.sum_ns.store(0, Ordering::Relaxed);
+        h.min_ns.store(u64::MAX, Ordering::Relaxed);
+        h.max_ns.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil;
+
+    #[test]
+    fn buckets_follow_log2_of_nanoseconds() {
+        let _guard = testutil::lock();
+        crate::set_enabled(true);
+        crate::reset();
+        record_duration("lat", Duration::from_nanos(1)); // bucket 0
+        record_duration("lat", Duration::from_nanos(1)); // bucket 0
+        record_duration("lat", Duration::from_nanos(7)); // bucket 2
+        record_duration("lat", Duration::from_nanos(1024)); // bucket 10
+        crate::set_enabled(false);
+        let summaries = histogram_summaries();
+        assert_eq!(summaries.len(), 1);
+        let (name, count, sum, min, max, buckets) = &summaries[0];
+        assert_eq!(name, "lat");
+        assert_eq!(*count, 4);
+        assert_eq!(*sum, 1 + 1 + 7 + 1024);
+        assert_eq!(*min, 1);
+        assert_eq!(*max, 1024);
+        assert_eq!(buckets, &vec![(0, 2), (2, 1), (10, 1)]);
+    }
+
+    #[test]
+    fn zero_duration_lands_in_bucket_zero() {
+        let _guard = testutil::lock();
+        crate::set_enabled(true);
+        crate::reset();
+        record_duration("z", Duration::ZERO);
+        crate::set_enabled(false);
+        let summaries = histogram_summaries();
+        let (_, count, _, min, _, buckets) = &summaries[0];
+        assert_eq!(*count, 1);
+        assert_eq!(*min, 0);
+        assert_eq!(buckets, &vec![(0, 1)]);
+    }
+}

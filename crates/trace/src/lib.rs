@@ -1,0 +1,173 @@
+//! Telemetry substrate for the ReMIX pipeline (DESIGN.md §6g).
+//!
+//! Three primitives, all recorded into process-global, thread-safe state:
+//!
+//! * **Spans** ([`span`], [`stage_span`], [`timed`]) — RAII guards measuring
+//!   wall time, nestable through a per-thread parent stack so one ReMIX
+//!   inference decomposes as `predict → stage/xai → SG → gemm`. Work fanned
+//!   out through the `remix-parallel` pool keeps its nesting: the pool
+//!   captures the poster's [`current_span`] and re-parents worker-side spans
+//!   under it via [`propagate`].
+//! * **Counters** ([`Counter`], [`add`], [`incr`]) — exact atomic tallies of
+//!   discrete events: GEMM calls and MACs, pool jobs/tasks, XAI perturbations
+//!   and batches, verdicts resolved.
+//! * **Histograms** ([`record_duration`]) — log₂-bucketed latency
+//!   distributions keyed by name (per-verdict latency, per-technique
+//!   attribution time).
+//!
+//! # Disabled mode
+//!
+//! Tracing is **off by default**. Every recording entry point first reads one
+//! relaxed atomic ([`enabled`]); when disabled, [`span`] returns an inert
+//! guard without touching the clock, counters and histograms return
+//! immediately, and nothing allocates. Instrumented code is therefore
+//! bit-identical and overhead-free relative to uninstrumented code — the
+//! contract the `Remix::predict` bit-identity tests pin down. The only
+//! exception is [`stage_span`]/[`timed`], which always measure wall time
+//! (their callers need the `Duration` either way — `StageTimings` is derived
+//! from them) but still skip all registry recording when disabled.
+//!
+//! # Export
+//!
+//! [`snapshot`] aggregates the raw span records into a merged tree
+//! ([`TraceReport`]) alongside counter values and histogram summaries;
+//! [`TraceReport::write`] serializes it to JSON (or JSONL for `.jsonl`
+//! paths) through the vendored serde shim, and
+//! [`TraceReport::render_tree`] renders the human-readable summary. All
+//! durations are exported as integer nanoseconds so records round-trip
+//! exactly.
+
+mod counter;
+mod histogram;
+mod report;
+mod span;
+
+pub use counter::{add, counter, incr, Counter};
+pub use histogram::record_duration;
+pub use report::{CounterValue, HistogramSummary, SpanNode, TraceReport};
+pub use span::{current_span, propagate, span, stage_span, ParentGuard, Span, StageSpan};
+
+use std::borrow::Cow;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Whether recording is active. One relaxed load — safe on any hot path.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns recording on or off. Guards already open keep the mode they were
+/// created under, so flipping mid-span cannot tear a record.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Clears every recorded span, counter, and histogram (the enabled flag is
+/// left as is). Fresh runs and tests call this to start from zero.
+pub fn reset() {
+    span::reset_registry();
+    counter::reset_counters();
+    histogram::reset_histograms();
+}
+
+/// Runs `f` under a span named `name`, records its wall time into the
+/// like-named histogram, and returns the result together with the measured
+/// duration.
+///
+/// The duration is measured whether or not tracing is enabled (callers use
+/// it for reporting); the span and histogram records are only kept when
+/// enabled. This is the one timing code path shared by the bench binaries —
+/// the hand-rolled `Instant::now()` loops they used to copy-paste.
+pub fn timed<T>(name: impl Into<Cow<'static, str>>, f: impl FnOnce() -> T) -> (T, Duration) {
+    let name = name.into();
+    let guard = stage_span(name.clone());
+    let out = f();
+    let elapsed = guard.finish();
+    record_duration(&name, elapsed);
+    (out, elapsed)
+}
+
+/// Aggregates the current recorded state into a [`TraceReport`].
+pub fn snapshot() -> TraceReport {
+    report::build_report(
+        span::drain_records_snapshot(),
+        counter::counter_values(),
+        histogram::histogram_summaries(),
+    )
+}
+
+/// Snapshots the current state and writes it to `path` (JSON, or JSONL when
+/// the path ends in `.jsonl`), creating parent directories as needed.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_trace(path: &std::path::Path) -> std::io::Result<()> {
+    snapshot().write(path)
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    /// Serializes tests that touch the process-global trace state.
+    pub fn lock() -> std::sync::MutexGuard<'static, ()> {
+        use std::sync::{Mutex, OnceLock};
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        LOCK.get_or_init(Mutex::default)
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_mode_records_nothing() {
+        let _guard = testutil::lock();
+        set_enabled(false);
+        reset();
+        {
+            let _a = span("a");
+            let _b = span("b");
+            incr(Counter::GemmCalls);
+            record_duration("h", Duration::from_millis(1));
+        }
+        let report = snapshot();
+        assert!(report.spans.is_empty());
+        assert!(report.histograms.is_empty());
+        assert_eq!(counter(Counter::GemmCalls), 0);
+    }
+
+    #[test]
+    fn timed_measures_even_when_disabled() {
+        let _guard = testutil::lock();
+        set_enabled(false);
+        reset();
+        let (value, elapsed) = timed("work", || {
+            std::thread::sleep(Duration::from_millis(2));
+            7
+        });
+        assert_eq!(value, 7);
+        assert!(elapsed >= Duration::from_millis(2));
+        assert!(snapshot().spans.is_empty());
+    }
+
+    #[test]
+    fn timed_records_span_and_histogram_when_enabled() {
+        let _guard = testutil::lock();
+        set_enabled(true);
+        reset();
+        let ((), elapsed) = timed("work", || std::thread::sleep(Duration::from_millis(1)));
+        set_enabled(false);
+        let report = snapshot();
+        assert_eq!(report.spans.len(), 1);
+        assert_eq!(report.spans[0].name, "work");
+        assert_eq!(report.spans[0].total_ns, elapsed.as_nanos() as u64);
+        assert_eq!(report.histograms.len(), 1);
+        assert_eq!(report.histograms[0].count, 1);
+    }
+}

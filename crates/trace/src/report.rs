@@ -1,0 +1,434 @@
+//! Aggregation of raw span records into a merged tree plus JSON export.
+//!
+//! Raw records are `(id, parent, name, dur)` rows; [`build_report`] groups
+//! them level by level — all records sharing a name under the same merged
+//! parent collapse into one [`SpanNode`] with a call count and summed
+//! duration, the shape perf tools call a "merged call tree". All durations
+//! are integer nanoseconds so the JSON export round-trips exactly through
+//! the vendored serde shim.
+
+use crate::span::SpanRecord;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::path::Path;
+
+/// One node of the merged span tree.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpanNode {
+    /// Span name.
+    pub name: String,
+    /// Number of raw spans merged into this node.
+    pub count: u64,
+    /// Summed wall time across those spans, nanoseconds.
+    pub total_ns: u64,
+    /// `total_ns` minus the children's `total_ns` (saturating: children
+    /// running in parallel on pool workers can legitimately sum past the
+    /// parent's wall time).
+    pub self_ns: u64,
+    /// Merged children, largest `total_ns` first.
+    pub children: Vec<SpanNode>,
+}
+
+/// One exported counter.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterValue {
+    /// Counter name (see [`crate::Counter::name`]).
+    pub name: String,
+    /// Accumulated value.
+    pub value: u64,
+}
+
+/// One log₂ histogram bucket: samples with `floor(log2(ns)) == log2_ns`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramBucket {
+    /// Lower-bound exponent: the bucket covers `[2^log2_ns, 2^(log2_ns+1))`.
+    pub log2_ns: u64,
+    /// Samples in the bucket.
+    pub count: u64,
+}
+
+/// Summary of one named latency histogram.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSummary {
+    /// Histogram name.
+    pub name: String,
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples, nanoseconds.
+    pub total_ns: u64,
+    /// Smallest sample, nanoseconds.
+    pub min_ns: u64,
+    /// Largest sample, nanoseconds.
+    pub max_ns: u64,
+    /// Non-empty buckets, ascending by exponent.
+    pub buckets: Vec<HistogramBucket>,
+}
+
+/// A full telemetry snapshot: merged span tree, counters, histograms.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceReport {
+    /// Merged span roots, largest `total_ns` first.
+    pub spans: Vec<SpanNode>,
+    /// Non-zero counters, in [`crate::Counter`] declaration order.
+    pub counters: Vec<CounterValue>,
+    /// Non-empty histograms, sorted by name.
+    pub histograms: Vec<HistogramSummary>,
+}
+
+#[allow(clippy::type_complexity)]
+pub(crate) fn build_report(
+    records: Vec<SpanRecord>,
+    counters: Vec<(&'static str, u64)>,
+    histograms: Vec<(String, u64, u64, u64, u64, Vec<(u64, u64)>)>,
+) -> TraceReport {
+    TraceReport {
+        spans: merge_tree(&records),
+        counters: counters
+            .into_iter()
+            .map(|(name, value)| CounterValue {
+                name: name.to_string(),
+                value,
+            })
+            .collect(),
+        histograms: histograms
+            .into_iter()
+            .map(
+                |(name, count, total_ns, min_ns, max_ns, buckets)| HistogramSummary {
+                    name,
+                    count,
+                    total_ns,
+                    min_ns,
+                    max_ns,
+                    buckets: buckets
+                        .into_iter()
+                        .map(|(log2_ns, count)| HistogramBucket { log2_ns, count })
+                        .collect(),
+                },
+            )
+            .collect(),
+    }
+}
+
+/// Builds the merged tree. A record whose parent id is absent from the set
+/// (still open at snapshot time, or dropped at the registry cap) is treated
+/// as a root rather than lost.
+fn merge_tree(records: &[SpanRecord]) -> Vec<SpanNode> {
+    let known: HashMap<u64, usize> = records.iter().enumerate().map(|(i, r)| (r.id, i)).collect();
+    let mut children: HashMap<u64, Vec<usize>> = HashMap::new();
+    let mut roots: Vec<usize> = Vec::new();
+    for (i, r) in records.iter().enumerate() {
+        if r.parent != 0 && known.contains_key(&r.parent) {
+            children.entry(r.parent).or_default().push(i);
+        } else {
+            roots.push(i);
+        }
+    }
+    merge_level(records, &roots, &children)
+}
+
+fn merge_level(
+    records: &[SpanRecord],
+    level: &[usize],
+    children: &HashMap<u64, Vec<usize>>,
+) -> Vec<SpanNode> {
+    // Group this level's records by name, preserving first-seen order, then
+    // merge each group and recurse over the union of its members' children.
+    let mut order: Vec<&str> = Vec::new();
+    let mut groups: HashMap<&str, Vec<usize>> = HashMap::new();
+    for &i in level {
+        let name = records[i].name.as_ref();
+        groups.entry(name).or_insert_with(|| {
+            order.push(name);
+            Vec::new()
+        });
+        groups.get_mut(name).expect("group just inserted").push(i);
+    }
+    let mut nodes: Vec<SpanNode> = order
+        .into_iter()
+        .map(|name| {
+            let members = &groups[name];
+            let total_ns: u64 = members.iter().map(|&i| records[i].dur_ns).sum();
+            let child_level: Vec<usize> = members
+                .iter()
+                .flat_map(|&i| children.get(&records[i].id).into_iter().flatten().copied())
+                .collect();
+            let merged_children = merge_level(records, &child_level, children);
+            let child_total: u64 = merged_children.iter().map(|c| c.total_ns).sum();
+            SpanNode {
+                name: name.to_string(),
+                count: members.len() as u64,
+                total_ns,
+                self_ns: total_ns.saturating_sub(child_total),
+                children: merged_children,
+            }
+        })
+        .collect();
+    nodes.sort_by(|a, b| {
+        b.total_ns
+            .cmp(&a.total_ns)
+            .then_with(|| a.name.cmp(&b.name))
+    });
+    nodes
+}
+
+impl TraceReport {
+    /// Serializes the report to a JSON string.
+    pub fn to_json_string(&self) -> String {
+        serde_json::to_string(self).expect("shim serialization is infallible")
+    }
+
+    /// Parses a report back from [`to_json_string`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns the shim error on malformed JSON or a shape mismatch.
+    ///
+    /// [`to_json_string`]: TraceReport::to_json_string
+    pub fn from_json(text: &str) -> Result<TraceReport, serde::Error> {
+        serde_json::from_str(text)
+    }
+
+    /// Writes the report to `path`, creating parent directories as needed.
+    /// Paths ending in `.jsonl` get one JSON document per line (`spans`,
+    /// `counters`, `histograms`); anything else gets one JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let mut file = std::fs::File::create(path)?;
+        if path.extension().is_some_and(|e| e == "jsonl") {
+            for line in self.to_jsonl_lines() {
+                writeln!(file, "{line}")?;
+            }
+        } else {
+            writeln!(file, "{}", self.to_json_string())?;
+        }
+        Ok(())
+    }
+
+    /// The JSONL encoding: one self-describing JSON object per line.
+    fn to_jsonl_lines(&self) -> Vec<String> {
+        let spans = serde_json::to_string(&self.spans).expect("shim serialization is infallible");
+        let counters =
+            serde_json::to_string(&self.counters).expect("shim serialization is infallible");
+        let histograms =
+            serde_json::to_string(&self.histograms).expect("shim serialization is infallible");
+        vec![
+            format!("{{\"spans\":{spans}}}"),
+            format!("{{\"counters\":{counters}}}"),
+            format!("{{\"histograms\":{histograms}}}"),
+        ]
+    }
+
+    /// Renders the human-readable tree summary printed by `--trace`.
+    pub fn render_tree(&self) -> String {
+        let mut out = String::new();
+        out.push_str("trace summary\n");
+        if self.spans.is_empty() {
+            out.push_str("  (no spans recorded)\n");
+        }
+        for root in &self.spans {
+            render_node(root, 1, &mut out);
+        }
+        if !self.counters.is_empty() {
+            out.push_str("counters\n");
+            let width = self
+                .counters
+                .iter()
+                .map(|c| c.name.len())
+                .max()
+                .unwrap_or(0);
+            for c in &self.counters {
+                out.push_str(&format!("  {:width$}  {}\n", c.name, c.value));
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms\n");
+            for h in &self.histograms {
+                let mean = h.total_ns / h.count.max(1);
+                out.push_str(&format!(
+                    "  {}  n={} mean={} min={} max={}\n",
+                    h.name,
+                    h.count,
+                    format_ns(mean),
+                    format_ns(h.min_ns),
+                    format_ns(h.max_ns),
+                ));
+            }
+        }
+        out
+    }
+}
+
+fn render_node(node: &SpanNode, depth: usize, out: &mut String) {
+    let indent = "  ".repeat(depth);
+    let label = format!("{indent}{}", node.name);
+    out.push_str(&format!(
+        "{label:<40} n={:<7} total={:>10} self={:>10}\n",
+        node.count,
+        format_ns(node.total_ns),
+        format_ns(node.self_ns),
+    ));
+    for child in &node.children {
+        render_node(child, depth + 1, out);
+    }
+}
+
+/// Formats nanoseconds with a human unit (ns/µs/ms/s).
+fn format_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3}s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::borrow::Cow;
+
+    fn rec(id: u64, parent: u64, name: &'static str, dur_ns: u64) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent,
+            name: Cow::Borrowed(name),
+            dur_ns,
+        }
+    }
+
+    #[test]
+    fn merge_groups_same_name_siblings_and_recurses() {
+        // predict(100) -> xai(60) -> {sg(10), sg(14)}, plus predict(50) -> xai(20)
+        let records = vec![
+            rec(1, 0, "predict", 100),
+            rec(2, 1, "xai", 60),
+            rec(3, 2, "sg", 10),
+            rec(4, 2, "sg", 14),
+            rec(5, 0, "predict", 50),
+            rec(6, 5, "xai", 20),
+        ];
+        let tree = merge_tree(&records);
+        assert_eq!(tree.len(), 1);
+        let predict = &tree[0];
+        assert_eq!(
+            (predict.name.as_str(), predict.count, predict.total_ns),
+            ("predict", 2, 150)
+        );
+        assert_eq!(predict.self_ns, 150 - 80);
+        assert_eq!(predict.children.len(), 1);
+        let xai = &predict.children[0];
+        assert_eq!((xai.count, xai.total_ns), (2, 80));
+        let sg = &xai.children[0];
+        assert_eq!((sg.name.as_str(), sg.count, sg.total_ns), ("sg", 2, 24));
+    }
+
+    #[test]
+    fn orphaned_parent_ids_become_roots() {
+        // Parent id 99 never completed (still open at snapshot time).
+        let records = vec![rec(1, 99, "stranded", 10)];
+        let tree = merge_tree(&records);
+        assert_eq!(tree.len(), 1);
+        assert_eq!(tree[0].name, "stranded");
+    }
+
+    #[test]
+    fn self_ns_saturates_when_parallel_children_exceed_parent() {
+        // Two workers each ran 80ns inside a 100ns parent (parallel overlap).
+        let records = vec![
+            rec(1, 0, "parent", 100),
+            rec(2, 1, "work", 80),
+            rec(3, 1, "work", 80),
+        ];
+        let tree = merge_tree(&records);
+        assert_eq!(tree[0].total_ns, 100);
+        assert_eq!(tree[0].children[0].total_ns, 160);
+        assert_eq!(tree[0].self_ns, 0);
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let report = TraceReport {
+            spans: merge_tree(&[
+                rec(1, 0, "predict", 123_456_789),
+                rec(2, 1, "xai", 99_999_999),
+            ]),
+            counters: vec![CounterValue {
+                name: "gemm_macs".to_string(),
+                value: u64::MAX,
+            }],
+            histograms: vec![HistogramSummary {
+                name: "verdict_latency".to_string(),
+                count: 3,
+                total_ns: 42,
+                min_ns: 1,
+                max_ns: 40,
+                buckets: vec![
+                    HistogramBucket {
+                        log2_ns: 0,
+                        count: 2,
+                    },
+                    HistogramBucket {
+                        log2_ns: 5,
+                        count: 1,
+                    },
+                ],
+            }],
+        };
+        let text = report.to_json_string();
+        let back = TraceReport::from_json(&text).expect("round trip parses");
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn jsonl_lines_each_parse_as_json() {
+        let report = TraceReport {
+            spans: merge_tree(&[rec(1, 0, "a", 5)]),
+            counters: vec![],
+            histograms: vec![],
+        };
+        let lines = report.to_jsonl_lines();
+        assert_eq!(lines.len(), 3);
+        for line in &lines {
+            let value: serde::Value = serde_json::from_str(line).expect("line is valid JSON");
+            assert!(value.as_object().is_some());
+        }
+    }
+
+    #[test]
+    fn render_tree_mentions_every_section() {
+        let report = TraceReport {
+            spans: merge_tree(&[rec(1, 0, "predict", 2_000_000)]),
+            counters: vec![CounterValue {
+                name: "gemm_calls".to_string(),
+                value: 7,
+            }],
+            histograms: vec![HistogramSummary {
+                name: "lat".to_string(),
+                count: 1,
+                total_ns: 9,
+                min_ns: 9,
+                max_ns: 9,
+                buckets: vec![HistogramBucket {
+                    log2_ns: 3,
+                    count: 1,
+                }],
+            }],
+        };
+        let text = report.render_tree();
+        assert!(text.contains("predict"));
+        assert!(text.contains("gemm_calls"));
+        assert!(text.contains("lat"));
+    }
+}

@@ -1,0 +1,320 @@
+//! Hierarchical span guards and the sharded record registry.
+//!
+//! A span is born with a fresh id and the current thread's parent id, makes
+//! itself the thread's current parent, and on completion restores its parent
+//! and pushes a [`SpanRecord`] into one of [`SHARDS`] mutex-protected
+//! buffers (sharded by thread, so concurrent workers almost never contend).
+//! Records are append-only until [`reset_registry`]; tree structure is
+//! reconstructed offline from the `(id, parent)` pairs by the report module.
+
+use crate::counter::{self, Counter};
+use std::borrow::Cow;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Number of record buffers; threads hash onto them by a per-thread index.
+const SHARDS: usize = 32;
+
+/// Hard cap on retained span records, a backstop against unbounded memory if
+/// tracing is left on around a huge workload. Overflow increments
+/// [`Counter::SpansDropped`] instead of growing further.
+const MAX_RECORDS: usize = 1 << 21;
+
+/// One completed span.
+#[derive(Debug, Clone)]
+pub(crate) struct SpanRecord {
+    /// Unique id (monotonic, never zero).
+    pub id: u64,
+    /// Id of the enclosing span; zero for roots.
+    pub parent: u64,
+    /// Span name (static for hot paths, owned for dynamic labels).
+    pub name: Cow<'static, str>,
+    /// Wall duration, nanoseconds.
+    pub dur_ns: u64,
+}
+
+struct Registry {
+    shards: Vec<Mutex<Vec<SpanRecord>>>,
+    len: AtomicUsize,
+}
+
+fn registry() -> &'static Registry {
+    use std::sync::OnceLock;
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        shards: (0..SHARDS).map(|_| Mutex::new(Vec::new())).collect(),
+        len: AtomicUsize::new(0),
+    })
+}
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_THREAD: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// The innermost open span on this thread (zero = none). Worker threads
+    /// inherit a poster's value through [`propagate`].
+    static CURRENT: Cell<u64> = const { Cell::new(0) };
+    /// Small per-thread index used to pick a registry shard.
+    static THREAD_INDEX: usize = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
+}
+
+/// The innermost open span id on this thread (zero when none, or when
+/// tracing is disabled). The `remix-parallel` pool captures this at job post
+/// time and hands it to [`propagate`] on the worker side.
+pub fn current_span() -> u64 {
+    CURRENT.with(Cell::get)
+}
+
+/// Makes `parent` the current span for this thread until the guard drops,
+/// restoring the previous value afterwards. Used to carry span nesting
+/// across thread boundaries (pool workers adopt the posting thread's span).
+pub fn propagate(parent: u64) -> ParentGuard {
+    let prev = CURRENT.with(|c| c.replace(parent));
+    ParentGuard { prev }
+}
+
+/// Restores the previous thread-current span on drop. See [`propagate`].
+#[must_use = "dropping the guard immediately restores the previous parent"]
+pub struct ParentGuard {
+    prev: u64,
+}
+
+impl Drop for ParentGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| c.set(self.prev));
+    }
+}
+
+/// Live state of an open span.
+struct SpanInner {
+    id: u64,
+    parent: u64,
+    name: Cow<'static, str>,
+    start: Instant,
+}
+
+impl SpanInner {
+    fn open(name: Cow<'static, str>) -> Self {
+        let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+        let parent = CURRENT.with(|c| c.replace(id));
+        SpanInner {
+            id,
+            parent,
+            name,
+            start: Instant::now(),
+        }
+    }
+
+    /// Restores the parent and pushes the finished record.
+    fn complete(self, dur: Duration) {
+        CURRENT.with(|c| c.set(self.parent));
+        let reg = registry();
+        if reg.len.fetch_add(1, Ordering::Relaxed) >= MAX_RECORDS {
+            reg.len.fetch_sub(1, Ordering::Relaxed);
+            counter::force_add(Counter::SpansDropped, 1);
+            return;
+        }
+        let shard = THREAD_INDEX.with(|&i| i) % SHARDS;
+        reg.shards[shard]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(SpanRecord {
+                id: self.id,
+                parent: self.parent,
+                name: self.name,
+                dur_ns: dur.as_nanos() as u64,
+            });
+    }
+}
+
+/// RAII span guard: records wall time from creation to drop. Inert (no
+/// clock read, no allocation) when tracing is disabled at creation.
+#[must_use = "a span measures until it is dropped"]
+pub struct Span {
+    inner: Option<SpanInner>,
+}
+
+impl Span {
+    /// Closes the span now instead of at scope end, returning its duration
+    /// (zero when tracing was disabled at creation).
+    pub fn finish(mut self) -> Duration {
+        match self.inner.take() {
+            Some(inner) => {
+                let d = inner.start.elapsed();
+                inner.complete(d);
+                d
+            }
+            None => Duration::ZERO,
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(inner) = self.inner.take() {
+            let d = inner.start.elapsed();
+            inner.complete(d);
+        }
+    }
+}
+
+/// Opens a span named `name`. No-op (and allocation-free for `&'static str`
+/// names) when tracing is disabled.
+pub fn span(name: impl Into<Cow<'static, str>>) -> Span {
+    if !crate::enabled() {
+        return Span { inner: None };
+    }
+    Span {
+        inner: Some(SpanInner::open(name.into())),
+    }
+}
+
+/// A span that **always** measures wall time, for callers that need the
+/// duration regardless of the tracing mode (e.g. `Remix::predict` deriving
+/// `StageTimings`). Registry recording is still gated on [`crate::enabled`],
+/// and the recorded duration is bit-identical to the one [`finish`] returns.
+///
+/// [`finish`]: StageSpan::finish
+#[must_use = "a stage span measures until finished or dropped"]
+pub struct StageSpan {
+    start: Instant,
+    inner: Option<SpanInner>,
+}
+
+impl StageSpan {
+    /// Closes the stage and returns its measured wall time.
+    pub fn finish(mut self) -> Duration {
+        let d = self.start.elapsed();
+        if let Some(inner) = self.inner.take() {
+            inner.complete(d);
+        }
+        d
+    }
+}
+
+impl Drop for StageSpan {
+    fn drop(&mut self) {
+        if let Some(inner) = self.inner.take() {
+            let d = self.start.elapsed();
+            inner.complete(d);
+        }
+    }
+}
+
+/// Opens a [`StageSpan`] named `name`.
+pub fn stage_span(name: impl Into<Cow<'static, str>>) -> StageSpan {
+    let inner = crate::enabled().then(|| SpanInner::open(name.into()));
+    StageSpan {
+        start: inner.as_ref().map_or_else(Instant::now, |i| i.start),
+        inner,
+    }
+}
+
+/// Copies out every completed record (used by [`crate::snapshot`]; open
+/// spans are not included until they complete).
+pub(crate) fn drain_records_snapshot() -> Vec<SpanRecord> {
+    let reg = registry();
+    let mut out = Vec::with_capacity(reg.len.load(Ordering::Relaxed));
+    for shard in &reg.shards {
+        out.extend_from_slice(
+            &shard
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        );
+    }
+    out
+}
+
+/// Clears all completed records.
+pub(crate) fn reset_registry() {
+    let reg = registry();
+    for shard in &reg.shards {
+        shard
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clear();
+    }
+    reg.len.store(0, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil;
+
+    #[test]
+    fn nesting_links_parent_ids() {
+        let _guard = testutil::lock();
+        crate::set_enabled(true);
+        crate::reset();
+        {
+            let _a = span("a");
+            {
+                let _b = span("b");
+                let _c = span("c");
+            }
+            let _d = span("d");
+        }
+        crate::set_enabled(false);
+        let mut records = drain_records_snapshot();
+        records.sort_by_key(|r| r.id);
+        let by_name = |n: &str| records.iter().find(|r| r.name == n).unwrap();
+        let (a, b, c, d) = (by_name("a"), by_name("b"), by_name("c"), by_name("d"));
+        assert_eq!(a.parent, 0);
+        assert_eq!(b.parent, a.id);
+        assert_eq!(c.parent, b.id);
+        assert_eq!(d.parent, a.id, "sibling after a closed child re-parents");
+    }
+
+    #[test]
+    fn propagate_carries_parent_across_threads() {
+        let _guard = testutil::lock();
+        crate::set_enabled(true);
+        crate::reset();
+        let outer = span("outer");
+        let parent_id = current_span();
+        assert_ne!(parent_id, 0);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let _adopt = propagate(parent_id);
+                let _w = span("worker");
+            });
+        });
+        drop(outer);
+        crate::set_enabled(false);
+        let records = drain_records_snapshot();
+        let worker = records.iter().find(|r| r.name == "worker").unwrap();
+        assert_eq!(worker.parent, parent_id);
+        // this thread's current parent is restored
+        assert_eq!(current_span(), 0);
+    }
+
+    #[test]
+    fn stage_span_records_exactly_the_returned_duration() {
+        let _guard = testutil::lock();
+        crate::set_enabled(true);
+        crate::reset();
+        let stage = stage_span("stage");
+        std::thread::sleep(Duration::from_millis(1));
+        let d = stage.finish();
+        crate::set_enabled(false);
+        let records = drain_records_snapshot();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].dur_ns, d.as_nanos() as u64);
+    }
+
+    #[test]
+    fn finish_and_drop_agree_on_current_restoration() {
+        let _guard = testutil::lock();
+        crate::set_enabled(true);
+        crate::reset();
+        let a = span("a");
+        assert_ne!(current_span(), 0);
+        let finished = a.finish();
+        assert!(finished > Duration::ZERO);
+        assert_eq!(current_span(), 0);
+        crate::set_enabled(false);
+    }
+}

@@ -1,0 +1,112 @@
+//! Trace primitives under real concurrency: counters stay exact and span
+//! records survive when hammered from the `remix-parallel` worker pool.
+//!
+//! These are integration tests (not unit tests) so they exercise the crate's
+//! public API only, and they run in one process where the pool's worker
+//! threads are shared — each test serializes on the global state by being the
+//! sole test in charge of enabling/resetting around its own section.
+
+use remix_trace as trace;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Serializes tests in this file (they all mutate process-global state).
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(Mutex::default)
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[test]
+fn counters_are_exact_under_concurrent_pool_recording() {
+    let _guard = lock();
+    trace::set_enabled(true);
+    trace::reset();
+    const TASKS: usize = 20_000;
+    const PER_TASK: u64 = 3;
+    trace::reset();
+    remix_parallel::pool_execute(TASKS, &|i| {
+        trace::incr(trace::Counter::XaiPerturbations);
+        trace::add(trace::Counter::GemmMacs, PER_TASK);
+        // Uneven work so claims interleave unpredictably across workers.
+        if i % 7 == 0 {
+            std::hint::black_box((0..50).sum::<u64>());
+        }
+    });
+    trace::set_enabled(false);
+    assert_eq!(
+        trace::counter(trace::Counter::XaiPerturbations),
+        TASKS as u64
+    );
+    assert_eq!(
+        trace::counter(trace::Counter::GemmMacs),
+        TASKS as u64 * PER_TASK
+    );
+}
+
+#[test]
+fn pool_worker_spans_nest_under_the_posting_span() {
+    let _guard = lock();
+    trace::set_enabled(true);
+    trace::reset();
+    const TASKS: usize = 256;
+    let recorded = AtomicU64::new(0);
+    {
+        let outer = trace::span("dispatch");
+        assert_ne!(trace::current_span(), 0);
+        // No manual `propagate` here: the pool itself must carry the poster's
+        // span to worker threads.
+        remix_parallel::pool_execute(TASKS, &|_| {
+            let _task = trace::span("task");
+            recorded.fetch_add(1, Ordering::Relaxed);
+        });
+        drop(outer);
+    }
+    trace::set_enabled(false);
+    assert_eq!(recorded.load(Ordering::Relaxed), TASKS as u64);
+    let report = trace::snapshot();
+    let dispatch = report
+        .spans
+        .iter()
+        .find(|n| n.name == "dispatch")
+        .expect("dispatch span recorded");
+    assert_eq!(dispatch.count, 1);
+    let task = dispatch
+        .children
+        .iter()
+        .find(|n| n.name == "task")
+        .expect("worker-side spans re-parented under the poster's span");
+    assert_eq!(task.count, TASKS as u64, "no task span lost or misparented");
+}
+
+#[test]
+fn report_written_from_pool_run_round_trips_through_the_shim() {
+    let _guard = lock();
+    trace::set_enabled(true);
+    trace::reset();
+    {
+        let _root = trace::span("root");
+        remix_parallel::pool_execute(64, &|i| {
+            let (_, d) = trace::timed("unit", || std::hint::black_box(i * i));
+            trace::record_duration("unit_latency", d);
+        });
+    }
+    trace::set_enabled(false);
+    let report = trace::snapshot();
+    let dir = std::env::temp_dir().join(format!("remix_trace_test_{}", std::process::id()));
+    let json_path = dir.join("trace.json");
+    let jsonl_path = dir.join("trace.jsonl");
+    report.write(&json_path).expect("json write");
+    report.write(&jsonl_path).expect("jsonl write");
+    let text = std::fs::read_to_string(&json_path).expect("json read");
+    let back = trace::TraceReport::from_json(text.trim()).expect("json parse");
+    assert_eq!(back, report, "JSON round trip is lossless");
+    let jsonl = std::fs::read_to_string(&jsonl_path).expect("jsonl read");
+    assert_eq!(
+        jsonl.lines().count(),
+        3,
+        "jsonl emits one document per line"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

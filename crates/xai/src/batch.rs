@@ -18,8 +18,10 @@ pub(crate) fn class_probs(
     class: usize,
     batch_size: usize,
 ) -> Vec<f32> {
+    remix_trace::add(remix_trace::Counter::XaiPerturbations, inputs.len() as u64);
     let mut out = Vec::with_capacity(inputs.len());
     for chunk in inputs.chunks(batch_size.max(1)) {
+        remix_trace::incr(remix_trace::Counter::XaiBatches);
         let probs = model
             .predict_proba_batch(chunk)
             .expect("perturbed inputs match the model spec");
@@ -36,8 +38,10 @@ pub(crate) fn class_gradients(
     class: usize,
     batch_size: usize,
 ) -> Vec<Tensor> {
+    remix_trace::add(remix_trace::Counter::XaiPerturbations, inputs.len() as u64);
     let mut out = Vec::with_capacity(inputs.len());
     for chunk in inputs.chunks(batch_size.max(1)) {
+        remix_trace::incr(remix_trace::Counter::XaiBatches);
         let classes = vec![class; chunk.len()];
         out.extend(
             model

@@ -181,6 +181,22 @@ impl Explainer {
         rng: &mut impl Rng,
     ) -> Tensor {
         assert!(class < model.num_classes(), "class out of range");
+        let span = remix_trace::span(self.technique.abbrev());
+        let matrix = self.dispatch(model, image, class, rng);
+        // Zero when tracing is disabled, in which case record_duration is a
+        // no-op too — the whole block is inert.
+        let elapsed = span.finish();
+        remix_trace::record_duration(self.technique.abbrev(), elapsed);
+        matrix
+    }
+
+    fn dispatch(
+        &self,
+        model: &mut Model,
+        image: &Tensor,
+        class: usize,
+        rng: &mut impl Rng,
+    ) -> Tensor {
         match self.technique {
             XaiTechnique::SmoothGrad => smoothgrad::explain(model, image, class, &self.config, rng),
             XaiTechnique::IntegratedGradients => {

@@ -19,6 +19,7 @@ pub use remix_ensemble as ensemble;
 pub use remix_faults as faults;
 pub use remix_nn as nn;
 pub use remix_tensor as tensor;
+pub use remix_trace as trace;
 pub use remix_xai as xai;
 
 /// Commonly used items, importable in one line.

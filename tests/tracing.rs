@@ -1,0 +1,123 @@
+//! Tracing integration: enabling the `remix-trace` telemetry layer must not
+//! change a single bit of ReMIX's verdicts, and the span tree it records must
+//! describe the prediction pipeline it observed.
+
+use rand::{rngs::StdRng, SeedableRng};
+use remix::core::Remix;
+use remix::data::SyntheticSpec;
+use remix::ensemble::{select_best_ensemble, train_zoo};
+use remix::faults::{inject, pattern, FaultConfig, FaultType};
+use remix::nn::Arch;
+use remix::trace;
+
+/// Everything a verdict decides, with the floats as raw bits so the
+/// comparison is exact rather than approximate.
+#[derive(Debug, PartialEq, Eq)]
+struct VerdictBits {
+    prediction: Option<usize>,
+    unanimous: bool,
+    details: Vec<(usize, u32, u32, u32, u32)>,
+}
+
+fn verdict_bits(verdict: &remix::core::RemixVerdict) -> VerdictBits {
+    VerdictBits {
+        prediction: verdict.prediction.class(),
+        unanimous: verdict.unanimous,
+        details: verdict
+            .details
+            .iter()
+            .map(|d| {
+                (
+                    d.pred,
+                    d.confidence.to_bits(),
+                    d.diversity.to_bits(),
+                    d.sparseness.to_bits(),
+                    d.weight.to_bits(),
+                )
+            })
+            .collect(),
+    }
+}
+
+#[test]
+fn tracing_leaves_verdicts_bit_identical_and_records_the_pipeline() {
+    let (train, test) = SyntheticSpec::mnist_like()
+        .train_size(150)
+        .test_size(40)
+        .seed(5)
+        .generate();
+    let pat = pattern::extract(&train, 2, 5);
+    let mut rng = StdRng::seed_from_u64(4);
+    let faulty = inject(
+        &train,
+        FaultConfig::new(FaultType::Mislabelling, 0.25),
+        &pat,
+        &mut rng,
+    );
+    let (_, validation) = faulty.dataset.split(0.2, &mut rng);
+    let models = train_zoo(
+        &[Arch::ConvNet, Arch::DeconvNet, Arch::ResNet18],
+        &faulty.dataset,
+        4,
+        21,
+    );
+    let (mut ensemble, _, _) = select_best_ensemble(models, 3, &validation);
+    let remix = Remix::builder().seed(7).build();
+    let inputs: Vec<_> = test.images.iter().take(16).collect();
+
+    // Baseline pass with telemetry fully disabled (the default).
+    assert!(!trace::enabled());
+    let untraced: Vec<VerdictBits> = inputs
+        .iter()
+        .map(|img| verdict_bits(&remix.predict(&mut ensemble, img)))
+        .collect();
+
+    // Same inputs with every span, counter, and histogram recording live.
+    trace::reset();
+    trace::set_enabled(true);
+    let traced: Vec<VerdictBits> = inputs
+        .iter()
+        .map(|img| verdict_bits(&remix.predict(&mut ensemble, img)))
+        .collect();
+    trace::set_enabled(false);
+    let report = trace::snapshot();
+
+    assert_eq!(untraced, traced, "tracing changed a verdict bit");
+
+    // The recorded tree must root at `predict` and cover the stages.
+    let predict = report
+        .spans
+        .iter()
+        .find(|s| s.name == "predict")
+        .expect("predict root span recorded");
+    assert_eq!(predict.count, inputs.len() as u64);
+    let stage = |name: &str| predict.children.iter().find(|c| c.name == name);
+    assert!(stage("prediction").is_some(), "prediction stage missing");
+    let disagreements = report
+        .counters
+        .iter()
+        .find(|c| c.name == "disagreements")
+        .map_or(0, |c| c.value);
+    let fast_path = report
+        .counters
+        .iter()
+        .find(|c| c.name == "fast_path_hits")
+        .map_or(0, |c| c.value);
+    assert_eq!(disagreements + fast_path, inputs.len() as u64);
+    if disagreements > 0 {
+        assert!(stage("xai").is_some(), "xai stage missing despite verdicts");
+        assert!(stage("diversity").is_some());
+        assert!(stage("weighting").is_some());
+    }
+    let predictions = report
+        .counters
+        .iter()
+        .find(|c| c.name == "predictions")
+        .map_or(0, |c| c.value);
+    assert_eq!(predictions, inputs.len() as u64);
+
+    // The report survives the JSON round trip the exporter uses.
+    let text = report.to_json_string();
+    let parsed = trace::TraceReport::from_json(&text).expect("report round-trips");
+    assert_eq!(parsed, report);
+}
