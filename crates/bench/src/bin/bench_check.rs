@@ -13,7 +13,8 @@
 //! gate can fail before trusting it to pass.
 
 use remix_bench::check::{
-    check_gemm, check_inference, flip_verdict_flags, scale_speedups, GateReport, DEFAULT_TOLERANCE,
+    check_gemm, check_inference, check_serve, flip_verdict_flags, scale_speedups, GateReport,
+    DEFAULT_TOLERANCE,
 };
 use serde::Value;
 use std::path::{Path, PathBuf};
@@ -86,13 +87,14 @@ fn main() -> ExitCode {
     };
     let self_test = args.iter().any(|a| a == "--self-test");
 
-    let (base_gemm, base_inference) = match (
+    let (base_gemm, base_inference, base_serve) = match (
         load(&baseline_dir.join("bench_gemm.json")),
         load(&baseline_dir.join("bench_inference.json")),
+        load(&baseline_dir.join("bench_serve.json")),
     ) {
-        (Ok(g), Ok(i)) => (g, i),
-        (g, i) => {
-            for err in [g.err(), i.err()].into_iter().flatten() {
+        (Ok(g), Ok(i), Ok(s)) => (g, i, s),
+        (g, i, s) => {
+            for err in [g.err(), i.err(), s.err()].into_iter().flatten() {
                 eprintln!("error: {err}");
             }
             return ExitCode::FAILURE;
@@ -105,20 +107,24 @@ fn main() -> ExitCode {
         let inference_ok = self_test_record("bench_inference", &base_inference, |b, f| {
             check_inference(b, f, tolerance)
         });
-        return if gemm_ok && inference_ok {
+        let serve_ok = self_test_record("bench_serve", &base_serve, |b, f| {
+            check_serve(b, f, tolerance)
+        });
+        return if gemm_ok && inference_ok && serve_ok {
             ExitCode::SUCCESS
         } else {
             ExitCode::FAILURE
         };
     }
 
-    let (fresh_gemm, fresh_inference) = match (
+    let (fresh_gemm, fresh_inference, fresh_serve) = match (
         load(&fresh_dir.join("bench_gemm.json")),
         load(&fresh_dir.join("bench_inference.json")),
+        load(&fresh_dir.join("bench_serve.json")),
     ) {
-        (Ok(g), Ok(i)) => (g, i),
-        (g, i) => {
-            for err in [g.err(), i.err()].into_iter().flatten() {
+        (Ok(g), Ok(i), Ok(s)) => (g, i, s),
+        (g, i, s) => {
+            for err in [g.err(), i.err(), s.err()].into_iter().flatten() {
                 eprintln!("error: {err}");
             }
             return ExitCode::FAILURE;
@@ -131,6 +137,7 @@ fn main() -> ExitCode {
         &fresh_inference,
         tolerance,
     ));
+    report.merge(check_serve(&base_serve, &fresh_serve, tolerance));
     print_report(&report);
     if report.passed() {
         println!(

@@ -1,7 +1,8 @@
 //! Perf-regression gate backing the `bench_check` binary (CI).
 //!
 //! Compares fresh bench records (`results/bench_gemm.json`,
-//! `results/bench_inference.json`) against the committed baselines under
+//! `results/bench_inference.json`, `results/bench_serve.json`) against the
+//! committed baselines under
 //! `crates/bench/baselines/` and fails on a >20 % wall-time regression or on
 //! any bitwise-verdict divergence.
 //!
@@ -194,6 +195,42 @@ pub fn check_inference(baseline: &Value, fresh: &Value, tolerance: f64) -> GateR
     report
 }
 
+/// Minimum acceptable micro-batched-vs-serial serving speedup, gated
+/// absolutely (independent of the committed baseline): the serving layer
+/// must keep delivering the throughput gain it was built for.
+pub const SERVE_MIN_SPEEDUP: f64 = 1.3;
+
+/// Gates `bench_serve.json`: served verdicts (plain, cached, and degraded)
+/// must keep their bitwise contracts, and the micro-batched engine must keep
+/// its within-run throughput gain over the serial (one-at-a-time) engine —
+/// both relative to the baseline and above the absolute
+/// [`SERVE_MIN_SPEEDUP`] floor.
+pub fn check_serve(baseline: &Value, fresh: &Value, tolerance: f64) -> GateReport {
+    let mut report = GateReport::default();
+    report.gate_flag("serve/verdicts", get_bool(fresh, "verdicts_identical"));
+    report.gate_flag("serve/cache", get_bool(fresh, "cache_identical"));
+    report.gate_flag("serve/degraded", get_bool(fresh, "degraded_deterministic"));
+    match (
+        get_num(baseline, "speedup_batched_vs_serial"),
+        get_num(fresh, "speedup_batched_vs_serial"),
+    ) {
+        (Some(b), Some(f)) => {
+            report.gate_speedup("serve/micro_batching", b, f, tolerance);
+            if f >= SERVE_MIN_SPEEDUP {
+                report.ok(format!(
+                    "ok   serve/min_speedup: {f:.3} >= absolute floor {SERVE_MIN_SPEEDUP}"
+                ));
+            } else {
+                report.fail(format!(
+                    "FAIL serve/min_speedup: {f:.3} below absolute floor {SERVE_MIN_SPEEDUP}"
+                ));
+            }
+        }
+        _ => report.fail("FAIL serve/micro_batching: speedup field missing".into()),
+    }
+    report
+}
+
 /// Multiplies every within-run speedup field by `factor`, recursively. Used
 /// by the self-test to synthesize a wall-time regression (`factor < 1`)
 /// without re-running the benchmarks.
@@ -201,7 +238,10 @@ pub fn scale_speedups(value: &mut Value, factor: f64) {
     match value {
         Value::Object(pairs) => {
             for (key, v) in pairs.iter_mut() {
-                if key == "speedup" || key == "speedup_batched_vs_per_sample" {
+                if key == "speedup"
+                    || key == "speedup_batched_vs_per_sample"
+                    || key == "speedup_batched_vs_serial"
+                {
                     if let Some(n) = num(v) {
                         *v = Value::Float(n * factor);
                     }
@@ -228,6 +268,8 @@ pub fn flip_verdict_flags(value: &mut Value) {
                 if key == "bit_identical"
                     || key == "weights_bit_identical"
                     || key == "verdicts_identical"
+                    || key == "cache_identical"
+                    || key == "degraded_deterministic"
                 {
                     *v = Value::Bool(false);
                 } else {
@@ -271,6 +313,14 @@ mod tests {
         .expect("valid test record")
     }
 
+    fn serve_record() -> Value {
+        serde_json::from_str(
+            r#"{"speedup_batched_vs_serial": 1.6, "verdicts_identical": true,
+                "cache_identical": true, "degraded_deterministic": true}"#,
+        )
+        .expect("valid test record")
+    }
+
     #[test]
     fn identical_records_pass() {
         let base = gemm_record();
@@ -282,6 +332,11 @@ mod tests {
         let report = check_inference(&base, &base, DEFAULT_TOLERANCE);
         assert!(report.passed(), "failures: {:?}", report.failures);
         assert_eq!(report.checks.len(), 2);
+        let base = serve_record();
+        let report = check_serve(&base, &base, DEFAULT_TOLERANCE);
+        assert!(report.passed(), "failures: {:?}", report.failures);
+        // 3 flags + relative speedup + absolute floor
+        assert_eq!(report.checks.len(), 5);
     }
 
     #[test]
@@ -303,6 +358,26 @@ mod tests {
         let mut fresh = inference_record();
         scale_speedups(&mut fresh, 1.0 / 1.5);
         assert!(!check_inference(&base, &fresh, DEFAULT_TOLERANCE).passed());
+        let base = serve_record();
+        let mut fresh = serve_record();
+        scale_speedups(&mut fresh, 1.0 / 1.5);
+        assert!(!check_serve(&base, &fresh, DEFAULT_TOLERANCE).passed());
+    }
+
+    #[test]
+    fn serve_speedup_below_absolute_floor_fails_even_with_a_weak_baseline() {
+        // A baseline that itself sits at the floor: a fresh run inside the
+        // relative tolerance but below 1.3 must still fail.
+        let base: Value = serde_json::from_str(
+            r#"{"speedup_batched_vs_serial": 1.35, "verdicts_identical": true,
+                "cache_identical": true, "degraded_deterministic": true}"#,
+        )
+        .unwrap();
+        let mut fresh = base.clone();
+        scale_speedups(&mut fresh, 1.2 / 1.35); // 1.2: within 20 % of 1.35
+        let report = check_serve(&base, &fresh, DEFAULT_TOLERANCE);
+        assert!(!report.passed());
+        assert!(report.failures.iter().any(|f| f.contains("min_speedup")));
     }
 
     #[test]
@@ -317,6 +392,11 @@ mod tests {
         flip_verdict_flags(&mut fresh);
         let report = check_inference(&base, &fresh, DEFAULT_TOLERANCE);
         assert_eq!(report.failures.len(), 1);
+        let base = serve_record();
+        let mut fresh = serve_record();
+        flip_verdict_flags(&mut fresh);
+        let report = check_serve(&base, &fresh, DEFAULT_TOLERANCE);
+        assert_eq!(report.failures.len(), 3); // all three serve flags trip
     }
 
     #[test]
@@ -329,15 +409,21 @@ mod tests {
 
     #[test]
     fn committed_baselines_pass_against_themselves() {
-        for name in ["bench_gemm.json", "bench_inference.json"] {
+        for name in [
+            "bench_gemm.json",
+            "bench_inference.json",
+            "bench_serve.json",
+        ] {
             let path = concat!(env!("CARGO_MANIFEST_DIR"), "/baselines/");
             let text = std::fs::read_to_string(format!("{path}{name}"))
                 .expect("committed baseline readable");
             let record: Value = serde_json::from_str(&text).expect("baseline parses");
             let report = if name.contains("gemm") {
                 check_gemm(&record, &record, DEFAULT_TOLERANCE)
-            } else {
+            } else if name.contains("inference") {
                 check_inference(&record, &record, DEFAULT_TOLERANCE)
+            } else {
+                check_serve(&record, &record, DEFAULT_TOLERANCE)
             };
             assert!(report.passed(), "{name} failures: {:?}", report.failures);
         }

@@ -10,6 +10,8 @@
 //! `quick` (default — minutes on one CPU core) or `paper` (larger datasets,
 //! more epochs, more seeds; closer to the paper's statistical power).
 
+#![warn(missing_docs)]
+
 pub mod check;
 pub mod report;
 pub mod runner;

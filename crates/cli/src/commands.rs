@@ -231,6 +231,44 @@ pub fn evaluate(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `remix serve`
+pub fn serve(args: &Args) -> Result<(), String> {
+    use remix_serve::{ServeConfig, Server};
+    use std::time::Duration;
+
+    let (ensemble, saved) = load_ensemble(args)?;
+    let defaults = ServeConfig::default();
+    let config = ServeConfig {
+        addr: args.get_or("addr", "127.0.0.1:8484").to_string(),
+        max_batch: args.get_num("max-batch", 0usize)?,
+        batch_window: Duration::from_micros(args.get_num("batch-window-us", 500u64)?),
+        queue_capacity: args.get_num("queue-cap", defaults.queue_capacity)?,
+        default_deadline: Duration::from_millis(args.get_num("deadline-ms", 50u64)?),
+        cache_capacity: args.get_num("cache-cap", defaults.cache_capacity)?,
+        cache_shards: defaults.cache_shards,
+    };
+    // The engine thread owns the whole pipeline, so per-verdict stage
+    // parallelism defaults to sequential; raise --threads to fan the XAI
+    // stage's models out (verdicts are bit-identical either way).
+    let remix = Remix::builder()
+        .threads(args.get_num("threads", 1usize)?)
+        .seed(args.get_num("seed", 0u64)?)
+        .build();
+    let server =
+        Server::start(ensemble, remix, config).map_err(|e| format!("starting server: {e}"))?;
+    println!(
+        "serving `{}` ensemble ({} models) on http://{}",
+        saved.dataset,
+        saved.archs.len(),
+        server.addr()
+    );
+    println!("endpoints: POST /predict, GET /healthz, GET /stats — stop with ctrl-c");
+    // Serve until killed; the process exit tears the listener down.
+    loop {
+        std::thread::park();
+    }
+}
+
 /// `remix explain`
 pub fn explain(args: &Args) -> Result<(), String> {
     let (_, test) = load_dataset(args)?;

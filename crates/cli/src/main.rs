@@ -6,6 +6,7 @@
 //!                --mislabel 0.3 --epochs 8 --out ensemble.json
 //! remix evaluate --dataset gtsrb --ensemble ensemble.json [--voter remix|umaj|uavg]
 //! remix explain  --dataset gtsrb --ensemble ensemble.json --index 3 --technique SG
+//! remix serve    --ensemble ensemble.json --addr 127.0.0.1:8484
 //! ```
 //!
 //! Trained ensembles are stored as JSON state dictionaries
@@ -34,10 +35,29 @@ USAGE:
       --out      output JSON path                 [ensemble.json]
   remix evaluate --dataset <name> --ensemble <path> [--voter <name>] [--test <n>] [--threads <t>]
       Evaluate a saved ensemble. Voters: umaj, uavg, remix (default: all).
-      --threads  worker threads over test samples; 0 = all cores [0], 1 = sequential.
+      --threads  worker threads over test samples [0]; 0 = auto (REMIX_THREADS
+                 if set, else all cores), 1 = sequential.
       Results are bit-identical for any thread count.
   remix explain --dataset <name> --ensemble <path> [--index <i>] [--technique <SG|IG|SHAP|LIME|CFE>] [--threads <t>]
       Render each model's feature matrix for one test input.
+      --index      test-set input to explain                  [0]
+      --technique  XAI technique                              [SG]
+      --threads    XAI-stage threads; 0 = auto as above       [0]
+  remix serve --ensemble <path> [options]
+      Serve the ensemble over HTTP with micro-batching, a verdict cache,
+      and deadline-aware degradation (POST /predict, GET /healthz, /stats).
+      --addr            bind address                          [127.0.0.1:8484]
+      --max-batch       requests per engine micro-batch; 0 derives it from
+                        the XAI batch size                    [0]
+      --batch-window-us micro-batch formation window, µs; 0 = no batching [500]
+      --queue-cap       queued requests before shedding 429   [256]
+      --deadline-ms     default per-request deadline; past it a disagreement
+                        degrades to plain majority vote       [50]
+      --cache-cap       verdict-cache entries; 0 disables     [4096]
+      --threads         XAI-stage threads per verdict         [1]
+      --seed            ReMIX XAI seed                        [0]
+      Runs until killed; `--trace` output is never written for this
+      subcommand (use GET /stats for live counters).
 
 GLOBAL OPTIONS:
   --trace <path>
@@ -45,6 +65,11 @@ GLOBAL OPTIONS:
       write it to <path> as JSON (or JSONL if the path ends in .jsonl); a
       human-readable tree summary is printed on completion. Tracing does not
       change any result — instrumented code is bit-identical either way.
+
+ENVIRONMENT:
+  REMIX_THREADS
+      Worker count used whenever a --threads option is 0 (auto). An explicit
+      --threads value always wins; unset auto falls back to all cores.
 ";
 
 fn main() -> ExitCode {
@@ -70,6 +95,7 @@ fn main() -> ExitCode {
         "train" => commands::train(&args),
         "evaluate" => commands::evaluate(&args),
         "explain" => commands::explain(&args),
+        "serve" => commands::serve(&args),
         other => Err(format!("unknown subcommand `{other}`")),
     };
     if let Some(path) = &trace_path {

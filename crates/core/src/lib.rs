@@ -34,6 +34,8 @@
 //! println!("ReMIX says: {:?}", verdict.prediction);
 //! ```
 
+#![warn(missing_docs)]
+
 mod remix;
 mod verdict;
 mod voter;

@@ -1,7 +1,7 @@
 use crate::verdict::{ModelDetail, RemixVerdict, StageTimings};
 use rand::{rngs::StdRng, SeedableRng};
 use remix_diversity::{sparseness_with_threshold, DiversityMetric};
-use remix_ensemble::{Prediction, TrainedEnsemble};
+use remix_ensemble::{ModelOutput, Prediction, TrainedEnsemble};
 use remix_tensor::{fnv1a64, splitmix64, Tensor};
 use remix_xai::{Explainer, ExplainerConfig, XaiTechnique};
 
@@ -39,13 +39,31 @@ impl Remix {
         self.metric
     }
 
+    /// The configured explainer (technique + parameters).
+    ///
+    /// External drivers of the XAI stage — the serving layer coalesces
+    /// several requests into one [`remix_xai::Explainer::explain_many`] call
+    /// — read the technique and [`remix_xai::XaiBudget`] from here so their
+    /// sweeps match what [`Remix::predict`] would run.
+    pub fn explainer(&self) -> &Explainer {
+        &self.explainer
+    }
+
+    /// Whether the unanimous fast path is enabled (see
+    /// [`RemixBuilder::fast_path`]).
+    pub fn fast_path_enabled(&self) -> bool {
+        self.fast_path
+    }
+
     /// The deterministic RNG stream for one model's XAI pass.
     ///
     /// Keyed by the model's *name* (not its index), so the stream a model
     /// receives is invariant under ensemble permutation, and independent of
     /// every other model's stream — the prerequisite for running XAI in
-    /// parallel and for verdicts that don't depend on model order.
-    fn xai_rng(&self, model_name: &str) -> StdRng {
+    /// parallel, for verdicts that don't depend on model order, and for the
+    /// serving layer to re-create per-request streams when it batches the
+    /// XAI stage across requests.
+    pub fn xai_rng(&self, model_name: &str) -> StdRng {
         StdRng::seed_from_u64(splitmix64(self.seed ^ fnv1a64(model_name.as_bytes())))
     }
 
@@ -106,6 +124,46 @@ impl Remix {
                     .explain(model, image, outputs[i].pred, &mut rng)
             });
         timings.xai = stage.finish();
+        let mut verdict = self.resolve_disagreement(ensemble, &outputs, &matrices);
+        verdict.timings.prediction = timings.prediction;
+        verdict.timings.xai = timings.xai;
+        remix_trace::record_duration("verdict_weighted", predict_span.finish());
+        verdict
+    }
+
+    /// Runs pipeline stages (2)–(5) — diversity, sparseness, weighting,
+    /// weighted vote — on already-computed model outputs and feature
+    /// matrices, in the exact float-accumulation order of
+    /// [`Remix::predict`].
+    ///
+    /// This is the verdict-resolution half of `predict`, split out so
+    /// callers that produce the inputs differently (the serving layer
+    /// micro-batches the prediction and XAI stages across requests) share
+    /// the same code path bit for bit. The returned timings cover only the
+    /// `diversity` and `weighting` stages; `prediction` and `xai` are the
+    /// caller's to fill.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outputs` and `matrices` don't both have one entry per
+    /// ensemble model, in ensemble order.
+    pub fn resolve_disagreement(
+        &self,
+        ensemble: &TrainedEnsemble,
+        outputs: &[ModelOutput],
+        matrices: &[Tensor],
+    ) -> RemixVerdict {
+        assert_eq!(outputs.len(), ensemble.models.len(), "one output per model");
+        assert_eq!(
+            matrices.len(),
+            ensemble.models.len(),
+            "one matrix per model"
+        );
+        let threads = remix_parallel::resolve_threads(self.threads);
+        let mut timings = StageTimings {
+            threads,
+            ..StageTimings::default()
+        };
         let stage = remix_trace::stage_span("diversity");
         // (2) Feature-space Diversity: mean pairwise diversity per model.
         // Distances are computed in parallel but summed serially in the same
@@ -135,7 +193,7 @@ impl Remix {
         for ((model, out), (matrix, &delta)) in ensemble
             .models
             .iter()
-            .zip(&outputs)
+            .zip(outputs)
             .zip(matrices.iter().zip(&diversity))
         {
             let sigma = sparseness_with_threshold(matrix, self.sparseness_threshold);
@@ -167,7 +225,6 @@ impl Remix {
                 }
             });
         timings.weighting = stage.finish();
-        remix_trace::record_duration("verdict_weighted", predict_span.finish());
         RemixVerdict {
             prediction,
             unanimous: false,

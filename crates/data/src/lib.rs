@@ -28,6 +28,8 @@
 //! assert_eq!(test.len(), 40);
 //! ```
 
+#![warn(missing_docs)]
+
 mod archetype;
 mod dataset;
 mod spec;

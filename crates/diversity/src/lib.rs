@@ -26,6 +26,8 @@
 //! # Ok::<(), remix_tensor::TensorError>(())
 //! ```
 
+#![warn(missing_docs)]
+
 mod entropy;
 mod metric;
 pub mod pairwise;

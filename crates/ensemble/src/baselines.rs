@@ -244,7 +244,18 @@ impl Voter for StackedDynamic {
 }
 
 /// Shared weighted-majority tally with the paper's 50% threshold.
-pub(crate) fn majority_with_weights(
+///
+/// Sums each class's vote weight and decides the top class iff it carries
+/// strictly more than half of `total_weight`; otherwise
+/// [`Prediction::NoMajority`]. Ties between equal-weight classes break
+/// toward the lower class index, so the outcome is deterministic for any
+/// vote order. With unit weights this is plain majority voting — the
+/// serving layer's deadline-degradation fallback.
+///
+/// # Panics
+///
+/// Panics if `votes` is empty.
+pub fn majority_with_weights(
     votes: impl Iterator<Item = (usize, f32)>,
     total_weight: f32,
 ) -> Prediction {

@@ -12,12 +12,14 @@
 //! | S-WMaj — static validation-accuracy weights | [`StaticWeighted`] |
 //! | D-WMaj — dynamic weights via stacking | [`StackedDynamic`] |
 //! | Bagging (63% bootstrap) | [`bagging`] |
-//! | Boosting (AdaBoost/SAMME) | [`boosting`] |
+//! | Boosting (AdaBoost/SAMME) | [`adaboost`] |
 //!
 //! ReMIX itself lives in `remix-core` and plugs into the same [`Voter`]
 //! interface, so the evaluation harness treats it exactly like a baseline.
 //!
 //! [`Model`]: remix_nn::Model
+
+#![warn(missing_docs)]
 
 pub mod analysis;
 mod baselines;
@@ -29,7 +31,8 @@ mod output;
 mod selection;
 
 pub use baselines::{
-    BestIndividual, StackedDynamic, StaticWeighted, UniformAverage, UniformMajority,
+    majority_with_weights, BestIndividual, StackedDynamic, StaticWeighted, UniformAverage,
+    UniformMajority,
 };
 pub use boost::{adaboost, AlphaWeighted};
 pub use ensemble::{bagging, train_zoo, TrainedEnsemble, Voter};

@@ -30,6 +30,8 @@
 //! assert!(faulty.corrupted.len() >= 25 && faulty.corrupted.len() <= 35);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod cleaning;
 mod config;
 mod injector;

@@ -34,6 +34,8 @@
 //! assert_eq!(probs.len(), 3);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod attention;
 mod layer;
 pub mod layers;

@@ -5,6 +5,39 @@
 //! The state carries shape metadata and a structural fingerprint, so loading
 //! into a mismatched architecture fails loudly instead of silently
 //! scrambling weights.
+//!
+//! # Example
+//!
+//! Save a model's parameters and restore them into a freshly (differently)
+//! initialized model of the same architecture — predictions round-trip
+//! bit-exactly:
+//!
+//! ```
+//! use rand::{rngs::StdRng, SeedableRng};
+//! use remix_nn::layers::{Dense, Flatten};
+//! use remix_nn::state::{load_state, save_state};
+//! use remix_nn::{InputSpec, Model, Sequential};
+//! use remix_tensor::Tensor;
+//!
+//! let spec = InputSpec { channels: 1, size: 4, num_classes: 3 };
+//! let build = |seed: u64| {
+//!     let mut rng = StdRng::seed_from_u64(seed);
+//!     let mut net = Sequential::new();
+//!     net.push(Flatten::new());
+//!     net.push(Dense::new(16, 3, &mut rng));
+//!     Model::named(net, spec, "tiny")
+//! };
+//!
+//! let mut trained = build(1);
+//! let input = Tensor::rand_uniform(&[1, 4, 4], 0.0, 1.0, &mut StdRng::seed_from_u64(2));
+//! let before = trained.predict_proba(&input);
+//!
+//! let state = save_state(&mut trained);
+//! let mut restored = build(99); // different init, same architecture
+//! assert_ne!(restored.predict_proba(&input), before);
+//! load_state(&mut restored, &state).expect("same architecture");
+//! assert_eq!(restored.predict_proba(&input), before);
+//! ```
 
 use crate::{Layer, Model};
 use serde::{Deserialize, Serialize};

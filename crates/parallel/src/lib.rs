@@ -22,6 +22,8 @@
 //! larger at first use); callers control the *effective* concurrency of each
 //! job through how many tasks they split it into.
 
+#![warn(missing_docs)]
+
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};

@@ -1,0 +1,236 @@
+//! Sharded LRU verdict cache keyed by input content hash.
+//!
+//! A hit replays the *stored verdict fragment verbatim*, so a cached reply
+//! is byte-identical to the cold reply it was built from — the bit-identity
+//! contract of DESIGN.md §6h. Keys are FNV-1a over the raw `f32` bit
+//! patterns of the input; because hashes can collide, each entry also keeps
+//! the full input and a hit requires exact bit equality, never hash equality
+//! alone. Only *full* (non-degraded) verdicts are inserted: a degraded
+//! verdict is a load artifact and must not outlive the overload that caused
+//! it.
+//!
+//! Sharding bounds lock contention: a key touches exactly one shard mutex.
+//! Eviction is per-shard LRU via recency stamps and a lazily-pruned queue —
+//! amortized O(1) per operation.
+
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+/// Hashes an input's content (f32 bit patterns, FNV-1a 64).
+pub fn content_key(image: &[f32]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for f in image {
+        for byte in f.to_bits().to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    hash
+}
+
+struct CacheEntry {
+    image: Box<[f32]>,
+    fragment: Arc<str>,
+    stamp: u64,
+}
+
+#[derive(Default)]
+struct Shard {
+    entries: HashMap<u64, CacheEntry>,
+    /// Recency queue of `(key, stamp)`; stale pairs (stamp no longer current
+    /// for the key) are skipped during eviction.
+    recency: VecDeque<(u64, u64)>,
+    clock: u64,
+}
+
+impl Shard {
+    fn touch(&mut self, key: u64, capacity: usize) -> u64 {
+        self.clock += 1;
+        self.recency.push_back((key, self.clock));
+        // Compact the lazy queue when stale stamps dominate, so a hit-heavy
+        // (insert-free) workload can't grow it without limit. Retaining only
+        // current pairs preserves recency order and leaves at most one pair
+        // per live entry; the sweep runs once per ~8·capacity touches, so
+        // it amortizes to O(1).
+        if self.recency.len() > 8 * capacity.max(1) {
+            let entries = &self.entries;
+            self.recency
+                .retain(|&(key, stamp)| entries.get(&key).is_some_and(|e| e.stamp == stamp));
+        }
+        self.clock
+    }
+
+    fn evict_to(&mut self, capacity: usize) {
+        while self.entries.len() > capacity {
+            let Some((key, stamp)) = self.recency.pop_front() else {
+                return;
+            };
+            if let Entry::Occupied(entry) = self.entries.entry(key) {
+                if entry.get().stamp == stamp {
+                    entry.remove();
+                }
+            }
+        }
+    }
+}
+
+/// The sharded verdict cache. Capacity `0` disables caching entirely (every
+/// lookup misses, inserts are dropped).
+pub struct VerdictCache {
+    shards: Vec<Mutex<Shard>>,
+    capacity_per_shard: usize,
+}
+
+impl VerdictCache {
+    /// Creates a cache holding at most `capacity` verdicts across `shards`
+    /// shards (shard count is clamped to at least 1 and at most `capacity`
+    /// so every shard can hold at least one entry).
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let nshards = shards.clamp(1, capacity.max(1));
+        VerdictCache {
+            shards: (0..nshards).map(|_| Mutex::default()).collect(),
+            capacity_per_shard: capacity.div_ceil(nshards),
+        }
+    }
+
+    /// Whether caching is enabled (capacity > 0).
+    pub fn enabled(&self) -> bool {
+        self.capacity_per_shard > 0
+    }
+
+    fn shard(&self, key: u64) -> &Mutex<Shard> {
+        // High bits: FNV mixes them well, and it decorrelates the shard
+        // index from any HashMap bucketing of the low bits.
+        &self.shards[(key >> 32) as usize % self.shards.len()]
+    }
+
+    /// Looks up `image` under `key`, requiring exact content equality.
+    pub fn get(&self, key: u64, image: &[f32]) -> Option<Arc<str>> {
+        if !self.enabled() {
+            return None;
+        }
+        let mut shard = self.shard(key).lock().unwrap_or_else(|e| e.into_inner());
+        let stamp = shard.touch(key, self.capacity_per_shard);
+        let entry = shard.entries.get_mut(&key)?;
+        if entry.image.len() != image.len()
+            || !entry
+                .image
+                .iter()
+                .zip(image)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+        {
+            return None;
+        }
+        entry.stamp = stamp;
+        Some(Arc::clone(&entry.fragment))
+    }
+
+    /// Stores the verdict fragment for `image`. On a key collision with a
+    /// different input, the newer entry wins (the cache is an accelerator,
+    /// not a store of record — `get` re-verifies content anyway).
+    pub fn insert(&self, key: u64, image: &[f32], fragment: Arc<str>) {
+        if !self.enabled() {
+            return;
+        }
+        let mut shard = self.shard(key).lock().unwrap_or_else(|e| e.into_inner());
+        let stamp = shard.touch(key, self.capacity_per_shard);
+        shard.entries.insert(
+            key,
+            CacheEntry {
+                image: image.into(),
+                fragment,
+                stamp,
+            },
+        );
+        let capacity = self.capacity_per_shard;
+        shard.evict_to(capacity);
+    }
+
+    /// Number of cached verdicts (for stats; takes every shard lock).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).entries.len())
+            .sum()
+    }
+
+    /// Whether the cache currently holds no verdicts.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frag(s: &str) -> Arc<str> {
+        Arc::from(s)
+    }
+
+    #[test]
+    fn hit_returns_the_exact_stored_fragment() {
+        let cache = VerdictCache::new(8, 2);
+        let image = [0.25f32, -1.5, 3.0];
+        let key = content_key(&image);
+        assert!(cache.get(key, &image).is_none());
+        cache.insert(key, &image, frag("{\"prediction\":1}"));
+        let hit = cache.get(key, &image).unwrap();
+        assert_eq!(&*hit, "{\"prediction\":1}");
+    }
+
+    #[test]
+    fn colliding_key_with_different_content_misses() {
+        let cache = VerdictCache::new(8, 1);
+        let a = [1.0f32, 2.0];
+        let b = [9.0f32, 9.0];
+        cache.insert(content_key(&a), &a, frag("A"));
+        // Forge a lookup of different content under A's key.
+        assert!(cache.get(content_key(&a), &b).is_none());
+        // NaN payload differences are content differences too.
+        let nan1 = [f32::from_bits(0x7fc0_0000)];
+        let nan2 = [f32::from_bits(0x7fc0_0001)];
+        cache.insert(content_key(&nan1), &nan1, frag("N"));
+        assert!(cache.get(content_key(&nan1), &nan2).is_none());
+        assert!(cache.get(content_key(&nan1), &nan1).is_some());
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used_entry() {
+        let cache = VerdictCache::new(2, 1);
+        let imgs: Vec<[f32; 1]> = (0..3).map(|i| [i as f32]).collect();
+        cache.insert(content_key(&imgs[0]), &imgs[0], frag("0"));
+        cache.insert(content_key(&imgs[1]), &imgs[1], frag("1"));
+        // Touch 0 so 1 becomes the LRU victim.
+        assert!(cache.get(content_key(&imgs[0]), &imgs[0]).is_some());
+        cache.insert(content_key(&imgs[2]), &imgs[2], frag("2"));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(content_key(&imgs[0]), &imgs[0]).is_some());
+        assert!(cache.get(content_key(&imgs[1]), &imgs[1]).is_none());
+        assert!(cache.get(content_key(&imgs[2]), &imgs[2]).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_the_cache() {
+        let cache = VerdictCache::new(0, 4);
+        let image = [1.0f32];
+        cache.insert(content_key(&image), &image, frag("x"));
+        assert!(cache.get(content_key(&image), &image).is_none());
+        assert!(cache.is_empty());
+        assert!(!cache.enabled());
+    }
+
+    #[test]
+    fn stamp_queue_stays_bounded_under_hit_storms() {
+        let cache = VerdictCache::new(2, 1);
+        let image = [5.0f32];
+        let key = content_key(&image);
+        cache.insert(key, &image, frag("x"));
+        for _ in 0..10_000 {
+            assert!(cache.get(key, &image).is_some());
+        }
+        let shard = cache.shards[0].lock().unwrap();
+        assert!(shard.recency.len() <= 16 + 1, "len {}", shard.recency.len());
+    }
+}

@@ -1,0 +1,233 @@
+//! A minimal blocking client for the prediction API.
+//!
+//! Exists for the load generator and the integration tests, and doubles as
+//! executable documentation of the wire format. One client owns one
+//! keep-alive connection; requests on it are strictly sequential.
+
+use serde::Value;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// One reply from the server, with the verdict fragment kept as raw bytes
+/// so callers can assert byte-identity.
+#[derive(Debug, Clone)]
+pub struct ClientReply {
+    /// HTTP status (200, 400, 429, ...).
+    pub status: u16,
+    /// Full response body.
+    pub body: String,
+    /// The raw `"verdict"` object exactly as served (empty on errors).
+    pub verdict_json: String,
+    /// Decided class, when the verdict decided one.
+    pub prediction: Option<u64>,
+    /// Whether the ensemble was unanimous (fast path).
+    pub unanimous: bool,
+    /// Whether the verdict came from the degraded majority-vote fallback.
+    pub degraded: bool,
+    /// Whether the reply was served from the verdict cache.
+    pub cached: bool,
+    /// Server-measured latency in microseconds.
+    pub latency_us: u64,
+}
+
+/// A blocking keep-alive connection to a `remix serve` instance.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a running server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            writer,
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Sends one `/predict` request and blocks for the reply.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors and malformed server replies.
+    pub fn predict(
+        &mut self,
+        image: &[f32],
+        deadline_ms: Option<u64>,
+        no_cache: bool,
+    ) -> io::Result<ClientReply> {
+        let mut body = String::with_capacity(16 + image.len() * 10);
+        body.push_str("{\"image\":[");
+        for (i, f) in image.iter().enumerate() {
+            if i > 0 {
+                body.push(',');
+            }
+            if f.is_finite() {
+                body.push_str(&f.to_string());
+            } else {
+                body.push_str("null");
+            }
+        }
+        body.push(']');
+        if let Some(ms) = deadline_ms {
+            body.push_str(&format!(",\"deadline_ms\":{ms}"));
+        }
+        if no_cache {
+            body.push_str(",\"no_cache\":true");
+        }
+        body.push('}');
+        self.roundtrip("POST", "/predict", &body)
+    }
+
+    /// Fetches `/stats` as a parsed JSON object.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors and malformed server replies.
+    pub fn stats(&mut self) -> io::Result<Value> {
+        let reply = self.roundtrip("GET", "/stats", "")?;
+        serde_json::from_str(&reply.body)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e:?}")))
+    }
+
+    fn roundtrip(&mut self, method: &str, path: &str, body: &str) -> io::Result<ClientReply> {
+        write!(
+            self.writer,
+            "{method} {path} HTTP/1.1\r\nHost: remix\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )?;
+        self.writer.flush()?;
+        read_reply(&mut self.reader)
+    }
+}
+
+/// Reads one HTTP response and extracts the reply fields.
+fn read_reply(reader: &mut impl BufRead) -> io::Result<ClientReply> {
+    let status_line = read_line(reader)?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| malformed("bad status line"))?;
+    let mut content_length = 0usize;
+    loop {
+        let line = read_line(reader)?;
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| malformed("bad content-length"))?;
+            }
+        }
+    }
+    let mut raw = vec![0u8; content_length];
+    reader.read_exact(&mut raw)?;
+    let body = String::from_utf8(raw).map_err(|_| malformed("non-utf8 body"))?;
+    let mut reply = ClientReply {
+        status,
+        verdict_json: String::new(),
+        prediction: None,
+        unanimous: false,
+        degraded: false,
+        cached: false,
+        latency_us: 0,
+        body,
+    };
+    if status != 200 || !reply.body.starts_with("{\"verdict\":") {
+        return Ok(reply);
+    }
+    // The envelope is `{"verdict":<fragment>,"cached":...}` with the
+    // fragment serialized verbatim; slice it back out so byte-level
+    // comparisons see exactly what the server rendered.
+    let start = "{\"verdict\":".len();
+    let end = reply
+        .body
+        .rfind(",\"cached\":")
+        .ok_or_else(|| malformed("no cached field"))?;
+    reply.verdict_json = reply.body[start..end].to_string();
+    let value: Value =
+        serde_json::from_str(&reply.body).map_err(|e| malformed(&format!("{e:?}")))?;
+    let pairs = value
+        .as_object()
+        .ok_or_else(|| malformed("not an object"))?;
+    if let Some(Value::Bool(b)) = field(pairs, "cached") {
+        reply.cached = *b;
+    }
+    if let Some(Value::UInt(us)) = field(pairs, "latency_us") {
+        reply.latency_us = *us;
+    }
+    let verdict = field(pairs, "verdict")
+        .and_then(Value::as_object)
+        .ok_or_else(|| malformed("no verdict object"))?;
+    if let Some(Value::UInt(class)) = field(verdict, "prediction") {
+        reply.prediction = Some(*class);
+    }
+    if let Some(Value::Bool(b)) = field(verdict, "unanimous") {
+        reply.unanimous = *b;
+    }
+    if let Some(Value::Bool(b)) = field(verdict, "degraded") {
+        reply.degraded = *b;
+    }
+    Ok(reply)
+}
+
+fn field<'a>(pairs: &'a [(String, Value)], name: &str) -> Option<&'a Value> {
+    pairs.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+}
+
+fn read_line(reader: &mut impl BufRead) -> io::Result<String> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Err(malformed("unexpected eof"));
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(line)
+}
+
+fn malformed(reason: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, reason.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_reply_and_recovers_the_raw_fragment() {
+        let fragment = r#"{"prediction":2,"decided":true,"unanimous":false,"degraded":false,"details":[{"name":"m","pred":2,"confidence":0.75,"diversity":0.5,"sparseness":0.25,"weight":0.09375}]}"#;
+        let body = format!("{{\"verdict\":{fragment},\"cached\":true,\"latency_us\":42}}");
+        let wire = format!(
+            "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        let reply = read_reply(&mut BufReader::new(wire.as_bytes())).unwrap();
+        assert_eq!(reply.status, 200);
+        assert_eq!(reply.verdict_json, fragment);
+        assert_eq!(reply.prediction, Some(2));
+        assert!(reply.cached);
+        assert!(!reply.degraded);
+        assert_eq!(reply.latency_us, 42);
+    }
+
+    #[test]
+    fn error_replies_surface_status_and_body() {
+        let wire = "HTTP/1.1 429 Too Many Requests\r\nContent-Length: 22\r\n\r\n{\"error\":\"overloaded\"}";
+        let reply = read_reply(&mut BufReader::new(wire.as_bytes())).unwrap();
+        assert_eq!(reply.status, 429);
+        assert!(reply.body.contains("overloaded"));
+        assert!(reply.verdict_json.is_empty());
+    }
+}

@@ -1,0 +1,168 @@
+//! The inference engine: one thread that owns the ensemble and turns
+//! micro-batches of requests into verdicts.
+//!
+//! Per batch, the engine runs the same five-stage ReMIX pipeline as
+//! [`Remix::predict`], but stage by stage *across requests*:
+//!
+//! 1. **Prediction** — each model forwards the whole batch in one
+//!    `predict_proba_batch` sweep (bit-identical to per-sample forwards).
+//! 2. **Triage** — unanimous requests take the fast path; disagreeing
+//!    requests whose deadline already passed take the degraded majority-vote
+//!    fallback; the rest proceed to XAI. The deadline is checked here, at
+//!    the last point before the expensive stage is committed to.
+//! 3. **XAI** — per model, all surviving requests' perturbations coalesce
+//!    into shared gradient sweeps via [`remix_xai::Explainer::explain_many`],
+//!    each request drawing from the same per-model RNG stream
+//!    ([`Remix::xai_rng`]) it would get from `Remix::predict`.
+//! 4. **Diversity + weighting** — per request, through
+//!    [`Remix::resolve_disagreement`], the exact code `predict` runs
+//!    (stages 4 and 5 of the pipeline are one call here).
+//!
+//! Every non-degraded verdict is therefore bit-identical to what
+//! `Remix::predict` would return for the same input — the property the
+//! bench gate asserts byte-for-byte on the wire.
+
+use crate::batcher::{BatchQueue, EngineReply, PendingRequest};
+use crate::cache::VerdictCache;
+use crate::protocol;
+use crate::server::ServeStats;
+use remix_core::Remix;
+use remix_ensemble::{majority_with_weights, ModelOutput, TrainedEnsemble};
+use remix_tensor::Tensor;
+use remix_trace::Counter;
+use std::sync::Arc;
+use std::time::Instant;
+
+pub(crate) struct Engine {
+    pub remix: Remix,
+    pub ensemble: TrainedEnsemble,
+    pub cache: Arc<VerdictCache>,
+    pub stats: Arc<ServeStats>,
+}
+
+impl Engine {
+    /// Runs until the queue closes and drains.
+    pub(crate) fn run(mut self, queue: Arc<BatchQueue>) {
+        while let Some(batch) = queue.next_batch() {
+            if !batch.is_empty() {
+                self.process(batch);
+            }
+        }
+    }
+
+    fn process(&mut self, batch: Vec<PendingRequest>) {
+        let span = remix_trace::span("serve_batch");
+        self.stats.bump_batch(batch.len());
+        remix_trace::incr(Counter::ServeBatches);
+        remix_trace::add(Counter::Predictions, batch.len() as u64);
+
+        // Stage 1: every model forwards the whole batch in one sweep.
+        let images: Vec<Tensor> = batch.iter().map(|r| r.image.clone()).collect();
+        let stage = remix_trace::span("prediction");
+        let per_model: Vec<Vec<Tensor>> = self
+            .ensemble
+            .models
+            .iter_mut()
+            .map(|m| {
+                m.predict_proba_batch(&images)
+                    .expect("inputs validated against the model spec at accept time")
+            })
+            .collect();
+        let outputs: Vec<Vec<ModelOutput>> = (0..batch.len())
+            .map(|k| {
+                per_model
+                    .iter()
+                    .map(|probs| ModelOutput::from_probs(probs[k].clone()))
+                    .collect()
+            })
+            .collect();
+        stage.finish();
+
+        // Stage 2: triage. The deadline is evaluated once, now — after the
+        // cheap prediction stage, before committing to the XAI stage.
+        let now = Instant::now();
+        let mut full = Vec::new();
+        for (k, request) in batch.iter().enumerate() {
+            let outs = &outputs[k];
+            let first = outs[0].pred;
+            if self.remix.fast_path_enabled() && outs.iter().all(|o| o.pred == first) {
+                remix_trace::incr(Counter::FastPathHits);
+                let verdict = remix_core::RemixVerdict {
+                    prediction: remix_ensemble::Prediction::Decided(first),
+                    unanimous: true,
+                    details: Vec::new(),
+                    timings: remix_core::StageTimings::default(),
+                };
+                self.finish(request, protocol::verdict_fragment(&verdict), false, true);
+                continue;
+            }
+            remix_trace::incr(Counter::Disagreements);
+            if now > request.deadline {
+                self.stats.bump_degraded();
+                remix_trace::incr(Counter::ServeDegraded);
+                let vote =
+                    majority_with_weights(outs.iter().map(|o| (o.pred, 1.0)), outs.len() as f32);
+                self.finish(request, protocol::degraded_fragment(&vote), true, false);
+                continue;
+            }
+            full.push(k);
+        }
+        if full.is_empty() {
+            span.finish();
+            return;
+        }
+
+        // Stage 3: coalesced XAI — for each model, one explain_many call
+        // covering every surviving request, each with its own copy of the
+        // model's deterministic RNG stream.
+        let stage = remix_trace::span("xai");
+        let explainer = *self.remix.explainer();
+        let nmodels = self.ensemble.models.len();
+        let mut matrices: Vec<Vec<Tensor>> = vec![Vec::with_capacity(nmodels); full.len()];
+        for (m, model) in self.ensemble.models.iter_mut().enumerate() {
+            let items: Vec<(&Tensor, usize)> = full
+                .iter()
+                .map(|&k| (&batch[k].image, outputs[k][m].pred))
+                .collect();
+            let mut rngs: Vec<_> = full
+                .iter()
+                .map(|_| self.remix.xai_rng(&model.name))
+                .collect();
+            for (slot, matrix) in matrices
+                .iter_mut()
+                .zip(explainer.explain_many(model, &items, &mut rngs))
+            {
+                slot.push(matrix);
+            }
+        }
+        stage.finish();
+
+        // Stages 4+5: per request, the shared resolution path.
+        for (f, &k) in full.iter().enumerate() {
+            let verdict =
+                self.remix
+                    .resolve_disagreement(&self.ensemble, &outputs[k], &matrices[f]);
+            self.finish(
+                &batch[k],
+                protocol::verdict_fragment(&verdict),
+                false,
+                false,
+            );
+        }
+        span.finish();
+    }
+
+    /// Caches (when eligible) and delivers one reply.
+    fn finish(&self, request: &PendingRequest, fragment: String, degraded: bool, unanimous: bool) {
+        let fragment: Arc<str> = Arc::from(fragment);
+        if !degraded && !request.no_cache {
+            self.cache
+                .insert(request.key, request.image.data(), Arc::clone(&fragment));
+        }
+        request.reply.fulfill(EngineReply {
+            fragment,
+            degraded,
+            unanimous,
+        });
+    }
+}

@@ -1,0 +1,196 @@
+//! A minimal HTTP/1.1 subset — just enough for a JSON prediction API.
+//!
+//! Supports the request shapes the service and its load generator produce:
+//! a request line, `Name: value` headers, an optional `Content-Length` body,
+//! and persistent (keep-alive) connections. Chunked transfer encoding,
+//! multi-line headers, and expect/continue are out of scope; requests using
+//! them are rejected rather than misparsed.
+
+use std::io::{self, BufRead, Write};
+
+/// Longest accepted request line or header line, in bytes.
+const MAX_LINE: usize = 8 * 1024;
+/// Most headers accepted per request.
+const MAX_HEADERS: usize = 64;
+/// Largest accepted request body, in bytes (a 3×96×96 image is ~340 KB as
+/// JSON; this leaves generous headroom without allowing unbounded growth).
+const MAX_BODY: usize = 4 * 1024 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Debug)]
+pub struct HttpRequest {
+    /// Request method, uppercased by the client (`GET`, `POST`).
+    pub method: String,
+    /// Request path including any query string (`/predict`).
+    pub path: String,
+    /// Raw body bytes (`Content-Length` long; empty when absent).
+    pub body: Vec<u8>,
+    /// Whether the client asked to close the connection after this request.
+    pub close: bool,
+}
+
+/// Reads one request from a connection.
+///
+/// Returns `Ok(None)` on a clean end-of-stream before any request byte — the
+/// peer closed an idle keep-alive connection, which is not an error.
+///
+/// # Errors
+///
+/// Returns an error for malformed request lines, oversized lines/bodies,
+/// unsupported framing (`Transfer-Encoding`), or I/O failures mid-request.
+pub fn read_request(reader: &mut impl BufRead) -> io::Result<Option<HttpRequest>> {
+    let line = match read_line(reader)? {
+        None => return Ok(None),
+        Some(line) => line,
+    };
+    let mut parts = line.split_whitespace();
+    let (method, path) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(_version)) => (m.to_string(), p.to_string()),
+        _ => return Err(bad_request("malformed request line")),
+    };
+    let mut content_length = 0usize;
+    let mut close = false;
+    for _ in 0..MAX_HEADERS {
+        let header = read_line(reader)?.ok_or_else(|| bad_request("eof in headers"))?;
+        if header.is_empty() {
+            let mut body = vec![0u8; content_length];
+            reader.read_exact(&mut body)?;
+            return Ok(Some(HttpRequest {
+                method,
+                path,
+                body,
+                close,
+            }));
+        }
+        let (name, value) = header
+            .split_once(':')
+            .ok_or_else(|| bad_request("malformed header"))?;
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .parse::<usize>()
+                .map_err(|_| bad_request("bad content-length"))?;
+            if content_length > MAX_BODY {
+                return Err(bad_request("body too large"));
+            }
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            return Err(bad_request("transfer-encoding not supported"));
+        } else if name.eq_ignore_ascii_case("connection") {
+            close = value.eq_ignore_ascii_case("close");
+        }
+    }
+    Err(bad_request("too many headers"))
+}
+
+/// Writes one `application/json` response with keep-alive framing.
+///
+/// # Errors
+///
+/// Propagates stream write failures.
+pub fn write_response(writer: &mut impl Write, status: u16, body: &str) -> io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        429 => "Too Many Requests",
+        _ => "Internal Server Error",
+    };
+    write!(
+        writer,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n{body}",
+        body.len()
+    )?;
+    writer.flush()
+}
+
+/// Reads one CRLF- (or LF-) terminated line without the terminator;
+/// `Ok(None)` on immediate end-of-stream.
+fn read_line(reader: &mut impl BufRead) -> io::Result<Option<String>> {
+    let mut buf = Vec::new();
+    loop {
+        let available = reader.fill_buf()?;
+        if available.is_empty() {
+            if buf.is_empty() {
+                return Ok(None);
+            }
+            return Err(bad_request("eof mid-line"));
+        }
+        if let Some(newline) = available.iter().position(|&b| b == b'\n') {
+            buf.extend_from_slice(&available[..newline]);
+            reader.consume(newline + 1);
+            if buf.last() == Some(&b'\r') {
+                buf.pop();
+            }
+            let line = String::from_utf8(buf).map_err(|_| bad_request("non-utf8 header"))?;
+            return Ok(Some(line));
+        }
+        let len = available.len();
+        buf.extend_from_slice(available);
+        reader.consume(len);
+        if buf.len() > MAX_LINE {
+            return Err(bad_request("line too long"));
+        }
+    }
+}
+
+fn bad_request(reason: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, reason)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(text: &str) -> io::Result<Option<HttpRequest>> {
+        read_request(&mut BufReader::new(text.as_bytes()))
+    }
+
+    #[test]
+    fn parses_post_with_body_and_keepalive_followup() {
+        let wire = "POST /predict HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcdGET /healthz HTTP/1.1\r\n\r\n";
+        let mut reader = BufReader::new(wire.as_bytes());
+        let first = read_request(&mut reader).unwrap().unwrap();
+        assert_eq!(first.method, "POST");
+        assert_eq!(first.path, "/predict");
+        assert_eq!(first.body, b"abcd");
+        assert!(!first.close);
+        let second = read_request(&mut reader).unwrap().unwrap();
+        assert_eq!(second.method, "GET");
+        assert_eq!(second.path, "/healthz");
+        assert!(second.body.is_empty());
+        assert!(read_request(&mut reader).unwrap().is_none());
+    }
+
+    #[test]
+    fn clean_eof_is_none_but_truncation_is_an_error() {
+        assert!(parse("").unwrap().is_none());
+        assert!(parse("POST /p HTTP/1.1\r\nContent-Length: 9\r\n\r\nabc").is_err());
+        assert!(parse("POST /p HTTP/1.1\r\nContent-Len").is_err());
+    }
+
+    #[test]
+    fn rejects_unsupported_framing_and_bad_requests() {
+        assert!(parse("POST /p HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n").is_err());
+        assert!(parse("GARBAGE\r\n\r\n").is_err());
+        assert!(parse("POST /p HTTP/1.1\r\nContent-Length: 99999999999\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn connection_close_header_is_surfaced() {
+        let req = parse("GET /stats HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(req.close);
+    }
+
+    #[test]
+    fn response_is_fully_framed() {
+        let mut out = Vec::new();
+        write_response(&mut out, 429, "{\"error\":\"overloaded\"}").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("Content-Length: 22\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"error\":\"overloaded\"}"));
+    }
+}

@@ -1,0 +1,53 @@
+//! `remix-serve` — a deadline-aware inference service for trained ReMIX
+//! ensembles.
+//!
+//! A zero-dependency TCP/HTTP-lite server (see `remix serve`) built from
+//! four pieces, each mapped to a resilience lever (DESIGN.md §6h):
+//!
+//! * **Dynamic micro-batching** ([`ServeConfig::max_batch`],
+//!   [`ServeConfig::batch_window`]) — concurrently arriving requests
+//!   coalesce into shared `forward_batch`/XAI sweeps, time-or-size
+//!   triggered. Verdicts stay bit-identical to [`remix_core::Remix::predict`]
+//!   because batching only re-chunks work the pipeline is chunk-invariant
+//!   over.
+//! * **Verdict cache** ([`VerdictCache`]) — a sharded LRU keyed by input
+//!   content hash; hits replay the stored reply byte-for-byte.
+//! * **Deadline-aware degradation** — a per-request budget after which a
+//!   disagreement falls back from ReMIX weighting to plain majority vote,
+//!   tagged `"degraded":true` on the wire; plus a bounded queue that sheds
+//!   excess load with `429` instead of queueing without bound.
+//! * **Telemetry** — per-request/per-batch `remix-trace` spans, serve
+//!   counters, queue-depth and batch-occupancy histograms, and per-verdict
+//!   latency histograms, all inert unless tracing is enabled; `/stats`
+//!   serves always-on counters.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use remix_core::Remix;
+//! use remix_ensemble::TrainedEnsemble;
+//! use remix_serve::{Client, ServeConfig, Server};
+//!
+//! # fn demo(ensemble: TrainedEnsemble) -> std::io::Result<()> {
+//! let server = Server::start(ensemble, Remix::default(), ServeConfig::default())?;
+//! let mut client = Client::connect(server.addr())?;
+//! let reply = client.predict(&[0.5; 16], Some(50), false)?;
+//! println!("class {:?} (degraded: {})", reply.prediction, reply.degraded);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod batcher;
+pub mod cache;
+pub mod client;
+mod engine;
+pub mod http;
+pub mod protocol;
+mod server;
+
+pub use cache::{content_key, VerdictCache};
+pub use client::{Client, ClientReply};
+pub use protocol::{degraded_fragment, verdict_fragment, PredictRequest};
+pub use server::{ServeConfig, ServeStats, Server};

@@ -1,0 +1,366 @@
+//! The TCP front end: accept loop, connection threads, routing, shedding.
+//!
+//! One thread per connection parses requests; `/predict` bodies go through
+//! the verdict cache, then the bounded [`crate::batcher::BatchQueue`], and
+//! block on a reply slot until the engine answers. A full queue is answered
+//! with `429` immediately (load shedding), never queued. `/healthz` and
+//! `/stats` are served inline from the connection thread.
+
+use crate::batcher::{BatchQueue, PendingRequest, PushError, ReplySlot};
+use crate::cache::{content_key, VerdictCache};
+use crate::engine::Engine;
+use crate::http::{read_request, write_response, HttpRequest};
+use crate::protocol;
+use remix_core::Remix;
+use remix_ensemble::TrainedEnsemble;
+use remix_tensor::Tensor;
+use remix_trace::Counter;
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Serving parameters. `Default` is tuned for an interactive service; the
+/// load generator overrides what it measures.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Most requests coalesced into one engine micro-batch. `0` derives the
+    /// cap from the ensemble's [`remix_xai::XaiBudget::batch_size`] — the
+    /// XAI sweep width — so one micro-batch fills whole gradient sweeps.
+    pub max_batch: usize,
+    /// How long a forming batch waits for company before dispatching
+    /// (the *time* half of the time-or-size trigger). Zero dispatches
+    /// every request alone — the serial baseline.
+    pub batch_window: Duration,
+    /// Bound on queued requests; beyond it, requests are shed with `429`.
+    pub queue_capacity: usize,
+    /// Default per-request deadline when the request doesn't carry
+    /// `deadline_ms`. After it, a disagreement degrades to majority vote.
+    pub default_deadline: Duration,
+    /// Verdict-cache capacity in entries (`0` disables the cache).
+    pub cache_capacity: usize,
+    /// Verdict-cache shard count.
+    pub cache_shards: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            max_batch: 0,
+            batch_window: Duration::from_micros(500),
+            queue_capacity: 256,
+            default_deadline: Duration::from_millis(50),
+            cache_capacity: 4096,
+            cache_shards: 8,
+        }
+    }
+}
+
+/// Always-on request accounting (independent of `remix-trace`, which is
+/// opt-in; `/stats` must work on an untraced server).
+#[derive(Default)]
+pub struct ServeStats {
+    /// Accepted `/predict` requests (shed requests included).
+    pub requests: AtomicU64,
+    /// Requests answered from the verdict cache.
+    pub cache_hits: AtomicU64,
+    /// Requests that missed the cache and ran inference.
+    pub cache_misses: AtomicU64,
+    /// Requests rejected with `429` because the queue was full.
+    pub shed: AtomicU64,
+    /// Requests resolved by the degraded majority-vote fallback.
+    pub degraded: AtomicU64,
+    /// Engine micro-batches executed.
+    pub batches: AtomicU64,
+    /// Requests carried by those micro-batches (mean occupancy =
+    /// `batched_requests / batches`).
+    pub batched_requests: AtomicU64,
+}
+
+impl ServeStats {
+    pub(crate) fn bump_batch(&self, occupancy: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_requests
+            .fetch_add(occupancy as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn bump_degraded(&self) {
+        self.degraded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn body(&self, cache_len: usize) -> String {
+        format!(
+            "{{\"requests\":{},\"cache_hits\":{},\"cache_misses\":{},\"shed\":{},\"degraded\":{},\"batches\":{},\"batched_requests\":{},\"cached_verdicts\":{}}}",
+            self.requests.load(Ordering::Relaxed),
+            self.cache_hits.load(Ordering::Relaxed),
+            self.cache_misses.load(Ordering::Relaxed),
+            self.shed.load(Ordering::Relaxed),
+            self.degraded.load(Ordering::Relaxed),
+            self.batches.load(Ordering::Relaxed),
+            self.batched_requests.load(Ordering::Relaxed),
+            cache_len,
+        )
+    }
+}
+
+struct Shared {
+    queue: Arc<BatchQueue>,
+    cache: Arc<VerdictCache>,
+    stats: Arc<ServeStats>,
+    default_deadline: Duration,
+    input_len: usize,
+    input_shape: [usize; 3],
+    stopping: AtomicBool,
+}
+
+/// A running server. Dropping it (or calling [`Server::shutdown`]) stops the
+/// accept loop, drains the engine, and joins both threads.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<()>>,
+    engine_thread: Option<JoinHandle<()>>,
+    stats: Arc<ServeStats>,
+}
+
+impl Server {
+    /// Starts serving `ensemble` under `remix`'s configuration.
+    ///
+    /// The ensemble's input spec defines the accepted `image` length; the
+    /// engine thread takes ownership of the models.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error if `config.addr` can't be bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ensemble is empty.
+    pub fn start(
+        ensemble: TrainedEnsemble,
+        remix: Remix,
+        config: ServeConfig,
+    ) -> io::Result<Server> {
+        assert!(
+            !ensemble.models.is_empty(),
+            "cannot serve an empty ensemble"
+        );
+        let spec = ensemble.models[0].spec();
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let max_batch = if config.max_batch == 0 {
+            remix.explainer().config.budget.effective_batch_size()
+        } else {
+            config.max_batch
+        };
+        let queue = Arc::new(BatchQueue::new(
+            config.queue_capacity,
+            max_batch,
+            config.batch_window,
+        ));
+        let cache = Arc::new(VerdictCache::new(
+            config.cache_capacity,
+            config.cache_shards,
+        ));
+        let stats = Arc::new(ServeStats::default());
+        let shared = Arc::new(Shared {
+            queue: Arc::clone(&queue),
+            cache: Arc::clone(&cache),
+            stats: Arc::clone(&stats),
+            default_deadline: config.default_deadline,
+            input_len: spec.channels * spec.size * spec.size,
+            input_shape: [spec.channels, spec.size, spec.size],
+            stopping: AtomicBool::new(false),
+        });
+        let engine = Engine {
+            remix,
+            ensemble,
+            cache,
+            stats: Arc::clone(&stats),
+        };
+        let engine_thread = thread::Builder::new()
+            .name("remix-serve-engine".into())
+            .spawn(move || engine.run(queue))?;
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = thread::Builder::new()
+            .name("remix-serve-accept".into())
+            .spawn(move || accept_loop(&listener, &accept_shared))?;
+        Ok(Server {
+            addr,
+            shared,
+            accept_thread: Some(accept_thread),
+            engine_thread: Some(engine_thread),
+            stats,
+        })
+    }
+
+    /// The bound address (use this when the config asked for port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The always-on request counters.
+    pub fn stats(&self) -> &ServeStats {
+        &self.stats
+    }
+
+    /// Stops accepting, drains in-flight requests, and joins the server
+    /// threads. Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        if self.shared.stopping.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // The accept loop blocks in accept(); poke it awake so it observes
+        // the stop flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        self.shared.queue.close();
+        if let Some(handle) = self.engine_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => continue,
+        };
+        if shared.stopping.load(Ordering::SeqCst) {
+            return;
+        }
+        let shared = Arc::clone(shared);
+        let _ = thread::Builder::new()
+            .name("remix-serve-conn".into())
+            .spawn(move || connection_loop(stream, &shared));
+    }
+}
+
+fn connection_loop(stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        match read_request(&mut reader) {
+            Ok(Some(request)) => {
+                let close = request.close;
+                let (status, body) = route(&request, shared);
+                if write_response(&mut writer, status, &body).is_err() || close {
+                    return;
+                }
+            }
+            Ok(None) => return,
+            Err(e) => {
+                let _ = write_response(&mut writer, 400, &protocol::error_body(&e.to_string()));
+                return;
+            }
+        }
+    }
+}
+
+fn route(request: &HttpRequest, shared: &Shared) -> (u16, String) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/predict") => handle_predict(&request.body, shared),
+        ("GET", "/healthz") => (200, "{\"status\":\"ok\"}".to_string()),
+        ("GET", "/stats") => (200, shared.stats.body(shared.cache.len())),
+        _ => (404, protocol::error_body("no such endpoint")),
+    }
+}
+
+fn handle_predict(body: &[u8], shared: &Shared) -> (u16, String) {
+    let started = Instant::now();
+    let span = remix_trace::span("serve_request");
+    let request = match protocol::parse_predict(body) {
+        Ok(request) => request,
+        Err(message) => return (400, protocol::error_body(&message)),
+    };
+    if request.image.len() != shared.input_len {
+        return (
+            400,
+            protocol::error_body(&format!(
+                "`image` must have {} values for shape {:?}, got {}",
+                shared.input_len,
+                shared.input_shape,
+                request.image.len()
+            )),
+        );
+    }
+    shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+    remix_trace::incr(Counter::ServeRequests);
+    let key = content_key(&request.image);
+    let use_cache = shared.cache.enabled() && !request.no_cache;
+    if use_cache {
+        if let Some(fragment) = shared.cache.get(key, &request.image) {
+            shared.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+            remix_trace::incr(Counter::ServeCacheHits);
+            let latency = started.elapsed();
+            span.finish();
+            remix_trace::record_duration("serve_verdict_cached", latency);
+            return (
+                200,
+                protocol::envelope(&fragment, true, latency.as_micros() as u64),
+            );
+        }
+        shared.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+        remix_trace::incr(Counter::ServeCacheMisses);
+    }
+    let deadline = started
+        + request
+            .deadline_ms
+            .map_or(shared.default_deadline, Duration::from_millis);
+    let image = Tensor::from_vec(request.image, &shared.input_shape)
+        .expect("length validated against the input shape");
+    let slot = ReplySlot::default();
+    let pending = PendingRequest {
+        image,
+        key,
+        deadline,
+        no_cache: request.no_cache,
+        reply: slot.clone(),
+    };
+    match shared.queue.push(pending) {
+        Ok(()) => {}
+        Err(PushError::Shed) => {
+            shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+            remix_trace::incr(Counter::ServeShed);
+            span.finish();
+            return (429, protocol::error_body("overloaded: queue full"));
+        }
+        Err(PushError::Closed) => {
+            span.finish();
+            return (500, protocol::error_body("server is shutting down"));
+        }
+    }
+    let reply = slot.wait();
+    let latency = started.elapsed();
+    span.finish();
+    let kind = if reply.degraded {
+        "serve_verdict_degraded"
+    } else if reply.unanimous {
+        "serve_verdict_unanimous"
+    } else {
+        "serve_verdict_full"
+    };
+    remix_trace::record_duration(kind, latency);
+    (
+        200,
+        protocol::envelope(&reply.fragment, false, latency.as_micros() as u64),
+    )
+}

@@ -1,0 +1,291 @@
+//! End-to-end tests against a live server on an ephemeral port.
+//!
+//! Each test trains its own small tabular ensemble (deterministic seeds, so
+//! two `setup()` calls produce bit-identical weights), starts a real
+//! [`Server`], and drives it over TCP with [`Client`]. The load-bearing
+//! assertions are the resilience contracts from DESIGN.md §6h:
+//!
+//! * cached replies are **byte-identical** to the cold run that produced
+//!   them;
+//! * every non-degraded served verdict is **byte-identical** to what
+//!   [`Remix::predict`] returns for the same input;
+//! * a disagreement past its deadline degrades to the deterministic
+//!   majority-vote fallback, tagged `degraded` and never cached;
+//! * a full queue sheds with `429` instead of queueing without bound.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use remix_core::Remix;
+use remix_data::SyntheticSpec;
+use remix_ensemble::{majority_with_weights, Prediction, TrainedEnsemble};
+use remix_nn::layers::{Dense, Flatten, Relu};
+use remix_nn::{InputSpec, Model, Sequential, Trainer, TrainerConfig};
+use remix_serve::{verdict_fragment, Client, ServeConfig, Server};
+use remix_tensor::Tensor;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::thread;
+use std::time::Duration;
+
+/// Relabels a seeded fraction of the training labels — the paper's faulty
+/// training data, and the lever that makes the constituents disagree.
+fn corrupt_labels(labels: &[usize], num_classes: usize, fraction: f32, seed: u64) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    labels
+        .iter()
+        .map(|&label| {
+            if rng.gen::<f32>() < fraction {
+                rng.gen_range(0..num_classes)
+            } else {
+                label
+            }
+        })
+        .collect()
+}
+
+/// Trains three small MLPs on increasingly corrupted labels. Fully seeded:
+/// calling this twice yields bit-identical ensembles, which lets one copy
+/// run inside the server while a local replica supplies expected verdicts.
+fn setup() -> (TrainedEnsemble, Vec<Tensor>) {
+    let (train, test) = SyntheticSpec::tabular_like()
+        .train_size(240)
+        .test_size(96)
+        .generate();
+    let spec = InputSpec {
+        channels: 1,
+        size: 4,
+        num_classes: train.num_classes,
+    };
+    let configs: [(&str, &[usize], f32); 3] = [
+        ("mlp-clean", &[24], 0.0),
+        ("mlp-noisy", &[16, 12], 0.3),
+        ("mlp-noisier", &[12], 0.5),
+    ];
+    let models = configs
+        .iter()
+        .enumerate()
+        .map(|(i, (name, hidden, noise))| {
+            let mut init = StdRng::seed_from_u64(40 + i as u64);
+            let mut net = Sequential::new();
+            net.push(Flatten::new());
+            let mut dim = spec.channels * spec.size * spec.size;
+            for &h in *hidden {
+                net.push(Dense::new(dim, h, &mut init));
+                net.push(Relu::new());
+                dim = h;
+            }
+            net.push(Dense::new(dim, train.num_classes, &mut init));
+            let mut model = Model::named(net, spec, *name);
+            let labels = corrupt_labels(&train.labels, train.num_classes, *noise, 90 + i as u64);
+            Trainer::new(TrainerConfig {
+                epochs: 4,
+                lr: 0.05,
+                seed: i as u64,
+                ..TrainerConfig::default()
+            })
+            .fit(&mut model, &train.images, &labels);
+            model
+        })
+        .collect();
+    (TrainedEnsemble::new(models), test.images)
+}
+
+fn remix() -> Remix {
+    Remix::builder().seed(7).threads(1).build()
+}
+
+/// Finds one test input the ensemble is unanimous on and one it splits on.
+fn split_inputs(ensemble: &mut TrainedEnsemble, images: &[Tensor]) -> (Tensor, Tensor) {
+    let mut unanimous = None;
+    let mut split = None;
+    for image in images {
+        let outs = ensemble.outputs(image);
+        let first = outs[0].pred;
+        if outs.iter().all(|o| o.pred == first) {
+            unanimous.get_or_insert_with(|| image.clone());
+        } else {
+            split.get_or_insert_with(|| image.clone());
+        }
+        if unanimous.is_some() && split.is_some() {
+            break;
+        }
+    }
+    (
+        unanimous.expect("no unanimous test input — retune the ensemble seeds"),
+        split.expect("no disagreeing test input — retune the ensemble seeds"),
+    )
+}
+
+#[test]
+fn cached_reply_is_byte_identical_to_the_cold_run() {
+    let (ensemble, images) = setup();
+    let server = Server::start(ensemble, remix(), ServeConfig::default()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let image = images[0].data().to_vec();
+
+    let cold = client.predict(&image, Some(10_000), false).unwrap();
+    assert_eq!(cold.status, 200);
+    assert!(!cold.cached);
+    assert!(!cold.verdict_json.is_empty());
+
+    let warm = client.predict(&image, Some(10_000), false).unwrap();
+    assert!(warm.cached, "second identical request must hit the cache");
+    assert_eq!(
+        warm.verdict_json, cold.verdict_json,
+        "cached reply must replay the cold fragment byte-for-byte"
+    );
+
+    // `no_cache` bypasses the cache but, being deterministic, recomputes the
+    // exact same bytes.
+    let bypass = client.predict(&image, Some(10_000), true).unwrap();
+    assert!(!bypass.cached);
+    assert_eq!(bypass.verdict_json, cold.verdict_json);
+
+    let stats = server.stats();
+    assert_eq!(stats.requests.load(Ordering::Relaxed), 3);
+    assert_eq!(stats.cache_hits.load(Ordering::Relaxed), 1);
+    // The bypass request never consulted the cache, so exactly one miss.
+    assert_eq!(stats.cache_misses.load(Ordering::Relaxed), 1);
+}
+
+#[test]
+fn served_verdicts_match_remix_predict_byte_for_byte() {
+    let (ensemble, images) = setup();
+    let (mut local, _) = setup();
+    let (unanimous, split) = split_inputs(&mut local, &images);
+    let server = Server::start(ensemble, remix(), ServeConfig::default()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let reference = remix();
+
+    let reply = client
+        .predict(unanimous.data(), Some(10_000), true)
+        .unwrap();
+    assert_eq!(reply.status, 200);
+    assert!(reply.unanimous && !reply.degraded);
+    let expected = verdict_fragment(&reference.predict(&mut local, &unanimous));
+    assert_eq!(reply.verdict_json, expected);
+
+    let reply = client.predict(split.data(), Some(10_000), true).unwrap();
+    assert_eq!(reply.status, 200);
+    assert!(!reply.unanimous && !reply.degraded);
+    let expected = verdict_fragment(&reference.predict(&mut local, &split));
+    assert_eq!(
+        reply.verdict_json, expected,
+        "served disagreement verdict must be byte-identical to Remix::predict"
+    );
+}
+
+#[test]
+fn zero_deadline_disagreement_degrades_to_majority_vote() {
+    let (ensemble, images) = setup();
+    let (mut local, _) = setup();
+    let (_, split) = split_inputs(&mut local, &images);
+    let outs = local.outputs(&split);
+    let expected = majority_with_weights(outs.iter().map(|o| (o.pred, 1.0)), outs.len() as f32);
+
+    let server = Server::start(ensemble, remix(), ServeConfig::default()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let reply = client.predict(split.data(), Some(0), false).unwrap();
+    assert_eq!(reply.status, 200);
+    assert!(reply.degraded, "a zero deadline must force the fallback");
+    assert!(!reply.cached);
+    match expected {
+        Prediction::Decided(class) => assert_eq!(reply.prediction, Some(class as u64)),
+        Prediction::NoMajority => assert_eq!(reply.prediction, None),
+    }
+
+    // Degraded verdicts are load artifacts and must never be cached: the
+    // same request again recomputes (and degrades) instead of hitting.
+    let again = client.predict(split.data(), Some(0), false).unwrap();
+    assert!(again.degraded && !again.cached);
+    assert_eq!(again.verdict_json, reply.verdict_json);
+    let stats = server.stats();
+    assert_eq!(stats.degraded.load(Ordering::Relaxed), 2);
+    assert_eq!(stats.cache_hits.load(Ordering::Relaxed), 0);
+}
+
+#[test]
+fn full_queue_sheds_with_429() {
+    let (ensemble, images) = setup();
+    let config = ServeConfig {
+        queue_capacity: 1,
+        max_batch: 8,
+        // A long window keeps the first request parked in the queue while
+        // the second one arrives and finds it full.
+        batch_window: Duration::from_millis(1000),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(ensemble, remix(), config).unwrap();
+    let addr = server.addr();
+    let image = images[0].data().to_vec();
+
+    let holder = {
+        let image = image.clone();
+        thread::spawn(move || {
+            let mut client = Client::connect(addr).unwrap();
+            client.predict(&image, Some(10_000), true).unwrap()
+        })
+    };
+    thread::sleep(Duration::from_millis(200));
+    let mut client = Client::connect(addr).unwrap();
+    let shed = client.predict(&image, Some(10_000), true).unwrap();
+    assert_eq!(shed.status, 429, "queue at capacity must shed, not wait");
+    assert!(shed.body.contains("overloaded"));
+
+    let held = holder.join().unwrap();
+    assert_eq!(held.status, 200, "the queued request still completes");
+    assert_eq!(server.stats().shed.load(Ordering::Relaxed), 1);
+}
+
+#[test]
+fn health_stats_and_error_paths() {
+    let (ensemble, images) = setup();
+    let server = Server::start(ensemble, remix(), ServeConfig::default()).unwrap();
+
+    // /healthz over a raw close-delimited connection.
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    write!(stream, "GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+    let mut text = String::new();
+    stream.read_to_string(&mut text).unwrap();
+    assert!(text.starts_with("HTTP/1.1 200 OK"));
+    assert!(text.ends_with("{\"status\":\"ok\"}"));
+
+    // A syntactically valid request with a non-JSON body is a 400, and the
+    // connection stays usable afterwards.
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    write!(
+        stream,
+        "POST /predict HTTP/1.1\r\nContent-Length: 8\r\n\r\nnot json"
+    )
+    .unwrap();
+    write!(stream, "GET /nowhere HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+    let mut text = String::new();
+    stream.read_to_string(&mut text).unwrap();
+    assert!(text.starts_with("HTTP/1.1 400 Bad Request"));
+    assert!(text.contains("HTTP/1.1 404 Not Found"));
+
+    let mut client = Client::connect(server.addr()).unwrap();
+    // Wrong image length: rejected before it ever reaches the queue.
+    let reply = client.predict(&[0.0; 3], None, false).unwrap();
+    assert_eq!(reply.status, 400);
+    assert!(reply.body.contains("image"), "error names the bad field");
+
+    let good = client
+        .predict(images[0].data(), Some(10_000), false)
+        .unwrap();
+    assert_eq!(good.status, 200);
+    let stats = client.stats().unwrap();
+    let pairs = stats.as_object().expect("/stats is a JSON object");
+    let get = |name: &str| -> u64 {
+        match pairs.iter().find(|(k, _)| k == name) {
+            Some((_, serde::Value::UInt(n))) => *n,
+            other => panic!("missing numeric stat {name}: {other:?}"),
+        }
+    };
+    // Only the well-formed /predict counts; the malformed ones were
+    // rejected before accounting.
+    assert_eq!(get("requests"), 1);
+    assert_eq!(get("cache_misses"), 1);
+    assert_eq!(get("cached_verdicts"), 1);
+    assert_eq!(get("shed"), 0);
+}

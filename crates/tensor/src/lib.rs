@@ -20,6 +20,8 @@
 //! # Ok::<(), remix_tensor::TensorError>(())
 //! ```
 
+#![warn(missing_docs)]
+
 mod conv;
 mod error;
 mod linalg;

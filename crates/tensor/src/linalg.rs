@@ -376,9 +376,9 @@ impl Tensor {
     ///
     /// This is the hot path of every dense layer and of the im2col
     /// convolution in `remix-nn`; see the module docs for the kernel design
-    /// and determinism contract. Products above [`PARALLEL_MATMUL_MACS`]
-    /// multiply-adds are partitioned by output row across the persistent
-    /// worker pool with bit-identical results.
+    /// and determinism contract. Sufficiently large products (2¹⁶
+    /// multiply-adds and up) are partitioned by output row across the
+    /// persistent worker pool with bit-identical results.
     ///
     /// # Errors
     ///

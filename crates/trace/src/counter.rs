@@ -34,11 +34,24 @@ pub enum Counter {
     TrainSamples,
     /// Span records discarded because the registry hit its size cap.
     SpansDropped,
+    /// Prediction requests accepted by the serving layer.
+    ServeRequests,
+    /// Requests answered straight from the verdict cache.
+    ServeCacheHits,
+    /// Requests that missed the verdict cache and ran inference.
+    ServeCacheMisses,
+    /// Micro-batches executed by the serving engine.
+    ServeBatches,
+    /// Requests whose disagreement was resolved by the degraded
+    /// majority-vote fallback after the deadline expired.
+    ServeDegraded,
+    /// Requests rejected (429) because the inference queue was full.
+    ServeShed,
 }
 
 impl Counter {
     /// Every counter, in declaration order.
-    pub const ALL: [Counter; 12] = [
+    pub const ALL: [Counter; 18] = [
         Counter::GemmCalls,
         Counter::GemmMacs,
         Counter::PoolJobs,
@@ -51,6 +64,12 @@ impl Counter {
         Counter::TrainBatches,
         Counter::TrainSamples,
         Counter::SpansDropped,
+        Counter::ServeRequests,
+        Counter::ServeCacheHits,
+        Counter::ServeCacheMisses,
+        Counter::ServeBatches,
+        Counter::ServeDegraded,
+        Counter::ServeShed,
     ];
 
     /// Stable snake_case name used in exported records.
@@ -68,6 +87,12 @@ impl Counter {
             Counter::TrainBatches => "train_batches",
             Counter::TrainSamples => "train_samples",
             Counter::SpansDropped => "spans_dropped",
+            Counter::ServeRequests => "serve_requests",
+            Counter::ServeCacheHits => "serve_cache_hits",
+            Counter::ServeCacheMisses => "serve_cache_misses",
+            Counter::ServeBatches => "serve_batches",
+            Counter::ServeDegraded => "serve_degraded",
+            Counter::ServeShed => "serve_shed",
         }
     }
 }

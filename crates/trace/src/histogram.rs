@@ -69,10 +69,21 @@ fn histogram(name: &str) -> &'static Histogram {
 /// Records one duration sample into the histogram named `name`. No-op while
 /// tracing is disabled.
 pub fn record_duration(name: &str, d: Duration) {
+    record_value(name, d.as_nanos() as u64);
+}
+
+/// Records one raw `u64` sample into the histogram named `name`. No-op while
+/// tracing is disabled.
+///
+/// Histograms are unit-agnostic: duration histograms store nanoseconds (via
+/// [`record_duration`]), while gauge-style histograms (queue depth, batch
+/// occupancy) store plain counts. Exported summaries keep the `*_ns` field
+/// names for compatibility; the unit is whatever the recorder fed in.
+pub fn record_value(name: &str, value: u64) {
     if !crate::enabled() {
         return;
     }
-    histogram(name).record(d.as_nanos() as u64);
+    histogram(name).record(value);
 }
 
 /// Summaries of every non-empty histogram, sorted by name:

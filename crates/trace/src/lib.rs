@@ -37,13 +37,15 @@
 //! durations are exported as integer nanoseconds so records round-trip
 //! exactly.
 
+#![warn(missing_docs)]
+
 mod counter;
 mod histogram;
 mod report;
 mod span;
 
 pub use counter::{add, counter, incr, Counter};
-pub use histogram::record_duration;
+pub use histogram::{record_duration, record_value};
 pub use report::{CounterValue, HistogramSummary, SpanNode, TraceReport};
 pub use span::{current_span, propagate, span, stage_span, ParentGuard, Span, StageSpan};
 

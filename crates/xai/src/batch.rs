@@ -38,14 +38,31 @@ pub(crate) fn class_gradients(
     class: usize,
     batch_size: usize,
 ) -> Vec<Tensor> {
+    let classes = vec![class; inputs.len()];
+    class_gradients_multi(model, inputs, &classes, batch_size)
+}
+
+/// Input gradient of each input's own class logit, evaluated `batch_size` at
+/// a time. The per-input gradient depends only on that input and its class
+/// (each batch column backpropagates independently), so chunk composition —
+/// including mixing inputs from different requests — cannot change any
+/// result bit. That invariance is what lets the serving layer coalesce
+/// concurrent requests into shared sweeps.
+pub(crate) fn class_gradients_multi(
+    model: &mut Model,
+    inputs: &[Tensor],
+    classes: &[usize],
+    batch_size: usize,
+) -> Vec<Tensor> {
+    assert_eq!(inputs.len(), classes.len(), "one class per input");
     remix_trace::add(remix_trace::Counter::XaiPerturbations, inputs.len() as u64);
     let mut out = Vec::with_capacity(inputs.len());
-    for chunk in inputs.chunks(batch_size.max(1)) {
+    let chunk_len = batch_size.max(1);
+    for (chunk, chunk_classes) in inputs.chunks(chunk_len).zip(classes.chunks(chunk_len)) {
         remix_trace::incr(remix_trace::Counter::XaiBatches);
-        let classes = vec![class; chunk.len()];
         out.extend(
             model
-                .input_gradient_batch(chunk, &classes)
+                .input_gradient_batch(chunk, chunk_classes)
                 .expect("perturbed inputs match the model spec"),
         );
     }

@@ -39,6 +39,8 @@
 //! assert_eq!(matrix.shape(), &[8, 8]);
 //! ```
 
+#![warn(missing_docs)]
+
 mod batch;
 mod cfe;
 pub mod eval;

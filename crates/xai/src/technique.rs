@@ -190,6 +190,46 @@ impl Explainer {
         matrix
     }
 
+    /// Extracts feature matrices for several `(image, class)` items against
+    /// the same model, with one independent `rng` per item.
+    ///
+    /// Every per-item result is bit-identical to calling [`Explainer::explain`]
+    /// with that item's rng. For [`XaiTechnique::SmoothGrad`] the items'
+    /// perturbations are coalesced into shared gradient sweeps — the serving
+    /// layer's micro-batching lever — which only re-chunks the flattened
+    /// inputs; the gradient math is chunk-invariant. Other techniques run
+    /// item by item.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` and `rngs` differ in length, or any item fails the
+    /// [`Explainer::explain`] preconditions.
+    pub fn explain_many<R: Rng>(
+        &self,
+        model: &mut Model,
+        items: &[(&Tensor, usize)],
+        rngs: &mut [R],
+    ) -> Vec<Tensor> {
+        assert_eq!(items.len(), rngs.len(), "one rng per item");
+        if self.technique != XaiTechnique::SmoothGrad || items.len() <= 1 {
+            return items
+                .iter()
+                .zip(rngs.iter_mut())
+                .map(|((image, class), rng)| self.explain(model, image, *class, rng))
+                .collect();
+        }
+        for (_, class) in items {
+            assert!(*class < model.num_classes(), "class out of range");
+        }
+        let span = remix_trace::span(self.technique.abbrev());
+        let matrices = smoothgrad::explain_coalesced(model, items, rngs, &self.config);
+        // One histogram sample for the whole coalesced sweep: the span is the
+        // unit of model work, matching the per-call samples of `explain`.
+        let elapsed = span.finish();
+        remix_trace::record_duration(self.technique.abbrev(), elapsed);
+        matrices
+    }
+
     fn dispatch(
         &self,
         model: &mut Model,
@@ -241,6 +281,42 @@ mod tests {
                 (0.0..=1.0).contains(&min) && max <= 1.0,
                 "{technique} range"
             );
+        }
+    }
+
+    #[test]
+    fn explain_many_is_bit_identical_to_per_item_explain() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let spec = InputSpec {
+            channels: 1,
+            size: 8,
+            num_classes: 3,
+        };
+        let mut model = Model::new(zoo::build(Arch::ConvNet, spec, &mut rng), spec);
+        let images: Vec<Tensor> = (0..5)
+            .map(|_| Tensor::rand_uniform(&[1, 8, 8], 0.0, 1.0, &mut rng))
+            .collect();
+        let items: Vec<(&Tensor, usize)> =
+            images.iter().enumerate().map(|(i, t)| (t, i % 3)).collect();
+        for technique in [XaiTechnique::SmoothGrad, XaiTechnique::IntegratedGradients] {
+            // Small batch size so the coalesced sweep chunks across item
+            // boundaries — the case the bit-identity claim is about.
+            let explainer = Explainer::with_config(
+                technique,
+                ExplainerConfig {
+                    budget: XaiBudget { batch_size: 5 },
+                    ..ExplainerConfig::default()
+                },
+            );
+            let mut rngs: Vec<StdRng> = (0..items.len())
+                .map(|i| StdRng::seed_from_u64(100 + i as u64))
+                .collect();
+            let many = explainer.explain_many(&mut model, &items, &mut rngs);
+            for (i, (image, class)) in items.iter().enumerate() {
+                let mut solo_rng = StdRng::seed_from_u64(100 + i as u64);
+                let solo = explainer.explain(&mut model, image, *class, &mut solo_rng);
+                assert_eq!(many[i], solo, "{technique} item {i}");
+            }
         }
     }
 

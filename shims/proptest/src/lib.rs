@@ -107,7 +107,7 @@ pub mod prop {
         use super::super::{Strategy, TestRng};
         use rand::Rng;
 
-        /// Element-count specification for [`vec`]: an exact size or a
+        /// Element-count specification for [`vec()`]: an exact size or a
         /// half-open range of sizes.
         #[derive(Clone, Copy, Debug)]
         pub struct SizeRange {
@@ -143,7 +143,7 @@ pub mod prop {
             }
         }
 
-        /// Strategy returned by [`vec`].
+        /// Strategy returned by [`vec()`].
         pub struct VecStrategy<S> {
             element: S,
             size: SizeRange,

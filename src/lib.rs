@@ -12,6 +12,8 @@
 //! [`remix_xai`], [`remix_diversity`], [`remix_ensemble`], and the ReMIX
 //! meta-learner itself in [`remix_core`].
 
+#![warn(missing_docs)]
+
 pub use remix_core as core;
 pub use remix_data as data;
 pub use remix_diversity as diversity;
