@@ -15,6 +15,12 @@
 //! * **deadline degradation** — a `deadline_ms = 0` phase checks that every
 //!   disagreement falls back to the deterministic majority vote
 //!   (`degraded_deterministic`).
+//! * **shard scaling** — the same stream against 1 engine shard and against
+//!   `min(host_cores, 4)` shards; `speedup_shards_vs_one` is the summed-wall
+//!   ratio and `shard_verdicts_identical` re-asserts byte-identity with the
+//!   backend sharded. On a single-core host the honest ratio is ~1.0, so the
+//!   record carries `host_cores` and `check_serve` applies its absolute
+//!   scaling floor only to multi-core runs.
 //!
 //! The request pool is all-disagreement (models trained on increasingly
 //! mislabelled data), because disagreements are what pay the XAI cost that
@@ -32,7 +38,6 @@ use remix_serve::{degraded_fragment, verdict_fragment, Client, ClientReply, Serv
 use remix_tensor::Tensor;
 use remix_xai::{ExplainerConfig, XaiBudget};
 use std::io::Write;
-use std::sync::atomic::Ordering;
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -233,11 +238,14 @@ fn main() {
     // noise in any one round lands on both sums instead of swinging a
     // single-shot ratio.
     const ROUNDS: usize = 3;
+    // Every phase up to shard scaling pins `shards: 1` so each measures its
+    // own lever (batching, cache, degradation) rather than the shard count.
     let serial_config = ServeConfig {
         max_batch: 1,
         batch_window: Duration::ZERO,
         cache_capacity: 0,
         queue_capacity: 4096,
+        shards: 1,
         ..ServeConfig::default()
     };
     let batched_config = ServeConfig {
@@ -245,6 +253,7 @@ fn main() {
         batch_window: Duration::from_micros(500),
         cache_capacity: 0,
         queue_capacity: 4096,
+        shards: 1,
         ..ServeConfig::default()
     };
     let mut serial_wall = Duration::ZERO;
@@ -288,11 +297,10 @@ fn main() {
     // Occupancy over all rounds: the server outlives them, so the counters
     // aggregate every batched request.
     let stats = batched_server.stats();
-    let batches = stats.batches.load(Ordering::Relaxed);
-    let occupancy = if batches == 0 {
+    let occupancy = if stats.batches == 0 {
         0.0
     } else {
-        stats.batched_requests.load(Ordering::Relaxed) as f64 / batches as f64
+        stats.batched_requests as f64 / stats.batches as f64
     };
     drop(batched_server);
     let total_phase_requests = total_requests * ROUNDS;
@@ -313,6 +321,7 @@ fn main() {
         max_batch: 16,
         batch_window: Duration::from_micros(500),
         queue_capacity: 4096,
+        shards: 1,
         ..ServeConfig::default()
     };
     let server = Server::start(ensemble, remix(), cache_config).expect("start cache server");
@@ -325,7 +334,7 @@ fn main() {
         false,
     );
     let cache_identical = identical(&cache_replies);
-    let cache_hits = server.stats().cache_hits.load(Ordering::Relaxed);
+    let cache_hits = server.stats().cache_hits;
     drop(server);
     let cache_rps = total_requests as f64 / cache_wall.as_secs_f64();
     let hit_rate = cache_hits as f64 / total_requests as f64;
@@ -339,8 +348,11 @@ fn main() {
     // disagreement onto the majority-vote fallback, which must be
     // deterministic (byte-identical to the locally computed fallback).
     let (ensemble, _) = trained_ensemble();
-    let server =
-        Server::start(ensemble, remix(), ServeConfig::default()).expect("start degraded server");
+    let degraded_config = ServeConfig {
+        shards: 1,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(ensemble, remix(), degraded_config).expect("start degraded server");
     let degraded_count = scale.requests_per_client.min(pool.len());
     let (_, degraded_replies) = run_phase(
         server.addr(),
@@ -353,7 +365,7 @@ fn main() {
     let degraded_deterministic = degraded_replies
         .iter()
         .all(|(idx, r)| r.degraded && r.verdict_json == degraded_fragments[*idx]);
-    let degraded_total = server.stats().degraded.load(Ordering::Relaxed);
+    let degraded_total = server.stats().degraded;
     drop(server);
     println!(
         "degraded: {} of {} zero-deadline requests degraded, deterministic: {}",
@@ -362,8 +374,82 @@ fn main() {
         degraded_deterministic
     );
 
+    // Phase 5: shard scaling — the batched stream against 1 engine shard vs
+    // N shards (N capped at 4: the gate asks for *measurable* scaling, not
+    // a saturation study). Interleaved rounds with summed walls, like
+    // phases 1+2, so host-speed drift cancels out of the ratio. The core
+    // budget honors REMIX_THREADS (CI pins it to the runner's core count) so
+    // the recorded `host_cores` states what the run actually had to scale on.
+    let host_cores = remix_parallel::num_threads();
+    let shard_count = host_cores.clamp(2, 4);
+    let shard_base = ServeConfig {
+        max_batch: 16,
+        batch_window: Duration::from_micros(500),
+        cache_capacity: 0,
+        queue_capacity: 4096,
+        ..ServeConfig::default()
+    };
+    let (ensemble, _) = trained_ensemble();
+    let one_server = Server::start(
+        ensemble,
+        remix(),
+        ServeConfig {
+            shards: 1,
+            ..shard_base.clone()
+        },
+    )
+    .expect("start 1-shard server");
+    let (ensemble, _) = trained_ensemble();
+    let n_server = Server::start(
+        ensemble,
+        remix(),
+        ServeConfig {
+            shards: shard_count,
+            ..shard_base
+        },
+    )
+    .expect("start n-shard server");
+    let mut one_wall = Duration::ZERO;
+    let mut n_wall = Duration::ZERO;
+    let mut shard_verdicts_identical = true;
+    for _ in 0..ROUNDS {
+        let (wall, replies) = run_phase(
+            one_server.addr(),
+            &pool,
+            scale.concurrency,
+            scale.requests_per_client,
+            long_deadline,
+            true,
+        );
+        shard_verdicts_identical &= identical(&replies);
+        one_wall += wall;
+
+        let (wall, replies) = run_phase(
+            n_server.addr(),
+            &pool,
+            scale.concurrency,
+            scale.requests_per_client,
+            long_deadline,
+            true,
+        );
+        shard_verdicts_identical &= identical(&replies);
+        n_wall += wall;
+    }
+    assert_eq!(
+        n_server.stats().shards,
+        shard_count as u64,
+        "server must actually run the configured shard count"
+    );
+    drop(one_server);
+    drop(n_server);
+    let shard_speedup = one_wall.as_secs_f64() / n_wall.as_secs_f64();
+    println!(
+        "shards:  1 shard {one_wall:?} vs {shard_count} shards {n_wall:?} on {host_cores} \
+         cores = {shard_speedup:.2}x, identical: {shard_verdicts_identical}"
+    );
+
     let record = format!(
-        "{{\n  \"benchmark\": \"bench_serve\",\n  \"scale\": \"{}\",\n  \"models\": 3,\n  \"pool_inputs\": {},\n  \"concurrency\": {},\n  \"total_requests\": {},\n  \"serial\": {{\"wall_secs\": {}, \"rps\": {}}},\n  \"batched\": {{\"wall_secs\": {}, \"rps\": {}, \"mean_batch_occupancy\": {}}},\n  \"speedup_batched_vs_serial\": {},\n  \"cache\": {{\"rps\": {}, \"hits\": {cache_hits}, \"hit_rate\": {}}},\n  \"degraded\": {{\"requests\": {}, \"degraded\": {degraded_total}}},\n  \"verdicts_identical\": {verdicts_identical},\n  \"cache_identical\": {cache_identical},\n  \"degraded_deterministic\": {degraded_deterministic}\n}}\n",
+        "{{\n  \"benchmark\": \"bench_serve\",\n  \"scale\": \"{}\",\n  \"models\": 3,\n  \"pool_inputs\": {},\n  \"concurrency\": {},\n  \"total_requests\": {},\n  \"host_cores\": {host_cores},\n  \"serial\": {{\"wall_secs\": {}, \"rps\": {}}},\n  \"batched\": {{\"wall_secs\": {}, \"rps\": {}, \"mean_batch_occupancy\": {}}},\n  \"speedup_batched_vs_serial\": {},\n  \"cache\": {{\"rps\": {}, \"hits\": {cache_hits}, \"hit_rate\": {}}},\n  \"degraded\": {{\"requests\": {}, \"degraded\": {degraded_total}}},\n  \"shard_scaling\": {{\"shards\": {shard_count}, \"one_shard_wall_secs\": {}, \"n_shard_wall_secs\": {}}},\n  \"speedup_shards_vs_one\": {},\n  \"verdicts_identical\": {verdicts_identical},\n  \"cache_identical\": {cache_identical},\n  \"degraded_deterministic\": {degraded_deterministic},\n  \"shard_verdicts_identical\": {shard_verdicts_identical}\n}}\n",
         scale.name,
         pool.len(),
         scale.concurrency,
@@ -377,6 +463,9 @@ fn main() {
         fmt_f(cache_rps),
         fmt_f(hit_rate),
         degraded_replies.len(),
+        fmt_f(one_wall.as_secs_f64()),
+        fmt_f(n_wall.as_secs_f64()),
+        fmt_f(shard_speedup),
     );
     std::fs::create_dir_all("results").expect("create results dir");
     let mut file =
@@ -396,5 +485,9 @@ fn main() {
     assert!(
         degraded_deterministic,
         "degraded fallback was not deterministic"
+    );
+    assert!(
+        shard_verdicts_identical,
+        "sharded verdicts diverged from Remix::predict"
     );
 }

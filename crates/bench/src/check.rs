@@ -200,16 +200,29 @@ pub fn check_inference(baseline: &Value, fresh: &Value, tolerance: f64) -> GateR
 /// must keep delivering the throughput gain it was built for.
 pub const SERVE_MIN_SPEEDUP: f64 = 1.3;
 
-/// Gates `bench_serve.json`: served verdicts (plain, cached, and degraded)
-/// must keep their bitwise contracts, and the micro-batched engine must keep
-/// its within-run throughput gain over the serial (one-at-a-time) engine —
-/// both relative to the baseline and above the absolute
-/// [`SERVE_MIN_SPEEDUP`] floor.
+/// Minimum acceptable 1-shard→N-shard serving speedup, gated absolutely —
+/// but only when the fresh record was measured on a multi-core host
+/// (`host_cores >= 2`). A single-core machine cannot run engine shards in
+/// parallel, so its honest ratio is ~1.0 and the floor would only punish the
+/// hardware; the relative gate against the baseline still applies there.
+pub const SHARD_MIN_SCALING: f64 = 1.25;
+
+/// Gates `bench_serve.json`: served verdicts (plain, cached, degraded, and
+/// sharded) must keep their bitwise contracts; the micro-batched engine must
+/// keep its within-run throughput gain over the serial (one-at-a-time)
+/// engine — both relative to the baseline and above the absolute
+/// [`SERVE_MIN_SPEEDUP`] floor; and the sharded backend must keep its
+/// 1-shard→N-shard scaling, with the absolute [`SHARD_MIN_SCALING`] floor
+/// enforced on multi-core hosts.
 pub fn check_serve(baseline: &Value, fresh: &Value, tolerance: f64) -> GateReport {
     let mut report = GateReport::default();
     report.gate_flag("serve/verdicts", get_bool(fresh, "verdicts_identical"));
     report.gate_flag("serve/cache", get_bool(fresh, "cache_identical"));
     report.gate_flag("serve/degraded", get_bool(fresh, "degraded_deterministic"));
+    report.gate_flag(
+        "serve/shard_verdicts",
+        get_bool(fresh, "shard_verdicts_identical"),
+    );
     match (
         get_num(baseline, "speedup_batched_vs_serial"),
         get_num(fresh, "speedup_batched_vs_serial"),
@@ -228,6 +241,31 @@ pub fn check_serve(baseline: &Value, fresh: &Value, tolerance: f64) -> GateRepor
         }
         _ => report.fail("FAIL serve/micro_batching: speedup field missing".into()),
     }
+    match (
+        get_num(baseline, "speedup_shards_vs_one"),
+        get_num(fresh, "speedup_shards_vs_one"),
+    ) {
+        (Some(b), Some(f)) => {
+            report.gate_speedup("serve/shard_scaling", b, f, tolerance);
+            let cores = get_num(fresh, "host_cores").unwrap_or(1.0);
+            if cores < 2.0 {
+                report.ok(format!(
+                    "ok   serve/shard_min_scaling: skipped ({cores:.0}-core host cannot scale)"
+                ));
+            } else if f >= SHARD_MIN_SCALING {
+                report.ok(format!(
+                    "ok   serve/shard_min_scaling: {f:.3} >= absolute floor {SHARD_MIN_SCALING} \
+                     ({cores:.0} cores)"
+                ));
+            } else {
+                report.fail(format!(
+                    "FAIL serve/shard_min_scaling: {f:.3} below absolute floor \
+                     {SHARD_MIN_SCALING} on a {cores:.0}-core host"
+                ));
+            }
+        }
+        _ => report.fail("FAIL serve/shard_scaling: speedup field missing".into()),
+    }
     report
 }
 
@@ -241,6 +279,7 @@ pub fn scale_speedups(value: &mut Value, factor: f64) {
                 if key == "speedup"
                     || key == "speedup_batched_vs_per_sample"
                     || key == "speedup_batched_vs_serial"
+                    || key == "speedup_shards_vs_one"
                 {
                     if let Some(n) = num(v) {
                         *v = Value::Float(n * factor);
@@ -270,6 +309,7 @@ pub fn flip_verdict_flags(value: &mut Value) {
                     || key == "verdicts_identical"
                     || key == "cache_identical"
                     || key == "degraded_deterministic"
+                    || key == "shard_verdicts_identical"
                 {
                     *v = Value::Bool(false);
                 } else {
@@ -316,7 +356,9 @@ mod tests {
     fn serve_record() -> Value {
         serde_json::from_str(
             r#"{"speedup_batched_vs_serial": 1.6, "verdicts_identical": true,
-                "cache_identical": true, "degraded_deterministic": true}"#,
+                "cache_identical": true, "degraded_deterministic": true,
+                "speedup_shards_vs_one": 1.8, "shard_verdicts_identical": true,
+                "host_cores": 4}"#,
         )
         .expect("valid test record")
     }
@@ -335,8 +377,9 @@ mod tests {
         let base = serve_record();
         let report = check_serve(&base, &base, DEFAULT_TOLERANCE);
         assert!(report.passed(), "failures: {:?}", report.failures);
-        // 3 flags + relative speedup + absolute floor
-        assert_eq!(report.checks.len(), 5);
+        // 4 flags + (relative speedup + absolute floor) for both the
+        // micro-batching ratio and the shard-scaling ratio
+        assert_eq!(report.checks.len(), 8);
     }
 
     #[test]
@@ -396,7 +439,42 @@ mod tests {
         let mut fresh = serve_record();
         flip_verdict_flags(&mut fresh);
         let report = check_serve(&base, &fresh, DEFAULT_TOLERANCE);
-        assert_eq!(report.failures.len(), 3); // all three serve flags trip
+        assert_eq!(report.failures.len(), 4); // all four serve flags trip
+    }
+
+    #[test]
+    fn shard_scaling_floor_applies_only_on_multicore_hosts() {
+        // A single-core host honestly scales at ~1.0; the absolute floor is
+        // skipped (and recorded as skipped), the relative gate still runs.
+        let single: Value = serde_json::from_str(
+            r#"{"speedup_batched_vs_serial": 1.6, "verdicts_identical": true,
+                "cache_identical": true, "degraded_deterministic": true,
+                "speedup_shards_vs_one": 1.0, "shard_verdicts_identical": true,
+                "host_cores": 1}"#,
+        )
+        .unwrap();
+        let report = check_serve(&single, &single, DEFAULT_TOLERANCE);
+        assert!(report.passed(), "failures: {:?}", report.failures);
+        assert!(report
+            .checks
+            .iter()
+            .any(|c| c.contains("shard_min_scaling") && c.contains("skipped")));
+
+        // The same non-scaling record from a multi-core host must trip the
+        // floor even when the baseline is equally bad (relative gate passes).
+        let multi: Value = serde_json::from_str(
+            r#"{"speedup_batched_vs_serial": 1.6, "verdicts_identical": true,
+                "cache_identical": true, "degraded_deterministic": true,
+                "speedup_shards_vs_one": 1.0, "shard_verdicts_identical": true,
+                "host_cores": 4}"#,
+        )
+        .unwrap();
+        let report = check_serve(&multi, &multi, DEFAULT_TOLERANCE);
+        assert!(!report.passed());
+        assert!(report
+            .failures
+            .iter()
+            .any(|f| f.contains("shard_min_scaling")));
     }
 
     #[test]

@@ -246,10 +246,12 @@ pub fn serve(args: &Args) -> Result<(), String> {
         default_deadline: Duration::from_millis(args.get_num("deadline-ms", 50u64)?),
         cache_capacity: args.get_num("cache-cap", defaults.cache_capacity)?,
         cache_shards: defaults.cache_shards,
+        shards: args.get_num("shards", 0usize)?,
     };
-    // The engine thread owns the whole pipeline, so per-verdict stage
-    // parallelism defaults to sequential; raise --threads to fan the XAI
-    // stage's models out (verdicts are bit-identical either way).
+    // Each engine shard owns a whole pipeline, so per-verdict stage
+    // parallelism defaults to sequential — with --shards 0 the shards
+    // already cover every core. Raise --threads to fan one verdict's XAI
+    // models out instead (verdicts are bit-identical either way).
     let remix = Remix::builder()
         .threads(args.get_num("threads", 1usize)?)
         .seed(args.get_num("seed", 0u64)?)

@@ -53,7 +53,10 @@ USAGE:
       --queue-cap       queued requests before shedding 429   [256]
       --deadline-ms     default per-request deadline; past it a disagreement
                         degrades to plain majority vote       [50]
-      --cache-cap       verdict-cache entries; 0 disables     [4096]
+      --cache-cap       verdict-cache entries, split across the engine
+                        shards; 0 disables                    [4096]
+      --shards          engine shards, each owning an ensemble replica,
+                        queue, and cache slice; 0 = all cores [0]
       --threads         XAI-stage threads per verdict         [1]
       --seed            ReMIX XAI seed                        [0]
       Runs until killed; `--trace` output is never written for this

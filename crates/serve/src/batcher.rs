@@ -1,37 +1,43 @@
 //! The dynamic micro-batcher: a bounded request queue with a time-or-size
 //! dispatch trigger.
 //!
-//! Requests enqueue from connection threads; a single engine thread pops
-//! *batches*. A batch dispatches as soon as `max_batch` requests are waiting
-//! (**size trigger**), or once `window` has elapsed since the batch's first
-//! request arrived (**time trigger**) — so an idle service answers a lone
-//! request with at most `window` of added latency, while a busy one
-//! coalesces whatever arrived. The queue is bounded: when `capacity`
-//! requests are already waiting, [`BatchQueue::push`] refuses and the server
-//! sheds the request with a 429 instead of letting latency grow without
-//! limit.
+//! Requests enqueue from the front door; each engine shard pops *batches*
+//! from its own queue. A batch dispatches as soon as `max_batch` requests
+//! are waiting (**size trigger**), or once `window` has elapsed since the
+//! oldest waiting request arrived (**time trigger**). The window is anchored
+//! at *arrival*, not at the moment the engine starts forming the batch: a
+//! request that already waited out the window while the engine was busy with
+//! the previous batch dispatches immediately instead of paying the window a
+//! second time. So an idle service answers a lone request with at most
+//! `window` of added latency, while a busy one coalesces whatever arrived.
+//! The queue is bounded: when `capacity` requests are already waiting,
+//! [`BatchQueue::push`] refuses and the server sheds the request with a 429
+//! instead of letting latency grow without limit.
 
 use remix_tensor::Tensor;
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-/// One request waiting for the engine.
+/// One request waiting for an engine shard.
 pub(crate) struct PendingRequest {
     /// The validated `[C, H, W]` input.
     pub image: Tensor,
-    /// Content hash of the input (cache insert key).
+    /// Content hash of the input (cache insert key and shard route).
     pub key: u64,
     /// Absolute deadline; a disagreement still unresolved when the engine
     /// reaches the XAI stage after this instant degrades to majority vote.
     pub deadline: Instant,
     /// Whether the request opted out of the verdict cache.
     pub no_cache: bool,
+    /// When the request entered the queue (stamped by [`BatchQueue::push`]);
+    /// anchors the batch window to the oldest waiting request.
+    pub arrived: Instant,
     /// Where the engine delivers the reply.
-    pub reply: ReplySlot,
+    pub reply: Responder,
 }
 
-/// The engine's verdict for one request, delivered through a [`ReplySlot`].
+/// The engine's verdict for one request, delivered through a [`Responder`].
 #[derive(Clone)]
 pub(crate) struct EngineReply {
     /// The verdict fragment (see `protocol`): rendered once by the engine,
@@ -41,6 +47,37 @@ pub(crate) struct EngineReply {
     pub degraded: bool,
     /// Whether the unanimous fast path resolved it (no XAI run).
     pub unanimous: bool,
+}
+
+/// How a reply travels back to the waiting connection: a blocking rendezvous
+/// (portable fallback front door, unit tests) or the readiness loop's
+/// completion queue (the reply is parked there and the reactor is woken to
+/// write it out).
+pub(crate) enum Responder {
+    /// Blocking rendezvous — the connection thread sleeps in
+    /// [`ReplySlot::wait`].
+    Slot(ReplySlot),
+    /// Nonblocking completion — `token` identifies the connection
+    /// (slab index + generation) inside the reactor.
+    #[cfg(target_os = "linux")]
+    Reactor {
+        /// Connection token the reactor resolves (stale generations are
+        /// dropped when the peer hung up mid-flight).
+        token: u64,
+        /// The reactor's completion queue + waker.
+        completions: Arc<crate::reactor::Completions>,
+    },
+}
+
+impl Responder {
+    /// Delivers the engine's reply to whoever is waiting.
+    pub(crate) fn respond(&self, reply: EngineReply) {
+        match self {
+            Responder::Slot(slot) => slot.fulfill(reply),
+            #[cfg(target_os = "linux")]
+            Responder::Reactor { token, completions } => completions.push(*token, reply),
+        }
+    }
 }
 
 /// A one-shot rendezvous for a single reply.
@@ -76,7 +113,7 @@ struct QueueState {
     closed: bool,
 }
 
-/// The bounded queue between connection threads and the engine thread.
+/// The bounded queue between the front door and one engine shard.
 pub(crate) struct BatchQueue {
     state: Mutex<QueueState>,
     arrived: Condvar,
@@ -109,7 +146,7 @@ impl BatchQueue {
         }
     }
 
-    pub(crate) fn push(&self, request: PendingRequest) -> Result<(), PushError> {
+    pub(crate) fn push(&self, mut request: PendingRequest) -> Result<(), PushError> {
         let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
         if state.closed {
             return Err(PushError::Closed);
@@ -117,6 +154,9 @@ impl BatchQueue {
         if state.waiting.len() >= self.capacity {
             return Err(PushError::Shed);
         }
+        // Stamp arrival under the lock so queue order is arrival order and
+        // the front of the queue is always the oldest waiter.
+        request.arrived = Instant::now();
         state.waiting.push_back(request);
         // Wake the engine: it may be sleeping on an empty queue or waiting
         // out the batch window one request short of max_batch.
@@ -125,10 +165,13 @@ impl BatchQueue {
     }
 
     /// Pops the next micro-batch (engine thread only). Blocks while the
-    /// queue is empty; after the first request arrives, waits up to the
-    /// batch window (or until `max_batch` are waiting), then drains up to
-    /// `max_batch` requests. Returns `None` once the queue is closed *and*
-    /// drained, so the engine finishes outstanding work before exiting.
+    /// queue is empty; once requests are waiting, waits until `max_batch`
+    /// are waiting or until `window` has elapsed *since the oldest waiting
+    /// request arrived* (not since this call started — a request that
+    /// already aged past the window behind a long batch dispatches
+    /// immediately), then drains up to `max_batch` requests. Returns `None`
+    /// once the queue is closed *and* drained, so the engine finishes
+    /// outstanding work before exiting.
     pub(crate) fn next_batch(&self) -> Option<Vec<PendingRequest>> {
         let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
         loop {
@@ -141,7 +184,10 @@ impl BatchQueue {
             state = self.arrived.wait(state).unwrap_or_else(|e| e.into_inner());
         }
         if !self.window.is_zero() {
-            let batch_deadline = Instant::now() + self.window;
+            // Anchor at the oldest waiter. The front entry cannot change
+            // while we hold or re-take this lock: pushes append at the back
+            // and only this (per-shard) engine thread drains.
+            let batch_deadline = state.waiting.front().expect("nonempty").arrived + self.window;
             while state.waiting.len() < self.max_batch && !state.closed {
                 let left = batch_deadline.saturating_duration_since(Instant::now());
                 if left.is_zero() {
@@ -186,7 +232,8 @@ mod tests {
             key: 0,
             deadline: Instant::now() + Duration::from_secs(1),
             no_cache: false,
-            reply: ReplySlot::default(),
+            arrived: Instant::now(),
+            reply: Responder::Slot(ReplySlot::default()),
         }
     }
 
@@ -212,6 +259,30 @@ mod tests {
         queue.push(request()).unwrap();
         let batch = queue.next_batch().unwrap();
         assert_eq!(batch.len(), 1, "lone request dispatches after the window");
+    }
+
+    #[test]
+    fn window_is_anchored_at_first_arrival_not_at_pop_time() {
+        // Regression: the old engine computed the window deadline from
+        // `Instant::now()` at pop time, so a request that had already waited
+        // in the queue (behind a long batch, say) paid the full window a
+        // second time. With the arrival anchor, a request older than the
+        // window dispatches immediately.
+        let window = Duration::from_millis(80);
+        let queue = BatchQueue::new(16, 8, window);
+        queue.push(request()).unwrap();
+        thread::sleep(window + Duration::from_millis(20));
+        let popped_at = Instant::now();
+        let batch = queue.next_batch().unwrap();
+        assert_eq!(batch.len(), 1);
+        assert!(
+            popped_at.elapsed() < window,
+            "an already-aged request must not wait the window again (waited {:?})",
+            popped_at.elapsed()
+        );
+        // And the stamp is the *push* instant: the batch's request has
+        // genuinely aged past the window by the time it dispatches.
+        assert!(batch[0].arrived.elapsed() >= window);
     }
 
     #[test]

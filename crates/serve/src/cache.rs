@@ -12,6 +12,14 @@
 //! Sharding bounds lock contention: a key touches exactly one shard mutex.
 //! Eviction is per-shard LRU via recency stamps and a lazily-pruned queue —
 //! amortized O(1) per operation.
+//!
+//! The server instantiates one `VerdictCache` per *engine shard* (capacity
+//! split evenly), on top of this cache-internal sharding. Requests route to
+//! engine shards by a multiplicative mix of the same content key, chosen to
+//! be decorrelated from the `(key >> 32) % shards` split used here, so each
+//! engine shard's slice behaves as a private cache (identical inputs always
+//! land on the same engine shard — no cross-shard invalidation) while its
+//! internal shards stay balanced.
 
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, VecDeque};

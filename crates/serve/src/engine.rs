@@ -1,5 +1,6 @@
-//! The inference engine: one thread that owns the ensemble and turns
-//! micro-batches of requests into verdicts.
+//! The inference engine: each shard runs one of these on its own thread,
+//! owning an ensemble replica and turning micro-batches of requests into
+//! verdicts.
 //!
 //! Per batch, the engine runs the same five-stage ReMIX pipeline as
 //! [`Remix::predict`], but stage by stage *across requests*:
@@ -159,7 +160,7 @@ impl Engine {
             self.cache
                 .insert(request.key, request.image.data(), Arc::clone(&fragment));
         }
-        request.reply.fulfill(EngineReply {
+        request.reply.respond(EngineReply {
             fragment,
             degraded,
             unanimous,

@@ -1,10 +1,18 @@
 //! A minimal HTTP/1.1 subset — just enough for a JSON prediction API.
 //!
-//! Supports the request shapes the service and its load generator produce:
-//! a request line, `Name: value` headers, an optional `Content-Length` body,
-//! and persistent (keep-alive) connections. Chunked transfer encoding,
-//! multi-line headers, and expect/continue are out of scope; requests using
-//! them are rejected rather than misparsed.
+//! The core is an *incremental* parser ([`try_parse_request`]) that works on
+//! a plain byte buffer: the nonblocking readiness loop feeds it straight
+//! from per-connection buffers, and the blocking [`read_request`] wrapper
+//! (unit tests, portable fallback front door) drives the same code over a
+//! `BufRead`, so both transports share one set of framing rules.
+//!
+//! Supported request shapes: a request line, `Name: value` headers, an
+//! optional `Content-Length` body, and persistent (keep-alive) connections.
+//! Chunked transfer encoding, multi-line headers, and expect/continue are
+//! out of scope; requests using them are rejected rather than misparsed.
+//! Repeated `Content-Length` headers are rejected outright — the classic
+//! request-smuggling vector even in a toy subset — and the line-length cap
+//! applies whether or not the terminator has arrived yet.
 
 use std::io::{self, BufRead, Write};
 
@@ -29,17 +37,22 @@ pub struct HttpRequest {
     pub close: bool,
 }
 
-/// Reads one request from a connection.
+/// Attempts to parse one complete request from the front of `buf`.
 ///
-/// Returns `Ok(None)` on a clean end-of-stream before any request byte — the
-/// peer closed an idle keep-alive connection, which is not an error.
+/// Returns `Ok(None)` when the buffer does not yet hold a complete request
+/// (more bytes are needed), or `Ok(Some((request, consumed)))` where
+/// `consumed` is the exact number of bytes the request occupied — the caller
+/// drops exactly that prefix, leaving any pipelined follow-up intact.
 ///
 /// # Errors
 ///
 /// Returns an error for malformed request lines, oversized lines/bodies,
-/// unsupported framing (`Transfer-Encoding`), or I/O failures mid-request.
-pub fn read_request(reader: &mut impl BufRead) -> io::Result<Option<HttpRequest>> {
-    let line = match read_line(reader)? {
+/// duplicate `Content-Length` headers, or unsupported framing
+/// (`Transfer-Encoding`). Errors are permanent: feeding more bytes cannot
+/// make the request valid, so the caller should answer 400/413 and close.
+pub fn try_parse_request(buf: &[u8]) -> io::Result<Option<(HttpRequest, usize)>> {
+    let mut pos = 0usize;
+    let line = match next_line(buf, &mut pos)? {
         None => return Ok(None),
         Some(line) => line,
     };
@@ -48,31 +61,46 @@ pub fn read_request(reader: &mut impl BufRead) -> io::Result<Option<HttpRequest>
         (Some(m), Some(p), Some(_version)) => (m.to_string(), p.to_string()),
         _ => return Err(bad_request("malformed request line")),
     };
-    let mut content_length = 0usize;
+    let mut content_length: Option<usize> = None;
     let mut close = false;
     for _ in 0..MAX_HEADERS {
-        let header = read_line(reader)?.ok_or_else(|| bad_request("eof in headers"))?;
+        let header = match next_line(buf, &mut pos)? {
+            None => return Ok(None),
+            Some(header) => header,
+        };
         if header.is_empty() {
-            let mut body = vec![0u8; content_length];
-            reader.read_exact(&mut body)?;
-            return Ok(Some(HttpRequest {
-                method,
-                path,
-                body,
-                close,
-            }));
+            let body_len = content_length.unwrap_or(0);
+            if buf.len() - pos < body_len {
+                return Ok(None);
+            }
+            let body = buf[pos..pos + body_len].to_vec();
+            return Ok(Some((
+                HttpRequest {
+                    method,
+                    path,
+                    body,
+                    close,
+                },
+                pos + body_len,
+            )));
         }
         let (name, value) = header
             .split_once(':')
             .ok_or_else(|| bad_request("malformed header"))?;
         let value = value.trim();
         if name.eq_ignore_ascii_case("content-length") {
-            content_length = value
+            // A repeated Content-Length (identical or conflicting) is how
+            // request smuggling starts; reject instead of last-writer-wins.
+            if content_length.is_some() {
+                return Err(bad_request("duplicate content-length"));
+            }
+            let length = value
                 .parse::<usize>()
                 .map_err(|_| bad_request("bad content-length"))?;
-            if content_length > MAX_BODY {
+            if length > MAX_BODY {
                 return Err(bad_request("body too large"));
             }
+            content_length = Some(length);
         } else if name.eq_ignore_ascii_case("transfer-encoding") {
             return Err(bad_request("transfer-encoding not supported"));
         } else if name.eq_ignore_ascii_case("connection") {
@@ -82,53 +110,121 @@ pub fn read_request(reader: &mut impl BufRead) -> io::Result<Option<HttpRequest>
     Err(bad_request("too many headers"))
 }
 
-/// Writes one `application/json` response with keep-alive framing.
+/// Reads one request from a blocking connection (a thin loop over
+/// [`try_parse_request`]).
+///
+/// Returns `Ok(None)` on a clean end-of-stream before any request byte — the
+/// peer closed an idle keep-alive connection, which is not an error.
 ///
 /// # Errors
 ///
-/// Propagates stream write failures.
-pub fn write_response(writer: &mut impl Write, status: u16, body: &str) -> io::Result<()> {
+/// Returns an error for malformed/oversized requests (see
+/// [`try_parse_request`]) or I/O failures mid-request.
+pub fn read_request(reader: &mut impl BufRead) -> io::Result<Option<HttpRequest>> {
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let prev = buf.len();
+        let available = reader.fill_buf()?;
+        if available.is_empty() {
+            if prev == 0 {
+                return Ok(None);
+            }
+            return Err(bad_request("eof mid-request"));
+        }
+        let chunk = available.len();
+        buf.extend_from_slice(available);
+        match try_parse_request(&buf) {
+            Ok(Some((request, consumed))) => {
+                // The request was incomplete at `prev` bytes, so its end lies
+                // inside this chunk: consume only the part it used, leaving
+                // pipelined follow-ups buffered in the reader.
+                reader.consume(consumed - prev);
+                return Ok(Some(request));
+            }
+            Ok(None) => reader.consume(chunk),
+            Err(e) => {
+                reader.consume(chunk);
+                return Err(e);
+            }
+        }
+    }
+}
+
+/// Renders one `application/json` response. `close` echoes the client's
+/// `Connection: close` (the server drops the socket right after writing);
+/// otherwise the response advertises `keep-alive`.
+pub fn render_response(status: u16, body: &str, close: bool) -> Vec<u8> {
     let reason = match status {
         200 => "OK",
         400 => "Bad Request",
         404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
         429 => "Too Many Requests",
+        503 => "Service Unavailable",
         _ => "Internal Server Error",
     };
-    write!(
-        writer,
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n{body}",
+    let connection = if close { "close" } else { "keep-alive" };
+    format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n{body}",
         body.len()
-    )?;
+    )
+    .into_bytes()
+}
+
+/// Writes one rendered response (see [`render_response`]) and flushes.
+///
+/// # Errors
+///
+/// Propagates stream write failures.
+pub fn write_response(
+    writer: &mut impl Write,
+    status: u16,
+    body: &str,
+    close: bool,
+) -> io::Result<()> {
+    writer.write_all(&render_response(status, body, close))?;
     writer.flush()
 }
 
-/// Reads one CRLF- (or LF-) terminated line without the terminator;
-/// `Ok(None)` on immediate end-of-stream.
-fn read_line(reader: &mut impl BufRead) -> io::Result<Option<String>> {
-    let mut buf = Vec::new();
-    loop {
-        let available = reader.fill_buf()?;
-        if available.is_empty() {
-            if buf.is_empty() {
-                return Ok(None);
+/// Maps a request-parse error to its response status: an oversized body is
+/// `413 Payload Too Large`, every other malformed request is `400`.
+pub fn error_status(e: &io::Error) -> u16 {
+    if e.to_string() == "body too large" {
+        413
+    } else {
+        400
+    }
+}
+
+/// Scans one CRLF- (or LF-) terminated line starting at `*pos`, advancing
+/// past the terminator; `Ok(None)` when the terminator has not arrived yet.
+/// The [`MAX_LINE`] cap applies on *both* paths: a terminated line that is
+/// too long and an unterminated prefix that already exceeds the cap are both
+/// rejected, so a single large buffered chunk cannot smuggle an over-long
+/// line past the limit.
+fn next_line(buf: &[u8], pos: &mut usize) -> io::Result<Option<String>> {
+    let rest = &buf[*pos..];
+    match rest.iter().position(|&b| b == b'\n') {
+        Some(newline) => {
+            let mut line = &rest[..newline];
+            if let [head @ .., b'\r'] = line {
+                line = head;
             }
-            return Err(bad_request("eof mid-line"));
-        }
-        if let Some(newline) = available.iter().position(|&b| b == b'\n') {
-            buf.extend_from_slice(&available[..newline]);
-            reader.consume(newline + 1);
-            if buf.last() == Some(&b'\r') {
-                buf.pop();
+            if line.len() > MAX_LINE {
+                return Err(bad_request("line too long"));
             }
-            let line = String::from_utf8(buf).map_err(|_| bad_request("non-utf8 header"))?;
-            return Ok(Some(line));
+            let line = std::str::from_utf8(line)
+                .map_err(|_| bad_request("non-utf8 header"))?
+                .to_string();
+            *pos += newline + 1;
+            Ok(Some(line))
         }
-        let len = available.len();
-        buf.extend_from_slice(available);
-        reader.consume(len);
-        if buf.len() > MAX_LINE {
-            return Err(bad_request("line too long"));
+        None => {
+            if rest.len() > MAX_LINE {
+                return Err(bad_request("line too long"));
+            }
+            Ok(None)
         }
     }
 }
@@ -163,6 +259,28 @@ mod tests {
     }
 
     #[test]
+    fn incremental_parser_reports_exact_consumption() {
+        let wire = b"POST /p HTTP/1.1\r\nContent-Length: 3\r\n\r\nabcGET /x HTTP/1.1\r\n\r\n";
+        // Every strict prefix that ends before the body completes is
+        // incomplete, never an error.
+        let first_len = wire.len() - b"GET /x HTTP/1.1\r\n\r\n".len();
+        for cut in 0..first_len {
+            assert!(
+                try_parse_request(&wire[..cut]).unwrap().is_none(),
+                "prefix of {cut} bytes should be incomplete"
+            );
+        }
+        let (request, consumed) = try_parse_request(wire).unwrap().unwrap();
+        assert_eq!(request.body, b"abc");
+        assert_eq!(
+            consumed, first_len,
+            "must not consume the pipelined request"
+        );
+        let (second, _) = try_parse_request(&wire[consumed..]).unwrap().unwrap();
+        assert_eq!(second.path, "/x");
+    }
+
+    #[test]
     fn clean_eof_is_none_but_truncation_is_an_error() {
         assert!(parse("").unwrap().is_none());
         assert!(parse("POST /p HTTP/1.1\r\nContent-Length: 9\r\n\r\nabc").is_err());
@@ -177,6 +295,41 @@ mod tests {
     }
 
     #[test]
+    fn overlong_line_is_rejected_even_when_terminated_in_one_chunk() {
+        // Regression: the old reader only enforced MAX_LINE on the
+        // no-newline-yet path, so a line whose terminator landed inside the
+        // same buffered chunk was accepted at any length. Build a single
+        // chunk holding a complete over-long request line.
+        let wire = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_LINE + 16));
+        // A reader whose buffer holds the whole request, so the terminator
+        // is inside the very first chunk — the exact bypass shape.
+        let mut reader = BufReader::with_capacity(wire.len(), wire.as_bytes());
+        let err = read_request(&mut reader).unwrap_err();
+        assert_eq!(err.to_string(), "line too long");
+        // The incremental core rejects it too, terminator present or not.
+        assert!(try_parse_request(wire.as_bytes()).is_err());
+        assert!(try_parse_request(&wire.as_bytes()[..MAX_LINE + 8]).is_err());
+        // At the cap exactly is still fine.
+        let ok = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_LINE - 32));
+        assert!(parse(&ok).unwrap().is_some());
+    }
+
+    #[test]
+    fn duplicate_content_length_is_rejected() {
+        // Identical repeats and conflicting repeats both reject: a proxy and
+        // this server must never frame the same stream differently.
+        let same = "POST /p HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 4\r\n\r\nabcd";
+        let err = parse(same).unwrap_err();
+        assert_eq!(err.to_string(), "duplicate content-length");
+        let conflicting = "POST /p HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 2\r\n\r\nabcd";
+        assert!(parse(conflicting).is_err());
+        // A single Content-Length still parses.
+        assert!(parse("POST /p HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd")
+            .unwrap()
+            .is_some());
+    }
+
+    #[test]
     fn connection_close_header_is_surfaced() {
         let req = parse("GET /stats HTTP/1.1\r\nConnection: close\r\n\r\n")
             .unwrap()
@@ -187,10 +340,45 @@ mod tests {
     #[test]
     fn response_is_fully_framed() {
         let mut out = Vec::new();
-        write_response(&mut out, 429, "{\"error\":\"overloaded\"}").unwrap();
+        write_response(&mut out, 429, "{\"error\":\"overloaded\"}", false).unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
         assert!(text.contains("Content-Length: 22\r\n"));
         assert!(text.ends_with("\r\n\r\n{\"error\":\"overloaded\"}"));
+    }
+
+    #[test]
+    fn connection_close_is_echoed_not_advertised_as_keepalive() {
+        // Regression: the old writer unconditionally sent
+        // `Connection: keep-alive`, even when about to drop the socket.
+        let keep = String::from_utf8(render_response(200, "{}", false)).unwrap();
+        assert!(keep.contains("Connection: keep-alive\r\n"));
+        assert!(!keep.contains("Connection: close"));
+        let close = String::from_utf8(render_response(200, "{}", true)).unwrap();
+        assert!(close.contains("Connection: close\r\n"));
+        assert!(!close.contains("keep-alive"));
+    }
+
+    #[test]
+    fn reason_table_covers_the_statuses_the_server_sends() {
+        for (status, reason) in [
+            (405u16, "Method Not Allowed"),
+            (413, "Payload Too Large"),
+            (503, "Service Unavailable"),
+        ] {
+            let text = String::from_utf8(render_response(status, "{}", true)).unwrap();
+            assert!(
+                text.starts_with(&format!("HTTP/1.1 {status} {reason}\r\n")),
+                "{status} must not collapse into Internal Server Error: {text}"
+            );
+        }
+    }
+
+    #[test]
+    fn parse_errors_map_to_the_right_status() {
+        let too_big = parse("POST /p HTTP/1.1\r\nContent-Length: 99999999999\r\n\r\n").unwrap_err();
+        assert_eq!(error_status(&too_big), 413);
+        let malformed = parse("GARBAGE\r\n\r\n").unwrap_err();
+        assert_eq!(error_status(&malformed), 400);
     }
 }

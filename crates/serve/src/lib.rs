@@ -1,8 +1,13 @@
 //! `remix-serve` — a deadline-aware inference service for trained ReMIX
 //! ensembles.
 //!
-//! A zero-dependency TCP/HTTP-lite server (see `remix serve`) built from
-//! four pieces, each mapped to a resilience lever (DESIGN.md §6h):
+//! A zero-dependency TCP/HTTP-lite server (see `remix serve`): on Linux the
+//! front door is a nonblocking epoll readiness loop (raw-syscall shims, no
+//! `libc` crate) so keep-alive connections cost no threads, and the backend
+//! is sharded into N engine workers (default = available parallelism), each
+//! owning a [`TrainedEnsemble`](remix_ensemble::TrainedEnsemble) replica and
+//! a shard-local slice of the verdict cache, with requests routed by
+//! cache-key hash. The resilience levers (DESIGN.md §6h):
 //!
 //! * **Dynamic micro-batching** ([`ServeConfig::max_batch`],
 //!   [`ServeConfig::batch_window`]) — concurrently arriving requests
@@ -45,9 +50,13 @@ pub mod client;
 mod engine;
 pub mod http;
 pub mod protocol;
+#[cfg(target_os = "linux")]
+mod reactor;
 mod server;
+#[cfg(target_os = "linux")]
+mod sys;
 
 pub use cache::{content_key, VerdictCache};
 pub use client::{Client, ClientReply};
 pub use protocol::{degraded_fragment, verdict_fragment, PredictRequest};
-pub use server::{ServeConfig, ServeStats, Server};
+pub use server::{ServeConfig, Server, StatsSnapshot};

@@ -1,21 +1,32 @@
-//! The TCP front end: accept loop, connection threads, routing, shedding.
+//! The serving tier: configuration, the sharded engine backend, stats
+//! aggregation, and the portable blocking front door.
 //!
-//! One thread per connection parses requests; `/predict` bodies go through
-//! the verdict cache, then the bounded [`crate::batcher::BatchQueue`], and
-//! block on a reply slot until the engine answers. A full queue is answered
-//! with `429` immediately (load shedding), never queued. `/healthz` and
-//! `/stats` are served inline from the connection thread.
+//! The backend is **sharded**: N engine workers (default = available
+//! parallelism), each owning a [`TrainedEnsemble`] replica, its own bounded
+//! [`BatchQueue`], its own slice of the verdict cache, and its own
+//! [`ServeStats`] atomics. A request is routed to the shard chosen by its
+//! cache-key hash ([`Shared::shard_of`]), so every cache slice is touched by
+//! exactly one engine thread plus the front door — no cross-shard cache or
+//! queue contention — and identical inputs always land on the same shard
+//! (the shed test and the cache both rely on that). `/stats` sums the
+//! per-shard atomics into one [`StatsSnapshot`] at read time.
+//!
+//! The front door is a nonblocking epoll readiness loop on Linux (see
+//! [`crate::reactor`]); keep-alive connections cost a slab entry, not a
+//! thread. Other platforms fall back to the thread-per-connection loop in
+//! this module, which drives the exact same [`route`]/[`enqueue`] path, so
+//! the two front doors cannot drift apart behaviorally.
 
-use crate::batcher::{BatchQueue, PendingRequest, PushError, ReplySlot};
+use crate::batcher::{BatchQueue, EngineReply, PendingRequest, PushError, ReplySlot, Responder};
 use crate::cache::{content_key, VerdictCache};
 use crate::engine::Engine;
-use crate::http::{read_request, write_response, HttpRequest};
+use crate::http::{error_status, read_request, write_response, HttpRequest};
 use crate::protocol;
 use remix_core::Remix;
 use remix_ensemble::TrainedEnsemble;
 use remix_tensor::Tensor;
 use remix_trace::Counter;
-use std::io::{self, BufReader};
+use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -33,18 +44,24 @@ pub struct ServeConfig {
     /// XAI sweep width — so one micro-batch fills whole gradient sweeps.
     pub max_batch: usize,
     /// How long a forming batch waits for company before dispatching
-    /// (the *time* half of the time-or-size trigger). Zero dispatches
-    /// every request alone — the serial baseline.
+    /// (the *time* half of the time-or-size trigger), measured from the
+    /// oldest waiting request's arrival. Zero dispatches every request
+    /// alone — the serial baseline.
     pub batch_window: Duration,
-    /// Bound on queued requests; beyond it, requests are shed with `429`.
+    /// Bound on queued requests *per shard*; beyond it, requests are shed
+    /// with `429`.
     pub queue_capacity: usize,
     /// Default per-request deadline when the request doesn't carry
     /// `deadline_ms`. After it, a disagreement degrades to majority vote.
     pub default_deadline: Duration,
-    /// Verdict-cache capacity in entries (`0` disables the cache).
+    /// Verdict-cache capacity in entries, split across the engine shards
+    /// (`0` disables the cache).
     pub cache_capacity: usize,
-    /// Verdict-cache shard count.
+    /// Internal shard count of each engine shard's verdict-cache slice.
     pub cache_shards: usize,
+    /// Engine shards — workers that each own an ensemble replica, a queue,
+    /// and a cache slice. `0` uses [`thread::available_parallelism`].
+    pub shards: usize,
 }
 
 impl Default for ServeConfig {
@@ -57,12 +74,14 @@ impl Default for ServeConfig {
             default_deadline: Duration::from_millis(50),
             cache_capacity: 4096,
             cache_shards: 8,
+            shards: 0,
         }
     }
 }
 
-/// Always-on request accounting (independent of `remix-trace`, which is
-/// opt-in; `/stats` must work on an untraced server).
+/// Always-on request accounting for one engine shard (independent of
+/// `remix-trace`, which is opt-in; `/stats` must work on an untraced
+/// server). Shards count independently; [`StatsSnapshot`] is the sum.
 #[derive(Default)]
 pub struct ServeStats {
     /// Accepted `/predict` requests (shed requests included).
@@ -92,51 +111,245 @@ impl ServeStats {
     pub(crate) fn bump_degraded(&self) {
         self.degraded.fetch_add(1, Ordering::Relaxed);
     }
+}
 
-    fn body(&self, cache_len: usize) -> String {
+/// One point-in-time view of the server's counters, summed across every
+/// engine shard (the per-shard atomics are read with relaxed ordering, so
+/// the snapshot is a sum of individually-consistent counters, not a global
+/// atomic cut — fine for monitoring, which is all `/stats` is for).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Accepted `/predict` requests (shed requests included).
+    pub requests: u64,
+    /// Requests answered from the verdict cache.
+    pub cache_hits: u64,
+    /// Requests that missed the cache and ran inference.
+    pub cache_misses: u64,
+    /// Requests rejected with `429` because a shard queue was full.
+    pub shed: u64,
+    /// Requests resolved by the degraded majority-vote fallback.
+    pub degraded: u64,
+    /// Engine micro-batches executed.
+    pub batches: u64,
+    /// Requests carried by those micro-batches.
+    pub batched_requests: u64,
+    /// Verdicts currently held across all cache slices.
+    pub cached_verdicts: u64,
+    /// Number of engine shards serving.
+    pub shards: u64,
+}
+
+impl StatsSnapshot {
+    fn body(&self) -> String {
         format!(
-            "{{\"requests\":{},\"cache_hits\":{},\"cache_misses\":{},\"shed\":{},\"degraded\":{},\"batches\":{},\"batched_requests\":{},\"cached_verdicts\":{}}}",
-            self.requests.load(Ordering::Relaxed),
-            self.cache_hits.load(Ordering::Relaxed),
-            self.cache_misses.load(Ordering::Relaxed),
-            self.shed.load(Ordering::Relaxed),
-            self.degraded.load(Ordering::Relaxed),
-            self.batches.load(Ordering::Relaxed),
-            self.batched_requests.load(Ordering::Relaxed),
-            cache_len,
+            "{{\"requests\":{},\"cache_hits\":{},\"cache_misses\":{},\"shed\":{},\"degraded\":{},\"batches\":{},\"batched_requests\":{},\"cached_verdicts\":{},\"shards\":{}}}",
+            self.requests,
+            self.cache_hits,
+            self.cache_misses,
+            self.shed,
+            self.degraded,
+            self.batches,
+            self.batched_requests,
+            self.cached_verdicts,
+            self.shards,
         )
     }
 }
 
-struct Shared {
-    queue: Arc<BatchQueue>,
-    cache: Arc<VerdictCache>,
-    stats: Arc<ServeStats>,
+/// One engine shard's server-side handles (the engine thread owns the
+/// ensemble replica itself).
+pub(crate) struct Shard {
+    pub queue: Arc<BatchQueue>,
+    pub cache: Arc<VerdictCache>,
+    pub stats: Arc<ServeStats>,
+}
+
+/// State both front doors and all connection handlers share.
+pub(crate) struct Shared {
+    pub shards: Vec<Shard>,
+    pub stopping: AtomicBool,
     default_deadline: Duration,
     input_len: usize,
     input_shape: [usize; 3],
-    stopping: AtomicBool,
+}
+
+impl Shared {
+    /// The shard a cache key routes to. The multiplier (the 64-bit golden
+    /// ratio) mixes the key before the modulus so the pick is decorrelated
+    /// from [`VerdictCache`]'s *internal* shard choice (which uses the high
+    /// key bits directly) — otherwise every engine shard would hit only a
+    /// fraction of its own cache slices.
+    pub(crate) fn shard_of(&self, key: u64) -> usize {
+        ((key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33) % self.shards.len() as u64) as usize
+    }
+
+    fn snapshot(&self) -> StatsSnapshot {
+        let mut sum = StatsSnapshot {
+            shards: self.shards.len() as u64,
+            ..StatsSnapshot::default()
+        };
+        for shard in &self.shards {
+            sum.requests += shard.stats.requests.load(Ordering::Relaxed);
+            sum.cache_hits += shard.stats.cache_hits.load(Ordering::Relaxed);
+            sum.cache_misses += shard.stats.cache_misses.load(Ordering::Relaxed);
+            sum.shed += shard.stats.shed.load(Ordering::Relaxed);
+            sum.degraded += shard.stats.degraded.load(Ordering::Relaxed);
+            sum.batches += shard.stats.batches.load(Ordering::Relaxed);
+            sum.batched_requests += shard.stats.batched_requests.load(Ordering::Relaxed);
+            sum.cached_verdicts += shard.cache.len() as u64;
+        }
+        sum
+    }
+}
+
+/// Where [`route`] sent a request: answered on the spot, or prepared for an
+/// engine shard (the caller picks how to wait — blocking slot or reactor
+/// completion).
+pub(crate) enum Routed {
+    /// Status + body, ready to write.
+    Immediate(u16, String),
+    /// A `/predict` that missed the cache; push via [`enqueue`].
+    Predict(PreparedPredict),
+}
+
+/// A validated `/predict` bound for a shard queue.
+pub(crate) struct PreparedPredict {
+    pub started: Instant,
+    shard: usize,
+    image: Tensor,
+    key: u64,
+    deadline: Instant,
+    no_cache: bool,
+}
+
+/// Routes one parsed request. `/predict` runs validation, shard selection,
+/// and the cache lookup here (counted on the owning shard's stats); cache
+/// misses come back as [`Routed::Predict`] for the front door to enqueue.
+pub(crate) fn route(request: &HttpRequest, shared: &Shared) -> Routed {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/predict") => prepare_predict(&request.body, shared),
+        ("GET", "/healthz") => Routed::Immediate(200, "{\"status\":\"ok\"}".to_string()),
+        ("GET", "/stats") => Routed::Immediate(200, shared.snapshot().body()),
+        (_, "/predict" | "/healthz" | "/stats") => {
+            Routed::Immediate(405, protocol::error_body("method not allowed"))
+        }
+        _ => Routed::Immediate(404, protocol::error_body("no such endpoint")),
+    }
+}
+
+fn prepare_predict(body: &[u8], shared: &Shared) -> Routed {
+    let started = Instant::now();
+    let request = match protocol::parse_predict(body) {
+        Ok(request) => request,
+        Err(message) => return Routed::Immediate(400, protocol::error_body(&message)),
+    };
+    if request.image.len() != shared.input_len {
+        return Routed::Immediate(
+            400,
+            protocol::error_body(&format!(
+                "`image` must have {} values for shape {:?}, got {}",
+                shared.input_len,
+                shared.input_shape,
+                request.image.len()
+            )),
+        );
+    }
+    let key = content_key(&request.image);
+    let shard_index = shared.shard_of(key);
+    let shard = &shared.shards[shard_index];
+    shard.stats.requests.fetch_add(1, Ordering::Relaxed);
+    remix_trace::incr(Counter::ServeRequests);
+    if shard.cache.enabled() && !request.no_cache {
+        if let Some(fragment) = shard.cache.get(key, &request.image) {
+            shard.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+            remix_trace::incr(Counter::ServeCacheHits);
+            let latency = started.elapsed();
+            remix_trace::record_duration("serve_verdict_cached", latency);
+            return Routed::Immediate(
+                200,
+                protocol::envelope(&fragment, true, latency.as_micros() as u64),
+            );
+        }
+        shard.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+        remix_trace::incr(Counter::ServeCacheMisses);
+    }
+    let deadline = started
+        + request
+            .deadline_ms
+            .map_or(shared.default_deadline, Duration::from_millis);
+    let image = Tensor::from_vec(request.image, &shared.input_shape)
+        .expect("length validated against the input shape");
+    Routed::Predict(PreparedPredict {
+        started,
+        shard: shard_index,
+        image,
+        key,
+        deadline,
+        no_cache: request.no_cache,
+    })
+}
+
+/// Pushes a prepared `/predict` onto its shard queue. A full queue sheds
+/// (`429`, counted on the shard); a closed queue means shutdown (`503`).
+pub(crate) fn enqueue(
+    shared: &Shared,
+    prepared: PreparedPredict,
+    reply: Responder,
+) -> Result<(), (u16, String)> {
+    let shard = &shared.shards[prepared.shard];
+    let pending = PendingRequest {
+        image: prepared.image,
+        key: prepared.key,
+        deadline: prepared.deadline,
+        no_cache: prepared.no_cache,
+        // Placeholder; push() stamps the authoritative arrival time.
+        arrived: prepared.started,
+        reply,
+    };
+    match shard.queue.push(pending) {
+        Ok(()) => Ok(()),
+        Err(PushError::Shed) => {
+            shard.stats.shed.fetch_add(1, Ordering::Relaxed);
+            remix_trace::incr(Counter::ServeShed);
+            Err((429, protocol::error_body("overloaded: queue full")))
+        }
+        Err(PushError::Closed) => Err((503, protocol::error_body("server is shutting down"))),
+    }
+}
+
+/// The latency-histogram name for a completed verdict.
+pub(crate) fn verdict_kind(reply: &EngineReply) -> &'static str {
+    if reply.degraded {
+        "serve_verdict_degraded"
+    } else if reply.unanimous {
+        "serve_verdict_unanimous"
+    } else {
+        "serve_verdict_full"
+    }
 }
 
 /// A running server. Dropping it (or calling [`Server::shutdown`]) stops the
-/// accept loop, drains the engine, and joins both threads.
+/// front door, drains the engine shards, and joins every thread.
 pub struct Server {
     addr: SocketAddr,
     shared: Arc<Shared>,
-    accept_thread: Option<JoinHandle<()>>,
-    engine_thread: Option<JoinHandle<()>>,
-    stats: Arc<ServeStats>,
+    front_thread: Option<JoinHandle<()>>,
+    engine_threads: Vec<JoinHandle<()>>,
+    #[cfg(target_os = "linux")]
+    completions: Arc<crate::reactor::Completions>,
 }
 
 impl Server {
     /// Starts serving `ensemble` under `remix`'s configuration.
     ///
-    /// The ensemble's input spec defines the accepted `image` length; the
-    /// engine thread takes ownership of the models.
+    /// The ensemble's input spec defines the accepted `image` length; each
+    /// engine shard gets its own replica of the models (the original is
+    /// consumed by the last shard).
     ///
     /// # Errors
     ///
-    /// Returns the bind error if `config.addr` can't be bound.
+    /// Returns the bind error if `config.addr` can't be bound, or resource
+    /// errors from spawning the worker threads.
     ///
     /// # Panics
     ///
@@ -158,45 +371,86 @@ impl Server {
         } else {
             config.max_batch
         };
-        let queue = Arc::new(BatchQueue::new(
-            config.queue_capacity,
-            max_batch,
-            config.batch_window,
-        ));
-        let cache = Arc::new(VerdictCache::new(
-            config.cache_capacity,
-            config.cache_shards,
-        ));
-        let stats = Arc::new(ServeStats::default());
+        let nshards = if config.shards == 0 {
+            thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            config.shards
+        };
+        // Split the cache budget across shards (rounding up, so a tiny
+        // budget still caches something everywhere; 0 stays disabled).
+        let cache_per_shard = if config.cache_capacity == 0 {
+            0
+        } else {
+            config.cache_capacity.div_ceil(nshards)
+        };
+        let mut shards = Vec::with_capacity(nshards);
+        let mut engine_threads = Vec::with_capacity(nshards);
+        for index in 0..nshards {
+            let queue = Arc::new(BatchQueue::new(
+                config.queue_capacity,
+                max_batch,
+                config.batch_window,
+            ));
+            let cache = Arc::new(VerdictCache::new(cache_per_shard, config.cache_shards));
+            let stats = Arc::new(ServeStats::default());
+            let engine = Engine {
+                remix: remix.clone(),
+                ensemble: ensemble.clone(),
+                cache: Arc::clone(&cache),
+                stats: Arc::clone(&stats),
+            };
+            let engine_queue = Arc::clone(&queue);
+            engine_threads.push(
+                thread::Builder::new()
+                    .name(format!("remix-serve-engine-{index}"))
+                    .spawn(move || engine.run(engine_queue))?,
+            );
+            shards.push(Shard {
+                queue,
+                cache,
+                stats,
+            });
+        }
         let shared = Arc::new(Shared {
-            queue: Arc::clone(&queue),
-            cache: Arc::clone(&cache),
-            stats: Arc::clone(&stats),
+            shards,
+            stopping: AtomicBool::new(false),
             default_deadline: config.default_deadline,
             input_len: spec.channels * spec.size * spec.size,
             input_shape: [spec.channels, spec.size, spec.size],
-            stopping: AtomicBool::new(false),
         });
-        let engine = Engine {
-            remix,
-            ensemble,
-            cache,
-            stats: Arc::clone(&stats),
-        };
-        let engine_thread = thread::Builder::new()
-            .name("remix-serve-engine".into())
-            .spawn(move || engine.run(queue))?;
-        let accept_shared = Arc::clone(&shared);
-        let accept_thread = thread::Builder::new()
-            .name("remix-serve-accept".into())
-            .spawn(move || accept_loop(&listener, &accept_shared))?;
-        Ok(Server {
-            addr,
-            shared,
-            accept_thread: Some(accept_thread),
-            engine_thread: Some(engine_thread),
-            stats,
-        })
+
+        #[cfg(target_os = "linux")]
+        {
+            let (completions, waker_rx) = crate::reactor::Completions::pair()?;
+            let completions = Arc::new(completions);
+            let front_shared = Arc::clone(&shared);
+            let front_completions = Arc::clone(&completions);
+            let front_thread = thread::Builder::new()
+                .name("remix-serve-reactor".into())
+                .spawn(move || {
+                    crate::reactor::run(listener, front_shared, front_completions, waker_rx)
+                })?;
+            Ok(Server {
+                addr,
+                shared,
+                front_thread: Some(front_thread),
+                engine_threads,
+                completions,
+            })
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            let front_shared = Arc::clone(&shared);
+            let front_thread = thread::Builder::new()
+                .name("remix-serve-accept".into())
+                .spawn(move || accept_loop(&listener, &front_shared))?;
+            Ok(Server {
+                addr,
+                shared,
+                front_thread: Some(front_thread),
+                engine_threads,
+            })
+        }
     }
 
     /// The bound address (use this when the config asked for port 0).
@@ -204,9 +458,9 @@ impl Server {
         self.addr
     }
 
-    /// The always-on request counters.
-    pub fn stats(&self) -> &ServeStats {
-        &self.stats
+    /// The always-on request counters, summed across shards.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.snapshot()
     }
 
     /// Stops accepting, drains in-flight requests, and joins the server
@@ -215,14 +469,21 @@ impl Server {
         if self.shared.stopping.swap(true, Ordering::SeqCst) {
             return;
         }
-        // The accept loop blocks in accept(); poke it awake so it observes
-        // the stop flag.
+        // Wake the front door so it observes the stop flag: the reactor via
+        // its waker pipe, the blocking accept loop via a throwaway connect
+        // (which also harmlessly tickles the reactor's listener).
+        #[cfg(target_os = "linux")]
+        self.completions.wake();
         let _ = TcpStream::connect(self.addr);
-        if let Some(handle) = self.accept_thread.take() {
+        if let Some(handle) = self.front_thread.take() {
             let _ = handle.join();
         }
-        self.shared.queue.close();
-        if let Some(handle) = self.engine_thread.take() {
+        // Only after the front door is down: close the queues (no new pushes
+        // can race in) and let each engine drain its shard.
+        for shard in &self.shared.shards {
+            shard.queue.close();
+        }
+        for handle in self.engine_threads.drain(..) {
             let _ = handle.join();
         }
     }
@@ -234,6 +495,14 @@ impl Drop for Server {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Portable blocking front door: thread-per-connection over the same
+// route/enqueue path as the reactor. The default on non-Linux targets; kept
+// compiling on Linux (where only the reactor runs it) so the fallback can't
+// rot unbuilt.
+// ---------------------------------------------------------------------------
+
+#[cfg_attr(target_os = "linux", allow(dead_code))]
 fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
     loop {
         let stream = match listener.accept() {
@@ -250,115 +519,56 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
     }
 }
 
+#[cfg_attr(target_os = "linux", allow(dead_code))]
 fn connection_loop(stream: TcpStream, shared: &Shared) {
     let _ = stream.set_nodelay(true);
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
     };
-    let mut reader = BufReader::new(stream);
+    let mut reader = io::BufReader::new(stream);
     loop {
         match read_request(&mut reader) {
             Ok(Some(request)) => {
                 let close = request.close;
-                let (status, body) = route(&request, shared);
-                if write_response(&mut writer, status, &body).is_err() || close {
+                let (status, body) = match route(&request, shared) {
+                    Routed::Immediate(status, body) => (status, body),
+                    Routed::Predict(prepared) => blocking_predict(shared, prepared),
+                };
+                if write_response(&mut writer, status, &body, close).is_err() || close {
                     return;
                 }
             }
             Ok(None) => return,
             Err(e) => {
-                let _ = write_response(&mut writer, 400, &protocol::error_body(&e.to_string()));
+                let status = error_status(&e);
+                let _ = write_response(
+                    &mut writer,
+                    status,
+                    &protocol::error_body(&e.to_string()),
+                    true,
+                );
                 return;
             }
         }
     }
 }
 
-fn route(request: &HttpRequest, shared: &Shared) -> (u16, String) {
-    match (request.method.as_str(), request.path.as_str()) {
-        ("POST", "/predict") => handle_predict(&request.body, shared),
-        ("GET", "/healthz") => (200, "{\"status\":\"ok\"}".to_string()),
-        ("GET", "/stats") => (200, shared.stats.body(shared.cache.len())),
-        _ => (404, protocol::error_body("no such endpoint")),
-    }
-}
-
-fn handle_predict(body: &[u8], shared: &Shared) -> (u16, String) {
-    let started = Instant::now();
+/// Enqueues a prepared `/predict` and blocks the connection thread on a
+/// reply slot until its engine shard answers.
+#[cfg_attr(target_os = "linux", allow(dead_code))]
+fn blocking_predict(shared: &Shared, prepared: PreparedPredict) -> (u16, String) {
     let span = remix_trace::span("serve_request");
-    let request = match protocol::parse_predict(body) {
-        Ok(request) => request,
-        Err(message) => return (400, protocol::error_body(&message)),
-    };
-    if request.image.len() != shared.input_len {
-        return (
-            400,
-            protocol::error_body(&format!(
-                "`image` must have {} values for shape {:?}, got {}",
-                shared.input_len,
-                shared.input_shape,
-                request.image.len()
-            )),
-        );
-    }
-    shared.stats.requests.fetch_add(1, Ordering::Relaxed);
-    remix_trace::incr(Counter::ServeRequests);
-    let key = content_key(&request.image);
-    let use_cache = shared.cache.enabled() && !request.no_cache;
-    if use_cache {
-        if let Some(fragment) = shared.cache.get(key, &request.image) {
-            shared.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
-            remix_trace::incr(Counter::ServeCacheHits);
-            let latency = started.elapsed();
-            span.finish();
-            remix_trace::record_duration("serve_verdict_cached", latency);
-            return (
-                200,
-                protocol::envelope(&fragment, true, latency.as_micros() as u64),
-            );
-        }
-        shared.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
-        remix_trace::incr(Counter::ServeCacheMisses);
-    }
-    let deadline = started
-        + request
-            .deadline_ms
-            .map_or(shared.default_deadline, Duration::from_millis);
-    let image = Tensor::from_vec(request.image, &shared.input_shape)
-        .expect("length validated against the input shape");
+    let started = prepared.started;
     let slot = ReplySlot::default();
-    let pending = PendingRequest {
-        image,
-        key,
-        deadline,
-        no_cache: request.no_cache,
-        reply: slot.clone(),
-    };
-    match shared.queue.push(pending) {
-        Ok(()) => {}
-        Err(PushError::Shed) => {
-            shared.stats.shed.fetch_add(1, Ordering::Relaxed);
-            remix_trace::incr(Counter::ServeShed);
-            span.finish();
-            return (429, protocol::error_body("overloaded: queue full"));
-        }
-        Err(PushError::Closed) => {
-            span.finish();
-            return (500, protocol::error_body("server is shutting down"));
-        }
+    if let Err((status, body)) = enqueue(shared, prepared, Responder::Slot(slot.clone())) {
+        span.finish();
+        return (status, body);
     }
     let reply = slot.wait();
     let latency = started.elapsed();
     span.finish();
-    let kind = if reply.degraded {
-        "serve_verdict_degraded"
-    } else if reply.unanimous {
-        "serve_verdict_unanimous"
-    } else {
-        "serve_verdict_full"
-    };
-    remix_trace::record_duration(kind, latency);
+    remix_trace::record_duration(verdict_kind(&reply), latency);
     (
         200,
         protocol::envelope(&reply.fragment, false, latency.as_micros() as u64),

@@ -1,0 +1,256 @@
+//! Raw epoll syscall shims — Linux-only, `std`-only, no `libc` crate.
+//!
+//! The readiness loop needs exactly three kernel entry points
+//! (`epoll_create1`, `epoll_ctl`, `epoll_pwait`); rather than take a
+//! dependency for them, this module issues the syscalls directly with
+//! inline assembly, in the same hand-rolled spirit as the HTTP subset.
+//! Everything else the loop needs is already in `std`: file descriptors
+//! come from `AsRawFd`, lifetimes/closing from `OwnedFd`, and nonblocking
+//! mode from `set_nonblocking` on the socket types.
+//!
+//! Only the two Tier-1 Linux targets are wired (`x86_64`, `aarch64`); other
+//! platforms use the blocking fallback front door and never compile this
+//! module.
+
+use std::io;
+use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+
+/// Readable readiness (matches `EPOLLIN`).
+pub(crate) const EPOLLIN: u32 = 0x001;
+/// Writable readiness (matches `EPOLLOUT`).
+pub(crate) const EPOLLOUT: u32 = 0x004;
+/// Error condition (always reported, no need to register).
+pub(crate) const EPOLLERR: u32 = 0x008;
+/// Peer hangup (always reported, no need to register).
+pub(crate) const EPOLLHUP: u32 = 0x010;
+/// Peer closed its write half (register to see it).
+pub(crate) const EPOLLRDHUP: u32 = 0x2000;
+
+const EPOLL_CTL_ADD: usize = 1;
+const EPOLL_CTL_DEL: usize = 2;
+const EPOLL_CTL_MOD: usize = 3;
+const EPOLL_CLOEXEC: usize = 0x80000;
+const EINTR: i32 = 4;
+
+/// One readiness record, ABI-compatible with the kernel's `epoll_event`
+/// (packed on x86_64, naturally aligned elsewhere — the kernel headers make
+/// the same distinction).
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+#[derive(Clone, Copy, Default)]
+pub(crate) struct EpollEvent {
+    /// Bitmask of `EPOLL*` readiness flags.
+    pub events: u32,
+    /// Caller-chosen token, returned verbatim with the event.
+    pub data: u64,
+}
+
+#[cfg(target_arch = "x86_64")]
+unsafe fn syscall6(
+    n: usize,
+    a1: usize,
+    a2: usize,
+    a3: usize,
+    a4: usize,
+    a5: usize,
+    a6: usize,
+) -> isize {
+    let ret: isize;
+    core::arch::asm!(
+        "syscall",
+        inlateout("rax") n as isize => ret,
+        in("rdi") a1,
+        in("rsi") a2,
+        in("rdx") a3,
+        in("r10") a4,
+        in("r8") a5,
+        in("r9") a6,
+        lateout("rcx") _,
+        lateout("r11") _,
+        options(nostack),
+    );
+    ret
+}
+
+#[cfg(target_arch = "aarch64")]
+unsafe fn syscall6(
+    n: usize,
+    a1: usize,
+    a2: usize,
+    a3: usize,
+    a4: usize,
+    a5: usize,
+    a6: usize,
+) -> isize {
+    let ret: isize;
+    core::arch::asm!(
+        "svc 0",
+        in("x8") n,
+        inlateout("x0") a1 => ret,
+        in("x1") a2,
+        in("x2") a3,
+        in("x3") a4,
+        in("x4") a5,
+        in("x5") a6,
+        options(nostack),
+    );
+    ret
+}
+
+#[cfg(target_arch = "x86_64")]
+mod nr {
+    pub const EPOLL_CREATE1: usize = 291;
+    pub const EPOLL_CTL: usize = 233;
+    pub const EPOLL_PWAIT: usize = 281;
+}
+
+#[cfg(target_arch = "aarch64")]
+mod nr {
+    pub const EPOLL_CREATE1: usize = 20;
+    pub const EPOLL_CTL: usize = 21;
+    pub const EPOLL_PWAIT: usize = 22;
+}
+
+fn check(ret: isize) -> io::Result<usize> {
+    if ret < 0 {
+        Err(io::Error::from_raw_os_error(-ret as i32))
+    } else {
+        Ok(ret as usize)
+    }
+}
+
+/// An epoll instance. Closing is handled by the wrapped [`OwnedFd`].
+pub(crate) struct Epoll {
+    fd: OwnedFd,
+}
+
+impl Epoll {
+    /// Creates a close-on-exec epoll instance.
+    pub(crate) fn new() -> io::Result<Epoll> {
+        let ret = unsafe { syscall6(nr::EPOLL_CREATE1, EPOLL_CLOEXEC, 0, 0, 0, 0, 0) };
+        let fd = check(ret)? as RawFd;
+        Ok(Epoll {
+            fd: unsafe { OwnedFd::from_raw_fd(fd) },
+        })
+    }
+
+    fn ctl(&self, op: usize, fd: RawFd, event: *mut EpollEvent) -> io::Result<()> {
+        let ret = unsafe {
+            syscall6(
+                nr::EPOLL_CTL,
+                self.fd.as_raw_fd() as usize,
+                op,
+                fd as usize,
+                event as usize,
+                0,
+                0,
+            )
+        };
+        check(ret).map(|_| ())
+    }
+
+    /// Registers `fd` for `interest`, tagging its events with `token`.
+    pub(crate) fn add(&self, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+        let mut event = EpollEvent {
+            events: interest,
+            data: token,
+        };
+        self.ctl(EPOLL_CTL_ADD, fd, &mut event)
+    }
+
+    /// Replaces `fd`'s registered interest set.
+    pub(crate) fn modify(&self, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+        let mut event = EpollEvent {
+            events: interest,
+            data: token,
+        };
+        self.ctl(EPOLL_CTL_MOD, fd, &mut event)
+    }
+
+    /// Deregisters `fd`.
+    pub(crate) fn delete(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, std::ptr::null_mut())
+    }
+
+    /// Blocks for readiness, filling `events`; returns how many fired.
+    /// `timeout_ms < 0` blocks indefinitely. Retries `EINTR` internally.
+    pub(crate) fn wait(&self, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+        loop {
+            let ret = unsafe {
+                syscall6(
+                    nr::EPOLL_PWAIT,
+                    self.fd.as_raw_fd() as usize,
+                    events.as_mut_ptr() as usize,
+                    events.len(),
+                    timeout_ms as isize as usize,
+                    0, // no signal mask
+                    8, // sigsetsize the kernel expects even for a null mask
+                )
+            };
+            match check(ret) {
+                Ok(n) => return Ok(n),
+                Err(e) if e.raw_os_error() == Some(EINTR) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::os::unix::net::UnixStream;
+
+    #[test]
+    fn epoll_reports_readability_with_the_registered_token() {
+        let epoll = Epoll::new().unwrap();
+        let (mut tx, mut rx) = UnixStream::pair().unwrap();
+        rx.set_nonblocking(true).unwrap();
+        epoll.add(rx.as_raw_fd(), EPOLLIN, 42).unwrap();
+
+        // Nothing written yet: a zero timeout returns no events.
+        let mut events = [EpollEvent::default(); 8];
+        assert_eq!(epoll.wait(&mut events, 0).unwrap(), 0);
+
+        tx.write_all(&[1]).unwrap();
+        let n = epoll.wait(&mut events, 1000).unwrap();
+        assert_eq!(n, 1);
+        let (got_events, got_token) = (events[0].events, events[0].data);
+        assert_eq!(got_token, 42);
+        assert!(got_events & EPOLLIN != 0);
+
+        // Level-triggered: still readable until drained.
+        assert_eq!(epoll.wait(&mut events, 0).unwrap(), 1);
+        let mut byte = [0u8; 8];
+        assert_eq!(rx.read(&mut byte).unwrap(), 1);
+        assert_eq!(epoll.wait(&mut events, 0).unwrap(), 0);
+
+        // MOD to writable interest: an idle socket is immediately writable.
+        epoll.modify(rx.as_raw_fd(), EPOLLOUT, 7).unwrap();
+        assert_eq!(epoll.wait(&mut events, 1000).unwrap(), 1);
+        let (got_events, got_token) = (events[0].events, events[0].data);
+        assert_eq!(got_token, 7);
+        assert!(got_events & EPOLLOUT != 0);
+
+        epoll.delete(rx.as_raw_fd()).unwrap();
+        tx.write_all(&[1]).unwrap();
+        assert_eq!(epoll.wait(&mut events, 0).unwrap(), 0);
+    }
+
+    #[test]
+    fn hangup_is_reported_without_registration() {
+        let epoll = Epoll::new().unwrap();
+        let (tx, rx) = UnixStream::pair().unwrap();
+        epoll.add(rx.as_raw_fd(), EPOLLIN | EPOLLRDHUP, 9).unwrap();
+        drop(tx);
+        let mut events = [EpollEvent::default(); 4];
+        let n = epoll.wait(&mut events, 1000).unwrap();
+        assert_eq!(n, 1);
+        let flags = events[0].events;
+        assert!(
+            flags & (EPOLLHUP | EPOLLRDHUP | EPOLLIN) != 0,
+            "flags {flags:#x}"
+        );
+    }
+}

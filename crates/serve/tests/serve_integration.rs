@@ -21,9 +21,8 @@ use remix_nn::layers::{Dense, Flatten, Relu};
 use remix_nn::{InputSpec, Model, Sequential, Trainer, TrainerConfig};
 use remix_serve::{verdict_fragment, Client, ServeConfig, Server};
 use remix_tensor::Tensor;
-use std::io::{Read, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
-use std::sync::atomic::Ordering;
 use std::thread;
 use std::time::Duration;
 
@@ -142,10 +141,10 @@ fn cached_reply_is_byte_identical_to_the_cold_run() {
     assert_eq!(bypass.verdict_json, cold.verdict_json);
 
     let stats = server.stats();
-    assert_eq!(stats.requests.load(Ordering::Relaxed), 3);
-    assert_eq!(stats.cache_hits.load(Ordering::Relaxed), 1);
+    assert_eq!(stats.requests, 3);
+    assert_eq!(stats.cache_hits, 1);
     // The bypass request never consulted the cache, so exactly one miss.
-    assert_eq!(stats.cache_misses.load(Ordering::Relaxed), 1);
+    assert_eq!(stats.cache_misses, 1);
 }
 
 #[test]
@@ -200,8 +199,8 @@ fn zero_deadline_disagreement_degrades_to_majority_vote() {
     assert!(again.degraded && !again.cached);
     assert_eq!(again.verdict_json, reply.verdict_json);
     let stats = server.stats();
-    assert_eq!(stats.degraded.load(Ordering::Relaxed), 2);
-    assert_eq!(stats.cache_hits.load(Ordering::Relaxed), 0);
+    assert_eq!(stats.degraded, 2);
+    assert_eq!(stats.cache_hits, 0);
 }
 
 #[test]
@@ -211,7 +210,11 @@ fn full_queue_sheds_with_429() {
         queue_capacity: 1,
         max_batch: 8,
         // A long window keeps the first request parked in the queue while
-        // the second one arrives and finds it full.
+        // the second one arrives and finds it full. One shard, so both
+        // requests contend for the same capacity-1 queue (identical inputs
+        // would route to the same shard anyway — this just makes it
+        // explicit).
+        shards: 1,
         batch_window: Duration::from_millis(1000),
         ..ServeConfig::default()
     };
@@ -234,7 +237,173 @@ fn full_queue_sheds_with_429() {
 
     let held = holder.join().unwrap();
     assert_eq!(held.status, 200, "the queued request still completes");
-    assert_eq!(server.stats().shed.load(Ordering::Relaxed), 1);
+    assert_eq!(server.stats().shed, 1);
+}
+
+/// Reads exactly one HTTP response (status, headers, `Content-Length` body)
+/// from a keep-alive connection, leaving any follow-up intact.
+fn read_one_response(reader: &mut impl BufRead) -> (u16, Vec<String>, String) {
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let status: u16 = line.split_whitespace().nth(1).unwrap().parse().unwrap();
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header).unwrap();
+        let header = header.trim_end().to_string();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().unwrap();
+            }
+        }
+        headers.push(header);
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).unwrap();
+    (status, headers, String::from_utf8(body).unwrap())
+}
+
+#[test]
+fn connection_close_is_echoed_framed_and_honored() {
+    let (ensemble, _) = setup();
+    let server = Server::start(ensemble, remix(), ServeConfig::default()).unwrap();
+
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    write!(stream, "GET /stats HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+    // read_to_string only returns once the server actually closes the
+    // socket — the old front door advertised keep-alive and kept it open.
+    let mut text = String::new();
+    stream.read_to_string(&mut text).unwrap();
+    assert!(text.starts_with("HTTP/1.1 200 OK"));
+    assert!(
+        text.contains("Connection: close\r\n"),
+        "response must echo the close, not advertise keep-alive: {text}"
+    );
+    assert!(!text.contains("keep-alive"));
+    // The framing is still exact: Content-Length matches the body.
+    let (head, body) = text.split_once("\r\n\r\n").unwrap();
+    let advertised: usize = head
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert_eq!(body.len(), advertised);
+    // And the socket is really closed for writing too.
+    let mut probe = [0u8; 1];
+    assert_eq!(stream.read(&mut probe).unwrap(), 0);
+}
+
+#[test]
+fn keepalive_connection_survives_an_interleaved_400() {
+    let (ensemble, images) = setup();
+    let server = Server::start(ensemble, remix(), ServeConfig::default()).unwrap();
+    let stream = TcpStream::connect(server.addr()).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+
+    // 1: a well-formed request with a non-JSON body — a 400 that must not
+    // desync the connection (the body was fully framed and consumed).
+    write!(
+        writer,
+        "POST /predict HTTP/1.1\r\nContent-Length: 8\r\n\r\nnot json"
+    )
+    .unwrap();
+    let (status, headers, body) = read_one_response(&mut reader);
+    assert_eq!(status, 400);
+    assert!(body.contains("invalid json"));
+    assert!(headers.iter().any(|h| h == "Connection: keep-alive"));
+
+    // 2: a wrong-method probe on a known path answers 405, not 404.
+    write!(writer, "GET /predict HTTP/1.1\r\n\r\n").unwrap();
+    let (status, _, _) = read_one_response(&mut reader);
+    assert_eq!(status, 405);
+
+    // 3: the very same connection then serves a real prediction.
+    let mut predict_body = String::from("{\"image\":[");
+    for (i, f) in images[0].data().iter().enumerate() {
+        if i > 0 {
+            predict_body.push(',');
+        }
+        predict_body.push_str(&f.to_string());
+    }
+    predict_body.push_str("],\"deadline_ms\":10000}");
+    write!(
+        writer,
+        "POST /predict HTTP/1.1\r\nContent-Length: {}\r\n\r\n{predict_body}",
+        predict_body.len()
+    )
+    .unwrap();
+    let (status, _, body) = read_one_response(&mut reader);
+    assert_eq!(status, 200, "connection desynced after the 400: {body}");
+    assert!(body.starts_with("{\"verdict\":"));
+
+    // 4: and plain pipelined traffic still flows.
+    write!(writer, "GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+    let (status, _, body) = read_one_response(&mut reader);
+    assert_eq!(status, 200);
+    assert_eq!(body, "{\"status\":\"ok\"}");
+}
+
+#[test]
+fn sharded_server_stays_byte_identical_and_aggregates_stats() {
+    let (ensemble, images) = setup();
+    let (mut local, _) = setup();
+    let config = ServeConfig {
+        shards: 3,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(ensemble, remix(), config).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let reference = remix();
+
+    // Distinct inputs spread across the shards; every shard owns a
+    // bit-identical ensemble replica, so every verdict must still match the
+    // serial Remix::predict bytes.
+    for image in images.iter().take(6) {
+        let reply = client.predict(image.data(), Some(10_000), true).unwrap();
+        assert_eq!(reply.status, 200);
+        assert!(!reply.degraded);
+        let expected = verdict_fragment(&reference.predict(&mut local, image));
+        assert_eq!(
+            reply.verdict_json, expected,
+            "shard-routed verdict must be byte-identical to Remix::predict"
+        );
+    }
+
+    // Cache hits are shard-local: the repeat lands on the same shard by
+    // construction (same content key), so it must hit.
+    let cold = client
+        .predict(images[0].data(), Some(10_000), false)
+        .unwrap();
+    assert!(!cold.cached);
+    let warm = client
+        .predict(images[0].data(), Some(10_000), false)
+        .unwrap();
+    assert!(warm.cached);
+    assert_eq!(warm.verdict_json, cold.verdict_json);
+
+    // /stats sums the per-shard atomics into one view.
+    let stats = server.stats();
+    assert_eq!(stats.shards, 3);
+    assert_eq!(stats.requests, 8);
+    assert_eq!(stats.cache_hits, 1);
+    assert_eq!(stats.cache_misses, 1);
+    assert_eq!(
+        stats.batched_requests, 7,
+        "6 bypasses + 1 cold run computed"
+    );
+    assert!(stats.batches >= 1 && stats.batches <= 7);
+    let wire = client.stats().unwrap();
+    let pairs = wire.as_object().expect("/stats is a JSON object");
+    match pairs.iter().find(|(k, _)| k == "shards") {
+        Some((_, serde::Value::UInt(3))) => {}
+        other => panic!("`/stats` must report the shard count: {other:?}"),
+    }
 }
 
 #[test]
