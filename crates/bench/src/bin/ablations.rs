@@ -107,7 +107,10 @@ fn main() {
     if study == "all" || study == "xai-cost" {
         for samples in [2usize, 4, 8, 16] {
             let config = ExplainerConfig {
-                sg_samples: samples,
+                budget: remix_xai::XaiBudget {
+                    sg_samples: samples,
+                    ..remix_xai::XaiBudget::default()
+                },
                 ..ExplainerConfig::default()
             };
             run(

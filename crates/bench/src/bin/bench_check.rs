@@ -13,8 +13,8 @@
 //! gate can fail before trusting it to pass.
 
 use remix_bench::check::{
-    check_gemm, check_inference, check_serve, flip_verdict_flags, scale_speedups, GateReport,
-    DEFAULT_TOLERANCE,
+    check_gemm, check_inference, check_serve, check_xai_sched, flip_verdict_flags, scale_speedups,
+    GateReport, DEFAULT_TOLERANCE,
 };
 use serde::Value;
 use std::path::{Path, PathBuf};
@@ -87,14 +87,15 @@ fn main() -> ExitCode {
     };
     let self_test = args.iter().any(|a| a == "--self-test");
 
-    let (base_gemm, base_inference, base_serve) = match (
+    let (base_gemm, base_inference, base_serve, base_xai_sched) = match (
         load(&baseline_dir.join("bench_gemm.json")),
         load(&baseline_dir.join("bench_inference.json")),
         load(&baseline_dir.join("bench_serve.json")),
+        load(&baseline_dir.join("bench_xai_sched.json")),
     ) {
-        (Ok(g), Ok(i), Ok(s)) => (g, i, s),
-        (g, i, s) => {
-            for err in [g.err(), i.err(), s.err()].into_iter().flatten() {
+        (Ok(g), Ok(i), Ok(s), Ok(x)) => (g, i, s, x),
+        (g, i, s, x) => {
+            for err in [g.err(), i.err(), s.err(), x.err()].into_iter().flatten() {
                 eprintln!("error: {err}");
             }
             return ExitCode::FAILURE;
@@ -110,21 +111,25 @@ fn main() -> ExitCode {
         let serve_ok = self_test_record("bench_serve", &base_serve, |b, f| {
             check_serve(b, f, tolerance)
         });
-        return if gemm_ok && inference_ok && serve_ok {
+        let xai_sched_ok = self_test_record("bench_xai_sched", &base_xai_sched, |b, f| {
+            check_xai_sched(b, f, tolerance)
+        });
+        return if gemm_ok && inference_ok && serve_ok && xai_sched_ok {
             ExitCode::SUCCESS
         } else {
             ExitCode::FAILURE
         };
     }
 
-    let (fresh_gemm, fresh_inference, fresh_serve) = match (
+    let (fresh_gemm, fresh_inference, fresh_serve, fresh_xai_sched) = match (
         load(&fresh_dir.join("bench_gemm.json")),
         load(&fresh_dir.join("bench_inference.json")),
         load(&fresh_dir.join("bench_serve.json")),
+        load(&fresh_dir.join("bench_xai_sched.json")),
     ) {
-        (Ok(g), Ok(i), Ok(s)) => (g, i, s),
-        (g, i, s) => {
-            for err in [g.err(), i.err(), s.err()].into_iter().flatten() {
+        (Ok(g), Ok(i), Ok(s), Ok(x)) => (g, i, s, x),
+        (g, i, s, x) => {
+            for err in [g.err(), i.err(), s.err(), x.err()].into_iter().flatten() {
                 eprintln!("error: {err}");
             }
             return ExitCode::FAILURE;
@@ -138,6 +143,11 @@ fn main() -> ExitCode {
         tolerance,
     ));
     report.merge(check_serve(&base_serve, &fresh_serve, tolerance));
+    report.merge(check_xai_sched(
+        &base_xai_sched,
+        &fresh_xai_sched,
+        tolerance,
+    ));
     print_report(&report);
     if report.passed() {
         println!(

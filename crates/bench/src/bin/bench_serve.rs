@@ -133,8 +133,11 @@ fn trained_ensemble() -> (TrainedEnsemble, Vec<Tensor>) {
 /// markedly wider sweeps than the serial baseline can.
 fn remix() -> Remix {
     let config = ExplainerConfig {
-        sg_samples: 8,
-        budget: XaiBudget { batch_size: 64 },
+        budget: XaiBudget {
+            sg_samples: 8,
+            batch_size: 64,
+            ..XaiBudget::default()
+        },
         ..ExplainerConfig::default()
     };
     Remix::builder()

@@ -269,6 +269,59 @@ pub fn check_serve(baseline: &Value, fresh: &Value, tolerance: f64) -> GateRepor
     report
 }
 
+/// Minimum acceptable adaptive-vs-all-Full p99 latency speedup, gated
+/// absolutely: the scheduler exists to cut the tail, and a within-run ratio
+/// below this means it stopped paying for itself.
+pub const XAI_SCHED_MIN_P99_SPEEDUP: f64 = 2.0;
+
+/// Maximum balanced-accuracy cost (percentage points, adaptive vs all-Full)
+/// the scheduler may pay for its tail-latency win, gated absolutely.
+pub const XAI_SCHED_MAX_BA_COST_PTS: f64 = 0.5;
+
+/// Gates `bench_xai_sched.json`: the Full-pinned rung must stay bit-identical
+/// to the scheduler-less pipeline; the adaptive scheduler must keep its
+/// within-run p99 speedup over all-Full — relative to the baseline *and*
+/// above the absolute [`XAI_SCHED_MIN_P99_SPEEDUP`] floor — while its
+/// balanced-accuracy cost stays within [`XAI_SCHED_MAX_BA_COST_PTS`] points.
+pub fn check_xai_sched(baseline: &Value, fresh: &Value, tolerance: f64) -> GateReport {
+    let mut report = GateReport::default();
+    report.gate_flag(
+        "xai_sched/full_pinned",
+        get_bool(fresh, "full_pinned_identical"),
+    );
+    match (
+        get_num(baseline, "speedup_p99_adaptive_vs_full"),
+        get_num(fresh, "speedup_p99_adaptive_vs_full"),
+    ) {
+        (Some(b), Some(f)) => {
+            report.gate_speedup("xai_sched/p99_tail", b, f, tolerance);
+            if f >= XAI_SCHED_MIN_P99_SPEEDUP {
+                report.ok(format!(
+                    "ok   xai_sched/min_p99_speedup: {f:.3} >= absolute floor \
+                     {XAI_SCHED_MIN_P99_SPEEDUP}"
+                ));
+            } else {
+                report.fail(format!(
+                    "FAIL xai_sched/min_p99_speedup: {f:.3} below absolute floor \
+                     {XAI_SCHED_MIN_P99_SPEEDUP}"
+                ));
+            }
+        }
+        _ => report.fail("FAIL xai_sched/p99_tail: speedup field missing".into()),
+    }
+    match get_num(fresh, "ba_cost_pts") {
+        Some(cost) if cost <= XAI_SCHED_MAX_BA_COST_PTS => report.ok(format!(
+            "ok   xai_sched/ba_cost: {cost:.3} pts <= ceiling {XAI_SCHED_MAX_BA_COST_PTS}"
+        )),
+        Some(cost) => report.fail(format!(
+            "FAIL xai_sched/ba_cost: adaptive pays {cost:.3} balanced-accuracy points, \
+             ceiling is {XAI_SCHED_MAX_BA_COST_PTS}"
+        )),
+        None => report.fail("FAIL xai_sched/ba_cost: ba_cost_pts field missing".into()),
+    }
+    report
+}
+
 /// Multiplies every within-run speedup field by `factor`, recursively. Used
 /// by the self-test to synthesize a wall-time regression (`factor < 1`)
 /// without re-running the benchmarks.
@@ -280,6 +333,7 @@ pub fn scale_speedups(value: &mut Value, factor: f64) {
                     || key == "speedup_batched_vs_per_sample"
                     || key == "speedup_batched_vs_serial"
                     || key == "speedup_shards_vs_one"
+                    || key == "speedup_p99_adaptive_vs_full"
                 {
                     if let Some(n) = num(v) {
                         *v = Value::Float(n * factor);
@@ -310,6 +364,7 @@ pub fn flip_verdict_flags(value: &mut Value) {
                     || key == "cache_identical"
                     || key == "degraded_deterministic"
                     || key == "shard_verdicts_identical"
+                    || key == "full_pinned_identical"
                 {
                     *v = Value::Bool(false);
                 } else {
@@ -363,6 +418,14 @@ mod tests {
         .expect("valid test record")
     }
 
+    fn xai_sched_record() -> Value {
+        serde_json::from_str(
+            r#"{"speedup_p99_adaptive_vs_full": 4.0, "ba_cost_pts": 0.2,
+                "full_pinned_identical": true}"#,
+        )
+        .expect("valid test record")
+    }
+
     #[test]
     fn identical_records_pass() {
         let base = gemm_record();
@@ -380,6 +443,37 @@ mod tests {
         // 4 flags + (relative speedup + absolute floor) for both the
         // micro-batching ratio and the shard-scaling ratio
         assert_eq!(report.checks.len(), 8);
+        let base = xai_sched_record();
+        let report = check_xai_sched(&base, &base, DEFAULT_TOLERANCE);
+        assert!(report.passed(), "failures: {:?}", report.failures);
+        // 1 flag + relative p99 speedup + absolute floor + BA ceiling
+        assert_eq!(report.checks.len(), 4);
+    }
+
+    #[test]
+    fn xai_sched_gate_enforces_its_absolute_floors() {
+        // Tail speedup below 2x fails even when it matches the baseline.
+        let weak: Value = serde_json::from_str(
+            r#"{"speedup_p99_adaptive_vs_full": 1.5, "ba_cost_pts": 0.2,
+                "full_pinned_identical": true}"#,
+        )
+        .unwrap();
+        let report = check_xai_sched(&weak, &weak, DEFAULT_TOLERANCE);
+        assert!(!report.passed());
+        assert!(report
+            .failures
+            .iter()
+            .any(|f| f.contains("min_p99_speedup")));
+
+        // A balanced-accuracy bill over 0.5 pts fails regardless of speedup.
+        let costly: Value = serde_json::from_str(
+            r#"{"speedup_p99_adaptive_vs_full": 4.0, "ba_cost_pts": 1.3,
+                "full_pinned_identical": true}"#,
+        )
+        .unwrap();
+        let report = check_xai_sched(&costly, &costly, DEFAULT_TOLERANCE);
+        assert!(!report.passed());
+        assert!(report.failures.iter().any(|f| f.contains("ba_cost")));
     }
 
     #[test]
@@ -405,6 +499,10 @@ mod tests {
         let mut fresh = serve_record();
         scale_speedups(&mut fresh, 1.0 / 1.5);
         assert!(!check_serve(&base, &fresh, DEFAULT_TOLERANCE).passed());
+        let base = xai_sched_record();
+        let mut fresh = xai_sched_record();
+        scale_speedups(&mut fresh, 1.0 / 1.5);
+        assert!(!check_xai_sched(&base, &fresh, DEFAULT_TOLERANCE).passed());
     }
 
     #[test]
@@ -440,6 +538,11 @@ mod tests {
         flip_verdict_flags(&mut fresh);
         let report = check_serve(&base, &fresh, DEFAULT_TOLERANCE);
         assert_eq!(report.failures.len(), 4); // all four serve flags trip
+        let base = xai_sched_record();
+        let mut fresh = xai_sched_record();
+        flip_verdict_flags(&mut fresh);
+        let report = check_xai_sched(&base, &fresh, DEFAULT_TOLERANCE);
+        assert_eq!(report.failures.len(), 1); // the full-pinned flag trips
     }
 
     #[test]
@@ -491,6 +594,7 @@ mod tests {
             "bench_gemm.json",
             "bench_inference.json",
             "bench_serve.json",
+            "bench_xai_sched.json",
         ] {
             let path = concat!(env!("CARGO_MANIFEST_DIR"), "/baselines/");
             let text = std::fs::read_to_string(format!("{path}{name}"))
@@ -500,6 +604,8 @@ mod tests {
                 check_gemm(&record, &record, DEFAULT_TOLERANCE)
             } else if name.contains("inference") {
                 check_inference(&record, &record, DEFAULT_TOLERANCE)
+            } else if name.contains("xai_sched") {
+                check_xai_sched(&record, &record, DEFAULT_TOLERANCE)
             } else {
                 check_serve(&record, &record, DEFAULT_TOLERANCE)
             };

@@ -2,7 +2,7 @@
 
 use crate::args::Args;
 use rand::{rngs::StdRng, SeedableRng};
-use remix_core::{Remix, RemixVoter};
+use remix_core::{Remix, RemixVoter, TriageScheduler};
 use remix_data::{Dataset, SyntheticSpec};
 use remix_ensemble::{
     evaluate as run_evaluation, evaluate_parallel, train_zoo, Evaluation, TrainedEnsemble,
@@ -11,7 +11,7 @@ use remix_ensemble::{
 use remix_faults::{inject, pattern, FaultConfig, FaultType};
 use remix_nn::state::{load_state, save_state, ModelState};
 use remix_nn::{zoo, Arch, InputSpec, Model};
-use remix_xai::XaiTechnique;
+use remix_xai::{XaiLevel, XaiTechnique};
 use serde::{Deserialize, Serialize};
 
 /// On-disk format: per-model architecture + state dictionary.
@@ -247,15 +247,34 @@ pub fn serve(args: &Args) -> Result<(), String> {
         cache_capacity: args.get_num("cache-cap", defaults.cache_capacity)?,
         cache_shards: defaults.cache_shards,
         shards: args.get_num("shards", 0usize)?,
+        // Per-batch wall-clock allowance for the XAI stage: under pressure
+        // the scheduler downgrades the most-confident requests' budget
+        // levels to fit, instead of cliff-dropping to the degraded vote.
+        // 0 disables the valve. Meaningful only with --xai-ladder on.
+        latency_budget: Duration::from_millis(args.get_num("latency-budget", 0u64)?),
     };
     // Each engine shard owns a whole pipeline, so per-verdict stage
     // parallelism defaults to sequential — with --shards 0 the shards
     // already cover every core. Raise --threads to fan one verdict's XAI
     // models out instead (verdicts are bit-identical either way).
-    let remix = Remix::builder()
+    let builder = Remix::builder()
         .threads(args.get_num("threads", 1usize)?)
-        .seed(args.get_num("seed", 0u64)?)
-        .build();
+        .seed(args.get_num("seed", 0u64)?);
+    // --xai-ladder: off (every disagreement gets the full budget, the
+    // historical path), fano (adaptive Fano-bound triage), or a pinned rung.
+    let builder = match args.get_or("xai-ladder", "off") {
+        "off" => builder,
+        "fano" => builder.scheduler(TriageScheduler::adaptive()),
+        rung => match XaiLevel::parse(rung) {
+            Some(level) => builder.scheduler(TriageScheduler::pinned(level)),
+            None => {
+                return Err(format!(
+                    "unknown --xai-ladder `{rung}` (off|fano|skip|light|standard|full)"
+                ))
+            }
+        },
+    };
+    let remix = builder.build();
     let server =
         Server::start(ensemble, remix, config).map_err(|e| format!("starting server: {e}"))?;
     println!(

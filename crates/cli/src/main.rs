@@ -59,6 +59,12 @@ USAGE:
                         queue, and cache slice; 0 = all cores [0]
       --threads         XAI-stage threads per verdict         [1]
       --seed            ReMIX XAI seed                        [0]
+      --xai-ladder      XAI budget scheduling: off = full budget for every
+                        disagreement, fano = adaptive Fano-bound triage,
+                        or a pinned rung (skip|light|standard|full) [off]
+      --latency-budget  per-batch XAI wall-clock allowance, ms; under
+                        pressure the scheduler downgrades the most-confident
+                        requests' rungs to fit; 0 disables    [0]
       Runs until killed; `--trace` output is never written for this
       subcommand (use GET /stats for live counters).
 

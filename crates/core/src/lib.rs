@@ -37,9 +37,13 @@
 #![warn(missing_docs)]
 
 mod remix;
+mod triage;
 mod verdict;
 mod voter;
 
 pub use remix::{Remix, RemixBuilder};
+pub use triage::{
+    fano_error_bound, plan_downgrades, TriageScheduler, TriageSignals, TriageThresholds,
+};
 pub use verdict::{ModelDetail, RemixVerdict, StageTimings};
 pub use voter::RemixVoter;

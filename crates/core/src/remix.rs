@@ -1,9 +1,10 @@
+use crate::triage::TriageScheduler;
 use crate::verdict::{ModelDetail, RemixVerdict, StageTimings};
 use rand::{rngs::StdRng, SeedableRng};
 use remix_diversity::{sparseness_with_threshold, DiversityMetric};
-use remix_ensemble::{ModelOutput, Prediction, TrainedEnsemble};
+use remix_ensemble::{majority_with_weights, ModelOutput, Prediction, TrainedEnsemble};
 use remix_tensor::{fnv1a64, splitmix64, Tensor};
-use remix_xai::{Explainer, ExplainerConfig, XaiTechnique};
+use remix_xai::{Explainer, ExplainerConfig, XaiLevel, XaiTechnique};
 
 /// The ReMIX meta-learner (paper §IV): XAI technique + diversity metric +
 /// weight-generation parameters.
@@ -13,6 +14,7 @@ use remix_xai::{Explainer, ExplainerConfig, XaiTechnique};
 #[derive(Debug, Clone)]
 pub struct Remix {
     explainer: Explainer,
+    scheduler: Option<TriageScheduler>,
     metric: DiversityMetric,
     alpha: f32,
     sparseness_threshold: f32,
@@ -53,6 +55,14 @@ impl Remix {
     /// [`RemixBuilder::fast_path`]).
     pub fn fast_path_enabled(&self) -> bool {
         self.fast_path
+    }
+
+    /// The attached triage scheduler, if any (see
+    /// [`RemixBuilder::scheduler`]). External drivers of the XAI stage — the
+    /// serving layer — read it from here so their level assignments match
+    /// what [`Remix::predict`] would decide.
+    pub fn scheduler(&self) -> Option<&TriageScheduler> {
+        self.scheduler.as_ref()
     }
 
     /// The deterministic RNG stream for one model's XAI pass.
@@ -111,20 +121,44 @@ impl Remix {
                 prediction: Prediction::Decided(first),
                 unanimous: true,
                 details: Vec::new(),
+                xai_level: XaiLevel::Skip,
                 timings,
             };
         }
         remix_trace::incr(remix_trace::Counter::Disagreements);
+        // Triage: how much XAI does this disagreement deserve? Without a
+        // scheduler every disagreement gets the full budget — the historical
+        // path — and so does a scheduler pinned to `Full` (`at_level(Full)`
+        // is the identity), which the bit-identity suite enforces.
+        let level = match &self.scheduler {
+            Some(scheduler) => scheduler.assess(&outputs).0,
+            None => XaiLevel::Full,
+        };
+        if level == XaiLevel::Skip {
+            // Admission said XAI won't change the outcome: deterministic
+            // unweighted majority vote, tagged as such in the verdict.
+            let prediction =
+                majority_with_weights(outputs.iter().map(|o| (o.pred, 1.0)), outputs.len() as f32);
+            remix_trace::record_duration("verdict_skip", predict_span.finish());
+            return RemixVerdict {
+                prediction,
+                unanimous: false,
+                details: Vec::new(),
+                xai_level: XaiLevel::Skip,
+                timings,
+            };
+        }
         // (1) Feature Space Extraction, one independent RNG stream per model
+        let explainer = self.explainer.at_level(level);
         let stage = remix_trace::stage_span("xai");
         let matrices: Vec<Tensor> =
             remix_parallel::map_mut_indexed(&mut ensemble.models, threads, |i, model| {
                 let mut rng = self.xai_rng(&model.name);
-                self.explainer
-                    .explain(model, image, outputs[i].pred, &mut rng)
+                explainer.explain(model, image, outputs[i].pred, &mut rng)
             });
         timings.xai = stage.finish();
         let mut verdict = self.resolve_disagreement(ensemble, &outputs, &matrices);
+        verdict.xai_level = level;
         verdict.timings.prediction = timings.prediction;
         verdict.timings.xai = timings.xai;
         remix_trace::record_duration("verdict_weighted", predict_span.finish());
@@ -229,6 +263,9 @@ impl Remix {
             prediction,
             unanimous: false,
             details,
+            // The resolution math itself is level-agnostic; callers that ran
+            // the XAI stage at a scaled budget overwrite this tag.
+            xai_level: XaiLevel::Full,
             timings,
         }
     }
@@ -259,6 +296,7 @@ impl Default for Remix {
 #[derive(Debug, Clone)]
 pub struct RemixBuilder {
     technique: XaiTechnique,
+    scheduler: Option<TriageScheduler>,
     explainer_config: ExplainerConfig,
     metric: DiversityMetric,
     alpha: f32,
@@ -274,6 +312,7 @@ impl Default for RemixBuilder {
     fn default() -> Self {
         Self {
             technique: XaiTechnique::SmoothGrad,
+            scheduler: None,
             explainer_config: ExplainerConfig::default(),
             metric: DiversityMetric::CosineDistance,
             alpha: 20.0,
@@ -303,6 +342,15 @@ impl RemixBuilder {
     /// Sets the XAI technique parameters.
     pub fn explainer_config(mut self, config: ExplainerConfig) -> Self {
         self.explainer_config = config;
+        self
+    }
+
+    /// Attaches a [`TriageScheduler`] that maps each disagreement to an
+    /// [`XaiLevel`] from its prediction-stage signals (default: none — every
+    /// disagreement runs the full budget, the historical behavior, which
+    /// `TriageScheduler::pinned(XaiLevel::Full)` reproduces bit-identically).
+    pub fn scheduler(mut self, scheduler: TriageScheduler) -> Self {
+        self.scheduler = Some(scheduler);
         self
     }
 
@@ -390,6 +438,7 @@ impl RemixBuilder {
     pub fn build(self) -> Remix {
         Remix {
             explainer: Explainer::with_config(self.technique, self.explainer_config),
+            scheduler: self.scheduler,
             metric: self.metric,
             alpha: self.alpha,
             sparseness_threshold: self.sparseness_threshold,
@@ -567,6 +616,101 @@ mod tests {
         let rotated = remix.predict(&mut ens, img);
         assert_eq!(base.prediction, rotated.prediction);
         assert_details_bitwise_equal(&base, &rotated);
+    }
+
+    #[test]
+    fn full_pinned_scheduler_is_bit_identical_to_unscheduled_predict() {
+        // The tentpole invariant: a scheduler pinned to `Full` must be
+        // byte-equal to the historical `Remix::predict` on every input —
+        // unanimous, decided, and no-majority alike.
+        let (mut ens, test) = small_ensemble();
+        let unscheduled = Remix::builder().seed(9).build();
+        let pinned = Remix::builder()
+            .seed(9)
+            .scheduler(TriageScheduler::pinned(XaiLevel::Full))
+            .build();
+        let mut saw_disagreement = false;
+        for (img, _) in test.iter().take(10) {
+            let base = unscheduled.predict(&mut ens, img);
+            let scheduled = pinned.predict(&mut ens, img);
+            assert_eq!(base.prediction, scheduled.prediction);
+            assert_eq!(base.unanimous, scheduled.unanimous);
+            assert_eq!(base.xai_level, scheduled.xai_level);
+            assert_details_bitwise_equal(&base, &scheduled);
+            if !base.unanimous {
+                saw_disagreement = true;
+                assert_eq!(base.xai_level, XaiLevel::Full);
+            }
+        }
+        assert!(saw_disagreement, "sweep never exercised the XAI path");
+    }
+
+    #[test]
+    fn skip_scheduler_returns_the_plain_majority_vote() {
+        let (mut ens, test) = small_ensemble();
+        let skip = Remix::builder()
+            .scheduler(TriageScheduler::pinned(XaiLevel::Skip))
+            .build();
+        for (img, _) in test.iter().take(10) {
+            let outs = ens.outputs(img);
+            let verdict = skip.predict(&mut ens, img);
+            if verdict.unanimous {
+                assert_eq!(verdict.xai_level, XaiLevel::Skip);
+                continue;
+            }
+            let expected = remix_ensemble::majority_with_weights(
+                outs.iter().map(|o| (o.pred, 1.0)),
+                outs.len() as f32,
+            );
+            assert_eq!(verdict.prediction, expected);
+            assert_eq!(verdict.xai_level, XaiLevel::Skip);
+            assert!(verdict.details.is_empty(), "Skip must not run XAI");
+            assert_eq!(verdict.timings.xai.as_nanos(), 0);
+        }
+    }
+
+    #[test]
+    fn adaptive_triage_is_deterministic_across_thread_counts() {
+        // The triage signals accumulate in ensemble order regardless of how
+        // the prediction stage was parallelized, so the assigned level — and
+        // the verdict below it — must match for every thread count.
+        let (mut ens, test) = small_ensemble();
+        let build = |threads: usize| {
+            Remix::builder()
+                .seed(4)
+                .threads(threads)
+                .scheduler(TriageScheduler::adaptive())
+                .build()
+        };
+        for (img, _) in test.iter().take(8) {
+            let serial = build(1).predict(&mut ens, img);
+            for threads in [2, 4] {
+                let parallel = build(threads).predict(&mut ens, img);
+                assert_eq!(serial.xai_level, parallel.xai_level);
+                assert_eq!(serial.prediction, parallel.prediction);
+                assert_details_bitwise_equal(&serial, &parallel);
+            }
+        }
+    }
+
+    #[test]
+    fn scheduled_levels_scale_the_xai_stage_not_the_verdict_shape() {
+        // A pinned Light scheduler still produces full per-model evidence —
+        // just from a cheaper sweep.
+        let (mut ens, test) = small_ensemble();
+        let light = Remix::builder()
+            .scheduler(TriageScheduler::pinned(XaiLevel::Light))
+            .build();
+        for (img, _) in test.iter().take(10) {
+            let verdict = light.predict(&mut ens, img);
+            if verdict.unanimous {
+                continue;
+            }
+            assert_eq!(verdict.xai_level, XaiLevel::Light);
+            assert_eq!(verdict.details.len(), 3);
+            return;
+        }
+        panic!("no disagreeing test input found");
     }
 
     #[test]

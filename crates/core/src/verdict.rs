@@ -1,5 +1,6 @@
 use remix_ensemble::Prediction;
 use remix_tensor::Tensor;
+use remix_xai::XaiLevel;
 use std::time::Duration;
 
 /// Per-model evidence ReMIX used for one input.
@@ -64,6 +65,13 @@ pub struct RemixVerdict {
     pub unanimous: bool,
     /// Per-model evidence (empty on the fast path).
     pub details: Vec<ModelDetail>,
+    /// The XAI budget level this verdict was produced under.
+    ///
+    /// [`XaiLevel::Full`] is the unscheduled pipeline; [`XaiLevel::Skip`]
+    /// means no XAI ran at all — the unanimous fast path, the triage
+    /// scheduler's majority-vote admission, and the serving layer's deadline
+    /// fallback all land here.
+    pub xai_level: XaiLevel,
     /// Stage timing breakdown.
     pub timings: StageTimings,
 }

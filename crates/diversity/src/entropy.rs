@@ -8,13 +8,20 @@
 /// nothing, as in the usual `0·ln 0 = 0` convention. The vector is
 /// renormalized internally so near-simplex inputs behave well.
 ///
-/// # Panics
-///
-/// Panics if `probs` has fewer than two entries or sums to zero.
+/// Degenerate vectors — empty, single-class, or summing to zero — have no
+/// spread to measure and return `0.0`. The serving triage path feeds this
+/// function whatever class count the caller's model declares, so it must
+/// total-function rather than assert.
 pub fn shannon_entropy(probs: &[f32]) -> f32 {
-    assert!(probs.len() >= 2, "entropy needs at least two classes");
+    if probs.len() < 2 {
+        return 0.0;
+    }
     let total: f32 = probs.iter().sum();
-    assert!(total > 0.0, "probability vector sums to zero");
+    // `partial_cmp` so a NaN total (poisoned input) lands on the degenerate
+    // branch instead of flowing through the divisions below.
+    if total.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+        return 0.0;
+    }
     let h: f32 = probs
         .iter()
         .map(|&p| {
@@ -57,8 +64,13 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least two")]
-    fn rejects_single_class() {
-        shannon_entropy(&[1.0]);
+    fn degenerate_vectors_have_zero_entropy() {
+        // Fewer than two classes: nothing to spread over.
+        assert_eq!(shannon_entropy(&[]), 0.0);
+        assert_eq!(shannon_entropy(&[1.0]), 0.0);
+        assert_eq!(shannon_entropy(&[0.0]), 0.0);
+        // Zero-sum and NaN-sum vectors: no measurable distribution.
+        assert_eq!(shannon_entropy(&[0.0, 0.0, 0.0]), 0.0);
+        assert_eq!(shannon_entropy(&[f32::NAN, 1.0]), 0.0);
     }
 }

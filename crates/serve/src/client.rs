@@ -24,6 +24,9 @@ pub struct ClientReply {
     pub unanimous: bool,
     /// Whether the verdict came from the degraded majority-vote fallback.
     pub degraded: bool,
+    /// The XAI budget level the verdict was produced under (`"skip"`,
+    /// `"light"`, `"standard"`, `"full"`; empty on errors).
+    pub xai_level: String,
     /// Whether the reply was served from the verdict cache.
     pub cached: bool,
     /// Server-measured latency in microseconds.
@@ -140,6 +143,7 @@ fn read_reply(reader: &mut impl BufRead) -> io::Result<ClientReply> {
         prediction: None,
         unanimous: false,
         degraded: false,
+        xai_level: String::new(),
         cached: false,
         latency_us: 0,
         body,
@@ -179,6 +183,9 @@ fn read_reply(reader: &mut impl BufRead) -> io::Result<ClientReply> {
     if let Some(Value::Bool(b)) = field(verdict, "degraded") {
         reply.degraded = *b;
     }
+    if let Some(Value::Str(level)) = field(verdict, "xai_level") {
+        reply.xai_level = level.clone();
+    }
     Ok(reply)
 }
 
@@ -207,7 +214,7 @@ mod tests {
 
     #[test]
     fn parses_a_full_reply_and_recovers_the_raw_fragment() {
-        let fragment = r#"{"prediction":2,"decided":true,"unanimous":false,"degraded":false,"details":[{"name":"m","pred":2,"confidence":0.75,"diversity":0.5,"sparseness":0.25,"weight":0.09375}]}"#;
+        let fragment = r#"{"prediction":2,"decided":true,"unanimous":false,"degraded":false,"xai_level":"standard","details":[{"name":"m","pred":2,"confidence":0.75,"diversity":0.5,"sparseness":0.25,"weight":0.09375}]}"#;
         let body = format!("{{\"verdict\":{fragment},\"cached\":true,\"latency_us\":42}}");
         let wire = format!(
             "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
@@ -219,6 +226,7 @@ mod tests {
         assert_eq!(reply.prediction, Some(2));
         assert!(reply.cached);
         assert!(!reply.degraded);
+        assert_eq!(reply.xai_level, "standard");
         assert_eq!(reply.latency_us, 42);
     }
 

@@ -31,14 +31,29 @@ use remix_core::Remix;
 use remix_ensemble::{majority_with_weights, ModelOutput, TrainedEnsemble};
 use remix_tensor::Tensor;
 use remix_trace::Counter;
+use remix_xai::XaiLevel;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Smoothing factor for the engine's running ns-per-sweep-unit estimate:
+/// each measured XAI stage contributes 30 %, so the estimate tracks load
+/// shifts within a few batches without whipsawing on one outlier.
+const COST_EWMA_ALPHA: f64 = 0.3;
 
 pub(crate) struct Engine {
     pub remix: Remix,
     pub ensemble: TrainedEnsemble,
     pub cache: Arc<VerdictCache>,
     pub stats: Arc<ServeStats>,
+    /// Wall-clock allowance for one batch's XAI stage; zero disables
+    /// pressure downgrades.
+    pub latency_budget: Duration,
+    /// EWMA of measured nanoseconds per sweep unit (see
+    /// [`remix_xai::XaiBudget::sweep_units`]); `0.0` until first measured.
+    /// Only consulted to *price* levels — never to pick them — so verdict
+    /// content stays deterministic; only which requests get downgraded under
+    /// pressure depends on it.
+    pub ns_per_unit: f64,
 }
 
 impl Engine {
@@ -80,9 +95,12 @@ impl Engine {
         stage.finish();
 
         // Stage 2: triage. The deadline is evaluated once, now — after the
-        // cheap prediction stage, before committing to the XAI stage.
+        // cheap prediction stage, before committing to the XAI stage — and
+        // the scheduler (when attached) assigns every surviving disagreement
+        // its budget level from the prediction-stage signals alone.
         let now = Instant::now();
-        let mut full = Vec::new();
+        // (request index, assigned level, Fano bound)
+        let mut xai: Vec<(usize, XaiLevel, f32)> = Vec::new();
         for (k, request) in batch.iter().enumerate() {
             let outs = &outputs[k];
             let first = outs[0].pred;
@@ -92,9 +110,17 @@ impl Engine {
                     prediction: remix_ensemble::Prediction::Decided(first),
                     unanimous: true,
                     details: Vec::new(),
+                    xai_level: XaiLevel::Skip,
                     timings: remix_core::StageTimings::default(),
                 };
-                self.finish(request, protocol::verdict_fragment(&verdict), false, true);
+                self.stats.bump_level(XaiLevel::Skip);
+                self.finish(
+                    request,
+                    protocol::verdict_fragment(&verdict),
+                    false,
+                    true,
+                    true,
+                );
                 continue;
             }
             remix_trace::incr(Counter::Disagreements);
@@ -103,60 +129,182 @@ impl Engine {
                 remix_trace::incr(Counter::ServeDegraded);
                 let vote =
                     majority_with_weights(outs.iter().map(|o| (o.pred, 1.0)), outs.len() as f32);
-                self.finish(request, protocol::degraded_fragment(&vote), true, false);
+                self.finish(
+                    request,
+                    protocol::degraded_fragment(&vote),
+                    true,
+                    false,
+                    false,
+                );
                 continue;
             }
-            full.push(k);
+            let (level, predicted_error) = match self.remix.scheduler() {
+                Some(scheduler) => {
+                    let (level, signals) = scheduler.assess(outs);
+                    (level, signals.predicted_error)
+                }
+                None => (XaiLevel::Full, 0.0),
+            };
+            xai.push((k, level, predicted_error));
         }
-        if full.is_empty() {
+        if xai.is_empty() {
             span.finish();
             return;
         }
 
-        // Stage 3: coalesced XAI — for each model, one explain_many call
-        // covering every surviving request, each with its own copy of the
-        // model's deterministic RNG stream.
-        let stage = remix_trace::span("xai");
-        let explainer = *self.remix.explainer();
-        let nmodels = self.ensemble.models.len();
-        let mut matrices: Vec<Vec<Tensor>> = vec![Vec::with_capacity(nmodels); full.len()];
-        for (m, model) in self.ensemble.models.iter_mut().enumerate() {
-            let items: Vec<(&Tensor, usize)> = full
-                .iter()
-                .map(|&k| (&batch[k].image, outputs[k][m].pred))
-                .collect();
-            let mut rngs: Vec<_> = full
-                .iter()
-                .map(|_| self.remix.xai_rng(&model.name))
-                .collect();
-            for (slot, matrix) in matrices
-                .iter_mut()
-                .zip(explainer.explain_many(model, &items, &mut rngs))
-            {
-                slot.push(matrix);
+        // Pressure valve: when a latency budget is set and the cost model is
+        // warm, shrink the batch's XAI bill to fit by downgrading the
+        // most-confident requests one rung at a time — a continuum below the
+        // deadline cliff. Levels may only move *down* here, so a downgraded
+        // verdict is exactly what the scheduler would have produced at the
+        // lower level; it just isn't cached (the downgrade depends on queue
+        // pressure, not on the input).
+        let nmodels = self.ensemble.models.len() as u64;
+        let assigned: Vec<XaiLevel> = xai.iter().map(|&(_, level, _)| level).collect();
+        if self.remix.scheduler().is_some()
+            && !self.latency_budget.is_zero()
+            && self.ns_per_unit > 0.0
+        {
+            let budget_units = (self.latency_budget.as_nanos() as f64 / self.ns_per_unit) as u64;
+            let mut levels = assigned.clone();
+            let errors: Vec<f32> = xai.iter().map(|&(_, _, e)| e).collect();
+            let explainer = *self.remix.explainer();
+            remix_core::plan_downgrades(
+                &mut levels,
+                &errors,
+                |level| explainer.sweep_units_at(level) * nmodels,
+                budget_units,
+            );
+            for (entry, &level) in xai.iter_mut().zip(&levels) {
+                entry.1 = level;
             }
         }
-        stage.finish();
+        let downgraded: Vec<bool> = xai
+            .iter()
+            .zip(&assigned)
+            .map(|(&(_, level, _), &was)| level != was)
+            .collect();
+        self.stats
+            .bump_downgraded(downgraded.iter().filter(|&&d| d).count());
 
-        // Stages 4+5: per request, the shared resolution path.
-        for (f, &k) in full.iter().enumerate() {
-            let verdict =
-                self.remix
-                    .resolve_disagreement(&self.ensemble, &outputs[k], &matrices[f]);
+        // Scheduler-admitted Skip: deterministic majority vote, cacheable
+        // (unlike the deadline fallback, the level is a pure function of the
+        // input) unless queue pressure forced the downgrade.
+        for (i, &(k, level, _)) in xai.iter().enumerate() {
+            if level != XaiLevel::Skip {
+                continue;
+            }
+            let outs = &outputs[k];
+            let verdict = remix_core::RemixVerdict {
+                prediction: majority_with_weights(
+                    outs.iter().map(|o| (o.pred, 1.0)),
+                    outs.len() as f32,
+                ),
+                unanimous: false,
+                details: Vec::new(),
+                xai_level: XaiLevel::Skip,
+                timings: remix_core::StageTimings::default(),
+            };
+            self.stats.bump_level(XaiLevel::Skip);
             self.finish(
                 &batch[k],
                 protocol::verdict_fragment(&verdict),
                 false,
                 false,
+                !downgraded[i],
             );
         }
+
+        // Stage 3: coalesced XAI, one group per remaining ladder level — for
+        // each model, one explain_many call covering the group, each request
+        // with its own copy of the model's deterministic RNG stream
+        // (identical to what `Remix::predict` would draw at that level).
+        // Stages 4+5 resolve each group's verdicts through the shared path.
+        let stage = remix_trace::span("xai");
+        let xai_started = Instant::now();
+        let mut stage_units = 0u64;
+        for level in [XaiLevel::Light, XaiLevel::Standard, XaiLevel::Full] {
+            let group: Vec<usize> = xai
+                .iter()
+                .enumerate()
+                .filter(|&(_, &(_, l, _))| l == level)
+                .map(|(i, _)| i)
+                .collect();
+            if group.is_empty() {
+                continue;
+            }
+            let explainer = self.remix.explainer().at_level(level);
+            let level_span = remix_trace::span(match level {
+                XaiLevel::Light => "xai_light",
+                XaiLevel::Standard => "xai_standard",
+                _ => "xai_full",
+            });
+            let mut matrices: Vec<Vec<Tensor>> =
+                vec![Vec::with_capacity(nmodels as usize); group.len()];
+            for (m, model) in self.ensemble.models.iter_mut().enumerate() {
+                let items: Vec<(&Tensor, usize)> = group
+                    .iter()
+                    .map(|&i| {
+                        let k = xai[i].0;
+                        (&batch[k].image, outputs[k][m].pred)
+                    })
+                    .collect();
+                let mut rngs: Vec<_> = group
+                    .iter()
+                    .map(|_| self.remix.xai_rng(&model.name))
+                    .collect();
+                for (slot, matrix) in matrices
+                    .iter_mut()
+                    .zip(explainer.explain_many(model, &items, &mut rngs))
+                {
+                    slot.push(matrix);
+                }
+            }
+            level_span.finish();
+            stage_units += group.len() as u64
+                * explainer.config.budget.sweep_units(explainer.technique)
+                * nmodels;
+            for (g, &i) in group.iter().enumerate() {
+                let k = xai[i].0;
+                let mut verdict =
+                    self.remix
+                        .resolve_disagreement(&self.ensemble, &outputs[k], &matrices[g]);
+                verdict.xai_level = level;
+                self.stats.bump_level(level);
+                self.finish(
+                    &batch[k],
+                    protocol::verdict_fragment(&verdict),
+                    false,
+                    false,
+                    !downgraded[i],
+                );
+            }
+        }
+        // Refresh the cost model from what the stage actually took. Prices
+        // future downgrade decisions only; never the verdicts themselves.
+        if stage_units > 0 {
+            let measured = xai_started.elapsed().as_nanos() as f64 / stage_units as f64;
+            self.ns_per_unit = if self.ns_per_unit > 0.0 {
+                COST_EWMA_ALPHA * measured + (1.0 - COST_EWMA_ALPHA) * self.ns_per_unit
+            } else {
+                measured
+            };
+        }
+        stage.finish();
         span.finish();
     }
 
     /// Caches (when eligible) and delivers one reply.
-    fn finish(&self, request: &PendingRequest, fragment: String, degraded: bool, unanimous: bool) {
+    fn finish(
+        &self,
+        request: &PendingRequest,
+        fragment: String,
+        degraded: bool,
+        unanimous: bool,
+        cacheable: bool,
+    ) {
         let fragment: Arc<str> = Arc::from(fragment);
-        if !degraded && !request.no_cache {
+        if cacheable && !degraded && !request.no_cache {
             self.cache
                 .insert(request.key, request.image.data(), Arc::clone(&fragment));
         }

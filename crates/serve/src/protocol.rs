@@ -13,6 +13,7 @@
 
 use remix_core::RemixVerdict;
 use remix_ensemble::Prediction;
+use remix_xai::XaiLevel;
 use serde::Value;
 use std::fmt::Write as _;
 
@@ -77,8 +78,9 @@ pub fn verdict_fragment(verdict: &RemixVerdict) -> String {
     push_prediction(&mut out, &verdict.prediction);
     let _ = write!(
         out,
-        ",\"unanimous\":{},\"degraded\":false,\"details\":[",
-        verdict.unanimous
+        ",\"unanimous\":{},\"degraded\":false,\"xai_level\":\"{}\",\"details\":[",
+        verdict.unanimous,
+        verdict.xai_level.as_str(),
     );
     for (i, d) in verdict.details.iter().enumerate() {
         if i > 0 {
@@ -101,12 +103,16 @@ pub fn verdict_fragment(verdict: &RemixVerdict) -> String {
 
 /// Renders the degraded (deadline-expired) verdict fragment: the plain
 /// majority-vote decision, with no per-model evidence because the XAI stage
-/// never ran.
+/// never ran — which is also why the level tag is [`XaiLevel::Skip`].
 pub fn degraded_fragment(prediction: &Prediction) -> String {
     let mut out = String::with_capacity(96);
     out.push('{');
     push_prediction(&mut out, prediction);
-    out.push_str(",\"unanimous\":false,\"degraded\":true,\"details\":[]}");
+    let _ = write!(
+        out,
+        ",\"unanimous\":false,\"degraded\":true,\"xai_level\":\"{}\",\"details\":[]}}",
+        XaiLevel::Skip.as_str(),
+    );
     out
 }
 
@@ -203,7 +209,7 @@ mod tests {
         let degraded = degraded_fragment(&Prediction::Decided(4));
         assert_eq!(
             degraded,
-            r#"{"prediction":4,"decided":true,"unanimous":false,"degraded":true,"details":[]}"#
+            r#"{"prediction":4,"decided":true,"unanimous":false,"degraded":true,"xai_level":"skip","details":[]}"#
         );
         let none = degraded_fragment(&Prediction::NoMajority);
         assert!(none.contains("\"prediction\":null,\"decided\":false"));

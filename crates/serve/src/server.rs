@@ -26,6 +26,7 @@ use remix_core::Remix;
 use remix_ensemble::TrainedEnsemble;
 use remix_tensor::Tensor;
 use remix_trace::Counter;
+use remix_xai::XaiLevel;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -62,6 +63,13 @@ pub struct ServeConfig {
     /// Engine shards — workers that each own an ensemble replica, a queue,
     /// and a cache slice. `0` uses [`thread::available_parallelism`].
     pub shards: usize,
+    /// Per-batch wall-clock allowance for the XAI stage. When nonzero and a
+    /// triage scheduler is attached to the served [`Remix`], a batch whose
+    /// predicted XAI cost exceeds the allowance has its most-confident
+    /// requests downgraded one ladder rung at a time until it fits —
+    /// a graceful continuum *before* the deadline cliff. Zero disables
+    /// pressure downgrades.
+    pub latency_budget: Duration,
 }
 
 impl Default for ServeConfig {
@@ -75,6 +83,7 @@ impl Default for ServeConfig {
             cache_capacity: 4096,
             cache_shards: 8,
             shards: 0,
+            latency_budget: Duration::ZERO,
         }
     }
 }
@@ -99,6 +108,20 @@ pub struct ServeStats {
     /// Requests carried by those micro-batches (mean occupancy =
     /// `batched_requests / batches`).
     pub batched_requests: AtomicU64,
+    /// Verdicts produced at [`XaiLevel::Skip`]: the unanimous fast path and
+    /// the scheduler's majority-vote admissions (degraded verdicts count in
+    /// `degraded` only).
+    pub xai_skip: AtomicU64,
+    /// Verdicts produced at the quarter budget.
+    pub xai_light: AtomicU64,
+    /// Verdicts produced at the half budget.
+    pub xai_standard: AtomicU64,
+    /// Verdicts produced at the full budget (the only populated level when
+    /// no scheduler is attached).
+    pub xai_full: AtomicU64,
+    /// Requests served below their scheduler-assigned level because the
+    /// batch's XAI bill exceeded the latency budget.
+    pub downgraded: AtomicU64,
 }
 
 impl ServeStats {
@@ -110,6 +133,22 @@ impl ServeStats {
 
     pub(crate) fn bump_degraded(&self) {
         self.degraded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn bump_level(&self, level: XaiLevel) {
+        let counter = match level {
+            XaiLevel::Skip => &self.xai_skip,
+            XaiLevel::Light => &self.xai_light,
+            XaiLevel::Standard => &self.xai_standard,
+            XaiLevel::Full => &self.xai_full,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn bump_downgraded(&self, count: usize) {
+        if count > 0 {
+            self.downgraded.fetch_add(count as u64, Ordering::Relaxed);
+        }
     }
 }
 
@@ -133,6 +172,16 @@ pub struct StatsSnapshot {
     pub batches: u64,
     /// Requests carried by those micro-batches.
     pub batched_requests: u64,
+    /// Verdicts produced at [`XaiLevel::Skip`] (fast path + admissions).
+    pub xai_skip: u64,
+    /// Verdicts produced at the quarter budget.
+    pub xai_light: u64,
+    /// Verdicts produced at the half budget.
+    pub xai_standard: u64,
+    /// Verdicts produced at the full budget.
+    pub xai_full: u64,
+    /// Requests served below their assigned level under latency pressure.
+    pub downgraded: u64,
     /// Verdicts currently held across all cache slices.
     pub cached_verdicts: u64,
     /// Number of engine shards serving.
@@ -142,7 +191,7 @@ pub struct StatsSnapshot {
 impl StatsSnapshot {
     fn body(&self) -> String {
         format!(
-            "{{\"requests\":{},\"cache_hits\":{},\"cache_misses\":{},\"shed\":{},\"degraded\":{},\"batches\":{},\"batched_requests\":{},\"cached_verdicts\":{},\"shards\":{}}}",
+            "{{\"requests\":{},\"cache_hits\":{},\"cache_misses\":{},\"shed\":{},\"degraded\":{},\"batches\":{},\"batched_requests\":{},\"xai_skip\":{},\"xai_light\":{},\"xai_standard\":{},\"xai_full\":{},\"downgraded\":{},\"cached_verdicts\":{},\"shards\":{}}}",
             self.requests,
             self.cache_hits,
             self.cache_misses,
@@ -150,6 +199,11 @@ impl StatsSnapshot {
             self.degraded,
             self.batches,
             self.batched_requests,
+            self.xai_skip,
+            self.xai_light,
+            self.xai_standard,
+            self.xai_full,
+            self.downgraded,
             self.cached_verdicts,
             self.shards,
         )
@@ -196,6 +250,11 @@ impl Shared {
             sum.degraded += shard.stats.degraded.load(Ordering::Relaxed);
             sum.batches += shard.stats.batches.load(Ordering::Relaxed);
             sum.batched_requests += shard.stats.batched_requests.load(Ordering::Relaxed);
+            sum.xai_skip += shard.stats.xai_skip.load(Ordering::Relaxed);
+            sum.xai_light += shard.stats.xai_light.load(Ordering::Relaxed);
+            sum.xai_standard += shard.stats.xai_standard.load(Ordering::Relaxed);
+            sum.xai_full += shard.stats.xai_full.load(Ordering::Relaxed);
+            sum.downgraded += shard.stats.downgraded.load(Ordering::Relaxed);
             sum.cached_verdicts += shard.cache.len() as u64;
         }
         sum
@@ -398,6 +457,8 @@ impl Server {
                 ensemble: ensemble.clone(),
                 cache: Arc::clone(&cache),
                 stats: Arc::clone(&stats),
+                latency_budget: config.latency_budget,
+                ns_per_unit: 0.0,
             };
             let engine_queue = Arc::clone(&queue);
             engine_threads.push(

@@ -14,13 +14,14 @@
 //! * a full queue sheds with `429` instead of queueing without bound.
 
 use rand::{rngs::StdRng, Rng, SeedableRng};
-use remix_core::Remix;
+use remix_core::{Remix, TriageScheduler, TriageThresholds};
 use remix_data::SyntheticSpec;
 use remix_ensemble::{majority_with_weights, Prediction, TrainedEnsemble};
 use remix_nn::layers::{Dense, Flatten, Relu};
 use remix_nn::{InputSpec, Model, Sequential, Trainer, TrainerConfig};
 use remix_serve::{verdict_fragment, Client, ServeConfig, Server};
 use remix_tensor::Tensor;
+use remix_xai::XaiLevel;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::thread;
@@ -398,12 +399,189 @@ fn sharded_server_stays_byte_identical_and_aggregates_stats() {
         "6 bypasses + 1 cold run computed"
     );
     assert!(stats.batches >= 1 && stats.batches <= 7);
+
+    // Per-level accounting: without a scheduler, every computed verdict is
+    // either a fast-path Skip (unanimous) or a full-budget disagreement —
+    // tallies the local replica can predict exactly.
+    let mut expected_skip = 0u64;
+    let mut expected_full = 0u64;
+    for image in images.iter().take(6).chain(std::iter::once(&images[0])) {
+        let outs = local.outputs(image);
+        if outs.iter().all(|o| o.pred == outs[0].pred) {
+            expected_skip += 1;
+        } else {
+            expected_full += 1;
+        }
+    }
+    assert_eq!(stats.xai_skip, expected_skip);
+    assert_eq!(stats.xai_full, expected_full);
+    assert_eq!(stats.xai_skip + stats.xai_full, 7);
+    assert_eq!(stats.xai_light, 0);
+    assert_eq!(stats.xai_standard, 0);
+    assert_eq!(stats.downgraded, 0);
+    assert_eq!(stats.degraded, 0);
+
     let wire = client.stats().unwrap();
     let pairs = wire.as_object().expect("/stats is a JSON object");
     match pairs.iter().find(|(k, _)| k == "shards") {
         Some((_, serde::Value::UInt(3))) => {}
         other => panic!("`/stats` must report the shard count: {other:?}"),
     }
+    // The scheduler counters are first-class wire fields, not just internal
+    // snapshot sums.
+    for name in [
+        "xai_skip",
+        "xai_light",
+        "xai_standard",
+        "xai_full",
+        "downgraded",
+        "degraded",
+    ] {
+        let got = match pairs.iter().find(|(k, _)| k == name) {
+            Some((_, serde::Value::UInt(n))) => *n,
+            other => panic!("`/stats` must carry {name}: {other:?}"),
+        };
+        let expected = match name {
+            "xai_skip" => expected_skip,
+            "xai_full" => expected_full,
+            _ => 0,
+        };
+        assert_eq!(got, expected, "{name}");
+    }
+}
+
+/// A scheduler-enabled pipeline mirroring [`remix`]'s seed and threading.
+fn scheduled_remix() -> Remix {
+    Remix::builder()
+        .seed(7)
+        .threads(1)
+        .scheduler(TriageScheduler::adaptive())
+        .build()
+}
+
+#[test]
+fn triage_levels_are_deterministic_across_shard_counts() {
+    // Same input + seed => same budget level and byte-identical verdict,
+    // whether the request lands on a 1-shard or a 3-shard server, and both
+    // must equal the local scheduled Remix::predict exactly.
+    let (ensemble_a, images) = setup();
+    let (ensemble_b, _) = setup();
+    let (mut local, _) = setup();
+    let reference = scheduled_remix();
+    let one = Server::start(
+        ensemble_a,
+        scheduled_remix(),
+        ServeConfig {
+            shards: 1,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let many = Server::start(
+        ensemble_b,
+        scheduled_remix(),
+        ServeConfig {
+            shards: 3,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client_one = Client::connect(one.addr()).unwrap();
+    let mut client_many = Client::connect(many.addr()).unwrap();
+
+    let mut seen_levels = std::collections::BTreeSet::new();
+    for image in images.iter().take(12) {
+        let a = client_one
+            .predict(image.data(), Some(10_000), true)
+            .unwrap();
+        let b = client_many
+            .predict(image.data(), Some(10_000), true)
+            .unwrap();
+        assert_eq!(a.status, 200);
+        assert_eq!(b.status, 200);
+        assert!(
+            XaiLevel::parse(&a.xai_level).is_some(),
+            "every verdict must carry a ladder level, got {:?}",
+            a.xai_level
+        );
+        assert_eq!(a.xai_level, b.xai_level, "level diverged across shards");
+        assert_eq!(
+            a.verdict_json, b.verdict_json,
+            "verdict bytes diverged across shard counts"
+        );
+        let expected = verdict_fragment(&reference.predict(&mut local, image));
+        assert_eq!(
+            a.verdict_json, expected,
+            "served scheduled verdict must match Remix::predict bytes"
+        );
+        seen_levels.insert(a.xai_level.clone());
+    }
+    // The sweep must actually exercise the scheduler: at least Skip (the
+    // unanimous inputs) plus some non-Skip level.
+    assert!(seen_levels.contains("skip"), "levels seen: {seen_levels:?}");
+    assert!(seen_levels.len() >= 2, "levels seen: {seen_levels:?}");
+}
+
+#[test]
+fn latency_pressure_downgrades_instead_of_degrading() {
+    let (ensemble, images) = setup();
+    let (mut local, _) = setup();
+    let (_, split) = split_inputs(&mut local, &images);
+    // Thresholds that send every disagreement to Full, plus a 1 ns latency
+    // budget: once the engine's cost model is warm, the planner can only fit
+    // the batch by downgrading all the way to Skip.
+    let force_full = TriageThresholds {
+        skip_max: 0.0,
+        light_max: 0.0,
+        standard_max: 0.0,
+    };
+    let remix_forced = Remix::builder()
+        .seed(7)
+        .threads(1)
+        .scheduler(TriageScheduler::with_thresholds(force_full))
+        .build();
+    let server = Server::start(
+        ensemble,
+        remix_forced,
+        ServeConfig {
+            shards: 1,
+            latency_budget: Duration::from_nanos(1),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    // Cold cost model: the first disagreement runs at its assigned level.
+    let first = client.predict(split.data(), Some(10_000), true).unwrap();
+    assert_eq!(first.status, 200);
+    assert_eq!(first.xai_level, "full");
+    assert!(!first.degraded);
+
+    // Warm cost model: the same request now exceeds the 1 ns budget and is
+    // planned down to Skip — served, not degraded, and tagged accordingly.
+    let second = client.predict(split.data(), Some(10_000), true).unwrap();
+    assert_eq!(second.status, 200);
+    assert_eq!(second.xai_level, "skip");
+    assert!(
+        !second.degraded,
+        "downgrade must not masquerade as degraded"
+    );
+    // A pressure downgrade yields exactly the verdict the scheduler would
+    // have produced at the lower level.
+    let skip_local = Remix::builder()
+        .seed(7)
+        .threads(1)
+        .scheduler(TriageScheduler::pinned(XaiLevel::Skip))
+        .build();
+    let expected = verdict_fragment(&skip_local.predict(&mut local, &split));
+    assert_eq!(second.verdict_json, expected);
+
+    let stats = server.stats();
+    assert!(stats.downgraded >= 1, "stats: {stats:?}");
+    assert_eq!(stats.degraded, 0);
+    assert_eq!(stats.xai_full, 1);
+    assert!(stats.xai_skip >= 1);
 }
 
 #[test]

@@ -27,7 +27,7 @@ pub(crate) fn explain(
 ) -> Tensor {
     let pair_batched = config.budget.effective_batch_size() >= 2;
     let mut current = image.clone();
-    for _ in 0..config.cfe_max_steps {
+    for _ in 0..config.budget.cfe_max_steps {
         let probs = model.predict_proba(&current);
         let pred = probs.argmax().expect("non-empty");
         if pred != class {

@@ -18,7 +18,7 @@ pub(crate) fn explain(
     class: usize,
     config: &ExplainerConfig,
 ) -> Tensor {
-    let steps = config.ig_steps.max(1);
+    let steps = config.budget.ig_steps.max(1);
     let baseline = Tensor::full(image.shape(), config.baseline);
     let delta = image.sub(&baseline).expect("same shape");
     let points: Vec<Tensor> = (1..=steps)

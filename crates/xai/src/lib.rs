@@ -55,4 +55,4 @@ mod technique;
 
 pub use feature::{aggregate_channels, apply_pixel_mask};
 pub use segments::SegmentGrid;
-pub use technique::{Explainer, ExplainerConfig, XaiBudget, XaiTechnique};
+pub use technique::{Explainer, ExplainerConfig, XaiBudget, XaiLevel, XaiTechnique};

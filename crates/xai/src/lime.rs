@@ -26,7 +26,7 @@ pub(crate) fn explain(
     let (h, w) = (image.shape()[1], image.shape()[2]);
     let grid = SegmentGrid::new(h, w, config.segment.min(h).max(1));
     let t = grid.len();
-    let n = config.lime_samples.max(t + 2);
+    let n = config.budget.lime_samples.max(t + 2);
     // include the all-on coalition so the surrogate anchors at the input
     let mut coalitions: Vec<Vec<bool>> = vec![vec![true; t]];
     for _ in 1..n {

@@ -62,7 +62,7 @@ pub fn noisegrad(
     rng: &mut impl Rng,
 ) -> Tensor {
     let mut acc = Tensor::zeros(image.shape());
-    for _ in 0..config.sg_samples.max(1) {
+    for _ in 0..config.budget.sg_samples.max(1) {
         let noises = perturb_params(model, config.sg_sigma * 0.5, rng);
         let grad = model.input_gradient(image, class);
         restore_params(model, &noises);
@@ -80,7 +80,7 @@ pub fn fusiongrad(
     rng: &mut impl Rng,
 ) -> Tensor {
     let mut acc = Tensor::zeros(image.shape());
-    for _ in 0..config.sg_samples.max(1) {
+    for _ in 0..config.budget.sg_samples.max(1) {
         let noises = perturb_params(model, config.sg_sigma * 0.5, rng);
         let noisy_input = image.with_gaussian_noise(config.sg_sigma, rng);
         let grad = model.input_gradient(&noisy_input, class);
@@ -150,7 +150,10 @@ mod tests {
         let img = Tensor::rand_uniform(&[1, 4, 4], 0.0, 1.0, &mut StdRng::seed_from_u64(5));
         let mut rng = StdRng::seed_from_u64(6);
         let cfg = ExplainerConfig {
-            sg_samples: 16,
+            budget: crate::XaiBudget {
+                sg_samples: 16,
+                ..crate::XaiBudget::default()
+            },
             sg_sigma: 0.05,
             ..ExplainerConfig::default()
         };

@@ -29,7 +29,7 @@ pub(crate) fn explain(
     let (h, w) = (image.shape()[1], image.shape()[2]);
     let grid = SegmentGrid::new(h, w, config.segment.min(h).max(1));
     let t = grid.len();
-    let permutations = config.shap_permutations.max(1);
+    let permutations = config.budget.shap_permutations.max(1);
     let orders: Vec<Vec<usize>> = (0..permutations)
         .map(|_| {
             let mut order: Vec<usize> = (0..t).collect();

@@ -43,7 +43,7 @@ pub(crate) fn explain_coalesced<R: Rng>(
     config: &ExplainerConfig,
 ) -> Vec<Tensor> {
     assert_eq!(items.len(), rngs.len(), "one rng per item");
-    let per_item = config.sg_samples.max(1);
+    let per_item = config.budget.sg_samples.max(1);
     let mut noisy = Vec::with_capacity(items.len() * per_item);
     let mut classes = Vec::with_capacity(items.len() * per_item);
     for ((image, class), rng) in items.iter().zip(rngs.iter_mut()) {
@@ -66,7 +66,7 @@ pub(crate) fn explain_coalesced<R: Rng>(
 /// Draws the Gaussian-noised copies of `image` — the complete RNG
 /// consumption for one SmoothGrad item, in the historical draw order.
 fn materialize(image: &Tensor, config: &ExplainerConfig, rng: &mut impl Rng) -> Vec<Tensor> {
-    (0..config.sg_samples.max(1))
+    (0..config.budget.sg_samples.max(1))
         .map(|_| image.with_gaussian_noise(config.sg_sigma, rng))
         .collect()
 }
@@ -138,7 +138,10 @@ mod tests {
         // linear model: gradient is constant, so any sample count gives the
         // same (uniform) map; just confirm determinism under seeds
         let cfg = ExplainerConfig {
-            sg_samples: 16,
+            budget: crate::XaiBudget {
+                sg_samples: 16,
+                ..crate::XaiBudget::default()
+            },
             ..ExplainerConfig::default()
         };
         let a = explain(&mut model, &image, 0, &cfg, &mut StdRng::seed_from_u64(3));

@@ -69,24 +69,112 @@ impl fmt::Display for XaiTechnique {
     }
 }
 
-/// Execution budget for the batched inference engine.
+/// One rung of the fixed XAI budget ladder.
 ///
-/// Every technique first materializes its perturbed inputs (noise draws,
-/// path points, coalition masks), then evaluates them `batch_size` at a time
-/// through the model's batched forward/backward sweeps. Results are
-/// bit-identical for every batch size, so this knob trades memory for
-/// throughput only.
+/// The triage scheduler (`remix-core`) maps each disagreement to a level;
+/// [`XaiBudget::scale`] derives the level's per-technique counts from the
+/// `Full` budget with fixed integer arithmetic, so the same input always
+/// receives the same perturbation stream — no wall-clock enters the verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum XaiLevel {
+    /// No XAI at all: the verdict is the deterministic unweighted majority
+    /// vote over the constituent predictions.
+    Skip,
+    /// A quarter of the full perturbation counts (rounded up, at least one).
+    Light,
+    /// Half of the full perturbation counts (rounded up, at least one).
+    Standard,
+    /// The full budget — bit-identical to the unscheduled pipeline.
+    Full,
+}
+
+impl XaiLevel {
+    /// The ladder from cheapest to most expensive.
+    pub const LADDER: [XaiLevel; 4] = [
+        XaiLevel::Skip,
+        XaiLevel::Light,
+        XaiLevel::Standard,
+        XaiLevel::Full,
+    ];
+
+    /// Wire/label name (`"skip"`, `"light"`, `"standard"`, `"full"`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            XaiLevel::Skip => "skip",
+            XaiLevel::Light => "light",
+            XaiLevel::Standard => "standard",
+            XaiLevel::Full => "full",
+        }
+    }
+
+    /// Parses a wire/label name back into a level.
+    pub fn parse(name: &str) -> Option<XaiLevel> {
+        XaiLevel::LADDER.into_iter().find(|l| l.as_str() == name)
+    }
+
+    /// The next cheaper rung (`Skip` has none).
+    pub fn downgrade(&self) -> Option<XaiLevel> {
+        match self {
+            XaiLevel::Skip => None,
+            XaiLevel::Light => Some(XaiLevel::Skip),
+            XaiLevel::Standard => Some(XaiLevel::Light),
+            XaiLevel::Full => Some(XaiLevel::Standard),
+        }
+    }
+
+    /// Numerator of the fixed count fraction this level applies (over 4).
+    fn quarters(&self) -> usize {
+        match self {
+            XaiLevel::Skip => 0,
+            XaiLevel::Light => 1,
+            XaiLevel::Standard => 2,
+            XaiLevel::Full => 4,
+        }
+    }
+}
+
+impl fmt::Display for XaiLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Execution budget for the batched inference engine: the per-technique
+/// perturbation/path/coalition counts plus the batched sweep width.
+///
+/// The counts are what the budget ladder scales ([`XaiBudget::scale`]);
+/// `batch_size` is a pure execution-strategy knob — every technique first
+/// materializes its perturbed inputs (noise draws, path points, coalition
+/// masks), then evaluates them `batch_size` at a time through the model's
+/// batched forward/backward sweeps, bit-identically for every batch size.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct XaiBudget {
     /// Number of perturbed inputs evaluated per batched model sweep.
     /// `1` reproduces the per-sample execution path exactly; `0` is treated
-    /// as `1`.
+    /// as `1`. Not scaled by the ladder.
     pub batch_size: usize,
+    /// SmoothGrad / NoiseGrad / FusionGrad: number of noisy samples.
+    pub sg_samples: usize,
+    /// Integrated Gradients: number of interpolation path points.
+    pub ig_steps: usize,
+    /// SHAP: number of sampled coalition permutations.
+    pub shap_permutations: usize,
+    /// LIME: number of random coalition samples.
+    pub lime_samples: usize,
+    /// CFE: maximum gradient-pair perturbation steps before giving up.
+    pub cfe_max_steps: usize,
 }
 
 impl Default for XaiBudget {
     fn default() -> Self {
-        Self { batch_size: 32 }
+        Self {
+            batch_size: 32,
+            sg_samples: 8,
+            ig_steps: 12,
+            shap_permutations: 4,
+            lime_samples: 40,
+            cfe_max_steps: 40,
+        }
     }
 }
 
@@ -95,49 +183,93 @@ impl XaiBudget {
     pub fn effective_batch_size(&self) -> usize {
         self.batch_size.max(1)
     }
+
+    /// Derives the budget for one ladder level with fixed integer
+    /// arithmetic: `Full` returns `self` unchanged (the bit-identity
+    /// anchor), `Standard`/`Light` keep half/a quarter of every count
+    /// (rounded up, at least one), and `Skip` zeroes them — the pipeline
+    /// never invokes an explainer at `Skip`, so the zeros only matter to the
+    /// cost model. `batch_size` is never scaled.
+    pub fn scale(&self, level: XaiLevel) -> XaiBudget {
+        if level == XaiLevel::Full {
+            return *self;
+        }
+        let q = level.quarters();
+        let part = |count: usize| {
+            if q == 0 {
+                0
+            } else {
+                (count * q).div_ceil(4).max(1)
+            }
+        };
+        XaiBudget {
+            batch_size: self.batch_size,
+            sg_samples: part(self.sg_samples),
+            ig_steps: part(self.ig_steps),
+            shap_permutations: part(self.shap_permutations),
+            lime_samples: part(self.lime_samples),
+            cfe_max_steps: part(self.cfe_max_steps),
+        }
+    }
+
+    /// Coarse cost of one model's pass under `technique`, in perturbation
+    /// units (model sweeps). Drives the serving layer's latency-budget
+    /// downgrades; the ordering across levels is what matters, not the
+    /// absolute calibration.
+    pub fn sweep_units(&self, technique: XaiTechnique) -> u64 {
+        (match technique {
+            XaiTechnique::SmoothGrad | XaiTechnique::NoiseGrad => self.sg_samples,
+            // FusionGrad runs NoiseGrad's model-noise loop and SmoothGrad's
+            // input-noise loop per noisy model.
+            XaiTechnique::FusionGrad => self.sg_samples * (1 + self.sg_samples),
+            XaiTechnique::IntegratedGradients => self.ig_steps,
+            XaiTechnique::Shap => self.shap_permutations,
+            XaiTechnique::Lime => self.lime_samples,
+            XaiTechnique::Counterfactual => self.cfe_max_steps,
+        }) as u64
+    }
 }
 
-/// Tunable parameters for all techniques.
+/// Tunable parameters for all techniques. The perturbation *counts* live in
+/// [`XaiBudget`] (so the budget ladder can scale them); only the shape/noise
+/// parameters that never change across ladder levels live here.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ExplainerConfig {
-    /// SmoothGrad: number of noisy samples.
-    pub sg_samples: usize,
     /// SmoothGrad: noise standard deviation (input range is `[0, 1]`).
     pub sg_sigma: f32,
-    /// Integrated Gradients: number of interpolation steps.
-    pub ig_steps: usize,
-    /// SHAP: number of sampled permutations.
-    pub shap_permutations: usize,
     /// Segment (patch) side for SHAP/LIME.
     pub segment: usize,
-    /// LIME: number of random coalition samples.
-    pub lime_samples: usize,
     /// LIME: ridge regularization strength.
     pub lime_ridge: f32,
-    /// CFE: maximum perturbation steps before giving up.
-    pub cfe_max_steps: usize,
     /// CFE: per-step perturbation magnitude.
     pub cfe_step: f32,
     /// Masking baseline value for "removed" features.
     pub baseline: f32,
-    /// Batched-execution budget shared by all techniques.
+    /// Perturbation counts and batched-execution budget shared by all
+    /// techniques.
     pub budget: XaiBudget,
 }
 
 impl Default for ExplainerConfig {
     fn default() -> Self {
         Self {
-            sg_samples: 8,
             sg_sigma: 0.1,
-            ig_steps: 12,
-            shap_permutations: 4,
             segment: 4,
-            lime_samples: 40,
             lime_ridge: 1.0,
-            cfe_max_steps: 40,
             cfe_step: 0.08,
             baseline: 0.0,
             budget: XaiBudget::default(),
+        }
+    }
+}
+
+impl ExplainerConfig {
+    /// The same config with the budget counts scaled to `level`
+    /// ([`XaiBudget::scale`]); `Full` is the identity.
+    pub fn at_level(&self, level: XaiLevel) -> ExplainerConfig {
+        ExplainerConfig {
+            budget: self.budget.scale(level),
+            ..*self
         }
     }
 }
@@ -164,6 +296,21 @@ impl Explainer {
     /// Creates an explainer with explicit parameters.
     pub fn with_config(technique: XaiTechnique, config: ExplainerConfig) -> Self {
         Self { technique, config }
+    }
+
+    /// The same explainer with its budget counts scaled to `level`; `Full`
+    /// returns `self` bit-identically.
+    pub fn at_level(&self, level: XaiLevel) -> Explainer {
+        Explainer {
+            technique: self.technique,
+            config: self.config.at_level(level),
+        }
+    }
+
+    /// Coarse per-model cost of this explainer in perturbation units at
+    /// `level` (see [`XaiBudget::sweep_units`]).
+    pub fn sweep_units_at(&self, level: XaiLevel) -> u64 {
+        self.config.budget.scale(level).sweep_units(self.technique)
     }
 
     /// Extracts the feature matrix explaining why `model` assigns `class` to
@@ -304,7 +451,10 @@ mod tests {
             let explainer = Explainer::with_config(
                 technique,
                 ExplainerConfig {
-                    budget: XaiBudget { batch_size: 5 },
+                    budget: XaiBudget {
+                        batch_size: 5,
+                        ..XaiBudget::default()
+                    },
                     ..ExplainerConfig::default()
                 },
             );
@@ -327,6 +477,68 @@ mod tests {
         assert!(!XaiTechnique::Shap.is_model_dependent());
         assert!(!XaiTechnique::Lime.is_model_dependent());
         assert!(!XaiTechnique::Counterfactual.is_model_dependent());
+    }
+
+    #[test]
+    fn full_scale_is_identity_and_lower_levels_shrink_monotonically() {
+        let budget = XaiBudget::default();
+        assert_eq!(budget.scale(XaiLevel::Full), budget);
+        for technique in XaiTechnique::ALL.into_iter().chain(XaiTechnique::OPTIMIZED) {
+            let units: Vec<u64> = XaiLevel::LADDER
+                .iter()
+                .map(|&l| budget.scale(l).sweep_units(technique))
+                .collect();
+            assert!(
+                units.windows(2).all(|w| w[0] <= w[1]),
+                "{technique}: {units:?} not monotone over the ladder"
+            );
+            assert_eq!(units[0], 0, "{technique}: Skip must cost nothing");
+            assert!(units[3] > 0, "{technique}: Full must cost something");
+        }
+        // Scaled counts never hit zero above Skip, even from count 1.
+        let tiny = XaiBudget {
+            sg_samples: 1,
+            ig_steps: 1,
+            shap_permutations: 1,
+            lime_samples: 1,
+            cfe_max_steps: 1,
+            batch_size: 1,
+        };
+        let light = tiny.scale(XaiLevel::Light);
+        assert_eq!(light.sg_samples, 1);
+        assert_eq!(light.cfe_max_steps, 1);
+    }
+
+    #[test]
+    fn ladder_names_round_trip_and_downgrade_walks_to_skip() {
+        for level in XaiLevel::LADDER {
+            assert_eq!(XaiLevel::parse(level.as_str()), Some(level));
+        }
+        assert_eq!(XaiLevel::parse("bogus"), None);
+        let mut level = XaiLevel::Full;
+        let mut hops = 0;
+        while let Some(next) = level.downgrade() {
+            assert!(next < level);
+            level = next;
+            hops += 1;
+        }
+        assert_eq!(level, XaiLevel::Skip);
+        assert_eq!(hops, 3);
+    }
+
+    #[test]
+    fn at_level_standard_halves_the_sampled_counts() {
+        let explainer = Explainer::new(XaiTechnique::SmoothGrad);
+        let std = explainer.at_level(XaiLevel::Standard);
+        assert_eq!(std.config.budget.sg_samples, 4);
+        assert_eq!(std.config.budget.lime_samples, 20);
+        assert_eq!(std.config.budget.batch_size, 32, "batch_size never scales");
+        assert_eq!(std.config.sg_sigma, explainer.config.sg_sigma);
+        assert_eq!(
+            explainer.at_level(XaiLevel::Full).config,
+            explainer.config,
+            "Full must be the identity"
+        );
     }
 
     #[test]

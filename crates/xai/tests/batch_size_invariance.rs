@@ -26,7 +26,10 @@ fn explain_with_batch(technique: XaiTechnique, batch_size: usize) -> Tensor {
     let mut m = model();
     let image = Tensor::rand_uniform(&[1, 8, 8], 0.0, 1.0, &mut StdRng::seed_from_u64(2));
     let config = ExplainerConfig {
-        budget: XaiBudget { batch_size },
+        budget: XaiBudget {
+            batch_size,
+            ..XaiBudget::default()
+        },
         ..ExplainerConfig::default()
     };
     let explainer = Explainer::with_config(technique, config);
