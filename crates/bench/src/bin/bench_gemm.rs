@@ -76,6 +76,124 @@ struct GemmResult {
     bit_identical: bool,
 }
 
+/// Which serve-path GEMM entry a frozen layer uses for one weight-static
+/// product, and therefore which prepacked form it holds.
+enum SweepOp {
+    /// Dense forward `W · X` — weight prepacked as the A operand.
+    DenseFwd,
+    /// Dense input gradient `Wᵀ · G` — weight prepacked transposed-read.
+    DenseDx,
+    /// Conv forward `W · rowsᵀ` — weight prepacked as the A operand.
+    ConvFwd,
+    /// Conv input gradient `Gᵀ · W` — weight prepacked as the B operand.
+    ConvDx,
+}
+
+/// One weight-static GEMM from a fig-8-style XAI verdict sweep: ConvNet at
+/// GTSRB scale (3×16×16) serving a micro-batch of [`SWEEP_BATCH`], forward
+/// plus input-gradient. At this scale the weight pack is a real fraction of
+/// the work (the dense products especially), which is exactly where freezing
+/// pays.
+struct SweepShape {
+    name: &'static str,
+    op: SweepOp,
+    /// Weight rows: dense out-dim / conv filter count.
+    wm: usize,
+    /// Weight cols: dense in-dim / conv patch length.
+    wk: usize,
+    /// Activation columns: output positions × batch (conv) or batch (dense).
+    n: usize,
+}
+
+/// Serve micro-batch folded into every sweep shape's column count.
+const SWEEP_BATCH: usize = 4;
+
+/// Every weight-static GEMM one ConvNet XAI sweep runs, in execution order.
+const SWEEP_SHAPES: &[SweepShape] = &[
+    SweepShape {
+        name: "conv1_fwd",
+        op: SweepOp::ConvFwd,
+        wm: 8,
+        wk: 27,
+        n: 1024,
+    },
+    SweepShape {
+        name: "conv2_fwd",
+        op: SweepOp::ConvFwd,
+        wm: 16,
+        wk: 72,
+        n: 256,
+    },
+    SweepShape {
+        name: "fc1_fwd",
+        op: SweepOp::DenseFwd,
+        wm: 48,
+        wk: 256,
+        n: SWEEP_BATCH,
+    },
+    SweepShape {
+        name: "fc2_fwd",
+        op: SweepOp::DenseFwd,
+        wm: 43,
+        wk: 48,
+        n: SWEEP_BATCH,
+    },
+    SweepShape {
+        name: "fc2_dx",
+        op: SweepOp::DenseDx,
+        wm: 43,
+        wk: 48,
+        n: SWEEP_BATCH,
+    },
+    SweepShape {
+        name: "fc1_dx",
+        op: SweepOp::DenseDx,
+        wm: 48,
+        wk: 256,
+        n: SWEEP_BATCH,
+    },
+    SweepShape {
+        name: "conv2_dx",
+        op: SweepOp::ConvDx,
+        wm: 16,
+        wk: 72,
+        n: 256,
+    },
+    SweepShape {
+        name: "conv1_dx",
+        op: SweepOp::ConvDx,
+        wm: 8,
+        wk: 27,
+        n: 1024,
+    },
+];
+
+struct SweepResult {
+    name: &'static str,
+    /// GEMM output rows / inner dim / output cols (not the weight layout).
+    m: usize,
+    k: usize,
+    n: usize,
+    /// True for the dense-stack rows, which form the gated dense aggregate.
+    dense: bool,
+    fresh_secs: f64,
+    prepacked_secs: f64,
+    prepack_identical: bool,
+}
+
+/// End-to-end frozen-vs-unfrozen XAI sweep on a real model: wall time, output
+/// bits, and the deterministic pack-traffic counters.
+struct XaiSweepResult {
+    model: &'static str,
+    batch: usize,
+    unfrozen_secs: f64,
+    frozen_secs: f64,
+    bit_identical: bool,
+    pack_bytes_unfrozen: u64,
+    pack_bytes_frozen: u64,
+    prepack_hits: u64,
+}
+
 /// Per-sample `Trainer::fit` wall times measured at the commit preceding
 /// this optimization (the per-call-scoped GEMM + column-layout conv tree),
 /// same box, same seeds/dataset (96 samples × 2 epochs, batch 32, 1 thread).
@@ -141,6 +259,53 @@ fn main() {
         largest.name, largest_speedup
     );
 
+    println!("\nPrepacked weights — frozen vs per-call packing (XAI-sweep scale, batch {SWEEP_BATCH})\n");
+    let sweep_results: Vec<SweepResult> = SWEEP_SHAPES.iter().map(bench_sweep_shape).collect();
+    println!(
+        "{:<12} {:>14} {:>12} {:>12} {:>9}  bits",
+        "shape", "m×k×n", "per-call", "prepacked", "speedup"
+    );
+    for r in &sweep_results {
+        println!(
+            "{:<12} {:>14} {:>12} {:>12} {:>8.2}x  {}",
+            r.name,
+            format!("{}×{}×{}", r.m, r.k, r.n),
+            format!("{:.2}µs", r.fresh_secs * 1e6),
+            format!("{:.2}µs", r.prepacked_secs * 1e6),
+            r.fresh_secs / r.prepacked_secs,
+            if r.prepack_identical { "=" } else { "DIVERGED" }
+        );
+    }
+    let aggregate = |rows: &[&SweepResult]| -> f64 {
+        let fresh: f64 = rows.iter().map(|r| r.fresh_secs).sum();
+        let pre: f64 = rows.iter().map(|r| r.prepacked_secs).sum();
+        fresh / pre
+    };
+    let sweep_aggregate = aggregate(&sweep_results.iter().collect::<Vec<_>>());
+    let dense_rows: Vec<&SweepResult> = sweep_results.iter().filter(|r| r.dense).collect();
+    let dense_aggregate = aggregate(&dense_rows);
+    println!(
+        "\nAggregate sweep GEMM time: {sweep_aggregate:.2}x; dense stack alone: \
+         {dense_aggregate:.2}x (target ≥ 1.1x)"
+    );
+
+    let xai = bench_xai_sweep();
+    let pack_eliminated = 1.0 - xai.pack_bytes_frozen as f64 / xai.pack_bytes_unfrozen as f64;
+    println!(
+        "\nXAI sweep ({} ×{}): unfrozen {:.1}µs, frozen {:.1}µs ({:.2}x); pack traffic \
+         {} → {} bytes/sweep ({:.0} % eliminated, {} prepack hits)  {}",
+        xai.model,
+        xai.batch,
+        xai.unfrozen_secs * 1e6,
+        xai.frozen_secs * 1e6,
+        xai.unfrozen_secs / xai.frozen_secs,
+        xai.pack_bytes_unfrozen,
+        xai.pack_bytes_frozen,
+        pack_eliminated * 100.0,
+        xai.prepack_hits,
+        if xai.bit_identical { "bit-identical" } else { "DIVERGED" }
+    );
+
     println!("\nTraining — batched engine vs per-sample loop (batch 32, 1 thread)\n");
     let train_results = vec![
         bench_training(Arch::ConvNet, "ConvNet", 16),
@@ -169,14 +334,24 @@ fn main() {
         );
     }
 
-    write_bench_json(&gemm_results, largest.name, largest_speedup, &train_results)
-        .expect("write results/bench_gemm.json");
+    write_bench_json(
+        &gemm_results,
+        largest.name,
+        largest_speedup,
+        &sweep_results,
+        sweep_aggregate,
+        dense_aggregate,
+        &xai,
+        &train_results,
+    )
+    .expect("write results/bench_gemm.json");
     println!("\nRecord written to results/bench_gemm.json");
 
     let gemm_ok = gemm_results.iter().all(|r| r.bit_identical);
+    let prepack_ok = sweep_results.iter().all(|r| r.prepack_identical) && xai.bit_identical;
     let train_ok = train_results.iter().all(|r| r.weights_bit_identical);
-    if !gemm_ok || !train_ok {
-        eprintln!("ERROR: blocked/batched path diverged bitwise from the reference path");
+    if !gemm_ok || !prepack_ok || !train_ok {
+        eprintln!("ERROR: blocked/prepacked/batched path diverged bitwise from the reference path");
         std::process::exit(1);
     }
 }
@@ -219,6 +394,149 @@ fn bench_shape(shape: &GemmShape) -> GemmResult {
         reference_secs,
         blocked_secs,
         bit_identical,
+    }
+}
+
+/// Times one pair of equivalent calls — per-call packing vs a persistent
+/// prepacked weight — and bit-compares their outputs. Each side owns its
+/// scratch, as the fresh and frozen layer paths do.
+fn timed_pair(
+    mut fresh: impl FnMut(&mut Vec<f32>, &mut Vec<f32>),
+    mut pre: impl FnMut(&mut Vec<f32>, &mut Vec<f32>),
+) -> (f64, f64, bool) {
+    let (mut fo, mut fp) = (Vec::new(), Vec::new());
+    let (mut po, mut pp) = (Vec::new(), Vec::new());
+    fresh(&mut fo, &mut fp);
+    pre(&mut po, &mut pp);
+    let identical =
+        fo.len() == po.len() && fo.iter().zip(&po).all(|(x, y)| x.to_bits() == y.to_bits());
+    let fresh_secs = time_per_iter(|| {
+        fresh(&mut fo, &mut fp);
+        std::hint::black_box(fo.last());
+    });
+    let prepacked_secs = time_per_iter(|| {
+        pre(&mut po, &mut pp);
+        std::hint::black_box(po.last());
+    });
+    (fresh_secs, prepacked_secs, identical)
+}
+
+/// Times one sweep shape through its serve-path entry point, per-call-packed
+/// vs prepacked, with a bitwise gate on the outputs.
+fn bench_sweep_shape(s: &SweepShape) -> SweepResult {
+    let mut rng = StdRng::seed_from_u64(13);
+    let w = Tensor::rand_uniform(&[s.wm, s.wk], -1.0, 1.0, &mut rng);
+    let ((m, k, n), dense, (fresh_secs, prepacked_secs, prepack_identical)) = match s.op {
+        SweepOp::DenseFwd => {
+            let x = Tensor::rand_uniform(&[s.wk, s.n], -1.0, 1.0, &mut rng);
+            let pw = w.prepack_a().expect("weights are rank 2");
+            let timed = timed_pair(
+                |o, p| w.matmul_into(&x, o, p).expect("shapes agree"),
+                |o, p| pw.matmul_prepacked_into(&x, o, p).expect("shapes agree"),
+            );
+            ((s.wm, s.wk, s.n), true, timed)
+        }
+        SweepOp::DenseDx => {
+            let g = Tensor::rand_uniform(&[s.wm, s.n], -1.0, 1.0, &mut rng);
+            let pw = w.prepack_at().expect("weights are rank 2");
+            let timed = timed_pair(
+                |o, p| w.matmul_at_b_into(&g, o, p).expect("shapes agree"),
+                |o, p| pw.matmul_at_b_prepacked_into(&g, o, p).expect("shapes agree"),
+            );
+            ((s.wk, s.wm, s.n), true, timed)
+        }
+        SweepOp::ConvFwd => {
+            let rows = Tensor::rand_uniform(&[s.n, s.wk], -1.0, 1.0, &mut rng);
+            let pw = w.prepack_a().expect("weights are rank 2");
+            let timed = timed_pair(
+                |o, p| w.matmul_a_bt_into(&rows, o, p).expect("shapes agree"),
+                |o, p| pw.matmul_a_bt_prepacked_into(&rows, o, p).expect("shapes agree"),
+            );
+            ((s.wm, s.wk, s.n), false, timed)
+        }
+        SweepOp::ConvDx => {
+            let g = Tensor::rand_uniform(&[s.wm, s.n], -1.0, 1.0, &mut rng);
+            let pw = w.prepack_b().expect("weights are rank 2");
+            let timed = timed_pair(
+                |o, p| g.matmul_at_b_into(&w, o, p).expect("shapes agree"),
+                |o, _| pw.matmul_at_b_rhs_prepacked_into(&g, o).expect("shapes agree"),
+            );
+            ((s.n, s.wm, s.wk), false, timed)
+        }
+    };
+    SweepResult {
+        name: s.name,
+        m,
+        k,
+        n,
+        dense,
+        fresh_secs,
+        prepacked_secs,
+        prepack_identical,
+    }
+}
+
+/// Runs the full XAI verdict sweep (batched class probabilities + batched
+/// input gradients) on an unfrozen and a frozen copy of the same ConvNet:
+/// wall time per sweep, output bits, and — via the deterministic trace
+/// counters, read outside the timed loops — the per-sweep GEMM pack traffic
+/// each side pays.
+fn bench_xai_sweep() -> XaiSweepResult {
+    let spec = InputSpec {
+        channels: 3,
+        size: 16,
+        num_classes: 43,
+    };
+    let mut rng = StdRng::seed_from_u64(17);
+    let mut plain = Model::new(zoo::build(Arch::ConvNet, spec, &mut rng), spec);
+    let mut frozen = plain.clone();
+    frozen.freeze_for_inference();
+    let batch: Vec<Tensor> = (0..SWEEP_BATCH)
+        .map(|_| Tensor::rand_uniform(&[3, 16, 16], 0.0, 1.0, &mut rng))
+        .collect();
+    let classes: Vec<usize> = (0..SWEEP_BATCH).map(|i| i % spec.num_classes).collect();
+
+    let sweep = |m: &mut Model| {
+        let probs = m.predict_proba_batch(&batch).expect("valid batch");
+        let grads = m.input_gradient_batch(&batch, &classes).expect("valid batch");
+        (probs, grads)
+    };
+    let all_bits = |(probs, grads): (Vec<Tensor>, Vec<Tensor>)| -> Vec<u32> {
+        probs
+            .iter()
+            .chain(grads.iter())
+            .flat_map(|t| t.data().iter().map(|v| v.to_bits()))
+            .collect()
+    };
+    let bit_identical = all_bits(sweep(&mut plain)) == all_bits(sweep(&mut frozen));
+
+    // Pack-traffic audit: the counters are deterministic (same shapes → same
+    // counts on any machine), so one traced sweep per side suffices.
+    remix_trace::set_enabled(true);
+    remix_trace::reset();
+    sweep(&mut plain);
+    let pack_bytes_unfrozen = remix_trace::counter(remix_trace::Counter::GemmPackBytes);
+    remix_trace::reset();
+    sweep(&mut frozen);
+    let pack_bytes_frozen = remix_trace::counter(remix_trace::Counter::GemmPackBytes);
+    let prepack_hits = remix_trace::counter(remix_trace::Counter::PrepackHits);
+    remix_trace::set_enabled(false);
+
+    let unfrozen_secs = time_per_iter(|| {
+        std::hint::black_box(sweep(&mut plain));
+    });
+    let frozen_secs = time_per_iter(|| {
+        std::hint::black_box(sweep(&mut frozen));
+    });
+    XaiSweepResult {
+        model: "ConvNet",
+        batch: SWEEP_BATCH,
+        unfrozen_secs,
+        frozen_secs,
+        bit_identical,
+        pack_bytes_unfrozen,
+        pack_bytes_frozen,
+        prepack_hits,
     }
 }
 
@@ -300,11 +618,17 @@ fn bench_training(arch: Arch, name: &'static str, size: usize) -> TrainResult {
 }
 
 /// Hand-formatted JSON record (the vendored serde_json has no pretty
-/// printer) of the kernel and training comparisons.
+/// printer) of the kernel, prepacked-weight, XAI-sweep, and training
+/// comparisons.
+#[allow(clippy::too_many_arguments)]
 fn write_bench_json(
     gemm: &[GemmResult],
     largest_name: &str,
     largest_speedup: f64,
+    sweep: &[SweepResult],
+    sweep_aggregate: f64,
+    dense_aggregate: f64,
+    xai: &XaiSweepResult,
     training: &[TrainResult],
 ) -> std::io::Result<()> {
     std::fs::create_dir_all("results")?;
@@ -329,6 +653,43 @@ fn write_bench_json(
             )
         })
         .collect();
+    let sweep_entries: Vec<String> = sweep
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\n      \"shape\": \"{}\",\n      \"m\": {},\n      \"k\": {},\n      \
+                 \"n\": {},\n      \"dense\": {},\n      \"fresh_secs_per_iter\": {:.9},\n      \
+                 \"prepacked_secs_per_iter\": {:.9},\n      \"speedup\": {:.3},\n      \
+                 \"prepack_identical\": {}\n    }}",
+                r.name,
+                r.m,
+                r.k,
+                r.n,
+                r.dense,
+                r.fresh_secs,
+                r.prepacked_secs,
+                r.fresh_secs / r.prepacked_secs,
+                r.prepack_identical
+            )
+        })
+        .collect();
+    let xai_entry = format!(
+        "  \"xai_sweep\": {{\n    \"model\": \"{}\",\n    \"batch\": {},\n    \
+         \"unfrozen_secs_per_sweep\": {:.9},\n    \"frozen_secs_per_sweep\": {:.9},\n    \
+         \"speedup\": {:.3},\n    \"prepack_identical\": {},\n    \
+         \"pack_bytes_per_sweep_unfrozen\": {},\n    \"pack_bytes_per_sweep_frozen\": {},\n    \
+         \"pack_bytes_eliminated_fraction\": {:.4},\n    \"prepack_hits_per_sweep\": {}\n  }}",
+        xai.model,
+        xai.batch,
+        xai.unfrozen_secs,
+        xai.frozen_secs,
+        xai.unfrozen_secs / xai.frozen_secs,
+        xai.bit_identical,
+        xai.pack_bytes_unfrozen,
+        xai.pack_bytes_frozen,
+        1.0 - xai.pack_bytes_frozen as f64 / xai.pack_bytes_unfrozen as f64,
+        xai.prepack_hits,
+    );
     let train_entries: Vec<String> = training
         .iter()
         .map(|r| {
@@ -364,8 +725,13 @@ fn write_bench_json(
         "{{\n  \"benchmark\": \"bench_gemm\",\n  \"threads\": 1,\n  \
          \"gemm\": [\n{}\n  ],\n  \"largest_shape\": \"{largest_name}\",\n  \
          \"largest_shape_speedup\": {largest_speedup:.3},\n  \
+         \"prepack_sweep\": [\n{}\n  ],\n  \
+         \"prepack_sweep_aggregate_speedup\": {sweep_aggregate:.3},\n  \
+         \"prepack_dense_aggregate_speedup\": {dense_aggregate:.3},\n{},\n  \
          \"training\": [\n{}\n  ]\n}}",
         gemm_entries.join(",\n"),
+        sweep_entries.join(",\n"),
+        xai_entry,
         train_entries.join(",\n"),
     )
 }

@@ -116,10 +116,29 @@ fn get_str<'a>(value: &'a Value, name: &str) -> Option<&'a str> {
     }
 }
 
+/// Minimum acceptable prepacked-vs-per-call aggregate speedup over the dense
+/// stack's XAI-sweep GEMMs, gated absolutely: the dense products are where
+/// the weight pack is a large fraction of the work, so a frozen weight that
+/// stops paying it must show a real aggregate win there.
+pub const PREPACK_MIN_DENSE_AGGREGATE_SPEEDUP: f64 = 1.1;
+
+/// Minimum fraction of per-sweep GEMM pack traffic the frozen model must
+/// eliminate, gated absolutely. The counter is deterministic (same shapes →
+/// same byte counts on any machine), so unlike the wall-time ratios this
+/// gate carries no measurement noise.
+pub const PREPACK_MIN_PACK_ELIMINATION: f64 = 0.15;
+
 /// Gates `bench_gemm.json`: per shape, the blocked kernel must stay
 /// bit-identical to the reference and keep its within-run speedup; per
-/// training row, batched updates must stay weight-bit-identical and keep the
-/// batched-vs-per-sample ratio.
+/// prepack-sweep row, the prepacked entry must stay bit-identical to per-call
+/// packing (row wall times are recorded but not gated — at XAI-sweep scale
+/// the conv rows are near 1.0× and their run-to-run noise exceeds the
+/// tolerance); the dense-stack aggregate must keep its speedup relative to
+/// the baseline *and* clear [`PREPACK_MIN_DENSE_AGGREGATE_SPEEDUP`]; the
+/// frozen XAI sweep must stay bit-identical, keep hitting prepacked operands,
+/// and keep eliminating at least [`PREPACK_MIN_PACK_ELIMINATION`] of the
+/// sweep's pack traffic; per training row, batched updates must stay
+/// weight-bit-identical and keep the batched-vs-per-sample ratio.
 pub fn check_gemm(baseline: &Value, fresh: &Value, tolerance: f64) -> GateReport {
     let mut report = GateReport::default();
     let empty: &[Value] = &[];
@@ -145,6 +164,100 @@ pub fn check_gemm(baseline: &Value, fresh: &Value, tolerance: f64) -> GateReport
         match (get_num(base_row, "speedup"), get_num(fresh_row, "speedup")) {
             (Some(b), Some(f)) => report.gate_speedup(&label, b, f, tolerance),
             _ => report.fail(format!("FAIL {label}: speedup field missing")),
+        }
+    }
+    let fresh_sweep = get(fresh, "prepack_sweep")
+        .and_then(Value::as_array)
+        .unwrap_or(empty);
+    for base_row in get(baseline, "prepack_sweep")
+        .and_then(Value::as_array)
+        .unwrap_or(empty)
+    {
+        let Some(shape) = get_str(base_row, "shape") else {
+            continue;
+        };
+        let label = format!("prepack/{shape}");
+        let Some(fresh_row) = fresh_sweep
+            .iter()
+            .find(|r| get_str(r, "shape") == Some(shape))
+        else {
+            report.fail(format!("FAIL {label}: missing from fresh record"));
+            continue;
+        };
+        report.gate_flag(&label, get_bool(fresh_row, "prepack_identical"));
+    }
+    if get(baseline, "prepack_sweep").is_some() {
+        match (
+            get_num(baseline, "prepack_sweep_aggregate_speedup"),
+            get_num(fresh, "prepack_sweep_aggregate_speedup"),
+        ) {
+            (Some(b), Some(f)) => report.gate_speedup("prepack/sweep_aggregate", b, f, tolerance),
+            _ => report.fail("FAIL prepack/sweep_aggregate: speedup field missing".into()),
+        }
+        match (
+            get_num(baseline, "prepack_dense_aggregate_speedup"),
+            get_num(fresh, "prepack_dense_aggregate_speedup"),
+        ) {
+            (Some(b), Some(f)) => {
+                report.gate_speedup("prepack/dense_aggregate", b, f, tolerance);
+                if f >= PREPACK_MIN_DENSE_AGGREGATE_SPEEDUP {
+                    report.ok(format!(
+                        "ok   prepack/dense_min_speedup: {f:.3} >= absolute floor \
+                         {PREPACK_MIN_DENSE_AGGREGATE_SPEEDUP}"
+                    ));
+                } else {
+                    report.fail(format!(
+                        "FAIL prepack/dense_min_speedup: {f:.3} below absolute floor \
+                         {PREPACK_MIN_DENSE_AGGREGATE_SPEEDUP}"
+                    ));
+                }
+            }
+            _ => report.fail("FAIL prepack/dense_aggregate: speedup field missing".into()),
+        }
+    }
+    if let Some(base_xai) = get(baseline, "xai_sweep") {
+        let label = "prepack/xai_sweep";
+        match get(fresh, "xai_sweep") {
+            Some(fresh_xai) => {
+                report.gate_flag(label, get_bool(fresh_xai, "prepack_identical"));
+                match get_num(fresh_xai, "prepack_hits_per_sweep") {
+                    Some(hits) if hits > 0.0 => report.ok(format!(
+                        "ok   {label}: frozen sweep hit {hits:.0} prepacked operands"
+                    )),
+                    Some(_) => report.fail(format!(
+                        "FAIL {label}: frozen sweep never hit a prepacked operand"
+                    )),
+                    None => report.fail(format!("FAIL {label}: prepack_hits field missing")),
+                }
+                match (
+                    get_num(base_xai, "pack_bytes_eliminated_fraction"),
+                    get_num(fresh_xai, "pack_bytes_eliminated_fraction"),
+                ) {
+                    (Some(b), Some(f)) => {
+                        report.gate_speedup(
+                            "prepack/pack_bytes_eliminated",
+                            b,
+                            f,
+                            tolerance,
+                        );
+                        if f >= PREPACK_MIN_PACK_ELIMINATION {
+                            report.ok(format!(
+                                "ok   prepack/min_pack_elimination: {f:.3} >= absolute floor \
+                                 {PREPACK_MIN_PACK_ELIMINATION}"
+                            ));
+                        } else {
+                            report.fail(format!(
+                                "FAIL prepack/min_pack_elimination: {f:.3} below absolute floor \
+                                 {PREPACK_MIN_PACK_ELIMINATION}"
+                            ));
+                        }
+                    }
+                    _ => report.fail(
+                        "FAIL prepack/pack_bytes_eliminated: fraction field missing".into(),
+                    ),
+                }
+            }
+            None => report.fail(format!("FAIL {label}: missing from fresh record")),
         }
     }
     let fresh_training = get(fresh, "training")
@@ -334,6 +447,9 @@ pub fn scale_speedups(value: &mut Value, factor: f64) {
                     || key == "speedup_batched_vs_serial"
                     || key == "speedup_shards_vs_one"
                     || key == "speedup_p99_adaptive_vs_full"
+                    || key == "prepack_sweep_aggregate_speedup"
+                    || key == "prepack_dense_aggregate_speedup"
+                    || key == "pack_bytes_eliminated_fraction"
                 {
                     if let Some(n) = num(v) {
                         *v = Value::Float(n * factor);
@@ -365,6 +481,7 @@ pub fn flip_verdict_flags(value: &mut Value) {
                     || key == "degraded_deterministic"
                     || key == "shard_verdicts_identical"
                     || key == "full_pinned_identical"
+                    || key == "prepack_identical"
                 {
                     *v = Value::Bool(false);
                 } else {
@@ -392,6 +509,37 @@ mod tests {
                 {"shape": "a", "speedup": 2.0, "bit_identical": true},
                 {"shape": "b", "speedup": 1.5, "bit_identical": true}
               ],
+              "training": [
+                {"model": "ConvNet", "input_size": 16, "speedup": 1.0,
+                 "weights_bit_identical": true}
+              ]
+            }"#,
+        )
+        .expect("valid test record")
+    }
+
+    /// A gemm record carrying the prepacked-weight sections (the committed
+    /// baseline's shape); the plain [`gemm_record`] checks that records
+    /// predating them still gate cleanly.
+    fn gemm_record_with_prepack() -> Value {
+        serde_json::from_str(
+            r#"{
+              "gemm": [
+                {"shape": "a", "speedup": 2.0, "bit_identical": true}
+              ],
+              "prepack_sweep": [
+                {"shape": "fc1_fwd", "dense": true, "speedup": 1.6,
+                 "prepack_identical": true},
+                {"shape": "conv1_fwd", "dense": false, "speedup": 0.97,
+                 "prepack_identical": true}
+              ],
+              "prepack_sweep_aggregate_speedup": 1.1,
+              "prepack_dense_aggregate_speedup": 1.9,
+              "xai_sweep": {
+                "speedup": 1.1, "prepack_identical": true,
+                "pack_bytes_eliminated_fraction": 0.22,
+                "prepack_hits_per_sweep": 18
+              },
               "training": [
                 {"model": "ConvNet", "input_size": 16, "speedup": 1.0,
                  "weights_bit_identical": true}
@@ -474,6 +622,88 @@ mod tests {
         let report = check_xai_sched(&costly, &costly, DEFAULT_TOLERANCE);
         assert!(!report.passed());
         assert!(report.failures.iter().any(|f| f.contains("ba_cost")));
+    }
+
+    #[test]
+    fn prepack_sections_pass_clean_and_catch_doctoring() {
+        let base = gemm_record_with_prepack();
+        let report = check_gemm(&base, &base, DEFAULT_TOLERANCE);
+        assert!(report.passed(), "failures: {:?}", report.failures);
+        // gemm (1 flag + 1 speedup) + training (1 + 1) + 2 sweep-row flags
+        // + sweep aggregate + dense aggregate (relative + absolute)
+        // + xai flag + prepack hits + pack elimination (relative + absolute)
+        assert_eq!(report.checks.len(), 13);
+
+        // A synthetic wall regression must trip the aggregates and the
+        // pack-elimination ratio alongside the plain gemm rows.
+        let mut slow = gemm_record_with_prepack();
+        scale_speedups(&mut slow, 1.0 / 1.5);
+        let report = check_gemm(&base, &slow, DEFAULT_TOLERANCE);
+        assert!(report
+            .failures
+            .iter()
+            .any(|f| f.contains("prepack/sweep_aggregate")));
+        assert!(report
+            .failures
+            .iter()
+            .any(|f| f.contains("prepack/dense_aggregate")));
+        assert!(report
+            .failures
+            .iter()
+            .any(|f| f.contains("pack_bytes_eliminated")));
+
+        // Flipping the verdict flags must trip every prepack_identical row.
+        let mut diverged = gemm_record_with_prepack();
+        flip_verdict_flags(&mut diverged);
+        let report = check_gemm(&base, &diverged, DEFAULT_TOLERANCE);
+        let prepack_flag_failures = report
+            .failures
+            .iter()
+            .filter(|f| f.contains("prepack/") && f.contains("divergence"))
+            .count();
+        assert_eq!(prepack_flag_failures, 3); // two sweep rows + the xai sweep
+    }
+
+    #[test]
+    fn prepack_gate_enforces_its_absolute_floors() {
+        // A dense aggregate below 1.1x fails even when it matches the
+        // baseline exactly (the freeze stopped paying for itself).
+        let mut weak = gemm_record_with_prepack();
+        if let Value::Object(pairs) = &mut weak {
+            for (k, v) in pairs.iter_mut() {
+                if k == "prepack_dense_aggregate_speedup" {
+                    *v = Value::Float(1.05);
+                }
+            }
+        }
+        let report = check_gemm(&weak, &weak, DEFAULT_TOLERANCE);
+        assert!(!report.passed());
+        assert!(report
+            .failures
+            .iter()
+            .any(|f| f.contains("dense_min_speedup")));
+
+        // Likewise a sweep that stops eliminating pack traffic.
+        let mut stale = gemm_record_with_prepack();
+        if let Value::Object(pairs) = &mut stale {
+            for (k, v) in pairs.iter_mut() {
+                if k == "xai_sweep" {
+                    if let Value::Object(xai) = v {
+                        for (xk, xv) in xai.iter_mut() {
+                            if xk == "pack_bytes_eliminated_fraction" {
+                                *xv = Value::Float(0.05);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let report = check_gemm(&stale, &stale, DEFAULT_TOLERANCE);
+        assert!(!report.passed());
+        assert!(report
+            .failures
+            .iter()
+            .any(|f| f.contains("min_pack_elimination")));
     }
 
     #[test]

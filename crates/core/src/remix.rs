@@ -77,6 +77,17 @@ impl Remix {
         StdRng::seed_from_u64(splitmix64(self.seed ^ fnv1a64(model_name.as_bytes())))
     }
 
+    /// Freezes an ensemble for steady-state serving: every model's weight
+    /// matrices are prepacked once ([`TrainedEnsemble::freeze_for_inference`])
+    /// and reused across every subsequent [`Remix::predict`] — both the
+    /// prediction forwards and the XAI perturbation sweeps, which account for
+    /// almost all GEMM work on a disagreement. Verdicts are bit-identical to
+    /// the unfrozen ensemble; retraining drops the packs automatically, so a
+    /// long-lived service re-freezes after any weight update.
+    pub fn prepare_ensemble(&self, ensemble: &mut TrainedEnsemble) {
+        ensemble.freeze_for_inference();
+    }
+
     /// Runs the five-component ReMIX pipeline on one input.
     ///
     /// The prediction and XAI stages fan the constituent models out across

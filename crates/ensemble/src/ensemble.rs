@@ -37,6 +37,17 @@ impl TrainedEnsemble {
         self.models.iter().map(|m| m.name.as_str()).collect()
     }
 
+    /// Freezes every constituent model for steady-state serving
+    /// ([`Model::freeze_for_inference`]): each layer's weight matrices are
+    /// prepacked once into the GEMM kernel's panel layout and reused across
+    /// every subsequent predict and XAI-gradient sweep. Predictions stay
+    /// bit-identical; parameter mutation drops the packs automatically.
+    pub fn freeze_for_inference(&mut self) {
+        for model in &mut self.models {
+            model.freeze_for_inference();
+        }
+    }
+
     /// Every model's output for one input.
     pub fn outputs(&mut self, image: &Tensor) -> Vec<ModelOutput> {
         self.models

@@ -191,25 +191,19 @@ impl Layer for MiniVit {
     fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
         debug_assert_eq!(input.shape(), [self.channels, self.size, self.size]);
         let patches = self.extract_patches(input); // [T, P]
-        let we_t = self.w_embed.transpose().expect("rank 2");
-        let mut tokens = patches.matmul(&we_t).expect("embed"); // [T, E]
+        // All projections run as fused `A · Bᵀ` products reading the [out, in]
+        // weights in place — no transposed copies are materialized, and each
+        // product is bit-identical to the explicit-transpose route (pinned by
+        // fused_attention_matmuls_match_explicit_transposes_bitwise).
+        let mut tokens = patches.matmul_a_bt(&self.w_embed).expect("embed"); // [T, E]
         tokens
             .add_assign(&self.pos_embed)
             .expect("positional embedding shape");
-        let q = tokens
-            .matmul(&self.w_q.transpose().expect("rank 2"))
-            .expect("q");
-        let k = tokens
-            .matmul(&self.w_k.transpose().expect("rank 2"))
-            .expect("k");
-        let v = tokens
-            .matmul(&self.w_v.transpose().expect("rank 2"))
-            .expect("v");
+        let q = tokens.matmul_a_bt(&self.w_q).expect("q");
+        let k = tokens.matmul_a_bt(&self.w_k).expect("k");
+        let v = tokens.matmul_a_bt(&self.w_v).expect("v");
         let scale = 1.0 / (self.embed_dim as f32).sqrt();
-        let scores = q
-            .matmul(&k.transpose().expect("rank 2"))
-            .expect("qk")
-            .scale(scale);
+        let scores = q.matmul_a_bt(&k).expect("qk").scale(scale);
         let attn = scores.softmax(); // row-wise softmax [T, T]
         let attended = attn.matmul(&v).expect("av"); // [T, E]
                                                      // mean-pool tokens
@@ -260,15 +254,12 @@ impl Layer for MiniVit {
                 }
             }
         }
-        // attended = attn · V
-        let d_attn = d_attended
-            .matmul(&self.cache_v.transpose().expect("rank 2"))
-            .expect("d_attn"); // [T, T]
+        // attended = attn · V; both products read their transposed operand in
+        // place (fused A·Bᵀ / Aᵀ·B, bit-identical to the transpose-copy route)
+        let d_attn = d_attended.matmul_a_bt(&self.cache_v).expect("d_attn"); // [T, T]
         let d_v = self
             .cache_attn
-            .transpose()
-            .expect("rank 2")
-            .matmul(&d_attended)
+            .matmul_at_b(&d_attended)
             .expect("d_v"); // [T, E]
                             // softmax backward per row
         let mut d_scores = Tensor::zeros(&[t, t]);
@@ -285,15 +276,11 @@ impl Layer for MiniVit {
         }
         // scores = Q Kᵀ
         let d_q = d_scores.matmul(&self.cache_k).expect("d_q"); // [T, E]
-        let d_k = d_scores
-            .transpose()
-            .expect("rank 2")
-            .matmul(&self.cache_q)
-            .expect("d_k"); // [T, E]
-                            // Q = tokens · Wqᵀ etc.: dWq = d_qᵀ · tokens, d_tokens += d_q · Wq
+        let d_k = d_scores.matmul_at_b(&self.cache_q).expect("d_k"); // [T, E]
+                                                                     // Q = tokens · Wqᵀ etc.: dWq = d_qᵀ · tokens, d_tokens += d_q · Wq
         let tokens = &self.cache_tokens;
         let acc = |grad: &mut Tensor, d: &Tensor| {
-            let dw = d.transpose().expect("rank 2").matmul(tokens).expect("dW");
+            let dw = d.matmul_at_b(tokens).expect("dW");
             grad.add_assign(&dw).expect("dW shape");
         };
         acc(&mut self.g_q, &d_q);
@@ -309,9 +296,7 @@ impl Layer for MiniVit {
         // tokens = patches · Weᵀ + pos_embed
         self.g_pos.add_assign(&d_tokens).expect("pos grad shape");
         let dwe = d_tokens
-            .transpose()
-            .expect("rank 2")
-            .matmul(&self.cache_patches)
+            .matmul_at_b(&self.cache_patches)
             .expect("dWe");
         self.g_embed.add_assign(&dwe).expect("dWe shape");
         let d_patches = d_tokens.matmul(&self.w_embed).expect("d_patches"); // [T, P]
@@ -412,6 +397,176 @@ mod tests {
                 dx.data()[i]
             );
         }
+    }
+
+    /// The pre-fusion forward pass: every transposed operand is materialized
+    /// with `.transpose()` before a plain `matmul`, exactly as the layer was
+    /// originally written. Kept as the reference the fused implementation is
+    /// pinned against.
+    fn explicit_transpose_forward(vit: &mut MiniVit, input: &Tensor) -> Tensor {
+        let patches = vit.extract_patches(input);
+        let we_t = vit.w_embed.transpose().expect("rank 2");
+        let mut tokens = patches.matmul(&we_t).expect("embed");
+        tokens.add_assign(&vit.pos_embed).expect("pos shape");
+        let q = tokens
+            .matmul(&vit.w_q.transpose().expect("rank 2"))
+            .expect("q");
+        let k = tokens
+            .matmul(&vit.w_k.transpose().expect("rank 2"))
+            .expect("k");
+        let v = tokens
+            .matmul(&vit.w_v.transpose().expect("rank 2"))
+            .expect("v");
+        let scale = 1.0 / (vit.embed_dim as f32).sqrt();
+        let scores = q
+            .matmul(&k.transpose().expect("rank 2"))
+            .expect("qk")
+            .scale(scale);
+        let attn = scores.softmax();
+        let attended = attn.matmul(&v).expect("av");
+        let t = vit.num_tokens() as f32;
+        let mut pooled = vec![0.0f32; vit.embed_dim];
+        for tok in 0..vit.num_tokens() {
+            for (e, p) in pooled.iter_mut().enumerate() {
+                *p += attended.data()[tok * vit.embed_dim + e] / t;
+            }
+        }
+        let pooled = Tensor::from_slice(&pooled);
+        let mut logits = vit.w_cls.matvec(&pooled).expect("cls");
+        logits.add_assign(&vit.b_cls).expect("bias");
+        vit.cache_patches = patches;
+        vit.cache_tokens = tokens;
+        vit.cache_q = q;
+        vit.cache_k = k;
+        vit.cache_v = v;
+        vit.cache_attn = attn;
+        vit.cache_pooled = pooled;
+        logits
+    }
+
+    /// The pre-fusion backward pass (explicit transposes), matching
+    /// [`explicit_transpose_forward`].
+    fn explicit_transpose_backward(vit: &mut MiniVit, grad_out: &Tensor) -> Tensor {
+        let t = vit.num_tokens();
+        let e = vit.embed_dim;
+        let scale = 1.0 / (e as f32).sqrt();
+        for (i, &g) in grad_out.data().iter().enumerate() {
+            vit.g_bcls.data_mut()[i] += g;
+            for j in 0..e {
+                vit.g_cls.data_mut()[i * e + j] += g * vit.cache_pooled.data()[j];
+            }
+        }
+        let d_pooled = vit
+            .w_cls
+            .transpose()
+            .expect("rank 2")
+            .matvec(grad_out)
+            .expect("d_pooled");
+        let mut d_attended = Tensor::zeros(&[t, e]);
+        {
+            let buf = d_attended.data_mut();
+            for tok in 0..t {
+                for j in 0..e {
+                    buf[tok * e + j] = d_pooled.data()[j] / t as f32;
+                }
+            }
+        }
+        let d_attn = d_attended
+            .matmul(&vit.cache_v.transpose().expect("rank 2"))
+            .expect("d_attn");
+        let d_v = vit
+            .cache_attn
+            .transpose()
+            .expect("rank 2")
+            .matmul(&d_attended)
+            .expect("d_v");
+        let mut d_scores = Tensor::zeros(&[t, t]);
+        {
+            let a = vit.cache_attn.data();
+            let da = d_attn.data();
+            let buf = d_scores.data_mut();
+            for r in 0..t {
+                let dot: f32 = (0..t).map(|c| da[r * t + c] * a[r * t + c]).sum();
+                for c in 0..t {
+                    buf[r * t + c] = a[r * t + c] * (da[r * t + c] - dot) * scale;
+                }
+            }
+        }
+        let d_q = d_scores.matmul(&vit.cache_k).expect("d_q");
+        let d_k = d_scores
+            .transpose()
+            .expect("rank 2")
+            .matmul(&vit.cache_q)
+            .expect("d_k");
+        let tokens = &vit.cache_tokens;
+        let dwq = d_q.transpose().expect("rank 2").matmul(tokens).expect("dW");
+        vit.g_q.add_assign(&dwq).expect("dW shape");
+        let dwk = d_k.transpose().expect("rank 2").matmul(tokens).expect("dW");
+        vit.g_k.add_assign(&dwk).expect("dW shape");
+        let dwv = d_v.transpose().expect("rank 2").matmul(tokens).expect("dW");
+        vit.g_v.add_assign(&dwv).expect("dW shape");
+        let mut d_tokens = d_q.matmul(&vit.w_q).expect("d_tokens q");
+        d_tokens
+            .add_assign(&d_k.matmul(&vit.w_k).expect("d_tokens k"))
+            .expect("shape");
+        d_tokens
+            .add_assign(&d_v.matmul(&vit.w_v).expect("d_tokens v"))
+            .expect("shape");
+        vit.g_pos.add_assign(&d_tokens).expect("pos grad shape");
+        let dwe = d_tokens
+            .transpose()
+            .expect("rank 2")
+            .matmul(&vit.cache_patches)
+            .expect("dWe");
+        vit.g_embed.add_assign(&dwe).expect("dWe shape");
+        let d_patches = d_tokens.matmul(&vit.w_embed).expect("d_patches");
+        let mut dx = Tensor::zeros(&[vit.channels, vit.size, vit.size]);
+        let plen = vit.channels * vit.patch * vit.patch;
+        for ty in 0..vit.grid {
+            for tx in 0..vit.grid {
+                let tok = ty * vit.grid + tx;
+                let mut i = 0;
+                for c in 0..vit.channels {
+                    for py in 0..vit.patch {
+                        for px in 0..vit.patch {
+                            dx.set(
+                                &[c, ty * vit.patch + py, tx * vit.patch + px],
+                                d_patches.data()[tok * plen + i],
+                            );
+                            i += 1;
+                        }
+                    }
+                }
+            }
+        }
+        dx
+    }
+
+    fn bits(t: &Tensor) -> Vec<u32> {
+        t.data().iter().map(|v| v.to_bits()).collect()
+    }
+
+    #[test]
+    fn fused_attention_matmuls_match_explicit_transposes_bitwise() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut fused = MiniVit::new(2, 12, 4, 10, 5, &mut rng);
+        let mut reference = fused.clone();
+        let x = Tensor::randn(&[2, 12, 12], 1.0, &mut rng);
+        let g = Tensor::randn(&[5], 1.0, &mut rng);
+
+        let y_fused = fused.forward(&x, Mode::Train);
+        let y_ref = explicit_transpose_forward(&mut reference, &x);
+        assert_eq!(bits(&y_fused), bits(&y_ref), "logits");
+        assert_eq!(bits(&fused.cache_attn), bits(&reference.cache_attn), "attention");
+
+        let dx_fused = fused.backward(&g);
+        let dx_ref = explicit_transpose_backward(&mut reference, &g);
+        assert_eq!(bits(&dx_fused), bits(&dx_ref), "input gradient");
+        let mut grads_fused = Vec::new();
+        fused.visit_params(&mut |_, grad| grads_fused.extend(bits(grad)));
+        let mut grads_ref = Vec::new();
+        reference.visit_params(&mut |_, grad| grads_ref.extend(bits(grad)));
+        assert_eq!(grads_fused, grads_ref, "parameter gradients");
     }
 
     #[test]

@@ -185,9 +185,26 @@ pub trait Layer: Send {
     }
 
     /// Visits every `(parameter, gradient)` pair for optimizers.
+    ///
+    /// This is the single chokepoint through which parameters are mutated
+    /// (optimizer steps, state loads), so layers holding prepacked weight
+    /// operands drop them at the top of their override — a freeze can never
+    /// go stale unnoticed (see [`Layer::prepare_inference`]).
     fn visit_params(&mut self, visit: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
         let _ = visit;
     }
+
+    /// Freezes the layer for steady-state inference: prepacks weight-static
+    /// GEMM operands (the `Tensor::prepack_*` family) so the serving and XAI
+    /// sweeps skip the per-call weight pack. The contract is strict
+    /// bit-identity — a frozen layer must produce byte-identical outputs and
+    /// input gradients to an unfrozen one — and packs are invalidated by any
+    /// parameter mutation (every mutation flows through
+    /// [`Layer::visit_params`]), so training after a freeze silently falls
+    /// back to fresh packing instead of consuming a stale pack. Freezing is
+    /// idempotent; the default is a no-op for layers with no weight-static
+    /// products.
+    fn prepare_inference(&mut self) {}
 
     /// Short human-readable layer name (for architecture summaries).
     fn name(&self) -> &'static str;

@@ -1,8 +1,8 @@
 use crate::{Layer, Mode};
 use rand::Rng;
 use remix_tensor::{
-    gemm_accum_ab, im2row_batch_into, im2row_into, row2im, row2im_batch, Conv2dGeometry, Result,
-    Tensor, TensorError,
+    gemm_accum_ab, im2row_batch_into, im2row_into, row2im, row2im_batch, Conv2dGeometry,
+    PackedOperand, Result, Tensor, TensorError,
 };
 
 /// 2-D convolution over `[C, H, W]` inputs, lowered to a matrix product via
@@ -27,6 +27,18 @@ pub struct Conv2d {
     cached_rows: Tensor, // [B*out_h*out_w, C*k*k] patch rows from forward
     scratch_rows: Vec<f32>,
     scratch: ConvScratch,
+    /// Prepacked weight operands from [`Layer::prepare_inference`]; dropped
+    /// on any parameter mutation (see [`Layer::visit_params`]).
+    packs: Option<ConvPacks>,
+}
+
+/// Both roles the frozen `[F, C·k·k]` weight plays: `fwd` is the A-side of
+/// the forward `W ·ᵃᵇᵗ patches` product, `bwd` the B-side (panel layout) of
+/// the input-gradient `gᵀ · W` product.
+#[derive(Debug, Clone)]
+struct ConvPacks {
+    fwd: PackedOperand,
+    bwd: PackedOperand,
 }
 
 /// Reusable buffers for the batched GEMMs. Each GEMM call site owns its pair
@@ -79,6 +91,7 @@ impl Conv2d {
             cached_rows: Tensor::default(),
             scratch_rows: Vec::new(),
             scratch: ConvScratch::default(),
+            packs: None,
         }
     }
 
@@ -104,7 +117,14 @@ impl Conv2d {
     /// `[F, spatial]` storage, so no transpose copy is materialized, and the
     /// `[spatial, patch]` result feeds the sequential-read row fold.
     fn input_grad_from(&self, g: &Tensor) -> Result<Tensor> {
-        let drows = g.matmul_at_b(&self.weight)?;
+        let drows = match &self.packs {
+            Some(p) => {
+                let mut out = Vec::new();
+                p.bwd.matmul_at_b_rhs_prepacked_into(g, &mut out)?;
+                Tensor::from_vec(out, &[g.shape()[1], self.geo.patch_len()])?
+            }
+            None => g.matmul_at_b(&self.weight)?,
+        };
         row2im(&drows, &self.geo)
     }
 
@@ -212,7 +232,10 @@ impl Conv2d {
     /// per-sample row fold. Returns `gcat`'s allocation to the scratch pool.
     fn batched_input_grads(&mut self, gcat: Tensor, batch: usize) -> Result<Vec<Tensor>> {
         let mut drows = std::mem::take(&mut self.scratch.drows);
-        let gemm = gcat.matmul_at_b_into(&self.weight, &mut drows, &mut self.scratch.dx_packed);
+        let gemm = match &self.packs {
+            Some(p) => p.bwd.matmul_at_b_rhs_prepacked_into(&gcat, &mut drows),
+            None => gcat.matmul_at_b_into(&self.weight, &mut drows, &mut self.scratch.dx_packed),
+        };
         self.scratch.gcat = gcat.into_vec();
         gemm?;
         let total = drows.len() / self.geo.patch_len();
@@ -246,8 +269,14 @@ impl Layer for Conv2d {
         // same products, same ascending-patch chains as the column-layout
         // `W · cols`, so forward bits are unchanged by the row layout.
         let mut out = Vec::new();
-        self.weight
-            .matmul_a_bt_into(&rows, &mut out, &mut self.scratch.fwd_packed)?;
+        match &self.packs {
+            Some(p) => p
+                .fwd
+                .matmul_a_bt_prepacked_into(&rows, &mut out, &mut self.scratch.fwd_packed)?,
+            None => self
+                .weight
+                .matmul_a_bt_into(&rows, &mut out, &mut self.scratch.fwd_packed)?,
+        }
         for f in 0..self.filters {
             let b = self.bias.data()[f];
             for v in &mut out[f * spatial..(f + 1) * spatial] {
@@ -283,9 +312,14 @@ impl Layer for Conv2d {
         // ascending-patch chain, so every element is bit-identical to the
         // per-sample product.
         let mut big = std::mem::take(&mut self.scratch.fwd_out);
-        let gemm = self
-            .weight
-            .matmul_a_bt_into(&rows, &mut big, &mut self.scratch.fwd_packed);
+        let gemm = match &self.packs {
+            Some(p) => p
+                .fwd
+                .matmul_a_bt_prepacked_into(&rows, &mut big, &mut self.scratch.fwd_packed),
+            None => self
+                .weight
+                .matmul_a_bt_into(&rows, &mut big, &mut self.scratch.fwd_packed),
+        };
         if mode == Mode::Inference {
             self.scratch_rows = rows.into_vec();
         } else {
@@ -386,8 +420,17 @@ impl Layer for Conv2d {
     }
 
     fn visit_params(&mut self, visit: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        // Parameters are about to be mutated: any frozen weight pack is stale.
+        self.packs = None;
         visit(&mut self.weight, &mut self.grad_w);
         visit(&mut self.bias, &mut self.grad_b);
+    }
+
+    fn prepare_inference(&mut self) {
+        self.packs = Some(ConvPacks {
+            fwd: self.weight.prepack_a().expect("conv weight is rank 2"),
+            bwd: self.weight.prepack_b().expect("conv weight is rank 2"),
+        });
     }
 
     fn name(&self) -> &'static str {

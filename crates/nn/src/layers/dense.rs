@@ -1,6 +1,6 @@
 use crate::{Layer, Mode};
 use rand::Rng;
-use remix_tensor::{Result, Tensor};
+use remix_tensor::{PackedOperand, Result, Tensor};
 
 /// Fully-connected layer: `y = W x + b` over rank-1 inputs.
 ///
@@ -14,6 +14,31 @@ pub struct Dense {
     grad_b: Tensor,
     cached_input: Tensor,
     batch_inputs: Vec<Tensor>,
+    /// Prepacked weight operands from [`Layer::prepare_inference`]; dropped
+    /// on any parameter mutation (see [`Layer::visit_params`]).
+    packs: Option<DensePacks>,
+    scratch: DenseScratch,
+}
+
+/// Both orientations of the frozen weight: `fwd` serves the batched
+/// `W · X` forward product, `bwd` the batched `Wᵀ · G` input gradient.
+#[derive(Debug, Clone)]
+struct DensePacks {
+    fwd: PackedOperand,
+    bwd: PackedOperand,
+}
+
+/// Reusable buffers for the batched GEMMs, mirroring `ConvScratch`: each
+/// call site owns its set so sizes stay stable across steps and the `_into`
+/// kernels never reallocate or zero-fill in steady state.
+#[derive(Debug, Clone, Default)]
+struct DenseScratch {
+    xmat: Vec<f32>,       // [in, B] column-major batch input
+    fwd_out: Vec<f32>,    // [out, B] forward product
+    fwd_packed: Vec<f32>, // packed input panels for the forward GEMM
+    gmat: Vec<f32>,       // [out, B] concatenated output gradients
+    bwd_out: Vec<f32>,    // [in, B] dX product
+    bwd_packed: Vec<f32>, // packed gradient panels for the dX GEMM
 }
 
 impl Dense {
@@ -27,6 +52,8 @@ impl Dense {
             grad_b: Tensor::zeros(&[out_dim]),
             cached_input: Tensor::default(),
             batch_inputs: Vec::new(),
+            packs: None,
+            scratch: DenseScratch::default(),
         }
     }
 
@@ -74,6 +101,51 @@ impl Dense {
             }
         }
         Tensor::from_slice(&dx)
+    }
+
+    /// Batched `dX = Wᵀ · G` through one transpose-free GEMM into reused
+    /// scratch (prepacked when frozen): each dx element's chain runs over the
+    /// out_dim axis within a single sample's column, matching
+    /// [`Dense::input_grad`] bitwise on finite data — the same ascending-i
+    /// order, and skipping `g == 0.0` products is bitwise-neutral (see the
+    /// zero-skip note on `remix-tensor`'s reference kernel).
+    fn batched_input_grads(&mut self, grads_out: &[Tensor]) -> Result<Vec<Tensor>> {
+        let (out_dim, in_dim) = (self.out_dim(), self.in_dim());
+        let batch = grads_out.len();
+        let mut gmat = std::mem::take(&mut self.scratch.gmat);
+        if gmat.len() != out_dim * batch {
+            gmat.clear();
+            gmat.resize(out_dim * batch, 0.0);
+        }
+        for (s, g) in grads_out.iter().enumerate() {
+            debug_assert_eq!(g.len(), out_dim, "dense gradient length");
+            for (i, &v) in g.data().iter().enumerate() {
+                gmat[i * batch + s] = v;
+            }
+        }
+        let gmat = Tensor::from_vec(gmat, &[out_dim, batch])?;
+        let mut dxmat = std::mem::take(&mut self.scratch.bwd_out);
+        let gemm = match &self.packs {
+            Some(p) => p
+                .bwd
+                .matmul_at_b_prepacked_into(&gmat, &mut dxmat, &mut self.scratch.bwd_packed),
+            None => self
+                .weight
+                .matmul_at_b_into(&gmat, &mut dxmat, &mut self.scratch.bwd_packed),
+        };
+        self.scratch.gmat = gmat.into_vec();
+        if let Err(e) = gemm {
+            self.scratch.bwd_out = dxmat;
+            return Err(e);
+        }
+        let grads = (0..batch)
+            .map(|s| {
+                let data = (0..in_dim).map(|j| dxmat[j * batch + s]).collect();
+                Tensor::from_vec(data, &[in_dim])
+            })
+            .collect();
+        self.scratch.bwd_out = dxmat;
+        grads
     }
 }
 
@@ -140,24 +212,44 @@ impl Layer for Dense {
         let batch = flats.len();
         // Columns are samples: big[i][s] = Σ_j w[i][j]·x_s[j], the same
         // ascending-j chain as the per-sample matvec, so adding the bias last
-        // reproduces forward() bitwise.
-        let mut xmat = vec![0.0f32; in_dim * batch];
+        // reproduces forward() bitwise. The GEMM runs into reused scratch,
+        // through the frozen weight pack when one is installed.
+        let mut xmat = std::mem::take(&mut self.scratch.xmat);
+        if xmat.len() != in_dim * batch {
+            xmat.clear();
+            xmat.resize(in_dim * batch, 0.0);
+        }
         for (s, x) in flats.iter().enumerate() {
             for (j, &v) in x.data().iter().enumerate() {
                 xmat[j * batch + s] = v;
             }
         }
         let xmat = Tensor::from_vec(xmat, &[in_dim, batch])?;
-        let big = self.weight.matmul(&xmat)?;
+        let mut big = std::mem::take(&mut self.scratch.fwd_out);
+        let gemm = match &self.packs {
+            Some(p) => p
+                .fwd
+                .matmul_prepacked_into(&xmat, &mut big, &mut self.scratch.fwd_packed),
+            None => self
+                .weight
+                .matmul_into(&xmat, &mut big, &mut self.scratch.fwd_packed),
+        };
+        self.scratch.xmat = xmat.into_vec();
+        if let Err(e) = gemm {
+            self.scratch.fwd_out = big;
+            return Err(e);
+        }
         let bias = self.bias.data();
         let outs = (0..batch)
             .map(|s| {
                 let data = (0..out_dim)
-                    .map(|i| big.data()[i * batch + s] + bias[i])
+                    .map(|i| big[i * batch + s] + bias[i])
                     .collect();
                 Tensor::from_vec(data, &[out_dim])
             })
-            .collect::<Result<Vec<_>>>()?;
+            .collect::<Result<Vec<_>>>();
+        self.scratch.fwd_out = big;
+        let outs = outs?;
         if mode != Mode::Inference {
             self.batch_inputs = flats;
         } else {
@@ -167,11 +259,16 @@ impl Layer for Dense {
     }
 
     fn backward_input_batch(&mut self, grads_out: &[Tensor]) -> Result<Vec<Tensor>> {
-        // dx = Wᵀ g needs no cached state, so the batch is just the
-        // per-sample kernel applied in order (bit-identical by construction;
-        // the matvec accumulation order must not change, so no batched
-        // matmul here).
-        Ok(grads_out.iter().map(|g| self.input_grad(g)).collect())
+        // dx = Wᵀ g needs no cached state. A frozen layer routes the batch
+        // through the prepacked Wᵀ·G GEMM — bit-identical to the per-sample
+        // kernel (see `batched_input_grads`). Unfrozen layers keep the
+        // per-sample loop, which skips the gmat transpose-copy for the
+        // common single-gradient XAI call.
+        if self.packs.is_some() && !grads_out.is_empty() {
+            self.batched_input_grads(grads_out)
+        } else {
+            Ok(grads_out.iter().map(|g| self.input_grad(g)).collect())
+        }
     }
 
     fn supports_batched_backward(&self) -> bool {
@@ -179,7 +276,6 @@ impl Layer for Dense {
     }
 
     fn backward_batch(&mut self, grads_out: &[Tensor]) -> Result<Vec<Tensor>> {
-        let (out_dim, in_dim) = (self.out_dim(), self.in_dim());
         let inputs = std::mem::take(&mut self.batch_inputs);
         assert_eq!(
             grads_out.len(),
@@ -195,24 +291,7 @@ impl Layer for Dense {
         for (g, x) in grads_out.iter().zip(&inputs) {
             self.accumulate_param_grads(g, x);
         }
-        // dX = Wᵀ·G is one transpose-free GEMM: each dx element's chain runs
-        // over the out_dim axis within a single sample's column, matching
-        // input_grad() bitwise on finite data.
-        let batch = grads_out.len();
-        let mut gmat = vec![0.0f32; out_dim * batch];
-        for (s, g) in grads_out.iter().enumerate() {
-            for (i, &v) in g.data().iter().enumerate() {
-                gmat[i * batch + s] = v;
-            }
-        }
-        let gmat = Tensor::from_vec(gmat, &[out_dim, batch])?;
-        let dxmat = self.weight.matmul_at_b(&gmat)?;
-        (0..batch)
-            .map(|s| {
-                let data = (0..in_dim).map(|j| dxmat.data()[j * batch + s]).collect();
-                Tensor::from_vec(data, &[in_dim])
-            })
-            .collect()
+        self.batched_input_grads(grads_out)
     }
 
     fn backward_batch_params_only(&mut self, grads_out: &[Tensor]) -> Result<()> {
@@ -235,8 +314,17 @@ impl Layer for Dense {
     }
 
     fn visit_params(&mut self, visit: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        // Parameters are about to be mutated: any frozen weight pack is stale.
+        self.packs = None;
         visit(&mut self.weight, &mut self.grad_w);
         visit(&mut self.bias, &mut self.grad_b);
+    }
+
+    fn prepare_inference(&mut self) {
+        self.packs = Some(DensePacks {
+            fwd: self.weight.prepack_a().expect("dense weight is rank 2"),
+            bwd: self.weight.prepack_at().expect("dense weight is rank 2"),
+        });
     }
 
     fn name(&self) -> &'static str {

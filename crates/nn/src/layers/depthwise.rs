@@ -304,6 +304,12 @@ impl Layer for DepthwiseConv2d {
         visit(&mut self.bias, &mut self.grad_b);
     }
 
+    fn prepare_inference(&mut self) {
+        // Deliberate no-op: depthwise convolution never lowers to a GEMM —
+        // its per-channel kernels run as direct loops over the input — so
+        // there is no packed weight operand to freeze.
+    }
+
     fn name(&self) -> &'static str {
         "DepthwiseConv2d"
     }

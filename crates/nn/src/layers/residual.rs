@@ -176,6 +176,13 @@ impl Layer for Residual {
         }
     }
 
+    fn prepare_inference(&mut self) {
+        self.body.prepare_inference();
+        if let Some(proj) = &mut self.projection {
+            proj.prepare_inference();
+        }
+    }
+
     fn name(&self) -> &'static str {
         "Residual"
     }

@@ -248,6 +248,15 @@ impl Layer for SqueezeExcite {
         self.expand.visit_params(visit);
     }
 
+    fn prepare_inference(&mut self) {
+        // The SE excitation path runs its Dense sublayers per sample (matvec,
+        // never the batched GEMM), so freezing them installs packs that stay
+        // unused — but forwarding keeps the freeze invariant uniform should
+        // they ever batch.
+        self.reduce.prepare_inference();
+        self.expand.prepare_inference();
+    }
+
     fn name(&self) -> &'static str {
         "SqueezeExcite"
     }

@@ -177,6 +177,16 @@ impl Model {
         }
     }
 
+    /// Freezes the network for steady-state serving: every layer prepacks its
+    /// weight-static GEMM operands ([`Layer::prepare_inference`]), so repeated
+    /// predict / XAI-gradient sweeps skip the per-call weight pack. Outputs
+    /// and input gradients stay bit-identical to the unfrozen model, and any
+    /// later parameter mutation (training, state load) drops the packs
+    /// automatically — refreeze after mutating to get the fast path back.
+    pub fn freeze_for_inference(&mut self) {
+        self.net.prepare_inference();
+    }
+
     /// Mutable access to the underlying network (training, optimizers).
     pub fn net_mut(&mut self) -> &mut Sequential {
         &mut self.net

@@ -197,6 +197,12 @@ impl Layer for Sequential {
         }
     }
 
+    fn prepare_inference(&mut self) {
+        for layer in &mut self.layers {
+            layer.prepare_inference();
+        }
+    }
+
     fn name(&self) -> &'static str {
         "Sequential"
     }

@@ -1,0 +1,162 @@
+//! The freeze story's two guarantees: a frozen model ([`Model::freeze_for_inference`])
+//! is bit-identical to an unfrozen one on every serving-path product, and a
+//! stale pack is impossible — any parameter mutation (optimizer step, state
+//! load) flows through `visit_params` and drops the packs, so training after
+//! a freeze matches a never-frozen model exactly.
+
+use rand::{rngs::StdRng, SeedableRng};
+use remix_nn::state::{load_state, save_state};
+use remix_nn::{zoo, Arch, InputSpec, Model, Trainer, TrainerConfig};
+use remix_tensor::Tensor;
+
+fn spec() -> InputSpec {
+    InputSpec {
+        channels: 1,
+        size: 16,
+        num_classes: 5,
+    }
+}
+
+fn model(arch: Arch, seed: u64) -> Model {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Model::new(zoo::build(arch, spec(), &mut rng), spec())
+}
+
+fn images(n: usize, seed: u64) -> Vec<Tensor> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Tensor::rand_uniform(&[1, 16, 16], 0.0, 1.0, &mut rng))
+        .collect()
+}
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.data().iter().map(|v| v.to_bits()).collect()
+}
+
+fn batch_bits(ts: &[Tensor]) -> Vec<Vec<u32>> {
+    ts.iter().map(bits).collect()
+}
+
+#[test]
+fn frozen_model_is_bit_identical_on_forward_and_gradients() {
+    for arch in Arch::ALL {
+        let mut plain = model(arch, 11);
+        let mut frozen = plain.clone();
+        frozen.freeze_for_inference();
+        let batch = images(5, 12);
+        let classes: Vec<usize> = (0..batch.len()).map(|i| i % 5).collect();
+
+        // single-sample and batched forwards
+        for x in &batch {
+            assert_eq!(
+                bits(&plain.predict_proba(x)),
+                bits(&frozen.predict_proba(x)),
+                "{arch}: frozen per-sample probs diverged"
+            );
+        }
+        let probs_plain = plain.predict_proba_batch(&batch).expect("valid batch");
+        let probs_frozen = frozen.predict_proba_batch(&batch).expect("valid batch");
+        assert_eq!(
+            batch_bits(&probs_plain),
+            batch_bits(&probs_frozen),
+            "{arch}: frozen batched probs diverged"
+        );
+
+        // the XAI primitive, both per-sample and batched
+        for (x, &c) in batch.iter().zip(&classes) {
+            assert_eq!(
+                bits(&plain.input_gradient(x, c)),
+                bits(&frozen.input_gradient(x, c)),
+                "{arch}: frozen per-sample input gradient diverged"
+            );
+        }
+        let grads_plain = plain
+            .input_gradient_batch(&batch, &classes)
+            .expect("valid batch");
+        let grads_frozen = frozen
+            .input_gradient_batch(&batch, &classes)
+            .expect("valid batch");
+        assert_eq!(
+            batch_bits(&grads_plain),
+            batch_bits(&grads_frozen),
+            "{arch}: frozen batched input gradients diverged"
+        );
+    }
+}
+
+#[test]
+fn freezing_is_idempotent() {
+    let mut once = model(Arch::ConvNet, 21);
+    let mut twice = once.clone();
+    once.freeze_for_inference();
+    twice.freeze_for_inference();
+    twice.freeze_for_inference();
+    let batch = images(3, 22);
+    assert_eq!(
+        batch_bits(&once.predict_proba_batch(&batch).unwrap()),
+        batch_bits(&twice.predict_proba_batch(&batch).unwrap()),
+    );
+}
+
+#[test]
+fn training_after_freeze_matches_a_never_frozen_model_bitwise() {
+    // Optimizer steps mutate weights through visit_params, which must drop
+    // the packs — so a frozen-then-trained model ends at exactly the same
+    // weights and predictions as one that was never frozen.
+    let mut never_frozen = model(Arch::ConvNet, 31);
+    let mut frozen_first = never_frozen.clone();
+    frozen_first.freeze_for_inference();
+
+    let train_images = images(12, 32);
+    let labels: Vec<usize> = (0..train_images.len()).map(|i| i % 5).collect();
+    let config = TrainerConfig {
+        epochs: 2,
+        lr: 0.05,
+        ..TrainerConfig::default()
+    };
+    Trainer::new(config.clone()).fit(&mut never_frozen, &train_images, &labels);
+    Trainer::new(config).fit(&mut frozen_first, &train_images, &labels);
+
+    let a = save_state(&mut never_frozen);
+    let b = save_state(&mut frozen_first);
+    for (i, (ta, tb)) in a.tensors.iter().zip(&b.tensors).enumerate() {
+        let (ba, bb): (Vec<u32>, Vec<u32>) = (
+            ta.iter().map(|v| v.to_bits()).collect(),
+            tb.iter().map(|v| v.to_bits()).collect(),
+        );
+        assert_eq!(ba, bb, "trained parameter tensor {i} diverged after freeze");
+    }
+    let batch = images(4, 33);
+    assert_eq!(
+        batch_bits(&never_frozen.predict_proba_batch(&batch).unwrap()),
+        batch_bits(&frozen_first.predict_proba_batch(&batch).unwrap()),
+        "post-training predictions diverged"
+    );
+}
+
+#[test]
+fn load_state_after_freeze_cannot_serve_a_stale_pack() {
+    // Loading different weights into a frozen model goes through
+    // visit_params, dropping the packs: the model must immediately predict
+    // with the NEW weights, identically to a never-frozen model holding them.
+    let mut donor = model(Arch::ConvNet, 41);
+    let mut frozen = model(Arch::ConvNet, 42); // different init
+    frozen.freeze_for_inference();
+    let state = save_state(&mut donor);
+    load_state(&mut frozen, &state).expect("same architecture");
+
+    let batch = images(4, 43);
+    let expected = batch_bits(&donor.predict_proba_batch(&batch).unwrap());
+    assert_eq!(
+        expected,
+        batch_bits(&frozen.predict_proba_batch(&batch).unwrap()),
+        "stale pack survived load_state"
+    );
+    // ...and refreezing on the new weights stays bit-identical.
+    frozen.freeze_for_inference();
+    assert_eq!(
+        expected,
+        batch_bits(&frozen.predict_proba_batch(&batch).unwrap()),
+        "refreeze after load_state diverged"
+    );
+}

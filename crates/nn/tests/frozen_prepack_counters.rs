@@ -1,0 +1,41 @@
+//! Observability of the freeze fast path: a frozen model's GEMMs report
+//! `prepack_hits` and pay strictly less `gemm_pack_bytes` than the unfrozen
+//! model on the same batch. Kept in its own test binary because the trace
+//! counters are process-global.
+
+use rand::{rngs::StdRng, SeedableRng};
+use remix_nn::{zoo, Arch, InputSpec, Model};
+use remix_tensor::Tensor;
+
+#[test]
+fn frozen_batches_hit_the_prepacked_path() {
+    let spec = InputSpec {
+        channels: 1,
+        size: 16,
+        num_classes: 5,
+    };
+    let mut rng = StdRng::seed_from_u64(51);
+    let mut m = Model::new(zoo::build(Arch::ConvNet, spec, &mut rng), spec);
+    let batch: Vec<Tensor> = (0..4)
+        .map(|_| Tensor::rand_uniform(&[1, 16, 16], 0.0, 1.0, &mut rng))
+        .collect();
+
+    remix_trace::set_enabled(true);
+    remix_trace::reset();
+    m.predict_proba_batch(&batch).unwrap();
+    let unfrozen_hits = remix_trace::counter(remix_trace::Counter::PrepackHits);
+    let unfrozen_pack_bytes = remix_trace::counter(remix_trace::Counter::GemmPackBytes);
+    assert_eq!(unfrozen_hits, 0, "unfrozen model reported prepack hits");
+
+    m.freeze_for_inference();
+    remix_trace::reset();
+    m.predict_proba_batch(&batch).unwrap();
+    let frozen_hits = remix_trace::counter(remix_trace::Counter::PrepackHits);
+    let frozen_pack_bytes = remix_trace::counter(remix_trace::Counter::GemmPackBytes);
+    remix_trace::set_enabled(false);
+    assert!(frozen_hits > 0, "frozen model never hit a prepacked operand");
+    assert!(
+        frozen_pack_bytes < unfrozen_pack_bytes,
+        "freezing did not reduce pack traffic ({frozen_pack_bytes} vs {unfrozen_pack_bytes})"
+    );
+}

@@ -452,9 +452,14 @@ impl Server {
             ));
             let cache = Arc::new(VerdictCache::new(cache_per_shard, config.cache_shards));
             let stats = Arc::new(ServeStats::default());
+            // Each shard owns a frozen replica: the weights are prepacked once
+            // at startup and every request on this shard reuses the packs
+            // (verdicts stay bit-identical to the unfrozen ensemble).
+            let mut replica = ensemble.clone();
+            remix.prepare_ensemble(&mut replica);
             let engine = Engine {
                 remix: remix.clone(),
-                ensemble: ensemble.clone(),
+                ensemble: replica,
                 cache: Arc::clone(&cache),
                 stats: Arc::clone(&stats),
                 latency_budget: config.latency_budget,

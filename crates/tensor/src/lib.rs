@@ -35,7 +35,7 @@ pub use conv::{
     im2row_into, row2im, row2im_batch, Conv2dGeometry,
 };
 pub use error::TensorError;
-pub use linalg::{gemm_accum_ab, gemm_accum_abt_window};
+pub use linalg::{gemm_accum_ab, gemm_accum_abt_window, PackedOperand, PackedRole};
 pub use random::{fnv1a64, splitmix64};
 pub use tensor::Tensor;
 

@@ -94,6 +94,7 @@ fn pack_b(b: &[f32], k: usize, n: usize, packed: &mut Vec<f32>) {
             &mut packed[pj * k * NR..(pj + 1) * k * NR],
         );
     }
+    trace_pack_bytes(packed.len());
 }
 
 /// Packs the *transpose* of `b` into panels: `b` is stored row-major
@@ -117,6 +118,25 @@ fn pack_bt(b: &[f32], n: usize, row_len: usize, window: &Range<usize>, packed: &
             }
         }
     }
+    trace_pack_bytes(packed.len());
+}
+
+/// Records `floats` freshly packed slots on the `gemm_pack_bytes` counter.
+/// Kept out of the per-block inner loops: callers tally whole pack buffers
+/// (B panels on entry, the A side once per dispatch).
+#[inline]
+fn trace_pack_bytes(floats: usize) {
+    remix_trace::add(
+        remix_trace::Counter::GemmPackBytes,
+        (floats * std::mem::size_of::<f32>()) as u64,
+    );
+}
+
+/// A-side pack traffic of one non-prepacked GEMM: every `MR`-row block packs
+/// `kc * MR` slots regardless of raggedness.
+#[inline]
+fn trace_pack_a_bytes(m: usize, kc: usize) {
+    trace_pack_bytes(m.div_ceil(MR) * kc * MR);
 }
 
 /// Packs rows `i0..i0+h` (`h <= MR`) of row-major `a` (`[_, row_len]`),
@@ -275,6 +295,7 @@ fn gemm_dispatch(
 ) {
     remix_trace::incr(remix_trace::Counter::GemmCalls);
     remix_trace::add(remix_trace::Counter::GemmMacs, (m * kc * n) as u64);
+    trace_pack_a_bytes(m, kc);
     let _span = remix_trace::span("gemm");
     let threads = remix_parallel::num_threads();
     if threads > 1 && m > 1 && m * kc * n >= PARALLEL_MATMUL_MACS {
@@ -285,6 +306,90 @@ fn gemm_dispatch(
         });
     } else {
         gemm_rows::<false>(pack_a, 0..m, kc, n, packed_b, out);
+    }
+}
+
+/// Computes output rows `rows` of a GEMM whose A blocks were packed ahead of
+/// time: `ablocks` holds `m.div_ceil(MR)` interleaved `[kc][MR]` blocks (the
+/// exact buffers the per-call `pack_a` closure would produce, tail rows
+/// zero-padded), so the micro-kernel consumes identical inputs and the
+/// outputs are bit-identical to [`gemm_rows`] by construction.
+///
+/// `rows.start` must sit on an `MR` boundary so the span reads whole blocks.
+fn gemm_rows_prepacked<const ACCUM: bool>(
+    ablocks: &[f32],
+    rows: Range<usize>,
+    kc: usize,
+    n: usize,
+    packed_b: &[f32],
+    out: &mut [f32],
+) {
+    debug_assert!(
+        rows.start.is_multiple_of(MR),
+        "prepacked spans must start on an MR boundary"
+    );
+    let panels = n.div_ceil(NR);
+    let kernel = micro_kernel();
+    let block_len = kc * MR;
+    let mut i = rows.start;
+    while i < rows.end {
+        let h = MR.min(rows.end - i);
+        let apack = &ablocks[(i / MR) * block_len..(i / MR) * block_len + block_len];
+        for pj in 0..panels {
+            let j0 = pj * NR;
+            let w = NR.min(n - j0);
+            let panel = &packed_b[pj * kc * NR..(pj + 1) * kc * NR];
+            // SAFETY: `micro_kernel` only returns a feature-gated variant
+            // when the CPU reports that feature.
+            let acc = unsafe { kernel(apack, panel, kc) };
+            for (r, accr) in acc.iter().enumerate().take(h) {
+                let dst = &mut out[(i - rows.start + r) * n + j0..][..w];
+                if ACCUM {
+                    for (d, &s) in dst.iter_mut().zip(accr.iter()) {
+                        *d += s;
+                    }
+                } else {
+                    dst.copy_from_slice(&accr[..w]);
+                }
+            }
+        }
+        i += h;
+    }
+}
+
+/// [`gemm_dispatch`] over stored A blocks. Parallel spans are rounded up to
+/// `MR`-row multiples so every span starts on a block boundary — a different
+/// row partition than the fresh path, which is irrelevant to the result:
+/// partitioning only reorders *which* output elements compute when, never the
+/// additions within one element (module determinism contract).
+fn gemm_dispatch_prepacked(
+    ablocks: &[f32],
+    m: usize,
+    kc: usize,
+    n: usize,
+    packed_b: &[f32],
+    out: &mut [f32],
+) {
+    remix_trace::incr(remix_trace::Counter::GemmCalls);
+    remix_trace::incr(remix_trace::Counter::PrepackHits);
+    remix_trace::add(remix_trace::Counter::GemmMacs, (m * kc * n) as u64);
+    let _span = remix_trace::span("gemm");
+    let threads = remix_parallel::num_threads();
+    if threads > 1 && m > 1 && m * kc * n >= PARALLEL_MATMUL_MACS {
+        let rows_per_span = m.div_ceil(threads.min(m)).next_multiple_of(MR);
+        remix_parallel::for_each_span_mut(out, rows_per_span * n, |span, orows| {
+            let row0 = span * rows_per_span;
+            gemm_rows_prepacked::<false>(
+                ablocks,
+                row0..row0 + orows.len() / n,
+                kc,
+                n,
+                packed_b,
+                orows,
+            );
+        });
+    } else {
+        gemm_rows_prepacked::<false>(ablocks, 0..m, kc, n, packed_b, out);
     }
 }
 
@@ -313,6 +418,7 @@ pub fn gemm_accum_abt_window(
     let kc = window.len();
     remix_trace::incr(remix_trace::Counter::GemmCalls);
     remix_trace::add(remix_trace::Counter::GemmMacs, (m * kc * n) as u64);
+    trace_pack_a_bytes(m, kc);
     pack_bt(b, n, row_len, &window, packed);
     gemm_rows::<true>(
         &|i0, h, dst| pack_a_rows(a, row_len, &window, i0, h, dst),
@@ -348,6 +454,7 @@ pub fn gemm_accum_ab(
     debug_assert_eq!(out.len(), m * n);
     remix_trace::incr(remix_trace::Counter::GemmCalls);
     remix_trace::add(remix_trace::Counter::GemmMacs, (m * kc * n) as u64);
+    trace_pack_a_bytes(m, kc);
     pack_b(b, kc, n, packed);
     let window = 0..kc;
     gemm_rows::<true>(
@@ -358,6 +465,239 @@ pub fn gemm_accum_ab(
         packed,
         out,
     );
+}
+
+/// Which operand slot and read orientation a [`PackedOperand`] was built for.
+///
+/// The lhs roles (`A`, `At`) store interleaved `[m.div_ceil(MR)][kc][MR]`
+/// A blocks; the rhs roles (`B`, `Bt`) store `[n.div_ceil(NR)][kc][NR]`
+/// B panels. The two orientations per slot differ only in how the *source*
+/// tensor was read during packing — the stored layout (and therefore the
+/// kernel consuming it) is identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PackedRole {
+    /// Left operand read row-major: source `[m, k]`, serves
+    /// [`PackedOperand::matmul_prepacked_into`] and
+    /// [`PackedOperand::matmul_a_bt_prepacked_into`].
+    A,
+    /// Left operand read transposed: source `[k, m]`, serves
+    /// [`PackedOperand::matmul_at_b_prepacked_into`].
+    At,
+    /// Right operand read row-major: source `[k, n]`, serves
+    /// [`PackedOperand::matmul_at_b_rhs_prepacked_into`].
+    B,
+    /// Right operand read transposed: source `[n, k]`, serves
+    /// [`PackedOperand::matmul_a_bt_rhs_prepacked_into`].
+    Bt,
+}
+
+/// A persistent prepacked GEMM operand: the weight side of a weight-static
+/// product, relaid out once by the `Tensor::prepack_*` family and reused
+/// across every subsequent call.
+///
+/// Packing is a pure relayout — the stored blocks/panels are byte-identical
+/// to what the per-call pack stage would produce, and every output element
+/// keeps its existing ascending-k accumulation chain — so the prepacked entry
+/// points are bit-identical to their fresh counterparts by construction. The
+/// varying (activation) operand still packs per call; what a `PackedOperand`
+/// eliminates is the *weight-side* pack traffic, which on a frozen serving
+/// replica is every repeat pack after the first.
+///
+/// Holders are responsible for invalidation: a pack is a snapshot of the
+/// source tensor, so any mutation of the weights must drop it (`remix-nn`
+/// layers do this inside `visit_params`, the single chokepoint through which
+/// optimizer steps and state loads mutate parameters).
+#[derive(Debug, Clone)]
+pub struct PackedOperand {
+    role: PackedRole,
+    /// Output-facing dimension of the logical operand: `m` for lhs roles,
+    /// `n` for rhs roles.
+    dim: usize,
+    /// Shared inner dimension.
+    kc: usize,
+    /// Source tensor shape, for error reporting.
+    src: [usize; 2],
+    data: Vec<f32>,
+}
+
+impl PackedOperand {
+    /// The role this operand was packed for.
+    pub fn role(&self) -> PackedRole {
+        self.role
+    }
+
+    /// Number of packed `f32` slots (block/panel padding included).
+    pub fn packed_len(&self) -> usize {
+        self.data.len()
+    }
+
+    fn expect_role(&self, want: PackedRole, op: &str) {
+        assert_eq!(
+            self.role, want,
+            "{op} needs a {want:?}-role pack, got {:?} (packed from {:?})",
+            self.role, self.src
+        );
+    }
+
+    fn check_inner_dim(&self, other: &Tensor, inner: usize) -> Result<()> {
+        if inner != self.kc {
+            return Err(TensorError::MatmulDimMismatch {
+                left: self.src.to_vec(),
+                right: other.shape().to_vec(),
+            });
+        }
+        Ok(())
+    }
+
+    /// `P · other` for a pack built by [`Tensor::prepack_a`] from `[m, k]`
+    /// and `other: [k, n]` → `out: [m, n]`; bit-identical to
+    /// [`Tensor::matmul_into`] on the source tensor. `packed` is scratch for
+    /// the per-call B panels of `other`.
+    ///
+    /// # Errors
+    ///
+    /// Same shape errors as [`Tensor::matmul`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pack's role is not [`PackedRole::A`].
+    pub fn matmul_prepacked_into(
+        &self,
+        other: &Tensor,
+        out: &mut Vec<f32>,
+        packed: &mut Vec<f32>,
+    ) -> Result<()> {
+        self.expect_role(PackedRole::A, "matmul_prepacked_into");
+        check_rank2(other, "matmul")?;
+        let (k2, n) = (other.shape()[0], other.shape()[1]);
+        self.check_inner_dim(other, k2)?;
+        pack_b(other.data(), self.kc, n, packed);
+        reset_buf(out, self.dim * n);
+        gemm_dispatch_prepacked(&self.data, self.dim, self.kc, n, packed, out);
+        Ok(())
+    }
+
+    /// `Pᵀ · other` for a pack built by [`Tensor::prepack_at`] from `[k, m]`
+    /// and `other: [k, n]` → `out: [m, n]`; bit-identical to
+    /// [`Tensor::matmul_at_b_into`] on the source tensor.
+    ///
+    /// # Errors
+    ///
+    /// Same shape errors as [`Tensor::matmul`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pack's role is not [`PackedRole::At`].
+    pub fn matmul_at_b_prepacked_into(
+        &self,
+        other: &Tensor,
+        out: &mut Vec<f32>,
+        packed: &mut Vec<f32>,
+    ) -> Result<()> {
+        self.expect_role(PackedRole::At, "matmul_at_b_prepacked_into");
+        check_rank2(other, "matmul_at_b")?;
+        let (k2, n) = (other.shape()[0], other.shape()[1]);
+        self.check_inner_dim(other, k2)?;
+        pack_b(other.data(), self.kc, n, packed);
+        reset_buf(out, self.dim * n);
+        gemm_dispatch_prepacked(&self.data, self.dim, self.kc, n, packed, out);
+        Ok(())
+    }
+
+    /// `P · otherᵀ` for a pack built by [`Tensor::prepack_a`] from `[m, k]`
+    /// and `other: [n, k]` → `out: [m, n]`; bit-identical to
+    /// [`Tensor::matmul_a_bt_into`] on the source tensor.
+    ///
+    /// # Errors
+    ///
+    /// Same shape errors as [`Tensor::matmul`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pack's role is not [`PackedRole::A`].
+    pub fn matmul_a_bt_prepacked_into(
+        &self,
+        other: &Tensor,
+        out: &mut Vec<f32>,
+        packed: &mut Vec<f32>,
+    ) -> Result<()> {
+        self.expect_role(PackedRole::A, "matmul_a_bt_prepacked_into");
+        check_rank2(other, "matmul_a_bt")?;
+        let (n, k2) = (other.shape()[0], other.shape()[1]);
+        self.check_inner_dim(other, k2)?;
+        let window = 0..self.kc;
+        pack_bt(other.data(), n, self.kc, &window, packed);
+        reset_buf(out, self.dim * n);
+        gemm_dispatch_prepacked(&self.data, self.dim, self.kc, n, packed, out);
+        Ok(())
+    }
+
+    /// `lhsᵀ · P` for a pack built by [`Tensor::prepack_b`] from `[k, n]`
+    /// and `lhs: [k, m]` → `out: [m, n]`; bit-identical to
+    /// `lhs.matmul_at_b_into(source, ..)`. The varying `lhs` packs per
+    /// `MR`-block inside the kernel (no scratch buffer needed); only the
+    /// stored B panels are reused.
+    ///
+    /// # Errors
+    ///
+    /// Same shape errors as [`Tensor::matmul`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pack's role is not [`PackedRole::B`].
+    pub fn matmul_at_b_rhs_prepacked_into(&self, lhs: &Tensor, out: &mut Vec<f32>) -> Result<()> {
+        self.expect_role(PackedRole::B, "matmul_at_b_rhs_prepacked_into");
+        check_rank2(lhs, "matmul_at_b")?;
+        let (k2, m) = (lhs.shape()[0], lhs.shape()[1]);
+        self.check_inner_dim(lhs, k2)?;
+        remix_trace::incr(remix_trace::Counter::PrepackHits);
+        let a = lhs.data();
+        let (k, n) = (self.kc, self.dim);
+        reset_buf(out, m * n);
+        gemm_dispatch(
+            &|i0, h, dst| pack_at_rows(a, m, k, i0, h, dst),
+            m,
+            k,
+            n,
+            &self.data,
+            out,
+        );
+        Ok(())
+    }
+
+    /// `lhs · Pᵀ` for a pack built by [`Tensor::prepack_bt`] from `[n, k]`
+    /// and `lhs: [m, k]` → `out: [m, n]`; bit-identical to
+    /// `lhs.matmul_a_bt_into(source, ..)`. As with
+    /// [`PackedOperand::matmul_at_b_rhs_prepacked_into`], only the stored B
+    /// panels are reused.
+    ///
+    /// # Errors
+    ///
+    /// Same shape errors as [`Tensor::matmul`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pack's role is not [`PackedRole::Bt`].
+    pub fn matmul_a_bt_rhs_prepacked_into(&self, lhs: &Tensor, out: &mut Vec<f32>) -> Result<()> {
+        self.expect_role(PackedRole::Bt, "matmul_a_bt_rhs_prepacked_into");
+        check_rank2(lhs, "matmul_a_bt")?;
+        let (m, k2) = (lhs.shape()[0], lhs.shape()[1]);
+        self.check_inner_dim(lhs, k2)?;
+        remix_trace::incr(remix_trace::Counter::PrepackHits);
+        let a = lhs.data();
+        let (k, n) = (self.kc, self.dim);
+        let window = 0..k;
+        reset_buf(out, m * n);
+        gemm_dispatch(
+            &|i0, h, dst| pack_a_rows(a, k, &window, i0, h, dst),
+            m,
+            k,
+            n,
+            &self.data,
+            out,
+        );
+        Ok(())
+    }
 }
 
 fn check_rank2(t: &Tensor, op: &'static str) -> Result<()> {
@@ -544,6 +884,119 @@ impl Tensor {
             out,
         );
         Ok(())
+    }
+
+    /// Packs `self: [m, k]` once as the left operand of [`Tensor::matmul`] /
+    /// [`Tensor::matmul_a_bt`] products ([`PackedRole::A`]): the interleaved
+    /// `[m.div_ceil(MR)][k][MR]` A blocks the kernel would otherwise rebuild
+    /// per call. Consume via [`PackedOperand::matmul_prepacked_into`] or
+    /// [`PackedOperand::matmul_a_bt_prepacked_into`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] unless `self` is rank 2.
+    pub fn prepack_a(&self) -> Result<PackedOperand> {
+        check_rank2(self, "prepack_a")?;
+        let (m, k) = (self.shape()[0], self.shape()[1]);
+        let blocks = m.div_ceil(MR);
+        let mut data = vec![0.0f32; blocks * k * MR];
+        let window = 0..k;
+        for bi in 0..blocks {
+            pack_a_rows(
+                self.data(),
+                k,
+                &window,
+                bi * MR,
+                MR.min(m - bi * MR),
+                &mut data[bi * k * MR..(bi + 1) * k * MR],
+            );
+        }
+        trace_pack_bytes(data.len());
+        Ok(PackedOperand {
+            role: PackedRole::A,
+            dim: m,
+            kc: k,
+            src: [m, k],
+            data,
+        })
+    }
+
+    /// Packs `self: [k, m]` once as the transpose-read left operand of
+    /// [`Tensor::matmul_at_b`] products ([`PackedRole::At`]). The stored
+    /// layout is the same `[m.div_ceil(MR)][k][MR]` block family as
+    /// [`Tensor::prepack_a`] — only the source read orientation differs.
+    /// Consume via [`PackedOperand::matmul_at_b_prepacked_into`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] unless `self` is rank 2.
+    pub fn prepack_at(&self) -> Result<PackedOperand> {
+        check_rank2(self, "prepack_at")?;
+        let (k, m) = (self.shape()[0], self.shape()[1]);
+        let blocks = m.div_ceil(MR);
+        let mut data = vec![0.0f32; blocks * k * MR];
+        for bi in 0..blocks {
+            pack_at_rows(
+                self.data(),
+                m,
+                k,
+                bi * MR,
+                MR.min(m - bi * MR),
+                &mut data[bi * k * MR..(bi + 1) * k * MR],
+            );
+        }
+        trace_pack_bytes(data.len());
+        Ok(PackedOperand {
+            role: PackedRole::At,
+            dim: m,
+            kc: k,
+            src: [k, m],
+            data,
+        })
+    }
+
+    /// Packs `self: [k, n]` once as the right operand of
+    /// [`Tensor::matmul_at_b`] products ([`PackedRole::B`]): the
+    /// `[n.div_ceil(NR)][k][NR]` column panels. Consume via
+    /// [`PackedOperand::matmul_at_b_rhs_prepacked_into`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] unless `self` is rank 2.
+    pub fn prepack_b(&self) -> Result<PackedOperand> {
+        check_rank2(self, "prepack_b")?;
+        let (k, n) = (self.shape()[0], self.shape()[1]);
+        let mut data = Vec::new();
+        pack_b(self.data(), k, n, &mut data);
+        Ok(PackedOperand {
+            role: PackedRole::B,
+            dim: n,
+            kc: k,
+            src: [k, n],
+            data,
+        })
+    }
+
+    /// Packs `self: [n, k]` once as the transpose-read right operand of
+    /// [`Tensor::matmul_a_bt`] products ([`PackedRole::Bt`]). Consume via
+    /// [`PackedOperand::matmul_a_bt_rhs_prepacked_into`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] unless `self` is rank 2.
+    pub fn prepack_bt(&self) -> Result<PackedOperand> {
+        check_rank2(self, "prepack_bt")?;
+        let (n, k) = (self.shape()[0], self.shape()[1]);
+        let mut data = Vec::new();
+        let window = 0..k;
+        pack_bt(self.data(), n, k, &window, &mut data);
+        Ok(PackedOperand {
+            role: PackedRole::Bt,
+            dim: n,
+            kc: k,
+            src: [n, k],
+            data,
+        })
     }
 
     /// Pre-blocking reference matmul (the PR 1 ikj kernel, zero-skip
@@ -850,6 +1303,108 @@ mod tests {
             );
         }
         assert_eq!(parallel.data(), &reference[..]);
+    }
+
+    #[test]
+    fn prepacked_matches_fresh_on_zoo_shapes() {
+        // The bench zoo shapes plus a product big enough to cross the
+        // parallel-dispatch threshold, whose prepacked spans are MR-aligned
+        // (unlike the fresh path's) — partitioning must not change bits.
+        let mut rng = StdRng::seed_from_u64(42);
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<u32>>();
+        for &(m, k, n) in &[
+            (8, 27, 8192),
+            (16, 72, 2048),
+            (24, 144, 512),
+            (48, 256, 32),
+            (96, 96, 96),
+            (5, 9, 17),
+        ] {
+            let a = Tensor::rand_uniform(&[m, k], -1.0, 1.0, &mut rng);
+            let b = Tensor::rand_uniform(&[k, n], -1.0, 1.0, &mut rng);
+            let mut out = Vec::new();
+            let mut scratch = Vec::new();
+            let pa = a.prepack_a().unwrap();
+            pa.matmul_prepacked_into(&b, &mut out, &mut scratch).unwrap();
+            assert_eq!(
+                bits(&out),
+                bits(a.matmul(&b).unwrap().data()),
+                "matmul {m}x{k}x{n}"
+            );
+            let at = a.transpose().unwrap();
+            let pat = at.prepack_at().unwrap();
+            pat.matmul_at_b_prepacked_into(&b, &mut out, &mut scratch)
+                .unwrap();
+            assert_eq!(
+                bits(&out),
+                bits(at.matmul_at_b(&b).unwrap().data()),
+                "matmul_at_b {m}x{k}x{n}"
+            );
+            let bt = b.transpose().unwrap();
+            pa.matmul_a_bt_prepacked_into(&bt, &mut out, &mut scratch)
+                .unwrap();
+            assert_eq!(
+                bits(&out),
+                bits(a.matmul_a_bt(&bt).unwrap().data()),
+                "matmul_a_bt {m}x{k}x{n}"
+            );
+            let pb = b.prepack_b().unwrap();
+            pb.matmul_at_b_rhs_prepacked_into(&at, &mut out).unwrap();
+            assert_eq!(
+                bits(&out),
+                bits(at.matmul_at_b(&b).unwrap().data()),
+                "matmul_at_b rhs {m}x{k}x{n}"
+            );
+            let pbt = bt.prepack_bt().unwrap();
+            pbt.matmul_a_bt_rhs_prepacked_into(&a, &mut out).unwrap();
+            assert_eq!(
+                bits(&out),
+                bits(a.matmul_a_bt(&bt).unwrap().data()),
+                "matmul_a_bt rhs {m}x{k}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn prepacked_reuse_is_stable_across_calls() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let a = Tensor::rand_uniform(&[7, 13], -1.0, 1.0, &mut rng);
+        let pa = a.prepack_a().unwrap();
+        assert_eq!(pa.role(), PackedRole::A);
+        assert_eq!(pa.packed_len(), 7usize.div_ceil(MR) * MR * 13);
+        let mut out = Vec::new();
+        let mut scratch = Vec::new();
+        for seed in 0..3u64 {
+            let mut rng = StdRng::seed_from_u64(100 + seed);
+            let b = Tensor::rand_uniform(&[13, 9], -1.0, 1.0, &mut rng);
+            pa.matmul_prepacked_into(&b, &mut out, &mut scratch).unwrap();
+            assert_eq!(&out[..], a.matmul(&b).unwrap().data());
+        }
+    }
+
+    #[test]
+    fn prepacked_rejects_mismatched_inner_dim() {
+        let a = Tensor::zeros(&[4, 6]);
+        let pa = a.prepack_a().unwrap();
+        let mut out = Vec::new();
+        let mut scratch = Vec::new();
+        assert!(pa
+            .matmul_prepacked_into(&Tensor::zeros(&[5, 3]), &mut out, &mut scratch)
+            .is_err());
+        assert!(pa
+            .matmul_a_bt_prepacked_into(&Tensor::zeros(&[3, 5]), &mut out, &mut scratch)
+            .is_err());
+        assert!(Tensor::zeros(&[3]).prepack_a().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a At-role pack")]
+    fn prepacked_role_misuse_panics() {
+        let a = Tensor::zeros(&[4, 6]);
+        let pa = a.prepack_a().unwrap();
+        let mut out = Vec::new();
+        let mut scratch = Vec::new();
+        let _ = pa.matmul_at_b_prepacked_into(&Tensor::zeros(&[4, 3]), &mut out, &mut scratch);
     }
 
     #[test]

@@ -131,4 +131,48 @@ proptest! {
             prop_assert_eq!(x.to_bits(), y.to_bits(), "matmul_a_bt ({m},{k},{n})");
         }
     }
+
+    #[test]
+    fn prepacked_gemm_is_bit_identical_to_fresh_on_ragged_shapes(
+        m in 1usize..64, k in 1usize..64, n in 1usize..64, seed in 0u64..1024
+    ) {
+        // A PackedOperand stores the exact blocks/panels the per-call pack
+        // stage would produce, so every prepacked entry point must reproduce
+        // its fresh counterpart's bits exactly on every shape — ragged
+        // register-tile edges included.
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_9acc);
+        let a = Tensor::rand_uniform(&[m, k], -2.0, 2.0, &mut rng);
+        let b = Tensor::rand_uniform(&[k, n], -2.0, 2.0, &mut rng);
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<u32>>();
+        let mut out = Vec::new();
+        let mut scratch = Vec::new();
+
+        // lhs prepacked: P·B, Pᵀ·B, P·Bᵀ
+        let pa = a.prepack_a().unwrap();
+        pa.matmul_prepacked_into(&b, &mut out, &mut scratch).unwrap();
+        let fresh = a.matmul(&b).unwrap();
+        prop_assert_eq!(bits(&out), bits(fresh.data()), "matmul_prepacked ({m},{k},{n})");
+
+        let at = a.transpose().unwrap();
+        let pat = at.prepack_at().unwrap();
+        pat.matmul_at_b_prepacked_into(&b, &mut out, &mut scratch).unwrap();
+        let fresh = at.matmul_at_b(&b).unwrap();
+        prop_assert_eq!(bits(&out), bits(fresh.data()), "matmul_at_b_prepacked ({m},{k},{n})");
+
+        let bt = b.transpose().unwrap();
+        pa.matmul_a_bt_prepacked_into(&bt, &mut out, &mut scratch).unwrap();
+        let fresh = a.matmul_a_bt(&bt).unwrap();
+        prop_assert_eq!(bits(&out), bits(fresh.data()), "matmul_a_bt_prepacked ({m},{k},{n})");
+
+        // rhs prepacked: Aᵀ·P and A·Pᵀ against the same fresh products
+        let pb = b.prepack_b().unwrap();
+        pb.matmul_at_b_rhs_prepacked_into(&at, &mut out).unwrap();
+        let fresh = at.matmul_at_b(&b).unwrap();
+        prop_assert_eq!(bits(&out), bits(fresh.data()), "matmul_at_b_rhs_prepacked ({m},{k},{n})");
+
+        let pbt = bt.prepack_bt().unwrap();
+        pbt.matmul_a_bt_rhs_prepacked_into(&a, &mut out).unwrap();
+        let fresh = a.matmul_a_bt(&bt).unwrap();
+        prop_assert_eq!(bits(&out), bits(fresh.data()), "matmul_a_bt_rhs_prepacked ({m},{k},{n})");
+    }
 }

@@ -14,6 +14,13 @@ pub enum Counter {
     GemmCalls,
     /// Multiply-accumulate operations dispatched to the GEMM kernels.
     GemmMacs,
+    /// Bytes written into packed GEMM operand layouts (A blocks + B panels),
+    /// including one-time `prepack_*` packs. Prepacked entry points skip the
+    /// weight-side pack, so this counter makes the saving observable.
+    GemmPackBytes,
+    /// GEMM calls served from a persistent prepacked operand
+    /// (`remix_tensor::PackedOperand`) instead of re-packing the weight side.
+    PrepackHits,
     /// Jobs posted to the persistent worker pool.
     PoolJobs,
     /// Tasks fanned out across pool jobs (claimed by workers or the poster).
@@ -51,9 +58,11 @@ pub enum Counter {
 
 impl Counter {
     /// Every counter, in declaration order.
-    pub const ALL: [Counter; 18] = [
+    pub const ALL: [Counter; 20] = [
         Counter::GemmCalls,
         Counter::GemmMacs,
+        Counter::GemmPackBytes,
+        Counter::PrepackHits,
         Counter::PoolJobs,
         Counter::PoolTasks,
         Counter::XaiPerturbations,
@@ -77,6 +86,8 @@ impl Counter {
         match self {
             Counter::GemmCalls => "gemm_calls",
             Counter::GemmMacs => "gemm_macs",
+            Counter::GemmPackBytes => "gemm_pack_bytes",
+            Counter::PrepackHits => "prepack_hits",
             Counter::PoolJobs => "pool_jobs",
             Counter::PoolTasks => "pool_tasks",
             Counter::XaiPerturbations => "xai_perturbations",
