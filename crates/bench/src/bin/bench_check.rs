@@ -1,6 +1,7 @@
-//! CI perf-regression gate: compares fresh bench records against the
-//! committed baselines and exits nonzero on a >20 % wall-time regression or
-//! any bitwise-verdict divergence. See `remix_bench::check` for the policy
+//! CI perf-regression gate: compares fresh bench records (gemm, inference,
+//! serve, xai_sched, swap) against the committed baselines and exits nonzero
+//! on a >20 % wall-time regression, any bitwise-verdict divergence, or a
+//! dropped request during hot swaps. See `remix_bench::check` for the policy
 //! (within-run ratios, so the gate is robust to CI machine speed).
 //!
 //! ```text
@@ -13,8 +14,8 @@
 //! gate can fail before trusting it to pass.
 
 use remix_bench::check::{
-    check_gemm, check_inference, check_serve, check_xai_sched, flip_verdict_flags, scale_speedups,
-    GateReport, DEFAULT_TOLERANCE,
+    check_gemm, check_inference, check_serve, check_swap, check_xai_sched, flip_verdict_flags,
+    scale_speedups, GateReport, DEFAULT_TOLERANCE,
 };
 use serde::Value;
 use std::path::{Path, PathBuf};
@@ -87,15 +88,19 @@ fn main() -> ExitCode {
     };
     let self_test = args.iter().any(|a| a == "--self-test");
 
-    let (base_gemm, base_inference, base_serve, base_xai_sched) = match (
+    let (base_gemm, base_inference, base_serve, base_xai_sched, base_swap) = match (
         load(&baseline_dir.join("bench_gemm.json")),
         load(&baseline_dir.join("bench_inference.json")),
         load(&baseline_dir.join("bench_serve.json")),
         load(&baseline_dir.join("bench_xai_sched.json")),
+        load(&baseline_dir.join("bench_swap.json")),
     ) {
-        (Ok(g), Ok(i), Ok(s), Ok(x)) => (g, i, s, x),
-        (g, i, s, x) => {
-            for err in [g.err(), i.err(), s.err(), x.err()].into_iter().flatten() {
+        (Ok(g), Ok(i), Ok(s), Ok(x), Ok(w)) => (g, i, s, x, w),
+        (g, i, s, x, w) => {
+            for err in [g.err(), i.err(), s.err(), x.err(), w.err()]
+                .into_iter()
+                .flatten()
+            {
                 eprintln!("error: {err}");
             }
             return ExitCode::FAILURE;
@@ -114,22 +119,28 @@ fn main() -> ExitCode {
         let xai_sched_ok = self_test_record("bench_xai_sched", &base_xai_sched, |b, f| {
             check_xai_sched(b, f, tolerance)
         });
-        return if gemm_ok && inference_ok && serve_ok && xai_sched_ok {
+        let swap_ok =
+            self_test_record("bench_swap", &base_swap, |b, f| check_swap(b, f, tolerance));
+        return if gemm_ok && inference_ok && serve_ok && xai_sched_ok && swap_ok {
             ExitCode::SUCCESS
         } else {
             ExitCode::FAILURE
         };
     }
 
-    let (fresh_gemm, fresh_inference, fresh_serve, fresh_xai_sched) = match (
+    let (fresh_gemm, fresh_inference, fresh_serve, fresh_xai_sched, fresh_swap) = match (
         load(&fresh_dir.join("bench_gemm.json")),
         load(&fresh_dir.join("bench_inference.json")),
         load(&fresh_dir.join("bench_serve.json")),
         load(&fresh_dir.join("bench_xai_sched.json")),
+        load(&fresh_dir.join("bench_swap.json")),
     ) {
-        (Ok(g), Ok(i), Ok(s), Ok(x)) => (g, i, s, x),
-        (g, i, s, x) => {
-            for err in [g.err(), i.err(), s.err(), x.err()].into_iter().flatten() {
+        (Ok(g), Ok(i), Ok(s), Ok(x), Ok(w)) => (g, i, s, x, w),
+        (g, i, s, x, w) => {
+            for err in [g.err(), i.err(), s.err(), x.err(), w.err()]
+                .into_iter()
+                .flatten()
+            {
                 eprintln!("error: {err}");
             }
             return ExitCode::FAILURE;
@@ -148,6 +159,7 @@ fn main() -> ExitCode {
         &fresh_xai_sched,
         tolerance,
     ));
+    report.merge(check_swap(&base_swap, &fresh_swap, tolerance));
     print_report(&report);
     if report.passed() {
         println!(

@@ -259,7 +259,9 @@ fn main() {
         largest.name, largest_speedup
     );
 
-    println!("\nPrepacked weights — frozen vs per-call packing (XAI-sweep scale, batch {SWEEP_BATCH})\n");
+    println!(
+        "\nPrepacked weights — frozen vs per-call packing (XAI-sweep scale, batch {SWEEP_BATCH})\n"
+    );
     let sweep_results: Vec<SweepResult> = SWEEP_SHAPES.iter().map(bench_sweep_shape).collect();
     println!(
         "{:<12} {:>14} {:>12} {:>12} {:>9}  bits",
@@ -303,7 +305,11 @@ fn main() {
         xai.pack_bytes_frozen,
         pack_eliminated * 100.0,
         xai.prepack_hits,
-        if xai.bit_identical { "bit-identical" } else { "DIVERGED" }
+        if xai.bit_identical {
+            "bit-identical"
+        } else {
+            "DIVERGED"
+        }
     );
 
     println!("\nTraining — batched engine vs per-sample loop (batch 32, 1 thread)\n");
@@ -441,7 +447,10 @@ fn bench_sweep_shape(s: &SweepShape) -> SweepResult {
             let pw = w.prepack_at().expect("weights are rank 2");
             let timed = timed_pair(
                 |o, p| w.matmul_at_b_into(&g, o, p).expect("shapes agree"),
-                |o, p| pw.matmul_at_b_prepacked_into(&g, o, p).expect("shapes agree"),
+                |o, p| {
+                    pw.matmul_at_b_prepacked_into(&g, o, p)
+                        .expect("shapes agree")
+                },
             );
             ((s.wk, s.wm, s.n), true, timed)
         }
@@ -450,7 +459,10 @@ fn bench_sweep_shape(s: &SweepShape) -> SweepResult {
             let pw = w.prepack_a().expect("weights are rank 2");
             let timed = timed_pair(
                 |o, p| w.matmul_a_bt_into(&rows, o, p).expect("shapes agree"),
-                |o, p| pw.matmul_a_bt_prepacked_into(&rows, o, p).expect("shapes agree"),
+                |o, p| {
+                    pw.matmul_a_bt_prepacked_into(&rows, o, p)
+                        .expect("shapes agree")
+                },
             );
             ((s.wm, s.wk, s.n), false, timed)
         }
@@ -459,7 +471,10 @@ fn bench_sweep_shape(s: &SweepShape) -> SweepResult {
             let pw = w.prepack_b().expect("weights are rank 2");
             let timed = timed_pair(
                 |o, p| g.matmul_at_b_into(&w, o, p).expect("shapes agree"),
-                |o, _| pw.matmul_at_b_rhs_prepacked_into(&g, o).expect("shapes agree"),
+                |o, _| {
+                    pw.matmul_at_b_rhs_prepacked_into(&g, o)
+                        .expect("shapes agree")
+                },
             );
             ((s.n, s.wm, s.wk), false, timed)
         }
@@ -498,7 +513,9 @@ fn bench_xai_sweep() -> XaiSweepResult {
 
     let sweep = |m: &mut Model| {
         let probs = m.predict_proba_batch(&batch).expect("valid batch");
-        let grads = m.input_gradient_batch(&batch, &classes).expect("valid batch");
+        let grads = m
+            .input_gradient_batch(&batch, &classes)
+            .expect("valid batch");
         (probs, grads)
     };
     let all_bits = |(probs, grads): (Vec<Tensor>, Vec<Tensor>)| -> Vec<u32> {

@@ -1,0 +1,539 @@
+//! `bench_swap`: hot-swap soak test for the registry-backed model server.
+//!
+//! The scenario the registry exists for: v1 of an ensemble was trained on
+//! 30 % mislabelled data (the paper's faulty-training-data lever), v2 is the
+//! re-cleaned retrain. Both are published to a registry; a live server
+//! starts on v1 and is driven with keep-alive load while the bench swaps
+//! v1 → v2 → v1 between rounds. Measured contracts (DESIGN.md §6j):
+//!
+//! * **zero downtime** — every request sent while swaps are in flight must
+//!   complete with 200 and serve bytes that are *exactly* v1's or v2's
+//!   reference verdict (`dropped_requests == 0`, `errored_requests == 0`);
+//! * **byte identity** — steady-state verdicts match a local
+//!   [`Remix::predict`] over the same registry round-trip, before the first
+//!   swap (`v1_identical`), after swapping to v2 (`v2_identical`), and
+//!   across a no-op swap (`noop_identical`);
+//! * **cache generations** — a verdict cached under v1 must be unreachable
+//!   under v2 and reachable again (original bytes, no recompute) after
+//!   swapping back (`cache_generation_isolated`);
+//! * **swap latency** — the server's own `prepare_us` (off-path load +
+//!   freeze) and `flip_us` (pointer flip across shards) from each swap
+//!   report, summarized as p50/p99;
+//! * **throughput under churn** — `speedup_churn_vs_steady`, the same
+//!   stream's throughput with swaps interleaved over without; the gate
+//!   floors it at [`remix_bench::check::SWAP_MIN_CHURN_THROUGHPUT`].
+//!
+//! Writes `results/bench_swap.json`; `bench_check` gates the flags, the
+//! zero-drop counters, the flip-stall p99, and the churn ratio against the
+//! committed baseline.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use remix_core::Remix;
+use remix_data::SyntheticSpec;
+use remix_ensemble::TrainedEnsemble;
+use remix_nn::layers::{Dense, Flatten, Relu};
+use remix_nn::{InputSpec, Model, Sequential, Trainer, TrainerConfig};
+use remix_registry::{EnsembleArtifact, Registry};
+use remix_serve::{verdict_fragment, Client, ClientReply, NamedModel, ServeConfig, Server};
+use remix_tensor::Tensor;
+use remix_xai::{ExplainerConfig, XaiBudget};
+use serde::Value;
+use std::io::Write;
+use std::thread;
+use std::time::{Duration, Instant};
+
+const MODEL: &str = "tabular-mlp";
+
+/// Load profile; `REMIX_SCALE=paper` doubles the stream.
+struct LoadScale {
+    name: &'static str,
+    concurrency: usize,
+    requests_per_client: usize,
+    rounds: usize,
+}
+
+impl LoadScale {
+    fn from_env() -> Self {
+        match std::env::var("REMIX_SCALE").as_deref() {
+            Ok("paper") => LoadScale {
+                name: "paper",
+                concurrency: 8,
+                requests_per_client: 40,
+                rounds: 6,
+            },
+            _ => LoadScale {
+                name: "quick",
+                concurrency: 6,
+                requests_per_client: 20,
+                rounds: 4,
+            },
+        }
+    }
+}
+
+fn corrupt_labels(labels: &[usize], num_classes: usize, fraction: f32, seed: u64) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    labels
+        .iter()
+        .map(|&label| {
+            if rng.gen::<f32>() < fraction {
+                rng.gen_range(0..num_classes)
+            } else {
+                label
+            }
+        })
+        .collect()
+}
+
+/// Trains the three-MLP ensemble with per-member label noise `fraction`:
+/// the same structure regardless of noise, so v1 (30 % mislabelled) and v2
+/// (re-cleaned, 0 %) publish as two versions of one model. Fully seeded.
+fn trained(noise: f32) -> (TrainedEnsemble, Vec<Tensor>) {
+    let (train, test) = SyntheticSpec::tabular_like()
+        .train_size(400)
+        .test_size(128)
+        .generate();
+    let spec = InputSpec {
+        channels: 1,
+        size: 4,
+        num_classes: train.num_classes,
+    };
+    let hidden: [&[usize]; 3] = [&[128], &[96, 64], &[96]];
+    let models = hidden
+        .iter()
+        .enumerate()
+        .map(|(i, hidden)| {
+            let mut init = StdRng::seed_from_u64(i as u64 + 1);
+            let mut net = Sequential::new();
+            net.push(Flatten::new());
+            let mut dim = spec.channels * spec.size * spec.size;
+            for &h in *hidden {
+                net.push(Dense::new(dim, h, &mut init));
+                net.push(Relu::new());
+                dim = h;
+            }
+            net.push(Dense::new(dim, train.num_classes, &mut init));
+            let mut model = Model::named(net, spec, format!("MLP-{i}"));
+            let labels = corrupt_labels(&train.labels, train.num_classes, noise, 70 + i as u64);
+            Trainer::new(TrainerConfig {
+                epochs: 8,
+                lr: 0.03,
+                seed: i as u64,
+                ..TrainerConfig::default()
+            })
+            .fit(&mut model, &train.images, &labels);
+            model
+        })
+        .collect();
+    (TrainedEnsemble::new(models), test.images)
+}
+
+/// The ReMIX configuration served and replicated locally — identical on
+/// both sides so byte-identity comparisons are fair.
+fn remix() -> Remix {
+    let config = ExplainerConfig {
+        budget: XaiBudget {
+            sg_samples: 8,
+            batch_size: 64,
+            ..XaiBudget::default()
+        },
+        ..ExplainerConfig::default()
+    };
+    Remix::builder()
+        .seed(11)
+        .threads(1)
+        .explainer_config(config)
+        .build()
+}
+
+/// Captures an ensemble as a registry artifact for `MODEL`.
+fn capture(version: &str, spec: InputSpec, ensemble: &mut TrainedEnsemble) -> EnsembleArtifact {
+    let archs: Vec<String> = (0..ensemble.models.len())
+        .map(|i| format!("MLP-{i}"))
+        .collect();
+    let weights = vec![1.0f32; ensemble.models.len()];
+    EnsembleArtifact::capture(
+        MODEL,
+        version,
+        spec,
+        ensemble,
+        archs,
+        weights,
+        XaiBudget::default(),
+    )
+}
+
+/// Loads `MODEL@version` and applies it onto a clone of `template` — the
+/// exact path the server's swap coordinator takes, so the result is
+/// bit-identical to what the server serves after swapping to `version`.
+fn load_into(
+    registry: &Registry,
+    version: &str,
+    template: &TrainedEnsemble,
+) -> (TrainedEnsemble, u64) {
+    let loaded = registry.load(MODEL, Some(version)).expect(version);
+    let mut ensemble = template.clone();
+    loaded
+        .artifact
+        .apply_to(&mut ensemble)
+        .expect("same structure");
+    (ensemble, loaded.hash)
+}
+
+/// One load phase: `concurrency` keep-alive clients, each sending
+/// `requests_per_client` requests round-robin over the pool, all with
+/// `no_cache` so every reply is a fresh computation. Unlike `bench_serve`
+/// this never panics on a bad reply — failures are *the measurement*:
+/// returns `(wall, ok_replies, dropped, errored)` where `dropped` counts
+/// non-200 replies and `errored` counts transport failures.
+#[allow(clippy::type_complexity)]
+fn run_phase(
+    addr: std::net::SocketAddr,
+    pool: &[Vec<f32>],
+    concurrency: usize,
+    requests_per_client: usize,
+) -> (Duration, Vec<(usize, ClientReply)>, u64, u64) {
+    let started = Instant::now();
+    let workers: Vec<_> = (0..concurrency)
+        .map(|c| {
+            let pool = pool.to_vec();
+            thread::spawn(move || {
+                let mut replies = Vec::with_capacity(requests_per_client);
+                let mut dropped = 0u64;
+                let mut errored = 0u64;
+                let mut client = match Client::connect(addr) {
+                    Ok(client) => client,
+                    Err(_) => return (replies, dropped, requests_per_client as u64),
+                };
+                for r in 0..requests_per_client {
+                    let idx = (c + r * 7) % pool.len();
+                    match client.predict(&pool[idx], Some(60_000), true) {
+                        Ok(reply) if reply.status == 200 => replies.push((idx, reply)),
+                        Ok(_) => dropped += 1,
+                        Err(_) => errored += 1,
+                    }
+                }
+                (replies, dropped, errored)
+            })
+        })
+        .collect();
+    let mut replies = Vec::new();
+    let mut dropped = 0u64;
+    let mut errored = 0u64;
+    for worker in workers {
+        let (r, d, e) = worker.join().expect("bench client panicked");
+        replies.extend(r);
+        dropped += d;
+        errored += e;
+    }
+    (started.elapsed(), replies, dropped, errored)
+}
+
+/// Issues one swap and returns the server-measured `(prepare_us, flip_us)`.
+fn swap_to(client: &mut Client, version: &str) -> (f64, f64) {
+    let reply = client.swap(MODEL, Some(version)).expect("swap request");
+    assert_eq!(
+        reply.status, 200,
+        "swap to {version} failed: {}",
+        reply.body
+    );
+    let report: Value = serde_json::from_str(&reply.body).expect("swap report parses");
+    let field = |name: &str| -> f64 {
+        report
+            .as_object()
+            .and_then(|pairs| pairs.iter().find(|(k, _)| k == name).map(|(_, v)| v))
+            .and_then(|v| match v {
+                Value::UInt(u) => Some(*u as f64),
+                Value::Int(i) => Some(*i as f64),
+                Value::Float(f) => Some(*f),
+                _ => None,
+            })
+            .unwrap_or_else(|| panic!("swap report missing {name}: {}", reply.body))
+    };
+    (field("prepare_us"), field("flip_us"))
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn fmt_f(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+fn main() {
+    let scale = LoadScale::from_env();
+    println!(
+        "bench_swap [{}]: {} clients x {} requests x {} rounds",
+        scale.name, scale.concurrency, scale.requests_per_client, scale.rounds
+    );
+
+    // v1: trained on 30 % mislabelled labels; v2: the re-cleaned retrain.
+    let (mut v1, test_images) = trained(0.3);
+    let (mut v2, _) = trained(0.0);
+    let spec = InputSpec {
+        channels: 1,
+        size: 4,
+        num_classes: 6,
+    };
+    let registry_root =
+        std::env::temp_dir().join(format!("remix_bench_swap_{}", std::process::id()));
+    std::fs::remove_dir_all(&registry_root).ok();
+    let registry = Registry::open(&registry_root);
+    let v1_info = registry
+        .publish(&capture("1.0.0", spec, &mut v1))
+        .expect("publish v1");
+    let v2_info = registry
+        .publish(&capture("2.0.0", spec, &mut v2))
+        .expect("publish v2");
+    println!(
+        "published {MODEL} 1.0.0 (hash {:016x}) and 2.0.0 (hash {:016x}) to {}",
+        v1_info.hash,
+        v2_info.hash,
+        registry_root.display()
+    );
+
+    // Local references over the same registry round-trip the server takes.
+    let (mut local_v1, hash_v1) = load_into(&registry, "1.0.0", &v1);
+    let (mut local_v2, _) = load_into(&registry, "2.0.0", &v1);
+    let reference = remix();
+
+    // Pool: inputs v1's constituents disagree on — they pay the XAI cost, so
+    // the stream actually exercises the engines the swap must not stall.
+    let mut pool: Vec<Vec<f32>> = Vec::new();
+    let mut ref_v1: Vec<String> = Vec::new();
+    let mut ref_v2: Vec<String> = Vec::new();
+    for image in &test_images {
+        let outs = local_v1.outputs(image);
+        let first = outs[0].pred;
+        if outs.iter().all(|o| o.pred == first) {
+            continue;
+        }
+        ref_v1.push(verdict_fragment(&reference.predict(&mut local_v1, image)));
+        ref_v2.push(verdict_fragment(&reference.predict(&mut local_v2, image)));
+        pool.push(image.data().to_vec());
+    }
+    assert!(
+        pool.len() >= 8,
+        "only {} disagreement inputs — retune the ensemble",
+        pool.len()
+    );
+    assert_ne!(ref_v1, ref_v2, "v1 and v2 must disagree somewhere");
+    println!(
+        "pool: {} disagreement inputs out of {} test images",
+        pool.len(),
+        test_images.len()
+    );
+
+    let (served, _) = load_into(&registry, "1.0.0", &v1);
+    let config = ServeConfig {
+        max_batch: 16,
+        batch_window: Duration::from_micros(500),
+        queue_capacity: 4096,
+        shards: 2,
+        ..ServeConfig::default()
+    };
+    let server = Server::start_models(
+        vec![NamedModel {
+            name: MODEL.to_string(),
+            version: "1.0.0".to_string(),
+            hash: hash_v1,
+            ensemble: served,
+        }],
+        Some(Registry::open(&registry_root)),
+        remix(),
+        config,
+    )
+    .expect("start swap server");
+    let addr = server.addr();
+    let mut control = Client::connect(addr).expect("control connection");
+
+    let matches_v1 = |replies: &[(usize, ClientReply)]| {
+        replies
+            .iter()
+            .all(|(idx, r)| !r.degraded && r.verdict_json == ref_v1[*idx])
+    };
+    let matches_either = |replies: &[(usize, ClientReply)]| {
+        replies.iter().all(|(idx, r)| {
+            !r.degraded && (r.verdict_json == ref_v1[*idx] || r.verdict_json == ref_v2[*idx])
+        })
+    };
+
+    let mut dropped_requests = 0u64;
+    let mut errored_requests = 0u64;
+    let mut prepare_us: Vec<f64> = Vec::new();
+    let mut flip_us: Vec<f64> = Vec::new();
+
+    // Byte-identity gates before any churn.
+    // No-op swap: same version; the verdict bytes before and after must be
+    // identical (the swap is real — replicas reload — but the bits are not
+    // allowed to change).
+    let probe = pool[0].clone();
+    let before = control.predict(&probe, Some(60_000), true).expect("probe");
+    let (p, f) = swap_to(&mut control, "1.0.0");
+    prepare_us.push(p);
+    flip_us.push(f);
+    let after = control.predict(&probe, Some(60_000), true).expect("probe");
+    let noop_identical = before.status == 200
+        && after.status == 200
+        && before.verdict_json == ref_v1[0]
+        && after.verdict_json == before.verdict_json;
+    println!("no-op swap byte-identical: {noop_identical}");
+
+    // Cache generations: warm the probe under v1, swap to v2 (the entry must
+    // be unreachable: a miss that recomputes v2's bytes), swap back (the v1
+    // entry must be reachable again — a hit replaying the original bytes).
+    let cold = control.predict(&probe, Some(60_000), false).expect("probe");
+    let warm = control.predict(&probe, Some(60_000), false).expect("probe");
+    let (p, f) = swap_to(&mut control, "2.0.0");
+    prepare_us.push(p);
+    flip_us.push(f);
+    let crossed = control.predict(&probe, Some(60_000), false).expect("probe");
+    let (p, f) = swap_to(&mut control, "1.0.0");
+    prepare_us.push(p);
+    flip_us.push(f);
+    let revived = control.predict(&probe, Some(60_000), false).expect("probe");
+    let cache_generation_isolated = !cold.cached
+        && warm.cached
+        && warm.verdict_json == ref_v1[0]
+        && !crossed.cached
+        && crossed.verdict_json == ref_v2[0]
+        && revived.cached
+        && revived.verdict_json == ref_v1[0];
+    println!("cache generations isolated across swap and swap-back: {cache_generation_isolated}");
+
+    // Steady phase: `rounds` rounds of pure load on v1, no swaps. The summed
+    // wall is the churn phase's denominator.
+    let mut steady_wall = Duration::ZERO;
+    let mut v1_identical = true;
+    for _ in 0..scale.rounds {
+        let (wall, replies, dropped, errored) =
+            run_phase(addr, &pool, scale.concurrency, scale.requests_per_client);
+        v1_identical &= matches_v1(&replies);
+        steady_wall += wall;
+        dropped_requests += dropped;
+        errored_requests += errored;
+    }
+    let phase_requests = (scale.concurrency * scale.requests_per_client * scale.rounds) as f64;
+    let steady_rps = phase_requests / steady_wall.as_secs_f64();
+    println!(
+        "steady: {} requests in {steady_wall:?} = {steady_rps:.1} rps, v1-identical: {v1_identical}",
+        phase_requests as u64
+    );
+
+    // Churn phase: the same stream, but every round runs with a concurrent
+    // v1 → v2 → v1 double swap in flight. Every reply must still be 200 and
+    // byte-exact for *some* published version — a request caught mid-flip
+    // legitimately drains on the old replicas or lands on the new ones, but
+    // nothing in between exists.
+    let mut churn_wall = Duration::ZERO;
+    let mut churn_identical = true;
+    for _ in 0..scale.rounds {
+        let load = {
+            let pool = pool.clone();
+            let (concurrency, per_client) = (scale.concurrency, scale.requests_per_client);
+            thread::spawn(move || run_phase(addr, &pool, concurrency, per_client))
+        };
+        let (p, f) = swap_to(&mut control, "2.0.0");
+        prepare_us.push(p);
+        flip_us.push(f);
+        let (p, f) = swap_to(&mut control, "1.0.0");
+        prepare_us.push(p);
+        flip_us.push(f);
+        let (wall, replies, dropped, errored) = load.join().expect("churn load panicked");
+        churn_identical &= matches_either(&replies);
+        churn_wall += wall;
+        dropped_requests += dropped;
+        errored_requests += errored;
+    }
+    let churn_rps = phase_requests / churn_wall.as_secs_f64();
+    let speedup_churn_vs_steady = churn_rps / steady_rps;
+    println!(
+        "churn:  {} requests in {churn_wall:?} = {churn_rps:.1} rps \
+         ({:.2}x of steady), every reply a published version: {churn_identical}",
+        phase_requests as u64, speedup_churn_vs_steady
+    );
+
+    // Post-churn: the server is back on v1; swap to v2 and verify
+    // steady-state v2 byte-identity against the local reference.
+    let (p, f) = swap_to(&mut control, "2.0.0");
+    prepare_us.push(p);
+    flip_us.push(f);
+    let (_, replies, dropped, errored) = run_phase(
+        addr,
+        &pool,
+        scale.concurrency.min(4),
+        scale.requests_per_client,
+    );
+    let v2_identical = !replies.is_empty()
+        && replies
+            .iter()
+            .all(|(idx, r)| !r.degraded && r.verdict_json == ref_v2[*idx]);
+    dropped_requests += dropped;
+    errored_requests += errored;
+    println!("post-swap v2 byte-identical: {v2_identical}");
+
+    prepare_us.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    flip_us.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let swaps = flip_us.len();
+    println!(
+        "{swaps} swaps: prepare p50 {:.0} us / p99 {:.0} us, flip p50 {:.0} us / p99 {:.0} us",
+        percentile(&prepare_us, 0.50),
+        percentile(&prepare_us, 0.99),
+        percentile(&flip_us, 0.50),
+        percentile(&flip_us, 0.99),
+    );
+    println!("dropped: {dropped_requests}, errored: {errored_requests}");
+
+    let host_cores = remix_parallel::num_threads();
+    let record = format!(
+        "{{\n  \"benchmark\": \"bench_swap\",\n  \"scale\": \"{}\",\n  \"model\": \"{MODEL}\",\n  \"pool_inputs\": {},\n  \"concurrency\": {},\n  \"rounds\": {},\n  \"requests_per_phase\": {},\n  \"host_cores\": {host_cores},\n  \"swaps\": {swaps},\n  \"steady\": {{\"wall_secs\": {}, \"rps\": {}}},\n  \"churn\": {{\"wall_secs\": {}, \"rps\": {}}},\n  \"speedup_churn_vs_steady\": {},\n  \"swap_prepare_p50_us\": {},\n  \"swap_prepare_p99_us\": {},\n  \"swap_flip_p50_us\": {},\n  \"swap_flip_p99_us\": {},\n  \"dropped_requests\": {dropped_requests},\n  \"errored_requests\": {errored_requests},\n  \"noop_identical\": {noop_identical},\n  \"v1_identical\": {v1_identical},\n  \"v2_identical\": {v2_identical},\n  \"churn_identical\": {churn_identical},\n  \"cache_generation_isolated\": {cache_generation_isolated}\n}}\n",
+        scale.name,
+        pool.len(),
+        scale.concurrency,
+        scale.rounds,
+        phase_requests as u64,
+        fmt_f(steady_wall.as_secs_f64()),
+        fmt_f(steady_rps),
+        fmt_f(churn_wall.as_secs_f64()),
+        fmt_f(churn_rps),
+        fmt_f(speedup_churn_vs_steady),
+        fmt_f(percentile(&prepare_us, 0.50)),
+        fmt_f(percentile(&prepare_us, 0.99)),
+        fmt_f(percentile(&flip_us, 0.50)),
+        fmt_f(percentile(&flip_us, 0.99)),
+    );
+    std::fs::create_dir_all("results").expect("create results dir");
+    let mut file =
+        std::fs::File::create("results/bench_swap.json").expect("create results/bench_swap.json");
+    file.write_all(record.as_bytes())
+        .expect("write results/bench_swap.json");
+    println!("Record written to results/bench_swap.json");
+
+    drop(server);
+    std::fs::remove_dir_all(&registry_root).ok();
+
+    assert_eq!(dropped_requests, 0, "requests dropped during swaps");
+    assert_eq!(errored_requests, 0, "transport errors during swaps");
+    assert!(noop_identical, "no-op swap changed verdict bytes");
+    assert!(
+        v1_identical,
+        "steady v1 verdicts diverged from Remix::predict"
+    );
+    assert!(
+        v2_identical,
+        "post-swap v2 verdicts diverged from Remix::predict"
+    );
+    assert!(
+        churn_identical,
+        "a mid-swap verdict matched neither version"
+    );
+    assert!(
+        cache_generation_isolated,
+        "cache generations leaked across swaps"
+    );
+}

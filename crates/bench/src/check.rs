@@ -1,7 +1,8 @@
 //! Perf-regression gate backing the `bench_check` binary (CI).
 //!
 //! Compares fresh bench records (`results/bench_gemm.json`,
-//! `results/bench_inference.json`, `results/bench_serve.json`) against the
+//! `results/bench_inference.json`, `results/bench_serve.json`,
+//! `results/bench_xai_sched.json`, `results/bench_swap.json`) against the
 //! committed baselines under
 //! `crates/bench/baselines/` and fails on a >20 % wall-time regression or on
 //! any bitwise-verdict divergence.
@@ -234,12 +235,7 @@ pub fn check_gemm(baseline: &Value, fresh: &Value, tolerance: f64) -> GateReport
                     get_num(fresh_xai, "pack_bytes_eliminated_fraction"),
                 ) {
                     (Some(b), Some(f)) => {
-                        report.gate_speedup(
-                            "prepack/pack_bytes_eliminated",
-                            b,
-                            f,
-                            tolerance,
-                        );
+                        report.gate_speedup("prepack/pack_bytes_eliminated", b, f, tolerance);
                         if f >= PREPACK_MIN_PACK_ELIMINATION {
                             report.ok(format!(
                                 "ok   prepack/min_pack_elimination: {f:.3} >= absolute floor \
@@ -252,9 +248,8 @@ pub fn check_gemm(baseline: &Value, fresh: &Value, tolerance: f64) -> GateReport
                             ));
                         }
                     }
-                    _ => report.fail(
-                        "FAIL prepack/pack_bytes_eliminated: fraction field missing".into(),
-                    ),
+                    _ => report
+                        .fail("FAIL prepack/pack_bytes_eliminated: fraction field missing".into()),
                 }
             }
             None => report.fail(format!("FAIL {label}: missing from fresh record")),
@@ -435,6 +430,75 @@ pub fn check_xai_sched(baseline: &Value, fresh: &Value, tolerance: f64) -> GateR
     report
 }
 
+/// Maximum acceptable p99 pointer-flip stall for a hot swap, in
+/// microseconds, gated absolutely: the flip is a per-shard deposit plus an
+/// atomic store, so a stall past this ceiling means the swap path started
+/// blocking the serving path.
+pub const SWAP_MAX_FLIP_P99_US: f64 = 100_000.0;
+
+/// Minimum fraction of steady-state throughput the server must retain while
+/// hot swaps are interleaved with the load, gated absolutely: "zero
+/// downtime" is hollow if churn halves the service rate.
+pub const SWAP_MIN_CHURN_THROUGHPUT: f64 = 0.5;
+
+/// Gates `bench_swap.json`: the hot-swap soak must drop and error zero
+/// requests (absolute — a lost request under churn is an outage, not a
+/// regression); every byte-identity flag (`noop_identical`, `v1_identical`,
+/// `v2_identical`, `churn_identical`, `cache_generation_isolated`) must
+/// hold; the flip-stall p99 must stay under [`SWAP_MAX_FLIP_P99_US`]; and
+/// the churn-vs-steady throughput ratio must keep its baseline level *and*
+/// clear the absolute [`SWAP_MIN_CHURN_THROUGHPUT`] floor.
+pub fn check_swap(baseline: &Value, fresh: &Value, tolerance: f64) -> GateReport {
+    let mut report = GateReport::default();
+    report.gate_flag("swap/noop_identity", get_bool(fresh, "noop_identical"));
+    report.gate_flag("swap/v1_identity", get_bool(fresh, "v1_identical"));
+    report.gate_flag("swap/v2_identity", get_bool(fresh, "v2_identical"));
+    report.gate_flag("swap/churn_identity", get_bool(fresh, "churn_identical"));
+    report.gate_flag(
+        "swap/cache_generations",
+        get_bool(fresh, "cache_generation_isolated"),
+    );
+    for counter in ["dropped_requests", "errored_requests"] {
+        match get_num(fresh, counter) {
+            Some(0.0) => report.ok(format!("ok   swap/{counter}: 0")),
+            Some(n) => report.fail(format!(
+                "FAIL swap/{counter}: {n:.0} requests lost during hot swaps"
+            )),
+            None => report.fail(format!("FAIL swap/{counter}: counter missing")),
+        }
+    }
+    match get_num(fresh, "swap_flip_p99_us") {
+        Some(p99) if p99 <= SWAP_MAX_FLIP_P99_US => report.ok(format!(
+            "ok   swap/flip_p99: {p99:.0} us <= ceiling {SWAP_MAX_FLIP_P99_US:.0} us"
+        )),
+        Some(p99) => report.fail(format!(
+            "FAIL swap/flip_p99: {p99:.0} us over ceiling {SWAP_MAX_FLIP_P99_US:.0} us"
+        )),
+        None => report.fail("FAIL swap/flip_p99: swap_flip_p99_us field missing".into()),
+    }
+    match (
+        get_num(baseline, "speedup_churn_vs_steady"),
+        get_num(fresh, "speedup_churn_vs_steady"),
+    ) {
+        (Some(b), Some(f)) => {
+            report.gate_speedup("swap/churn_throughput", b, f, tolerance);
+            if f >= SWAP_MIN_CHURN_THROUGHPUT {
+                report.ok(format!(
+                    "ok   swap/min_churn_throughput: {f:.3} >= absolute floor \
+                     {SWAP_MIN_CHURN_THROUGHPUT}"
+                ));
+            } else {
+                report.fail(format!(
+                    "FAIL swap/min_churn_throughput: {f:.3} below absolute floor \
+                     {SWAP_MIN_CHURN_THROUGHPUT}"
+                ));
+            }
+        }
+        _ => report.fail("FAIL swap/churn_throughput: speedup field missing".into()),
+    }
+    report
+}
+
 /// Multiplies every within-run speedup field by `factor`, recursively. Used
 /// by the self-test to synthesize a wall-time regression (`factor < 1`)
 /// without re-running the benchmarks.
@@ -447,6 +511,7 @@ pub fn scale_speedups(value: &mut Value, factor: f64) {
                     || key == "speedup_batched_vs_serial"
                     || key == "speedup_shards_vs_one"
                     || key == "speedup_p99_adaptive_vs_full"
+                    || key == "speedup_churn_vs_steady"
                     || key == "prepack_sweep_aggregate_speedup"
                     || key == "prepack_dense_aggregate_speedup"
                     || key == "pack_bytes_eliminated_fraction"
@@ -482,6 +547,11 @@ pub fn flip_verdict_flags(value: &mut Value) {
                     || key == "shard_verdicts_identical"
                     || key == "full_pinned_identical"
                     || key == "prepack_identical"
+                    || key == "noop_identical"
+                    || key == "v1_identical"
+                    || key == "v2_identical"
+                    || key == "churn_identical"
+                    || key == "cache_generation_isolated"
                 {
                     *v = Value::Bool(false);
                 } else {
@@ -574,6 +644,18 @@ mod tests {
         .expect("valid test record")
     }
 
+    fn swap_record() -> Value {
+        serde_json::from_str(
+            r#"{"speedup_churn_vs_steady": 0.9,
+                "swap_flip_p99_us": 1200.0,
+                "dropped_requests": 0, "errored_requests": 0,
+                "noop_identical": true, "v1_identical": true,
+                "v2_identical": true, "churn_identical": true,
+                "cache_generation_isolated": true}"#,
+        )
+        .expect("valid test record")
+    }
+
     #[test]
     fn identical_records_pass() {
         let base = gemm_record();
@@ -596,6 +678,61 @@ mod tests {
         assert!(report.passed(), "failures: {:?}", report.failures);
         // 1 flag + relative p99 speedup + absolute floor + BA ceiling
         assert_eq!(report.checks.len(), 4);
+        let base = swap_record();
+        let report = check_swap(&base, &base, DEFAULT_TOLERANCE);
+        assert!(report.passed(), "failures: {:?}", report.failures);
+        // 5 flags + 2 zero-counters + flip p99 ceiling
+        // + churn ratio (relative + absolute floor)
+        assert_eq!(report.checks.len(), 10);
+    }
+
+    #[test]
+    fn swap_gate_enforces_zero_drops_and_its_absolute_floors() {
+        // One lost request under churn fails regardless of every ratio.
+        let mut lossy = swap_record();
+        if let Value::Object(pairs) = &mut lossy {
+            for (k, v) in pairs.iter_mut() {
+                if k == "dropped_requests" {
+                    *v = Value::UInt(1);
+                }
+            }
+        }
+        let report = check_swap(&lossy, &lossy, DEFAULT_TOLERANCE);
+        assert!(!report.passed());
+        assert!(report
+            .failures
+            .iter()
+            .any(|f| f.contains("dropped_requests")));
+
+        // A flip stall over the ceiling fails even when it matches baseline.
+        let mut stalled = swap_record();
+        if let Value::Object(pairs) = &mut stalled {
+            for (k, v) in pairs.iter_mut() {
+                if k == "swap_flip_p99_us" {
+                    *v = Value::Float(SWAP_MAX_FLIP_P99_US * 2.0);
+                }
+            }
+        }
+        let report = check_swap(&stalled, &stalled, DEFAULT_TOLERANCE);
+        assert!(!report.passed());
+        assert!(report.failures.iter().any(|f| f.contains("flip_p99")));
+
+        // Churn throughput under half of steady fails even with an equally
+        // bad baseline (zero downtime must not be bought with throughput).
+        let mut slow = swap_record();
+        if let Value::Object(pairs) = &mut slow {
+            for (k, v) in pairs.iter_mut() {
+                if k == "speedup_churn_vs_steady" {
+                    *v = Value::Float(0.4);
+                }
+            }
+        }
+        let report = check_swap(&slow, &slow, DEFAULT_TOLERANCE);
+        assert!(!report.passed());
+        assert!(report
+            .failures
+            .iter()
+            .any(|f| f.contains("min_churn_throughput")));
     }
 
     #[test]
@@ -733,6 +870,10 @@ mod tests {
         let mut fresh = xai_sched_record();
         scale_speedups(&mut fresh, 1.0 / 1.5);
         assert!(!check_xai_sched(&base, &fresh, DEFAULT_TOLERANCE).passed());
+        let base = swap_record();
+        let mut fresh = swap_record();
+        scale_speedups(&mut fresh, 1.0 / 1.5);
+        assert!(!check_swap(&base, &fresh, DEFAULT_TOLERANCE).passed());
     }
 
     #[test]
@@ -773,6 +914,11 @@ mod tests {
         flip_verdict_flags(&mut fresh);
         let report = check_xai_sched(&base, &fresh, DEFAULT_TOLERANCE);
         assert_eq!(report.failures.len(), 1); // the full-pinned flag trips
+        let base = swap_record();
+        let mut fresh = swap_record();
+        flip_verdict_flags(&mut fresh);
+        let report = check_swap(&base, &fresh, DEFAULT_TOLERANCE);
+        assert_eq!(report.failures.len(), 5); // all five swap flags trip
     }
 
     #[test]
@@ -825,6 +971,7 @@ mod tests {
             "bench_inference.json",
             "bench_serve.json",
             "bench_xai_sched.json",
+            "bench_swap.json",
         ] {
             let path = concat!(env!("CARGO_MANIFEST_DIR"), "/baselines/");
             let text = std::fs::read_to_string(format!("{path}{name}"))
@@ -836,6 +983,8 @@ mod tests {
                 check_inference(&record, &record, DEFAULT_TOLERANCE)
             } else if name.contains("xai_sched") {
                 check_xai_sched(&record, &record, DEFAULT_TOLERANCE)
+            } else if name.contains("swap") {
+                check_swap(&record, &record, DEFAULT_TOLERANCE)
             } else {
                 check_serve(&record, &record, DEFAULT_TOLERANCE)
             };

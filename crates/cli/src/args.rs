@@ -1,24 +1,27 @@
 //! Minimal `--key value` argument parsing (no external dependencies).
 
-use std::collections::HashMap;
-
-/// Parsed command line: a subcommand plus `--key value` options.
+/// Parsed command line: a subcommand, positional arguments, and `--key
+/// value` options (repeatable — [`Args::get`] returns the last occurrence,
+/// [`Args::get_all`] returns every occurrence in order).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Args {
     /// The subcommand (first positional argument).
     pub command: String,
-    options: HashMap<String, String>,
+    positionals: Vec<String>,
+    options: Vec<(String, String)>,
 }
 
-/// Error produced by [`Args::parse`].
+/// Error produced by [`Args::parse`] and [`Args::expect_positionals`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ParseError {
     /// No subcommand given.
     MissingCommand,
     /// A `--key` had no value.
     MissingValue(String),
-    /// A positional argument appeared where an option was expected.
+    /// A positional argument appeared that the subcommand does not take.
     UnexpectedPositional(String),
+    /// A required positional argument was absent.
+    MissingPositional(String),
 }
 
 impl std::fmt::Display for ParseError {
@@ -27,6 +30,7 @@ impl std::fmt::Display for ParseError {
             ParseError::MissingCommand => write!(f, "missing subcommand"),
             ParseError::MissingValue(k) => write!(f, "option --{k} is missing its value"),
             ParseError::UnexpectedPositional(a) => write!(f, "unexpected argument `{a}`"),
+            ParseError::MissingPositional(n) => write!(f, "missing required argument <{n}>"),
         }
     }
 }
@@ -34,7 +38,9 @@ impl std::fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 impl Args {
-    /// Parses `args` (without the program name).
+    /// Parses `args` (without the program name). Positionals and options
+    /// may interleave; whether positionals are *allowed* is decided per
+    /// subcommand via [`Args::expect_positionals`].
     ///
     /// # Errors
     ///
@@ -45,23 +51,58 @@ impl Args {
         if command.starts_with("--") {
             return Err(ParseError::MissingCommand);
         }
-        let mut options = HashMap::new();
+        let mut positionals = Vec::new();
+        let mut options = Vec::new();
         while let Some(arg) = iter.next() {
             if let Some(key) = arg.strip_prefix("--") {
                 let value = iter
                     .next()
                     .ok_or_else(|| ParseError::MissingValue(key.to_string()))?;
-                options.insert(key.to_string(), value);
+                options.push((key.to_string(), value));
             } else {
-                return Err(ParseError::UnexpectedPositional(arg));
+                positionals.push(arg);
             }
         }
-        Ok(Self { command, options })
+        Ok(Self {
+            command,
+            positionals,
+            options,
+        })
     }
 
-    /// Looks up a string option.
+    /// Checks the positional arguments against the names the subcommand
+    /// requires and returns them in order.
+    ///
+    /// # Errors
+    ///
+    /// [`ParseError::MissingPositional`] naming the first absent argument,
+    /// or [`ParseError::UnexpectedPositional`] for the first extra one.
+    pub fn expect_positionals(&self, names: &[&str]) -> Result<Vec<&str>, ParseError> {
+        if let Some(name) = names.get(self.positionals.len()) {
+            return Err(ParseError::MissingPositional(name.to_string()));
+        }
+        if let Some(extra) = self.positionals.get(names.len()) {
+            return Err(ParseError::UnexpectedPositional(extra.clone()));
+        }
+        Ok(self.positionals.iter().map(String::as_str).collect())
+    }
+
+    /// Looks up a string option (the last occurrence wins).
     pub fn get(&self, key: &str) -> Option<&str> {
-        self.options.get(key).map(String::as_str)
+        self.options
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Returns every occurrence of a repeatable option, in order.
+    pub fn get_all(&self, key: &str) -> Vec<&str> {
+        self.options
+            .iter()
+            .filter(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+            .collect()
     }
 
     /// Looks up a string option with a default.
@@ -99,6 +140,30 @@ mod tests {
         assert_eq!(args.get("dataset"), Some("gtsrb"));
         assert_eq!(args.get_num::<usize>("epochs", 0).unwrap(), 8);
         assert_eq!(args.get_or("arch", "ConvNet"), "ConvNet");
+        assert!(args.expect_positionals(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn collects_positionals_and_repeated_options() {
+        let args = parse(&[
+            "publish",
+            "tabular",
+            "--registry",
+            "reg",
+            "1.0.0",
+            "--model",
+            "a",
+            "--model",
+            "b@2",
+        ])
+        .unwrap();
+        assert_eq!(
+            args.expect_positionals(&["name", "version"]).unwrap(),
+            vec!["tabular", "1.0.0"]
+        );
+        assert_eq!(args.get_all("model"), vec!["a", "b@2"]);
+        assert_eq!(args.get("model"), Some("b@2"), "last occurrence wins");
+        assert_eq!(args.get_all("registry"), vec!["reg"]);
     }
 
     #[test]
@@ -112,9 +177,16 @@ mod tests {
             parse(&["train", "--epochs"]).unwrap_err(),
             ParseError::MissingValue("epochs".into())
         );
+        // Positionals parse fine, but a subcommand that takes none rejects
+        // them, and one that takes some insists they are all present.
+        let stray = parse(&["train", "stray"]).unwrap();
         assert_eq!(
-            parse(&["train", "stray"]).unwrap_err(),
+            stray.expect_positionals(&[]).unwrap_err(),
             ParseError::UnexpectedPositional("stray".into())
+        );
+        assert_eq!(
+            stray.expect_positionals(&["name", "version"]).unwrap_err(),
+            ParseError::MissingPositional("version".into())
         );
     }
 

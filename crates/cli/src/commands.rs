@@ -11,8 +11,15 @@ use remix_ensemble::{
 use remix_faults::{inject, pattern, FaultConfig, FaultType};
 use remix_nn::state::{load_state, save_state, ModelState};
 use remix_nn::{zoo, Arch, InputSpec, Model};
-use remix_xai::{XaiLevel, XaiTechnique};
+use remix_registry::{EnsembleArtifact, Registry};
+use remix_xai::{XaiBudget, XaiLevel, XaiTechnique};
 use serde::{Deserialize, Serialize};
+
+/// Rejects stray positional arguments for subcommands that take none.
+fn no_positionals(args: &Args) -> Result<(), String> {
+    args.expect_positionals(&[]).map_err(|e| e.to_string())?;
+    Ok(())
+}
 
 /// On-disk format: per-model architecture + state dictionary.
 #[derive(Serialize, Deserialize)]
@@ -94,6 +101,7 @@ fn load_dataset(args: &Args) -> Result<(Dataset, Dataset), String> {
 
 /// `remix train`
 pub fn train(args: &Args) -> Result<(), String> {
+    no_positionals(args)?;
     let (train_set, _) = load_dataset(args)?;
     let archs: Vec<Arch> = args
         .get_or("archs", "ConvNet,ResNet18,MobileNet")
@@ -195,6 +203,7 @@ where
 
 /// `remix evaluate`
 pub fn evaluate(args: &Args) -> Result<(), String> {
+    no_positionals(args)?;
     let (_, test) = load_dataset(args)?;
     let (mut ensemble, saved) = load_ensemble(args)?;
     let threads = args.get_num("threads", 0usize)?;
@@ -231,12 +240,73 @@ pub fn evaluate(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `remix publish <name> <version>` — capture a saved ensemble as a
+/// registry artifact.
+pub fn publish(args: &Args) -> Result<(), String> {
+    let positionals = args
+        .expect_positionals(&["name", "version"])
+        .map_err(|e| e.to_string())?;
+    let (name, version) = (positionals[0], positionals[1]);
+    let registry = Registry::open(args.get("registry").ok_or("missing --registry <dir>")?);
+    let (mut ensemble, saved) = load_ensemble(args)?;
+    let archs: Vec<String> = saved.archs.iter().map(|a| a.name().to_string()).collect();
+    let weights = vec![1.0f32; archs.len()];
+    let artifact = EnsembleArtifact::capture(
+        name,
+        version,
+        saved.spec,
+        &mut ensemble,
+        archs,
+        weights,
+        XaiBudget::default(),
+    );
+    let info = registry.publish(&artifact).map_err(|e| e.to_string())?;
+    println!(
+        "published {}@{} ({} models, {} bytes, hash {:016x})\n  -> {}",
+        info.name,
+        info.version,
+        saved.archs.len(),
+        info.bytes,
+        info.hash,
+        info.path.display()
+    );
+    Ok(())
+}
+
+/// `remix models` — list every published model and version in a registry.
+pub fn models(args: &Args) -> Result<(), String> {
+    no_positionals(args)?;
+    let registry = Registry::open(args.get("registry").ok_or("missing --registry <dir>")?);
+    let entries = registry.list().map_err(|e| e.to_string())?;
+    if entries.is_empty() {
+        println!("registry {} holds no models", registry.root().display());
+        return Ok(());
+    }
+    println!(
+        "{:<20} {:>10} {:>7} {:>10}  {:<16}",
+        "model", "version", "models", "bytes", "hash"
+    );
+    for entry in entries {
+        for v in &entry.versions {
+            println!(
+                "{:<20} {:>10} {:>7} {:>10}  {:016x}",
+                entry.name,
+                v.version.to_string(),
+                v.models,
+                v.bytes,
+                v.hash
+            );
+        }
+    }
+    Ok(())
+}
+
 /// `remix serve`
 pub fn serve(args: &Args) -> Result<(), String> {
-    use remix_serve::{ServeConfig, Server};
+    use remix_serve::{NamedModel, ServeConfig, Server};
     use std::time::Duration;
 
-    let (ensemble, saved) = load_ensemble(args)?;
+    no_positionals(args)?;
     let defaults = ServeConfig::default();
     let config = ServeConfig {
         addr: args.get_or("addr", "127.0.0.1:8484").to_string(),
@@ -275,15 +345,65 @@ pub fn serve(args: &Args) -> Result<(), String> {
         },
     };
     let remix = builder.build();
-    let server =
-        Server::start(ensemble, remix, config).map_err(|e| format!("starting server: {e}"))?;
+    // Two front doors: a registry (`--registry` + repeatable `--model
+    // name[@version]`), which enables `POST /models/<name>/swap`, or the
+    // legacy single `--ensemble` JSON file.
+    let _server = if let Some(dir) = args.get("registry") {
+        let registry = Registry::open(dir);
+        let specs = args.get_all("model");
+        if specs.is_empty() {
+            return Err("--registry needs at least one --model <name[@version]>".to_string());
+        }
+        let mut named = Vec::with_capacity(specs.len());
+        for spec in specs {
+            let (name, version) = match spec.split_once('@') {
+                Some((name, version)) => (name, Some(version)),
+                None => (spec, None),
+            };
+            let loaded = registry
+                .load(name, version)
+                .map_err(|e| format!("loading {spec}: {e}"))?;
+            let ensemble = loaded
+                .artifact
+                .instantiate()
+                .map_err(|e| format!("instantiating {spec}: {e}"))?;
+            println!(
+                "loaded {name}@{} ({} models, hash {:016x})",
+                loaded.version,
+                ensemble.models.len(),
+                loaded.hash
+            );
+            named.push(NamedModel {
+                name: name.to_string(),
+                version: loaded.version.to_string(),
+                hash: loaded.hash,
+                ensemble,
+            });
+        }
+        let names: Vec<String> = named.iter().map(|m| m.name.clone()).collect();
+        let server = Server::start_models(named, Some(registry), remix, config)
+            .map_err(|e| format!("starting server: {e}"))?;
+        println!(
+            "serving models [{}] from registry {dir} on http://{}",
+            names.join(", "),
+            server.addr()
+        );
+        server
+    } else {
+        let (ensemble, saved) = load_ensemble(args)?;
+        let server =
+            Server::start(ensemble, remix, config).map_err(|e| format!("starting server: {e}"))?;
+        println!(
+            "serving `{}` ensemble ({} models) on http://{}",
+            saved.dataset,
+            saved.archs.len(),
+            server.addr()
+        );
+        server
+    };
     println!(
-        "serving `{}` ensemble ({} models) on http://{}",
-        saved.dataset,
-        saved.archs.len(),
-        server.addr()
+        "endpoints: POST /predict, GET /models, POST /models/<name>/swap, GET /healthz, /stats — stop with ctrl-c"
     );
-    println!("endpoints: POST /predict, GET /healthz, GET /stats — stop with ctrl-c");
     // Serve until killed; the process exit tears the listener down.
     loop {
         std::thread::park();
@@ -292,6 +412,7 @@ pub fn serve(args: &Args) -> Result<(), String> {
 
 /// `remix explain`
 pub fn explain(args: &Args) -> Result<(), String> {
+    no_positionals(args)?;
     let (_, test) = load_dataset(args)?;
     let (mut ensemble, _) = load_ensemble(args)?;
     let index: usize = args.get_num("index", 0usize)?;
@@ -407,5 +528,61 @@ mod tests {
         .unwrap();
         evaluate(&eval_args).unwrap();
         std::fs::remove_file(out).ok();
+    }
+
+    #[test]
+    fn publish_then_list_then_reinstantiate() {
+        let dir = std::env::temp_dir().join(format!("remix_cli_publish_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("ens.json");
+        let out_str = out.to_str().unwrap().to_string();
+        let reg = dir.join("registry");
+        let reg_str = reg.to_str().unwrap().to_string();
+        let train_args = Args::parse(
+            [
+                "train",
+                "--dataset",
+                "mnist",
+                "--archs",
+                "ConvNet",
+                "--epochs",
+                "1",
+                "--train",
+                "40",
+                "--out",
+                &out_str,
+            ]
+            .map(String::from),
+        )
+        .unwrap();
+        train(&train_args).unwrap();
+        let publish_args = Args::parse(
+            [
+                "publish",
+                "demo",
+                "1.0.0",
+                "--ensemble",
+                &out_str,
+                "--registry",
+                &reg_str,
+            ]
+            .map(String::from),
+        )
+        .unwrap();
+        publish(&publish_args).unwrap();
+        // Missing positionals are caught before any I/O happens.
+        let bad =
+            Args::parse(["publish", "demo", "--registry", &reg_str].map(String::from)).unwrap();
+        assert!(publish(&bad).unwrap_err().contains("version"));
+        let models_args =
+            Args::parse(["models", "--registry", &reg_str].map(String::from)).unwrap();
+        models(&models_args).unwrap();
+        // The published artifact resolves, verifies, and instantiates: the
+        // same path `remix serve --registry` takes.
+        let loaded = Registry::open(&reg).load("demo", None).unwrap();
+        assert_eq!(loaded.version.to_string(), "1.0.0");
+        let ensemble = loaded.artifact.instantiate().unwrap();
+        assert_eq!(ensemble.models.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -7,6 +7,9 @@
 //! remix evaluate --dataset gtsrb --ensemble ensemble.json [--voter remix|umaj|uavg]
 //! remix explain  --dataset gtsrb --ensemble ensemble.json --index 3 --technique SG
 //! remix serve    --ensemble ensemble.json --addr 127.0.0.1:8484
+//! remix publish  tabular 1.0.0 --ensemble ensemble.json --registry registry/
+//! remix models   --registry registry/
+//! remix serve    --registry registry/ --model tabular --model side@1.2.0
 //! ```
 //!
 //! Trained ensembles are stored as JSON state dictionaries
@@ -43,9 +46,18 @@ USAGE:
       --index      test-set input to explain                  [0]
       --technique  XAI technique                              [SG]
       --threads    XAI-stage threads; 0 = auto as above       [0]
-  remix serve --ensemble <path> [options]
-      Serve the ensemble over HTTP with micro-batching, a verdict cache,
-      and deadline-aware degradation (POST /predict, GET /healthz, /stats).
+  remix publish <name> <version> --ensemble <path> --registry <dir>
+      Capture a saved ensemble as a versioned, integrity-hashed registry
+      artifact (semver versions; the artifact is published atomically).
+  remix models --registry <dir>
+      List every published model and version with hashes and sizes.
+  remix serve (--ensemble <path> | --registry <dir> --model <name[@version]>...) [options]
+      Serve over HTTP with micro-batching, a verdict cache, and
+      deadline-aware degradation (POST /predict, GET /models, /healthz,
+      /stats). With --registry, each --model names a published artifact to
+      host as a named group (`@version` pins one; default is latest), and
+      POST /models/<name>/swap hot-swaps a group to another published
+      version without dropping in-flight requests.
       --addr            bind address                          [127.0.0.1:8484]
       --max-batch       requests per engine micro-batch; 0 derives it from
                         the XAI batch size                    [0]
@@ -100,11 +112,16 @@ fn main() -> ExitCode {
         remix_trace::set_enabled(true);
     }
     let result = match args.command.as_str() {
-        "datasets" => commands::datasets(),
+        "datasets" => args
+            .expect_positionals(&[])
+            .map_err(|e| e.to_string())
+            .and_then(|_| commands::datasets()),
         "train" => commands::train(&args),
         "evaluate" => commands::evaluate(&args),
         "explain" => commands::explain(&args),
         "serve" => commands::serve(&args),
+        "publish" => commands::publish(&args),
+        "models" => commands::models(&args),
         other => Err(format!("unknown subcommand `{other}`")),
     };
     if let Some(path) = &trace_path {

@@ -191,6 +191,7 @@ impl Layer for MiniVit {
     fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
         debug_assert_eq!(input.shape(), [self.channels, self.size, self.size]);
         let patches = self.extract_patches(input); // [T, P]
+
         // All projections run as fused `A · Bᵀ` products reading the [out, in]
         // weights in place — no transposed copies are materialized, and each
         // product is bit-identical to the explicit-transpose route (pinned by
@@ -257,11 +258,9 @@ impl Layer for MiniVit {
         // attended = attn · V; both products read their transposed operand in
         // place (fused A·Bᵀ / Aᵀ·B, bit-identical to the transpose-copy route)
         let d_attn = d_attended.matmul_a_bt(&self.cache_v).expect("d_attn"); // [T, T]
-        let d_v = self
-            .cache_attn
-            .matmul_at_b(&d_attended)
-            .expect("d_v"); // [T, E]
-                            // softmax backward per row
+        let d_v = self.cache_attn.matmul_at_b(&d_attended).expect("d_v"); // [T, E]
+
+        // softmax backward per row
         let mut d_scores = Tensor::zeros(&[t, t]);
         {
             let a = self.cache_attn.data();
@@ -295,12 +294,11 @@ impl Layer for MiniVit {
             .expect("shape");
         // tokens = patches · Weᵀ + pos_embed
         self.g_pos.add_assign(&d_tokens).expect("pos grad shape");
-        let dwe = d_tokens
-            .matmul_at_b(&self.cache_patches)
-            .expect("dWe");
+        let dwe = d_tokens.matmul_at_b(&self.cache_patches).expect("dWe");
         self.g_embed.add_assign(&dwe).expect("dWe shape");
         let d_patches = d_tokens.matmul(&self.w_embed).expect("d_patches"); // [T, P]
-                                                                            // scatter patch gradients back to the image
+
+        // scatter patch gradients back to the image
         let mut dx = Tensor::zeros(&[self.channels, self.size, self.size]);
         let plen = self.channels * self.patch * self.patch;
         for ty in 0..self.grid {
@@ -557,7 +555,11 @@ mod tests {
         let y_fused = fused.forward(&x, Mode::Train);
         let y_ref = explicit_transpose_forward(&mut reference, &x);
         assert_eq!(bits(&y_fused), bits(&y_ref), "logits");
-        assert_eq!(bits(&fused.cache_attn), bits(&reference.cache_attn), "attention");
+        assert_eq!(
+            bits(&fused.cache_attn),
+            bits(&reference.cache_attn),
+            "attention"
+        );
 
         let dx_fused = fused.backward(&g);
         let dx_ref = explicit_transpose_backward(&mut reference, &g);

@@ -270,9 +270,10 @@ impl Layer for Conv2d {
         // `W · cols`, so forward bits are unchanged by the row layout.
         let mut out = Vec::new();
         match &self.packs {
-            Some(p) => p
-                .fwd
-                .matmul_a_bt_prepacked_into(&rows, &mut out, &mut self.scratch.fwd_packed)?,
+            Some(p) => {
+                p.fwd
+                    .matmul_a_bt_prepacked_into(&rows, &mut out, &mut self.scratch.fwd_packed)?
+            }
             None => self
                 .weight
                 .matmul_a_bt_into(&rows, &mut out, &mut self.scratch.fwd_packed)?,
@@ -313,9 +314,10 @@ impl Layer for Conv2d {
         // per-sample product.
         let mut big = std::mem::take(&mut self.scratch.fwd_out);
         let gemm = match &self.packs {
-            Some(p) => p
-                .fwd
-                .matmul_a_bt_prepacked_into(&rows, &mut big, &mut self.scratch.fwd_packed),
+            Some(p) => {
+                p.fwd
+                    .matmul_a_bt_prepacked_into(&rows, &mut big, &mut self.scratch.fwd_packed)
+            }
             None => self
                 .weight
                 .matmul_a_bt_into(&rows, &mut big, &mut self.scratch.fwd_packed),

@@ -126,9 +126,10 @@ impl Dense {
         let gmat = Tensor::from_vec(gmat, &[out_dim, batch])?;
         let mut dxmat = std::mem::take(&mut self.scratch.bwd_out);
         let gemm = match &self.packs {
-            Some(p) => p
-                .bwd
-                .matmul_at_b_prepacked_into(&gmat, &mut dxmat, &mut self.scratch.bwd_packed),
+            Some(p) => {
+                p.bwd
+                    .matmul_at_b_prepacked_into(&gmat, &mut dxmat, &mut self.scratch.bwd_packed)
+            }
             None => self
                 .weight
                 .matmul_at_b_into(&gmat, &mut dxmat, &mut self.scratch.bwd_packed),
@@ -242,9 +243,7 @@ impl Layer for Dense {
         let bias = self.bias.data();
         let outs = (0..batch)
             .map(|s| {
-                let data = (0..out_dim)
-                    .map(|i| big[i * batch + s] + bias[i])
-                    .collect();
+                let data = (0..out_dim).map(|i| big[i * batch + s] + bias[i]).collect();
                 Tensor::from_vec(data, &[out_dim])
             })
             .collect::<Result<Vec<_>>>();

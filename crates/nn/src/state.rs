@@ -74,6 +74,17 @@ pub enum LoadStateError {
         /// Shape in the model.
         model: Vec<usize>,
     },
+    /// A tensor's payload length disagrees with its declared shape — the
+    /// state is internally corrupt (e.g. truncated or bit-flipped in
+    /// transit), so loading it would scramble weights.
+    LengthMismatch {
+        /// Index in `visit_params` order.
+        index: usize,
+        /// Elements the declared shape implies.
+        expected: usize,
+        /// Elements actually present in the payload.
+        actual: usize,
+    },
 }
 
 impl fmt::Display for LoadStateError {
@@ -90,6 +101,14 @@ impl fmt::Display for LoadStateError {
             } => write!(
                 f,
                 "parameter {index} shape mismatch: state {state:?} vs model {model:?}"
+            ),
+            LoadStateError::LengthMismatch {
+                index,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "parameter {index} payload has {actual} elements but its shape implies {expected}"
             ),
         }
     }
@@ -125,9 +144,9 @@ pub fn load_state(model: &mut Model, state: &ModelState) -> Result<(), LoadState
     model.net_mut().visit_params(&mut |param, _| {
         shapes.push(param.shape().to_vec());
     });
-    if shapes.len() != state.shapes.len() {
+    if shapes.len() != state.shapes.len() || state.tensors.len() != state.shapes.len() {
         return Err(LoadStateError::TensorCountMismatch {
-            state: state.shapes.len(),
+            state: state.shapes.len().min(state.tensors.len()),
             model: shapes.len(),
         });
     }
@@ -137,6 +156,18 @@ pub fn load_state(model: &mut Model, state: &ModelState) -> Result<(), LoadState
                 index: i,
                 state: state_shape.clone(),
                 model: model_shape.clone(),
+            });
+        }
+        // Never trust shape metadata alone: a payload that disagrees with
+        // its own shape would panic in copy_from_slice below, or worse,
+        // silently load garbage if shapes were not checked element-wise.
+        let expected: usize = state_shape.iter().product();
+        let actual = state.tensors[i].len();
+        if actual != expected {
+            return Err(LoadStateError::LengthMismatch {
+                index: i,
+                expected,
+                actual,
             });
         }
     }
@@ -190,6 +221,44 @@ mod tests {
             err,
             LoadStateError::TensorCountMismatch { .. } | LoadStateError::ShapeMismatch { .. }
         ));
+    }
+
+    #[test]
+    fn load_rejects_internally_corrupt_state() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut model = Model::new(zoo::build(Arch::ConvNet, spec(), &mut rng), spec());
+        let clean = save_state(&mut model);
+        let img = Tensor::rand_uniform(&[1, 16, 16], 0.0, 1.0, &mut rng);
+        let reference = model.predict_proba(&img);
+
+        // Truncated payload: shape metadata intact, data short. Without the
+        // length check this would panic in copy_from_slice.
+        let mut truncated = clean.clone();
+        truncated.tensors[0].pop();
+        assert!(matches!(
+            load_state(&mut model, &truncated).unwrap_err(),
+            LoadStateError::LengthMismatch { index: 0, .. }
+        ));
+
+        // Oversized payload on the last tensor.
+        let mut padded = clean.clone();
+        let last = padded.tensors.len() - 1;
+        padded.tensors[last].push(0.0);
+        assert!(matches!(
+            load_state(&mut model, &padded).unwrap_err(),
+            LoadStateError::LengthMismatch { .. }
+        ));
+
+        // Missing payload vector entirely (shapes/tensors misaligned).
+        let mut missing = clean.clone();
+        missing.tensors.pop();
+        assert!(matches!(
+            load_state(&mut model, &missing).unwrap_err(),
+            LoadStateError::TensorCountMismatch { .. }
+        ));
+
+        // Every failed load must leave the model untouched.
+        assert_eq!(model.predict_proba(&img), reference);
     }
 
     #[test]

@@ -33,7 +33,10 @@ fn frozen_batches_hit_the_prepacked_path() {
     let frozen_hits = remix_trace::counter(remix_trace::Counter::PrepackHits);
     let frozen_pack_bytes = remix_trace::counter(remix_trace::Counter::GemmPackBytes);
     remix_trace::set_enabled(false);
-    assert!(frozen_hits > 0, "frozen model never hit a prepacked operand");
+    assert!(
+        frozen_hits > 0,
+        "frozen model never hit a prepacked operand"
+    );
     assert!(
         frozen_pack_bytes < unfrozen_pack_bytes,
         "freezing did not reduce pack traffic ({frozen_pack_bytes} vs {unfrozen_pack_bytes})"

@@ -1,0 +1,767 @@
+//! Binary ensemble artifacts: serialization, streaming deserialization, and
+//! integrity checking.
+//!
+//! An artifact is a single little-endian binary file:
+//!
+//! ```text
+//! magic    8 bytes         b"REMIXAR1"
+//! name     u32 len + utf8  registry name
+//! version  u32 len + utf8  semver label
+//! spec     3 × u32         channels, size, num_classes
+//! archs    u32 count, then count × (u32 len + utf8)
+//! weights  u32 count, then count × f32     (ensemble combination weights ω)
+//! budget   6 × u32         XAI budget knobs
+//! models   u32 count, then per model:
+//!            name          u32 len + utf8
+//!            tensors       u32 count, then per tensor:
+//!              rank        u32
+//!              dims        rank × u32
+//!              payload     prod(dims) × f32
+//! trailer  u64             FNV-1a 64 hash over every preceding byte
+//! ```
+//!
+//! The loader reads in fixed-size chunks straight into preallocated parameter
+//! buffers (no whole-file staging), hashes as it goes, and verifies the
+//! trailer before handing the artifact out. Counts, ranks, and dimensions are
+//! bounds-checked *before* any allocation they imply, so a bit-flipped length
+//! field fails with [`IntegrityError::Malformed`] instead of attempting a
+//! huge allocation ahead of the hash check.
+
+use std::fmt;
+use std::io::{self, ErrorKind, Read, Write};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use remix_ensemble::TrainedEnsemble;
+use remix_nn::state::{load_state, save_state, LoadStateError, ModelState};
+use remix_nn::{zoo, Arch, InputSpec, Model};
+use remix_xai::XaiBudget;
+
+/// File magic; the trailing `1` is the format revision.
+pub const MAGIC: [u8; 8] = *b"REMIXAR1";
+
+const MAX_STRING: u32 = 4096;
+const MAX_COUNT: u32 = 65_536;
+const MAX_RANK: u32 = 8;
+/// Upper bound on elements in a single tensor (2^28 floats = 1 GiB).
+const MAX_TENSOR_ELEMS: u64 = 1 << 28;
+
+/// Incremental FNV-1a 64-bit hasher.
+///
+/// A single `update` over a byte slice produces the same digest as
+/// `remix_tensor::fnv1a64`; this form exists so artifact writers and
+/// readers can hash while streaming instead of staging the whole payload.
+#[derive(Debug, Clone)]
+pub struct Fnv1a64 {
+    state: u64,
+}
+
+impl Fnv1a64 {
+    /// Starts a hasher at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Self {
+            state: 0xcbf2_9ce4_8422_2325,
+        }
+    }
+
+    /// Folds `bytes` into the digest.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// Current digest value.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for Fnv1a64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Why an artifact failed to decode.
+///
+/// Every variant means the bytes on disk cannot be trusted; no partially
+/// decoded state escapes.
+#[derive(Debug)]
+pub enum IntegrityError {
+    /// Underlying I/O failure (other than a clean end-of-file).
+    Io(io::Error),
+    /// The file does not start with [`MAGIC`].
+    BadMagic,
+    /// The recomputed payload hash disagrees with the stored trailer.
+    HashMismatch {
+        /// Hash recorded in the trailer.
+        expected: u64,
+        /// Hash recomputed over the payload.
+        actual: u64,
+    },
+    /// The file ended before the declared payload (truncation).
+    ShortRead {
+        /// Section being read when the stream ended.
+        section: &'static str,
+    },
+    /// Bytes remain after the integrity trailer.
+    TrailingBytes,
+    /// A count, length, or string field is out of bounds or invalid.
+    Malformed {
+        /// Section being read.
+        section: &'static str,
+        /// What was wrong with it.
+        detail: String,
+    },
+}
+
+impl fmt::Display for IntegrityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IntegrityError::Io(err) => write!(f, "i/o error: {err}"),
+            IntegrityError::BadMagic => write!(f, "not a ReMIX artifact (bad magic)"),
+            IntegrityError::HashMismatch { expected, actual } => write!(
+                f,
+                "integrity hash mismatch: trailer {expected:016x}, payload {actual:016x}"
+            ),
+            IntegrityError::ShortRead { section } => {
+                write!(f, "artifact truncated while reading {section}")
+            }
+            IntegrityError::TrailingBytes => {
+                write!(f, "trailing bytes after the integrity trailer")
+            }
+            IntegrityError::Malformed { section, detail } => {
+                write!(f, "malformed {section}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IntegrityError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IntegrityError::Io(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for IntegrityError {
+    fn from(err: io::Error) -> Self {
+        IntegrityError::Io(err)
+    }
+}
+
+/// Error rebuilding a [`TrainedEnsemble`] from an artifact.
+#[derive(Debug)]
+pub enum ApplyError {
+    /// The artifact's member count disagrees with the target.
+    CountMismatch {
+        /// Members in the artifact.
+        artifact: usize,
+        /// Members in the target ensemble (or arch tags, for
+        /// [`EnsembleArtifact::instantiate`]).
+        target: usize,
+    },
+    /// An arch tag is not a zoo architecture, so no template can be built;
+    /// load the states into a structurally matching ensemble with
+    /// [`EnsembleArtifact::apply_to`] instead.
+    UnknownArch(String),
+    /// A member state failed to load into its target model.
+    State {
+        /// Member index.
+        index: usize,
+        /// Underlying load failure.
+        error: LoadStateError,
+    },
+}
+
+impl fmt::Display for ApplyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApplyError::CountMismatch { artifact, target } => write!(
+                f,
+                "artifact has {artifact} member models but the target has {target}"
+            ),
+            ApplyError::UnknownArch(tag) => {
+                write!(f, "arch tag {tag:?} is not a zoo architecture")
+            }
+            ApplyError::State { index, error } => {
+                write!(f, "member {index} failed to load: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ApplyError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ApplyError::State { error, .. } => Some(error),
+            _ => None,
+        }
+    }
+}
+
+/// A versioned, hash-protected snapshot of a trained ensemble: per-model
+/// parameter states plus the ensemble combination weights ω and the XAI
+/// budget it was tuned to serve under.
+#[derive(Debug, Clone)]
+pub struct EnsembleArtifact {
+    /// Registry name this artifact publishes under.
+    pub name: String,
+    /// Semver version label (`major.minor.patch`).
+    pub version: String,
+    /// Input geometry shared by every member model.
+    pub spec: InputSpec,
+    /// Architecture tags aligned with `states` — zoo arch names when the
+    /// members come from the zoo, free-form labels otherwise.
+    pub archs: Vec<String>,
+    /// Ensemble combination weights ω, aligned with `states`.
+    pub weights: Vec<f32>,
+    /// XAI budget configuration.
+    pub budget: XaiBudget,
+    /// Per-model parameter snapshots.
+    pub states: Vec<ModelState>,
+}
+
+impl EnsembleArtifact {
+    /// Captures a trained ensemble's parameters into an artifact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `archs` or `weights` is not aligned with the ensemble.
+    pub fn capture(
+        name: impl Into<String>,
+        version: impl Into<String>,
+        spec: InputSpec,
+        ensemble: &mut TrainedEnsemble,
+        archs: Vec<String>,
+        weights: Vec<f32>,
+        budget: XaiBudget,
+    ) -> Self {
+        assert_eq!(archs.len(), ensemble.models.len(), "one arch tag per model");
+        assert_eq!(weights.len(), ensemble.models.len(), "one weight per model");
+        let states = ensemble.models.iter_mut().map(save_state).collect();
+        Self {
+            name: name.into(),
+            version: version.into(),
+            spec,
+            archs,
+            weights,
+            budget,
+            states,
+        }
+    }
+
+    /// Serializes the artifact and returns the FNV-1a integrity hash that was
+    /// written to the trailer.
+    ///
+    /// # Errors
+    ///
+    /// Returns any underlying write error; `InvalidInput` if a count or
+    /// dimension exceeds the format's bounds or the states are internally
+    /// inconsistent.
+    pub fn write_to<W: Write>(&self, writer: W) -> io::Result<u64> {
+        let mut out = HashWriter {
+            inner: writer,
+            hash: Fnv1a64::new(),
+        };
+        if self.archs.len() != self.states.len() || self.weights.len() != self.states.len() {
+            return Err(invalid("archs/weights/states lengths disagree"));
+        }
+        out.put(&MAGIC)?;
+        out.put_str(&self.name)?;
+        out.put_str(&self.version)?;
+        out.put_u32(as_u32(self.spec.channels)?)?;
+        out.put_u32(as_u32(self.spec.size)?)?;
+        out.put_u32(as_u32(self.spec.num_classes)?)?;
+        out.put_count(self.archs.len())?;
+        for arch in &self.archs {
+            out.put_str(arch)?;
+        }
+        out.put_count(self.weights.len())?;
+        out.put_f32s(&self.weights)?;
+        for knob in [
+            self.budget.batch_size,
+            self.budget.sg_samples,
+            self.budget.ig_steps,
+            self.budget.shap_permutations,
+            self.budget.lime_samples,
+            self.budget.cfe_max_steps,
+        ] {
+            out.put_u32(as_u32(knob)?)?;
+        }
+        out.put_count(self.states.len())?;
+        for state in &self.states {
+            out.put_str(&state.name)?;
+            if state.shapes.len() != state.tensors.len() {
+                return Err(invalid("state shapes/tensors lengths disagree"));
+            }
+            out.put_count(state.shapes.len())?;
+            for (shape, tensor) in state.shapes.iter().zip(&state.tensors) {
+                if shape.len() > MAX_RANK as usize {
+                    return Err(invalid("tensor rank exceeds format bound"));
+                }
+                let elems: u64 = shape.iter().map(|&d| d as u64).product();
+                if elems != tensor.len() as u64 || elems > MAX_TENSOR_ELEMS {
+                    return Err(invalid("tensor payload disagrees with its shape"));
+                }
+                out.put_u32(shape.len() as u32)?;
+                for &dim in shape {
+                    out.put_u32(as_u32(dim)?)?;
+                }
+                out.put_f32s(tensor)?;
+            }
+        }
+        let hash = out.hash.finish();
+        out.inner.write_all(&hash.to_le_bytes())?;
+        Ok(hash)
+    }
+
+    /// Streams an artifact back in, returning it with its verified integrity
+    /// hash.
+    ///
+    /// Parameter payloads are read in fixed-size chunks directly into
+    /// preallocated buffers; the whole file is never staged in memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`IntegrityError`] for any corruption: wrong magic,
+    /// out-of-bounds counts, truncation, a hash-trailer mismatch, or bytes
+    /// past the trailer.
+    pub fn read_from<R: Read>(reader: R) -> Result<(Self, u64), IntegrityError> {
+        let mut input = HashReader {
+            inner: reader,
+            hash: Fnv1a64::new(),
+        };
+        let mut magic = [0u8; 8];
+        input.take(&mut magic, "magic")?;
+        if magic != MAGIC {
+            return Err(IntegrityError::BadMagic);
+        }
+        let name = input.take_str("name")?;
+        let version = input.take_str("version")?;
+        let spec = InputSpec {
+            channels: input.take_u32("spec")? as usize,
+            size: input.take_u32("spec")? as usize,
+            num_classes: input.take_u32("spec")? as usize,
+        };
+        let narchs = input.take_count("archs")?;
+        let mut archs = Vec::with_capacity(narchs);
+        for _ in 0..narchs {
+            archs.push(input.take_str("archs")?);
+        }
+        let nweights = input.take_count("weights")?;
+        if nweights != narchs {
+            return Err(malformed(
+                "weights",
+                format!("{nweights} weights for {narchs} archs"),
+            ));
+        }
+        let mut weights = Vec::with_capacity(nweights);
+        input.take_f32s("weights", nweights, &mut weights)?;
+        let mut knobs = [0usize; 6];
+        for knob in &mut knobs {
+            *knob = input.take_u32("budget")? as usize;
+        }
+        let budget = XaiBudget {
+            batch_size: knobs[0],
+            sg_samples: knobs[1],
+            ig_steps: knobs[2],
+            shap_permutations: knobs[3],
+            lime_samples: knobs[4],
+            cfe_max_steps: knobs[5],
+        };
+        let nmodels = input.take_count("models")?;
+        if nmodels != narchs {
+            return Err(malformed(
+                "models",
+                format!("{nmodels} models for {narchs} archs"),
+            ));
+        }
+        let mut states = Vec::with_capacity(nmodels);
+        for _ in 0..nmodels {
+            let model_name = input.take_str("model name")?;
+            let ntensors = input.take_count("tensors")?;
+            let mut shapes = Vec::with_capacity(ntensors);
+            let mut tensors = Vec::with_capacity(ntensors);
+            for _ in 0..ntensors {
+                let rank = input.take_u32("tensor shape")?;
+                if rank > MAX_RANK {
+                    return Err(malformed("tensor shape", format!("rank {rank}")));
+                }
+                let mut shape = Vec::with_capacity(rank as usize);
+                let mut elems: u64 = 1;
+                for _ in 0..rank {
+                    let dim = input.take_u32("tensor shape")?;
+                    if dim == 0 {
+                        return Err(malformed("tensor shape", "zero dimension".into()));
+                    }
+                    elems = elems.saturating_mul(u64::from(dim));
+                    shape.push(dim as usize);
+                }
+                if elems > MAX_TENSOR_ELEMS {
+                    return Err(malformed("tensor shape", format!("{elems} elements")));
+                }
+                let mut payload = Vec::with_capacity(elems as usize);
+                input.take_f32s("tensor payload", elems as usize, &mut payload)?;
+                shapes.push(shape);
+                tensors.push(payload);
+            }
+            states.push(ModelState {
+                name: model_name,
+                shapes,
+                tensors,
+            });
+        }
+        let actual = input.hash.finish();
+        let mut trailer = [0u8; 8];
+        input
+            .inner
+            .read_exact(&mut trailer)
+            .map_err(|err| short_or_io(err, "integrity trailer"))?;
+        let expected = u64::from_le_bytes(trailer);
+        if expected != actual {
+            return Err(IntegrityError::HashMismatch { expected, actual });
+        }
+        // Anything after the trailer means the file was appended to or the
+        // declared counts undershoot the payload.
+        let mut probe = [0u8; 1];
+        loop {
+            match input.inner.read(&mut probe) {
+                Ok(0) => break,
+                Ok(_) => return Err(IntegrityError::TrailingBytes),
+                Err(err) if err.kind() == ErrorKind::Interrupted => continue,
+                Err(err) => return Err(IntegrityError::Io(err)),
+            }
+        }
+        Ok((
+            Self {
+                name,
+                version,
+                spec,
+                archs,
+                weights,
+                budget,
+                states,
+            },
+            actual,
+        ))
+    }
+
+    /// Rebuilds a [`TrainedEnsemble`] from scratch: every arch tag must name
+    /// a zoo architecture.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApplyError`] if a tag is not in the zoo or a state does not
+    /// fit the architecture it claims.
+    pub fn instantiate(&self) -> Result<TrainedEnsemble, ApplyError> {
+        if self.archs.len() != self.states.len() {
+            return Err(ApplyError::CountMismatch {
+                artifact: self.states.len(),
+                target: self.archs.len(),
+            });
+        }
+        let mut models = Vec::with_capacity(self.states.len());
+        for (index, (tag, state)) in self.archs.iter().zip(&self.states).enumerate() {
+            let arch = Arch::ALL
+                .iter()
+                .copied()
+                .find(|a| a.name().eq_ignore_ascii_case(tag))
+                .ok_or_else(|| ApplyError::UnknownArch(tag.clone()))?;
+            // init seed is irrelevant: every parameter is overwritten
+            let mut rng = StdRng::seed_from_u64(0);
+            let mut model = Model::named(zoo::build(arch, self.spec, &mut rng), self.spec, tag);
+            load_state(&mut model, state).map_err(|error| ApplyError::State { index, error })?;
+            models.push(model);
+        }
+        Ok(TrainedEnsemble::new(models))
+    }
+
+    /// Loads the member states into a structurally matching ensemble — the
+    /// path for architectures that are not in the zoo (hot-swap applies the
+    /// new version onto a clone of the running ensemble's structure).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApplyError`] on a count or structure mismatch. Members
+    /// before the failing index may already be updated; apply to a scratch
+    /// clone if the target must stay intact on error.
+    pub fn apply_to(&self, ensemble: &mut TrainedEnsemble) -> Result<(), ApplyError> {
+        if self.states.len() != ensemble.models.len() {
+            return Err(ApplyError::CountMismatch {
+                artifact: self.states.len(),
+                target: ensemble.models.len(),
+            });
+        }
+        for (index, (model, state)) in ensemble.models.iter_mut().zip(&self.states).enumerate() {
+            load_state(model, state).map_err(|error| ApplyError::State { index, error })?;
+        }
+        Ok(())
+    }
+}
+
+fn as_u32(value: usize) -> io::Result<u32> {
+    u32::try_from(value).map_err(|_| invalid("value exceeds u32 range"))
+}
+
+fn invalid(detail: &str) -> io::Error {
+    io::Error::new(ErrorKind::InvalidInput, detail.to_string())
+}
+
+fn malformed(section: &'static str, detail: String) -> IntegrityError {
+    IntegrityError::Malformed { section, detail }
+}
+
+fn short_or_io(err: io::Error, section: &'static str) -> IntegrityError {
+    if err.kind() == ErrorKind::UnexpectedEof {
+        IntegrityError::ShortRead { section }
+    } else {
+        IntegrityError::Io(err)
+    }
+}
+
+/// Scratch size for chunked f32 transcoding (4 KiB of floats per pass).
+const CHUNK_BYTES: usize = 16 * 1024;
+
+struct HashWriter<W: Write> {
+    inner: W,
+    hash: Fnv1a64,
+}
+
+impl<W: Write> HashWriter<W> {
+    fn put(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.inner.write_all(bytes)?;
+        self.hash.update(bytes);
+        Ok(())
+    }
+
+    fn put_u32(&mut self, value: u32) -> io::Result<()> {
+        self.put(&value.to_le_bytes())
+    }
+
+    fn put_count(&mut self, count: usize) -> io::Result<()> {
+        let count = as_u32(count)?;
+        if count > MAX_COUNT {
+            return Err(invalid("count exceeds format bound"));
+        }
+        self.put_u32(count)
+    }
+
+    fn put_str(&mut self, value: &str) -> io::Result<()> {
+        if value.len() > MAX_STRING as usize {
+            return Err(invalid("string exceeds format bound"));
+        }
+        self.put_u32(value.len() as u32)?;
+        self.put(value.as_bytes())
+    }
+
+    fn put_f32s(&mut self, values: &[f32]) -> io::Result<()> {
+        let mut buf = [0u8; CHUNK_BYTES];
+        for chunk in values.chunks(CHUNK_BYTES / 4) {
+            let mut n = 0;
+            for v in chunk {
+                buf[n..n + 4].copy_from_slice(&v.to_bits().to_le_bytes());
+                n += 4;
+            }
+            self.put(&buf[..n])?;
+        }
+        Ok(())
+    }
+}
+
+struct HashReader<R: Read> {
+    inner: R,
+    hash: Fnv1a64,
+}
+
+impl<R: Read> HashReader<R> {
+    fn take(&mut self, buf: &mut [u8], section: &'static str) -> Result<(), IntegrityError> {
+        self.inner
+            .read_exact(buf)
+            .map_err(|err| short_or_io(err, section))?;
+        self.hash.update(buf);
+        Ok(())
+    }
+
+    fn take_u32(&mut self, section: &'static str) -> Result<u32, IntegrityError> {
+        let mut buf = [0u8; 4];
+        self.take(&mut buf, section)?;
+        Ok(u32::from_le_bytes(buf))
+    }
+
+    fn take_count(&mut self, section: &'static str) -> Result<usize, IntegrityError> {
+        let count = self.take_u32(section)?;
+        if count > MAX_COUNT {
+            return Err(malformed(section, format!("count {count}")));
+        }
+        Ok(count as usize)
+    }
+
+    fn take_str(&mut self, section: &'static str) -> Result<String, IntegrityError> {
+        let len = self.take_u32(section)?;
+        if len > MAX_STRING {
+            return Err(malformed(section, format!("string length {len}")));
+        }
+        let mut bytes = vec![0u8; len as usize];
+        self.take(&mut bytes, section)?;
+        String::from_utf8(bytes).map_err(|_| malformed(section, "invalid utf-8".into()))
+    }
+
+    /// Appends `count` floats to `out`, transcoding through a fixed scratch
+    /// buffer so large tensors stream instead of staging a byte copy.
+    fn take_f32s(
+        &mut self,
+        section: &'static str,
+        count: usize,
+        out: &mut Vec<f32>,
+    ) -> Result<(), IntegrityError> {
+        let mut buf = [0u8; CHUNK_BYTES];
+        let mut remaining = count;
+        while remaining > 0 {
+            let n = remaining.min(CHUNK_BYTES / 4);
+            let bytes = &mut buf[..n * 4];
+            self.take(bytes, section)?;
+            for quad in bytes.chunks_exact(4) {
+                out.push(f32::from_bits(u32::from_le_bytes(
+                    quad.try_into().expect("chunks_exact yields 4-byte slices"),
+                )));
+            }
+            remaining -= n;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn incremental_fnv_matches_one_shot() {
+        let data = b"remix registry integrity";
+        let mut split = Fnv1a64::new();
+        split.update(&data[..7]);
+        split.update(&data[7..]);
+        assert_eq!(split.finish(), remix_tensor::fnv1a64(data));
+        assert_eq!(Fnv1a64::new().finish(), remix_tensor::fnv1a64(b""));
+    }
+
+    fn tiny_artifact() -> EnsembleArtifact {
+        EnsembleArtifact {
+            name: "tiny".into(),
+            version: "1.0.0".into(),
+            spec: InputSpec {
+                channels: 1,
+                size: 4,
+                num_classes: 3,
+            },
+            archs: vec!["mlp-a".into(), "mlp-b".into()],
+            weights: vec![0.75, 0.25],
+            budget: XaiBudget::default(),
+            states: vec![
+                ModelState {
+                    name: "a".into(),
+                    shapes: vec![vec![2, 3], vec![3]],
+                    tensors: vec![
+                        vec![1.0, -2.5, 0.0, 3.5, f32::MIN_POSITIVE, 9.0],
+                        vec![0.1, 0.2, 0.3],
+                    ],
+                },
+                ModelState {
+                    name: "b".into(),
+                    shapes: vec![vec![4]],
+                    tensors: vec![vec![-1.0, -2.0, -3.0, -4.0]],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrips_bit_exactly() {
+        let artifact = tiny_artifact();
+        let mut bytes = Vec::new();
+        let written_hash = artifact.write_to(&mut bytes).expect("write");
+        let (back, read_hash) = EnsembleArtifact::read_from(&bytes[..]).expect("read");
+        assert_eq!(written_hash, read_hash);
+        assert_eq!(back.name, artifact.name);
+        assert_eq!(back.version, artifact.version);
+        assert_eq!(back.spec, artifact.spec);
+        assert_eq!(back.archs, artifact.archs);
+        assert_eq!(back.budget, artifact.budget);
+        for (w0, w1) in artifact.weights.iter().zip(&back.weights) {
+            assert_eq!(w0.to_bits(), w1.to_bits());
+        }
+        for (s0, s1) in artifact.states.iter().zip(&back.states) {
+            assert_eq!(s0.name, s1.name);
+            assert_eq!(s0.shapes, s1.shapes);
+            for (t0, t1) in s0.tensors.iter().zip(&s1.tensors) {
+                let b0: Vec<u32> = t0.iter().map(|v| v.to_bits()).collect();
+                let b1: Vec<u32> = t1.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(b0, b1);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_every_single_byte_flip() {
+        let artifact = tiny_artifact();
+        let mut bytes = Vec::new();
+        artifact.write_to(&mut bytes).expect("write");
+        // Flipping any single bit anywhere in the file must be rejected:
+        // either the hash no longer matches, or a bounds check fires first.
+        for index in 0..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[index] ^= 0x40;
+            assert!(
+                EnsembleArtifact::read_from(&corrupt[..]).is_err(),
+                "byte {index} flip slipped through"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_truncation_and_trailing_bytes() {
+        let artifact = tiny_artifact();
+        let mut bytes = Vec::new();
+        artifact.write_to(&mut bytes).expect("write");
+        for cut in [bytes.len() - 1, bytes.len() - 9, 12, 4] {
+            let err = EnsembleArtifact::read_from(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, IntegrityError::ShortRead { .. }),
+                "cut at {cut} gave {err}"
+            );
+        }
+        let mut extra = bytes.clone();
+        extra.push(0);
+        assert!(matches!(
+            EnsembleArtifact::read_from(&extra[..]).unwrap_err(),
+            IntegrityError::TrailingBytes
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_oversized_counts() {
+        let artifact = tiny_artifact();
+        let mut bytes = Vec::new();
+        artifact.write_to(&mut bytes).expect("write");
+        let mut wrong = bytes.clone();
+        wrong[0] = b'X';
+        assert!(matches!(
+            EnsembleArtifact::read_from(&wrong[..]).unwrap_err(),
+            IntegrityError::BadMagic
+        ));
+        // Doctor the archs count (first u32 after magic + two strings) to a
+        // huge value: must fail Malformed before allocating, not OOM.
+        let archs_count_at = 8 + 4 + artifact.name.len() + 4 + artifact.version.len() + 12;
+        let mut huge = bytes.clone();
+        huge[archs_count_at..archs_count_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            EnsembleArtifact::read_from(&huge[..]).unwrap_err(),
+            IntegrityError::Malformed { .. }
+        ));
+    }
+}

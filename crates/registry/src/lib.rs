@@ -1,0 +1,53 @@
+//! Versioned, content-addressed store for trained ReMIX ensembles.
+//!
+//! The registry is the deployment path for the paper's re-cleaned
+//! replacement ensembles: a trained [`remix_ensemble::TrainedEnsemble`] is
+//! captured — parameters, ensemble combination weights ω, and the XAI budget
+//! it was tuned under — into a single binary [`EnsembleArtifact`] protected
+//! by an FNV-1a integrity hash, published atomically under
+//! `<root>/<name>/<version>/`, and streamed back at load time with every
+//! byte verified before use. Versions are semver-ordered, and the atomically
+//! renamed `MANIFEST` is the commit point, so readers never observe a torn
+//! publish.
+//!
+//! # Example
+//!
+//! ```
+//! use rand::{rngs::StdRng, SeedableRng};
+//! use remix_ensemble::TrainedEnsemble;
+//! use remix_nn::{zoo, Arch, InputSpec, Model};
+//! use remix_registry::{EnsembleArtifact, Registry};
+//! use remix_xai::XaiBudget;
+//!
+//! let spec = InputSpec { channels: 1, size: 8, num_classes: 3 };
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let mut ensemble = TrainedEnsemble::new(vec![Model::named(
+//!     zoo::build(Arch::ConvNet, spec, &mut rng),
+//!     spec,
+//!     "convnet",
+//! )]);
+//!
+//! let dir = std::env::temp_dir().join(format!("remix_registry_doc_{}", std::process::id()));
+//! let registry = Registry::open(&dir);
+//! let artifact = EnsembleArtifact::capture(
+//!     "demo", "1.0.0", spec, &mut ensemble,
+//!     vec!["convnet".into()], vec![1.0], XaiBudget::default(),
+//! );
+//! let info = registry.publish(&artifact).expect("publish");
+//!
+//! let loaded = registry.load("demo", None).expect("load latest");
+//! assert_eq!(loaded.hash, info.hash);
+//! let restored = loaded.artifact.instantiate().expect("zoo arch");
+//! assert_eq!(restored.models.len(), 1);
+//! # std::fs::remove_dir_all(&dir).ok();
+//! ```
+
+#![warn(missing_docs)]
+
+mod artifact;
+mod store;
+
+pub use artifact::{ApplyError, EnsembleArtifact, Fnv1a64, IntegrityError, MAGIC};
+pub use store::{
+    LoadedArtifact, ModelEntry, PublishInfo, Registry, RegistryError, Version, VersionEntry,
+};

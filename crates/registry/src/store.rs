@@ -1,0 +1,499 @@
+//! On-disk registry layout and crash-safe publish.
+//!
+//! ```text
+//! <root>/<name>/<major.minor.patch>/artifact-<hash16>.bin
+//! <root>/<name>/<major.minor.patch>/MANIFEST
+//! ```
+//!
+//! Both files are written to a dot-prefixed temp name, fsynced, and renamed
+//! into place. Artifacts are content-addressed — the payload's FNV-1a hash is
+//! in the filename — so concurrent publishers of the same version never
+//! overwrite each other's bytes, and the single `MANIFEST` rename is the
+//! commit point: whichever manifest lands last points at its own complete
+//! artifact. A version directory without a MANIFEST is invisible to listing
+//! and resolution, so a writer that crashes mid-publish can never expose a
+//! torn artifact.
+
+use std::fmt;
+use std::fs::{self, File};
+use std::io::{self, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::artifact::{EnsembleArtifact, IntegrityError};
+
+/// Sequence for unique temp-file names within one process.
+static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A parsed `major.minor.patch` semantic version.
+///
+/// Ordering is numeric per component, so `1.10.0 > 1.2.0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Version {
+    /// Major component.
+    pub major: u64,
+    /// Minor component.
+    pub minor: u64,
+    /// Patch component.
+    pub patch: u64,
+}
+
+impl Version {
+    /// Parses `major.minor.patch`; returns `None` for anything else.
+    pub fn parse(text: &str) -> Option<Version> {
+        let mut parts = text.split('.');
+        let component = |part: Option<&str>| -> Option<u64> {
+            let part = part?;
+            if part.is_empty() || !part.bytes().all(|b| b.is_ascii_digit()) {
+                return None;
+            }
+            part.parse().ok()
+        };
+        let version = Version {
+            major: component(parts.next())?,
+            minor: component(parts.next())?,
+            patch: component(parts.next())?,
+        };
+        if parts.next().is_some() {
+            return None;
+        }
+        Some(version)
+    }
+}
+
+impl fmt::Display for Version {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}.{}", self.major, self.minor, self.patch)
+    }
+}
+
+/// Why a registry operation failed.
+#[derive(Debug)]
+pub enum RegistryError {
+    /// Filesystem error outside artifact decoding.
+    Io(io::Error),
+    /// The artifact payload failed integrity checks.
+    Integrity(IntegrityError),
+    /// A version string is not `major.minor.patch`.
+    BadVersion(String),
+    /// A model name is empty or contains path-hostile characters.
+    BadName(String),
+    /// No model with this name has any committed version.
+    UnknownModel(String),
+    /// The model exists but not at this version.
+    UnknownVersion {
+        /// Model name.
+        name: String,
+        /// Requested version.
+        version: String,
+    },
+    /// A stored MANIFEST is unreadable or inconsistent.
+    BadManifest {
+        /// Manifest path.
+        path: PathBuf,
+        /// What was wrong with it.
+        detail: String,
+    },
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::Io(err) => write!(f, "i/o error: {err}"),
+            RegistryError::Integrity(err) => write!(f, "artifact integrity: {err}"),
+            RegistryError::BadVersion(v) => {
+                write!(f, "version {v:?} is not major.minor.patch")
+            }
+            RegistryError::BadName(n) => write!(
+                f,
+                "model name {n:?} must be non-empty [A-Za-z0-9._-] and not start with '.'"
+            ),
+            RegistryError::UnknownModel(n) => write!(f, "no published model named {n:?}"),
+            RegistryError::UnknownVersion { name, version } => {
+                write!(f, "model {name:?} has no version {version}")
+            }
+            RegistryError::BadManifest { path, detail } => {
+                write!(f, "bad manifest {}: {detail}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RegistryError::Io(err) => Some(err),
+            RegistryError::Integrity(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for RegistryError {
+    fn from(err: io::Error) -> Self {
+        RegistryError::Io(err)
+    }
+}
+
+impl From<IntegrityError> for RegistryError {
+    fn from(err: IntegrityError) -> Self {
+        RegistryError::Integrity(err)
+    }
+}
+
+/// One committed version of a model, as recorded in its MANIFEST.
+#[derive(Debug, Clone)]
+pub struct VersionEntry {
+    /// The version.
+    pub version: Version,
+    /// FNV-1a integrity hash of the artifact.
+    pub hash: u64,
+    /// Member model count.
+    pub models: usize,
+    /// Artifact size in bytes (payload + trailer).
+    pub bytes: u64,
+}
+
+/// A model name and its committed versions, oldest first.
+#[derive(Debug, Clone)]
+pub struct ModelEntry {
+    /// Model name.
+    pub name: String,
+    /// Committed versions in ascending semver order.
+    pub versions: Vec<VersionEntry>,
+}
+
+/// Result of a successful publish.
+#[derive(Debug, Clone)]
+pub struct PublishInfo {
+    /// Model name.
+    pub name: String,
+    /// Published version.
+    pub version: Version,
+    /// FNV-1a integrity hash of the artifact.
+    pub hash: u64,
+    /// Artifact size in bytes.
+    pub bytes: u64,
+    /// Final artifact path.
+    pub path: PathBuf,
+}
+
+/// A fully verified artifact together with its registry metadata.
+#[derive(Debug, Clone)]
+pub struct LoadedArtifact {
+    /// The decoded artifact.
+    pub artifact: EnsembleArtifact,
+    /// Resolved version.
+    pub version: Version,
+    /// Verified integrity hash.
+    pub hash: u64,
+}
+
+/// A content-addressed, versioned store of ensemble artifacts rooted at a
+/// directory.
+#[derive(Debug, Clone)]
+pub struct Registry {
+    root: PathBuf,
+}
+
+impl Registry {
+    /// Opens (without creating) a registry rooted at `root`; the directory is
+    /// created lazily on first publish.
+    pub fn open(root: impl Into<PathBuf>) -> Registry {
+        Registry { root: root.into() }
+    }
+
+    /// The registry root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Serializes and atomically publishes an artifact under
+    /// `<root>/<name>/<version>/`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegistryError`] for a bad name/version, a serialization
+    /// bound violation, or any filesystem failure. A failed publish leaves no
+    /// committed version behind.
+    pub fn publish(&self, artifact: &EnsembleArtifact) -> Result<PublishInfo, RegistryError> {
+        check_name(&artifact.name)?;
+        let version = Version::parse(&artifact.version)
+            .ok_or_else(|| RegistryError::BadVersion(artifact.version.clone()))?;
+        let dir = self.root.join(&artifact.name).join(version.to_string());
+        fs::create_dir_all(&dir)?;
+        let seq = TEMP_SEQ.fetch_add(1, Ordering::Relaxed);
+        let pid = std::process::id();
+
+        let tmp_artifact = dir.join(format!(".tmp-artifact-{pid}-{seq}"));
+        let hash = match write_artifact(&tmp_artifact, artifact) {
+            Ok(hash) => hash,
+            Err(err) => {
+                let _ = fs::remove_file(&tmp_artifact);
+                return Err(err.into());
+            }
+        };
+        let final_artifact = dir.join(artifact_file(hash));
+        fs::rename(&tmp_artifact, &final_artifact)?;
+        let bytes = fs::metadata(&final_artifact)?.len();
+
+        let manifest = format!(
+            "name={}\nversion={}\nhash={:016x}\nmodels={}\nbytes={}\n",
+            artifact.name,
+            version,
+            hash,
+            artifact.states.len(),
+            bytes
+        );
+        let tmp_manifest = dir.join(format!(".tmp-manifest-{pid}-{seq}"));
+        if let Err(err) = write_all_synced(&tmp_manifest, manifest.as_bytes()) {
+            let _ = fs::remove_file(&tmp_manifest);
+            return Err(err.into());
+        }
+        fs::rename(&tmp_manifest, dir.join("MANIFEST"))?;
+
+        Ok(PublishInfo {
+            name: artifact.name.clone(),
+            version,
+            hash,
+            bytes,
+            path: final_artifact,
+        })
+    }
+
+    /// Lists every model with at least one committed version, sorted by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegistryError`] on filesystem failure or a damaged MANIFEST.
+    pub fn list(&self) -> Result<Vec<ModelEntry>, RegistryError> {
+        let mut entries = Vec::new();
+        let read = match fs::read_dir(&self.root) {
+            Ok(read) => read,
+            Err(err) if err.kind() == io::ErrorKind::NotFound => return Ok(entries),
+            Err(err) => return Err(err.into()),
+        };
+        for entry in read {
+            let entry = entry?;
+            if !entry.file_type()?.is_dir() {
+                continue;
+            }
+            let Some(name) = entry.file_name().to_str().map(str::to_string) else {
+                continue;
+            };
+            if name.starts_with('.') {
+                continue;
+            }
+            let versions = self.committed_versions(&name)?;
+            if !versions.is_empty() {
+                entries.push(ModelEntry { name, versions });
+            }
+        }
+        entries.sort_by(|a, b| a.name.cmp(&b.name));
+        Ok(entries)
+    }
+
+    /// Committed versions of `name` in ascending semver order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegistryError::UnknownModel`] if the model has no committed
+    /// version at all.
+    pub fn versions(&self, name: &str) -> Result<Vec<VersionEntry>, RegistryError> {
+        check_name(name)?;
+        let versions = self.committed_versions(name)?;
+        if versions.is_empty() {
+            return Err(RegistryError::UnknownModel(name.to_string()));
+        }
+        Ok(versions)
+    }
+
+    /// Resolves a version request — `None` means "latest by semver" — to the
+    /// committed entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegistryError`] if the model or version is not committed.
+    pub fn resolve(
+        &self,
+        name: &str,
+        version: Option<&str>,
+    ) -> Result<VersionEntry, RegistryError> {
+        let versions = self.versions(name)?;
+        match version {
+            None => Ok(versions
+                .last()
+                .expect("versions() returns a non-empty list")
+                .clone()),
+            Some(text) => {
+                let wanted = Version::parse(text)
+                    .ok_or_else(|| RegistryError::BadVersion(text.to_string()))?;
+                versions
+                    .into_iter()
+                    .find(|entry| entry.version == wanted)
+                    .ok_or_else(|| RegistryError::UnknownVersion {
+                        name: name.to_string(),
+                        version: wanted.to_string(),
+                    })
+            }
+        }
+    }
+
+    /// Resolves, streams, and integrity-verifies an artifact.
+    ///
+    /// The payload hash must match both the file trailer and the committed
+    /// MANIFEST.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegistryError`] on resolution failure or any
+    /// [`IntegrityError`] from decoding.
+    pub fn load(&self, name: &str, version: Option<&str>) -> Result<LoadedArtifact, RegistryError> {
+        let entry = self.resolve(name, version)?;
+        let path = self
+            .root
+            .join(name)
+            .join(entry.version.to_string())
+            .join(artifact_file(entry.hash));
+        let file = File::open(&path)?;
+        let (artifact, hash) = EnsembleArtifact::read_from(BufReader::new(file))?;
+        if hash != entry.hash {
+            return Err(IntegrityError::HashMismatch {
+                expected: entry.hash,
+                actual: hash,
+            }
+            .into());
+        }
+        Ok(LoadedArtifact {
+            artifact,
+            version: entry.version,
+            hash,
+        })
+    }
+
+    fn committed_versions(&self, name: &str) -> Result<Vec<VersionEntry>, RegistryError> {
+        let dir = self.root.join(name);
+        let mut versions = Vec::new();
+        let read = match fs::read_dir(&dir) {
+            Ok(read) => read,
+            Err(err) if err.kind() == io::ErrorKind::NotFound => return Ok(versions),
+            Err(err) => return Err(err.into()),
+        };
+        for entry in read {
+            let entry = entry?;
+            if !entry.file_type()?.is_dir() {
+                continue;
+            }
+            let Some(version) = entry.file_name().to_str().and_then(Version::parse) else {
+                continue;
+            };
+            let manifest = entry.path().join("MANIFEST");
+            if !manifest.is_file() {
+                continue; // publish in flight or crashed before commit
+            }
+            versions.push(read_manifest(&manifest, version)?);
+        }
+        versions.sort_by_key(|entry| entry.version);
+        Ok(versions)
+    }
+}
+
+fn artifact_file(hash: u64) -> String {
+    format!("artifact-{hash:016x}.bin")
+}
+
+fn check_name(name: &str) -> Result<(), RegistryError> {
+    let valid = !name.is_empty()
+        && !name.starts_with('.')
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'.' || b == b'_' || b == b'-');
+    if valid {
+        Ok(())
+    } else {
+        Err(RegistryError::BadName(name.to_string()))
+    }
+}
+
+fn write_artifact(path: &Path, artifact: &EnsembleArtifact) -> io::Result<u64> {
+    let mut writer = BufWriter::new(File::create(path)?);
+    let hash = artifact.write_to(&mut writer)?;
+    writer.flush()?;
+    let file = writer
+        .into_inner()
+        .map_err(|err| io::Error::other(err.to_string()))?;
+    file.sync_all()?;
+    Ok(hash)
+}
+
+fn write_all_synced(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let mut file = File::create(path)?;
+    file.write_all(bytes)?;
+    file.sync_all()
+}
+
+fn read_manifest(path: &Path, version: Version) -> Result<VersionEntry, RegistryError> {
+    let text = fs::read_to_string(path)?;
+    let field = |key: &str| -> Result<&str, RegistryError> {
+        text.lines()
+            .find_map(|line| line.strip_prefix(key)?.strip_prefix('='))
+            .ok_or_else(|| RegistryError::BadManifest {
+                path: path.to_path_buf(),
+                detail: format!("missing {key}"),
+            })
+    };
+    let bad = |detail: String| RegistryError::BadManifest {
+        path: path.to_path_buf(),
+        detail,
+    };
+    let recorded =
+        Version::parse(field("version")?).ok_or_else(|| bad("unparseable version".to_string()))?;
+    if recorded != version {
+        return Err(bad(format!(
+            "records version {recorded} in directory {version}"
+        )));
+    }
+    let hash = u64::from_str_radix(field("hash")?, 16)
+        .map_err(|err| bad(format!("unparseable hash: {err}")))?;
+    let models = field("models")?
+        .parse()
+        .map_err(|err| bad(format!("unparseable models: {err}")))?;
+    let bytes = field("bytes")?
+        .parse()
+        .map_err(|err| bad(format!("unparseable bytes: {err}")))?;
+    Ok(VersionEntry {
+        version,
+        hash,
+        models,
+        bytes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_orders_semver() {
+        let v = |s| Version::parse(s).unwrap();
+        assert!(v("1.10.0") > v("1.2.0"));
+        assert!(v("2.0.0") > v("1.99.99"));
+        assert!(v("0.0.1") < v("0.1.0"));
+        assert_eq!(v("1.2.3").to_string(), "1.2.3");
+        for bad in [
+            "", "1", "1.2", "1.2.3.4", "1.2.x", "v1.2.3", "1.-2.3", "1.2.3 ",
+        ] {
+            assert!(Version::parse(bad).is_none(), "{bad:?} parsed");
+        }
+    }
+
+    #[test]
+    fn rejects_hostile_names() {
+        for bad in ["", ".hidden", "a/b", "a\\b", "..", "name with space"] {
+            assert!(check_name(bad).is_err(), "{bad:?} accepted");
+        }
+        for good in ["tabular-mlp", "m0", "a.b_c-d"] {
+            assert!(check_name(good).is_ok(), "{good:?} rejected");
+        }
+    }
+}

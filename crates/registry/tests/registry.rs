@@ -1,0 +1,283 @@
+//! End-to-end registry tests: publish/list/resolve semantics, semver
+//! ordering, crash-safety of the rename commit point, on-disk corruption
+//! rejection, and concurrent publishers.
+
+use std::fs;
+use std::path::PathBuf;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use remix_ensemble::TrainedEnsemble;
+use remix_nn::{zoo, Arch, InputSpec, Model};
+use remix_registry::{EnsembleArtifact, IntegrityError, Registry, RegistryError, Version};
+use remix_tensor::Tensor;
+use remix_xai::XaiBudget;
+
+fn temp_root(case: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("remix_registry_test_{}_{case}", std::process::id()));
+    fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn spec() -> InputSpec {
+    InputSpec {
+        channels: 1,
+        size: 8,
+        num_classes: 3,
+    }
+}
+
+fn zoo_ensemble(seed: u64) -> TrainedEnsemble {
+    let mut rng = StdRng::seed_from_u64(seed);
+    TrainedEnsemble::new(vec![
+        Model::named(
+            zoo::build(Arch::ConvNet, spec(), &mut rng),
+            spec(),
+            "convnet",
+        ),
+        Model::named(
+            zoo::build(Arch::MobileNet, spec(), &mut rng),
+            spec(),
+            "mobilenet",
+        ),
+    ])
+}
+
+fn artifact(name: &str, version: &str, seed: u64) -> EnsembleArtifact {
+    let mut ensemble = zoo_ensemble(seed);
+    EnsembleArtifact::capture(
+        name,
+        version,
+        spec(),
+        &mut ensemble,
+        vec!["convnet".into(), "mobilenet".into()],
+        vec![0.6, 0.4],
+        XaiBudget::default(),
+    )
+}
+
+#[test]
+fn publish_list_resolve_with_semver_ordering() {
+    let root = temp_root("semver");
+    let registry = Registry::open(&root);
+    for version in ["1.2.0", "1.0.0", "2.0.0", "1.10.0"] {
+        registry
+            .publish(&artifact("alpha", version, 7))
+            .expect(version);
+    }
+    registry
+        .publish(&artifact("beta", "0.1.0", 8))
+        .expect("beta");
+
+    let listing = registry.list().expect("list");
+    assert_eq!(listing.len(), 2);
+    assert_eq!(listing[0].name, "alpha");
+    assert_eq!(listing[1].name, "beta");
+    let alpha_versions: Vec<String> = listing[0]
+        .versions
+        .iter()
+        .map(|v| v.version.to_string())
+        .collect();
+    // numeric semver order: 1.10.0 sorts above 1.2.0
+    assert_eq!(alpha_versions, ["1.0.0", "1.2.0", "1.10.0", "2.0.0"]);
+
+    let latest = registry.resolve("alpha", None).expect("latest");
+    assert_eq!(latest.version, Version::parse("2.0.0").unwrap());
+    let pinned = registry.resolve("alpha", Some("1.10.0")).expect("pinned");
+    assert_eq!(pinned.version, Version::parse("1.10.0").unwrap());
+    assert_eq!(pinned.models, 2);
+
+    assert!(matches!(
+        registry.resolve("alpha", Some("9.9.9")),
+        Err(RegistryError::UnknownVersion { .. })
+    ));
+    assert!(matches!(
+        registry.resolve("gamma", None),
+        Err(RegistryError::UnknownModel(_))
+    ));
+    assert!(matches!(
+        registry.resolve("alpha", Some("not-semver")),
+        Err(RegistryError::BadVersion(_))
+    ));
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn loaded_artifact_instantiates_bit_identically() {
+    let root = temp_root("roundtrip");
+    let registry = Registry::open(&root);
+    let mut original = zoo_ensemble(21);
+    let published = EnsembleArtifact::capture(
+        "demo",
+        "1.0.0",
+        spec(),
+        &mut original,
+        vec!["convnet".into(), "mobilenet".into()],
+        vec![1.0, 1.0],
+        XaiBudget::default(),
+    );
+    let info = registry.publish(&published).expect("publish");
+    assert_eq!(info.hash, registry.resolve("demo", None).unwrap().hash);
+
+    let loaded = registry.load("demo", None).expect("load");
+    assert_eq!(loaded.hash, info.hash);
+    let mut restored = loaded.artifact.instantiate().expect("zoo archs");
+    let mut rng = StdRng::seed_from_u64(99);
+    let image = Tensor::rand_uniform(&[1, 8, 8], 0.0, 1.0, &mut rng);
+    for (a, b) in original.models.iter_mut().zip(restored.models.iter_mut()) {
+        let pa = a.predict_proba(&image);
+        let pb = b.predict_proba(&image);
+        let bits_a: Vec<u32> = pa.data().iter().map(|v| v.to_bits()).collect();
+        let bits_b: Vec<u32> = pb.data().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(
+            bits_a, bits_b,
+            "restored member must predict bit-identically"
+        );
+    }
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn version_without_manifest_is_invisible() {
+    let root = temp_root("uncommitted");
+    let registry = Registry::open(&root);
+    registry
+        .publish(&artifact("alpha", "1.0.0", 3))
+        .expect("v1");
+    // Simulate a crashed publisher: artifact present, MANIFEST never renamed.
+    let torn = root.join("alpha").join("1.1.0");
+    fs::create_dir_all(&torn).unwrap();
+    fs::write(torn.join("artifact.bin"), b"partial garbage").unwrap();
+
+    let versions = registry.versions("alpha").expect("versions");
+    assert_eq!(versions.len(), 1, "uncommitted version must not be listed");
+    let latest = registry.resolve("alpha", None).expect("latest");
+    assert_eq!(latest.version, Version::parse("1.0.0").unwrap());
+    assert!(matches!(
+        registry.load("alpha", Some("1.1.0")),
+        Err(RegistryError::UnknownVersion { .. })
+    ));
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn on_disk_corruption_is_rejected_per_section() {
+    let root = temp_root("corruption");
+    let registry = Registry::open(&root);
+    let info = registry
+        .publish(&artifact("alpha", "1.0.0", 5))
+        .expect("v1");
+    let bytes = fs::read(&info.path).expect("read artifact");
+    assert!(registry.load("alpha", None).is_ok());
+
+    // One byte flipped in each section of the file: magic, header metadata,
+    // tensor payload interior, and the integrity trailer.
+    let sections = [
+        ("magic", 0usize),
+        ("header", 24),
+        ("payload", bytes.len() / 2),
+        ("trailer", bytes.len() - 3),
+    ];
+    for (section, index) in sections {
+        let mut corrupt = bytes.clone();
+        corrupt[index] ^= 0x10;
+        fs::write(&info.path, &corrupt).unwrap();
+        let err = registry.load("alpha", None).expect_err(section);
+        assert!(
+            matches!(err, RegistryError::Integrity(_)),
+            "{section}: expected integrity error, got {err}"
+        );
+    }
+
+    // Truncation and trailing garbage.
+    fs::write(&info.path, &bytes[..bytes.len() - 5]).unwrap();
+    assert!(matches!(
+        registry.load("alpha", None).expect_err("truncated"),
+        RegistryError::Integrity(IntegrityError::ShortRead { .. })
+    ));
+    let mut extended = bytes.clone();
+    extended.extend_from_slice(b"junk");
+    fs::write(&info.path, &extended).unwrap();
+    assert!(matches!(
+        registry.load("alpha", None).expect_err("trailing"),
+        RegistryError::Integrity(IntegrityError::TrailingBytes)
+    ));
+
+    // Restore the honest bytes: loads again.
+    fs::write(&info.path, &bytes).unwrap();
+    assert!(registry.load("alpha", None).is_ok());
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn manifest_artifact_disagreement_is_rejected() {
+    let root = temp_root("manifest");
+    let registry = Registry::open(&root);
+    let info = registry
+        .publish(&artifact("alpha", "1.0.0", 5))
+        .expect("v1");
+    let dir = root.join("alpha").join("1.0.0");
+    let manifest = dir.join("MANIFEST");
+    let text = fs::read_to_string(&manifest).unwrap();
+    // Park the honest artifact under the doctored content address, so the
+    // loader finds a file whose trailer disagrees with the manifest.
+    fs::copy(&info.path, dir.join("artifact-00000000deadbeef.bin")).unwrap();
+    let doctored: String = text
+        .lines()
+        .map(|line| {
+            if line.starts_with("hash=") {
+                "hash=00000000deadbeef".to_string()
+            } else {
+                line.to_string()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
+    fs::write(&manifest, doctored).unwrap();
+    assert!(matches!(
+        registry.load("alpha", None).expect_err("doctored manifest"),
+        RegistryError::Integrity(IntegrityError::HashMismatch { .. })
+    ));
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn concurrent_publishers_commit_atomically() {
+    let root = temp_root("concurrent");
+    let threads = 8;
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let root = root.clone();
+            std::thread::spawn(move || {
+                let registry = Registry::open(&root);
+                // Half the threads collide on one version, half publish
+                // distinct patch versions.
+                let version = if t % 2 == 0 {
+                    "1.0.0".to_string()
+                } else {
+                    format!("1.0.{t}")
+                };
+                registry
+                    .publish(&artifact("contended", &version, 100 + t as u64))
+                    .expect("publish under contention");
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("publisher thread");
+    }
+
+    let registry = Registry::open(&root);
+    let versions = registry.versions("contended").expect("versions");
+    assert_eq!(versions.len(), 1 + threads / 2, "one contended + distinct");
+    // Every committed version must load cleanly with a verified hash — a
+    // torn interleaving would surface as an integrity error here.
+    for entry in &versions {
+        let loaded = registry
+            .load("contended", Some(&entry.version.to_string()))
+            .expect("every committed version loads");
+        assert_eq!(loaded.hash, entry.hash);
+    }
+    fs::remove_dir_all(&root).ok();
+}

@@ -41,12 +41,41 @@ pub(crate) struct PendingRequest {
 #[derive(Clone)]
 pub(crate) struct EngineReply {
     /// The verdict fragment (see `protocol`): rendered once by the engine,
-    /// shared with the cache so replays are byte-identical.
+    /// shared with the cache so replays are byte-identical. For a raw reply
+    /// (see [`EngineReply::raw`]) this is the complete response body.
     pub fragment: Arc<str>,
     /// Whether this verdict came from the degraded majority-vote fallback.
     pub degraded: bool,
     /// Whether the unanimous fast path resolved it (no XAI run).
     pub unanimous: bool,
+    /// `Some(status)` for a non-verdict completion (e.g. a hot-swap worker's
+    /// result): the fragment is written verbatim as the body under this
+    /// status, with no envelope and no verdict-latency histogram.
+    pub raw_status: Option<u16>,
+}
+
+impl EngineReply {
+    /// A verdict reply: the fragment gets the standard envelope.
+    pub(crate) fn verdict(fragment: Arc<str>, degraded: bool, unanimous: bool) -> EngineReply {
+        EngineReply {
+            fragment,
+            degraded,
+            unanimous,
+            raw_status: None,
+        }
+    }
+
+    /// A raw reply: `body` is served verbatim under `status` (used by
+    /// off-loop workers such as the hot-swap coordinator).
+    #[cfg_attr(not(target_os = "linux"), allow(dead_code))]
+    pub(crate) fn raw(status: u16, body: String) -> EngineReply {
+        EngineReply {
+            fragment: Arc::from(body),
+            degraded: false,
+            unanimous: false,
+            raw_status: Some(status),
+        }
+    }
 }
 
 /// How a reply travels back to the waiting connection: a blocking rendezvous
@@ -318,11 +347,7 @@ mod tests {
             let slot = slot.clone();
             thread::spawn(move || slot.wait())
         };
-        slot.fulfill(EngineReply {
-            fragment: Arc::from("{}"),
-            degraded: true,
-            unanimous: false,
-        });
+        slot.fulfill(EngineReply::verdict(Arc::from("{}"), true, false));
         let reply = waiter.join().unwrap();
         assert_eq!(&*reply.fragment, "{}");
         assert!(reply.degraded);

@@ -25,6 +25,18 @@ use std::collections::hash_map::Entry;
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Mutex};
 
+/// Derives the cache key for an input under a specific model artifact.
+///
+/// Entries are keyed on `content_key ^ splitmix64(artifact_hash)`, so a
+/// hot-swap *structurally* invalidates the cache: verdicts produced by the
+/// old artifact live under keys the new generation never looks up. Nothing
+/// is flushed — swapping back to the old artifact re-hits its surviving
+/// entries. The splitmix64 finalizer keeps generations decorrelated even
+/// though artifact hashes share the FNV family with content keys.
+pub fn generation_key(content: u64, artifact_hash: u64) -> u64 {
+    content ^ remix_tensor::splitmix64(artifact_hash)
+}
+
 /// Hashes an input's content (f32 bit patterns, FNV-1a 64).
 pub fn content_key(image: &[f32]) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
@@ -227,6 +239,22 @@ mod tests {
         assert!(cache.get(content_key(&image), &image).is_none());
         assert!(cache.is_empty());
         assert!(!cache.enabled());
+    }
+
+    #[test]
+    fn generation_keys_isolate_artifacts_without_flushing() {
+        let cache = VerdictCache::new(8, 2);
+        let image = [0.5f32, 2.0];
+        let content = content_key(&image);
+        let (v1, v2) = (0xdead_beef_u64, 0xfeed_face_u64);
+        assert_ne!(generation_key(content, v1), generation_key(content, v2));
+        cache.insert(generation_key(content, v1), &image, frag("v1"));
+        // The other generation cannot see v1's verdict...
+        assert!(cache.get(generation_key(content, v2), &image).is_none());
+        cache.insert(generation_key(content, v2), &image, frag("v2"));
+        // ...and swapping back re-hits the surviving v1 entry.
+        let hit = cache.get(generation_key(content, v1), &image).unwrap();
+        assert_eq!(&*hit, "v1");
     }
 
     #[test]

@@ -55,13 +55,30 @@ impl Client {
         })
     }
 
-    /// Sends one `/predict` request and blocks for the reply.
+    /// Sends one `/predict` request (to the server's default model group)
+    /// and blocks for the reply.
     ///
     /// # Errors
     ///
     /// Returns I/O errors and malformed server replies.
     pub fn predict(
         &mut self,
+        image: &[f32],
+        deadline_ms: Option<u64>,
+        no_cache: bool,
+    ) -> io::Result<ClientReply> {
+        self.predict_model(None, image, deadline_ms, no_cache)
+    }
+
+    /// Sends one `/predict` request routed to a named model group (`None`
+    /// uses the server's default group) and blocks for the reply.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors and malformed server replies.
+    pub fn predict_model(
+        &mut self,
+        model: Option<&str>,
         image: &[f32],
         deadline_ms: Option<u64>,
         no_cache: bool,
@@ -85,8 +102,40 @@ impl Client {
         if no_cache {
             body.push_str(",\"no_cache\":true");
         }
+        if let Some(name) = model {
+            body.push_str(&format!(",\"model\":{}", json_quote(name)));
+        }
         body.push('}');
         self.roundtrip("POST", "/predict", &body)
+    }
+
+    /// Fetches `GET /models` (the served groups with versions, hashes, and
+    /// traffic counters) as a parsed JSON object.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors and malformed server replies.
+    pub fn models(&mut self) -> io::Result<Value> {
+        let reply = self.roundtrip("GET", "/models", "")?;
+        serde_json::from_str(&reply.body)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e:?}")))
+    }
+
+    /// Requests a hot-swap of the named model group to `version` (`None`
+    /// means the registry's latest) and blocks until the swap completes.
+    /// The reply body carries the swap report (`from`, `to`, `hash`,
+    /// `prepare_us`, `flip_us`) on success, or an error object.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors and malformed server replies (a rejected swap is
+    /// an `Ok` reply with a non-200 status, not an error).
+    pub fn swap(&mut self, model: &str, version: Option<&str>) -> io::Result<ClientReply> {
+        let body = match version {
+            Some(version) => format!("{{\"version\":{}}}", json_quote(version)),
+            None => "{}".to_string(),
+        };
+        self.roundtrip("POST", &format!("/models/{model}/swap"), &body)
     }
 
     /// Fetches `/stats` as a parsed JSON object.
@@ -191,6 +240,22 @@ fn read_reply(reader: &mut impl BufRead) -> io::Result<ClientReply> {
 
 fn field<'a>(pairs: &'a [(String, Value)], name: &str) -> Option<&'a Value> {
     pairs.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+}
+
+/// Minimal JSON string quoting for names/versions sent by this client.
+fn json_quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 fn read_line(reader: &mut impl BufRead) -> io::Result<String> {

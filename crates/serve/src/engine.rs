@@ -24,7 +24,7 @@
 //! bench gate asserts byte-for-byte on the wire.
 
 use crate::batcher::{BatchQueue, EngineReply, PendingRequest};
-use crate::cache::VerdictCache;
+use crate::cache::{generation_key, VerdictCache};
 use crate::protocol;
 use crate::server::ServeStats;
 use remix_core::Remix;
@@ -32,13 +32,39 @@ use remix_ensemble::{majority_with_weights, ModelOutput, TrainedEnsemble};
 use remix_tensor::Tensor;
 use remix_trace::Counter;
 use remix_xai::XaiLevel;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Smoothing factor for the engine's running ns-per-sweep-unit estimate:
 /// each measured XAI stage contributes 30 %, so the estimate tracks load
 /// shifts within a few batches without whipsawing on one outlier.
 const COST_EWMA_ALPHA: f64 = 0.3;
+
+/// A prepared replacement ensemble waiting for one engine shard to adopt it
+/// (already `prepare_ensemble`d off-path by the swap coordinator).
+pub(crate) struct PendingSwap {
+    /// The frozen replica for this shard.
+    pub ensemble: TrainedEnsemble,
+    /// Integrity hash of the artifact it came from (the cache generation).
+    pub artifact_hash: u64,
+}
+
+/// The per-shard hot-swap mailbox. The swap coordinator deposits a
+/// [`PendingSwap`] and bumps `generation`; the engine checks the counter
+/// between batches (one relaxed-ish atomic load on the hot path) and adopts
+/// the replacement *before* processing the next batch, so in-flight batches
+/// drain on the old version and everything popped after the deposit runs on
+/// the new one.
+#[derive(Default)]
+pub(crate) struct SwapSlot {
+    /// The replacement, if one is waiting. A second swap before adoption
+    /// simply replaces it — the engine only ever wants the latest.
+    pub pending: Mutex<Option<PendingSwap>>,
+    /// Bumped (Release) after each deposit; the engine compares (Acquire)
+    /// against the generation it last adopted.
+    pub generation: AtomicU64,
+}
 
 pub(crate) struct Engine {
     pub remix: Remix,
@@ -54,15 +80,44 @@ pub(crate) struct Engine {
     /// content stays deterministic; only which requests get downgraded under
     /// pressure depends on it.
     pub ns_per_unit: f64,
+    /// This shard's hot-swap mailbox (shared with the coordinator).
+    pub swap: Arc<SwapSlot>,
+    /// Artifact hash of the ensemble currently held; keys cache inserts so
+    /// a verdict is only ever findable under the generation that produced
+    /// it (`0` for a locally-constructed, non-registry ensemble).
+    pub artifact_hash: u64,
+    /// The swap generation last adopted.
+    pub seen_generation: u64,
 }
 
 impl Engine {
     /// Runs until the queue closes and drains.
     pub(crate) fn run(mut self, queue: Arc<BatchQueue>) {
         while let Some(batch) = queue.next_batch() {
+            self.adopt_pending_swap();
             if !batch.is_empty() {
                 self.process(batch);
             }
+        }
+    }
+
+    /// Adopts a deposited hot-swap, if any. Called between batches, so the
+    /// flip is invisible to any batch already being processed.
+    fn adopt_pending_swap(&mut self) {
+        let generation = self.swap.generation.load(Ordering::Acquire);
+        if generation == self.seen_generation {
+            return;
+        }
+        self.seen_generation = generation;
+        let pending = self
+            .swap
+            .pending
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take();
+        if let Some(swap) = pending {
+            self.ensemble = swap.ensemble;
+            self.artifact_hash = swap.artifact_hash;
         }
     }
 
@@ -305,13 +360,18 @@ impl Engine {
     ) {
         let fragment: Arc<str> = Arc::from(fragment);
         if cacheable && !degraded && !request.no_cache {
-            self.cache
-                .insert(request.key, request.image.data(), Arc::clone(&fragment));
+            // Key the insert under *this engine's* artifact hash — not the
+            // group's currently-published one — so a verdict prepared under
+            // version A but finishing after a flip to B can never surface
+            // on B's lookups.
+            self.cache.insert(
+                generation_key(request.key, self.artifact_hash),
+                request.image.data(),
+                Arc::clone(&fragment),
+            );
         }
-        request.reply.respond(EngineReply {
-            fragment,
-            degraded,
-            unanimous,
-        });
+        request
+            .reply
+            .respond(EngineReply::verdict(fragment, degraded, unanimous));
     }
 }

@@ -25,6 +25,17 @@
 //!   counters, queue-depth and batch-occupancy histograms, and per-verdict
 //!   latency histograms, all inert unless tracing is enabled; `/stats`
 //!   serves always-on counters.
+//! * **Model registry & hot-swap** (DESIGN.md §6j) — the server can host
+//!   multiple *named* model groups concurrently
+//!   ([`Server::start_models`]); `/predict` routes by its optional `model`
+//!   field, `GET /models` lists the groups, and with a
+//!   [`remix_registry::Registry`] attached, `POST /models/<name>/swap`
+//!   replaces a group's ensemble with any published version without
+//!   dropping a request: replicas are loaded and frozen off-path, then
+//!   adopted per-shard between batches. Verdict-cache entries are keyed on
+//!   the artifact's integrity hash ([`cache::generation_key`]), so a swap
+//!   makes stale verdicts structurally unreachable instead of flushing
+//!   them.
 //!
 //! # Quickstart
 //!
@@ -56,7 +67,7 @@ mod server;
 #[cfg(target_os = "linux")]
 mod sys;
 
-pub use cache::{content_key, VerdictCache};
+pub use cache::{content_key, generation_key, VerdictCache};
 pub use client::{Client, ClientReply};
 pub use protocol::{degraded_fragment, verdict_fragment, PredictRequest};
-pub use server::{ServeConfig, Server, StatsSnapshot};
+pub use server::{NamedModel, ServeConfig, Server, StatsSnapshot};

@@ -28,6 +28,9 @@ pub struct PredictRequest {
     pub deadline_ms: Option<u64>,
     /// Skip the verdict cache for this request (both lookup and insert).
     pub no_cache: bool,
+    /// Named model group to route to; `None` uses the server's first
+    /// (default) group.
+    pub model: Option<String>,
 }
 
 /// Parses a `/predict` body.
@@ -64,11 +67,40 @@ pub fn parse_predict(body: &[u8]) -> Result<PredictRequest, String> {
         Some(Value::Bool(b)) => *b,
         Some(_) => return Err("`no_cache` must be a boolean".to_string()),
     };
+    let model = match field(pairs, "model") {
+        None | Some(Value::Null) => None,
+        Some(Value::Str(name)) => Some(name.clone()),
+        Some(_) => return Err("`model` must be a string".to_string()),
+    };
     Ok(PredictRequest {
         image,
         deadline_ms,
         no_cache,
+        model,
     })
+}
+
+/// Parses a `POST /models/<name>/swap` body: an optional `version` string
+/// (absent, `null`, or an empty body all mean "latest").
+///
+/// # Errors
+///
+/// Returns a human-readable message for malformed JSON or a non-string
+/// `version`.
+pub fn parse_swap(body: &[u8]) -> Result<Option<String>, String> {
+    if body.iter().all(|b| b.is_ascii_whitespace()) {
+        return Ok(None);
+    }
+    let text = std::str::from_utf8(body).map_err(|_| "body is not utf-8".to_string())?;
+    let value: Value = serde_json::from_str(text).map_err(|e| format!("invalid json: {e:?}"))?;
+    let pairs = value
+        .as_object()
+        .ok_or_else(|| "body must be a json object".to_string())?;
+    match field(pairs, "version") {
+        None | Some(Value::Null) => Ok(None),
+        Some(Value::Str(version)) => Ok(Some(version.clone())),
+        Some(_) => Err("`version` must be a string".to_string()),
+    }
 }
 
 /// Renders the full ReMIX verdict fragment (non-degraded path).
@@ -145,7 +177,7 @@ fn fmt_f32(f: f32) -> String {
     }
 }
 
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -193,6 +225,23 @@ mod tests {
         let req = parse_predict(br#"{"image":[0],"deadline_ms":0,"no_cache":true}"#).unwrap();
         assert_eq!(req.deadline_ms, Some(0));
         assert!(req.no_cache);
+        assert_eq!(req.model, None);
+        let req = parse_predict(br#"{"image":[0],"model":"tabular"}"#).unwrap();
+        assert_eq!(req.model.as_deref(), Some("tabular"));
+    }
+
+    #[test]
+    fn parses_swap_bodies() {
+        assert_eq!(parse_swap(b"").unwrap(), None);
+        assert_eq!(parse_swap(b"  \r\n").unwrap(), None);
+        assert_eq!(parse_swap(b"{}").unwrap(), None);
+        assert_eq!(parse_swap(br#"{"version":null}"#).unwrap(), None);
+        assert_eq!(
+            parse_swap(br#"{"version":"2.0.0"}"#).unwrap().as_deref(),
+            Some("2.0.0")
+        );
+        assert!(parse_swap(b"not json").is_err());
+        assert!(parse_swap(br#"{"version":7}"#).is_err());
     }
 
     #[test]
@@ -202,6 +251,7 @@ mod tests {
         assert!(parse_predict(br#"{"image":["a"]}"#).is_err());
         assert!(parse_predict(br#"{"image":[1],"deadline_ms":-3}"#).is_err());
         assert!(parse_predict(br#"{"image":[1],"no_cache":1}"#).is_err());
+        assert!(parse_predict(br#"{"image":[1],"model":7}"#).is_err());
     }
 
     #[test]

@@ -32,7 +32,7 @@
 use crate::batcher::{EngineReply, Responder};
 use crate::http::{error_status, render_response, try_parse_request};
 use crate::protocol;
-use crate::server::{enqueue, route, verdict_kind, Routed, Shared};
+use crate::server::{enqueue, perform_swap, route, verdict_kind, Routed, Shared};
 use crate::sys::{Epoll, EpollEvent, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -291,10 +291,18 @@ impl Reactor {
             self.release(index);
             return;
         }
-        let latency = started.elapsed();
-        remix_trace::record_duration(verdict_kind(&reply), latency);
-        let body = protocol::envelope(&reply.fragment, false, latency.as_micros() as u64);
-        let response = render_response(200, &body, conn.close_after_write);
+        let response = match reply.raw_status {
+            // A raw completion (hot-swap worker): the fragment already is
+            // the body, and it's not a verdict, so no envelope and no
+            // verdict-latency histogram.
+            Some(status) => render_response(status, &reply.fragment, conn.close_after_write),
+            None => {
+                let latency = started.elapsed();
+                remix_trace::record_duration(verdict_kind(&reply), latency);
+                let body = protocol::envelope(&reply.fragment, false, latency.as_micros() as u64);
+                render_response(200, &body, conn.close_after_write)
+            }
+        };
         conn.write_buf.extend_from_slice(&response);
         self.advance(index);
     }
@@ -413,6 +421,32 @@ impl Reactor {
                                 Err((status, body)) => {
                                     let response =
                                         render_response(status, &body, conn.close_after_write);
+                                    conn.write_buf.extend_from_slice(&response);
+                                }
+                            }
+                        }
+                        Routed::Swap(prepared) => {
+                            // A swap loads + freezes an ensemble — far too
+                            // slow for the readiness loop. Park the
+                            // connection and run it on a short-lived worker
+                            // that answers through the completion queue.
+                            let token = token_for(index, *generation);
+                            let shared = Arc::clone(&self.shared);
+                            let completions = Arc::clone(&self.completions);
+                            let worker = std::thread::Builder::new()
+                                .name("remix-serve-swap".into())
+                                .spawn(move || {
+                                    let (status, body) = perform_swap(&shared, &prepared);
+                                    completions.push(token, EngineReply::raw(status, body));
+                                });
+                            match worker {
+                                Ok(_) => conn.awaiting = Some(Instant::now()),
+                                Err(_) => {
+                                    let response = render_response(
+                                        500,
+                                        &protocol::error_body("could not spawn swap worker"),
+                                        conn.close_after_write,
+                                    );
                                     conn.write_buf.extend_from_slice(&response);
                                 }
                             }

@@ -1,15 +1,29 @@
-//! The serving tier: configuration, the sharded engine backend, stats
-//! aggregation, and the portable blocking front door.
+//! The serving tier: configuration, the sharded engine backend, the model
+//! registry wiring, stats aggregation, and the portable blocking front door.
 //!
-//! The backend is **sharded**: N engine workers (default = available
-//! parallelism), each owning a [`TrainedEnsemble`] replica, its own bounded
-//! [`BatchQueue`], its own slice of the verdict cache, and its own
-//! [`ServeStats`] atomics. A request is routed to the shard chosen by its
-//! cache-key hash ([`Shared::shard_of`]), so every cache slice is touched by
-//! exactly one engine thread plus the front door — no cross-shard cache or
-//! queue contention — and identical inputs always land on the same shard
-//! (the shed test and the cache both rely on that). `/stats` sums the
-//! per-shard atomics into one [`StatsSnapshot`] at read time.
+//! The server hosts one or more **named model groups** (see [`NamedModel`]),
+//! each a full sharded backend: N engine workers per group (default =
+//! available parallelism), each owning a [`TrainedEnsemble`] replica, its
+//! own bounded [`BatchQueue`], its own slice of the verdict cache, and its
+//! own [`ServeStats`] atomics. A `/predict` carries an optional `model`
+//! field that routes it to the matching group (the first group is the
+//! default); within a group, requests route to the shard chosen by content
+//! hash ([`ModelGroup::shard_of`]), so every cache slice is touched by
+//! exactly one engine thread plus the front door, and identical inputs
+//! always land on the same shard. `/stats` sums the per-shard atomics
+//! across every group into one [`StatsSnapshot`] at read time.
+//!
+//! **Hot-swap** (`POST /models/<name>/swap`, registry-backed servers only):
+//! the coordinator loads and integrity-checks the requested version, applies
+//! it to the group's structural template, freezes one replica per shard
+//! off-path, then deposits the replicas into the per-shard [`SwapSlot`]s and
+//! flips the group's published artifact hash — the only on-path cost is one
+//! atomic generation check per batch. In-flight batches drain on the old
+//! version; anything popped after the deposit runs on the new one. Verdict
+//! cache entries are keyed on `content ⊕ mix(artifact hash)`
+//! ([`crate::cache::generation_key`]), so stale verdicts are structurally
+//! unreachable after a swap rather than flushed — swapping back re-hits the
+//! old generation's surviving entries.
 //!
 //! The front door is a nonblocking epoll readiness loop on Linux (see
 //! [`crate::reactor`]); keep-alive connections cost a slab entry, not a
@@ -18,19 +32,20 @@
 //! the two front doors cannot drift apart behaviorally.
 
 use crate::batcher::{BatchQueue, EngineReply, PendingRequest, PushError, ReplySlot, Responder};
-use crate::cache::{content_key, VerdictCache};
-use crate::engine::Engine;
+use crate::cache::{content_key, generation_key, VerdictCache};
+use crate::engine::{Engine, PendingSwap, SwapSlot};
 use crate::http::{error_status, read_request, write_response, HttpRequest};
 use crate::protocol;
 use remix_core::Remix;
 use remix_ensemble::TrainedEnsemble;
+use remix_registry::{Registry, RegistryError};
 use remix_tensor::Tensor;
 use remix_trace::Counter;
 use remix_xai::XaiLevel;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
@@ -55,13 +70,14 @@ pub struct ServeConfig {
     /// Default per-request deadline when the request doesn't carry
     /// `deadline_ms`. After it, a disagreement degrades to majority vote.
     pub default_deadline: Duration,
-    /// Verdict-cache capacity in entries, split across the engine shards
-    /// (`0` disables the cache).
+    /// Verdict-cache capacity in entries *per model group*, split across
+    /// that group's engine shards (`0` disables the cache).
     pub cache_capacity: usize,
     /// Internal shard count of each engine shard's verdict-cache slice.
     pub cache_shards: usize,
-    /// Engine shards — workers that each own an ensemble replica, a queue,
-    /// and a cache slice. `0` uses [`thread::available_parallelism`].
+    /// Engine shards *per model group* — workers that each own an ensemble
+    /// replica, a queue, and a cache slice. `0` uses
+    /// [`thread::available_parallelism`].
     pub shards: usize,
     /// Per-batch wall-clock allowance for the XAI stage. When nonzero and a
     /// triage scheduler is attached to the served [`Remix`], a batch whose
@@ -86,6 +102,22 @@ impl Default for ServeConfig {
             latency_budget: Duration::ZERO,
         }
     }
+}
+
+/// A named, versioned ensemble to serve — the unit [`Server::start_models`]
+/// hosts. Usually produced by loading a registry artifact; a hand-built
+/// ensemble can use version `"local"` and hash `0`.
+pub struct NamedModel {
+    /// Routing name (the `model` field of `/predict`, the path segment of
+    /// `/models/<name>/swap`).
+    pub name: String,
+    /// Human-readable version string (semver for registry artifacts).
+    pub version: String,
+    /// Artifact integrity hash (the verdict-cache generation; `0` for
+    /// local ensembles).
+    pub hash: u64,
+    /// The trained ensemble itself.
+    pub ensemble: TrainedEnsemble,
 }
 
 /// Always-on request accounting for one engine shard (independent of
@@ -153,9 +185,10 @@ impl ServeStats {
 }
 
 /// One point-in-time view of the server's counters, summed across every
-/// engine shard (the per-shard atomics are read with relaxed ordering, so
-/// the snapshot is a sum of individually-consistent counters, not a global
-/// atomic cut — fine for monitoring, which is all `/stats` is for).
+/// engine shard of every model group (the per-shard atomics are read with
+/// relaxed ordering, so the snapshot is a sum of individually-consistent
+/// counters, not a global atomic cut — fine for monitoring, which is all
+/// `/stats` is for).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StatsSnapshot {
     /// Accepted `/predict` requests (shed requests included).
@@ -184,7 +217,7 @@ pub struct StatsSnapshot {
     pub downgraded: u64,
     /// Verdicts currently held across all cache slices.
     pub cached_verdicts: u64,
-    /// Number of engine shards serving.
+    /// Number of engine shards serving (all groups).
     pub shards: u64,
 }
 
@@ -216,64 +249,134 @@ pub(crate) struct Shard {
     pub queue: Arc<BatchQueue>,
     pub cache: Arc<VerdictCache>,
     pub stats: Arc<ServeStats>,
+    /// Hot-swap mailbox shared with this shard's engine.
+    pub swap: Arc<SwapSlot>,
 }
 
-/// State both front doors and all connection handlers share.
-pub(crate) struct Shared {
+/// Mutable bookkeeping for one model group, updated under a lock by the
+/// swap coordinator and read by `/models`.
+pub(crate) struct GroupMeta {
+    pub version: String,
+    pub swaps: u64,
+}
+
+/// One named model's complete sharded backend.
+pub(crate) struct ModelGroup {
+    pub name: String,
     pub shards: Vec<Shard>,
-    pub stopping: AtomicBool,
-    default_deadline: Duration,
-    input_len: usize,
-    input_shape: [usize; 3],
+    pub input_len: usize,
+    pub input_shape: [usize; 3],
+    /// The published artifact hash — the verdict-cache generation the front
+    /// door looks up under. Flipped (Release) as the last step of a swap.
+    pub active_hash: AtomicU64,
+    pub meta: Mutex<GroupMeta>,
+    /// Unfrozen structural template the swap coordinator applies artifacts
+    /// to; holding its lock serializes swaps on this group.
+    pub template: Mutex<TrainedEnsemble>,
 }
 
-impl Shared {
-    /// The shard a cache key routes to. The multiplier (the 64-bit golden
+impl ModelGroup {
+    /// The shard a content key routes to. The multiplier (the 64-bit golden
     /// ratio) mixes the key before the modulus so the pick is decorrelated
     /// from [`VerdictCache`]'s *internal* shard choice (which uses the high
     /// key bits directly) — otherwise every engine shard would hit only a
-    /// fraction of its own cache slices.
+    /// fraction of its own cache slices. Routing uses the pure content key,
+    /// not the generation key: an input stays on its shard across swaps.
     pub(crate) fn shard_of(&self, key: u64) -> usize {
         ((key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33) % self.shards.len() as u64) as usize
     }
 
-    fn snapshot(&self) -> StatsSnapshot {
-        let mut sum = StatsSnapshot {
-            shards: self.shards.len() as u64,
-            ..StatsSnapshot::default()
-        };
-        for shard in &self.shards {
-            sum.requests += shard.stats.requests.load(Ordering::Relaxed);
-            sum.cache_hits += shard.stats.cache_hits.load(Ordering::Relaxed);
-            sum.cache_misses += shard.stats.cache_misses.load(Ordering::Relaxed);
-            sum.shed += shard.stats.shed.load(Ordering::Relaxed);
-            sum.degraded += shard.stats.degraded.load(Ordering::Relaxed);
-            sum.batches += shard.stats.batches.load(Ordering::Relaxed);
-            sum.batched_requests += shard.stats.batched_requests.load(Ordering::Relaxed);
-            sum.xai_skip += shard.stats.xai_skip.load(Ordering::Relaxed);
-            sum.xai_light += shard.stats.xai_light.load(Ordering::Relaxed);
-            sum.xai_standard += shard.stats.xai_standard.load(Ordering::Relaxed);
-            sum.xai_full += shard.stats.xai_full.load(Ordering::Relaxed);
-            sum.downgraded += shard.stats.downgraded.load(Ordering::Relaxed);
-            sum.cached_verdicts += shard.cache.len() as u64;
-        }
-        sum
+    fn requests(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.stats.requests.load(Ordering::Relaxed))
+            .sum()
     }
 }
 
-/// Where [`route`] sent a request: answered on the spot, or prepared for an
+/// State both front doors and all connection handlers share.
+pub(crate) struct Shared {
+    pub groups: Vec<ModelGroup>,
+    pub stopping: AtomicBool,
+    /// The artifact store behind `/models/<name>/swap`; `None` for servers
+    /// started from a local ensemble (swaps answer 409).
+    pub registry: Option<Registry>,
+    /// The pipeline configuration, needed to freeze swap replicas exactly
+    /// like the startup path does.
+    pub remix: Remix,
+    default_deadline: Duration,
+}
+
+impl Shared {
+    fn group_index(&self, name: Option<&str>) -> Option<usize> {
+        match name {
+            None => Some(0),
+            Some(name) => self.groups.iter().position(|g| g.name == name),
+        }
+    }
+
+    fn snapshot(&self) -> StatsSnapshot {
+        let mut sum = StatsSnapshot::default();
+        for group in &self.groups {
+            sum.shards += group.shards.len() as u64;
+            for shard in &group.shards {
+                sum.requests += shard.stats.requests.load(Ordering::Relaxed);
+                sum.cache_hits += shard.stats.cache_hits.load(Ordering::Relaxed);
+                sum.cache_misses += shard.stats.cache_misses.load(Ordering::Relaxed);
+                sum.shed += shard.stats.shed.load(Ordering::Relaxed);
+                sum.degraded += shard.stats.degraded.load(Ordering::Relaxed);
+                sum.batches += shard.stats.batches.load(Ordering::Relaxed);
+                sum.batched_requests += shard.stats.batched_requests.load(Ordering::Relaxed);
+                sum.xai_skip += shard.stats.xai_skip.load(Ordering::Relaxed);
+                sum.xai_light += shard.stats.xai_light.load(Ordering::Relaxed);
+                sum.xai_standard += shard.stats.xai_standard.load(Ordering::Relaxed);
+                sum.xai_full += shard.stats.xai_full.load(Ordering::Relaxed);
+                sum.downgraded += shard.stats.downgraded.load(Ordering::Relaxed);
+                sum.cached_verdicts += shard.cache.len() as u64;
+            }
+        }
+        sum
+    }
+
+    fn models_body(&self) -> String {
+        let mut out = String::from("{\"models\":[");
+        for (i, group) in self.groups.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let meta = group.meta.lock().unwrap_or_else(|e| e.into_inner());
+            out.push_str(&format!(
+                "{{\"name\":{},\"version\":{},\"hash\":\"{:016x}\",\"requests\":{},\"swaps\":{},\"shards\":{}}}",
+                protocol::json_string(&group.name),
+                protocol::json_string(&meta.version),
+                group.active_hash.load(Ordering::Acquire),
+                group.requests(),
+                meta.swaps,
+                group.shards.len(),
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Where [`route`] sent a request: answered on the spot, prepared for an
 /// engine shard (the caller picks how to wait — blocking slot or reactor
-/// completion).
+/// completion), or a hot-swap to run off the connection path.
 pub(crate) enum Routed {
     /// Status + body, ready to write.
     Immediate(u16, String),
     /// A `/predict` that missed the cache; push via [`enqueue`].
     Predict(PreparedPredict),
+    /// A validated `/models/<name>/swap`; run [`perform_swap`] off the
+    /// reactor thread (the blocking front door runs it inline).
+    Swap(PreparedSwap),
 }
 
 /// A validated `/predict` bound for a shard queue.
 pub(crate) struct PreparedPredict {
     pub started: Instant,
+    group: usize,
     shard: usize,
     image: Tensor,
     key: u64,
@@ -281,19 +384,59 @@ pub(crate) struct PreparedPredict {
     no_cache: bool,
 }
 
-/// Routes one parsed request. `/predict` runs validation, shard selection,
-/// and the cache lookup here (counted on the owning shard's stats); cache
-/// misses come back as [`Routed::Predict`] for the front door to enqueue.
+/// A validated hot-swap request.
+pub(crate) struct PreparedSwap {
+    /// Index of the target group in `shared.groups`.
+    pub group: usize,
+    /// Requested version; `None` resolves to the registry's latest.
+    pub version: Option<String>,
+}
+
+/// Routes one parsed request. `/predict` runs validation, group/shard
+/// selection, and the cache lookup here (counted on the owning shard's
+/// stats); cache misses come back as [`Routed::Predict`] for the front door
+/// to enqueue, swaps as [`Routed::Swap`].
 pub(crate) fn route(request: &HttpRequest, shared: &Shared) -> Routed {
+    if let Some(name) = request
+        .path
+        .strip_prefix("/models/")
+        .and_then(|rest| rest.strip_suffix("/swap"))
+    {
+        if request.method != "POST" {
+            return Routed::Immediate(405, protocol::error_body("method not allowed"));
+        }
+        return prepare_swap(name, &request.body, shared);
+    }
     match (request.method.as_str(), request.path.as_str()) {
         ("POST", "/predict") => prepare_predict(&request.body, shared),
         ("GET", "/healthz") => Routed::Immediate(200, "{\"status\":\"ok\"}".to_string()),
         ("GET", "/stats") => Routed::Immediate(200, shared.snapshot().body()),
-        (_, "/predict" | "/healthz" | "/stats") => {
+        ("GET", "/models") => Routed::Immediate(200, shared.models_body()),
+        (_, "/predict" | "/healthz" | "/stats" | "/models") => {
             Routed::Immediate(405, protocol::error_body("method not allowed"))
         }
         _ => Routed::Immediate(404, protocol::error_body("no such endpoint")),
     }
+}
+
+fn prepare_swap(name: &str, body: &[u8], shared: &Shared) -> Routed {
+    let version = match protocol::parse_swap(body) {
+        Ok(version) => version,
+        Err(message) => return Routed::Immediate(400, protocol::error_body(&message)),
+    };
+    let Some(group) = shared.group_index(Some(name)) else {
+        return Routed::Immediate(
+            404,
+            protocol::error_body(&format!("no model named `{name}` is being served")),
+        );
+    };
+    if shared.registry.is_none() {
+        return Routed::Immediate(
+            409,
+            protocol::error_body("server was started without a registry; hot-swap is unavailable"),
+        );
+    }
+    Routed::Swap(PreparedSwap { group, version })
 }
 
 fn prepare_predict(body: &[u8], shared: &Shared) -> Routed {
@@ -302,24 +445,38 @@ fn prepare_predict(body: &[u8], shared: &Shared) -> Routed {
         Ok(request) => request,
         Err(message) => return Routed::Immediate(400, protocol::error_body(&message)),
     };
-    if request.image.len() != shared.input_len {
+    let Some(group_index) = shared.group_index(request.model.as_deref()) else {
+        return Routed::Immediate(
+            404,
+            protocol::error_body(&format!(
+                "no model named `{}` is being served",
+                request.model.as_deref().unwrap_or("")
+            )),
+        );
+    };
+    let group = &shared.groups[group_index];
+    if request.image.len() != group.input_len {
         return Routed::Immediate(
             400,
             protocol::error_body(&format!(
                 "`image` must have {} values for shape {:?}, got {}",
-                shared.input_len,
-                shared.input_shape,
+                group.input_len,
+                group.input_shape,
                 request.image.len()
             )),
         );
     }
     let key = content_key(&request.image);
-    let shard_index = shared.shard_of(key);
-    let shard = &shared.shards[shard_index];
+    let shard_index = group.shard_of(key);
+    let shard = &group.shards[shard_index];
     shard.stats.requests.fetch_add(1, Ordering::Relaxed);
     remix_trace::incr(Counter::ServeRequests);
     if shard.cache.enabled() && !request.no_cache {
-        if let Some(fragment) = shard.cache.get(key, &request.image) {
+        // Look up under the group's *published* generation: entries written
+        // by a not-yet-swapped-out engine stay invisible the instant the
+        // hash flips.
+        let lookup = generation_key(key, group.active_hash.load(Ordering::Acquire));
+        if let Some(fragment) = shard.cache.get(lookup, &request.image) {
             shard.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
             remix_trace::incr(Counter::ServeCacheHits);
             let latency = started.elapsed();
@@ -336,10 +493,11 @@ fn prepare_predict(body: &[u8], shared: &Shared) -> Routed {
         + request
             .deadline_ms
             .map_or(shared.default_deadline, Duration::from_millis);
-    let image = Tensor::from_vec(request.image, &shared.input_shape)
+    let image = Tensor::from_vec(request.image, &group.input_shape)
         .expect("length validated against the input shape");
     Routed::Predict(PreparedPredict {
         started,
+        group: group_index,
         shard: shard_index,
         image,
         key,
@@ -355,7 +513,7 @@ pub(crate) fn enqueue(
     prepared: PreparedPredict,
     reply: Responder,
 ) -> Result<(), (u16, String)> {
-    let shard = &shared.shards[prepared.shard];
+    let shard = &shared.groups[prepared.group].shards[prepared.shard];
     let pending = PendingRequest {
         image: prepared.image,
         key: prepared.key,
@@ -374,6 +532,103 @@ pub(crate) fn enqueue(
         }
         Err(PushError::Closed) => Err((503, protocol::error_body("server is shutting down"))),
     }
+}
+
+/// Executes a validated hot-swap: loads and integrity-verifies the artifact,
+/// applies it to the group's template, freezes one replica per shard
+/// off-path, then deposits the replicas and flips the published hash. Runs
+/// on a worker thread (reactor front door) or the connection thread
+/// (blocking front door) — never on the reactor loop, because artifact load
+/// + freeze can take tens of milliseconds.
+///
+/// Holding the group's template lock across the whole operation serializes
+/// concurrent swaps of the same group.
+pub(crate) fn perform_swap(shared: &Shared, swap: &PreparedSwap) -> (u16, String) {
+    let Some(registry) = shared.registry.as_ref() else {
+        return (
+            409,
+            protocol::error_body("server was started without a registry; hot-swap is unavailable"),
+        );
+    };
+    let group = &shared.groups[swap.group];
+    let loaded = match registry.load(&group.name, swap.version.as_deref()) {
+        Ok(loaded) => loaded,
+        Err(e @ (RegistryError::UnknownModel(_) | RegistryError::UnknownVersion { .. })) => {
+            return (404, protocol::error_body(&e.to_string()));
+        }
+        Err(e @ (RegistryError::BadVersion(_) | RegistryError::BadName(_))) => {
+            return (400, protocol::error_body(&e.to_string()));
+        }
+        Err(e) => return (409, protocol::error_body(&e.to_string())),
+    };
+    let spec = loaded.artifact.spec;
+    if [spec.channels, spec.size, spec.size] != group.input_shape {
+        return (
+            409,
+            protocol::error_body(&format!(
+                "artifact input shape [{}, {}, {}] does not match the served shape {:?}",
+                spec.channels, spec.size, spec.size, group.input_shape
+            )),
+        );
+    }
+    let mut template = group.template.lock().unwrap_or_else(|e| e.into_inner());
+
+    // Off-path preparation: apply the artifact's weights to a copy of the
+    // structural template, then freeze one replica per shard — all before
+    // any engine sees anything.
+    let prepare_started = Instant::now();
+    let mut applied = template.clone();
+    if let Err(e) = loaded.artifact.apply_to(&mut applied) {
+        return (
+            409,
+            protocol::error_body(&format!(
+                "artifact is incompatible with the served ensemble: {e}"
+            )),
+        );
+    }
+    let replicas: Vec<TrainedEnsemble> = group
+        .shards
+        .iter()
+        .map(|_| {
+            let mut replica = applied.clone();
+            shared.remix.prepare_ensemble(&mut replica);
+            replica
+        })
+        .collect();
+    let prepare_us = prepare_started.elapsed().as_micros() as u64;
+
+    // The flip: deposit every shard's replica and publish the new hash.
+    // This window is the only stall a swap imposes on the serving path, and
+    // it is a handful of mutex deposits plus atomic stores.
+    let flip_started = Instant::now();
+    for (shard, replica) in group.shards.iter().zip(replicas) {
+        *shard.swap.pending.lock().unwrap_or_else(|e| e.into_inner()) = Some(PendingSwap {
+            ensemble: replica,
+            artifact_hash: loaded.hash,
+        });
+        shard.swap.generation.fetch_add(1, Ordering::Release);
+    }
+    group.active_hash.store(loaded.hash, Ordering::Release);
+    let flip_us = flip_started.elapsed().as_micros() as u64;
+
+    let to_version = loaded.version.to_string();
+    let from_version = {
+        let mut meta = group.meta.lock().unwrap_or_else(|e| e.into_inner());
+        meta.swaps += 1;
+        std::mem::replace(&mut meta.version, to_version.clone())
+    };
+    *template = applied;
+    drop(template);
+    (
+        200,
+        format!(
+            "{{\"model\":{},\"from\":{},\"to\":{},\"hash\":\"{:016x}\",\"prepare_us\":{prepare_us},\"flip_us\":{flip_us}}}",
+            protocol::json_string(&group.name),
+            protocol::json_string(&from_version),
+            protocol::json_string(&to_version),
+            loaded.hash,
+        ),
+    )
 }
 
 /// The latency-histogram name for a completed verdict.
@@ -399,11 +654,10 @@ pub struct Server {
 }
 
 impl Server {
-    /// Starts serving `ensemble` under `remix`'s configuration.
-    ///
-    /// The ensemble's input spec defines the accepted `image` length; each
-    /// engine shard gets its own replica of the models (the original is
-    /// consumed by the last shard).
+    /// Starts serving a single locally-constructed `ensemble` under
+    /// `remix`'s configuration, as the default group `"default"` (version
+    /// `"local"`, hash `0`) with no registry — `/models/<name>/swap`
+    /// answers 409.
     ///
     /// # Errors
     ///
@@ -418,11 +672,58 @@ impl Server {
         remix: Remix,
         config: ServeConfig,
     ) -> io::Result<Server> {
-        assert!(
-            !ensemble.models.is_empty(),
-            "cannot serve an empty ensemble"
-        );
-        let spec = ensemble.models[0].spec();
+        Server::start_models(
+            vec![NamedModel {
+                name: "default".to_string(),
+                version: "local".to_string(),
+                hash: 0,
+                ensemble,
+            }],
+            None,
+            remix,
+            config,
+        )
+    }
+
+    /// Starts serving one or more named models concurrently, each with its
+    /// own sharded backend. With a `registry` attached,
+    /// `POST /models/<name>/swap` hot-swaps a group to any published
+    /// version of its name.
+    ///
+    /// Each model's input spec defines its accepted `image` length; the
+    /// first model is the default route for requests without a `model`
+    /// field.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error if `config.addr` can't be bound, or resource
+    /// errors from spawning the worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `models` is empty, any ensemble is empty, or two models
+    /// share a name.
+    pub fn start_models(
+        models: Vec<NamedModel>,
+        registry: Option<Registry>,
+        remix: Remix,
+        config: ServeConfig,
+    ) -> io::Result<Server> {
+        assert!(!models.is_empty(), "cannot serve zero models");
+        for model in &models {
+            assert!(
+                !model.ensemble.models.is_empty(),
+                "cannot serve an empty ensemble (model `{}`)",
+                model.name
+            );
+        }
+        for (i, model) in models.iter().enumerate() {
+            assert!(
+                models[..i].iter().all(|m| m.name != model.name),
+                "duplicate model name `{}`",
+                model.name
+            );
+        }
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let max_batch = if config.max_batch == 0 {
@@ -435,54 +736,76 @@ impl Server {
         } else {
             config.shards
         };
-        // Split the cache budget across shards (rounding up, so a tiny
-        // budget still caches something everywhere; 0 stays disabled).
+        // Split each group's cache budget across its shards (rounding up, so
+        // a tiny budget still caches something everywhere; 0 stays disabled).
         let cache_per_shard = if config.cache_capacity == 0 {
             0
         } else {
             config.cache_capacity.div_ceil(nshards)
         };
-        let mut shards = Vec::with_capacity(nshards);
-        let mut engine_threads = Vec::with_capacity(nshards);
-        for index in 0..nshards {
-            let queue = Arc::new(BatchQueue::new(
-                config.queue_capacity,
-                max_batch,
-                config.batch_window,
-            ));
-            let cache = Arc::new(VerdictCache::new(cache_per_shard, config.cache_shards));
-            let stats = Arc::new(ServeStats::default());
-            // Each shard owns a frozen replica: the weights are prepacked once
-            // at startup and every request on this shard reuses the packs
-            // (verdicts stay bit-identical to the unfrozen ensemble).
-            let mut replica = ensemble.clone();
-            remix.prepare_ensemble(&mut replica);
-            let engine = Engine {
-                remix: remix.clone(),
-                ensemble: replica,
-                cache: Arc::clone(&cache),
-                stats: Arc::clone(&stats),
-                latency_budget: config.latency_budget,
-                ns_per_unit: 0.0,
-            };
-            let engine_queue = Arc::clone(&queue);
-            engine_threads.push(
-                thread::Builder::new()
-                    .name(format!("remix-serve-engine-{index}"))
-                    .spawn(move || engine.run(engine_queue))?,
-            );
-            shards.push(Shard {
-                queue,
-                cache,
-                stats,
+        let mut groups = Vec::with_capacity(models.len());
+        let mut engine_threads = Vec::with_capacity(models.len() * nshards);
+        for model in models {
+            let spec = model.ensemble.models[0].spec();
+            let mut shards = Vec::with_capacity(nshards);
+            for index in 0..nshards {
+                let queue = Arc::new(BatchQueue::new(
+                    config.queue_capacity,
+                    max_batch,
+                    config.batch_window,
+                ));
+                let cache = Arc::new(VerdictCache::new(cache_per_shard, config.cache_shards));
+                let stats = Arc::new(ServeStats::default());
+                let swap = Arc::new(SwapSlot::default());
+                // Each shard owns a frozen replica: the weights are prepacked
+                // once at startup and every request on this shard reuses the
+                // packs (verdicts stay bit-identical to the unfrozen
+                // ensemble).
+                let mut replica = model.ensemble.clone();
+                remix.prepare_ensemble(&mut replica);
+                let engine = Engine {
+                    remix: remix.clone(),
+                    ensemble: replica,
+                    cache: Arc::clone(&cache),
+                    stats: Arc::clone(&stats),
+                    latency_budget: config.latency_budget,
+                    ns_per_unit: 0.0,
+                    swap: Arc::clone(&swap),
+                    artifact_hash: model.hash,
+                    seen_generation: 0,
+                };
+                let engine_queue = Arc::clone(&queue);
+                engine_threads.push(
+                    thread::Builder::new()
+                        .name(format!("remix-serve-engine-{}-{index}", model.name))
+                        .spawn(move || engine.run(engine_queue))?,
+                );
+                shards.push(Shard {
+                    queue,
+                    cache,
+                    stats,
+                    swap,
+                });
+            }
+            groups.push(ModelGroup {
+                name: model.name,
+                shards,
+                input_len: spec.channels * spec.size * spec.size,
+                input_shape: [spec.channels, spec.size, spec.size],
+                active_hash: AtomicU64::new(model.hash),
+                meta: Mutex::new(GroupMeta {
+                    version: model.version,
+                    swaps: 0,
+                }),
+                template: Mutex::new(model.ensemble),
             });
         }
         let shared = Arc::new(Shared {
-            shards,
+            groups,
             stopping: AtomicBool::new(false),
+            registry,
+            remix,
             default_deadline: config.default_deadline,
-            input_len: spec.channels * spec.size * spec.size,
-            input_shape: [spec.channels, spec.size, spec.size],
         });
 
         #[cfg(target_os = "linux")]
@@ -524,7 +847,7 @@ impl Server {
         self.addr
     }
 
-    /// The always-on request counters, summed across shards.
+    /// The always-on request counters, summed across shards of every group.
     pub fn stats(&self) -> StatsSnapshot {
         self.shared.snapshot()
     }
@@ -546,8 +869,10 @@ impl Server {
         }
         // Only after the front door is down: close the queues (no new pushes
         // can race in) and let each engine drain its shard.
-        for shard in &self.shared.shards {
-            shard.queue.close();
+        for group in &self.shared.groups {
+            for shard in &group.shards {
+                shard.queue.close();
+            }
         }
         for handle in self.engine_threads.drain(..) {
             let _ = handle.join();
@@ -600,6 +925,9 @@ fn connection_loop(stream: TcpStream, shared: &Shared) {
                 let (status, body) = match route(&request, shared) {
                     Routed::Immediate(status, body) => (status, body),
                     Routed::Predict(prepared) => blocking_predict(shared, prepared),
+                    // The connection thread is already off the accept path,
+                    // so the blocking front door swaps inline.
+                    Routed::Swap(prepared) => perform_swap(shared, &prepared),
                 };
                 if write_response(&mut writer, status, &body, close).is_err() || close {
                     return;
@@ -634,6 +962,9 @@ fn blocking_predict(shared: &Shared, prepared: PreparedPredict) -> (u16, String)
     let reply = slot.wait();
     let latency = started.elapsed();
     span.finish();
+    if let Some(status) = reply.raw_status {
+        return (status, reply.fragment.to_string());
+    }
     remix_trace::record_duration(verdict_kind(&reply), latency);
     (
         200,

@@ -1,0 +1,455 @@
+//! Registry-backed serving and zero-downtime hot-swap, end to end against a
+//! live server: two named model groups served concurrently, `GET /models`
+//! introspection, and `POST /models/<name>/swap` under in-flight keep-alive
+//! traffic with byte-compared verdicts before and after.
+//!
+//! The load-bearing contracts (DESIGN.md §6j):
+//!
+//! * a registry-loaded ensemble serves verdicts **byte-identical** to a
+//!   local [`Remix::predict`] over the same registry round-trip;
+//! * a **no-op swap** (same version) changes no verdict byte and keeps the
+//!   verdict cache warm;
+//! * a real swap flips verdicts to the new version's bytes, makes the old
+//!   generation's cache entries structurally unreachable (not flushed), and
+//!   **drops no in-flight request**;
+//! * swapping **back** re-hits the old generation's surviving cache
+//!   entries — proof the invalidation is key-based, not a flush.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use remix_core::Remix;
+use remix_data::SyntheticSpec;
+use remix_ensemble::TrainedEnsemble;
+use remix_nn::layers::{Dense, Flatten, Relu};
+use remix_nn::{InputSpec, Model, Sequential, Trainer, TrainerConfig};
+use remix_registry::{EnsembleArtifact, Registry};
+use remix_serve::{verdict_fragment, Client, NamedModel, ServeConfig, Server};
+use remix_tensor::Tensor;
+use remix_xai::XaiBudget;
+use serde::Value;
+use std::fs;
+use std::path::PathBuf;
+use std::thread;
+
+fn temp_registry(case: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("remix_swap_test_{}_{case}", std::process::id()));
+    fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// Relabels a seeded fraction of the training labels — the paper's faulty
+/// training data, and the difference between the v1 and v2 artifacts.
+fn corrupt_labels(labels: &[usize], num_classes: usize, fraction: f32, seed: u64) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    labels
+        .iter()
+        .map(|&label| {
+            if rng.gen::<f32>() < fraction {
+                rng.gen_range(0..num_classes)
+            } else {
+                label
+            }
+        })
+        .collect()
+}
+
+/// Trains three small MLPs with per-member label noise `fraction` (the same
+/// structure regardless of noise, so v1 and v2 artifacts apply to the same
+/// template). Fully seeded: two calls with equal arguments produce
+/// bit-identical ensembles.
+fn train(noise: f32, seed_base: u64) -> (TrainedEnsemble, Vec<Tensor>) {
+    let (train, test) = SyntheticSpec::tabular_like()
+        .train_size(240)
+        .test_size(96)
+        .generate();
+    let spec = InputSpec {
+        channels: 1,
+        size: 4,
+        num_classes: train.num_classes,
+    };
+    let hidden: [&[usize]; 3] = [&[24], &[16, 12], &[12]];
+    let models = hidden
+        .iter()
+        .enumerate()
+        .map(|(i, hidden)| {
+            let mut init = StdRng::seed_from_u64(40 + i as u64);
+            let mut net = Sequential::new();
+            net.push(Flatten::new());
+            let mut dim = spec.channels * spec.size * spec.size;
+            for &h in *hidden {
+                net.push(Dense::new(dim, h, &mut init));
+                net.push(Relu::new());
+                dim = h;
+            }
+            net.push(Dense::new(dim, train.num_classes, &mut init));
+            let mut model = Model::named(net, spec, format!("mlp-{i}"));
+            let labels = corrupt_labels(
+                &train.labels,
+                train.num_classes,
+                noise,
+                seed_base + i as u64,
+            );
+            Trainer::new(TrainerConfig {
+                epochs: 4,
+                lr: 0.05,
+                seed: i as u64,
+                ..TrainerConfig::default()
+            })
+            .fit(&mut model, &train.images, &labels);
+            model
+        })
+        .collect();
+    (TrainedEnsemble::new(models), test.images)
+}
+
+fn spec() -> InputSpec {
+    InputSpec {
+        channels: 1,
+        size: 4,
+        num_classes: 6,
+    }
+}
+
+fn remix() -> Remix {
+    Remix::builder().seed(7).threads(1).build()
+}
+
+fn capture(name: &str, version: &str, ensemble: &mut TrainedEnsemble) -> EnsembleArtifact {
+    EnsembleArtifact::capture(
+        name,
+        version,
+        spec(),
+        ensemble,
+        vec!["mlp-0".into(), "mlp-1".into(), "mlp-2".into()],
+        vec![1.0; 3],
+        XaiBudget::default(),
+    )
+}
+
+/// Loads `name@version` from the registry and applies it onto a clone of
+/// `template` — the exact path the server's swap coordinator takes, so the
+/// returned ensemble is bit-identical to what the server serves.
+fn load_into(
+    registry: &Registry,
+    name: &str,
+    version: &str,
+    template: &TrainedEnsemble,
+) -> (TrainedEnsemble, u64) {
+    let loaded = registry.load(name, Some(version)).expect(version);
+    let mut ensemble = template.clone();
+    loaded
+        .artifact
+        .apply_to(&mut ensemble)
+        .expect("same structure");
+    (ensemble, loaded.hash)
+}
+
+fn obj(value: &Value) -> &[(String, Value)] {
+    value.as_object().expect("json object")
+}
+
+fn field<'a>(pairs: &'a [(String, Value)], name: &str) -> &'a Value {
+    &pairs.iter().find(|(k, _)| k == name).expect(name).1
+}
+
+#[test]
+fn two_named_models_serve_concurrently_with_listing() {
+    let root = temp_registry("two_models");
+    let registry = Registry::open(&root);
+    let (mut alpha, images) = train(0.3, 90);
+    let (mut beta, _) = train(0.0, 990);
+    let alpha_info = registry
+        .publish(&capture("alpha", "1.0.0", &mut alpha))
+        .unwrap();
+    let beta_info = registry
+        .publish(&capture("beta", "1.0.0", &mut beta))
+        .unwrap();
+
+    // Serve both, each reconstructed through the registry round-trip.
+    let (alpha_served, alpha_hash) = load_into(&registry, "alpha", "1.0.0", &alpha);
+    let (beta_served, beta_hash) = load_into(&registry, "beta", "1.0.0", &beta);
+    assert_eq!(alpha_hash, alpha_info.hash);
+    assert_eq!(beta_hash, beta_info.hash);
+    let server = Server::start_models(
+        vec![
+            NamedModel {
+                name: "alpha".into(),
+                version: "1.0.0".into(),
+                hash: alpha_hash,
+                ensemble: alpha_served,
+            },
+            NamedModel {
+                name: "beta".into(),
+                version: "1.0.0".into(),
+                hash: beta_hash,
+                ensemble: beta_served,
+            },
+        ],
+        Some(Registry::open(&root)),
+        remix(),
+        ServeConfig {
+            shards: 2,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    // GET /models lists both groups with their versions and artifact hashes.
+    let listing = client.models().unwrap();
+    let models = field(obj(&listing), "models").as_array().expect("array");
+    assert_eq!(models.len(), 2);
+    for (entry, (name, hash)) in models
+        .iter()
+        .zip([("alpha", alpha_hash), ("beta", beta_hash)])
+    {
+        let entry = obj(entry);
+        assert_eq!(field(entry, "name"), &Value::Str(name.to_string()));
+        assert_eq!(field(entry, "version"), &Value::Str("1.0.0".to_string()));
+        assert_eq!(
+            field(entry, "hash"),
+            &Value::Str(format!("{hash:016x}")),
+            "{name}"
+        );
+        assert_eq!(field(entry, "shards"), &Value::UInt(2));
+    }
+
+    // Requests route by name; each group's verdicts match its own local
+    // reference byte-for-byte (the two ensembles genuinely differ).
+    let reference = remix();
+    let mut differed = false;
+    for image in images.iter().take(6) {
+        let a = client
+            .predict_model(Some("alpha"), image.data(), Some(10_000), true)
+            .unwrap();
+        let b = client
+            .predict_model(Some("beta"), image.data(), Some(10_000), true)
+            .unwrap();
+        assert_eq!(a.status, 200);
+        assert_eq!(b.status, 200);
+        assert_eq!(
+            a.verdict_json,
+            verdict_fragment(&reference.predict(&mut alpha, image))
+        );
+        assert_eq!(
+            b.verdict_json,
+            verdict_fragment(&reference.predict(&mut beta, image))
+        );
+        differed |= a.verdict_json != b.verdict_json;
+        // No model field routes to the first (default) group.
+        let default = client.predict(image.data(), Some(10_000), true).unwrap();
+        assert_eq!(default.verdict_json, a.verdict_json);
+    }
+    assert!(
+        differed,
+        "alpha and beta must not serve identical verdicts everywhere"
+    );
+
+    // Unknown model name: a 404, not a crash or a misroute.
+    let missing = client
+        .predict_model(Some("gamma"), images[0].data(), None, true)
+        .unwrap();
+    assert_eq!(missing.status, 404);
+
+    // Per-group request counters are visible in the listing.
+    let listing = client.models().unwrap();
+    let models = field(obj(&listing), "models").as_array().expect("array");
+    let alpha_requests = field(obj(&models[0]), "requests");
+    assert_eq!(alpha_requests, &Value::UInt(12), "6 named + 6 default");
+    assert_eq!(field(obj(&models[1]), "requests"), &Value::UInt(6));
+
+    drop(server);
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn hot_swap_is_zero_downtime_and_cache_generations_survive() {
+    let root = temp_registry("hot_swap");
+    let registry = Registry::open(&root);
+    // v1: trained on 30 % mislabelled data; v2: re-cleaned (0 %). Same
+    // structure, different weights.
+    let (mut v1, images) = train(0.3, 90);
+    let (mut v2, _) = train(0.0, 90);
+    registry
+        .publish(&capture("tabular", "1.0.0", &mut v1))
+        .unwrap();
+    registry
+        .publish(&capture("tabular", "2.0.0", &mut v2))
+        .unwrap();
+
+    // References computed over the registry round-trip — what the server
+    // must serve, byte for byte.
+    let (mut local_v1, hash_v1) = load_into(&registry, "tabular", "1.0.0", &v1);
+    let (mut local_v2, hash_v2) = load_into(&registry, "tabular", "2.0.0", &v1);
+    assert_ne!(hash_v1, hash_v2);
+    let reference = remix();
+    let probe = images[0].clone();
+    let ref_v1: Vec<String> = images
+        .iter()
+        .take(6)
+        .map(|i| verdict_fragment(&reference.predict(&mut local_v1, i)))
+        .collect();
+    let ref_v2: Vec<String> = images
+        .iter()
+        .take(6)
+        .map(|i| verdict_fragment(&reference.predict(&mut local_v2, i)))
+        .collect();
+    assert_ne!(ref_v1, ref_v2, "v1 and v2 must actually disagree somewhere");
+
+    let (served, _) = load_into(&registry, "tabular", "1.0.0", &v1);
+    let server = Server::start_models(
+        vec![NamedModel {
+            name: "tabular".into(),
+            version: "1.0.0".into(),
+            hash: hash_v1,
+            ensemble: served,
+        }],
+        Some(Registry::open(&root)),
+        remix(),
+        ServeConfig {
+            shards: 2,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+    let mut client = Client::connect(addr).unwrap();
+
+    // Pre-swap: live verdicts match v1, and the probe gets cached.
+    for (image, expected) in images.iter().take(6).zip(&ref_v1) {
+        let reply = client.predict(image.data(), Some(10_000), true).unwrap();
+        assert_eq!(reply.status, 200);
+        assert_eq!(&reply.verdict_json, expected);
+    }
+    let cold = client.predict(probe.data(), Some(10_000), false).unwrap();
+    assert!(!cold.cached);
+    let warm = client.predict(probe.data(), Some(10_000), false).unwrap();
+    assert!(warm.cached);
+    assert_eq!(warm.verdict_json, ref_v1[0]);
+
+    // No-op swap: same version, so the verdict bytes must be identical
+    // before and after, and the cache generation is unchanged (still hits).
+    let noop = client.swap("tabular", Some("1.0.0")).unwrap();
+    assert_eq!(noop.status, 200, "{}", noop.body);
+    let after_noop = client.predict(probe.data(), Some(10_000), true).unwrap();
+    assert_eq!(
+        after_noop.verdict_json, ref_v1[0],
+        "no-op swap changed verdict bytes"
+    );
+    let still_warm = client.predict(probe.data(), Some(10_000), false).unwrap();
+    assert!(
+        still_warm.cached,
+        "no-op swap must not invalidate the cache"
+    );
+    assert_eq!(still_warm.verdict_json, ref_v1[0]);
+
+    // The real swap, with keep-alive traffic in flight on another
+    // connection: every concurrent request must complete with 200 and serve
+    // either v1's or v2's exact bytes — never a torn or dropped reply.
+    let in_flight = {
+        let images: Vec<Tensor> = images.iter().take(6).cloned().collect();
+        thread::spawn(move || {
+            let mut client = Client::connect(addr).unwrap();
+            let mut replies = Vec::new();
+            for _ in 0..3 {
+                for image in &images {
+                    replies.push(client.predict(image.data(), Some(10_000), true).unwrap());
+                }
+            }
+            replies
+        })
+    };
+    let swap = client.swap("tabular", Some("2.0.0")).unwrap();
+    assert_eq!(swap.status, 200, "{}", swap.body);
+    let report = obj(&serde_json::from_str::<Value>(&swap.body).unwrap()).to_vec();
+    assert_eq!(field(&report, "from"), &Value::Str("1.0.0".into()));
+    assert_eq!(field(&report, "to"), &Value::Str("2.0.0".into()));
+    assert_eq!(
+        field(&report, "hash"),
+        &Value::Str(format!("{hash_v2:016x}"))
+    );
+    for reply in in_flight.join().unwrap() {
+        assert_eq!(
+            reply.status, 200,
+            "in-flight request dropped: {}",
+            reply.body
+        );
+        let i = images.iter().take(6).position(|img| {
+            verdict_fragment(&reference.predict(&mut local_v1, img)) == reply.verdict_json
+                || verdict_fragment(&reference.predict(&mut local_v2, img)) == reply.verdict_json
+        });
+        assert!(
+            i.is_some(),
+            "in-flight verdict matches neither version's bytes: {}",
+            reply.verdict_json
+        );
+    }
+
+    // Post-swap: verdicts are v2's bytes, and the v1 cache entry is
+    // unreachable — the probe misses, recomputes under v2, then hits.
+    let post = client.predict(probe.data(), Some(10_000), true).unwrap();
+    assert_eq!(post.verdict_json, ref_v2[0]);
+    let miss = client.predict(probe.data(), Some(10_000), false).unwrap();
+    assert!(!miss.cached, "v1's cached verdict leaked across the swap");
+    assert_eq!(miss.verdict_json, ref_v2[0]);
+    let hit = client.predict(probe.data(), Some(10_000), false).unwrap();
+    assert!(hit.cached);
+    assert_eq!(hit.verdict_json, ref_v2[0]);
+
+    // Swap back: v1's surviving cache entry is reachable again — a hit with
+    // the original bytes, proving invalidation was key-based, not a flush.
+    let back = client.swap("tabular", Some("1.0.0")).unwrap();
+    assert_eq!(back.status, 200, "{}", back.body);
+    let revived = client.predict(probe.data(), Some(10_000), false).unwrap();
+    assert!(
+        revived.cached,
+        "swap-back must re-hit the old generation's cache entry"
+    );
+    assert_eq!(revived.verdict_json, ref_v1[0]);
+
+    // The listing reflects the journey: version 1.0.0, three swaps.
+    let listing = client.models().unwrap();
+    let entry = obj(&field(obj(&listing), "models").as_array().unwrap()[0]).to_vec();
+    assert_eq!(field(&entry, "version"), &Value::Str("1.0.0".into()));
+    assert_eq!(field(&entry, "swaps"), &Value::UInt(3));
+    assert_eq!(
+        field(&entry, "hash"),
+        &Value::Str(format!("{hash_v1:016x}"))
+    );
+
+    // Error paths: unknown version, unknown model, malformed version.
+    assert_eq!(client.swap("tabular", Some("9.9.9")).unwrap().status, 404);
+    assert_eq!(client.swap("nope", None).unwrap().status, 404);
+    assert_eq!(
+        client.swap("tabular", Some("not-semver")).unwrap().status,
+        400
+    );
+
+    drop(server);
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn legacy_server_lists_itself_and_rejects_swaps() {
+    let (ensemble, images) = train(0.3, 90);
+    let server = Server::start(ensemble, remix(), ServeConfig::default()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    // The single-ensemble constructor serves one group named "default".
+    let listing = client.models().unwrap();
+    let models = field(obj(&listing), "models").as_array().expect("array");
+    assert_eq!(models.len(), 1);
+    let entry = obj(&models[0]);
+    assert_eq!(field(entry, "name"), &Value::Str("default".into()));
+    assert_eq!(field(entry, "version"), &Value::Str("local".into()));
+    assert_eq!(field(entry, "hash"), &Value::Str(format!("{:016x}", 0)));
+
+    // Routing by the default name works; swaps are refused without a
+    // registry (409: the server has no artifact store to load from).
+    let named = client
+        .predict_model(Some("default"), images[0].data(), Some(10_000), true)
+        .unwrap();
+    assert_eq!(named.status, 200);
+    let refused = client.swap("default", None).unwrap();
+    assert_eq!(refused.status, 409);
+    assert!(refused.body.contains("registry"));
+}

@@ -1325,7 +1325,8 @@ mod tests {
             let mut out = Vec::new();
             let mut scratch = Vec::new();
             let pa = a.prepack_a().unwrap();
-            pa.matmul_prepacked_into(&b, &mut out, &mut scratch).unwrap();
+            pa.matmul_prepacked_into(&b, &mut out, &mut scratch)
+                .unwrap();
             assert_eq!(
                 bits(&out),
                 bits(a.matmul(&b).unwrap().data()),
@@ -1377,7 +1378,8 @@ mod tests {
         for seed in 0..3u64 {
             let mut rng = StdRng::seed_from_u64(100 + seed);
             let b = Tensor::rand_uniform(&[13, 9], -1.0, 1.0, &mut rng);
-            pa.matmul_prepacked_into(&b, &mut out, &mut scratch).unwrap();
+            pa.matmul_prepacked_into(&b, &mut out, &mut scratch)
+                .unwrap();
             assert_eq!(&out[..], a.matmul(&b).unwrap().data());
         }
     }
