@@ -1,5 +1,6 @@
 //! CI perf-regression gate: compares fresh bench records (gemm, inference,
-//! serve, xai_sched, swap) against the committed baselines and exits nonzero
+//! serve, xai_sched, swap, drift) against the committed baselines and exits
+//! nonzero
 //! on a >20 % wall-time regression, any bitwise-verdict divergence, or a
 //! dropped request during hot swaps. See `remix_bench::check` for the policy
 //! (within-run ratios, so the gate is robust to CI machine speed).
@@ -14,8 +15,8 @@
 //! gate can fail before trusting it to pass.
 
 use remix_bench::check::{
-    check_gemm, check_inference, check_serve, check_swap, check_xai_sched, flip_verdict_flags,
-    scale_speedups, GateReport, DEFAULT_TOLERANCE,
+    check_drift, check_gemm, check_inference, check_serve, check_swap, check_xai_sched,
+    flip_verdict_flags, scale_speedups, GateReport, DEFAULT_TOLERANCE,
 };
 use serde::Value;
 use std::path::{Path, PathBuf};
@@ -88,16 +89,17 @@ fn main() -> ExitCode {
     };
     let self_test = args.iter().any(|a| a == "--self-test");
 
-    let (base_gemm, base_inference, base_serve, base_xai_sched, base_swap) = match (
+    let (base_gemm, base_inference, base_serve, base_xai_sched, base_swap, base_drift) = match (
         load(&baseline_dir.join("bench_gemm.json")),
         load(&baseline_dir.join("bench_inference.json")),
         load(&baseline_dir.join("bench_serve.json")),
         load(&baseline_dir.join("bench_xai_sched.json")),
         load(&baseline_dir.join("bench_swap.json")),
+        load(&baseline_dir.join("bench_drift.json")),
     ) {
-        (Ok(g), Ok(i), Ok(s), Ok(x), Ok(w)) => (g, i, s, x, w),
-        (g, i, s, x, w) => {
-            for err in [g.err(), i.err(), s.err(), x.err(), w.err()]
+        (Ok(g), Ok(i), Ok(s), Ok(x), Ok(w), Ok(d)) => (g, i, s, x, w, d),
+        (g, i, s, x, w, d) => {
+            for err in [g.err(), i.err(), s.err(), x.err(), w.err(), d.err()]
                 .into_iter()
                 .flatten()
             {
@@ -121,31 +123,36 @@ fn main() -> ExitCode {
         });
         let swap_ok =
             self_test_record("bench_swap", &base_swap, |b, f| check_swap(b, f, tolerance));
-        return if gemm_ok && inference_ok && serve_ok && xai_sched_ok && swap_ok {
+        let drift_ok = self_test_record("bench_drift", &base_drift, |b, f| {
+            check_drift(b, f, tolerance)
+        });
+        return if gemm_ok && inference_ok && serve_ok && xai_sched_ok && swap_ok && drift_ok {
             ExitCode::SUCCESS
         } else {
             ExitCode::FAILURE
         };
     }
 
-    let (fresh_gemm, fresh_inference, fresh_serve, fresh_xai_sched, fresh_swap) = match (
-        load(&fresh_dir.join("bench_gemm.json")),
-        load(&fresh_dir.join("bench_inference.json")),
-        load(&fresh_dir.join("bench_serve.json")),
-        load(&fresh_dir.join("bench_xai_sched.json")),
-        load(&fresh_dir.join("bench_swap.json")),
-    ) {
-        (Ok(g), Ok(i), Ok(s), Ok(x), Ok(w)) => (g, i, s, x, w),
-        (g, i, s, x, w) => {
-            for err in [g.err(), i.err(), s.err(), x.err(), w.err()]
-                .into_iter()
-                .flatten()
-            {
-                eprintln!("error: {err}");
+    let (fresh_gemm, fresh_inference, fresh_serve, fresh_xai_sched, fresh_swap, fresh_drift) =
+        match (
+            load(&fresh_dir.join("bench_gemm.json")),
+            load(&fresh_dir.join("bench_inference.json")),
+            load(&fresh_dir.join("bench_serve.json")),
+            load(&fresh_dir.join("bench_xai_sched.json")),
+            load(&fresh_dir.join("bench_swap.json")),
+            load(&fresh_dir.join("bench_drift.json")),
+        ) {
+            (Ok(g), Ok(i), Ok(s), Ok(x), Ok(w), Ok(d)) => (g, i, s, x, w, d),
+            (g, i, s, x, w, d) => {
+                for err in [g.err(), i.err(), s.err(), x.err(), w.err(), d.err()]
+                    .into_iter()
+                    .flatten()
+                {
+                    eprintln!("error: {err}");
+                }
+                return ExitCode::FAILURE;
             }
-            return ExitCode::FAILURE;
-        }
-    };
+        };
 
     let mut report = check_gemm(&base_gemm, &fresh_gemm, tolerance);
     report.merge(check_inference(
@@ -160,6 +167,7 @@ fn main() -> ExitCode {
         tolerance,
     ));
     report.merge(check_swap(&base_swap, &fresh_swap, tolerance));
+    report.merge(check_drift(&base_drift, &fresh_drift, tolerance));
     print_report(&report);
     if report.passed() {
         println!(

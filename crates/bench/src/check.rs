@@ -2,7 +2,8 @@
 //!
 //! Compares fresh bench records (`results/bench_gemm.json`,
 //! `results/bench_inference.json`, `results/bench_serve.json`,
-//! `results/bench_xai_sched.json`, `results/bench_swap.json`) against the
+//! `results/bench_xai_sched.json`, `results/bench_swap.json`,
+//! `results/bench_drift.json`) against the
 //! committed baselines under
 //! `crates/bench/baselines/` and fails on a >20 % wall-time regression or on
 //! any bitwise-verdict divergence.
@@ -499,6 +500,92 @@ pub fn check_swap(baseline: &Value, fresh: &Value, tolerance: f64) -> GateReport
     report
 }
 
+/// Maximum verdicts the drift detector may take to trip after a mid-stream
+/// fault injection, gated absolutely: the detector exists to catch the
+/// paper's faulty-data shift while it is still cheap to act on, and a
+/// latency past this budget means it stopped doing its job.
+pub const DRIFT_MAX_DETECTION_VERDICTS: f64 = 512.0;
+
+/// Minimum detection headroom (budget / detection latency), gated absolutely
+/// alongside the relative gate: 1.0 is detection exactly at the budget.
+pub const DRIFT_MIN_DETECTION_HEADROOM: f64 = 1.0;
+
+/// Gates `bench_drift.json`: the detector must raise zero alerts on the
+/// clean prefix and zero new alerts on clean post-swap traffic (absolute — a
+/// false trip triggers a pointless swap); detector-on verdicts must stay
+/// byte-identical to detector-off (`detector_verdicts_identical`) and
+/// post-swap verdicts to the local reference (`post_swap_identical`); the
+/// injected shift must be detected within [`DRIFT_MAX_DETECTION_VERDICTS`]
+/// (`detected_within_budget`, with `detection_headroom` also gated relative
+/// to the baseline and floored at [`DRIFT_MIN_DETECTION_HEADROOM`]); the trip
+/// must promote the swap target (`swap_promoted`) and reset the detector
+/// (`detector_reset_after_swap`); and the whole soak must drop and error
+/// zero requests.
+pub fn check_drift(baseline: &Value, fresh: &Value, tolerance: f64) -> GateReport {
+    let mut report = GateReport::default();
+    report.gate_flag(
+        "drift/bit_identity",
+        get_bool(fresh, "detector_verdicts_identical"),
+    );
+    report.gate_flag(
+        "drift/detected_within_budget",
+        get_bool(fresh, "detected_within_budget"),
+    );
+    report.gate_flag("drift/swap_promoted", get_bool(fresh, "swap_promoted"));
+    report.gate_flag(
+        "drift/detector_reset",
+        get_bool(fresh, "detector_reset_after_swap"),
+    );
+    report.gate_flag(
+        "drift/post_swap_identity",
+        get_bool(fresh, "post_swap_identical"),
+    );
+    for counter in [
+        "clean_false_trips",
+        "post_swap_false_trips",
+        "dropped_requests",
+        "errored_requests",
+    ] {
+        match get_num(fresh, counter) {
+            Some(0.0) => report.ok(format!("ok   drift/{counter}: 0")),
+            Some(n) => report.fail(format!("FAIL drift/{counter}: {n:.0} (must be 0)")),
+            None => report.fail(format!("FAIL drift/{counter}: counter missing")),
+        }
+    }
+    match get_num(fresh, "detection_verdicts") {
+        Some(v) if v <= DRIFT_MAX_DETECTION_VERDICTS => report.ok(format!(
+            "ok   drift/detection_latency: {v:.0} verdicts <= budget \
+             {DRIFT_MAX_DETECTION_VERDICTS:.0}"
+        )),
+        Some(v) => report.fail(format!(
+            "FAIL drift/detection_latency: {v:.0} verdicts over budget \
+             {DRIFT_MAX_DETECTION_VERDICTS:.0}"
+        )),
+        None => report.fail("FAIL drift/detection_latency: detection_verdicts missing".into()),
+    }
+    match (
+        get_num(baseline, "detection_headroom"),
+        get_num(fresh, "detection_headroom"),
+    ) {
+        (Some(b), Some(f)) => {
+            report.gate_speedup("drift/detection_headroom", b, f, tolerance);
+            if f >= DRIFT_MIN_DETECTION_HEADROOM {
+                report.ok(format!(
+                    "ok   drift/min_headroom: {f:.3} >= absolute floor \
+                     {DRIFT_MIN_DETECTION_HEADROOM}"
+                ));
+            } else {
+                report.fail(format!(
+                    "FAIL drift/min_headroom: {f:.3} below absolute floor \
+                     {DRIFT_MIN_DETECTION_HEADROOM}"
+                ));
+            }
+        }
+        _ => report.fail("FAIL drift/detection_headroom: field missing".into()),
+    }
+    report
+}
+
 /// Multiplies every within-run speedup field by `factor`, recursively. Used
 /// by the self-test to synthesize a wall-time regression (`factor < 1`)
 /// without re-running the benchmarks.
@@ -512,6 +599,7 @@ pub fn scale_speedups(value: &mut Value, factor: f64) {
                     || key == "speedup_shards_vs_one"
                     || key == "speedup_p99_adaptive_vs_full"
                     || key == "speedup_churn_vs_steady"
+                    || key == "detection_headroom"
                     || key == "prepack_sweep_aggregate_speedup"
                     || key == "prepack_dense_aggregate_speedup"
                     || key == "pack_bytes_eliminated_fraction"
@@ -552,6 +640,11 @@ pub fn flip_verdict_flags(value: &mut Value) {
                     || key == "v2_identical"
                     || key == "churn_identical"
                     || key == "cache_generation_isolated"
+                    || key == "detector_verdicts_identical"
+                    || key == "detected_within_budget"
+                    || key == "swap_promoted"
+                    || key == "detector_reset_after_swap"
+                    || key == "post_swap_identical"
                 {
                     *v = Value::Bool(false);
                 } else {
@@ -656,6 +749,19 @@ mod tests {
         .expect("valid test record")
     }
 
+    fn drift_record() -> Value {
+        serde_json::from_str(
+            r#"{"clean_false_trips": 0, "post_swap_false_trips": 0,
+                "detector_verdicts_identical": true,
+                "detection_verdicts": 40, "detection_headroom": 12.8,
+                "detected_within_budget": true,
+                "swap_promoted": true, "detector_reset_after_swap": true,
+                "post_swap_identical": true,
+                "dropped_requests": 0, "errored_requests": 0}"#,
+        )
+        .expect("valid test record")
+    }
+
     #[test]
     fn identical_records_pass() {
         let base = gemm_record();
@@ -684,6 +790,52 @@ mod tests {
         // 5 flags + 2 zero-counters + flip p99 ceiling
         // + churn ratio (relative + absolute floor)
         assert_eq!(report.checks.len(), 10);
+        let base = drift_record();
+        let report = check_drift(&base, &base, DEFAULT_TOLERANCE);
+        assert!(report.passed(), "failures: {:?}", report.failures);
+        // 5 flags + 4 zero-counters + latency budget
+        // + headroom (relative + absolute floor)
+        assert_eq!(report.checks.len(), 12);
+    }
+
+    #[test]
+    fn drift_gate_enforces_zero_trips_and_the_detection_budget() {
+        // A single false trip on the clean prefix fails regardless of every
+        // other metric.
+        let mut noisy = drift_record();
+        if let Value::Object(pairs) = &mut noisy {
+            for (k, v) in pairs.iter_mut() {
+                if k == "clean_false_trips" {
+                    *v = Value::UInt(1);
+                }
+            }
+        }
+        let report = check_drift(&noisy, &noisy, DEFAULT_TOLERANCE);
+        assert!(!report.passed());
+        assert!(report
+            .failures
+            .iter()
+            .any(|f| f.contains("clean_false_trips")));
+
+        // Detection past the absolute budget fails even when the baseline
+        // was equally slow (headroom below the 1.0 floor trips too).
+        let mut slow = drift_record();
+        if let Value::Object(pairs) = &mut slow {
+            for (k, v) in pairs.iter_mut() {
+                if k == "detection_verdicts" {
+                    *v = Value::Float(DRIFT_MAX_DETECTION_VERDICTS * 2.0);
+                } else if k == "detection_headroom" {
+                    *v = Value::Float(0.5);
+                }
+            }
+        }
+        let report = check_drift(&slow, &slow, DEFAULT_TOLERANCE);
+        assert!(!report.passed());
+        assert!(report
+            .failures
+            .iter()
+            .any(|f| f.contains("detection_latency")));
+        assert!(report.failures.iter().any(|f| f.contains("min_headroom")));
     }
 
     #[test]
@@ -874,6 +1026,10 @@ mod tests {
         let mut fresh = swap_record();
         scale_speedups(&mut fresh, 1.0 / 1.5);
         assert!(!check_swap(&base, &fresh, DEFAULT_TOLERANCE).passed());
+        let base = drift_record();
+        let mut fresh = drift_record();
+        scale_speedups(&mut fresh, 1.0 / 1.5);
+        assert!(!check_drift(&base, &fresh, DEFAULT_TOLERANCE).passed());
     }
 
     #[test]
@@ -919,6 +1075,11 @@ mod tests {
         flip_verdict_flags(&mut fresh);
         let report = check_swap(&base, &fresh, DEFAULT_TOLERANCE);
         assert_eq!(report.failures.len(), 5); // all five swap flags trip
+        let base = drift_record();
+        let mut fresh = drift_record();
+        flip_verdict_flags(&mut fresh);
+        let report = check_drift(&base, &fresh, DEFAULT_TOLERANCE);
+        assert_eq!(report.failures.len(), 5); // all five drift flags trip
     }
 
     #[test]
@@ -972,6 +1133,7 @@ mod tests {
             "bench_serve.json",
             "bench_xai_sched.json",
             "bench_swap.json",
+            "bench_drift.json",
         ] {
             let path = concat!(env!("CARGO_MANIFEST_DIR"), "/baselines/");
             let text = std::fs::read_to_string(format!("{path}{name}"))
@@ -985,6 +1147,8 @@ mod tests {
                 check_xai_sched(&record, &record, DEFAULT_TOLERANCE)
             } else if name.contains("swap") {
                 check_swap(&record, &record, DEFAULT_TOLERANCE)
+            } else if name.contains("drift") {
+                check_drift(&record, &record, DEFAULT_TOLERANCE)
             } else {
                 check_serve(&record, &record, DEFAULT_TOLERANCE)
             };

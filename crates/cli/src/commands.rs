@@ -303,11 +303,39 @@ pub fn models(args: &Args) -> Result<(), String> {
 
 /// `remix serve`
 pub fn serve(args: &Args) -> Result<(), String> {
-    use remix_serve::{NamedModel, ServeConfig, Server};
+    use remix_serve::{DriftAction, DriftConfig, NamedModel, ServeConfig, Server};
     use std::time::Duration;
 
     no_positionals(args)?;
     let defaults = ServeConfig::default();
+    // --drift on: every shard folds verdict features into a passive
+    // streaming detector; alerts latch into GET /drift and /stats.
+    let drift = match args.get_or("drift", "off") {
+        "off" => None,
+        "on" => Some(DriftConfig::default()),
+        other => return Err(format!("unknown --drift `{other}` (on|off)")),
+    };
+    // --drift-action swap --drift-target <name[@version]>: a tripped alert
+    // promotes the target through the hot-swap coordinator (needs
+    // --registry).
+    let drift_action = match args.get_or("drift-action", "observe") {
+        "observe" => DriftAction::Observe,
+        "swap" => {
+            let target = args
+                .get("drift-target")
+                .ok_or("--drift-action swap needs --drift-target <name[@version]>")?;
+            if args.get("registry").is_none() {
+                return Err("--drift-action swap needs --registry".to_string());
+            }
+            DriftAction::Swap {
+                target: target.to_string(),
+            }
+        }
+        other => return Err(format!("unknown --drift-action `{other}` (observe|swap)")),
+    };
+    if drift.is_none() && drift_action != DriftAction::Observe {
+        return Err("--drift-action swap needs --drift on".to_string());
+    }
     let config = ServeConfig {
         addr: args.get_or("addr", "127.0.0.1:8484").to_string(),
         max_batch: args.get_num("max-batch", 0usize)?,
@@ -322,6 +350,8 @@ pub fn serve(args: &Args) -> Result<(), String> {
         // levels to fit, instead of cliff-dropping to the degraded vote.
         // 0 disables the valve. Meaningful only with --xai-ladder on.
         latency_budget: Duration::from_millis(args.get_num("latency-budget", 0u64)?),
+        drift,
+        drift_action,
     };
     // Each engine shard owns a whole pipeline, so per-verdict stage
     // parallelism defaults to sequential — with --shards 0 the shards
@@ -402,7 +432,7 @@ pub fn serve(args: &Args) -> Result<(), String> {
         server
     };
     println!(
-        "endpoints: POST /predict, GET /models, POST /models/<name>/swap, GET /healthz, /stats — stop with ctrl-c"
+        "endpoints: POST /predict, GET /models, POST /models/<name>/swap, GET /healthz, /stats, /drift — stop with ctrl-c"
     );
     // Serve until killed; the process exit tears the listener down.
     loop {
@@ -471,6 +501,42 @@ fn render_ascii(matrix: &remix_tensor::Tensor) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Docs-sync: every `--flag` that `serve()` actually reads must appear
+    /// in the README's serving docs. The flag names are scraped from this
+    /// file's own source between `pub fn serve` and the next `pub fn`, so
+    /// adding a flag to the command without documenting it fails here.
+    #[test]
+    fn readme_documents_every_serve_flag() {
+        let source = include_str!("commands.rs");
+        let start = source.find("pub fn serve(").expect("serve() exists");
+        let end = source[start..]
+            .find("\npub fn ")
+            .map_or(source.len(), |offset| start + offset);
+        let body = &source[start..end];
+        let readme = include_str!(concat!(env!("CARGO_MANIFEST_DIR"), "/../../README.md"));
+        let mut flags = Vec::new();
+        for accessor in ["get_or(\"", "get(\"", "get_num(\"", "get_all(\""] {
+            let mut rest = body;
+            while let Some(pos) = rest.find(accessor) {
+                rest = &rest[pos + accessor.len()..];
+                let flag = &rest[..rest.find('"').expect("closing quote")];
+                if !flags.contains(&flag) {
+                    flags.push(flag);
+                }
+            }
+        }
+        assert!(
+            flags.len() >= 15,
+            "the flag sweep should find serve()'s flags, got {flags:?}"
+        );
+        for flag in flags {
+            assert!(
+                readme.contains(&format!("`--{flag}`")),
+                "README.md serving docs are missing `--{flag}`"
+            );
+        }
+    }
 
     #[test]
     fn dataset_lookup_covers_all_names() {

@@ -316,6 +316,85 @@ mod tests {
     }
 
     #[test]
+    fn fano_bound_is_stable_at_the_risk_extremes() {
+        // Vanishingly small but non-zero risk: the bound must stay finite,
+        // non-negative, and vanish smoothly rather than jump.
+        for &tiny in &[f32::MIN_POSITIVE, 1e-12, 1e-7, 1e-4] {
+            let e = fano_error_bound(tiny, 4);
+            assert!(e.is_finite() && e >= 0.0, "risk {tiny} gave {e}");
+            assert!(
+                e < 0.05,
+                "risk {tiny} should admit near-zero error, got {e}"
+            );
+        }
+        // Risk approaching 1 from below converges to the (S−1)/S cap without
+        // overshooting it.
+        for &near in &[1.0 - 1e-6, 1.0 - 1e-4, 0.9999] {
+            let e = fano_error_bound(near, 4);
+            assert!(e <= 0.75 + 1e-6, "risk {near} overshot the cap: {e}");
+            assert!(
+                (e - 0.75).abs() < 1e-2,
+                "risk {near} should be near the cap, got {e}"
+            );
+        }
+        // Out-of-range risks clamp instead of extrapolating.
+        assert_eq!(fano_error_bound(-0.3, 4), fano_error_bound(0.0, 4));
+        let clamped_high = fano_error_bound(7.5, 4);
+        assert!((clamped_high - fano_error_bound(1.0, 4)).abs() < 1e-6);
+        assert!(
+            fano_error_bound(f32::NAN, 4) >= 0.0,
+            "NaN risk must not poison the bound"
+        );
+    }
+
+    #[test]
+    fn accepts_custom_ordered_thresholds() {
+        let thresholds = TriageThresholds {
+            skip_max: 0.1,
+            light_max: 0.2,
+            standard_max: 0.9,
+        };
+        // Construction must accept any ordered combination, not just the
+        // defaults...
+        let _scheduler = TriageScheduler::with_thresholds(thresholds);
+        // ...and the custom boundaries drive the level mapping.
+        assert_eq!(thresholds.level_for(0.05), XaiLevel::Skip);
+        assert_eq!(thresholds.level_for(0.15), XaiLevel::Light);
+        assert_eq!(thresholds.level_for(0.5), XaiLevel::Standard);
+        assert_eq!(thresholds.level_for(0.95), XaiLevel::Full);
+    }
+
+    #[test]
+    #[should_panic(expected = "thresholds must be ordered")]
+    fn rejects_skip_above_light() {
+        TriageScheduler::with_thresholds(TriageThresholds {
+            skip_max: 0.4,
+            light_max: 0.2,
+            standard_max: 0.8,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "thresholds must be ordered")]
+    fn rejects_light_above_standard() {
+        TriageScheduler::with_thresholds(TriageThresholds {
+            skip_max: 0.1,
+            light_max: 0.9,
+            standard_max: 0.8,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "thresholds must be ordered")]
+    fn rejects_negative_skip_threshold() {
+        TriageScheduler::with_thresholds(TriageThresholds {
+            skip_max: -0.1,
+            light_max: 0.2,
+            standard_max: 0.8,
+        });
+    }
+
+    #[test]
     fn signals_separate_confident_from_ambiguous_disagreements() {
         // 2-of-3 with peaked posteriors: high margin, low entropy.
         let confident = [

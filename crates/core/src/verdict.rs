@@ -76,9 +76,81 @@ pub struct RemixVerdict {
     pub timings: StageTimings,
 }
 
+impl RemixVerdict {
+    /// Concentration of the ω voting-weight distribution in `[0, 1]`.
+    ///
+    /// Computed as `1 − H(p) / ln n` where `p` is the ω vector normalized to
+    /// a distribution over the `n` voting members: `0.0` means the weights
+    /// are spread evenly (every member contributes equally), values near
+    /// `1.0` mean one member dominates the vote. Fast-path verdicts (no
+    /// details) and all-zero weight vectors return `0.0`.
+    ///
+    /// This is the "ω weight distribution" feature the streaming drift
+    /// detector folds per verdict: a shift in live-data quality shows up as
+    /// the weighting stage systematically concentrating or flattening ω
+    /// relative to the reference window.
+    pub fn weight_spread(&self) -> f32 {
+        if self.details.len() < 2 {
+            return 0.0;
+        }
+        let total: f32 = self.details.iter().map(|d| d.weight.max(0.0)).sum();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        let mut entropy = 0.0f32;
+        for detail in &self.details {
+            let p = detail.weight.max(0.0) / total;
+            if p > 0.0 {
+                entropy -= p * p.ln();
+            }
+        }
+        let max_entropy = (self.details.len() as f32).ln();
+        (1.0 - entropy / max_entropy).clamp(0.0, 1.0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn verdict_with_weights(weights: &[f32]) -> RemixVerdict {
+        RemixVerdict {
+            prediction: Prediction::Decided(0),
+            unanimous: false,
+            details: weights
+                .iter()
+                .enumerate()
+                .map(|(i, &w)| ModelDetail {
+                    name: format!("m{i}"),
+                    pred: 0,
+                    confidence: 0.9,
+                    diversity: 0.5,
+                    sparseness: 0.5,
+                    weight: w,
+                    feature_matrix: None,
+                })
+                .collect(),
+            xai_level: XaiLevel::Full,
+            timings: StageTimings::default(),
+        }
+    }
+
+    #[test]
+    fn weight_spread_measures_concentration() {
+        // Even weights: no concentration.
+        assert_eq!(verdict_with_weights(&[0.5, 0.5, 0.5]).weight_spread(), 0.0);
+        // One dominant member: near-total concentration.
+        let dominated = verdict_with_weights(&[1.0, 1e-6, 1e-6]).weight_spread();
+        assert!(dominated > 0.9, "dominated spread {dominated}");
+        // Monotone in concentration.
+        let mild = verdict_with_weights(&[0.6, 0.3, 0.1]).weight_spread();
+        assert!(mild > 0.0 && mild < dominated);
+        // Degenerate inputs are defined as 0.
+        assert_eq!(verdict_with_weights(&[]).weight_spread(), 0.0);
+        assert_eq!(verdict_with_weights(&[1.0]).weight_spread(), 0.0);
+        assert_eq!(verdict_with_weights(&[0.0, 0.0]).weight_spread(), 0.0);
+        assert_eq!(verdict_with_weights(&[-1.0, -2.0]).weight_spread(), 0.0);
+    }
 
     #[test]
     fn timings_total_sums_stages() {

@@ -1,0 +1,818 @@
+//! Streaming drift detection over ReMIX serving verdicts.
+//!
+//! The paper uses inference-time disagreement plus the XAI-weighted diversity
+//! weight ω to flag faulty *training* data offline. This crate repurposes the
+//! same signals online: every verdict emitted by a serve shard is folded into a
+//! [`DriftDetector`] as a compact [`VerdictFeatures`] record, and the detector
+//! decides — with pure accumulation, no allocation, and no clock reads — when
+//! the live traffic distribution has shifted away from the reference window it
+//! saw at startup.
+//!
+//! Two mechanisms run side by side:
+//!
+//! * **Page-Hinkley tests per feature.** During the reference window the
+//!   detector records the mean and standard deviation of each feature
+//!   (disagreement rate, vote margin, normalized Shannon entropy, ω weight
+//!   spread, XAI-ladder escalation, degraded rate, downgraded rate).
+//!   Afterwards each observation updates a fixed-decay exponential window
+//!   (EWMA, kept for magnitude reporting) and a two-sided Page-Hinkley
+//!   cumulative statistic of the *standardized* deviation — `(x − μ_ref) /
+//!   σ_ref` — so the slack `ph_delta` and threshold `ph_lambda` are in
+//!   reference-σ units and one setting covers high-variance binary rates and
+//!   low-variance continuous signals alike. An excursion beyond `ph_lambda`
+//!   raises a [`DriftAlert`].
+//! * **Entropy-histogram two-sample test.** Entropy observations are also
+//!   binned into a fixed 16-bin histogram. The reference histogram is frozen
+//!   with the reference window; a sliding window of recent observations is
+//!   compared against it with a total-variation statistic, catching shape
+//!   changes (e.g. bimodality) that leave the mean untouched.
+//!
+//! The detector is strictly passive: it never influences verdicts, and a
+//! tripped alert latches until [`DriftDetector::reset`] (the serve layer
+//! resets it when a hot-swap installs a new model generation).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+/// Number of bins in the entropy histograms.
+///
+/// Entropy is normalized to `[0, 1]`, so a fixed bin width of 1/16 gives
+/// enough resolution to separate "confidently unimodal" from "spread" streams
+/// while keeping both sketches at a fixed, cache-friendly size.
+pub const HIST_BINS: usize = 16;
+
+/// The per-verdict feature vector folded into a [`DriftDetector`].
+///
+/// Fields that are not observable for a given verdict (e.g. vote margin on a
+/// degraded verdict that never ran triage) are `None` and simply do not
+/// contribute to their tracks for that verdict.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct VerdictFeatures {
+    /// Whether the ensemble members disagreed on this input.
+    pub disagreement: bool,
+    /// Vote margin in `[0, 1]` (1.0 for unanimous verdicts), when computed.
+    pub margin: Option<f32>,
+    /// Normalized Shannon entropy of the pooled posterior in `[0, 1]`, when
+    /// computed.
+    pub entropy: Option<f32>,
+    /// Concentration of the ω weight distribution in `[0, 1]` (see
+    /// `RemixVerdict::weight_spread` in `remix-core`), when XAI ran.
+    pub weight_spread: Option<f32>,
+    /// XAI ladder rung actually used: 0 = skip, 1 = light, 2 = standard,
+    /// 3 = full.
+    pub xai_rung: u8,
+    /// Whether the verdict was served degraded (deadline cliff).
+    pub degraded: bool,
+    /// Whether the XAI level was downgraded by the queue-pressure valve.
+    pub downgraded: bool,
+}
+
+impl VerdictFeatures {
+    /// A unanimous fast-path verdict: no disagreement, margin 1.0, no XAI.
+    pub fn unanimous() -> Self {
+        VerdictFeatures {
+            disagreement: false,
+            margin: Some(1.0),
+            entropy: None,
+            weight_spread: None,
+            xai_rung: 0,
+            degraded: false,
+            downgraded: false,
+        }
+    }
+}
+
+/// Which monitored statistic raised a [`DriftAlert`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DriftFeature {
+    /// Per-verdict disagreement rate.
+    Disagreement,
+    /// Vote margin among disagreeing members.
+    Margin,
+    /// Normalized Shannon entropy of the pooled posterior.
+    Entropy,
+    /// Concentration of the ω weight distribution.
+    WeightSpread,
+    /// Mean XAI ladder rung (escalation mix).
+    XaiEscalation,
+    /// Degraded-verdict rate.
+    Degraded,
+    /// Downgraded-verdict rate.
+    Downgraded,
+    /// Two-sample total-variation statistic on the entropy histogram.
+    EntropyHistogram,
+}
+
+impl DriftFeature {
+    /// The features tracked by per-feature Page-Hinkley tests, in index order.
+    pub const TESTED: [DriftFeature; 7] = [
+        DriftFeature::Disagreement,
+        DriftFeature::Margin,
+        DriftFeature::Entropy,
+        DriftFeature::WeightSpread,
+        DriftFeature::XaiEscalation,
+        DriftFeature::Degraded,
+        DriftFeature::Downgraded,
+    ];
+
+    /// Stable machine-readable name, used in `/drift` bodies and bench
+    /// records.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DriftFeature::Disagreement => "disagreement",
+            DriftFeature::Margin => "margin",
+            DriftFeature::Entropy => "entropy",
+            DriftFeature::WeightSpread => "weight_spread",
+            DriftFeature::XaiEscalation => "xai_escalation",
+            DriftFeature::Degraded => "degraded",
+            DriftFeature::Downgraded => "downgraded",
+            DriftFeature::EntropyHistogram => "entropy_histogram",
+        }
+    }
+
+    /// Index into the detector's track array (tested features only).
+    fn index(self) -> usize {
+        match self {
+            DriftFeature::Disagreement => 0,
+            DriftFeature::Margin => 1,
+            DriftFeature::Entropy => 2,
+            DriftFeature::WeightSpread => 3,
+            DriftFeature::XaiEscalation => 4,
+            DriftFeature::Degraded => 5,
+            DriftFeature::Downgraded => 6,
+            DriftFeature::EntropyHistogram => 7,
+        }
+    }
+
+    /// Numeric identifier used when publishing trip state through atomics
+    /// (0 is reserved for "no trip").
+    pub fn id(self) -> u32 {
+        self.index() as u32 + 1
+    }
+
+    /// Inverse of [`DriftFeature::id`]; `None` for 0 or out-of-range values.
+    pub fn from_id(id: u32) -> Option<DriftFeature> {
+        match id {
+            1 => Some(DriftFeature::Disagreement),
+            2 => Some(DriftFeature::Margin),
+            3 => Some(DriftFeature::Entropy),
+            4 => Some(DriftFeature::WeightSpread),
+            5 => Some(DriftFeature::XaiEscalation),
+            6 => Some(DriftFeature::Degraded),
+            7 => Some(DriftFeature::Downgraded),
+            8 => Some(DriftFeature::EntropyHistogram),
+            _ => None,
+        }
+    }
+}
+
+/// Tuning knobs for a [`DriftDetector`].
+///
+/// The Page-Hinkley parameters are in reference-σ units: each observation is
+/// standardized against the mean and standard deviation frozen from the
+/// reference window, so a stationary stream contributes ≈ N(0, 1) steps. With
+/// the default slack of 0.2 σ the cumulative excursion of a stationary stream
+/// stays small (mean ≈ 1 / (2 · 0.2) = 2.5 σ), while a sustained 1 σ shift
+/// accumulates ≈ 0.8 σ per observation and crosses the default threshold of
+/// 40 σ in a few dozen verdicts.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DriftConfig {
+    /// Verdicts accumulated before the reference sketch freezes and the
+    /// tests arm.
+    pub reference_window: u64,
+    /// EWMA decay α of the exponential window (nominal window ≈ 1/α); the
+    /// exponential sketch feeds magnitude reporting, not the trip decision.
+    pub decay: f32,
+    /// Page-Hinkley slack in reference-σ units subtracted from every
+    /// standardized deviation; absorbs stationary noise.
+    pub ph_delta: f32,
+    /// Page-Hinkley trip threshold on the cumulative standardized excursion,
+    /// in reference-σ units.
+    pub ph_lambda: f32,
+    /// Minimum observations of a feature inside the reference window for its
+    /// Page-Hinkley test to arm (features rarely observed at reference time
+    /// have unreliable means and stay disarmed).
+    pub min_feature_support: u64,
+    /// Size of the sliding window of recent entropy observations compared
+    /// against the reference histogram.
+    pub hist_window: usize,
+    /// Total-variation distance in `[0, 1]` above which the histogram test
+    /// trips.
+    pub hist_threshold: f32,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        DriftConfig {
+            reference_window: 256,
+            decay: 1.0 / 32.0,
+            ph_delta: 0.2,
+            ph_lambda: 40.0,
+            min_feature_support: 24,
+            hist_window: 128,
+            hist_threshold: 0.35,
+        }
+    }
+}
+
+/// A typed drift alert raised by [`DriftDetector::observe`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DriftAlert {
+    /// The statistic that tripped.
+    pub feature: DriftFeature,
+    /// Value of the tripping statistic: the Page-Hinkley excursion for
+    /// per-feature tests, the total-variation distance for the histogram
+    /// test. Always `> threshold`.
+    pub magnitude: f32,
+    /// The configured threshold the magnitude exceeded (`ph_lambda` or
+    /// `hist_threshold`).
+    pub threshold: f32,
+    /// Nominal window of the tripping sketch: the exponential window
+    /// (≈ 1/decay) for Page-Hinkley tests, `hist_window` for the histogram
+    /// test.
+    pub window: u64,
+    /// Total verdicts folded into the detector when the alert tripped.
+    pub verdicts_at_trip: u64,
+}
+
+/// Floor on the frozen reference σ, so features that were constant in the
+/// reference window (e.g. a zero degraded rate) standardize their first
+/// deviating observations into large — but finite — steps.
+const MIN_SIGMA: f32 = 0.05;
+
+/// One Page-Hinkley track: reference accumulation, the exponential window,
+/// and the two-sided cumulative statistics over standardized deviations.
+#[derive(Clone, Copy, Debug, Default)]
+struct FeatureTrack {
+    ref_sum: f64,
+    ref_sq: f64,
+    ref_count: u64,
+    ref_mean: f32,
+    ref_sigma: f32,
+    armed: bool,
+    ewma: f32,
+    ph_up: f32,
+    ph_up_min: f32,
+    ph_down: f32,
+    ph_down_min: f32,
+}
+
+impl FeatureTrack {
+    fn fold_reference(&mut self, x: f32) {
+        self.ref_sum += f64::from(x);
+        self.ref_sq += f64::from(x) * f64::from(x);
+        self.ref_count += 1;
+    }
+
+    fn freeze(&mut self, min_support: u64) {
+        if self.ref_count >= min_support {
+            let mean = self.ref_sum / self.ref_count as f64;
+            let var = (self.ref_sq / self.ref_count as f64 - mean * mean).max(0.0);
+            self.ref_mean = mean as f32;
+            self.ref_sigma = (var.sqrt() as f32).max(MIN_SIGMA);
+            self.ewma = self.ref_mean;
+            self.armed = true;
+        }
+    }
+
+    /// Fold one observation; returns the excursion (in σ units) if it
+    /// crossed `lambda`.
+    fn fold(&mut self, x: f32, decay: f32, delta: f32, lambda: f32) -> Option<f32> {
+        if !self.armed {
+            return None;
+        }
+        self.ewma += decay * (x - self.ewma);
+        let z = (x - self.ref_mean) / self.ref_sigma;
+        self.ph_up += z - delta;
+        if self.ph_up < self.ph_up_min {
+            self.ph_up_min = self.ph_up;
+        }
+        self.ph_down += -z - delta;
+        if self.ph_down < self.ph_down_min {
+            self.ph_down_min = self.ph_down;
+        }
+        let excursion = (self.ph_up - self.ph_up_min).max(self.ph_down - self.ph_down_min);
+        if excursion > lambda {
+            Some(excursion)
+        } else {
+            None
+        }
+    }
+}
+
+/// Streaming drift detector over a single shard's verdict stream.
+///
+/// All state is fixed-size and allocated at construction; [`observe`] is pure
+/// accumulation (a handful of multiply-adds plus a 16-bin scan) and never
+/// allocates, reads a clock, or touches the verdict being folded.
+///
+/// [`observe`]: DriftDetector::observe
+///
+/// ```
+/// use remix_drift::{DriftConfig, DriftDetector, DriftFeature, VerdictFeatures};
+///
+/// let mut detector = DriftDetector::new(DriftConfig {
+///     reference_window: 64,
+///     ..DriftConfig::default()
+/// });
+/// // Stable stream: unanimous verdicts freeze the reference, no alert.
+/// for _ in 0..512 {
+///     assert!(detector.observe(&VerdictFeatures::unanimous()).is_none());
+/// }
+/// // The stream shifts to full disagreement: the detector trips.
+/// let mut shifted = VerdictFeatures::unanimous();
+/// shifted.disagreement = true;
+/// shifted.margin = Some(0.1);
+/// let alert = (0..512).find_map(|_| detector.observe(&shifted)).expect("trip");
+/// assert_eq!(alert.feature, DriftFeature::Disagreement);
+/// ```
+#[derive(Clone, Debug)]
+pub struct DriftDetector {
+    config: DriftConfig,
+    verdicts: u64,
+    referencing: bool,
+    tracks: [FeatureTrack; 7],
+    ref_hist: [u32; HIST_BINS],
+    ref_hist_total: u64,
+    ref_hist_norm: [f32; HIST_BINS],
+    ring: Vec<u8>,
+    ring_pos: usize,
+    ring_filled: usize,
+    recent_counts: [u32; HIST_BINS],
+    alert: Option<DriftAlert>,
+    alerts_raised: u64,
+}
+
+fn entropy_bin(entropy: f32) -> usize {
+    let clamped = entropy.clamp(0.0, 1.0);
+    ((clamped * HIST_BINS as f32) as usize).min(HIST_BINS - 1)
+}
+
+impl DriftDetector {
+    /// Build a detector with the given configuration. The only allocation —
+    /// the recent-entropy ring — happens here.
+    pub fn new(config: DriftConfig) -> Self {
+        let window = config.hist_window.max(1);
+        DriftDetector {
+            config,
+            verdicts: 0,
+            referencing: true,
+            tracks: [FeatureTrack::default(); 7],
+            ref_hist: [0; HIST_BINS],
+            ref_hist_total: 0,
+            ref_hist_norm: [0.0; HIST_BINS],
+            ring: vec![0; window],
+            ring_pos: 0,
+            ring_filled: 0,
+            recent_counts: [0; HIST_BINS],
+            alert: None,
+            alerts_raised: 0,
+        }
+    }
+
+    /// The configuration this detector was built with.
+    pub fn config(&self) -> &DriftConfig {
+        &self.config
+    }
+
+    /// Total verdicts folded since construction or the last [`reset`].
+    ///
+    /// [`reset`]: DriftDetector::reset
+    pub fn verdicts(&self) -> u64 {
+        self.verdicts
+    }
+
+    /// Total alerts raised since construction (not cleared by [`reset`]).
+    ///
+    /// [`reset`]: DriftDetector::reset
+    pub fn alerts_raised(&self) -> u64 {
+        self.alerts_raised
+    }
+
+    /// Whether the reference window has frozen and the tests are armed.
+    pub fn reference_ready(&self) -> bool {
+        !self.referencing
+    }
+
+    /// The latched alert, if the detector has tripped.
+    pub fn tripped(&self) -> Option<&DriftAlert> {
+        self.alert.as_ref()
+    }
+
+    /// Fold one verdict's features. Returns `Some` exactly once per trip:
+    /// the alert latches and subsequent calls only count verdicts until
+    /// [`reset`] is called.
+    ///
+    /// [`reset`]: DriftDetector::reset
+    pub fn observe(&mut self, features: &VerdictFeatures) -> Option<DriftAlert> {
+        self.verdicts += 1;
+        let disagreement = if features.disagreement { 1.0 } else { 0.0 };
+        let rung = f32::from(features.xai_rung) / 3.0;
+        let degraded = if features.degraded { 1.0 } else { 0.0 };
+        let downgraded = if features.downgraded { 1.0 } else { 0.0 };
+
+        if self.referencing {
+            self.tracks[0].fold_reference(disagreement);
+            if let Some(m) = features.margin {
+                self.tracks[1].fold_reference(m);
+            }
+            if let Some(e) = features.entropy {
+                self.tracks[2].fold_reference(e);
+                self.ref_hist[entropy_bin(e)] += 1;
+                self.ref_hist_total += 1;
+            }
+            if let Some(w) = features.weight_spread {
+                self.tracks[3].fold_reference(w);
+            }
+            self.tracks[4].fold_reference(rung);
+            self.tracks[5].fold_reference(degraded);
+            self.tracks[6].fold_reference(downgraded);
+            if self.verdicts >= self.config.reference_window {
+                self.freeze_reference();
+            }
+            return None;
+        }
+
+        if self.alert.is_some() {
+            return None;
+        }
+
+        let decay = self.config.decay;
+        let delta = self.config.ph_delta;
+        let lambda = self.config.ph_lambda;
+        let mut trip: Option<(DriftFeature, f32)> = None;
+        let mut check = |feature: DriftFeature, hit: Option<f32>| {
+            if trip.is_none() {
+                if let Some(excursion) = hit {
+                    trip = Some((feature, excursion));
+                }
+            }
+        };
+        check(
+            DriftFeature::Disagreement,
+            self.tracks[0].fold(disagreement, decay, delta, lambda),
+        );
+        if let Some(m) = features.margin {
+            check(
+                DriftFeature::Margin,
+                self.tracks[1].fold(m, decay, delta, lambda),
+            );
+        }
+        if let Some(e) = features.entropy {
+            check(
+                DriftFeature::Entropy,
+                self.tracks[2].fold(e, decay, delta, lambda),
+            );
+        }
+        if let Some(w) = features.weight_spread {
+            check(
+                DriftFeature::WeightSpread,
+                self.tracks[3].fold(w, decay, delta, lambda),
+            );
+        }
+        check(
+            DriftFeature::XaiEscalation,
+            self.tracks[4].fold(rung, decay, delta, lambda),
+        );
+        check(
+            DriftFeature::Degraded,
+            self.tracks[5].fold(degraded, decay, delta, lambda),
+        );
+        check(
+            DriftFeature::Downgraded,
+            self.tracks[6].fold(downgraded, decay, delta, lambda),
+        );
+
+        if let Some(e) = features.entropy {
+            let bin = entropy_bin(e) as u8;
+            if self.ring_filled == self.ring.len() {
+                let evicted = self.ring[self.ring_pos] as usize;
+                self.recent_counts[evicted] -= 1;
+            } else {
+                self.ring_filled += 1;
+            }
+            self.ring[self.ring_pos] = bin;
+            self.recent_counts[bin as usize] += 1;
+            self.ring_pos = (self.ring_pos + 1) % self.ring.len();
+            if trip.is_none()
+                && self.ring_filled == self.ring.len()
+                && self.ref_hist_total >= self.config.min_feature_support
+            {
+                let tv = self.histogram_distance();
+                if tv > self.config.hist_threshold {
+                    trip = Some((DriftFeature::EntropyHistogram, tv));
+                }
+            }
+        }
+
+        let (feature, magnitude) = trip?;
+        let (threshold, window) = if feature == DriftFeature::EntropyHistogram {
+            (self.config.hist_threshold, self.ring.len() as u64)
+        } else {
+            (self.config.ph_lambda, (1.0 / self.config.decay) as u64)
+        };
+        let alert = DriftAlert {
+            feature,
+            magnitude,
+            threshold,
+            window,
+            verdicts_at_trip: self.verdicts,
+        };
+        self.alert = Some(alert);
+        self.alerts_raised += 1;
+        Some(alert)
+    }
+
+    /// Total-variation distance between the (normalized) reference and
+    /// recent entropy histograms.
+    pub fn histogram_distance(&self) -> f32 {
+        if self.ref_hist_total == 0 || self.ring_filled == 0 {
+            return 0.0;
+        }
+        let recent_total = self.ring_filled as f32;
+        let mut tv = 0.0f32;
+        for bin in 0..HIST_BINS {
+            let p = self.ref_hist_norm[bin];
+            let q = self.recent_counts[bin] as f32 / recent_total;
+            tv += (p - q).abs();
+        }
+        0.5 * tv
+    }
+
+    /// Forget everything and start a fresh reference window. The serve layer
+    /// calls this when a hot-swap installs a new model generation, so the
+    /// detector re-learns its baseline against the new ensemble. Cumulative
+    /// [`alerts_raised`] survives the reset.
+    ///
+    /// [`alerts_raised`]: DriftDetector::alerts_raised
+    pub fn reset(&mut self) {
+        self.verdicts = 0;
+        self.referencing = true;
+        self.tracks = [FeatureTrack::default(); 7];
+        self.ref_hist = [0; HIST_BINS];
+        self.ref_hist_total = 0;
+        self.ref_hist_norm = [0.0; HIST_BINS];
+        self.ring.fill(0);
+        self.ring_pos = 0;
+        self.ring_filled = 0;
+        self.recent_counts = [0; HIST_BINS];
+        self.alert = None;
+    }
+
+    fn freeze_reference(&mut self) {
+        self.referencing = false;
+        for track in &mut self.tracks {
+            track.freeze(self.config.min_feature_support);
+        }
+        if self.ref_hist_total > 0 {
+            let total = self.ref_hist_total as f32;
+            for bin in 0..HIST_BINS {
+                self.ref_hist_norm[bin] = self.ref_hist[bin] as f32 / total;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic xorshift so tests never touch the system RNG or clock.
+    struct XorShift(u64);
+
+    impl XorShift {
+        fn next_f32(&mut self) -> f32 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            (x >> 40) as f32 / (1u64 << 24) as f32
+        }
+    }
+
+    fn noisy_verdict(
+        rng: &mut XorShift,
+        disagreement_rate: f32,
+        entropy_center: f32,
+    ) -> VerdictFeatures {
+        let disagreement = rng.next_f32() < disagreement_rate;
+        if disagreement {
+            let entropy = (entropy_center + 0.1 * (rng.next_f32() - 0.5)).clamp(0.0, 1.0);
+            VerdictFeatures {
+                disagreement: true,
+                margin: Some((0.6 + 0.2 * (rng.next_f32() - 0.5)).clamp(0.0, 1.0)),
+                entropy: Some(entropy),
+                weight_spread: Some((0.4 + 0.1 * (rng.next_f32() - 0.5)).clamp(0.0, 1.0)),
+                xai_rung: 2,
+                degraded: false,
+                downgraded: false,
+            }
+        } else {
+            VerdictFeatures::unanimous()
+        }
+    }
+
+    #[test]
+    fn stationary_stream_never_trips() {
+        let mut rng = XorShift(0x5eed_1234_dead_beef);
+        let mut detector = DriftDetector::new(DriftConfig::default());
+        for _ in 0..8_000 {
+            let v = noisy_verdict(&mut rng, 0.3, 0.5);
+            assert!(
+                detector.observe(&v).is_none(),
+                "false trip on stationary stream"
+            );
+        }
+        assert!(detector.reference_ready());
+        assert!(detector.tripped().is_none());
+        assert_eq!(detector.alerts_raised(), 0);
+        assert_eq!(detector.verdicts(), 8_000);
+    }
+
+    #[test]
+    fn disagreement_rate_shift_trips_quickly() {
+        let mut rng = XorShift(42);
+        let mut detector = DriftDetector::new(DriftConfig::default());
+        for _ in 0..1_000 {
+            let v = noisy_verdict(&mut rng, 0.25, 0.5);
+            assert!(detector.observe(&v).is_none());
+        }
+        let mut alert = None;
+        let mut folded = 0u64;
+        for _ in 0..2_000 {
+            let v = noisy_verdict(&mut rng, 0.85, 0.5);
+            folded += 1;
+            if let Some(a) = detector.observe(&v) {
+                alert = Some(a);
+                break;
+            }
+        }
+        let alert = alert.expect("shifted stream must trip");
+        assert!(folded < 500, "detection too slow: {folded} verdicts");
+        assert!(alert.magnitude > alert.threshold);
+        assert_eq!(alert.verdicts_at_trip, 1_000 + folded);
+        assert!(alert.window > 0);
+    }
+
+    #[test]
+    fn margin_collapse_trips_margin_or_related_feature() {
+        let mut rng = XorShift(7);
+        let mut detector = DriftDetector::new(DriftConfig::default());
+        for _ in 0..1_000 {
+            let v = noisy_verdict(&mut rng, 0.4, 0.4);
+            assert!(detector.observe(&v).is_none());
+        }
+        let mut tripped = None;
+        for _ in 0..2_000 {
+            let mut v = noisy_verdict(&mut rng, 0.4, 0.4);
+            if v.disagreement {
+                v.margin = Some(0.05 + 0.05 * rng.next_f32());
+            }
+            if let Some(a) = detector.observe(&v) {
+                tripped = Some(a);
+                break;
+            }
+        }
+        let alert = tripped.expect("margin collapse must trip");
+        assert_eq!(alert.feature, DriftFeature::Margin);
+    }
+
+    #[test]
+    fn histogram_catches_mean_preserving_shape_change() {
+        // Reference: entropy tightly clustered around 0.5. Shifted: bimodal
+        // at 0.1/0.9 with the same mean — the Page-Hinkley test on the mean
+        // is blind to it, the two-sample histogram statistic is not.
+        let config = DriftConfig {
+            reference_window: 400,
+            ph_lambda: 1e6, // effectively disable the mean tests
+            ..DriftConfig::default()
+        };
+        let mut detector = DriftDetector::new(config);
+        let mut rng = XorShift(99);
+        for _ in 0..400 {
+            let mut v = noisy_verdict(&mut rng, 1.0, 0.5);
+            v.entropy = Some(0.45 + 0.1 * rng.next_f32());
+            assert!(detector.observe(&v).is_none());
+        }
+        let mut tripped = None;
+        let mut low = false;
+        for _ in 0..1_000 {
+            let mut v = noisy_verdict(&mut rng, 1.0, 0.5);
+            v.entropy = Some(if low { 0.1 } else { 0.9 });
+            low = !low;
+            if let Some(a) = detector.observe(&v) {
+                tripped = Some(a);
+                break;
+            }
+        }
+        let alert = tripped.expect("bimodal entropy must trip the histogram test");
+        assert_eq!(alert.feature, DriftFeature::EntropyHistogram);
+        assert!(alert.magnitude > alert.threshold);
+        assert_eq!(alert.window, detector.config().hist_window as u64);
+    }
+
+    #[test]
+    fn alert_latches_until_reset_and_reset_relearns() {
+        let mut rng = XorShift(3);
+        let mut detector = DriftDetector::new(DriftConfig::default());
+        for _ in 0..600 {
+            detector.observe(&noisy_verdict(&mut rng, 0.2, 0.5));
+        }
+        let mut shifted = VerdictFeatures::unanimous();
+        shifted.disagreement = true;
+        shifted.margin = Some(0.1);
+        shifted.entropy = Some(0.9);
+        let mut trips = 0;
+        for _ in 0..2_000 {
+            if detector.observe(&shifted).is_some() {
+                trips += 1;
+            }
+        }
+        assert_eq!(trips, 1, "alert must latch after the first trip");
+        assert!(detector.tripped().is_some());
+        assert_eq!(detector.alerts_raised(), 1);
+
+        detector.reset();
+        assert!(detector.tripped().is_none());
+        assert!(!detector.reference_ready());
+        assert_eq!(detector.verdicts(), 0);
+        assert_eq!(
+            detector.alerts_raised(),
+            1,
+            "cumulative count survives reset"
+        );
+        // The post-reset reference learns the *shifted* stream as the new
+        // normal, so continuing it does not re-trip.
+        for _ in 0..2_000 {
+            assert!(detector.observe(&shifted).is_none());
+        }
+    }
+
+    #[test]
+    fn detector_is_deterministic() {
+        let stream: Vec<VerdictFeatures> = {
+            let mut rng = XorShift(0xabcdef);
+            (0..1_500)
+                .map(|i| {
+                    let rate = if i < 900 { 0.3 } else { 0.9 };
+                    noisy_verdict(&mut rng, rate, 0.5)
+                })
+                .collect()
+        };
+        let run = |stream: &[VerdictFeatures]| {
+            let mut d = DriftDetector::new(DriftConfig::default());
+            let mut first = None;
+            for v in stream {
+                if let Some(a) = d.observe(v) {
+                    first.get_or_insert(a);
+                }
+            }
+            (first, d.verdicts(), d.alerts_raised())
+        };
+        assert_eq!(run(&stream), run(&stream));
+        let (alert, _, _) = run(&stream);
+        assert!(alert.is_some(), "shifted tail must trip");
+    }
+
+    #[test]
+    fn sparse_reference_features_stay_disarmed() {
+        // A reference window with zero disagreements never observes margin /
+        // entropy / weight spread; those tracks must stay disarmed instead of
+        // tripping on a garbage mean the first time they appear.
+        let config = DriftConfig {
+            reference_window: 64,
+            ..DriftConfig::default()
+        };
+        let mut detector = DriftDetector::new(config);
+        for _ in 0..64 {
+            assert!(detector.observe(&VerdictFeatures::unanimous()).is_none());
+        }
+        assert!(detector.reference_ready());
+        // Rare, mild disagreements: margin track is disarmed, disagreement
+        // track sees a rate shift only if sustained. A single one must not
+        // trip anything.
+        let mut v = VerdictFeatures::unanimous();
+        v.disagreement = true;
+        v.margin = Some(0.2);
+        v.entropy = Some(0.8);
+        assert!(detector.observe(&v).is_none());
+    }
+
+    #[test]
+    fn feature_ids_round_trip() {
+        for feature in DriftFeature::TESTED {
+            assert_eq!(DriftFeature::from_id(feature.id()), Some(feature));
+        }
+        let hist = DriftFeature::EntropyHistogram;
+        assert_eq!(DriftFeature::from_id(hist.id()), Some(hist));
+        assert_eq!(DriftFeature::from_id(0), None);
+        assert_eq!(DriftFeature::from_id(99), None);
+        let mut names: Vec<&str> = DriftFeature::TESTED.iter().map(|f| f.name()).collect();
+        names.push(hist.name());
+        let mut deduped = names.clone();
+        deduped.sort_unstable();
+        deduped.dedup();
+        assert_eq!(deduped.len(), names.len(), "feature names must be unique");
+    }
+}

@@ -211,6 +211,35 @@ impl Registry {
     /// Serializes and atomically publishes an artifact under
     /// `<root>/<name>/<version>/`.
     ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rand::{rngs::StdRng, SeedableRng};
+    /// use remix_ensemble::TrainedEnsemble;
+    /// use remix_nn::layers::{Dense, Flatten};
+    /// use remix_nn::{InputSpec, Model, Sequential};
+    /// use remix_registry::{EnsembleArtifact, Registry};
+    /// use remix_xai::XaiBudget;
+    ///
+    /// let spec = InputSpec { channels: 1, size: 2, num_classes: 3 };
+    /// let mut init = StdRng::seed_from_u64(0);
+    /// let mut net = Sequential::new();
+    /// net.push(Flatten::new());
+    /// net.push(Dense::new(4, 3, &mut init));
+    /// let mut ensemble = TrainedEnsemble::new(vec![Model::named(net, spec, "mlp")]);
+    /// let artifact = EnsembleArtifact::capture(
+    ///     "demo", "1.0.0", spec, &mut ensemble,
+    ///     vec!["mlp".into()], vec![1.0], XaiBudget::default(),
+    /// );
+    ///
+    /// let root = std::env::temp_dir().join(format!("remix_doc_publish_{}", std::process::id()));
+    /// let registry = Registry::open(&root);
+    /// let info = registry.publish(&artifact).unwrap();
+    /// assert_eq!(info.version.to_string(), "1.0.0");
+    /// assert_eq!(registry.load("demo", None).unwrap().hash, info.hash);
+    /// # std::fs::remove_dir_all(&root).unwrap();
+    /// ```
+    ///
     /// # Errors
     ///
     /// Returns [`RegistryError`] for a bad name/version, a serialization
@@ -310,6 +339,44 @@ impl Registry {
 
     /// Resolves a version request — `None` means "latest by semver" — to the
     /// committed entry.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rand::{rngs::StdRng, SeedableRng};
+    /// use remix_ensemble::TrainedEnsemble;
+    /// use remix_nn::layers::{Dense, Flatten};
+    /// use remix_nn::{InputSpec, Model, Sequential};
+    /// use remix_registry::{EnsembleArtifact, Registry};
+    /// use remix_xai::XaiBudget;
+    ///
+    /// let spec = InputSpec { channels: 1, size: 2, num_classes: 3 };
+    /// let root = std::env::temp_dir().join(format!("remix_doc_resolve_{}", std::process::id()));
+    /// let registry = Registry::open(&root);
+    /// for version in ["1.0.0", "1.2.0"] {
+    ///     let mut init = StdRng::seed_from_u64(0);
+    ///     let mut net = Sequential::new();
+    ///     net.push(Flatten::new());
+    ///     net.push(Dense::new(4, 3, &mut init));
+    ///     let mut ensemble = TrainedEnsemble::new(vec![Model::named(net, spec, "mlp")]);
+    ///     let artifact = EnsembleArtifact::capture(
+    ///         "demo", version, spec, &mut ensemble,
+    ///         vec!["mlp".into()], vec![1.0], XaiBudget::default(),
+    ///     );
+    ///     registry.publish(&artifact).unwrap();
+    /// }
+    ///
+    /// // `None` resolves to the latest committed semver.
+    /// assert_eq!(registry.resolve("demo", None).unwrap().version.to_string(), "1.2.0");
+    /// // An explicit version resolves to exactly that committed entry.
+    /// assert_eq!(
+    ///     registry.resolve("demo", Some("1.0.0")).unwrap().version.to_string(),
+    ///     "1.0.0",
+    /// );
+    /// // A version that was never published is an error, not a fallback.
+    /// assert!(registry.resolve("demo", Some("3.0.0")).is_err());
+    /// # std::fs::remove_dir_all(&root).unwrap();
+    /// ```
     ///
     /// # Errors
     ///

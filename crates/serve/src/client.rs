@@ -73,6 +73,33 @@ impl Client {
     /// Sends one `/predict` request routed to a named model group (`None`
     /// uses the server's default group) and blocks for the reply.
     ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rand::{rngs::StdRng, SeedableRng};
+    /// use remix_core::Remix;
+    /// use remix_ensemble::TrainedEnsemble;
+    /// use remix_nn::layers::{Dense, Flatten};
+    /// use remix_nn::{InputSpec, Model, Sequential};
+    /// use remix_serve::{Client, ServeConfig, Server};
+    ///
+    /// let spec = InputSpec { channels: 1, size: 2, num_classes: 3 };
+    /// let mut init = StdRng::seed_from_u64(0);
+    /// let mut net = Sequential::new();
+    /// net.push(Flatten::new());
+    /// net.push(Dense::new(4, 3, &mut init));
+    /// let ensemble = TrainedEnsemble::new(vec![Model::named(net, spec, "mlp")]);
+    /// let remix = Remix::builder().threads(1).build();
+    /// let server = Server::start(ensemble, remix, ServeConfig::default()).unwrap();
+    ///
+    /// let mut client = Client::connect(server.addr()).unwrap();
+    /// let reply = client
+    ///     .predict_model(None, &[0.1, 0.2, 0.3, 0.4], Some(10_000), false)
+    ///     .unwrap();
+    /// assert_eq!(reply.status, 200);
+    /// assert!(reply.unanimous); // a single-model ensemble never disagrees
+    /// ```
+    ///
     /// # Errors
     ///
     /// Returns I/O errors and malformed server replies.
@@ -112,6 +139,35 @@ impl Client {
     /// Fetches `GET /models` (the served groups with versions, hashes, and
     /// traffic counters) as a parsed JSON object.
     ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rand::{rngs::StdRng, SeedableRng};
+    /// use remix_core::Remix;
+    /// use remix_ensemble::TrainedEnsemble;
+    /// use remix_nn::layers::{Dense, Flatten};
+    /// use remix_nn::{InputSpec, Model, Sequential};
+    /// use remix_serve::{Client, ServeConfig, Server};
+    ///
+    /// let spec = InputSpec { channels: 1, size: 2, num_classes: 3 };
+    /// let mut init = StdRng::seed_from_u64(0);
+    /// let mut net = Sequential::new();
+    /// net.push(Flatten::new());
+    /// net.push(Dense::new(4, 3, &mut init));
+    /// let ensemble = TrainedEnsemble::new(vec![Model::named(net, spec, "mlp")]);
+    /// let remix = Remix::builder().threads(1).build();
+    /// let server = Server::start(ensemble, remix, ServeConfig::default()).unwrap();
+    ///
+    /// let mut client = Client::connect(server.addr()).unwrap();
+    /// let models = client.models().unwrap();
+    /// let groups = models
+    ///     .as_object()
+    ///     .and_then(|pairs| pairs.iter().find(|(key, _)| key == "models"))
+    ///     .and_then(|(_, value)| value.as_array())
+    ///     .expect("a JSON object with a `models` array");
+    /// assert_eq!(groups.len(), 1); // one hosted group per `--model` (or `--ensemble`)
+    /// ```
+    ///
     /// # Errors
     ///
     /// Returns I/O errors and malformed server replies.
@@ -125,6 +181,62 @@ impl Client {
     /// means the registry's latest) and blocks until the swap completes.
     /// The reply body carries the swap report (`from`, `to`, `hash`,
     /// `prepare_us`, `flip_us`) on success, or an error object.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rand::{rngs::StdRng, SeedableRng};
+    /// use remix_core::Remix;
+    /// use remix_ensemble::TrainedEnsemble;
+    /// use remix_nn::layers::{Dense, Flatten};
+    /// use remix_nn::{InputSpec, Model, Sequential};
+    /// use remix_registry::{EnsembleArtifact, Registry};
+    /// use remix_serve::{Client, NamedModel, ServeConfig, Server};
+    /// use remix_xai::XaiBudget;
+    ///
+    /// // Publish two versions of a one-model ensemble to a throwaway
+    /// // registry, keeping the v1 ensemble to serve from (a swap applies
+    /// // the incoming version's states onto the running structure).
+    /// let spec = InputSpec { channels: 1, size: 2, num_classes: 3 };
+    /// let root = std::env::temp_dir().join(format!("remix_doc_swap_{}", std::process::id()));
+    /// let registry = Registry::open(&root);
+    /// let mut serving = None;
+    /// for (seed, version) in [(0, "1.0.0"), (1, "2.0.0")] {
+    ///     let mut init = StdRng::seed_from_u64(seed);
+    ///     let mut net = Sequential::new();
+    ///     net.push(Flatten::new());
+    ///     net.push(Dense::new(4, 3, &mut init));
+    ///     let mut ensemble = TrainedEnsemble::new(vec![Model::named(net, spec, "mlp")]);
+    ///     let artifact = EnsembleArtifact::capture(
+    ///         "demo", version, spec, &mut ensemble,
+    ///         vec!["mlp".into()], vec![1.0], XaiBudget::default(),
+    ///     );
+    ///     registry.publish(&artifact).unwrap();
+    ///     if seed == 0 {
+    ///         serving = Some(ensemble);
+    ///     }
+    /// }
+    ///
+    /// // Serve v1, then swap the live group to v2 over the API.
+    /// let entry = registry.resolve("demo", Some("1.0.0")).unwrap();
+    /// let named = NamedModel {
+    ///     name: "demo".to_string(),
+    ///     version: entry.version.to_string(),
+    ///     hash: entry.hash,
+    ///     ensemble: serving.unwrap(),
+    /// };
+    /// let remix = Remix::builder().threads(1).build();
+    /// let server =
+    ///     Server::start_models(vec![named], Some(registry), remix, ServeConfig::default())
+    ///         .unwrap();
+    /// let mut client = Client::connect(server.addr()).unwrap();
+    /// let reply = client.swap("demo", Some("2.0.0")).unwrap();
+    /// assert_eq!(reply.status, 200);
+    /// assert!(reply.body.contains("\"to\":\"2.0.0\""));
+    /// # drop(client);
+    /// # drop(server);
+    /// # std::fs::remove_dir_all(&root).unwrap();
+    /// ```
     ///
     /// # Errors
     ///
@@ -145,6 +257,19 @@ impl Client {
     /// Returns I/O errors and malformed server replies.
     pub fn stats(&mut self) -> io::Result<Value> {
         let reply = self.roundtrip("GET", "/stats", "")?;
+        serde_json::from_str(&reply.body)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e:?}")))
+    }
+
+    /// Fetches `GET /drift`, parsed: the detector's enabled/action state
+    /// plus per-model alert counts, latched trip state, last-trip metadata,
+    /// and the drift-triggered swap outcome.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors and malformed server replies.
+    pub fn drift(&mut self) -> io::Result<Value> {
+        let reply = self.roundtrip("GET", "/drift", "")?;
         serde_json::from_str(&reply.body)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e:?}")))
     }

@@ -25,9 +25,11 @@
 
 use crate::batcher::{BatchQueue, EngineReply, PendingRequest};
 use crate::cache::{generation_key, VerdictCache};
+use crate::drift::{ladder_rung, EngineDrift};
 use crate::protocol;
 use crate::server::ServeStats;
-use remix_core::Remix;
+use remix_core::{Remix, TriageScheduler, TriageSignals};
+use remix_drift::VerdictFeatures;
 use remix_ensemble::{majority_with_weights, ModelOutput, TrainedEnsemble};
 use remix_tensor::Tensor;
 use remix_trace::Counter;
@@ -88,6 +90,11 @@ pub(crate) struct Engine {
     pub artifact_hash: u64,
     /// The swap generation last adopted.
     pub seen_generation: u64,
+    /// The streaming drift detector for this shard, when enabled. Strictly
+    /// passive: features are folded *after* each verdict is formed and
+    /// delivered, so the reply bytes are bit-identical with the detector on
+    /// or off.
+    pub drift: Option<EngineDrift>,
 }
 
 impl Engine {
@@ -118,6 +125,11 @@ impl Engine {
         if let Some(swap) = pending {
             self.ensemble = swap.ensemble;
             self.artifact_hash = swap.artifact_hash;
+            // A new model generation invalidates the drift baseline: clear
+            // the latch and re-learn the reference under the new weights.
+            if let Some(drift) = &mut self.drift {
+                drift.reset();
+            }
         }
     }
 
@@ -154,8 +166,8 @@ impl Engine {
         // the scheduler (when attached) assigns every surviving disagreement
         // its budget level from the prediction-stage signals alone.
         let now = Instant::now();
-        // (request index, assigned level, Fano bound)
-        let mut xai: Vec<(usize, XaiLevel, f32)> = Vec::new();
+        // (request index, assigned level, prediction-stage signals)
+        let mut xai: Vec<(usize, XaiLevel, TriageSignals)> = Vec::new();
         for (k, request) in batch.iter().enumerate() {
             let outs = &outputs[k];
             let first = outs[0].pred;
@@ -176,6 +188,9 @@ impl Engine {
                     true,
                     true,
                 );
+                if let Some(drift) = &mut self.drift {
+                    drift.fold(&VerdictFeatures::unanimous());
+                }
                 continue;
             }
             remix_trace::incr(Counter::Disagreements);
@@ -191,16 +206,35 @@ impl Engine {
                     false,
                     false,
                 );
+                if let Some(drift) = &mut self.drift {
+                    drift.fold(&VerdictFeatures {
+                        disagreement: true,
+                        margin: None,
+                        entropy: None,
+                        weight_spread: None,
+                        xai_rung: 0,
+                        degraded: true,
+                        downgraded: false,
+                    });
+                }
                 continue;
             }
-            let (level, predicted_error) = match self.remix.scheduler() {
-                Some(scheduler) => {
-                    let (level, signals) = scheduler.assess(outs);
-                    (level, signals.predicted_error)
-                }
-                None => (XaiLevel::Full, 0.0),
+            let (level, signals) = match self.remix.scheduler() {
+                Some(scheduler) => scheduler.assess(outs),
+                // Without a scheduler the level is always Full; the signals
+                // are only worth computing when the drift detector will fold
+                // them (they feed nothing else on this path).
+                None if self.drift.is_some() => (XaiLevel::Full, TriageScheduler::signals(outs)),
+                None => (
+                    XaiLevel::Full,
+                    TriageSignals {
+                        margin: 0.0,
+                        entropy: 0.0,
+                        predicted_error: 0.0,
+                    },
+                ),
             };
-            xai.push((k, level, predicted_error));
+            xai.push((k, level, signals));
         }
         if xai.is_empty() {
             span.finish();
@@ -222,7 +256,7 @@ impl Engine {
         {
             let budget_units = (self.latency_budget.as_nanos() as f64 / self.ns_per_unit) as u64;
             let mut levels = assigned.clone();
-            let errors: Vec<f32> = xai.iter().map(|&(_, _, e)| e).collect();
+            let errors: Vec<f32> = xai.iter().map(|&(_, _, s)| s.predicted_error).collect();
             let explainer = *self.remix.explainer();
             remix_core::plan_downgrades(
                 &mut levels,
@@ -245,7 +279,7 @@ impl Engine {
         // Scheduler-admitted Skip: deterministic majority vote, cacheable
         // (unlike the deadline fallback, the level is a pure function of the
         // input) unless queue pressure forced the downgrade.
-        for (i, &(k, level, _)) in xai.iter().enumerate() {
+        for (i, &(k, level, signals)) in xai.iter().enumerate() {
             if level != XaiLevel::Skip {
                 continue;
             }
@@ -268,6 +302,17 @@ impl Engine {
                 false,
                 !downgraded[i],
             );
+            if let Some(drift) = &mut self.drift {
+                drift.fold(&VerdictFeatures {
+                    disagreement: true,
+                    margin: Some(signals.margin),
+                    entropy: Some(signals.entropy),
+                    weight_spread: None,
+                    xai_rung: 0,
+                    degraded: false,
+                    downgraded: downgraded[i],
+                });
+            }
         }
 
         // Stage 3: coalesced XAI, one group per remaining ladder level — for
@@ -320,12 +365,13 @@ impl Engine {
                 * explainer.config.budget.sweep_units(explainer.technique)
                 * nmodels;
             for (g, &i) in group.iter().enumerate() {
-                let k = xai[i].0;
+                let (k, _, signals) = xai[i];
                 let mut verdict =
                     self.remix
                         .resolve_disagreement(&self.ensemble, &outputs[k], &matrices[g]);
                 verdict.xai_level = level;
                 self.stats.bump_level(level);
+                let weight_spread = verdict.weight_spread();
                 self.finish(
                     &batch[k],
                     protocol::verdict_fragment(&verdict),
@@ -333,6 +379,17 @@ impl Engine {
                     false,
                     !downgraded[i],
                 );
+                if let Some(drift) = &mut self.drift {
+                    drift.fold(&VerdictFeatures {
+                        disagreement: true,
+                        margin: Some(signals.margin),
+                        entropy: Some(signals.entropy),
+                        weight_spread: Some(weight_spread),
+                        xai_rung: ladder_rung(level),
+                        degraded: false,
+                        downgraded: downgraded[i],
+                    });
+                }
             }
         }
         // Refresh the cost model from what the stage actually took. Prices

@@ -25,6 +25,14 @@
 //!   counters, queue-depth and batch-occupancy histograms, and per-verdict
 //!   latency histograms, all inert unless tracing is enabled; `/stats`
 //!   serves always-on counters.
+//! * **Streaming drift detection** (DESIGN.md §6k) — with
+//!   [`ServeConfig::drift`] set, every shard folds per-verdict features
+//!   (disagreement, margin, entropy, ω spread, XAI mix, degraded/downgraded
+//!   flags) into a passive [`remix_drift::DriftDetector`]; alerts aggregate
+//!   into `GET /drift` and the `drift_alerts`/`drift_swaps` stats counters,
+//!   and [`DriftAction::Swap`] closes the loop by promoting a registry
+//!   target through the hot-swap coordinator when an alert trips. Verdicts
+//!   are bit-identical with the detector on or off.
 //! * **Model registry & hot-swap** (DESIGN.md §6j) — the server can host
 //!   multiple *named* model groups concurrently
 //!   ([`Server::start_models`]); `/predict` routes by its optional `model`
@@ -58,6 +66,7 @@
 mod batcher;
 pub mod cache;
 pub mod client;
+mod drift;
 mod engine;
 pub mod http;
 pub mod protocol;
@@ -69,5 +78,9 @@ mod sys;
 
 pub use cache::{content_key, generation_key, VerdictCache};
 pub use client::{Client, ClientReply};
+pub use drift::DriftAction;
 pub use protocol::{degraded_fragment, verdict_fragment, PredictRequest};
+// Re-exported so configuring `ServeConfig::drift` needs no direct
+// `remix-drift` dependency.
+pub use remix_drift::{DriftAlert, DriftConfig, DriftFeature};
 pub use server::{NamedModel, ServeConfig, Server, StatsSnapshot};

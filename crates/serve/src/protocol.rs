@@ -169,7 +169,7 @@ fn push_prediction(out: &mut String, prediction: &Prediction) {
 
 /// Shortest round-trip rendering; non-finite values become `null` (matching
 /// the serde shim's serializer) so the fragment stays valid JSON.
-fn fmt_f32(f: f32) -> String {
+pub(crate) fn fmt_f32(f: f32) -> String {
     if f.is_finite() {
         f.to_string()
     } else {

@@ -33,10 +33,12 @@
 
 use crate::batcher::{BatchQueue, EngineReply, PendingRequest, PushError, ReplySlot, Responder};
 use crate::cache::{content_key, generation_key, VerdictCache};
+use crate::drift::{DriftAction, DriftStatus, DriftTrigger, EngineDrift};
 use crate::engine::{Engine, PendingSwap, SwapSlot};
 use crate::http::{error_status, read_request, write_response, HttpRequest};
 use crate::protocol;
 use remix_core::Remix;
+use remix_drift::{DriftConfig, DriftDetector, DriftFeature};
 use remix_ensemble::TrainedEnsemble;
 use remix_registry::{Registry, RegistryError};
 use remix_tensor::Tensor;
@@ -45,7 +47,7 @@ use remix_xai::XaiLevel;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
@@ -86,6 +88,14 @@ pub struct ServeConfig {
     /// a graceful continuum *before* the deadline cliff. Zero disables
     /// pressure downgrades.
     pub latency_budget: Duration,
+    /// Streaming drift detection over the verdict stream, per engine shard
+    /// (see [`remix_drift`]). `None` (the default) disables the detector
+    /// entirely — nothing is folded and `GET /drift` reports it disabled.
+    pub drift: Option<DriftConfig>,
+    /// What a tripped drift alert does beyond being reported: observe only
+    /// (default), or trigger the hot-swap coordinator toward a registry
+    /// target. Ignored when `drift` is `None`.
+    pub drift_action: DriftAction,
 }
 
 impl Default for ServeConfig {
@@ -100,6 +110,8 @@ impl Default for ServeConfig {
             cache_shards: 8,
             shards: 0,
             latency_budget: Duration::ZERO,
+            drift: None,
+            drift_action: DriftAction::Observe,
         }
     }
 }
@@ -154,6 +166,9 @@ pub struct ServeStats {
     /// Requests served below their scheduler-assigned level because the
     /// batch's XAI bill exceeded the latency budget.
     pub downgraded: AtomicU64,
+    /// Drift alerts raised by this shard's streaming detector (zero when
+    /// drift detection is disabled).
+    pub drift_alerts: AtomicU64,
 }
 
 impl ServeStats {
@@ -219,12 +234,38 @@ pub struct StatsSnapshot {
     pub cached_verdicts: u64,
     /// Number of engine shards serving (all groups).
     pub shards: u64,
+    /// Drift alerts raised by the streaming detectors (all shards).
+    pub drift_alerts: u64,
+    /// Hot-swaps triggered by drift alerts (all groups).
+    pub drift_swaps: u64,
 }
 
 impl StatsSnapshot {
+    /// Every field of the snapshot, in the order `GET /stats` renders them.
+    /// The docs-sync test uses this list to fail the build when a field is
+    /// missing from the README's documented stats list.
+    pub const FIELD_NAMES: [&'static str; 16] = [
+        "requests",
+        "cache_hits",
+        "cache_misses",
+        "shed",
+        "degraded",
+        "batches",
+        "batched_requests",
+        "xai_skip",
+        "xai_light",
+        "xai_standard",
+        "xai_full",
+        "downgraded",
+        "cached_verdicts",
+        "shards",
+        "drift_alerts",
+        "drift_swaps",
+    ];
+
     fn body(&self) -> String {
         format!(
-            "{{\"requests\":{},\"cache_hits\":{},\"cache_misses\":{},\"shed\":{},\"degraded\":{},\"batches\":{},\"batched_requests\":{},\"xai_skip\":{},\"xai_light\":{},\"xai_standard\":{},\"xai_full\":{},\"downgraded\":{},\"cached_verdicts\":{},\"shards\":{}}}",
+            "{{\"requests\":{},\"cache_hits\":{},\"cache_misses\":{},\"shed\":{},\"degraded\":{},\"batches\":{},\"batched_requests\":{},\"xai_skip\":{},\"xai_light\":{},\"xai_standard\":{},\"xai_full\":{},\"downgraded\":{},\"cached_verdicts\":{},\"shards\":{},\"drift_alerts\":{},\"drift_swaps\":{}}}",
             self.requests,
             self.cache_hits,
             self.cache_misses,
@@ -239,6 +280,8 @@ impl StatsSnapshot {
             self.downgraded,
             self.cached_verdicts,
             self.shards,
+            self.drift_alerts,
+            self.drift_swaps,
         )
     }
 }
@@ -251,6 +294,9 @@ pub(crate) struct Shard {
     pub stats: Arc<ServeStats>,
     /// Hot-swap mailbox shared with this shard's engine.
     pub swap: Arc<SwapSlot>,
+    /// Published state of this shard's drift detector (`None` when drift
+    /// detection is disabled).
+    pub drift: Option<Arc<DriftStatus>>,
 }
 
 /// Mutable bookkeeping for one model group, updated under a lock by the
@@ -258,6 +304,13 @@ pub(crate) struct Shard {
 pub(crate) struct GroupMeta {
     pub version: String,
     pub swaps: u64,
+    /// Hot-swaps triggered by the drift coordinator (at most one per group
+    /// per server lifetime).
+    pub drift_swaps: u64,
+    /// HTTP status of the drift-triggered swap, once it has run (`200` on
+    /// promotion; a 4xx/5xx records a failed attempt — the trigger is not
+    /// retried).
+    pub drift_swap_status: Option<u16>,
 }
 
 /// One named model's complete sharded backend.
@@ -305,6 +358,10 @@ pub(crate) struct Shared {
     /// like the startup path does.
     pub remix: Remix,
     default_deadline: Duration,
+    /// Whether the per-shard drift detectors are running.
+    drift_enabled: bool,
+    /// The configured response to a tripped drift alert.
+    drift_action: DriftAction,
 }
 
 impl Shared {
@@ -332,8 +389,14 @@ impl Shared {
                 sum.xai_standard += shard.stats.xai_standard.load(Ordering::Relaxed);
                 sum.xai_full += shard.stats.xai_full.load(Ordering::Relaxed);
                 sum.downgraded += shard.stats.downgraded.load(Ordering::Relaxed);
+                sum.drift_alerts += shard.stats.drift_alerts.load(Ordering::Relaxed);
                 sum.cached_verdicts += shard.cache.len() as u64;
             }
+            sum.drift_swaps += group
+                .meta
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .drift_swaps;
         }
         sum
     }
@@ -345,15 +408,110 @@ impl Shared {
                 out.push(',');
             }
             let meta = group.meta.lock().unwrap_or_else(|e| e.into_inner());
+            let drift_tripped = group.shards.iter().any(|s| {
+                s.drift
+                    .as_ref()
+                    .is_some_and(|d| d.tripped_feature().is_some())
+            });
             out.push_str(&format!(
-                "{{\"name\":{},\"version\":{},\"hash\":\"{:016x}\",\"requests\":{},\"swaps\":{},\"shards\":{}}}",
+                "{{\"name\":{},\"version\":{},\"hash\":\"{:016x}\",\"requests\":{},\"swaps\":{},\"shards\":{},\"drift_tripped\":{},\"drift_swaps\":{},\"drift_swap_status\":{}}}",
                 protocol::json_string(&group.name),
                 protocol::json_string(&meta.version),
                 group.active_hash.load(Ordering::Acquire),
                 group.requests(),
                 meta.swaps,
                 group.shards.len(),
+                drift_tripped,
+                meta.drift_swaps,
+                meta.drift_swap_status
+                    .map_or("null".to_string(), |s| s.to_string()),
             ));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Renders `GET /drift`: the configured action plus, per model group,
+    /// the shard-aggregated alert state and the most recent trip's metadata.
+    fn drift_body(&self) -> String {
+        let mut out = format!(
+            "{{\"enabled\":{},\"action\":{}",
+            self.drift_enabled,
+            protocol::json_string(self.drift_action.name()),
+        );
+        match &self.drift_action {
+            DriftAction::Swap { target } => {
+                out.push_str(&format!(",\"target\":{}", protocol::json_string(target)));
+            }
+            DriftAction::Observe => out.push_str(",\"target\":null"),
+        }
+        out.push_str(",\"models\":[");
+        if self.drift_enabled {
+            for (i, group) in self.groups.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let mut verdicts = 0u64;
+                let mut alerts = 0u64;
+                let mut resets = 0u64;
+                let mut tripped: Option<DriftFeature> = None;
+                // The most recent trip across the group's shards, picked by
+                // verdict count at trip (shards count independently, so this
+                // is a heuristic "latest", which is all monitoring needs).
+                let mut last: Option<(DriftFeature, f32, f32, u64, u64)> = None;
+                for shard in &group.shards {
+                    let Some(status) = shard.drift.as_ref() else {
+                        continue;
+                    };
+                    verdicts += status.verdicts.load(Ordering::Relaxed);
+                    alerts += status.alerts.load(Ordering::Relaxed);
+                    resets += status.resets.load(Ordering::Relaxed);
+                    if tripped.is_none() {
+                        tripped = status.tripped_feature();
+                    }
+                    let feature =
+                        DriftFeature::from_id(status.last_feature.load(Ordering::Acquire));
+                    if let Some(feature) = feature {
+                        let at = status.last_trip_verdicts.load(Ordering::Relaxed);
+                        if last.is_none_or(|(_, _, _, _, prev)| at > prev) {
+                            last = Some((
+                                feature,
+                                f32::from_bits(status.last_magnitude.load(Ordering::Relaxed)),
+                                f32::from_bits(status.last_threshold.load(Ordering::Relaxed)),
+                                status.last_window.load(Ordering::Relaxed),
+                                at,
+                            ));
+                        }
+                    }
+                }
+                let meta = group.meta.lock().unwrap_or_else(|e| e.into_inner());
+                out.push_str(&format!(
+                    "{{\"name\":{},\"verdicts\":{},\"alerts\":{},\"resets\":{},\"tripped\":{},\"tripped_feature\":{}",
+                    protocol::json_string(&group.name),
+                    verdicts,
+                    alerts,
+                    resets,
+                    tripped.is_some(),
+                    tripped.map_or("null".to_string(), |f| protocol::json_string(f.name())),
+                ));
+                match last {
+                    Some((feature, magnitude, threshold, window, at)) => out.push_str(&format!(
+                        ",\"last_trip\":{{\"feature\":{},\"magnitude\":{},\"threshold\":{},\"window\":{},\"verdicts_at_trip\":{}}}",
+                        protocol::json_string(feature.name()),
+                        protocol::fmt_f32(magnitude),
+                        protocol::fmt_f32(threshold),
+                        window,
+                        at,
+                    )),
+                    None => out.push_str(",\"last_trip\":null"),
+                }
+                out.push_str(&format!(
+                    ",\"drift_swaps\":{},\"swap_status\":{}}}",
+                    meta.drift_swaps,
+                    meta.drift_swap_status
+                        .map_or("null".to_string(), |s| s.to_string()),
+                ));
+            }
         }
         out.push_str("]}");
         out
@@ -412,7 +570,8 @@ pub(crate) fn route(request: &HttpRequest, shared: &Shared) -> Routed {
         ("GET", "/healthz") => Routed::Immediate(200, "{\"status\":\"ok\"}".to_string()),
         ("GET", "/stats") => Routed::Immediate(200, shared.snapshot().body()),
         ("GET", "/models") => Routed::Immediate(200, shared.models_body()),
-        (_, "/predict" | "/healthz" | "/stats" | "/models") => {
+        ("GET", "/drift") => Routed::Immediate(200, shared.drift_body()),
+        (_, "/predict" | "/healthz" | "/stats" | "/models" | "/drift") => {
             Routed::Immediate(405, protocol::error_body("method not allowed"))
         }
         _ => Routed::Immediate(404, protocol::error_body("no such endpoint")),
@@ -743,9 +902,18 @@ impl Server {
         } else {
             config.cache_capacity.div_ceil(nshards)
         };
+        // With drift detection on and an auto-swap action configured, engines
+        // nudge the drift coordinator thread through this channel on their
+        // first alert; the coordinator exits when every engine (sender) is
+        // gone at shutdown.
+        let drift_channel: Option<(mpsc::Sender<usize>, mpsc::Receiver<usize>)> =
+            match (&config.drift, &config.drift_action) {
+                (Some(_), DriftAction::Swap { .. }) => Some(mpsc::channel()),
+                _ => None,
+            };
         let mut groups = Vec::with_capacity(models.len());
         let mut engine_threads = Vec::with_capacity(models.len() * nshards);
-        for model in models {
+        for (group_index, model) in models.into_iter().enumerate() {
             let spec = model.ensemble.models[0].spec();
             let mut shards = Vec::with_capacity(nshards);
             for index in 0..nshards {
@@ -763,6 +931,16 @@ impl Server {
                 // ensemble).
                 let mut replica = model.ensemble.clone();
                 remix.prepare_ensemble(&mut replica);
+                let drift_status = config.drift.map(|_| Arc::new(DriftStatus::default()));
+                let engine_drift = config.drift.map(|drift_config| EngineDrift {
+                    detector: DriftDetector::new(drift_config),
+                    status: Arc::clone(drift_status.as_ref().expect("built together")),
+                    stats: Arc::clone(&stats),
+                    trigger: drift_channel.as_ref().map(|(tx, _)| DriftTrigger {
+                        group: group_index,
+                        sender: tx.clone(),
+                    }),
+                });
                 let engine = Engine {
                     remix: remix.clone(),
                     ensemble: replica,
@@ -773,6 +951,7 @@ impl Server {
                     swap: Arc::clone(&swap),
                     artifact_hash: model.hash,
                     seen_generation: 0,
+                    drift: engine_drift,
                 };
                 let engine_queue = Arc::clone(&queue);
                 engine_threads.push(
@@ -785,6 +964,7 @@ impl Server {
                     cache,
                     stats,
                     swap,
+                    drift: drift_status,
                 });
             }
             groups.push(ModelGroup {
@@ -796,6 +976,8 @@ impl Server {
                 meta: Mutex::new(GroupMeta {
                     version: model.version,
                     swaps: 0,
+                    drift_swaps: 0,
+                    drift_swap_status: None,
                 }),
                 template: Mutex::new(model.ensemble),
             });
@@ -806,7 +988,54 @@ impl Server {
             registry,
             remix,
             default_deadline: config.default_deadline,
+            drift_enabled: config.drift.is_some(),
+            drift_action: config.drift_action.clone(),
         });
+
+        // The drift coordinator: blocks on the trigger channel and runs the
+        // ordinary swap path toward the configured target when the *target
+        // group's* detector trips — entirely off the request path, exactly
+        // once per group per server lifetime. It exits when the engines (the
+        // senders) have all shut down.
+        if let Some((tx, rx)) = drift_channel {
+            drop(tx); // engines hold the only live senders
+            let coordinator_shared = Arc::clone(&shared);
+            let action = config.drift_action.clone();
+            engine_threads.push(
+                thread::Builder::new()
+                    .name("remix-serve-drift".into())
+                    .spawn(move || {
+                        let Some((target_name, target_version)) = action
+                            .target_parts()
+                            .map(|(n, v)| (n.to_string(), v.map(str::to_string)))
+                        else {
+                            return;
+                        };
+                        while let Ok(group_index) = rx.recv() {
+                            let group = &coordinator_shared.groups[group_index];
+                            if group.name != target_name {
+                                continue;
+                            }
+                            {
+                                let meta = group.meta.lock().unwrap_or_else(|e| e.into_inner());
+                                if meta.drift_swaps > 0 {
+                                    continue;
+                                }
+                            }
+                            let (status, _body) = perform_swap(
+                                &coordinator_shared,
+                                &PreparedSwap {
+                                    group: group_index,
+                                    version: target_version.clone(),
+                                },
+                            );
+                            let mut meta = group.meta.lock().unwrap_or_else(|e| e.into_inner());
+                            meta.drift_swaps += 1;
+                            meta.drift_swap_status = Some(status);
+                        }
+                    })?,
+            );
+        }
 
         #[cfg(target_os = "linux")]
         {
@@ -970,4 +1199,38 @@ fn blocking_predict(shared: &Shared, prepared: PreparedPredict) -> (u16, String)
         200,
         protocol::envelope(&reply.fragment, false, latency.as_micros() as u64),
     )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `FIELD_NAMES` is the contract the docs-sync test (and the README)
+    /// verify against; this pins it to the actual rendered body so the two
+    /// cannot drift apart silently.
+    #[test]
+    fn stats_body_renders_exactly_the_declared_fields() {
+        let body = StatsSnapshot::default().body();
+        let parsed: serde::Value = serde_json::from_str(&body).expect("body is valid JSON");
+        let pairs = parsed.as_object().expect("body is a JSON object");
+        let rendered: Vec<&str> = pairs.iter().map(|(key, _)| key.as_str()).collect();
+        assert_eq!(
+            rendered,
+            StatsSnapshot::FIELD_NAMES.to_vec(),
+            "StatsSnapshot::FIELD_NAMES must list every rendered stats field in order"
+        );
+    }
+
+    /// Docs-sync: the README must name every stats field the server renders.
+    /// Adding a `StatsSnapshot` field without documenting it fails here.
+    #[test]
+    fn readme_documents_every_stats_field() {
+        let readme = include_str!(concat!(env!("CARGO_MANIFEST_DIR"), "/../../README.md"));
+        for name in StatsSnapshot::FIELD_NAMES {
+            assert!(
+                readme.contains(&format!("`{name}`")),
+                "README.md does not document the stats field `{name}`"
+            );
+        }
+    }
 }

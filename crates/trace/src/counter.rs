@@ -54,11 +54,15 @@ pub enum Counter {
     ServeDegraded,
     /// Requests rejected (429) because the inference queue was full.
     ServeShed,
+    /// Verdicts folded into the streaming drift detector.
+    ServeDriftVerdicts,
+    /// Drift alerts raised by the streaming detector (across all shards).
+    ServeDriftAlerts,
 }
 
 impl Counter {
     /// Every counter, in declaration order.
-    pub const ALL: [Counter; 20] = [
+    pub const ALL: [Counter; 22] = [
         Counter::GemmCalls,
         Counter::GemmMacs,
         Counter::GemmPackBytes,
@@ -79,6 +83,8 @@ impl Counter {
         Counter::ServeBatches,
         Counter::ServeDegraded,
         Counter::ServeShed,
+        Counter::ServeDriftVerdicts,
+        Counter::ServeDriftAlerts,
     ];
 
     /// Stable snake_case name used in exported records.
@@ -104,6 +110,8 @@ impl Counter {
             Counter::ServeBatches => "serve_batches",
             Counter::ServeDegraded => "serve_degraded",
             Counter::ServeShed => "serve_shed",
+            Counter::ServeDriftVerdicts => "serve_drift_verdicts",
+            Counter::ServeDriftAlerts => "serve_drift_alerts",
         }
     }
 }
